@@ -1,0 +1,234 @@
+(* qaq — command-line front end to the QaQ framework.
+
+   Subcommands:
+     solve    solve the §4.2.2 optimization problem for given inputs
+     trial    run the QaQ operator on a synthetic workload (or a saved one)
+     dataset  generate a synthetic workload and save it as CSV
+     tables   regenerate the paper's tables (§5.1 + §5.2)
+     regions  print the decision-region diagram of Figs. 2-3 *)
+
+open Cmdliner
+
+(* ---- shared options ---------------------------------------------- *)
+
+let seed =
+  let doc = "PRNG seed (runs are deterministic per seed)." in
+  Arg.(value & opt int 2004 & info [ "seed" ] ~doc)
+
+let total =
+  let doc = "Input size |T|." in
+  Arg.(value & opt int 10000 & info [ "total" ] ~doc)
+
+let f_y =
+  let doc = "Fraction of YES objects." in
+  Arg.(value & opt float 0.2 & info [ "fy" ] ~doc)
+
+let f_m =
+  let doc = "Fraction of MAYBE objects." in
+  Arg.(value & opt float 0.2 & info [ "fm" ] ~doc)
+
+let max_laxity =
+  let doc = "Maximum input laxity L." in
+  Arg.(value & opt float 100.0 & info [ "max-laxity" ] ~doc)
+
+let p_q =
+  let doc = "Precision requirement p_q." in
+  Arg.(value & opt float 0.9 & info [ "precision"; "p" ] ~doc)
+
+let r_q =
+  let doc = "Recall requirement r_q." in
+  Arg.(value & opt float 0.5 & info [ "recall"; "r" ] ~doc)
+
+let l_q =
+  let doc = "Laxity requirement l_q^max." in
+  Arg.(value & opt float 50.0 & info [ "laxity"; "l" ] ~doc)
+
+let setting total f_y f_m max_laxity p_q r_q l_q : Exp_config.setting =
+  { label = "cli"; total; f_y; f_m; max_laxity; p_q; r_q; l_q }
+
+(* ---- solve -------------------------------------------------------- *)
+
+let solve_run total f_y f_m max_laxity p_q r_q l_q =
+  let s = setting total f_y f_m max_laxity p_q r_q l_q in
+  let e = Exp_runner.solve_setting s in
+  Format.printf "problem: |T|=%d f_y=%g f_m=%g L=%g  %a@.@." s.total s.f_y
+    s.f_m s.max_laxity Quality.pp_requirements (Exp_config.requirements s);
+  let problem =
+    Solver.problem ~total:s.total
+      ~spec:
+        (Region_model.uniform_spec ~f_y:s.f_y ~f_m:s.f_m
+           ~max_laxity:s.max_laxity)
+      ~requirements:(Exp_config.requirements s) ()
+  in
+  print_string (Solver.explain problem e)
+
+let solve_cmd =
+  let doc = "Solve the optimization problem of paper section 4.2.2." in
+  Cmd.v
+    (Cmd.info "solve" ~doc)
+    Term.(const solve_run $ total $ f_y $ f_m $ max_laxity $ p_q $ r_q $ l_q)
+
+(* ---- trial -------------------------------------------------------- *)
+
+let policy_conv =
+  let parse = function
+    | "qaq" -> Ok Exp_runner.Qaq
+    | "stingy" -> Ok Exp_runner.Stingy
+    | "greedy" -> Ok Exp_runner.Greedy
+    | s -> Error (`Msg (Printf.sprintf "unknown policy %S" s))
+  in
+  let print ppf k = Format.pp_print_string ppf (Exp_runner.policy_name k) in
+  Arg.conv (parse, print)
+
+let policy =
+  let doc = "Policy: qaq, stingy or greedy." in
+  Arg.(value & opt policy_conv Exp_runner.Qaq & info [ "policy" ] ~doc)
+
+let repetitions =
+  let doc = "Independent datasets to average over." in
+  Arg.(value & opt int 5 & info [ "repetitions" ] ~doc)
+
+let data_file =
+  let doc =
+    "Run on a workload previously saved with the dataset command instead of \
+     generating one (repetitions are then ignored)."
+  in
+  Arg.(value & opt (some file) None & info [ "data" ] ~doc)
+
+let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
+    data_file =
+  let s = setting total f_y f_m max_laxity p_q r_q l_q in
+  let rng = Rng.create seed in
+  match data_file with
+  | Some path ->
+      let data = Dataset_io.read_synthetic path in
+      let s = { s with total = Array.length data } in
+      Format.printf "dataset: %s (%d objects)  %a@." path (Array.length data)
+        Quality.pp_requirements (Exp_config.requirements s);
+      let o = Exp_runner.trial_run ~rng ~setting:s ~data policy in
+      Format.printf
+        "%s: W/|T| = %.3f; guarantees %a; actual precision %.3f, recall %.3f@."
+        (Exp_runner.policy_name policy)
+        o.normalized_cost Quality.pp_guarantees o.guarantees o.actual_precision
+        o.actual_recall
+  | None ->
+      let results = Exp_runner.trial_series ~rng ~repetitions s [ policy ] in
+      Format.printf "setting: |T|=%d f_y=%g f_m=%g L=%g  %a@." s.total s.f_y
+        s.f_m s.max_laxity Quality.pp_requirements (Exp_config.requirements s);
+      List.iter
+        (fun (kind, (a : Exp_runner.aggregate)) ->
+          Format.printf
+            "%s: W/|T| = %.3f +/- %.3f over %d runs; actual precision %.3f, \
+             recall %.3f; worst violations p=%.3g r=%.3g@."
+            (Exp_runner.policy_name kind)
+            a.mean_cost a.ci95 a.repetitions a.mean_precision a.mean_recall
+            a.worst_precision_violation a.worst_recall_violation)
+        results
+
+let trial_cmd =
+  let doc = "Run the QaQ operator on the synthetic workload of section 5.2." in
+  Cmd.v
+    (Cmd.info "trial" ~doc)
+    Term.(
+      const trial_run $ seed $ total $ f_y $ f_m $ max_laxity $ p_q $ r_q
+      $ l_q $ policy $ repetitions $ data_file)
+
+(* ---- dataset ------------------------------------------------------ *)
+
+let out_file =
+  let doc = "Output CSV path." in
+  Arg.(required & opt (some string) None & info [ "out"; "o" ] ~doc)
+
+let dataset_run seed total f_y f_m max_laxity out =
+  let cfg = Synthetic.config ~total ~f_y ~f_m ~max_laxity () in
+  let data = Synthetic.generate (Rng.create seed) cfg in
+  Dataset_io.write_synthetic out data;
+  Format.printf "wrote %d objects to %s (exact set: %d)@." total out
+    (Synthetic.exact_size data)
+
+let dataset_cmd =
+  let doc = "Generate a synthetic workload and save it as CSV." in
+  Cmd.v
+    (Cmd.info "dataset" ~doc)
+    Term.(const dataset_run $ seed $ total $ f_y $ f_m $ max_laxity $ out_file)
+
+(* ---- tables ------------------------------------------------------- *)
+
+let sweep_arg =
+  let doc =
+    "Sweep to run: laxity, precision, recall, selectivity, uncertainty, or \
+     'all'."
+  in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"SWEEP" ~doc)
+
+let tables_run seed sweep_id repetitions =
+  let sweeps =
+    if String.equal sweep_id "all" then Exp_config.all_sweeps
+    else
+      match Exp_config.find_sweep sweep_id with
+      | Some s -> [ s ]
+      | None ->
+          Printf.eprintf "unknown sweep %S\n" sweep_id;
+          exit 2
+  in
+  List.iter
+    (fun sweep ->
+      Text_table.print (Exp_report.opt_table sweep);
+      print_newline ();
+      let rng = Rng.create seed in
+      Text_table.print (Exp_report.trial_table ~rng ~repetitions sweep);
+      print_newline ())
+    sweeps
+
+let tables_cmd =
+  let doc = "Regenerate the paper's tables (sections 5.1 and 5.2)." in
+  Cmd.v
+    (Cmd.info "tables" ~doc)
+    Term.(const tables_run $ seed $ sweep_arg $ repetitions)
+
+(* ---- regions ------------------------------------------------------ *)
+
+let regions_run p_q r_q l_q max_laxity f_y f_m total =
+  let s = setting total f_y f_m max_laxity p_q r_q l_q in
+  let e = Exp_runner.solve_setting s in
+  let params = e.Solver.params in
+  Format.printf "decision regions (Figs. 2-3) for %a, optimal %a@."
+    Quality.pp_requirements (Exp_config.requirements s) Policy.pp_params params;
+  (* s on the x axis (0..1), laxity on the y axis (0..L), top-down. *)
+  let rows = 16 and cols = 41 in
+  Format.printf "  l(o)@.";
+  for row = rows - 1 downto 0 do
+    let laxity = (float_of_int row +. 0.5) /. float_of_int rows *. max_laxity in
+    Format.printf "%6.1f |" laxity;
+    for col = 0 to cols - 1 do
+      let success = float_of_int col /. float_of_int (cols - 1) in
+      let region =
+        Policy.region_of ~params ~laxity_bound:l_q ~verdict:Tvl.Maybe ~laxity
+          ~success
+      in
+      Format.printf "%d" region
+    done;
+    let yes_region =
+      Policy.region_of ~params ~laxity_bound:l_q ~verdict:Tvl.Yes ~laxity
+        ~success:1.0
+    in
+    Format.printf "| YES:%d@." yes_region
+  done;
+  Format.printf "        %s@." (String.make cols '-');
+  Format.printf "        s(o) = 0 %s 1@." (String.make (cols - 18) ' ');
+  Format.printf
+    "regions: 1 NO-discard, 2 ignore, 3 probe (l>l_q), 4 forward/ignore, \
+     5 probe (l<=l_q), 6 YES probe/ignore, 7 YES forward@."
+
+let regions_cmd =
+  let doc = "Show the optimal decision regions on the (s, l) plane." in
+  Cmd.v
+    (Cmd.info "regions" ~doc)
+    Term.(const regions_run $ p_q $ r_q $ l_q $ max_laxity $ f_y $ f_m $ total)
+
+(* ---- main --------------------------------------------------------- *)
+
+let () =
+  let doc = "Approximate selection queries over imprecise data (ICDE 2004)" in
+  let info = Cmd.info "qaq" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ solve_cmd; trial_cmd; dataset_cmd; tables_cmd; regions_cmd ]))

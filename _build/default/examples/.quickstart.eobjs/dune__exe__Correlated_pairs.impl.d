@@ -1,0 +1,1 @@
+examples/correlated_pairs.ml: Array Band_join Cost_model Interval Interval_data List Operator Policy Printf Quality Rng

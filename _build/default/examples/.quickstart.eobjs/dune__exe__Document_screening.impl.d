@@ -1,0 +1,1 @@
+examples/document_screening.ml: Array Bytes Char List Operator Policy Printf Quality Rng String Text_query Tvl

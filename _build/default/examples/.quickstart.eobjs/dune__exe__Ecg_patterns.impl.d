@@ -1,0 +1,1 @@
+examples/ecg_patterns.ml: Array Cost_meter Format List Operator Paa Policy Quality Rng Time_series Ts_query Tvl

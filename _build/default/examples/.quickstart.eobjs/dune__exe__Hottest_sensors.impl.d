@@ -1,0 +1,1 @@
+examples/hottest_sensors.ml: Array Cost_meter Cost_model Interval Interval_data List Printf Quality Rng Top_k

@@ -1,0 +1,1 @@
+examples/hottest_sensors.mli:

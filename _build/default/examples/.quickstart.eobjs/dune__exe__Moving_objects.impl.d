@@ -1,0 +1,1 @@
+examples/moving_objects.ml: Array Cost_model Format Interval List Moving_object Operator Policy Quality Rect Rng

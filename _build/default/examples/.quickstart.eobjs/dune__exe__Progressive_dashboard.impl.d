@@ -1,0 +1,1 @@
+examples/progressive_dashboard.ml: Array Cost_model Exp_config Exp_runner Float List Operator Policy Printf Quality Rng Solver Stdlib String Synthetic

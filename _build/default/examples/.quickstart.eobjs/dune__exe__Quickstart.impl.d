@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cost_meter Cost_model Density Format Interval Interval_data List Operator Policy Predicate Quality Region_model Rng Selectivity Solver

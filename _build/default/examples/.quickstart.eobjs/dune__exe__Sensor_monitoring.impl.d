@@ -1,0 +1,1 @@
+examples/sensor_monitoring.ml: Format Interval List Operator Policy Predicate Probe_source Quality Rng Sensor_net

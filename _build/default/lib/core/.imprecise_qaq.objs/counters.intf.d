@@ -1,0 +1,1 @@
+lib/core/counters.mli: Format Quality

@@ -1,0 +1,1 @@
+lib/core/decision.ml: Counters Format List Quality Tvl

@@ -1,0 +1,1 @@
+lib/core/operator.ml: Array Cost_meter Counters Decision Heap_file List Policy Quality Tvl

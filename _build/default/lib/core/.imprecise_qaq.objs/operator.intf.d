@@ -1,0 +1,1 @@
+lib/core/operator.mli: Cost_meter Cost_model Heap_file Policy Quality Rng Tvl

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Counters Decision Float Format Printf Quality Rng Tvl

@@ -1,0 +1,178 @@
+type 'o instance = {
+  classify : 'o -> Tvl.t;
+  laxity : 'o -> float;
+  success : 'o -> float;
+}
+
+type 'o source = { next : unit -> 'o option; total : int }
+
+let source_of_array objects =
+  let pos = ref 0 in
+  let next () =
+    if !pos >= Array.length objects then None
+    else begin
+      let o = objects.(!pos) in
+      incr pos;
+      Some o
+    end
+  in
+  { next; total = Array.length objects }
+
+let source_of_cursor cursor =
+  {
+    next = (fun () -> Heap_file.Cursor.next cursor);
+    total = Heap_file.Cursor.remaining cursor;
+  }
+
+type 'o emitted = { obj : 'o; precise : bool }
+
+type 'o report = {
+  answer : 'o emitted list;
+  guarantees : Quality.guarantees;
+  requirements : Quality.requirements;
+  counts : Cost_meter.counts;
+  yes_seen : int;
+  maybe_ignored : int;
+  answer_size : int;
+  exhausted : bool;
+}
+
+exception Inconsistent_probe
+
+let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true) ?on_progress
+    ~instance ~probe ~policy ~(requirements : Quality.requirements) source =
+  let meter = match meter with Some m -> m | None -> Cost_meter.create () in
+  (* A shared meter may carry charges from earlier runs; the report's
+     counts cover this run only. *)
+  let counts_before = Cost_meter.counts meter in
+  let counters = Counters.create ~total:source.total in
+  let answer = ref [] in
+  let deliver entry =
+    (match emit with Some f -> f entry | None -> ());
+    if collect then answer := entry :: !answer
+  in
+  let forward_imprecise o =
+    Cost_meter.charge_write_imprecise meter;
+    deliver { obj = o; precise = false }
+  in
+  let forward_precise o =
+    Cost_meter.charge_write_precise meter;
+    deliver { obj = o; precise = true }
+  in
+  (* A probe must yield a laxity-0 object whenever the result is going to
+     be emitted; an object that resolves to NO is discarded, so residual
+     imprecision there is fine (a relational probe may stop fetching
+     attributes the moment the condition is decided). *)
+  let probe_resolved o =
+    Cost_meter.charge_probe meter;
+    probe o
+  in
+  let require_resolved precise =
+    if instance.laxity precise > 0.0 then raise Inconsistent_probe
+  in
+  let choose ~verdict ~laxity preference =
+    if enforce then
+      Decision.first_feasible counters requirements ~verdict ~laxity
+        ~preference
+    else
+      match preference with a :: _ -> a | [] -> Decision.Probe
+  in
+  (* One object per iteration; Fig. 1's do-loop with the stopping test
+     hoisted, so a query whose recall bound is already met reads
+     nothing. *)
+  let exhausted = ref false in
+  let finished () =
+    Counters.recall_guarantee counters >= requirements.Quality.recall
+  in
+  let note_progress () =
+    match on_progress with
+    | Some f ->
+        f ~reads:(source.total - Counters.unseen counters)
+          (Counters.guarantees counters)
+    | None -> ()
+  in
+  while not (!exhausted || finished ()) do
+    match source.next () with
+    | None -> exhausted := true
+    | Some o ->
+        Cost_meter.charge_read meter;
+        (match instance.classify o with
+        | Tvl.No -> Counters.saw_no counters
+        | Tvl.Yes as verdict -> (
+            let laxity = instance.laxity o in
+            let preference =
+              Policy.preference policy ~rng ~requirements ~counters ~verdict
+                ~laxity ~success:1.0
+            in
+            match choose ~verdict ~laxity preference with
+            | Decision.Forward ->
+                Counters.forward_yes counters ~laxity;
+                forward_imprecise o
+            | Decision.Probe ->
+                let precise = probe_resolved o in
+                (* A YES object's precise version must still satisfy λ. *)
+                (match instance.classify precise with
+                | Tvl.Yes -> ()
+                | Tvl.No | Tvl.Maybe -> raise Inconsistent_probe);
+                require_resolved precise;
+                Counters.probe_yes counters;
+                forward_precise precise
+            | Decision.Ignore -> Counters.ignore_yes counters)
+        | Tvl.Maybe as verdict -> (
+            let laxity = instance.laxity o in
+            let success = instance.success o in
+            let preference =
+              Policy.preference policy ~rng ~requirements ~counters ~verdict
+                ~laxity ~success
+            in
+            match choose ~verdict ~laxity preference with
+            | Decision.Forward ->
+                Counters.forward_maybe counters ~laxity;
+                forward_imprecise o
+            | Decision.Probe -> (
+                let precise = probe_resolved o in
+                match instance.classify precise with
+                | Tvl.Yes ->
+                    require_resolved precise;
+                    Counters.probe_maybe_yes counters;
+                    forward_precise precise
+                | Tvl.No -> Counters.probe_maybe_no counters
+                | Tvl.Maybe -> raise Inconsistent_probe)
+            | Decision.Ignore -> Counters.ignore_maybe counters));
+        note_progress ()
+  done;
+  {
+    answer = List.rev !answer;
+    guarantees = Counters.guarantees counters;
+    requirements;
+    counts =
+      (let after = Cost_meter.counts meter in
+       {
+         Cost_meter.reads = after.reads - counts_before.reads;
+         probes = after.probes - counts_before.probes;
+         writes_imprecise =
+           after.writes_imprecise - counts_before.writes_imprecise;
+         writes_precise = after.writes_precise - counts_before.writes_precise;
+       });
+    yes_seen = Counters.yes_seen counters;
+    maybe_ignored = Counters.maybe_ignored counters;
+    answer_size = Counters.answer_size counters;
+    exhausted = !exhausted || Counters.unseen counters = 0;
+  }
+
+let cost model report = Cost_meter.cost_of_counts model report.counts
+
+let normalized_cost model ~total report =
+  if total <= 0 then invalid_arg "Operator.normalized_cost: total <= 0";
+  cost model report /. float_of_int total
+
+let trace ~rng ?(every = 1) ~instance ~probe ~policy ~requirements source =
+  if every < 1 then invalid_arg "Operator.trace: every < 1";
+  let samples = ref [] in
+  let on_progress ~reads guarantees =
+    if reads mod every = 0 then samples := (reads, guarantees) :: !samples
+  in
+  let report =
+    run ~rng ~on_progress ~instance ~probe ~policy ~requirements source
+  in
+  (report, List.rev !samples)

@@ -1,0 +1,118 @@
+(** The online QaQ selection operator (paper §3, Fig. 1).
+
+    The operator reads objects one at a time from a {!source}, classifies
+    each against the query predicate, and decides — policy preference
+    filtered through Theorem 3.1 ({!Decision}) — whether to forward,
+    probe, or ignore it.  Forwarded objects are piped to the output
+    immediately and never revisited; the operator's own state is the six
+    counters of {!Counters} (constant memory).  Evaluation stops as soon
+    as the recall guarantee reaches [r_q]; the precision and laxity
+    requirements hold invariantly throughout, so the final answer always
+    satisfies all three bounds, whatever the policy. *)
+
+(** How the operator interrogates an object type ['o]. *)
+type 'o instance = {
+  classify : 'o -> Tvl.t;  (** λ(o) *)
+  laxity : 'o -> float;  (** l(o), must be >= 0 *)
+  success : 'o -> float;
+      (** s(o): probability that a probe of a MAYBE returns YES.  May be a
+          model-based estimate or a prior such as the constant 0.5
+          (§4.1). *)
+}
+
+(** A sequential input.  [total] is the number of objects the source will
+    deliver — the initial [|M_ns|].  It must be exact: guarantees are
+    computed from it. *)
+type 'o source = { next : unit -> 'o option; total : int }
+
+val source_of_array : 'o array -> 'o source
+
+val source_of_cursor : 'o Heap_file.Cursor.t -> 'o source
+(** [total] is the cursor's deliverable count: objects pruned by a
+    filtered cursor are definite NOs and never enter [|M_ns|]. *)
+
+(** One element of the answer set [A]: either the imprecise object as
+    read, or the precise [ω^o] returned by a probe. *)
+type 'o emitted = { obj : 'o; precise : bool }
+
+type 'o report = {
+  answer : 'o emitted list;  (** in emission order; [] if not collected *)
+  guarantees : Quality.guarantees;
+  requirements : Quality.requirements;
+  counts : Cost_meter.counts;
+  yes_seen : int;  (** |Y| *)
+  maybe_ignored : int;  (** |M_s − A| *)
+  answer_size : int;  (** |A| *)
+  exhausted : bool;
+      (** whether the whole input was consumed (early termination means
+          the recall bound was reached first) *)
+}
+
+exception Inconsistent_probe
+(** Raised when a probe result contradicts the imprecise object: a YES
+    object whose precise version classifies NO (or vice versa an
+    unresolvable MAYBE), or a probe result with positive laxity.  This
+    indicates corrupted data or a broken probe source, never a policy
+    error. *)
+
+val run :
+  rng:Rng.t ->
+  ?meter:Cost_meter.t ->
+  ?emit:('o emitted -> unit) ->
+  ?collect:bool ->
+  ?enforce:bool ->
+  ?on_progress:(reads:int -> Quality.guarantees -> unit) ->
+  instance:'o instance ->
+  probe:('o -> 'o) ->
+  policy:Policy.t ->
+  requirements:Quality.requirements ->
+  'o source ->
+  'o report
+(** Evaluate the query.
+
+    [rng] drives the policy's randomised choices.  [meter] (fresh by
+    default) accumulates read/probe/write charges; the same meter can be
+    shared across runs to account a whole workload.  [emit] is called on
+    each answer object as soon as it is decided — the streaming interface.
+    [collect] (default [true]) additionally accumulates the answer in the
+    report.
+
+    [on_progress] is invoked after every consumed object with the number
+    of objects read so far and the guarantees that would hold if the
+    answer were closed now — the progressive-refinement view: recall
+    climbs towards [r_q] while precision and laxity stay within bounds
+    throughout (under enforcement).  Useful for live dashboards and for
+    studying convergence; see the [trace] helper.
+
+    [enforce] (default [true]) filters the policy through Theorem 3.1, in
+    which case the returned guarantees always satisfy the requirements.
+    With [enforce = false] the policy's first preference is executed
+    unconditionally — the answer may then miss the precision or recall
+    bound, and {!Quality.meets} on the report tells whether it did.  The
+    paper's Greedy baseline behaves this way in the §5.2 trials (its cost
+    is reported as constant across precision bounds it cannot actually
+    honour), so the raw mode exists to reproduce those rows faithfully.
+
+    @raise Inconsistent_probe as documented above. *)
+
+val trace :
+  rng:Rng.t ->
+  ?every:int ->
+  instance:'o instance ->
+  probe:('o -> 'o) ->
+  policy:Policy.t ->
+  requirements:Quality.requirements ->
+  'o source ->
+  'o report * (int * Quality.guarantees) list
+(** Run and record the guarantee trajectory: one [(reads, guarantees)]
+    sample every [every] objects (default 1), in read order.  The
+    trajectory is how the answer's quality converges — the progressive
+    view the paper contrasts with one-shot evaluation in §6.
+    @raise Invalid_argument if [every < 1]. *)
+
+val cost : Cost_model.t -> 'o report -> float
+(** Total cost [W] (Eq. 11) of the run under a cost model. *)
+
+val normalized_cost : Cost_model.t -> total:int -> 'o report -> float
+(** [W / |T|], the unit the paper reports.  @raise Invalid_argument if
+    [total <= 0]. *)

@@ -1,0 +1,71 @@
+type params = { s3 : float; s5 : float; p_py : float; p_fm : float }
+
+let params ~s3 ~s5 ~p_py ~p_fm =
+  let check name x =
+    if not (Float.is_finite x && x >= 0.0 && x <= 1.0) then
+      invalid_arg (Printf.sprintf "Policy.params: %s outside [0, 1]" name)
+  in
+  check "s3" s3;
+  check "s5" s5;
+  check "p_py" p_py;
+  check "p_fm" p_fm;
+  { s3; s5; p_py; p_fm }
+
+let pp_params ppf p =
+  Format.fprintf ppf "s3=%g s5=%g p_py=%g p_fm=%g" p.s3 p.s5 p.p_py p.p_fm
+
+type t =
+  | Region of params
+  | Custom of
+      (requirements:Quality.requirements ->
+      counters:Counters.t ->
+      verdict:Tvl.t ->
+      laxity:float ->
+      success:float ->
+      Decision.action list)
+
+let qaq p = Region p
+let stingy_params = { s3 = 1.0; s5 = 1.0; p_py = 0.0; p_fm = 0.0 }
+let greedy_params = { s3 = 0.0; s5 = 1.0; p_py = 1.0; p_fm = 1.0 }
+let stingy = Region stingy_params
+let greedy = Region greedy_params
+
+(* The ranked preference of the region policy.  When the cheap choice of a
+   region is infeasible under Theorem 3.1, the fallback is the cheapest
+   remaining feasible action: a below-the-bound MAYBE that may not be
+   ignored is forwarded if precision allows (a write costs c_wi), and only
+   probed as the last resort — the forced probes the paper describes for
+   Stingy ("it will have to perform some probes").  Objects above the
+   laxity bound can never be forwarded, so there the fallback is a probe
+   directly. *)
+let region_preference p rng (req : Quality.requirements) ~verdict ~laxity
+    ~success : Decision.action list =
+  match (verdict : Tvl.t) with
+  | No -> invalid_arg "Policy.preference: NO objects never reach the policy"
+  | Yes ->
+      if laxity <= req.laxity then [ Forward; Probe ] (* region 7 *)
+      else if Rng.bernoulli rng p.p_py then [ Probe ] (* region 6, probe *)
+      else [ Ignore; Probe ] (* region 6, ignore *)
+  | Maybe ->
+      if laxity > req.laxity then
+        if success > p.s3 then [ Probe ] (* region 3 *)
+        else [ Ignore; Probe ] (* region 2 *)
+      else if success > p.s5 then [ Probe ] (* region 5 *)
+      else if Rng.bernoulli rng p.p_fm then [ Forward; Probe ] (* region 4 *)
+      else [ Ignore; Forward; Probe ] (* region 4, ignore branch *)
+
+let preference t ~rng ~requirements ~counters ~verdict ~laxity ~success =
+  match t with
+  | Region p -> region_preference p rng requirements ~verdict ~laxity ~success
+  | Custom f -> f ~requirements ~counters ~verdict ~laxity ~success
+
+let region_of ~params:p ~laxity_bound ~verdict ~laxity ~success =
+  match (verdict : Tvl.t) with
+  | No -> 1
+  | Yes -> if laxity <= laxity_bound then 7 else 6
+  | Maybe ->
+      if laxity > laxity_bound then (if success > p.s3 then 3 else 2)
+      else if success > p.s5 then 5
+      else 4
+
+let ambiguity ~success = Float.abs (success -. 0.5) /. 0.5

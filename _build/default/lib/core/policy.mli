@@ -1,0 +1,89 @@
+(** Decision policies over the (s(o), l(o)) plane (paper §4.1, Figs. 2–3).
+
+    A policy decides how to handle each YES or MAYBE object.  The paper
+    reduces this decision to regions of the plane spanned by the success
+    probability [s(o)] and the laxity [l(o)], parameterised by four
+    numbers tuned by the optimizer:
+
+    - [s3]: probe a MAYBE with [l(o) > l_q^max] iff [s(o) > s3]
+      (region 3), otherwise ignore it (region 2);
+    - [s5]: probe a MAYBE with [l(o) <= l_q^max] iff [s(o) > s5]
+      (region 5);
+    - [p_fm]: forward a remaining MAYBE (region 4) with this probability,
+      ignore it otherwise;
+    - [p_py]: probe a YES with [l(o) > l_q^max] (region 6) with this
+      probability, ignore it otherwise.  YES objects with
+      [l(o) <= l_q^max] (region 7) are always forwarded.
+
+    Region 1 is the NO objects, which are always discarded.
+
+    A policy only expresses {e preference}; the operator intersects it
+    with the feasible set of Theorem 3.1 ({!Decision}), so no policy can
+    violate the quality requirements. *)
+
+type params = { s3 : float; s5 : float; p_py : float; p_fm : float }
+
+val params : s3:float -> s5:float -> p_py:float -> p_fm:float -> params
+(** @raise Invalid_argument if any component is outside [0, 1]. *)
+
+val pp_params : Format.formatter -> params -> unit
+
+type t =
+  | Region of params
+      (** The paper's parameterised policy (QaQ with optimizer output). *)
+  | Custom of
+      (requirements:Quality.requirements ->
+      counters:Counters.t ->
+      verdict:Tvl.t ->
+      laxity:float ->
+      success:float ->
+      Decision.action list)
+      (** Arbitrary user policy: returns a ranked preference list; the
+          operator takes the first feasible entry (falling back to
+          [Probe], which is always feasible). *)
+
+val qaq : params -> t
+(** The paper's optimized policy. *)
+
+val stingy : t
+(** §5 baseline: avoid all costs — [s3 = s5 = 1], [p_py = p_fm = 0].
+    Probes happen only when Theorem 3.1 forces them. *)
+
+val greedy : t
+(** §5 baseline: finish as fast as possible — [s3 = 0], [s5 = 1],
+    [p_py = p_fm = 1]. *)
+
+val stingy_params : params
+val greedy_params : params
+
+val preference :
+  t ->
+  rng:Rng.t ->
+  requirements:Quality.requirements ->
+  counters:Counters.t ->
+  verdict:Tvl.t ->
+  laxity:float ->
+  success:float ->
+  Decision.action list
+(** Ranked preference for one object.  [rng] drives the randomised
+    choices ([p_py], [p_fm]).
+    @raise Invalid_argument on a NO verdict (NO objects never reach the
+    policy). *)
+
+val region_of :
+  params:params ->
+  laxity_bound:float ->
+  verdict:Tvl.t ->
+  laxity:float ->
+  success:float ->
+  int
+(** Region number (1–7) of Fig. 3 for an object: NO objects are region 1;
+    YES objects are 6 (above the laxity bound) or 7; MAYBE objects above
+    the bound are 3 (probed, [s(o) > s3]) or 2 (ignored), below the bound
+    they are 5 (probed, [s(o) > s5]) or 4 (forward-or-ignore). *)
+
+val ambiguity : success:float -> float
+(** The quality score of Cheng et al. [5] discussed in §6:
+    [|s(o) − 0.5| / 0.5], maximal for near-definite objects and minimal
+    for the most ambiguous ones.  Exposed for the probe-ordering
+    extension benchmarks. *)

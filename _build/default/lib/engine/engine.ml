@@ -1,0 +1,108 @@
+type plan = {
+  params : Policy.params;
+  estimate : Selectivity.estimate option;
+  evaluation : Solver.evaluation;
+}
+
+type planning =
+  | Sampled of {
+      fraction : float;
+      density : [ `Uniform | `Histogram ];
+      fallback : float * float;
+    }
+  | Fixed of Policy.params
+
+let default_planning =
+  Sampled { fraction = 0.01; density = `Uniform; fallback = (0.2, 0.2) }
+
+type 'o result = {
+  report : 'o Operator.report;
+  plan : plan option;
+  normalized_cost : float;
+}
+
+let observed_max_laxity instance data =
+  Array.fold_left
+    (fun acc o -> Float.max acc (instance.Operator.laxity o))
+    0.0 data
+
+let make_plan ~rng ~cost ~max_laxity ~instance ~requirements ~fraction ~density
+    ~fallback data =
+  let total = Stdlib.max 1 (Array.length data) in
+  let sample = Selectivity.bernoulli_sample rng ~fraction data in
+  let cap =
+    match max_laxity with
+    | Some l -> l
+    | None ->
+        let m = observed_max_laxity instance data in
+        if m > 0.0 then m else 1.0
+  in
+  let estimate =
+    if Array.length sample = 0 then None
+    else Some (Selectivity.estimate ~instance ~laxity_cap:cap sample)
+  in
+  let f_y, f_m =
+    match estimate with
+    | Some e -> (e.f_y, e.f_m)
+    | None -> fallback
+  in
+  let density =
+    match (density, estimate) with
+    | `Histogram, Some e -> Density.of_estimate e
+    | (`Uniform | `Histogram), _ -> Density.uniform ~max_laxity:cap
+  in
+  let spec = Region_model.spec ~f_y ~f_m ~max_laxity:cap ~density in
+  let evaluation =
+    Solver.solve (Solver.problem ~total ~spec ~requirements ~cost ())
+  in
+  { params = evaluation.params; estimate; evaluation }
+
+let execute ~rng ?(planning = default_planning) ?(adaptive = false)
+    ?(cost = Cost_model.paper) ?max_laxity ?emit ?collect ~instance ~probe
+    ~requirements data =
+  let plan =
+    match planning with
+    | Fixed _ -> None
+    | Sampled { fraction; density; fallback } ->
+        let f_y, f_m = fallback in
+        if f_y < 0.0 || f_m < 0.0 || f_y +. f_m > 1.0 then
+          invalid_arg "Engine.execute: invalid fallback fractions";
+        Some
+          (make_plan ~rng ~cost ~max_laxity ~instance ~requirements ~fraction
+             ~density ~fallback data)
+  in
+  let initial =
+    match (planning, plan) with
+    | Fixed params, _ -> params
+    | Sampled _, Some p -> p.params
+    | Sampled _, None -> assert false
+  in
+  let policy =
+    if adaptive then begin
+      let cap =
+        match max_laxity with
+        | Some l -> l
+        | None ->
+            let m = observed_max_laxity instance data in
+            if m > 0.0 then m else 1.0
+      in
+      let state =
+        Adaptive.create ~rng:(Rng.split rng)
+          ~total:(Stdlib.max 1 (Array.length data))
+          ~max_laxity:cap ~requirements ~cost ~initial ()
+      in
+      Adaptive.policy state
+    end
+    else Policy.qaq initial
+  in
+  let report =
+    Operator.run ~rng ?emit ?collect ~instance ~probe ~policy ~requirements
+      (Operator.source_of_array data)
+  in
+  {
+    report;
+    plan;
+    normalized_cost =
+      (if Array.length data = 0 then 0.0
+       else Operator.cost cost report /. float_of_int (Array.length data));
+  }

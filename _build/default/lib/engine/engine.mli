@@ -1,0 +1,64 @@
+(** One-call quality-aware query execution.
+
+    The full QaQ pipeline — sample, estimate selectivities and the
+    decision-plane density, solve the §4.2.2 optimization problem, run
+    the online operator — wired together behind a single function.  Each
+    stage stays independently accessible (this module only composes
+    {!Selectivity}, {!Solver} and {!Operator}), so anything the facade
+    decides can be overridden by calling the stages directly. *)
+
+type plan = {
+  params : Policy.params;  (** the solved decision parameters *)
+  estimate : Selectivity.estimate option;
+      (** what the sample said; [None] when the sample came back empty
+          and the fallback prior was used *)
+  evaluation : Solver.evaluation;  (** the optimizer's own expectations *)
+}
+
+(** How to plan the query. *)
+type planning =
+  | Sampled of {
+      fraction : float;  (** Bernoulli sampling rate, e.g. the paper's 0.01 *)
+      density : [ `Uniform | `Histogram ];
+      fallback : float * float;
+          (** (f_y, f_m) prior if the sample is empty *)
+    }
+  | Fixed of Policy.params  (** skip planning *)
+
+val default_planning : planning
+(** The paper's recipe: 1% sample, uniform density,
+    fallback (0.2, 0.2). *)
+
+type 'o result = {
+  report : 'o Operator.report;
+  plan : plan option;  (** [None] when planning was [Fixed] *)
+  normalized_cost : float;  (** W / |T| under the chosen cost model *)
+}
+
+val execute :
+  rng:Rng.t ->
+  ?planning:planning ->
+  ?adaptive:bool ->
+  ?cost:Cost_model.t ->
+  ?max_laxity:float ->
+  ?emit:('o Operator.emitted -> unit) ->
+  ?collect:bool ->
+  instance:'o Operator.instance ->
+  probe:('o -> 'o) ->
+  requirements:Quality.requirements ->
+  'o array ->
+  'o result
+(** Evaluate a Quality-Aware Query over an in-memory collection.
+
+    [planning] defaults to {!default_planning}.  [adaptive] (default
+    [false]) re-estimates the workload mid-scan and re-solves
+    periodically (see {!Adaptive}); it composes with either planning
+    mode, starting from the planned parameters.  [max_laxity] caps the
+    histogram range when known a priori (otherwise the sample maximum is
+    used, falling back to 1).  [cost] (default {!Cost_model.paper})
+    prices the run for [normalized_cost] and the solver's objective.
+
+    The returned report's guarantees always satisfy the requirements.
+
+    @raise Invalid_argument on an invalid sampling fraction or fallback
+    fractions. *)

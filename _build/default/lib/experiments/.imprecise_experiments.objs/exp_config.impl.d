@@ -1,0 +1,1 @@
+lib/experiments/exp_config.ml: List Printf Quality String Synthetic

@@ -1,0 +1,1 @@
+lib/experiments/exp_report.ml: Exp_config Exp_runner List Paper_tables Printf Text_table

@@ -1,0 +1,1 @@
+lib/experiments/exp_report.mli: Exp_config Rng Text_table

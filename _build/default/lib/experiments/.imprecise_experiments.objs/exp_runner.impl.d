@@ -1,0 +1,1 @@
+lib/experiments/exp_runner.ml: Array Cost_meter Cost_model Density Exp_config Float List Operator Policy Quality Region_model Selectivity Solver Stats Synthetic

@@ -1,0 +1,1 @@
+lib/experiments/exp_runner.mli: Cost_meter Cost_model Exp_config Policy Quality Rng Solver Synthetic

@@ -1,0 +1,105 @@
+type setting = {
+  label : string;
+  total : int;
+  f_y : float;
+  f_m : float;
+  max_laxity : float;
+  p_q : float;
+  r_q : float;
+  l_q : float;
+}
+
+let default =
+  {
+    label = "default";
+    total = 10000;
+    f_y = 0.2;
+    f_m = 0.2;
+    max_laxity = 100.0;
+    p_q = 0.9;
+    r_q = 0.5;
+    l_q = 50.0;
+  }
+
+let requirements s =
+  Quality.requirements ~precision:s.p_q ~recall:s.r_q ~laxity:s.l_q
+
+let workload s =
+  Synthetic.config ~total:s.total ~f_y:s.f_y ~f_m:s.f_m
+    ~max_laxity:s.max_laxity ()
+
+type sweep = {
+  id : string;
+  title : string;
+  varied : string;
+  settings : setting list;
+}
+
+let labelf fmt = Printf.sprintf fmt
+
+let varying_laxity =
+  {
+    id = "laxity";
+    title = "Varying laxity bound (f_y = f_m = 0.2, p_q = 0.9, r_q = 0.5)";
+    varied = "l_q^max";
+    settings =
+      List.map
+        (fun l_q -> { default with label = labelf "%g" l_q; l_q })
+        [ 1.0; 20.0; 40.0; 60.0; 80.0; 99.0 ];
+  }
+
+let varying_precision =
+  {
+    id = "precision";
+    title = "Varying precision bound (r_q = 0.5, l_q^max = 50)";
+    varied = "p_q";
+    settings =
+      List.map
+        (fun p_q -> { default with label = labelf "%g" p_q; p_q })
+        [ 0.5; 0.6; 0.7; 0.8; 0.9; 0.99 ];
+  }
+
+let varying_recall =
+  {
+    id = "recall";
+    title = "Varying recall bound (p_q = 0.9, l_q^max = 50)";
+    varied = "r_q";
+    settings =
+      List.map
+        (fun r_q -> { default with label = labelf "%g" r_q; r_q })
+        [ 0.01; 0.1; 0.2; 0.4; 0.6; 0.8; 0.99 ];
+  }
+
+let varying_selectivity =
+  {
+    id = "selectivity";
+    title = "Varying selectivity (p_q = 0.9, r_q = 0.5, l_q^max = 50)";
+    varied = "(f_y, f_m)";
+    settings =
+      List.map
+        (fun f ->
+          { default with label = labelf "(%g, %g)" f f; f_y = f; f_m = f })
+        [ 0.01; 0.1; 0.2; 0.4 ];
+  }
+
+let varying_uncertainty =
+  {
+    id = "uncertainty";
+    title = "Varying input uncertainty (f_y = 0.2, p_q = 0.9, r_q = 0.5, l_q^max = 50)";
+    varied = "f_m";
+    settings =
+      List.map
+        (fun f_m -> { default with label = labelf "%g" f_m; f_m })
+        [ 0.01; 0.1; 0.2; 0.4; 0.6 ];
+  }
+
+let all_sweeps =
+  [
+    varying_laxity;
+    varying_precision;
+    varying_recall;
+    varying_selectivity;
+    varying_uncertainty;
+  ]
+
+let find_sweep id = List.find_opt (fun s -> String.equal s.id id) all_sweeps

@@ -1,0 +1,25 @@
+(** Rendering of paper-vs-measured tables.
+
+    One function per paper-table family; both produce {!Text_table}s with
+    the measured values next to the paper's published numbers, in the
+    paper's row order.  These drive `bench/main.exe` and the
+    `qaq_cli tables` command, and their outputs are the source for
+    EXPERIMENTS.md. *)
+
+val opt_table : Exp_config.sweep -> Text_table.t
+(** §5.1: optimizer parameters and normalised optimal cost per setting,
+    paper values alongside.  Includes [R/|T|] for the recall sweep (the
+    only one the paper reports it for). *)
+
+val trial_table :
+  rng:Rng.t -> ?repetitions:int -> Exp_config.sweep -> Text_table.t
+(** §5.2: measured mean normalised cost (± 95% CI half-width) for QaQ,
+    Stingy and Greedy with the paper's trial value alongside each.
+    [repetitions] defaults to 5. *)
+
+val quality_table :
+  rng:Rng.t -> ?repetitions:int -> Exp_config.sweep -> Text_table.t
+(** Soundness check not in the paper: per setting, the worst observed
+    violation of the precision and recall requirements by the enforced
+    policies (QaQ, Stingy) — all zeros — and by raw Greedy (which the
+    paper lets violate precision). *)

@@ -1,0 +1,79 @@
+(** Runners for the paper's two experiment families.
+
+    §5.1: solve the optimization problem for a setting
+    ({!solve_setting}) — the theoretical optimum under the uniform
+    density and exact selectivities.
+
+    §5.2: actually run the QaQ operator over generated data
+    ({!trial_run}), with the QaQ policy's parameters estimated from a 1%
+    sample exactly as in the paper, and compare against the Stingy and
+    Greedy baselines on the same datasets. *)
+
+type policy_kind =
+  | Qaq  (** optimizer parameters estimated from a sample *)
+  | Stingy
+  | Greedy
+  | Fixed of Policy.params  (** run with externally chosen parameters *)
+
+val policy_name : policy_kind -> string
+
+val solve_setting : Exp_config.setting -> Solver.evaluation
+(** The §5.1 computation: exact [f_y]/[f_m], uniform density. *)
+
+type outcome = {
+  normalized_cost : float;  (** W / |T| under the paper cost model *)
+  cost : float;
+  guarantees : Quality.guarantees;
+  actual_precision : float;  (** Eq. 3 against generator ground truth *)
+  actual_recall : float;  (** Eq. 4 against generator ground truth *)
+  answer_size : int;
+  read_fraction : float;
+  counts : Cost_meter.counts;
+  params_used : Policy.params option;  (** [None] for [Custom] policies *)
+  met_requirements : bool;
+      (** whether the guarantees met the requirements; always true with
+          the Theorem 3.1 guard on *)
+}
+
+val trial_run :
+  rng:Rng.t ->
+  ?sample_fraction:float ->
+  ?density:[ `Uniform | `Histogram ] ->
+  ?cost:Cost_model.t ->
+  ?enforce:bool ->
+  setting:Exp_config.setting ->
+  data:Synthetic.obj array ->
+  policy_kind ->
+  outcome
+(** One trial on pre-generated data.  [sample_fraction] (default 0.01)
+    and [density] (default [`Uniform], the paper's choice) only affect
+    [Qaq].  Sampling is pre-query work and is not charged to the meter,
+    as in the paper.  [enforce] overrides the Theorem 3.1 guard; by
+    default it is on for every policy except [Greedy], which the paper's
+    trials run raw (see {!Operator.run}). *)
+
+type aggregate = {
+  repetitions : int;
+  mean_cost : float;  (** mean normalised cost *)
+  ci95 : float;
+  mean_precision : float;
+  mean_recall : float;
+  worst_precision_violation : float;
+      (** max over runs of (p_q − actual precision), floor 0 — should be 0:
+          guarantees are sound *)
+  worst_recall_violation : float;
+}
+
+val aggregate : Exp_config.setting -> outcome list -> aggregate
+
+val trial_series :
+  rng:Rng.t ->
+  ?repetitions:int ->
+  ?sample_fraction:float ->
+  ?density:[ `Uniform | `Histogram ] ->
+  ?cost:Cost_model.t ->
+  Exp_config.setting ->
+  policy_kind list ->
+  (policy_kind * aggregate) list
+(** [repetitions] (default 5) independent datasets; all policies run on
+    the same datasets for paired comparison. *)

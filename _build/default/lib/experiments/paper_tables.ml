@@ -1,0 +1,145 @@
+type opt_row = {
+  label : string;
+  s3 : float;
+  s5 : float;
+  p_py : float;
+  p_fm : float;
+  w_norm : float;
+  read_fraction : float option;
+}
+
+type trial_row = { label : string; qaq : float; stingy : float; greedy : float }
+
+let opt ?read label s3 s5 p_py p_fm w_norm =
+  { label; s3; s5; p_py; p_fm; w_norm; read_fraction = read }
+
+(* §5.1, "Varying Laxity" *)
+let opt_laxity =
+  [
+    opt "1" 1.0 1.0 1.0 1.0 20.9;
+    opt "20" 1.0 1.0 0.93 0.53 16.2;
+    opt "40" 1.0 1.0 0.91 0.26 12.2;
+    opt "60" 1.0 1.0 0.87 0.18 8.2;
+    opt "80" 1.0 1.0 0.74 0.13 4.2;
+    opt "99" 1.0 1.0 0.0 0.11 1.2;
+  ]
+
+(* §5.1, "Varying Precision" *)
+let opt_precision =
+  [
+    opt "0.5" 1.0 1.0 0.5 1.0 6.3;
+    opt "0.6" 1.0 1.0 0.5 1.0 6.3;
+    opt "0.7" 1.0 1.0 0.65 0.71 7.7;
+    opt "0.8" 1.0 1.0 0.78 0.44 9.0;
+    opt "0.9" 1.0 1.0 0.89 0.21 10.2;
+    opt "0.99" 1.0 1.0 0.99 0.02 11.1;
+  ]
+
+(* §5.1, "Varying Recall" (the only table reporting R/|T|) *)
+let opt_recall =
+  [
+    opt ~read:0.09 "0.01" 1.0 1.0 0.0 0.0 0.1;
+    opt ~read:0.63 "0.1" 1.0 1.0 0.0 0.0 0.69;
+    opt ~read:0.9 "0.2" 1.0 1.0 0.0 0.08 1.0;
+    opt ~read:1.0 "0.4" 1.0 1.0 0.53 0.17 6.5;
+    opt ~read:1.0 "0.6" 0.87 0.87 1.0 0.29 13.8;
+    opt ~read:1.0 "0.8" 0.5 0.5 1.0 0.61 21.4;
+    opt ~read:1.0 "0.99" 0.03 0.33 1.0 1.0 27.8;
+  ]
+
+(* §5.1, "Varying Selectivity" *)
+let opt_selectivity =
+  [
+    opt "(0.01, 0.01)" 1.0 1.0 0.89 0.21 1.5;
+    opt "(0.1, 0.1)" 1.0 1.0 0.89 0.21 5.6;
+    opt "(0.2, 0.2)" 1.0 1.0 0.89 0.21 10.2;
+    opt "(0.4, 0.4)" 1.0 1.0 0.89 0.21 19.3;
+  ]
+
+(* §5.1, "Varying Input Uncertainty" *)
+let opt_uncertainty =
+  [
+    opt "0.01" 1.0 1.0 0.02 1.0 1.4;
+    opt "0.1" 1.0 1.0 0.42 0.32 5.4;
+    opt "0.2" 1.0 1.0 0.89 0.21 10.2;
+    opt "0.4" 0.78 0.78 1.0 0.2 20.3;
+    opt "0.6" 0.67 0.67 1.0 0.2 40.0;
+  ]
+
+let trial label qaq stingy greedy = { label; qaq; stingy; greedy }
+
+(* §5.2, trial-run tables *)
+let trial_laxity =
+  [
+    trial "1" 20.7 23.3 31.1;
+    trial "20" 16.3 18.3 25.7;
+    trial "40" 12.3 13.9 19.9;
+    trial "60" 8.5 9.7 14.0;
+    trial "80" 4.3 4.6 7.6;
+    trial "99" 1.3 1.3 1.5;
+  ]
+
+let trial_precision =
+  [
+    trial "0.5" 6.3 10.0 16.7;
+    trial "0.6" 6.3 10.0 16.7;
+    trial "0.7" 8.0 10.0 16.7;
+    trial "0.8" 9.2 10.3 16.7;
+    trial "0.9" 10.2 11.8 16.7;
+    trial "0.99" 11.3 13.0 16.7;
+  ]
+
+let trial_recall =
+  [
+    trial "0.01" 0.1 0.1 0.9;
+    trial "0.1" 0.7 0.7 6.6;
+    trial "0.2" 1.0 1.0 10.5;
+    trial "0.4" 6.7 7.6 15.3;
+    trial "0.6" 15.4 15.5 18.0;
+    trial "0.8" 21.7 22.1 19.9;
+    trial "0.99" 27.5 27.5 24.3;
+  ]
+
+let trial_selectivity =
+  [
+    trial "(0.01, 0.01)" 1.5 1.6 1.9;
+    trial "(0.1, 0.1)" 6.1 6.9 10.5;
+    trial "(0.2, 0.2)" 10.6 12.1 17.9;
+    trial "(0.4, 0.4)" 19.5 22.7 27.4;
+  ]
+
+let trial_uncertainty =
+  [
+    trial "0.01" 1.5 1.6 9.8;
+    trial "0.1" 5.7 5.7 13.5;
+    trial "0.2" 10.8 12.2 17.5;
+    trial "0.4" 22.1 23.8 23.9;
+    trial "0.6" 35.6 37.4 32.8;
+  ]
+
+let opt_rows ~sweep_id =
+  match sweep_id with
+  | "laxity" -> opt_laxity
+  | "precision" -> opt_precision
+  | "recall" -> opt_recall
+  | "selectivity" -> opt_selectivity
+  | "uncertainty" -> opt_uncertainty
+  | other -> invalid_arg ("Paper_tables.opt_rows: unknown sweep " ^ other)
+
+let trial_rows ~sweep_id =
+  match sweep_id with
+  | "laxity" -> trial_laxity
+  | "precision" -> trial_precision
+  | "recall" -> trial_recall
+  | "selectivity" -> trial_selectivity
+  | "uncertainty" -> trial_uncertainty
+  | other -> invalid_arg ("Paper_tables.trial_rows: unknown sweep " ^ other)
+
+let known_discrepancies =
+  [
+    ( "uncertainty",
+      "Paper row f_m = 0.6 reports W/|T| = 40.0, but the paper's own cost \
+       model (Eq. 11 with the §4.2 region counts) yields ~31.2 at the \
+       paper's reported parameters (s3 = s5 = 0.67, p_py = 1, p_fm = 0.2). \
+       The reproduction reports the model-consistent optimum (~31.3)." );
+  ]

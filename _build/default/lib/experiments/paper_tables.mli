@@ -1,0 +1,30 @@
+(** The numbers reported in the paper's §5, transcribed verbatim.
+
+    Used to print paper-vs-measured comparisons and by regression tests
+    that assert the reproduction stays within tolerance of the published
+    results. *)
+
+(** One row of a §5.1 optimal-solution table. *)
+type opt_row = {
+  label : string;
+  s3 : float;
+  s5 : float;
+  p_py : float;
+  p_fm : float;
+  w_norm : float;  (** W / |T| *)
+  read_fraction : float option;  (** R / |T|, reported only in Table 3 *)
+}
+
+(** One row of a §5.2 trial-run table: normalised costs per policy. *)
+type trial_row = { label : string; qaq : float; stingy : float; greedy : float }
+
+val opt_rows : sweep_id:string -> opt_row list
+(** @raise Invalid_argument on an unknown sweep id. *)
+
+val trial_rows : sweep_id:string -> trial_row list
+(** @raise Invalid_argument on an unknown sweep id. *)
+
+val known_discrepancies : (string * string) list
+(** [(sweep id, note)] for paper rows that are inconsistent with the
+    paper's own cost model; the reproduction documents rather than
+    matches them. *)

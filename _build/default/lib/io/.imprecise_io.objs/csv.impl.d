@@ -1,0 +1,1 @@
+lib/io/csv.ml: Buffer Fun List String

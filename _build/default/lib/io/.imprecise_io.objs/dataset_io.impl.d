@@ -1,0 +1,1 @@
+lib/io/dataset_io.ml: Array Csv Interval Interval_data List Printf String Synthetic Tvl Uncertain

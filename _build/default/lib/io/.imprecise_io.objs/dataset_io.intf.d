@@ -1,0 +1,1 @@
+lib/io/dataset_io.mli: Interval_data Synthetic

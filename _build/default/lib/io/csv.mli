@@ -1,0 +1,26 @@
+(** Minimal RFC-4180-style CSV reading and writing.
+
+    Enough CSV for the project's needs — persisting generated workloads
+    and experiment results so runs can be compared across sessions and
+    plotted externally.  Fields containing commas, quotes or newlines
+    are quoted; quotes are doubled.  Reading accepts both quoted and
+    bare fields and both LF and CRLF line ends. *)
+
+val escape_field : string -> string
+(** Quote a field if it needs quoting, else return it unchanged. *)
+
+val encode_row : string list -> string
+(** One CSV line, without the trailing newline. *)
+
+val decode_row : string -> string list
+(** Parse one line.  @raise Failure on an unterminated quoted field. *)
+
+val encode : string list list -> string
+(** Lines joined with ["\n"], with a trailing newline. *)
+
+val decode : string -> string list list
+(** Split into rows (handles quoted embedded newlines); skips a final
+    empty line. *)
+
+val write_file : string -> string list list -> unit
+val read_file : string -> string list list

@@ -1,0 +1,119 @@
+let float_to_string x = Printf.sprintf "%.17g" x
+
+let float_of_field name s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> failwith (Printf.sprintf "Dataset_io: bad float in %s: %S" name s)
+
+let int_of_field name s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> failwith (Printf.sprintf "Dataset_io: bad int in %s: %S" name s)
+
+let bool_to_field b = if b then "1" else "0"
+
+let bool_of_field name = function
+  | "1" -> true
+  | "0" -> false
+  | s -> failwith (Printf.sprintf "Dataset_io: bad bool in %s: %S" name s)
+
+(* ---- synthetic objects -------------------------------------------- *)
+
+let synthetic_header =
+  [ "id"; "label"; "laxity"; "success"; "probe_yes"; "resolved" ]
+
+let label_to_field = Tvl.to_string
+
+let label_of_field = function
+  | "YES" -> Tvl.Yes
+  | "NO" -> Tvl.No
+  | "MAYBE" -> Tvl.Maybe
+  | s -> failwith (Printf.sprintf "Dataset_io: bad label %S" s)
+
+let synthetic_to_rows objects =
+  synthetic_header
+  :: (Array.to_list objects
+     |> List.map (fun (o : Synthetic.obj) ->
+            [
+              string_of_int o.id;
+              label_to_field o.label;
+              float_to_string o.laxity;
+              float_to_string o.success;
+              bool_to_field o.probe_yes;
+              bool_to_field o.resolved;
+            ]))
+
+let check_header expected = function
+  | header :: rows ->
+      if header <> expected then
+        failwith
+          (Printf.sprintf "Dataset_io: unexpected header %s"
+             (String.concat "," header));
+      rows
+  | [] -> failwith "Dataset_io: empty file"
+
+let synthetic_of_rows rows =
+  check_header synthetic_header rows
+  |> List.map (function
+       | [ id; label; laxity; success; probe_yes; resolved ] ->
+           Synthetic.make ~id:(int_of_field "id" id)
+             ~label:(label_of_field label)
+             ~laxity:(float_of_field "laxity" laxity)
+             ~success:(float_of_field "success" success)
+             ~probe_yes:(bool_of_field "probe_yes" probe_yes)
+             ~resolved:(bool_of_field "resolved" resolved)
+       | row ->
+           failwith
+             (Printf.sprintf "Dataset_io: bad synthetic row arity %d"
+                (List.length row)))
+  |> Array.of_list
+
+let write_synthetic path objects = Csv.write_file path (synthetic_to_rows objects)
+let read_synthetic path = synthetic_of_rows (Csv.read_file path)
+
+(* ---- interval-data records ---------------------------------------- *)
+
+let records_header = [ "id"; "belief_lo"; "belief_hi"; "truth" ]
+
+let records_to_rows records =
+  records_header
+  :: (Array.to_list records
+     |> List.map (fun (r : Interval_data.record) ->
+            let support =
+              match r.belief with
+              | Uncertain.Exact x -> Interval.point x
+              | Uncertain.Interval i -> i
+              | Uncertain.Gaussian _ ->
+                  invalid_arg
+                    "Dataset_io.records_to_rows: Gaussian beliefs are not \
+                     representable in the flat schema"
+            in
+            [
+              string_of_int r.id;
+              float_to_string (Interval.lo support);
+              float_to_string (Interval.hi support);
+              float_to_string r.truth;
+            ]))
+
+let records_of_rows rows =
+  check_header records_header rows
+  |> List.map (function
+       | [ id; lo; hi; truth ] ->
+           let lo = float_of_field "belief_lo" lo in
+           let hi = float_of_field "belief_hi" hi in
+           let belief =
+             if lo = hi then Uncertain.exact lo else Uncertain.interval lo hi
+           in
+           {
+             Interval_data.id = int_of_field "id" id;
+             belief;
+             truth = float_of_field "truth" truth;
+           }
+       | row ->
+           failwith
+             (Printf.sprintf "Dataset_io: bad record row arity %d"
+                (List.length row)))
+  |> Array.of_list
+
+let write_records path records = Csv.write_file path (records_to_rows records)
+let read_records path = records_of_rows (Csv.read_file path)

@@ -1,0 +1,29 @@
+(** Persistence for generated workloads.
+
+    Serialises the §5.2 synthetic objects and interval-data records to
+    CSV so that a workload can be generated once, archived, and replayed
+    across runs or shared with other tools.  Round-tripping is exact for
+    the label/flag fields and up to shortest-round-trip float printing
+    for the numeric ones. *)
+
+val synthetic_header : string list
+
+val synthetic_to_rows : Synthetic.obj array -> string list list
+(** Header row included. *)
+
+val synthetic_of_rows : string list list -> Synthetic.obj array
+(** @raise Failure on a malformed header, row arity or field. *)
+
+val write_synthetic : string -> Synthetic.obj array -> unit
+val read_synthetic : string -> Synthetic.obj array
+
+val records_header : string list
+
+val records_to_rows : Interval_data.record array -> string list list
+(** Interval and exact beliefs only.
+    @raise Invalid_argument on a Gaussian belief (not representable in
+    this flat schema). *)
+
+val records_of_rows : string list list -> Interval_data.record array
+val write_records : string -> Interval_data.record array -> unit
+val read_records : string -> Interval_data.record array

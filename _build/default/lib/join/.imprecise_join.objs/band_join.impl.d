@@ -1,0 +1,1 @@
+lib/join/band_join.ml: Array Cost_meter Counters Decision Float Hashtbl Interval Interval_data List Operator Pair_distance Policy Quality Tvl Uncertain

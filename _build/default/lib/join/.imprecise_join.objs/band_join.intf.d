@@ -1,0 +1,1 @@
+lib/join/band_join.mli: Cost_meter Cost_model Interval_data Operator Policy Quality Rng

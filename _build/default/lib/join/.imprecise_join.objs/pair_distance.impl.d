@@ -1,0 +1,1 @@
+lib/join/pair_distance.ml: Float Interval List Tvl

@@ -1,0 +1,1 @@
+lib/join/pair_distance.mli: Interval Tvl

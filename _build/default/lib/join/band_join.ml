@@ -1,0 +1,230 @@
+type pair = { left : Interval_data.record; right : Interval_data.record }
+
+let supports p =
+  (Uncertain.support p.left.Interval_data.belief,
+   Uncertain.support p.right.Interval_data.belief)
+
+let instance ~epsilon : pair Operator.instance =
+  {
+    classify =
+      (fun p ->
+        let l, r = supports p in
+        Pair_distance.classify ~epsilon l r);
+    laxity =
+      (fun p ->
+        let l, r = supports p in
+        Interval.width (Pair_distance.distance_interval l r));
+    success =
+      (fun p ->
+        let l, r = supports p in
+        Pair_distance.success ~epsilon l r);
+  }
+
+let in_exact ~epsilon p =
+  Float.abs (p.left.Interval_data.truth -. p.right.Interval_data.truth)
+  <= epsilon
+
+let exact_size ~epsilon left right =
+  let n = ref 0 in
+  Array.iter
+    (fun l ->
+      Array.iter (fun r -> if in_exact ~epsilon { left = l; right = r } then incr n) right)
+    left;
+  !n
+
+type report = {
+  answer : pair Operator.emitted list;
+  guarantees : Quality.guarantees;
+  requirements : Quality.requirements;
+  counts : Cost_meter.counts;
+  pairs_total : int;
+  object_probes : int;
+  probe_requests : int;
+  answer_size : int;
+  exhausted : bool;
+}
+
+(* Probe cache: one entry per (side, record id); an object is fetched —
+   and charged — at most once, however many pairs it appears in. *)
+type cache = {
+  meter : Cost_meter.t;
+  share : bool;  (* false: re-fetch (and re-charge) on every request *)
+  resolved : (bool * int, unit) Hashtbl.t;  (* (is_left, id) *)
+  mutable requests : int;
+  mutable fetches : int;
+}
+
+(* Resolve one side of a pair.  [r] must be the record as stored in the
+   base relation: a record that is imprecise there counts as a probe
+   request even when the cache already holds it (that is precisely the
+   saving being measured); only a cache miss fetches and is charged. *)
+let resolve_record cache ~is_left (r : Interval_data.record) =
+  if Uncertain.laxity r.Interval_data.belief = 0.0 then r
+  else begin
+    cache.requests <- cache.requests + 1;
+    let key = (is_left, r.id) in
+    if not (Hashtbl.mem cache.resolved key) then begin
+      Hashtbl.add cache.resolved key ();
+      cache.fetches <- cache.fetches + 1;
+      Cost_meter.charge_probe cache.meter
+    end
+    else if not cache.share then begin
+      cache.fetches <- cache.fetches + 1;
+      Cost_meter.charge_probe cache.meter
+    end;
+    Interval_data.probe r
+  end
+
+let is_resolved cache ~is_left (r : Interval_data.record) =
+  Uncertain.laxity r.Interval_data.belief = 0.0
+  || Hashtbl.mem cache.resolved (is_left, r.id)
+
+(* The current belief of a side, given the cache: pairs are generated
+   from the base relations, so a record probed through an earlier pair
+   must be seen as resolved here too.  Without sharing, nothing carries
+   over — each pair starts from the stored beliefs. *)
+let refresh cache p =
+  if not cache.share then p
+  else begin
+    let left =
+      if is_resolved cache ~is_left:true p.left then
+        Interval_data.probe p.left
+      else p.left
+    in
+    let right =
+      if is_resolved cache ~is_left:false p.right then
+        Interval_data.probe p.right
+      else p.right
+    in
+    { left; right }
+  end
+
+let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true)
+    ?(share_probes = true) ?(policy = Policy.stingy)
+    ~(requirements : Quality.requirements) ~epsilon ~left ~right () =
+  if epsilon < 0.0 then invalid_arg "Band_join.run: epsilon < 0";
+  let meter = match meter with Some m -> m | None -> Cost_meter.create () in
+  let counts_before = Cost_meter.counts meter in
+  let pairs_total = Array.length left * Array.length right in
+  let counters = Counters.create ~total:pairs_total in
+  let cache =
+    {
+      meter;
+      share = share_probes;
+      resolved = Hashtbl.create 64;
+      requests = 0;
+      fetches = 0;
+    }
+  in
+  let inst = instance ~epsilon in
+  let answer = ref [] in
+  let deliver entry =
+    (match emit with Some f -> f entry | None -> ());
+    if collect then answer := entry :: !answer
+  in
+  let forward_imprecise p =
+    Cost_meter.charge_write_imprecise meter;
+    deliver { Operator.obj = p; precise = false }
+  in
+  let forward_precise p =
+    Cost_meter.charge_write_precise meter;
+    deliver { Operator.obj = p; precise = true }
+  in
+  (* A Probe decision resolves the pair: wider side first (the more
+     informative fetch).  If that already settles the verdict to NO the
+     second probe is saved — the pair is discarded, so its residual
+     laxity is irrelevant.  Otherwise the other side is resolved too,
+     because an emitted probed pair must have laxity 0.  [base] is the
+     pair as stored in the relations, so cache hits count as requests. *)
+  let probe_pair base =
+    let width r = Uncertain.laxity r.Interval_data.belief in
+    let resolve_left p = { p with left = resolve_record cache ~is_left:true p.left } in
+    let resolve_right p =
+      { p with right = resolve_record cache ~is_left:false p.right }
+    in
+    let first, second =
+      if width base.left >= width base.right then (resolve_left, resolve_right)
+      else (resolve_right, resolve_left)
+    in
+    let p = first base in
+    let l, r = supports p in
+    match Pair_distance.classify ~epsilon l r with
+    | Tvl.No -> p
+    | Tvl.Yes | Tvl.Maybe -> second p
+  in
+  let choose ~verdict ~laxity preference =
+    if enforce then
+      Decision.first_feasible counters requirements ~verdict ~laxity ~preference
+    else
+      match preference with a :: _ -> a | [] -> Decision.Probe
+  in
+  let finished () = Counters.recall_guarantee counters >= requirements.recall in
+  let n_right = Array.length right in
+  let pos = ref 0 in
+  while !pos < pairs_total && not (finished ()) do
+    let base =
+      { left = left.(!pos / n_right); right = right.(!pos mod n_right) }
+    in
+    let p = refresh cache base in
+    incr pos;
+    Cost_meter.charge_read meter;
+    (match inst.classify p with
+    | Tvl.No -> Counters.saw_no counters
+    | Tvl.Yes as verdict -> (
+        let laxity = inst.laxity p in
+        let preference =
+          Policy.preference policy ~rng ~requirements ~counters ~verdict
+            ~laxity ~success:1.0
+        in
+        match choose ~verdict ~laxity preference with
+        | Decision.Forward ->
+            Counters.forward_yes counters ~laxity;
+            forward_imprecise p
+        | Decision.Probe ->
+            let resolved = probe_pair base in
+            Counters.probe_yes counters;
+            forward_precise resolved
+        | Decision.Ignore -> Counters.ignore_yes counters)
+    | Tvl.Maybe as verdict -> (
+        let laxity = inst.laxity p in
+        let success = inst.success p in
+        let preference =
+          Policy.preference policy ~rng ~requirements ~counters ~verdict
+            ~laxity ~success
+        in
+        match choose ~verdict ~laxity preference with
+        | Decision.Forward ->
+            Counters.forward_maybe counters ~laxity;
+            forward_imprecise p
+        | Decision.Probe -> (
+            let resolved = probe_pair base in
+            match inst.classify resolved with
+            | Tvl.Yes ->
+                Counters.probe_maybe_yes counters;
+                forward_precise resolved
+            | Tvl.No -> Counters.probe_maybe_no counters
+            | Tvl.Maybe -> raise Operator.Inconsistent_probe)
+        | Decision.Ignore -> Counters.ignore_maybe counters))
+  done;
+  let counts_after = Cost_meter.counts meter in
+  {
+    answer = List.rev !answer;
+    guarantees = Counters.guarantees counters;
+    requirements;
+    counts =
+      {
+        Cost_meter.reads = counts_after.reads - counts_before.reads;
+        probes = counts_after.probes - counts_before.probes;
+        writes_imprecise =
+          counts_after.writes_imprecise - counts_before.writes_imprecise;
+        writes_precise =
+          counts_after.writes_precise - counts_before.writes_precise;
+      };
+    pairs_total;
+    object_probes = cache.fetches;
+    probe_requests = cache.requests;
+    answer_size = Counters.answer_size counters;
+    exhausted = !pos >= pairs_total;
+  }
+
+let cost model report = Cost_meter.cost_of_counts model report.counts

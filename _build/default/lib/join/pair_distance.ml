@@ -1,0 +1,51 @@
+let distance_interval a b =
+  let a1 = Interval.lo a and a2 = Interval.hi a in
+  let b1 = Interval.lo b and b2 = Interval.hi b in
+  let lo = Float.max 0.0 (Float.max (b1 -. a2) (a1 -. b2)) in
+  let hi = Float.max (a2 -. b1) (b2 -. a1) in
+  Interval.make lo hi
+
+let classify ~epsilon a b =
+  Interval.classify_le (distance_interval a b) epsilon
+
+(* Length of B ∩ [x-ε, x+ε]: piecewise linear in x with breakpoints at
+   b1∓ε and b2∓ε, so integrating it over [a1, a2] by the trapezoid rule
+   between breakpoints is exact. *)
+let success ~epsilon a b =
+  match classify ~epsilon a b with
+  | Tvl.Yes -> 1.0
+  | Tvl.No -> 0.0
+  | Tvl.Maybe ->
+      let a1 = Interval.lo a and a2 = Interval.hi a in
+      let b1 = Interval.lo b and b2 = Interval.hi b in
+      let band_len x =
+        Float.max 0.0 (Float.min b2 (x +. epsilon) -. Float.max b1 (x -. epsilon))
+      in
+      let clamp01 p = Float.min 1.0 (Float.max 0.0 p) in
+      if Interval.is_point a && Interval.is_point b then
+        (if Float.abs (a1 -. b1) <= epsilon then 1.0 else 0.0)
+      else if Interval.is_point a then clamp01 (band_len a1 /. Interval.width b)
+      else if Interval.is_point b then
+        (* Symmetric case: the roles of the intervals swap. *)
+        let overlap =
+          Float.max 0.0
+            (Float.min a2 (b1 +. epsilon) -. Float.max a1 (b1 -. epsilon))
+        in
+        clamp01 (overlap /. Interval.width a)
+      else begin
+        let breakpoints =
+          List.sort_uniq Float.compare
+            (List.filter
+               (fun x -> x > a1 && x < a2)
+               [ b1 -. epsilon; b1 +. epsilon; b2 -. epsilon; b2 +. epsilon ])
+        in
+        let knots = (a1 :: breakpoints) @ [ a2 ] in
+        let rec integrate acc = function
+          | x1 :: (x2 :: _ as rest) ->
+              let piece = (band_len x1 +. band_len x2) /. 2.0 *. (x2 -. x1) in
+              integrate (acc +. piece) rest
+          | [ _ ] | [] -> acc
+        in
+        let area = integrate 0.0 knots in
+        clamp01 (area /. (Interval.width a *. Interval.width b))
+      end

@@ -1,0 +1,22 @@
+(** Distance analysis for pairs of imprecise scalars.
+
+    The QaQ band join (the paper's §7 future work, built here) joins two
+    records when their true values are within [ε] of each other.  Before
+    probing, each side is only known up to its support interval, so the
+    pair's true distance [|x − y|] is only known up to an interval; this
+    module computes that interval exactly, and the probability that the
+    distance is at most [ε] under independent uniform beliefs. *)
+
+val distance_interval : Interval.t -> Interval.t -> Interval.t
+(** Exact range of [|x − y|] for [x] in the first and [y] in the second
+    interval.  Lower bound 0 iff the intervals overlap. *)
+
+val classify : epsilon:float -> Interval.t -> Interval.t -> Tvl.t
+(** Verdict of [|x − y| <= ε] from the distance interval. *)
+
+val success : epsilon:float -> Interval.t -> Interval.t -> float
+(** [P(|X − Y| <= ε)] for [X], [Y] independent and uniform on their
+    intervals (degenerate intervals handled as point masses).  Exact —
+    computed as a piecewise-linear integral, not an approximation.
+    Returns a value in [\[0, 1\]], equal to 1 (resp. 0) when {!classify}
+    says [Yes] (resp. [No]). *)

@@ -1,0 +1,1 @@
+lib/model/interval.ml: Float Format Rng Tvl

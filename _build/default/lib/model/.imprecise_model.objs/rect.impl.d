@@ -1,0 +1,1 @@
+lib/model/rect.ml: Format Interval Tvl

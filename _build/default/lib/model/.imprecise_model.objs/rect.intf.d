@@ -1,0 +1,1 @@
+lib/model/rect.mli: Format Interval Rng Tvl

@@ -1,0 +1,1 @@
+lib/model/uncertain.ml: Float Format Interval Math_special Rng

@@ -1,0 +1,1 @@
+lib/model/uncertain.mli: Format Interval Rng Tvl

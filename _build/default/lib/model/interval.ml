@@ -1,0 +1,60 @@
+type t = { lo : float; hi : float }
+
+let make lo hi =
+  if not (Float.is_finite lo && Float.is_finite hi) then
+    invalid_arg "Interval.make: bounds must be finite";
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let point x = make x x
+let lo t = t.lo
+let hi t = t.hi
+let width t = t.hi -. t.lo
+let midpoint t = t.lo +. (width t /. 2.0)
+let is_point t = t.lo = t.hi
+let contains t x = t.lo <= x && x <= t.hi
+let subset a b = b.lo <= a.lo && a.hi <= b.hi
+let intersects a b = a.lo <= b.hi && b.lo <= a.hi
+
+let intersection a b =
+  if intersects a b then Some { lo = Float.max a.lo b.lo; hi = Float.min a.hi b.hi }
+  else None
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+let compare a b =
+  let c = Float.compare a.lo b.lo in
+  if c <> 0 then c else Float.compare a.hi b.hi
+
+let pp ppf t = Format.fprintf ppf "[%g, %g]" t.lo t.hi
+let to_string t = Format.asprintf "%a" pp t
+let clamp t x = Float.min t.hi (Float.max t.lo x)
+let sample rng t = if is_point t then t.lo else Rng.uniform_in rng t.lo t.hi
+
+let classify_ge t x =
+  if t.lo >= x then Tvl.Yes else if t.hi < x then Tvl.No else Tvl.Maybe
+
+let classify_le t x =
+  if t.hi <= x then Tvl.Yes else if t.lo > x then Tvl.No else Tvl.Maybe
+
+let classify_between t a b =
+  Tvl.and_ (classify_ge t a) (classify_le t b)
+
+let clamp01 p = Float.min 1.0 (Float.max 0.0 p)
+
+let success_ge t x =
+  if is_point t then (if t.lo >= x then 1.0 else 0.0)
+  else clamp01 ((t.hi -. x) /. width t)
+
+let success_le t x =
+  if is_point t then (if t.lo <= x then 1.0 else 0.0)
+  else clamp01 ((x -. t.lo) /. width t)
+
+let success_between t a b =
+  if is_point t then (if a <= t.lo && t.lo <= b then 1.0 else 0.0)
+  else if a > b then 0.0
+  else begin
+    let covered = Float.min t.hi b -. Float.max t.lo a in
+    clamp01 (covered /. width t)
+  end

@@ -1,0 +1,78 @@
+type t =
+  | Exact of float
+  | Interval of Interval.t
+  | Gaussian of { mean : float; stddev : float; cut : float }
+
+let exact x =
+  if not (Float.is_finite x) then invalid_arg "Uncertain.exact: not finite";
+  Exact x
+
+let interval lo hi = Interval (Interval.make lo hi)
+
+let gaussian ?(cut = 4.0) ~mean ~stddev () =
+  if stddev <= 0.0 then invalid_arg "Uncertain.gaussian: stddev <= 0";
+  if cut <= 0.0 then invalid_arg "Uncertain.gaussian: cut <= 0";
+  if not (Float.is_finite mean) then invalid_arg "Uncertain.gaussian: mean";
+  Gaussian { mean; stddev; cut }
+
+let laxity = function
+  | Exact _ -> 0.0
+  | Interval i -> Interval.width i
+  | Gaussian { stddev; _ } -> stddev
+
+let support = function
+  | Exact x -> Interval.point x
+  | Interval i -> i
+  | Gaussian { mean; stddev; cut } ->
+      Interval.make (mean -. (cut *. stddev)) (mean +. (cut *. stddev))
+
+let classify_ge t x = Interval.classify_ge (support t) x
+let classify_le t x = Interval.classify_le (support t) x
+let classify_between t a b = Interval.classify_between (support t) a b
+
+let success_ge t x =
+  match t with
+  | Exact v -> if v >= x then 1.0 else 0.0
+  | Interval i -> Interval.success_ge i x
+  | Gaussian { mean; stddev; _ } ->
+      1.0 -. Math_special.normal_cdf ~mean ~stddev x
+
+let success_le t x =
+  match t with
+  | Exact v -> if v <= x then 1.0 else 0.0
+  | Interval i -> Interval.success_le i x
+  | Gaussian { mean; stddev; _ } -> Math_special.normal_cdf ~mean ~stddev x
+
+let success_between t a b =
+  match t with
+  | Exact v -> if a <= v && v <= b then 1.0 else 0.0
+  | Interval i -> Interval.success_between i a b
+  | Gaussian { mean; stddev; _ } ->
+      if a > b then 0.0
+      else
+        Math_special.normal_cdf ~mean ~stddev b
+        -. Math_special.normal_cdf ~mean ~stddev a
+
+let sample rng = function
+  | Exact x -> x
+  | Interval i -> Interval.sample rng i
+  | Gaussian { mean; stddev; cut } ->
+      let rec draw () =
+        let x = Rng.gaussian rng ~mean ~stddev in
+        if Float.abs (x -. mean) <= cut *. stddev then x else draw ()
+      in
+      draw ()
+
+let pp ppf = function
+  | Exact x -> Format.fprintf ppf "exact %g" x
+  | Interval i -> Interval.pp ppf i
+  | Gaussian { mean; stddev; cut } ->
+      Format.fprintf ppf "N(%g, %g^2)|%g" mean stddev cut
+
+let equal a b =
+  match (a, b) with
+  | Exact x, Exact y -> x = y
+  | Interval i, Interval j -> Interval.equal i j
+  | Gaussian g, Gaussian h ->
+      g.mean = h.mean && g.stddev = h.stddev && g.cut = h.cut
+  | (Exact _ | Interval _ | Gaussian _), _ -> false

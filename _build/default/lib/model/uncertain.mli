@@ -1,0 +1,57 @@
+(** Scalar imprecision models.
+
+    The paper develops its framework for interval objects but notes (§1,
+    footnote 1; §2.2) that the technique works for any model of
+    imprecision that supports three-way classification, a laxity measure
+    and — for the optimizer — a success-probability estimate.  This module
+    provides three such models over real scalars:
+
+    - {b Exact}: a precise value; laxity 0.
+    - {b Interval}: support [\[lo, hi\]] with a uniform belief; laxity is
+      the width (the paper's running example).
+    - {b Gaussian}: mean/stddev belief; the paper suggests using a
+      distribution parameter such as the standard deviation as laxity
+      (§2.2).  Classification treats values beyond [cut] standard
+      deviations as definite, which is the standard truncation used to
+      make a Gaussian model classifiable at all. *)
+
+type t =
+  | Exact of float
+  | Interval of Interval.t
+  | Gaussian of { mean : float; stddev : float; cut : float }
+
+val exact : float -> t
+val interval : float -> float -> t
+
+val gaussian : ?cut:float -> mean:float -> stddev:float -> unit -> t
+(** [cut] defaults to 4.0 standard deviations; must be positive, as must
+    [stddev]. *)
+
+val laxity : t -> float
+(** 0 / width / stddev respectively. *)
+
+val support : t -> Interval.t
+(** Interval of values considered possible: the point, the interval, or
+    [mean ± cut·stddev]. *)
+
+val classify_ge : t -> float -> Tvl.t
+(** Verdict of [value >= x] based on the support. *)
+
+val classify_le : t -> float -> Tvl.t
+val classify_between : t -> float -> float -> Tvl.t
+
+val success_ge : t -> float -> float
+(** [P(value >= x)] under the model's belief: 0/1 for [Exact], the uniform
+    mass for [Interval], the Gaussian tail for [Gaussian]. *)
+
+val success_le : t -> float -> float
+val success_between : t -> float -> float -> float
+
+val sample : Rng.t -> t -> float
+(** Draw a plausible precise value from the belief (used by workload
+    generators to materialise ground truth consistent with the model).
+    Gaussian draws are rejected onto the support so that classification
+    and ground truth can never contradict each other. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

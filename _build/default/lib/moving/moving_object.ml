@@ -1,0 +1,46 @@
+type t = {
+  id : int;
+  reported : Rect.point;
+  bound : Rect.t;
+  actual : Rect.point;
+  resolved : bool;
+}
+
+let make ~id ~reported ~radius ~actual =
+  let bound = Rect.of_center reported ~radius in
+  if not (Rect.contains bound actual) then
+    invalid_arg "Moving_object.make: actual position outside the bound";
+  { id; reported; bound; actual; resolved = false }
+
+type window = Rect.t
+
+let effective_bound o = if o.resolved then Rect.of_point o.actual else o.bound
+
+let instance window : t Operator.instance =
+  {
+    classify = (fun o -> Rect.classify_in (effective_bound o) window);
+    laxity = (fun o -> Rect.laxity (effective_bound o));
+    success = (fun o -> Rect.success_in (effective_bound o) window);
+  }
+
+let probe o = { o with resolved = true }
+let in_exact window o = Rect.contains window o.actual
+
+let exact_size window objects =
+  Array.fold_left
+    (fun acc o -> if in_exact window o then acc + 1 else acc)
+    0 objects
+
+let random_fleet rng ~n ~area ~max_radius =
+  if n < 0 then invalid_arg "Moving_object.random_fleet: n < 0";
+  if max_radius <= 0.0 then
+    invalid_arg "Moving_object.random_fleet: max_radius <= 0";
+  Array.init n (fun id ->
+      let actual = Rect.sample rng area in
+      let radius = Rng.float rng max_radius in
+      (* Slide the reported centre uniformly within the square around the
+         actual position so the truth is uniform inside its bound. *)
+      let dx = Rng.uniform_in rng (-.radius) radius in
+      let dy = Rng.uniform_in rng (-.radius) radius in
+      let reported = { Rect.x = actual.x +. dx; y = actual.y +. dy } in
+      make ~id ~reported ~radius ~actual)

@@ -1,0 +1,46 @@
+(** Moving objects with dead-reckoned position uncertainty.
+
+    The replication-barrier scenario of §1.1: a tracking database stores,
+    per object, the last reported position and the time since the report.
+    With a known maximum speed, the object is certainly inside a square
+    of half-side [speed · elapsed] — an uncertainty rectangle that grows
+    until the object reports again or is probed.  Window ("all objects in
+    this area") queries classify rectangles YES/NO/MAYBE; the laxity is
+    the rectangle's diagonal. *)
+
+type t = private {
+  id : int;
+  reported : Rect.point;  (** last reported position *)
+  bound : Rect.t;  (** current uncertainty rectangle *)
+  actual : Rect.point;  (** hidden ground truth; revealed by a probe *)
+  resolved : bool;
+}
+
+val make : id:int -> reported:Rect.point -> radius:float -> actual:Rect.point -> t
+(** @raise Invalid_argument if [actual] lies outside the uncertainty
+    square (the model would be inconsistent). *)
+
+(** A window query over positions. *)
+type window = Rect.t
+
+val instance : window -> t Operator.instance
+(** Classification by rectangle containment/disjointness; success is the
+    covered-area fraction under a uniform position belief. *)
+
+val probe : t -> t
+(** Contact the object: its position becomes exact. *)
+
+val in_exact : window -> t -> bool
+val exact_size : window -> t array -> int
+
+(** {2 Fleet generator} *)
+
+val random_fleet :
+  Rng.t ->
+  n:int ->
+  area:Rect.t ->
+  max_radius:float ->
+  t array
+(** [n] objects with actual positions uniform in [area]; each has an
+    uncertainty square of half-side [~ U(0, max_radius)] positioned so it
+    contains the actual position uniformly. *)

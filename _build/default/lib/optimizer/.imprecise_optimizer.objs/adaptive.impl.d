@@ -1,0 +1,1 @@
+lib/optimizer/adaptive.ml: Cost_model Counters Density Histogram Policy Quality Region_model Rng Selectivity Solver Tvl

@@ -1,0 +1,1 @@
+lib/optimizer/adaptive.mli: Cost_model Policy Quality Rng

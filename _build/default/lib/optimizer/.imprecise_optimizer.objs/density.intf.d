@@ -1,0 +1,1 @@
+lib/optimizer/density.mli: Selectivity

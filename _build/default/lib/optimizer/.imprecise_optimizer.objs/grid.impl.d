@@ -1,0 +1,1 @@
+lib/optimizer/grid.ml: Array Float Policy Solver

@@ -1,0 +1,1 @@
+lib/optimizer/nelder_mead.mli:

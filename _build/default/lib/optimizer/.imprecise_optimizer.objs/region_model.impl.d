@@ -1,0 +1,1 @@
+lib/optimizer/region_model.ml: Cost_model Density Float Format Policy

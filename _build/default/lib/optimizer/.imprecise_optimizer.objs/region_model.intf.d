@@ -1,0 +1,1 @@
+lib/optimizer/region_model.mli: Cost_model Density Format Policy

@@ -1,0 +1,1 @@
+lib/optimizer/solver.ml: Array Buffer Cost_model Float Format List Nelder_mead Policy Printf Quality Region_model

@@ -1,0 +1,1 @@
+lib/optimizer/solver.mli: Cost_model Format Policy Quality Region_model

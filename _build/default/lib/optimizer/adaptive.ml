@@ -1,0 +1,105 @@
+type t = {
+  rng : Rng.t;
+  total : int;
+  max_laxity : float;
+  requirements : Quality.requirements;
+  cost : Cost_model.t;
+  replan_every : int;
+  max_replans : int;
+  mutable params : Policy.params;
+  mutable yes_seen : int;
+  mutable maybe_seen : int;
+  mutable observed : int;  (* yes_seen + maybe_seen *)
+  mutable next_replan_at : int;  (* in reads, from the counters *)
+  mutable replans : int;
+  yes_laxity : Histogram.Hist1d.t;
+  maybe_plane : Histogram.Hist2d.t;
+}
+
+let default_initial ~total ~max_laxity ~requirements ~cost =
+  let spec = Region_model.uniform_spec ~f_y:0.2 ~f_m:0.2 ~max_laxity in
+  (Solver.solve (Solver.problem ~total ~spec ~requirements ~cost ())).params
+
+let create ~rng ~total ~max_laxity ~requirements ?(cost = Cost_model.paper)
+    ?(replan_every = 500) ?(max_replans = 8) ?initial () =
+  if total <= 0 then invalid_arg "Adaptive.create: total <= 0";
+  if replan_every < 1 then invalid_arg "Adaptive.create: replan_every < 1";
+  if max_replans < 0 then invalid_arg "Adaptive.create: max_replans < 0";
+  let initial =
+    match initial with
+    | Some p -> p
+    | None -> default_initial ~total ~max_laxity ~requirements ~cost
+  in
+  {
+    rng;
+    total;
+    max_laxity;
+    requirements;
+    cost;
+    replan_every;
+    max_replans;
+    params = initial;
+    yes_seen = 0;
+    maybe_seen = 0;
+    observed = 0;
+    next_replan_at = replan_every;
+    replans = 0;
+    yes_laxity = Histogram.Hist1d.create ~lo:0.0 ~hi:max_laxity ~bins:20;
+    maybe_plane =
+      Histogram.Hist2d.create ~x_lo:0.0 ~x_hi:1.0 ~x_bins:20 ~y_lo:0.0
+        ~y_hi:max_laxity ~y_bins:20;
+  }
+
+let observe t ~verdict ~laxity ~success =
+  match (verdict : Tvl.t) with
+  | Tvl.Yes ->
+      t.yes_seen <- t.yes_seen + 1;
+      t.observed <- t.observed + 1;
+      Histogram.Hist1d.add t.yes_laxity laxity
+  | Tvl.Maybe ->
+      t.maybe_seen <- t.maybe_seen + 1;
+      t.observed <- t.observed + 1;
+      Histogram.Hist2d.add t.maybe_plane ~x:success ~y:laxity
+  | Tvl.No -> ()
+
+let replan t ~reads =
+  if reads > 0 && t.observed > 0 then begin
+    let reads_f = float_of_int reads in
+    let estimate : Selectivity.estimate =
+      {
+        f_y = float_of_int t.yes_seen /. reads_f;
+        f_m = float_of_int t.maybe_seen /. reads_f;
+        max_laxity = t.max_laxity;
+        sample_size = reads;
+        yes_laxity = t.yes_laxity;
+        maybe_plane = t.maybe_plane;
+      }
+    in
+    let spec =
+      Region_model.spec ~f_y:estimate.f_y ~f_m:estimate.f_m
+        ~max_laxity:t.max_laxity
+        ~density:(Density.of_estimate estimate)
+    in
+    let problem =
+      Solver.problem ~total:t.total ~spec ~requirements:t.requirements
+        ~cost:t.cost ()
+    in
+    t.params <- (Solver.solve problem).params;
+    t.replans <- t.replans + 1
+  end
+
+let policy t =
+  Policy.Custom
+    (fun ~requirements ~counters ~verdict ~laxity ~success ->
+      observe t ~verdict ~laxity ~success;
+      let reads = t.total - Counters.unseen counters in
+      if reads >= t.next_replan_at && t.replans < t.max_replans then begin
+        t.next_replan_at <- t.next_replan_at + t.replan_every;
+        replan t ~reads
+      end;
+      Policy.preference (Policy.Region t.params) ~rng:t.rng ~requirements
+        ~counters ~verdict ~laxity ~success)
+
+let current_params t = t.params
+let replans t = t.replans
+let observed t = t.observed

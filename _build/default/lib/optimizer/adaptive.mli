@@ -1,0 +1,48 @@
+(** Adaptive re-planning: re-estimate the workload mid-scan and re-solve.
+
+    The paper tunes the region parameters once, from a pre-query sample
+    (§4.2.1, §5.2).  When that sample is unrepresentative — too small, or
+    the input's composition drifts along the scan — the fixed parameters
+    are solved against the wrong workload.  This extension keeps online
+    estimates of [f_y], [f_m] and the [(s, l)] density from the objects
+    the operator actually reads, and periodically re-solves the §4.2.2
+    problem, swapping in the new parameters.
+
+    Every estimate comes for free: the operator classifies every object
+    it reads anyway, so no extra reads or probes are spent.  The policy
+    plugs in as an ordinary {!Policy.Custom}; Theorem 3.1 enforcement is
+    untouched, so adaptivity can only change cost, never correctness. *)
+
+type t
+
+val create :
+  rng:Rng.t ->
+  total:int ->
+  max_laxity:float ->
+  requirements:Quality.requirements ->
+  ?cost:Cost_model.t ->
+  ?replan_every:int ->
+  ?max_replans:int ->
+  ?initial:Policy.params ->
+  unit ->
+  t
+(** [replan_every] (default 500) objects between re-solves, up to
+    [max_replans] (default 8) re-solves.  [initial] (default: the
+    solution under the uniform-density assumption with an agnostic
+    [f_y = f_m = 0.2] prior) is used until the first re-plan.
+    @raise Invalid_argument if [total <= 0], [replan_every < 1] or
+    [max_replans < 0]. *)
+
+val policy : t -> Policy.t
+(** The policy to pass to {!Operator.run}. *)
+
+val current_params : t -> Policy.params
+(** The parameters currently in force (for inspection/logging). *)
+
+val replans : t -> int
+(** Re-solves performed so far. *)
+
+val observed : t -> int
+(** YES/MAYBE objects observed so far (NO objects never reach a policy,
+    so the estimator infers their share from the operator's read
+    count). *)

@@ -1,0 +1,39 @@
+type region_stats = { mass : float; mean_s : float }
+
+type t = {
+  yes_above : float -> float;
+  maybe_region : s_min:float -> l_min:float -> l_max:float -> region_stats;
+}
+
+let clamp01 x = Float.min 1.0 (Float.max 0.0 x)
+
+let uniform ~max_laxity =
+  if not (Float.is_finite max_laxity && max_laxity > 0.0) then
+    invalid_arg "Density.uniform: max_laxity <= 0";
+  let laxity_fraction l_min l_max =
+    let lo = Float.max 0.0 l_min and hi = Float.min max_laxity l_max in
+    if hi <= lo then 0.0 else (hi -. lo) /. max_laxity
+  in
+  {
+    yes_above = (fun x -> laxity_fraction x max_laxity);
+    maybe_region =
+      (fun ~s_min ~l_min ~l_max ->
+        let s_min = clamp01 s_min in
+        let mass = (1.0 -. s_min) *. laxity_fraction l_min l_max in
+        (* Success uniform on (s_min, 1]: mean is the midpoint — exactly
+           the paper's (s+1)/2 expected probe success. *)
+        let mean_s = if mass = 0.0 then 0.0 else (s_min +. 1.0) /. 2.0 in
+        { mass; mean_s });
+  }
+
+let of_estimate (e : Selectivity.estimate) =
+  {
+    yes_above = (fun x -> Histogram.Hist1d.mass_above e.yes_laxity x);
+    maybe_region =
+      (fun ~s_min ~l_min ~l_max ->
+        let r =
+          Histogram.Hist2d.region e.maybe_plane ~x_min:s_min ~y_min:l_min
+            ~y_max:l_max
+        in
+        { mass = r.mass; mean_s = r.mean_x });
+  }

@@ -1,0 +1,26 @@
+(** Densities over the (s(o), l(o)) decision plane (paper §4.2).
+
+    The optimizer needs, for YES objects, the fraction with laxity above a
+    bound, and for MAYBE objects the mass and mean success probability of
+    rectangular regions of the plane.  The paper develops its parameter
+    setting under a uniformity assumption and notes that a histogram
+    estimated from a sample could replace it; both are provided. *)
+
+type region_stats = { mass : float; mean_s : float }
+(** [mass]: fraction of MAYBE objects in the region; [mean_s]: their mean
+    success probability (0 when the region is empty). *)
+
+type t = {
+  yes_above : float -> float;
+      (** [yes_above x]: fraction of YES objects with laxity > x. *)
+  maybe_region : s_min:float -> l_min:float -> l_max:float -> region_stats;
+      (** MAYBE objects with [s > s_min] and [l_min < l <= l_max]. *)
+}
+
+val uniform : max_laxity:float -> t
+(** The paper's assumption: laxity uniform on [\[0, L\]] for YES and MAYBE
+    alike, success uniform on [\[0, 1\]] and independent of laxity.
+    @raise Invalid_argument if [max_laxity <= 0]. *)
+
+val of_estimate : Selectivity.estimate -> t
+(** Histogram density from a pre-query sample — the §4.2 refinement. *)

@@ -1,0 +1,97 @@
+type options = { max_iterations : int; tolerance : float }
+
+let default_options = { max_iterations = 500; tolerance = 1e-10 }
+
+type result = { point : float array; value : float; iterations : int }
+
+(* Standard coefficients: reflection 1, expansion 2, contraction 1/2,
+   shrink 1/2. *)
+let alpha = 1.0
+let gamma = 2.0
+let rho = 0.5
+let sigma = 0.5
+
+let minimize ?(options = default_options) ~lower ~upper ~init f =
+  let n = Array.length init in
+  if n = 0 then invalid_arg "Nelder_mead.minimize: empty dimension";
+  if Array.length lower <> n || Array.length upper <> n then
+    invalid_arg "Nelder_mead.minimize: dimension mismatch";
+  Array.iteri
+    (fun i lo -> if lo > upper.(i) then invalid_arg "Nelder_mead.minimize: box")
+    lower;
+  let clamp x =
+    Array.mapi (fun i v -> Float.min upper.(i) (Float.max lower.(i) v)) x
+  in
+  let eval x =
+    let x = clamp x in
+    (x, f x)
+  in
+  (* Initial simplex: the start plus one vertex per coordinate, stepped by
+     10% of the box width. *)
+  let vertices =
+    Array.init (n + 1) (fun v ->
+        let x = clamp (Array.copy init) in
+        if v > 0 then begin
+          let i = v - 1 in
+          let width = upper.(i) -. lower.(i) in
+          let step = if width > 0.0 then 0.1 *. width else 0.1 in
+          let moved = if x.(i) +. step <= upper.(i) then x.(i) +. step else x.(i) -. step in
+          x.(i) <- moved
+        end;
+        eval x)
+  in
+  let order () =
+    Array.sort (fun (_, fa) (_, fb) -> Float.compare fa fb) vertices
+  in
+  order ();
+  let iterations = ref 0 in
+  let spread () =
+    let _, best = vertices.(0) and _, worst = vertices.(n) in
+    Float.abs (worst -. best)
+  in
+  let centroid_excluding_worst () =
+    let c = Array.make n 0.0 in
+    for v = 0 to n - 1 do
+      let x, _ = vertices.(v) in
+      for i = 0 to n - 1 do
+        c.(i) <- c.(i) +. x.(i)
+      done
+    done;
+    Array.map (fun s -> s /. float_of_int n) c
+  in
+  let combine a wa b wb = Array.mapi (fun i ai -> (wa *. ai) +. (wb *. b.(i))) a in
+  while !iterations < options.max_iterations && spread () > options.tolerance do
+    incr iterations;
+    let c = centroid_excluding_worst () in
+    let worst_x, worst_f = vertices.(n) in
+    let _, best_f = vertices.(0) in
+    let _, second_worst_f = vertices.(n - 1) in
+    (* Reflection. *)
+    let refl_x, refl_f = eval (combine c (1.0 +. alpha) worst_x (-.alpha)) in
+    if refl_f < best_f then begin
+      (* Expansion. *)
+      let exp_x, exp_f = eval (combine c (1.0 +. gamma) worst_x (-.gamma)) in
+      vertices.(n) <- (if exp_f < refl_f then (exp_x, exp_f) else (refl_x, refl_f))
+    end
+    else if refl_f < second_worst_f then vertices.(n) <- (refl_x, refl_f)
+    else begin
+      (* Contraction (outside if the reflected point improved on the
+         worst, inside otherwise). *)
+      let towards, towards_f =
+        if refl_f < worst_f then (refl_x, refl_f) else (worst_x, worst_f)
+      in
+      let con_x, con_f = eval (combine c (1.0 -. rho) towards rho) in
+      if con_f < towards_f then vertices.(n) <- (con_x, con_f)
+      else begin
+        (* Shrink towards the best vertex. *)
+        let best_x, _ = vertices.(0) in
+        for v = 1 to n do
+          let x, _ = vertices.(v) in
+          vertices.(v) <- eval (combine best_x (1.0 -. sigma) x sigma)
+        done
+      end
+    end;
+    order ()
+  done;
+  let point, value = vertices.(0) in
+  { point; value; iterations = !iterations }

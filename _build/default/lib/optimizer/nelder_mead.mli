@@ -1,0 +1,35 @@
+(** Derivative-free minimisation (Nelder–Mead downhill simplex).
+
+    Replaces the paper's AMPL/LOQO setup for the 4-parameter problem of
+    §4.2.2.  The objective may be discontinuous (feasibility penalties);
+    box constraints are handled by clamping candidate points into the
+    box before evaluation. *)
+
+type options = {
+  max_iterations : int;  (** default 500 *)
+  tolerance : float;
+      (** stop when the simplex's objective spread falls below this
+          (default 1e-10) *)
+}
+
+val default_options : options
+
+type result = {
+  point : float array;  (** the best point found (inside the box) *)
+  value : float;
+  iterations : int;
+}
+
+val minimize :
+  ?options:options ->
+  lower:float array ->
+  upper:float array ->
+  init:float array ->
+  (float array -> float) ->
+  result
+(** [minimize ~lower ~upper ~init f] runs the simplex from an initial
+    point (clamped into the box; the initial simplex steps 10 % of each
+    box width, or 0.1 for degenerate widths).
+
+    @raise Invalid_argument on dimension mismatches, an empty dimension,
+    or [lower.(i) > upper.(i)]. *)

@@ -1,0 +1,171 @@
+type problem = {
+  total : int;
+  spec : Region_model.spec;
+  requirements : Quality.requirements;
+  cost : Cost_model.t;
+}
+
+let problem ~total ~spec ~requirements ?(cost = Cost_model.paper) () =
+  if total <= 0 then invalid_arg "Solver.problem: total <= 0";
+  { total; spec; requirements; cost }
+
+type evaluation = {
+  params : Policy.params;
+  fractions : Region_model.fractions;
+  feasible : bool;
+  violation : float;
+  reads : float;
+  read_fraction : float;
+  cost : float;
+  normalized_cost : float;
+  expected_precision : float;
+}
+
+(* Boundary optima are the norm (constraints bind at the optimum), so a
+   small tolerance keeps them classified feasible under rounding. *)
+let tolerance = 1e-9
+
+let evaluate t (params : Policy.params) =
+  let req = t.requirements in
+  let f = Region_model.fractions t.spec ~laxity_bound:req.laxity params in
+  let alpha = Region_model.answer_yes_rate f in
+  let beta = Region_model.uncertainty_rate f in
+  let precision = Region_model.precision_estimate f in
+  let total = float_of_int t.total in
+  let r_q = req.recall in
+  (* With r_q = 0 nothing is read and the answer is empty, which has
+     precision 1 by definition (Eq. 3) — the per-read precision ratio is
+     irrelevant then. *)
+  let precision_violation =
+    if r_q <= 0.0 then 0.0 else Float.max 0.0 (req.precision -. precision)
+  in
+  let gamma = alpha -. (r_q *. (beta -. 1.0)) in
+  let reads, recall_violation =
+    if r_q <= 0.0 then (0.0, 0.0)
+    else if gamma >= r_q -. tolerance then
+      (Float.min total (r_q *. total /. Float.max gamma tolerance), 0.0)
+    else (total, r_q -. gamma)
+  in
+  let violation = precision_violation +. recall_violation in
+  let feasible = violation <= tolerance in
+  let cost = reads *. Region_model.unit_cost t.cost f in
+  {
+    params;
+    fractions = f;
+    feasible;
+    violation;
+    reads;
+    read_fraction = reads /. total;
+    cost;
+    normalized_cost = cost /. total;
+    expected_precision = precision;
+  }
+
+(* Penalised objective: any infeasible point costs more than any feasible
+   one, and more violation costs more, so the simplex is pulled back into
+   the feasible set. *)
+let penalized t params =
+  let e = evaluate t params in
+  if e.feasible then e.cost
+  else begin
+    let worst_unit =
+      t.cost.Cost_model.c_r +. t.cost.c_p +. t.cost.c_wi +. t.cost.c_wp
+    in
+    let ceiling = float_of_int t.total *. worst_unit in
+    (2.0 *. ceiling) +. (10.0 *. ceiling *. e.violation)
+  end
+
+let params_of_vector v =
+  let clamp x = Float.min 1.0 (Float.max 0.0 x) in
+  Policy.params ~s3:(clamp v.(0)) ~s5:(clamp v.(1)) ~p_py:(clamp v.(2))
+    ~p_fm:(clamp v.(3))
+
+let default_seeds =
+  let corners = ref [] in
+  List.iter
+    (fun s3 ->
+      List.iter
+        (fun s5 ->
+          List.iter
+            (fun p_py ->
+              List.iter
+                (fun p_fm ->
+                  corners := Policy.params ~s3 ~s5 ~p_py ~p_fm :: !corners)
+                [ 0.0; 1.0 ])
+            [ 0.0; 1.0 ])
+        [ 0.0; 1.0 ])
+    [ 0.0; 1.0 ];
+  Policy.params ~s3:0.5 ~s5:0.5 ~p_py:0.5 ~p_fm:0.5
+  :: Policy.stingy_params :: Policy.greedy_params :: !corners
+
+let better a b =
+  (* Prefer feasibility, then cost, then violation. *)
+  match (a.feasible, b.feasible) with
+  | true, false -> a
+  | false, true -> b
+  | true, true -> if a.cost <= b.cost then a else b
+  | false, false -> if a.violation <= b.violation then a else b
+
+let solve ?(seeds = default_seeds) t =
+  if seeds = [] then invalid_arg "Solver.solve: no seeds";
+  let lower = Array.make 4 0.0 and upper = Array.make 4 1.0 in
+  let objective v = penalized t (params_of_vector v) in
+  let refine (p : Policy.params) =
+    let init = [| p.s3; p.s5; p.p_py; p.p_fm |] in
+    let result =
+      Nelder_mead.minimize
+        ~options:{ Nelder_mead.max_iterations = 800; tolerance = 1e-12 }
+        ~lower ~upper ~init objective
+    in
+    evaluate t (params_of_vector result.point)
+  in
+  let candidates = List.map refine seeds in
+  match candidates with
+  | [] -> assert false
+  | first :: rest -> List.fold_left better first rest
+
+let pp_evaluation ppf e =
+  Format.fprintf ppf
+    "%a%s: W=%.4g W/|T|=%.4g R/|T|=%.4g precision~%.4g"
+    Policy.pp_params e.params
+    (if e.feasible then "" else " (infeasible)")
+    e.cost e.normalized_cost e.read_fraction e.expected_precision
+
+let explain t (e : evaluation) =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let f = e.fractions in
+  let req = t.requirements in
+  add "plan: s3=%.3f s5=%.3f p_py=%.3f p_fm=%.3f%s\n" e.params.s3 e.params.s5
+    e.params.p_py e.params.p_fm
+    (if e.feasible then "" else "  (INFEASIBLE)");
+  add "reads: %.0f of %d objects (%.1f%%)\n" e.reads t.total
+    (100.0 *. e.read_fraction);
+  let per k = k *. 1000.0 in
+  add "per 1000 objects read (expected):\n";
+  add "  YES   %4.0f: forward %.0f (region 7), probe %.0f (region 6), ignore %.0f\n"
+    (per f.yes) (per f.yes_forwarded) (per f.yes_probed)
+    (per (f.yes -. f.yes_forwarded -. f.yes_probed));
+  add "  MAYBE %4.0f: probe %.0f (regions 3+5, ~%.0f resolve YES), forward %.0f (region 4), ignore %.0f\n"
+    (per f.maybe) (per f.maybe_probed) (per f.maybe_probe_yes)
+    (per f.maybe_forwarded)
+    (per (f.maybe -. f.maybe_probed -. f.maybe_forwarded));
+  add "  NO    %4.0f: discard\n" (per (1.0 -. f.yes -. f.maybe));
+  let reads_cost = e.reads *. t.cost.Cost_model.c_r in
+  let probe_cost = e.reads *. (f.yes_probed +. f.maybe_probed) *. t.cost.c_p in
+  let write_cost =
+    e.reads
+    *. (((f.yes_forwarded +. f.maybe_forwarded) *. t.cost.c_wi)
+       +. ((f.yes_probed +. f.maybe_probe_yes) *. t.cost.c_wp))
+  in
+  add "cost W = %.0f (W/|T| = %.3f): read %.0f + probe %.0f + write %.0f\n"
+    e.cost e.normalized_cost reads_cost probe_cost write_cost;
+  add "precision: expected %.4f vs bound %.4f (slack %+.4f)\n"
+    e.expected_precision req.Quality.precision
+    (e.expected_precision -. req.precision);
+  let alpha = Region_model.answer_yes_rate f in
+  let beta = Region_model.uncertainty_rate f in
+  let gamma = alpha -. (req.recall *. (beta -. 1.0)) in
+  add "recall: rate gamma %.4f vs bound %.4f (slack %+.4f)\n" gamma req.recall
+    (gamma -. req.recall);
+  Buffer.contents b

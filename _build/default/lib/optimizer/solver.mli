@@ -1,0 +1,70 @@
+(** The full optimization problem of §4.2.2.
+
+    Minimise the expected evaluation cost [W] (Eq. 11) over the four free
+    parameters [(s3, s5, p_py, p_fm)], subject to the precision (15) and
+    recall (16) constraints, the read bound [R <= |T|] and the region
+    accounting of {!Region_model}.
+
+    For fixed parameters the problem is linear in the number of reads
+    [R]: the cost grows linearly and the recall constraint is a single
+    linear inequality, so the minimal feasible [R] has a closed form.
+    With [α] the expected YES answers per read and [β] the expected growth
+    of the recall denominator's seen part, constraint (16) at [R] reads
+    [αR >= r_q((β − 1)R + |T|)]; hence with [γ = α − r_q(β − 1)]:
+
+    - [r_q = 0]: [R = 0] — nothing needs to be read;
+    - [γ >= r_q]: [R = r_q|T|/γ <= |T|] is minimal and feasible;
+    - [γ < r_q]: even reading everything cannot reach the recall bound —
+      the parameters are infeasible.
+
+    The outer 4-dimensional minimisation is done by multistart
+    Nelder–Mead with feasibility penalties.  This reproduces the tables
+    of §5.1. *)
+
+type problem = {
+  total : int;  (** |T| *)
+  spec : Region_model.spec;
+  requirements : Quality.requirements;
+  cost : Cost_model.t;
+}
+
+val problem :
+  total:int ->
+  spec:Region_model.spec ->
+  requirements:Quality.requirements ->
+  ?cost:Cost_model.t ->
+  unit ->
+  problem
+(** [cost] defaults to {!Cost_model.paper}.
+    @raise Invalid_argument if [total <= 0] or the requirements' laxity
+    bound exceeds the spec's [max_laxity] by more than the spec allows
+    (a bound above L is simply clamped: everything is forwardable). *)
+
+(** The outcome of instantiating the model at one parameter point. *)
+type evaluation = {
+  params : Policy.params;
+  fractions : Region_model.fractions;
+  feasible : bool;
+  violation : float;  (** total constraint violation; 0 when feasible *)
+  reads : float;  (** expected R (|T| when infeasible) *)
+  read_fraction : float;  (** R / |T| *)
+  cost : float;  (** expected W at [reads] *)
+  normalized_cost : float;  (** W / |T| *)
+  expected_precision : float;
+}
+
+val evaluate : problem -> Policy.params -> evaluation
+
+val solve : ?seeds:Policy.params list -> problem -> evaluation
+(** Multistart Nelder–Mead.  Default seeds: the 16 corners of the unit
+    hypercube, its centre, and the Stingy and Greedy parameter points.
+    Returns the best feasible evaluation, or the least-violating one if
+    no start reaches feasibility. *)
+
+val pp_evaluation : Format.formatter -> evaluation -> unit
+
+val explain : problem -> evaluation -> string
+(** A human-readable account of a plan: the chosen parameters, the
+    expected handling of 1000 read objects (per Fig. 3 region), the cost
+    breakdown by operation (Eq. 11) and each constraint's slack.  Meant
+    for CLI output and query-plan debugging. *)

@@ -1,0 +1,1 @@
+lib/predicate/predicate.ml: Float Format Interval List Math_special Printf Real_set Tvl Uncertain

@@ -1,0 +1,1 @@
+lib/predicate/predicate.mli: Format Interval Real_set Tvl Uncertain

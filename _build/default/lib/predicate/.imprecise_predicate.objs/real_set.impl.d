@@ -1,0 +1,1 @@
+lib/predicate/real_set.ml: Float Format Interval List

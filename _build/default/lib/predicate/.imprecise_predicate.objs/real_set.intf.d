@@ -1,0 +1,1 @@
+lib/predicate/real_set.mli: Format Interval

@@ -1,0 +1,93 @@
+type t =
+  | Ge of float
+  | Gt of float
+  | Le of float
+  | Lt of float
+  | Between of float * float
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let check_finite name x =
+  if not (Float.is_finite x) then
+    invalid_arg (Printf.sprintf "Predicate.%s: bound must be finite" name)
+
+let ge x = check_finite "ge" x; Ge x
+let gt x = check_finite "gt" x; Gt x
+let le x = check_finite "le" x; Le x
+let lt x = check_finite "lt" x; Lt x
+
+let between a b =
+  check_finite "between" a;
+  check_finite "between" b;
+  if a > b then invalid_arg "Predicate.between: reversed bounds";
+  Between (a, b)
+
+let not_ p = Not p
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+
+let rec eval p v =
+  match p with
+  | Ge x -> v >= x
+  | Gt x -> v > x
+  | Le x -> v <= x
+  | Lt x -> v < x
+  | Between (a, b) -> a <= v && v <= b
+  | Not q -> not (eval q v)
+  | And (a, b) -> eval a v && eval b v
+  | Or (a, b) -> eval a v || eval b v
+
+let rec satisfying_set = function
+  | Ge x | Gt x -> Real_set.at_least x
+  | Le x | Lt x -> Real_set.at_most x
+  | Between (a, b) -> Real_set.segment a b
+  | Not q -> Real_set.complement (satisfying_set q)
+  | And (a, b) -> Real_set.inter (satisfying_set a) (satisfying_set b)
+  | Or (a, b) -> Real_set.union (satisfying_set a) (satisfying_set b)
+
+let classify_interval p support =
+  let set = satisfying_set p in
+  if Real_set.covers set support then Tvl.Yes
+  else if Real_set.disjoint set support then Tvl.No
+  else Tvl.Maybe
+
+let classify p o = classify_interval p (Uncertain.support o)
+
+let success p o =
+  match classify p o with
+  | Tvl.Yes -> 1.0
+  | Tvl.No -> 0.0
+  | Tvl.Maybe ->
+      let set = satisfying_set p in
+      let mass =
+        match o with
+        | Uncertain.Exact v -> if Real_set.mem set v then 1.0 else 0.0
+        | Uncertain.Interval i ->
+            if Interval.is_point i then
+              (if Real_set.mem set (Interval.lo i) then 1.0 else 0.0)
+            else Real_set.measure_within set i /. Interval.width i
+        | Uncertain.Gaussian { mean; stddev; _ } ->
+            let cdf x =
+              if x = infinity then 1.0
+              else if x = neg_infinity then 0.0
+              else Math_special.normal_cdf ~mean ~stddev x
+            in
+            List.fold_left
+              (fun acc (lo, hi) -> acc +. (cdf hi -. cdf lo))
+              0.0
+              (Real_set.components set)
+      in
+      Float.min 1.0 (Float.max 0.0 mass)
+
+let rec pp ppf = function
+  | Ge x -> Format.fprintf ppf "v >= %g" x
+  | Gt x -> Format.fprintf ppf "v > %g" x
+  | Le x -> Format.fprintf ppf "v <= %g" x
+  | Lt x -> Format.fprintf ppf "v < %g" x
+  | Between (a, b) -> Format.fprintf ppf "%g <= v <= %g" a b
+  | Not q -> Format.fprintf ppf "not (%a)" pp q
+  | And (a, b) -> Format.fprintf ppf "(%a) and (%a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a) or (%a)" pp a pp b
+
+let to_string p = Format.asprintf "%a" pp p

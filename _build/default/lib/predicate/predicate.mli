@@ -1,0 +1,56 @@
+(** One-dimensional selection predicates with three-way evaluation.
+
+    A predicate [λ] maps objects to {YES, NO, MAYBE} (paper §1).  This
+    module builds predicates over real-valued attributes, evaluates them:
+
+    - exactly on precise values ({!eval});
+    - three-way on imprecise values ({!classify}), by comparing the
+      object's support against the predicate's satisfying set;
+    - probabilistically ({!success}), yielding the paper's success
+      probability [s(o)] (§4.1) under the object's belief model.
+
+    Strict and non-strict comparisons are distinguished by {!eval} but
+    coincide for {!classify} and {!success} (see {!Real_set}). *)
+
+type t =
+  | Ge of float  (** value >= x *)
+  | Gt of float  (** value > x *)
+  | Le of float  (** value <= x *)
+  | Lt of float  (** value < x *)
+  | Between of float * float  (** a <= value <= b *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val ge : float -> t
+val gt : float -> t
+val le : float -> t
+val lt : float -> t
+
+val between : float -> float -> t
+(** @raise Invalid_argument if the bounds are reversed or not finite. *)
+
+val not_ : t -> t
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+
+val eval : t -> float -> bool
+(** Exact evaluation on a precise value, honouring strictness. *)
+
+val satisfying_set : t -> Real_set.t
+(** The set of values satisfying the predicate (all comparisons read as
+    non-strict). *)
+
+val classify : t -> Uncertain.t -> Tvl.t
+(** [Yes] if the object's support is contained in the satisfying set,
+    [No] if disjoint from it, [Maybe] otherwise. *)
+
+val classify_interval : t -> Interval.t -> Tvl.t
+(** Same, directly on an interval support. *)
+
+val success : t -> Uncertain.t -> float
+(** Probability that a probe returns YES, under the object's belief
+    model.  Returns 1 (resp. 0) when {!classify} is [Yes] (resp. [No]). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/probe/probe_source.ml: Float Rng

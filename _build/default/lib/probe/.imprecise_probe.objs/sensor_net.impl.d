@@ -1,0 +1,1 @@
+lib/probe/sensor_net.ml: Array Interval Operator Predicate Rng Uncertain

@@ -1,0 +1,1 @@
+lib/probe/sensor_net.mli: Interval Operator Predicate Rng

@@ -1,0 +1,81 @@
+type latency =
+  | Instant
+  | Constant of float
+  | Jittered of { base : float; jitter : float }
+
+exception Probe_failed
+
+type 'o t = {
+  resolve : 'o -> 'o;
+  latency : latency;
+  failure_rate : float;
+  max_retries : int;
+  rng : Rng.t option;
+  mutable probes : int;
+  mutable attempts : int;
+  mutable simulated_latency : float;
+}
+
+let create ?(latency = Instant) ?(failure_rate = 0.0) ?(max_retries = 10) ?rng
+    resolve =
+  if not (failure_rate >= 0.0 && failure_rate < 1.0) then
+    invalid_arg "Probe_source.create: failure_rate outside [0, 1)";
+  if max_retries < 0 then invalid_arg "Probe_source.create: max_retries < 0";
+  let needs_rng =
+    failure_rate > 0.0
+    || (match latency with Jittered _ -> true | Instant | Constant _ -> false)
+  in
+  if needs_rng && rng = None then
+    invalid_arg "Probe_source.create: rng required for jitter or failures";
+  {
+    resolve;
+    latency;
+    failure_rate;
+    max_retries;
+    rng;
+    probes = 0;
+    attempts = 0;
+    simulated_latency = 0.0;
+  }
+
+let sample_latency t =
+  match t.latency with
+  | Instant -> 0.0
+  | Constant l -> l
+  | Jittered { base; jitter } -> (
+      match t.rng with
+      | Some rng -> base +. Rng.float rng (Float.max jitter Float.epsilon)
+      | None -> base)
+
+let attempt_fails t =
+  t.failure_rate > 0.0
+  &&
+  match t.rng with
+  | Some rng -> Rng.bernoulli rng t.failure_rate
+  | None -> false
+
+let probe t o =
+  let rec go retries_left =
+    t.attempts <- t.attempts + 1;
+    t.simulated_latency <- t.simulated_latency +. sample_latency t;
+    if attempt_fails t then
+      if retries_left = 0 then raise Probe_failed else go (retries_left - 1)
+    else t.resolve o
+  in
+  let precise = go t.max_retries in
+  t.probes <- t.probes + 1;
+  precise
+
+type stats = { probes : int; attempts : int; simulated_latency : float }
+
+let stats (t : _ t) : stats =
+  {
+    probes = t.probes;
+    attempts = t.attempts;
+    simulated_latency = t.simulated_latency;
+  }
+
+let reset_stats (t : _ t) =
+  t.probes <- 0;
+  t.attempts <- 0;
+  t.simulated_latency <- 0.0

@@ -1,0 +1,51 @@
+(** Probe sources: how an imprecise object is resolved to its precise
+    version [ω^o].
+
+    A probe is the expensive operation of the paper — fetching the precise
+    object from wherever it lives (the sensor itself, a remote archive,
+    tertiary storage).  A source wraps the resolution function with
+    latency simulation and optional transient-failure injection so that
+    examples and benchmarks can model realistic remote stores; the QaQ
+    operator itself only sees [probe : 'o -> 'o]. *)
+
+(** Latency charged per probe attempt, in arbitrary time units. *)
+type latency =
+  | Instant
+  | Constant of float
+  | Jittered of { base : float; jitter : float }
+      (** uniform in [\[base, base + jitter\]] *)
+
+type 'o t
+
+val create :
+  ?latency:latency ->
+  ?failure_rate:float ->
+  ?max_retries:int ->
+  ?rng:Rng.t ->
+  ('o -> 'o) ->
+  'o t
+(** [create resolve] builds a source around the resolution function, which
+    must return an object of laxity 0 (the precise version).
+
+    [latency] defaults to [Instant].  [failure_rate] (default 0) is the
+    probability that one attempt fails transiently and is retried, up to
+    [max_retries] (default 10) extra attempts; each attempt pays the
+    latency.  A probe that exhausts its retries raises {!Probe_failed}.
+    [rng] is required if either latency jitter or failures are used.
+
+    @raise Invalid_argument on a failure rate outside [0, 1) or a
+    negative retry count. *)
+
+exception Probe_failed
+
+val probe : 'o t -> 'o -> 'o
+(** Resolve one object, recording attempts and simulated latency. *)
+
+type stats = {
+  probes : int;  (** successful probe operations *)
+  attempts : int;  (** including failed attempts *)
+  simulated_latency : float;  (** total time units spent *)
+}
+
+val stats : 'o t -> stats
+val reset_stats : 'o t -> unit

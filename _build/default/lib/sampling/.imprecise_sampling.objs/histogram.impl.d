@@ -1,0 +1,1 @@
+lib/sampling/histogram.ml: Array Float Stdlib

@@ -1,0 +1,1 @@
+lib/sampling/selectivity.ml: Array Float Histogram Operator Rng Tvl

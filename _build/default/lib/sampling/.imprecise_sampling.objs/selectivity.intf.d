@@ -1,0 +1,1 @@
+lib/sampling/selectivity.mli: Histogram Operator Rng

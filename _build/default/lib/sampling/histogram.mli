@@ -1,0 +1,51 @@
+(** Equi-width histograms used as density estimates.
+
+    {!Hist1d} estimates marginal distributions (e.g. laxity of YES
+    objects); {!Hist2d} estimates the joint [g(s(o), l(o))] density over
+    MAYBE objects that §4.2 needs to size the decision regions.  Both
+    support mass queries over sub-ranges with fractional bins (the mass
+    inside a bin is assumed uniform), plus a first moment along the first
+    axis for the expected probe success of a region. *)
+
+module Hist1d : sig
+  type t
+
+  val create : lo:float -> hi:float -> bins:int -> t
+  (** @raise Invalid_argument if [lo >= hi] or [bins < 1]. *)
+
+  val add : t -> float -> unit
+  (** Values outside [\[lo, hi\]] are clamped into the boundary bins. *)
+
+  val count : t -> int
+
+  val mass_above : t -> float -> float
+  (** Fraction of observations with value [> x] (fractional bins; 0 when
+      the histogram is empty). *)
+
+  val mass_between : t -> float -> float -> float
+  (** Fraction with value in [\[a, b\]]; 0 when empty or [a > b]. *)
+
+  val mean : t -> float
+  (** Approximate mean (bin midpoints); 0 when empty. *)
+end
+
+module Hist2d : sig
+  type t
+
+  val create :
+    x_lo:float -> x_hi:float -> x_bins:int ->
+    y_lo:float -> y_hi:float -> y_bins:int -> t
+
+  val add : t -> x:float -> y:float -> unit
+  val count : t -> int
+
+  type region_stats = {
+    mass : float;  (** fraction of observations in the region *)
+    mean_x : float;  (** mean of the x coordinate within it (0 if empty) *)
+  }
+
+  val region : t -> x_min:float -> y_min:float -> y_max:float -> region_stats
+  (** Observations with [x > x_min] and [y_min < y <= y_max], with
+      fractional boundary bins.  Exactly the region shape of the paper's
+      decision plane: [x] plays [s(o)], [y] plays [l(o)]. *)
+end

@@ -1,0 +1,31 @@
+type 'a t = {
+  rng : Rng.t;
+  capacity : int;
+  mutable seen : int;
+  mutable store : 'a array;  (* grows to capacity, then stays *)
+  mutable filled : int;
+}
+
+let create rng ~capacity =
+  if capacity < 1 then invalid_arg "Reservoir.create: capacity < 1";
+  { rng; capacity; seen = 0; store = [||]; filled = 0 }
+
+let add t x =
+  t.seen <- t.seen + 1;
+  if t.filled < t.capacity then begin
+    if Array.length t.store = 0 then t.store <- Array.make t.capacity x;
+    t.store.(t.filled) <- x;
+    t.filled <- t.filled + 1
+  end
+  else begin
+    let j = Rng.int t.rng t.seen in
+    if j < t.capacity then t.store.(j) <- x
+  end
+
+let seen t = t.seen
+let contents t = Array.sub t.store 0 t.filled
+
+let of_array rng ~capacity xs =
+  let t = create rng ~capacity in
+  Array.iter (add t) xs;
+  contents t

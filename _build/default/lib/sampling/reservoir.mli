@@ -1,0 +1,25 @@
+(** Reservoir sampling (Vitter's algorithm R).
+
+    The optimizer's inputs — the selectivity fractions [f_y], [f_m]
+    (§4.2.1) and the density [g(s(o), l(o))] (§4.2) — are estimated from a
+    random sample of [T] taken before query evaluation.  A reservoir makes
+    this a single sequential pass with O(k) memory, matching the on-line
+    spirit of the operator. *)
+
+type 'a t
+
+val create : Rng.t -> capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val add : 'a t -> 'a -> unit
+(** Offer one element of the stream. *)
+
+val seen : 'a t -> int
+(** Elements offered so far. *)
+
+val contents : 'a t -> 'a array
+(** The current sample, in no particular order.  Size
+    [min capacity seen]. *)
+
+val of_array : Rng.t -> capacity:int -> 'a array -> 'a array
+(** One-shot sampling of an array. *)

@@ -1,0 +1,60 @@
+type estimate = {
+  f_y : float;
+  f_m : float;
+  max_laxity : float;
+  sample_size : int;
+  yes_laxity : Histogram.Hist1d.t;
+  maybe_plane : Histogram.Hist2d.t;
+}
+
+let estimate ~(instance : 'o Operator.instance) ?laxity_cap ?(laxity_bins = 20)
+    ?(success_bins = 20) sample =
+  let n = Array.length sample in
+  if n = 0 then invalid_arg "Selectivity.estimate: empty sample";
+  let verdicts = Array.map instance.classify sample in
+  let laxities = Array.map instance.laxity sample in
+  let cap =
+    match laxity_cap with
+    | Some l ->
+        if not (Float.is_finite l && l > 0.0) then
+          invalid_arg "Selectivity.estimate: laxity_cap must be positive";
+        l
+    | None ->
+        let m = Array.fold_left Float.max 0.0 laxities in
+        if m > 0.0 then m else 1.0
+  in
+  let yes_laxity = Histogram.Hist1d.create ~lo:0.0 ~hi:cap ~bins:laxity_bins in
+  let maybe_plane =
+    Histogram.Hist2d.create ~x_lo:0.0 ~x_hi:1.0 ~x_bins:success_bins ~y_lo:0.0
+      ~y_hi:cap ~y_bins:laxity_bins
+  in
+  let yes = ref 0 and maybe = ref 0 in
+  Array.iteri
+    (fun i o ->
+      match verdicts.(i) with
+      | Tvl.Yes ->
+          incr yes;
+          Histogram.Hist1d.add yes_laxity laxities.(i)
+      | Tvl.Maybe ->
+          incr maybe;
+          Histogram.Hist2d.add maybe_plane ~x:(instance.success o)
+            ~y:laxities.(i)
+      | Tvl.No -> ())
+    sample;
+  let fn = float_of_int n in
+  {
+    f_y = float_of_int !yes /. fn;
+    f_m = float_of_int !maybe /. fn;
+    max_laxity = cap;
+    sample_size = n;
+    yes_laxity;
+    maybe_plane;
+  }
+
+let bernoulli_sample rng ~fraction objects =
+  if not (fraction >= 0.0 && fraction <= 1.0) then
+    invalid_arg "Selectivity.bernoulli_sample: fraction outside [0, 1]";
+  Array.of_list
+    (Array.fold_right
+       (fun o acc -> if Rng.bernoulli rng fraction then o :: acc else acc)
+       objects [])

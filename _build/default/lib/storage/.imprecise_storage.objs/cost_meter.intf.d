@@ -1,0 +1,1 @@
+lib/storage/cost_meter.mli: Cost_model Format

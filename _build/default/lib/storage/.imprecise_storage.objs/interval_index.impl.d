@@ -1,0 +1,1 @@
+lib/storage/interval_index.ml: Array Float Interval List Predicate Real_set

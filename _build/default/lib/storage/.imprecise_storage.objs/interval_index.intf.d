@@ -1,0 +1,1 @@
+lib/storage/interval_index.mli: Interval Predicate

@@ -1,0 +1,1 @@
+lib/storage/interval_tree.ml: Array Float Interval List Predicate Real_set Stdlib

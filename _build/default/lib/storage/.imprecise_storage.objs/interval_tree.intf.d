@@ -1,0 +1,1 @@
+lib/storage/interval_tree.mli: Interval Predicate

@@ -1,0 +1,1 @@
+lib/storage/zone_map.ml: Array Heap_file Interval Predicate Tvl

@@ -1,0 +1,1 @@
+lib/storage/zone_map.mli: Heap_file Interval Predicate

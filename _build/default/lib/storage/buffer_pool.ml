@@ -1,0 +1,77 @@
+(* LRU via a doubly-linked order encoded with a logical clock: each entry
+   stores the tick of its last use; eviction removes the minimum.  For the
+   pool sizes used here (tens to hundreds of pages) the O(n) eviction scan
+   is simpler than an intrusive list and never shows up in profiles. *)
+
+type 'a entry = { page : 'a array; mutable last_used : int }
+
+type 'a t = {
+  capacity : int;
+  table : (int, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun id entry ->
+      match !victim with
+      | None -> victim := Some (id, entry.last_used)
+      | Some (_, best) -> if entry.last_used < best then victim := Some (id, entry.last_used))
+    t.table;
+  match !victim with
+  | None -> ()
+  | Some (id, _) ->
+      Hashtbl.remove t.table id;
+      t.evictions <- t.evictions + 1
+
+let fetch t page_id load =
+  match Hashtbl.find_opt t.table page_id with
+  | Some entry ->
+      t.hits <- t.hits + 1;
+      entry.last_used <- tick t;
+      entry.page
+  | None ->
+      t.misses <- t.misses + 1;
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      let page = load page_id in
+      Hashtbl.replace t.table page_id { page; last_used = tick t };
+      page
+
+let contains t page_id = Hashtbl.mem t.table page_id
+
+type stats = { hits : int; misses : int; evictions : int }
+
+let stats (t : _ t) : stats =
+  { hits = t.hits; misses = t.misses; evictions = t.evictions }
+
+let reset_stats (t : _ t) =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0
+
+let clear t =
+  Hashtbl.reset t.table;
+  reset_stats t
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total

@@ -1,0 +1,26 @@
+(** A small LRU buffer pool over heap-file pages.
+
+    The simulated storage charges one page fetch per miss; hits are free.
+    This substrate exists to make the storage layer a faithful miniature
+    of a database engine and to let benchmarks show how caching interacts
+    with partial scans (low-recall queries touch a prefix of the file and
+    benefit most from re-use across queries). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val fetch : 'a t -> int -> (int -> 'a array) -> 'a array
+(** [fetch pool page_id load] returns the cached page or loads, caches and
+    returns it, evicting the least-recently-used page if full. *)
+
+val contains : 'a t -> int -> bool
+
+type stats = { hits : int; misses : int; evictions : int }
+
+val stats : 'a t -> stats
+val reset_stats : 'a t -> unit
+val clear : 'a t -> unit
+val hit_rate : stats -> float
+(** [hits / (hits + misses)]; 0 when no accesses. *)

@@ -1,0 +1,32 @@
+(** Mutable accounting of the operations performed by a query evaluation.
+
+    The QaQ operator charges every read, probe and write to a meter; the
+    experiment harness then reports the paper's total cost [W]
+    (Eq. 11) and the normalised cost [W / |T|]. *)
+
+type t
+
+type counts = {
+  reads : int;  (** R: objects read and classified *)
+  probes : int;  (** Y_p + M_p: probe operations *)
+  writes_imprecise : int;  (** Y_f + M_f: imprecise objects output *)
+  writes_precise : int;  (** Y_p + M_py: precise objects output *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+val charge_read : t -> unit
+val charge_probe : t -> unit
+val charge_write_imprecise : t -> unit
+val charge_write_precise : t -> unit
+
+val counts : t -> counts
+
+val total_cost : Cost_model.t -> t -> float
+(** The paper's [W = R·c_r + (Y_p+M_p)·c_p + (Y_f+M_f)·c_wi +
+    (Y_p+M_py)·c_wp]. *)
+
+val cost_of_counts : Cost_model.t -> counts -> float
+
+val pp_counts : Format.formatter -> counts -> unit

@@ -1,0 +1,19 @@
+type t = { c_r : float; c_p : float; c_wi : float; c_wp : float }
+
+let make ~c_r ~c_p ~c_wi ~c_wp =
+  let check name x =
+    if not (Float.is_finite x && x >= 0.0) then
+      invalid_arg (Printf.sprintf "Cost_model.make: %s must be >= 0" name)
+  in
+  check "c_r" c_r;
+  check "c_p" c_p;
+  check "c_wi" c_wi;
+  check "c_wp" c_wp;
+  { c_r; c_p; c_wi; c_wp }
+
+let paper = { c_r = 1.0; c_p = 100.0; c_wi = 1.0; c_wp = 1.0 }
+let uniform = { c_r = 1.0; c_p = 1.0; c_wi = 1.0; c_wp = 1.0 }
+
+let pp ppf t =
+  Format.fprintf ppf "c_r=%g c_p=%g c_wi=%g c_wp=%g" t.c_r t.c_p t.c_wi
+    t.c_wp

@@ -1,0 +1,25 @@
+(** The paper's cost model (§3.1, Table 2).
+
+    Four unit costs parameterise query evaluation:
+    - [c_r]: reading an object from the input and evaluating [λ(o)];
+    - [c_p]: probing an object (retrieving [ω^o]) and evaluating
+      [λ(ω^o)];
+    - [c_wi]: appending an imprecise object to the answer;
+    - [c_wp]: appending a probed precise object to the answer.
+
+    The paper's experiments use [c_r = c_wi = c_wp = 1] and [c_p = 100]
+    ("two orders of magnitude", the DRAM/disk or disk/network latency
+    gap). *)
+
+type t = { c_r : float; c_p : float; c_wi : float; c_wp : float }
+
+val make : c_r:float -> c_p:float -> c_wi:float -> c_wp:float -> t
+(** @raise Invalid_argument if any cost is negative or not finite. *)
+
+val paper : t
+(** [c_r = 1, c_p = 100, c_wi = 1, c_wp = 1]. *)
+
+val uniform : t
+(** All costs 1 — useful for counting operations. *)
+
+val pp : Format.formatter -> t -> unit

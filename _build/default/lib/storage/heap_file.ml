@@ -1,0 +1,105 @@
+type 'a t = { objects : 'a array; page_size : int }
+
+let create ?(page_size = 64) objects =
+  if page_size < 1 then invalid_arg "Heap_file.create: page_size < 1";
+  { objects = Array.copy objects; page_size }
+
+let length t = Array.length t.objects
+let page_size t = t.page_size
+let page_count t = (length t + t.page_size - 1) / t.page_size
+
+let get t i =
+  if i < 0 || i >= length t then invalid_arg "Heap_file.get: index";
+  t.objects.(i)
+
+let page_bounds t p =
+  let lo = p * t.page_size in
+  let hi = Stdlib.min (lo + t.page_size) (length t) in
+  (lo, hi)
+
+let page t p =
+  if p < 0 || p >= page_count t then invalid_arg "Heap_file.page: index";
+  let lo, hi = page_bounds t p in
+  Array.sub t.objects lo (hi - lo)
+
+let iter_pages t f =
+  for p = 0 to page_count t - 1 do
+    f p (page t p)
+  done
+
+let to_array t = Array.copy t.objects
+
+type io_stats = { pages_fetched : int; objects_delivered : int }
+
+module Cursor = struct
+  type 'a cursor = {
+    file : 'a t;
+    fetch : int -> 'a array;  (* page fetch, possibly through a pool *)
+    pages_to_visit : int array;  (* page indices, in storage order *)
+    deliverable : int;  (* total objects on visited pages *)
+    skipped_total : int;
+    mutable page_pos : int;  (* index into pages_to_visit *)
+    mutable buffer : 'a array;  (* current page, [||] when exhausted *)
+    mutable buffer_pos : int;
+    mutable consumed : int;
+    mutable pages_fetched : int;
+  }
+
+  type 'a t = 'a cursor
+
+  let open_via file fetch ~skip_page =
+    (* The zone map is consulted for every page up front: pruning is
+       "implicit" in the paper's sense — pruned objects count as already
+       classified NO, so they never appear in |M_ns|. *)
+    let visit = ref [] in
+    let deliverable = ref 0 in
+    for p = page_count file - 1 downto 0 do
+      if not (skip_page p) then begin
+        visit := p :: !visit;
+        let lo, hi = page_bounds file p in
+        deliverable := !deliverable + (hi - lo)
+      end
+    done;
+    {
+      file;
+      fetch;
+      pages_to_visit = Array.of_list !visit;
+      deliverable = !deliverable;
+      skipped_total = length file - !deliverable;
+      page_pos = 0;
+      buffer = [||];
+      buffer_pos = 0;
+      consumed = 0;
+      pages_fetched = 0;
+    }
+
+  let open_filtered file ~skip_page = open_via file (page file) ~skip_page
+
+  let open_ file = open_filtered file ~skip_page:(fun _ -> false)
+
+  let open_pooled ?(skip_page = fun _ -> false) file ~pool =
+    let fetch p = Buffer_pool.fetch pool p (page file) in
+    open_via file fetch ~skip_page
+
+  let rec next c =
+    if c.buffer_pos < Array.length c.buffer then begin
+      let o = c.buffer.(c.buffer_pos) in
+      c.buffer_pos <- c.buffer_pos + 1;
+      c.consumed <- c.consumed + 1;
+      Some o
+    end
+    else if c.page_pos < Array.length c.pages_to_visit then begin
+      c.buffer <- c.fetch c.pages_to_visit.(c.page_pos);
+      c.buffer_pos <- 0;
+      c.page_pos <- c.page_pos + 1;
+      c.pages_fetched <- c.pages_fetched + 1;
+      next c
+    end
+    else None
+
+  let consumed c = c.consumed
+  let remaining c = c.deliverable - c.consumed
+  let skipped c = c.skipped_total
+
+  let io c = { pages_fetched = c.pages_fetched; objects_delivered = c.consumed }
+end

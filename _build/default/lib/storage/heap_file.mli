@@ -1,0 +1,73 @@
+(** Simulated paged heap files.
+
+    The paper's input [T] is a stored relation accessed by linear scan
+    (§3).  This module simulates the storage layout: objects are packed
+    into fixed-capacity pages and scans fetch one page at a time, so the
+    harness can account both per-object costs (the paper's [c_r]) and
+    page-level I/O (used by the zone-map extension to show what index
+    pruning would save). *)
+
+type 'a t
+
+val create : ?page_size:int -> 'a array -> 'a t
+(** [create objects] lays the objects out in arrival order.
+    [page_size] defaults to 64 objects per page.
+    @raise Invalid_argument if [page_size < 1]. *)
+
+val length : 'a t -> int
+(** Number of objects. *)
+
+val page_size : 'a t -> int
+val page_count : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** Random access by object index (no I/O accounting).
+    @raise Invalid_argument on out-of-range index. *)
+
+val page : 'a t -> int -> 'a array
+(** Copy of the objects of one page (the final page may be short). *)
+
+val iter_pages : 'a t -> (int -> 'a array -> unit) -> unit
+
+val to_array : 'a t -> 'a array
+(** Copy of all objects in storage order. *)
+
+(** {2 Scanning} *)
+
+type io_stats = { pages_fetched : int; objects_delivered : int }
+
+(** A sequential cursor over the file.  The QaQ operator consumes objects
+    through a cursor so that [|M_ns|] (objects not yet seen) is always
+    [remaining]. *)
+module Cursor : sig
+  type 'a file := 'a t
+  type 'a t
+
+  val open_ : 'a file -> 'a t
+
+  val open_filtered : 'a file -> skip_page:(int -> bool) -> 'a t
+  (** A cursor that skips whole pages for which [skip_page] is [true]
+      without fetching them — the access-method hook used by the zone-map
+      extension.  Skipped objects are reported via {!skipped}. *)
+
+  val open_pooled :
+    ?skip_page:(int -> bool) -> 'a file -> pool:'a Buffer_pool.t -> 'a t
+  (** Like {!open_filtered} but page reads go through an LRU buffer pool
+      shared across cursors: repeated or partially-overlapping scans
+      re-use cached pages.  {!io}'s [pages_fetched] counts pages
+      {e requested}; the pool's own stats separate hits from misses. *)
+
+  val next : 'a t -> 'a option
+  (** Next object, fetching a page when the current one is exhausted. *)
+
+  val consumed : 'a t -> int
+  (** Objects delivered so far. *)
+
+  val remaining : 'a t -> int
+  (** Objects not yet delivered (and not skipped). *)
+
+  val skipped : 'a t -> int
+  (** Objects pruned by [skip_page] so far. *)
+
+  val io : 'a t -> io_stats
+end

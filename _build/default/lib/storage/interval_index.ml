@@ -1,0 +1,74 @@
+type 'a entry = { support : Interval.t; payload : 'a }
+
+type 'a t = {
+  (* Sorted by support upper bound, ascending. *)
+  entries : 'a entry array;
+  (* suffix_min_lo.(i) = min over j >= i of entries.(j).support.lo. *)
+  suffix_min_lo : float array;
+}
+
+let build objects ~support =
+  let entries =
+    Array.map (fun payload -> { support = support payload; payload }) objects
+  in
+  Array.sort
+    (fun a b -> Float.compare (Interval.hi a.support) (Interval.hi b.support))
+    entries;
+  let n = Array.length entries in
+  let suffix_min_lo = Array.make (n + 1) infinity in
+  for i = n - 1 downto 0 do
+    suffix_min_lo.(i) <-
+      Float.min suffix_min_lo.(i + 1) (Interval.lo entries.(i).support)
+  done;
+  { entries; suffix_min_lo }
+
+let length t = Array.length t.entries
+
+(* First index whose support upper bound is >= x. *)
+let first_hi_at_least t x =
+  let n = Array.length t.entries in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if Interval.hi t.entries.(mid).support >= x then search lo mid
+      else search (mid + 1) hi
+    end
+  in
+  search 0 n
+
+let iter_candidates t pred f =
+  let set = Predicate.satisfying_set pred in
+  match Real_set.components set with
+  | [] -> ()
+  | components ->
+      let n = Array.length t.entries in
+      let seen = Array.make n false in
+      List.iter
+        (fun (c_lo, c_hi) ->
+          (* Candidates for this component: hi >= c_lo (a suffix of the
+             sort order, found by binary search) and lo <= c_hi.  The
+             suffix minimum of lo gives a whole-suffix early exit when
+             nothing ahead can reach the component. *)
+          let start = if c_lo = neg_infinity then 0 else first_hi_at_least t c_lo in
+          if t.suffix_min_lo.(start) <= c_hi then
+            for i = start to n - 1 do
+              if (not seen.(i)) && Interval.lo t.entries.(i).support <= c_hi
+              then seen.(i) <- true
+            done)
+        components;
+      for i = 0 to n - 1 do
+        if seen.(i) then f t.entries.(i).payload
+      done
+
+let candidates t pred =
+  let out = ref [] in
+  iter_candidates t pred (fun x -> out := x :: !out);
+  Array.of_list (List.rev !out)
+
+let candidate_count t pred =
+  let n = ref 0 in
+  iter_candidates t pred (fun _ -> incr n);
+  !n
+
+let pruned_count t pred = length t - candidate_count t pred

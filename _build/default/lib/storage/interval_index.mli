@@ -1,0 +1,36 @@
+(** A static index over objects' support intervals.
+
+    The object-granular version of what {!Zone_map} does per page, and
+    the access-method integration the paper defers to future work (§7):
+    for a query predicate, the index yields only the objects whose
+    support intersects the predicate's satisfying set — every object it
+    withholds is a definite NO, so handing the operator the candidates
+    alone is sound and shrinks [|M_ns|] (and the read cost) for free.
+
+    Implementation: objects sorted by support upper bound with a
+    suffix-minimum array of lower bounds.  For each component [c] of the
+    satisfying set, a binary search finds the objects with
+    [hi >= c.lo]; the suffix minimum prunes the scan early once no
+    remaining object can reach the component.  Build is O(n log n);
+    a query costs O(log n + candidates) per component for threshold
+    predicates, degrading gracefully for pathological nestings. *)
+
+type 'a t
+
+val build : 'a array -> support:('a -> Interval.t) -> 'a t
+
+val length : 'a t -> int
+
+val candidates : 'a t -> Predicate.t -> 'a array
+(** All objects not certainly NO, each exactly once, in index order. *)
+
+val candidate_count : 'a t -> Predicate.t -> int
+
+val pruned_count : 'a t -> Predicate.t -> int
+(** Objects the index withholds: [length - candidate_count].
+
+    Feed the candidates to the operator with
+    [Operator.source_of_array (Interval_index.candidates idx pred)]:
+    the source's [total] is then the candidate count, which is the
+    correct initial [|M_ns|] because the pruned objects are known
+    NOs. *)

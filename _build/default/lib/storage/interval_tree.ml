@@ -1,0 +1,149 @@
+(* Classical centered interval tree.  Each entry carries a unique tag so
+   multi-component predicate queries can deduplicate reported entries. *)
+
+type 'a entry = { interval : Interval.t; payload : 'a; tag : int }
+
+type 'a node = {
+  center : float;
+  by_lo : 'a entry array;  (* intervals containing center, lo ascending *)
+  by_hi : 'a entry array;  (* the same intervals, hi descending *)
+  left : 'a node option;
+  right : 'a node option;
+}
+
+type 'a t = { root : 'a node option; size : int }
+
+let build pairs =
+  let entries =
+    Array.to_list
+      (Array.mapi
+         (fun tag (interval, payload) -> { interval; payload; tag })
+         pairs)
+  in
+  let rec make = function
+    | [] -> None
+    | entries ->
+        (* Median of the midpoints balances the recursion. *)
+        let mids =
+          List.map (fun e -> Interval.midpoint e.interval) entries
+          |> List.sort Float.compare |> Array.of_list
+        in
+        let center = mids.(Array.length mids / 2) in
+        let here, left_of, right_of =
+          List.fold_left
+            (fun (here, l, r) e ->
+              if Interval.hi e.interval < center then (here, e :: l, r)
+              else if Interval.lo e.interval > center then (here, l, e :: r)
+              else (e :: here, l, r))
+            ([], [], []) entries
+        in
+        let by_lo = Array.of_list here in
+        Array.sort
+          (fun a b -> Float.compare (Interval.lo a.interval) (Interval.lo b.interval))
+          by_lo;
+        let by_hi = Array.copy by_lo in
+        Array.sort
+          (fun a b -> Float.compare (Interval.hi b.interval) (Interval.hi a.interval))
+          by_hi;
+        Some { center; by_lo; by_hi; left = make left_of; right = make right_of }
+  in
+  { root = make entries; size = Array.length pairs }
+
+let size t = t.size
+
+let height t =
+  let rec go = function
+    | None -> 0
+    | Some n -> 1 + Stdlib.max (go n.left) (go n.right)
+  in
+  go t.root
+
+let iter_stab t x f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        if x < n.center then begin
+          (* Only intervals starting at or before x can contain it. *)
+          let rec scan i =
+            if i < Array.length n.by_lo && Interval.lo n.by_lo.(i).interval <= x
+            then begin
+              f n.by_lo.(i);
+              scan (i + 1)
+            end
+          in
+          scan 0;
+          go n.left
+        end
+        else if x > n.center then begin
+          let rec scan i =
+            if i < Array.length n.by_hi && Interval.hi n.by_hi.(i).interval >= x
+            then begin
+              f n.by_hi.(i);
+              scan (i + 1)
+            end
+          in
+          scan 0;
+          go n.right
+        end
+        else Array.iter f n.by_lo
+  in
+  go t.root
+
+(* Entries with lo in (a, b]; bounds may be infinite. *)
+let iter_lo_in t a b f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        Array.iter
+          (fun e ->
+            let lo = Interval.lo e.interval in
+            if lo > a && lo <= b then f e)
+          n.by_lo;
+        (* Left subtree: hi < center, so lo < center too; prune when even
+           center <= a.  Right subtree: lo > center; prune when center > b. *)
+        if n.center > a then go n.left;
+        if n.center <= b then go n.right
+  in
+  go t.root
+
+let iter_overlapping_raw t a b f =
+  (* Intervals intersecting [a, b] either contain a, or start inside
+     (a, b] — disjoint cases, so no deduplication is needed here. *)
+  if Float.is_finite a then iter_stab t a f
+  else ();
+  let a' = if Float.is_finite a then a else neg_infinity in
+  iter_lo_in t a' b f
+
+let stab t x =
+  let out = ref [] in
+  iter_stab t x (fun e -> out := (e.interval, e.payload) :: !out);
+  !out
+
+let overlapping t q =
+  let out = ref [] in
+  iter_overlapping_raw t (Interval.lo q) (Interval.hi q) (fun e ->
+      out := (e.interval, e.payload) :: !out);
+  !out
+
+let count_stab t x =
+  let n = ref 0 in
+  iter_stab t x (fun _ -> incr n);
+  !n
+
+let count_overlapping t q =
+  let n = ref 0 in
+  iter_overlapping_raw t (Interval.lo q) (Interval.hi q) (fun _ -> incr n);
+  !n
+
+let candidates t pred =
+  let seen = Array.make t.size false in
+  let out = ref [] in
+  List.iter
+    (fun (a, b) ->
+      iter_overlapping_raw t a b (fun e ->
+          if not seen.(e.tag) then begin
+            seen.(e.tag) <- true;
+            out := e.payload :: !out
+          end))
+    (Real_set.components (Predicate.satisfying_set pred));
+  !out

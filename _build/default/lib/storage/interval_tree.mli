@@ -1,0 +1,41 @@
+(** A static centered interval tree over objects' support intervals.
+
+    Where {!Interval_index} answers "which objects might satisfy this
+    predicate" by sorted-array sweeps, the interval tree answers the two
+    primitive geometric queries directly and in output-sensitive time:
+
+    - {b stabbing}: all intervals containing a point — O(log n + k);
+    - {b overlap}: all intervals intersecting a query interval.
+
+    Both are building blocks for imprecise-data access: a stabbing query
+    at a predicate threshold yields exactly the MAYBE objects of
+    [value >= x] (their supports straddle the threshold), and overlap
+    queries yield the non-NO candidates of range predicates.  The
+    structure is the classical one: each node stores the intervals
+    containing its center, sorted by both endpoints; the rest recurse
+    left/right of the center. *)
+
+type 'a t
+
+val build : (Interval.t * 'a) array -> 'a t
+(** O(n log n).  Duplicate intervals are kept. *)
+
+val size : 'a t -> int
+val height : 'a t -> int
+(** 0 for the empty tree; O(log n) for the balanced construction. *)
+
+val stab : 'a t -> float -> (Interval.t * 'a) list
+(** All entries whose interval contains the point, in unspecified
+    order. *)
+
+val overlapping : 'a t -> Interval.t -> (Interval.t * 'a) list
+(** All entries whose interval intersects the query interval. *)
+
+val count_stab : 'a t -> float -> int
+val count_overlapping : 'a t -> Interval.t -> int
+
+val candidates : 'a t -> Predicate.t -> 'a list
+(** Objects not certainly NO under the predicate: entries whose interval
+    intersects any component of the satisfying set, each reported once
+    (by physical entry), in unspecified order.  Equivalent to
+    {!Interval_index.candidates} up to order. *)

@@ -1,0 +1,26 @@
+(** Per-page zone maps over a scalar attribute.
+
+    The paper leaves index-assisted access as future work (§7) but notes
+    that "in the presence of an index we can effectively prune away part
+    of [T] implicitly" (§3).  A zone map is the lightest such access
+    method: each page records the hull of its objects' supports, and a
+    page whose hull is classified NO by the predicate can be skipped
+    without reading any of its objects.  Pruned objects are definite NOs,
+    so skipping them is always sound — it shrinks [|M_ns|] for free and
+    thereby improves the recall guarantee without any reads. *)
+
+type t
+
+val build : 'a Heap_file.t -> support:('a -> Interval.t) -> t
+(** One hull per page. *)
+
+val page_count : t -> int
+
+val zone : t -> int -> Interval.t option
+(** The hull of page [p]; [None] for an empty page. *)
+
+val prunable : t -> Predicate.t -> int -> bool
+(** [prunable zm pred p] iff every object on page [p] is guaranteed NO. *)
+
+val pruned_pages : t -> Predicate.t -> int
+(** Number of pages {!prunable} would skip. *)

@@ -1,0 +1,1 @@
+lib/text/edit_distance.ml: Array Fun Stdlib String

@@ -1,0 +1,1 @@
+lib/text/edit_distance.mli:

@@ -1,0 +1,1 @@
+lib/text/qgram.ml: Array Hashtbl List Option Stdlib String

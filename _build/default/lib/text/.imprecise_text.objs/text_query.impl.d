@@ -1,0 +1,1 @@
+lib/text/text_query.ml: Array Edit_distance Operator Qgram Tvl

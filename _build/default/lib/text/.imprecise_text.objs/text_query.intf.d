@@ -1,0 +1,1 @@
+lib/text/text_query.mli: Operator Qgram

@@ -1,0 +1,63 @@
+let distance a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    (* Keep the shorter string on the row axis for O(min) space. *)
+    let a, b, la, lb = if la <= lb then (a, b, la, lb) else (b, a, lb, la) in
+    let prev = Array.init (la + 1) Fun.id in
+    let curr = Array.make (la + 1) 0 in
+    for j = 1 to lb do
+      curr.(0) <- j;
+      for i = 1 to la do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        curr.(i) <-
+          Stdlib.min
+            (Stdlib.min (curr.(i - 1) + 1) (prev.(i) + 1))
+            (prev.(i - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (la + 1)
+    done;
+    prev.(la)
+  end
+
+let within a b k =
+  if k < 0 then invalid_arg "Edit_distance.within: k < 0";
+  let la = String.length a and lb = String.length b in
+  if abs (la - lb) > k then false
+  else begin
+    let a, b, la, lb = if la <= lb then (a, b, la, lb) else (b, a, lb, la) in
+    (* Banded DP: only cells with |i - j| <= k can stay within k.  A
+       sentinel above k marks out-of-band cells. *)
+    let infinity_ = k + 1 in
+    let prev = Array.make (la + 1) infinity_ in
+    let curr = Array.make (la + 1) infinity_ in
+    for i = 0 to Stdlib.min la k do
+      prev.(i) <- i
+    done;
+    let exceeded = ref false in
+    let j = ref 1 in
+    while (not !exceeded) && !j <= lb do
+      let lo = Stdlib.max 0 (!j - k) and hi = Stdlib.min la (!j + k) in
+      Array.fill curr 0 (la + 1) infinity_;
+      if lo = 0 then curr.(0) <- !j;
+      let row_min = ref infinity_ in
+      if lo = 0 then row_min := Stdlib.min !row_min curr.(0);
+      for i = Stdlib.max 1 lo to hi do
+        let cost = if a.[i - 1] = b.[!j - 1] then 0 else 1 in
+        let best =
+          Stdlib.min
+            (Stdlib.min
+               (if i - 1 >= lo then curr.(i - 1) + 1 else infinity_)
+               (prev.(i) + 1))
+            (prev.(i - 1) + cost)
+        in
+        curr.(i) <- Stdlib.min best infinity_;
+        if curr.(i) < !row_min then row_min := curr.(i)
+      done;
+      if !row_min > k then exceeded := true;
+      Array.blit curr 0 prev 0 (la + 1);
+      incr j
+    done;
+    (not !exceeded) && prev.(la) <= k
+  end

@@ -1,0 +1,15 @@
+(** Levenshtein edit distance.
+
+    The paper's querying-barrier example (§1.1): evaluating "the edit
+    distance between two strings of text" is itself expensive, so the
+    distance plays the role of the probe — computed only when the
+    cheaper q-gram bounds ({!Qgram}) cannot classify a string. *)
+
+val distance : string -> string -> int
+(** Unit-cost insert/delete/substitute Levenshtein distance,
+    O(|a|·|b|) time and O(min) space. *)
+
+val within : string -> string -> int -> bool
+(** [within a b k] iff [distance a b <= k], computed with a banded DP
+    that early-exits — O(k·min(|a|,|b|)) — the standard trick for
+    threshold queries.  @raise Invalid_argument if [k < 0]. *)

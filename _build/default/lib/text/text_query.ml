@@ -1,0 +1,56 @@
+type item = {
+  id : int;
+  sketch : Qgram.t;
+  text : string;
+  resolved : bool;
+}
+
+let make_item ~id ~q text =
+  { id; sketch = Qgram.profile ~q text; text; resolved = false }
+
+type query = { pattern : string; pattern_sketch : Qgram.t; k : int }
+
+let query ~q ~pattern ~k =
+  if k < 0 then invalid_arg "Text_query.query: k < 0";
+  { pattern; pattern_sketch = Qgram.profile ~q pattern; k }
+
+let distance_bounds qy item =
+  if item.resolved then begin
+    let d = Edit_distance.distance item.text qy.pattern in
+    (d, d)
+  end
+  else
+    ( Qgram.min_edit_distance item.sketch qy.pattern_sketch,
+      Qgram.max_edit_distance item.sketch qy.pattern_sketch )
+
+let instance qy : item Operator.instance =
+  {
+    classify =
+      (fun item ->
+        let lo, hi = distance_bounds qy item in
+        if hi <= qy.k then Tvl.Yes
+        else if lo > qy.k then Tvl.No
+        else Tvl.Maybe);
+    laxity =
+      (fun item ->
+        let lo, hi = distance_bounds qy item in
+        float_of_int (hi - lo));
+    success =
+      (fun item ->
+        let lo, hi = distance_bounds qy item in
+        if hi <= qy.k then 1.0
+        else if lo > qy.k then 0.0
+        else
+          (* Prior: true distance uniform over the bound interval —
+             the §4.1 recipe on the discrete range. *)
+          float_of_int (qy.k - lo + 1) /. float_of_int (hi - lo + 1));
+  }
+
+let probe item = { item with resolved = true }
+
+let in_exact qy item = Edit_distance.within item.text qy.pattern qy.k
+
+let exact_size qy items =
+  Array.fold_left
+    (fun acc item -> if in_exact qy item then acc + 1 else acc)
+    0 items

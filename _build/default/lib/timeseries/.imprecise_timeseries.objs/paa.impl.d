@@ -1,0 +1,1 @@
+lib/timeseries/paa.ml: Array Float Interval Time_series

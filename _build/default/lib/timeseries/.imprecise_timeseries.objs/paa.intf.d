@@ -1,0 +1,1 @@
+lib/timeseries/paa.mli: Interval Time_series

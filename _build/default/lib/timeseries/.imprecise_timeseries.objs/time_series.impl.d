@@ -1,0 +1,1 @@
+lib/timeseries/time_series.ml: Array Float Format Rng

@@ -1,0 +1,1 @@
+lib/timeseries/time_series.mli: Format Rng

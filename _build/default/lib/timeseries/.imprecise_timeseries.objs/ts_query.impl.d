@@ -1,0 +1,1 @@
+lib/timeseries/ts_query.ml: Array Interval Operator Paa Time_series

@@ -1,0 +1,1 @@
+lib/timeseries/ts_query.mli: Interval Operator Paa Time_series

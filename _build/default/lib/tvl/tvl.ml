@@ -1,0 +1,21 @@
+type t = Yes | No | Maybe
+
+let equal a b =
+  match (a, b) with
+  | Yes, Yes | No, No | Maybe, Maybe -> true
+  | (Yes | No | Maybe), _ -> false
+
+(* Order No < Maybe < Yes: the natural truth order of Kleene logic, under
+   which [and_] is the meet and [or_] the join. *)
+let rank = function No -> 0 | Maybe -> 1 | Yes -> 2
+let compare a b = Int.compare (rank a) (rank b)
+let to_string = function Yes -> "YES" | No -> "NO" | Maybe -> "MAYBE"
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+let of_bool b = if b then Yes else No
+let to_bool = function Yes -> Some true | No -> Some false | Maybe -> None
+let not_ = function Yes -> No | No -> Yes | Maybe -> Maybe
+let and_ a b = if rank a <= rank b then a else b
+let or_ a b = if rank a >= rank b then a else b
+let all ts = List.fold_left and_ Yes ts
+let any ts = List.fold_left or_ No ts
+let is_definite = function Yes | No -> true | Maybe -> false

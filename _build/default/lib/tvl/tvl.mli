@@ -1,0 +1,42 @@
+(** Three-valued logic for predicate evaluation over imprecise objects.
+
+    The paper's selection predicate [λ] maps an imprecise object to
+    {{!t} [Yes | No | Maybe]}: [Yes] means every precise value the object
+    could take satisfies the predicate, [No] means none does, and [Maybe]
+    means the object must be probed to find out.  Compound predicates
+    combine verdicts with Kleene's strong three-valued logic, which is
+    exactly the sound semantics for this reading: e.g. [Yes && Maybe]
+    is [Maybe] because the conjunction's truth still hinges on the
+    unresolved conjunct. *)
+
+type t = Yes | No | Maybe
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val of_bool : bool -> t
+(** [of_bool b] is [Yes] or [No]; a precise evaluation never yields
+    [Maybe]. *)
+
+val to_bool : t -> bool option
+(** [Some] for definite verdicts, [None] for [Maybe]. *)
+
+val not_ : t -> t
+(** Kleene negation: swaps [Yes] and [No], fixes [Maybe]. *)
+
+val and_ : t -> t -> t
+(** Kleene conjunction: [No] dominates, then [Maybe]. *)
+
+val or_ : t -> t -> t
+(** Kleene disjunction: [Yes] dominates, then [Maybe]. *)
+
+val all : t list -> t
+(** Conjunction of a list ([Yes] for the empty list). *)
+
+val any : t list -> t
+(** Disjunction of a list ([No] for the empty list). *)
+
+val is_definite : t -> bool
+(** [true] for [Yes] and [No]. *)

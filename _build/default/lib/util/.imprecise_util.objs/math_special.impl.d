@@ -1,0 +1,1 @@
+lib/util/math_special.ml: Array Float

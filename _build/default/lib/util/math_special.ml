@@ -1,0 +1,66 @@
+(* Abramowitz & Stegun 7.1.26: |error| <= 1.5e-7 on [0, inf); extended to
+   the real line by the odd symmetry erf(-x) = -erf(x). *)
+let erf x =
+  let sign = if x < 0.0 then -1.0 else 1.0 in
+  let x = Float.abs x in
+  let t = 1.0 /. (1.0 +. (0.3275911 *. x)) in
+  let poly =
+    t
+    *. (0.254829592
+       +. (t
+          *. (-0.284496736
+             +. (t *. (1.421413741 +. (t *. (-1.453152027 +. (t *. 1.061405429))))))))
+  in
+  sign *. (1.0 -. (poly *. exp (-.x *. x)))
+
+let erfc x = 1.0 -. erf x
+
+let normal_cdf ~mean ~stddev x =
+  if stddev <= 0.0 then invalid_arg "Math_special.normal_cdf: stddev <= 0";
+  0.5 *. erfc ((mean -. x) /. (stddev *. sqrt 2.0))
+
+(* Acklam's rational approximation to the standard normal quantile. *)
+let normal_quantile p =
+  if not (p > 0.0 && p < 1.0) then
+    invalid_arg "Math_special.normal_quantile: p outside (0, 1)";
+  let a =
+    [| -39.69683028665376; 220.9460984245205; -275.9285104469687;
+       138.3577518672690; -30.66479806614716; 2.506628277459239 |]
+  in
+  let b =
+    [| -54.47609879822406; 161.5858368580409; -155.6989798598866;
+       66.80131188771972; -13.28068155288572 |]
+  in
+  let c =
+    [| -0.007784894002430293; -0.3223964580411365; -2.400758277161838;
+       -2.549732539343734; 4.374664141464968; 2.938163982698783 |]
+  in
+  let d =
+    [| 0.007784695709041462; 0.3224671290700398; 2.445134137142996;
+       3.754408661907416 |]
+  in
+  let p_low = 0.02425 in
+  if p < p_low then begin
+    let q = sqrt (-2.0 *. log p) in
+    (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+    *. q +. c.(5)
+    |> fun num ->
+    num
+    /. (((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  end
+  else if p <= 1.0 -. p_low then begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4))
+    *. r +. a.(5)
+    |> fun num ->
+    num *. q
+    /. ((((((b.(0) *. r) +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4))
+        *. r +. 1.0)
+  end
+  else begin
+    let q = sqrt (-2.0 *. log (1.0 -. p)) in
+    -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+       *. q +. c.(5))
+    /. (((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+  end

@@ -1,0 +1,90 @@
+(* SplitMix64.  Reference: Steele, Lea & Flood, "Fast splittable
+   pseudorandom number generators", OOPSLA 2014.  The golden-gamma
+   constant 0x9e3779b97f4a7c15 is the odd integer closest to 2^64/phi. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9e3779b97f4a7c15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = bits64 t in
+  { state = mix64 seed }
+
+(* Uniform int in [0, bound) by rejection on the top bits, avoiding the
+   modulo bias of a plain [mod]. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let bound64 = Int64.of_int bound in
+  let rec draw () =
+    let raw = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem raw bound64 in
+    (* Reject the final partial block so every residue is equally likely. *)
+    if Int64.sub (Int64.add raw (Int64.sub bound64 1L)) v < 0L then draw ()
+    else Int64.to_int v
+  in
+  draw ()
+
+let uniform t =
+  (* 53 uniformly random mantissa bits, as in the standard doubles trick. *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let float t bound =
+  if not (bound > 0.0 && Float.is_finite bound) then
+    invalid_arg "Rng.float: bound must be finite and positive";
+  uniform t *. bound
+
+let uniform_in t lo hi =
+  if lo > hi then invalid_arg "Rng.uniform_in: lo > hi";
+  lo +. (uniform t *. (hi -. lo))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p =
+  if p >= 1.0 then true else if p <= 0.0 then false else uniform t < p
+
+let gaussian t ~mean ~stddev =
+  let rec polar () =
+    let u = (2.0 *. uniform t) -. 1.0 in
+    let v = (2.0 *. uniform t) -. 1.0 in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1.0 || s = 0.0 then polar ()
+    else u *. sqrt (-2.0 *. log s /. s)
+  in
+  mean +. (stddev *. polar ())
+
+let exponential t ~rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  -.log1p (-.uniform t) /. rate
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k < 0 || n < 0 then invalid_arg "Rng.sample_without_replacement: negative";
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  (* Reservoir sampling keeps memory at O(k) even for large n. *)
+  let reservoir = Array.init k (fun i -> i) in
+  for i = k to n - 1 do
+    let j = int t (i + 1) in
+    if j < k then reservoir.(j) <- i
+  done;
+  shuffle t reservoir;
+  reservoir

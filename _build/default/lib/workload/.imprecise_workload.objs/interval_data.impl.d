@@ -1,0 +1,1 @@
+lib/workload/interval_data.ml: Array Interval List Operator Predicate Rng Uncertain

@@ -1,0 +1,1 @@
+lib/workload/interval_data.mli: Interval Operator Predicate Rng Uncertain

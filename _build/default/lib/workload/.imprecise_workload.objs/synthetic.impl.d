@@ -1,0 +1,1 @@
+lib/workload/synthetic.ml: Array Float Operator Rng Stdlib Tvl

@@ -1,0 +1,47 @@
+type record = {
+  id : int;
+  belief : Uncertain.t;
+  truth : float;
+}
+
+let instance pred : record Operator.instance =
+  {
+    classify = (fun r -> Predicate.classify pred r.belief);
+    laxity = (fun r -> Uncertain.laxity r.belief);
+    success = (fun r -> Predicate.success pred r.belief);
+  }
+
+let probe r = { r with belief = Uncertain.exact r.truth }
+let in_exact pred r = Predicate.eval pred r.truth
+
+let exact_set pred records =
+  Array.to_list records |> List.filter (in_exact pred)
+
+let exact_size pred records =
+  Array.fold_left (fun acc r -> if in_exact pred r then acc + 1 else acc) 0 records
+
+let uniform_intervals rng ~n ~value_range ~max_width =
+  if n < 0 then invalid_arg "Interval_data.uniform_intervals: n < 0";
+  if max_width <= 0.0 then
+    invalid_arg "Interval_data.uniform_intervals: max_width <= 0";
+  Array.init n (fun id ->
+      let truth = Interval.sample rng value_range in
+      let width = Rng.float rng max_width in
+      (* Slide the interval uniformly around the truth so that, given the
+         interval, the truth is uniform within it. *)
+      let offset = Rng.float rng width in
+      let belief = Uncertain.interval (truth -. offset) (truth -. offset +. width) in
+      { id; belief; truth })
+
+let gaussian_beliefs rng ~n ~mean ~stddev ~noise =
+  if n < 0 then invalid_arg "Interval_data.gaussian_beliefs: n < 0";
+  if stddev <= 0.0 || noise <= 0.0 then
+    invalid_arg "Interval_data.gaussian_beliefs: non-positive scale";
+  Array.init n (fun id ->
+      let truth = Rng.gaussian rng ~mean ~stddev in
+      let rec belief () =
+        let observed = Rng.gaussian rng ~mean:truth ~stddev:noise in
+        let b = Uncertain.gaussian ~mean:observed ~stddev:noise () in
+        if Interval.contains (Uncertain.support b) truth then b else belief ()
+      in
+      { id; belief = belief (); truth })

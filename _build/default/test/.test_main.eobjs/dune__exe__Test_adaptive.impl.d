@@ -1,0 +1,1 @@
+test/test_adaptive.ml: Adaptive Alcotest Array Cost_model List Operator Policy Printf Quality Region_model Rng Solver Synthetic

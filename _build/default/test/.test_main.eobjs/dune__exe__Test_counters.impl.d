@@ -1,0 +1,1 @@
+test/test_counters.ml: Alcotest Counters List QCheck2 QCheck_alcotest

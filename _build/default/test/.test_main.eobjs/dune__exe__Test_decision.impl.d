@@ -1,0 +1,1 @@
+test/test_decision.ml: Alcotest Counters Decision List QCheck2 QCheck_alcotest Quality Tvl

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Cost_meter Cost_model Exp_config Exp_runner Float List Paper_tables Policy Printf Rng String Synthetic

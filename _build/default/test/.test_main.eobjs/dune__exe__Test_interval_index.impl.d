@@ -1,0 +1,1 @@
+test/test_interval_index.ml: Alcotest Array Interval Interval_data Interval_index List Operator Policy Predicate QCheck2 QCheck_alcotest Quality Rng Tvl Uncertain

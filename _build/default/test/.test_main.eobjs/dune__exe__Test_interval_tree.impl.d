@@ -1,0 +1,1 @@
+test/test_interval_tree.ml: Alcotest Array Float Interval Interval_index Interval_tree List Predicate QCheck2 QCheck_alcotest Rng

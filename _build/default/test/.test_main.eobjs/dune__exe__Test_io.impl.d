@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Array Csv Dataset_io Filename Fun Interval Interval_data List QCheck2 QCheck_alcotest Rng Synthetic Sys Tvl Uncertain

@@ -1,0 +1,1 @@
+test/test_join.ml: Alcotest Band_join Float Interval Interval_data List Operator Pair_distance Policy QCheck2 QCheck_alcotest Quality Rng Tvl

@@ -1,0 +1,1 @@
+test/test_math_special.ml: Alcotest List Math_special Printf

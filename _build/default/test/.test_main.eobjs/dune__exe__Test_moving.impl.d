@@ -1,0 +1,1 @@
+test/test_moving.ml: Alcotest Array Interval List Moving_object Operator Policy Quality Rect Rng Tvl

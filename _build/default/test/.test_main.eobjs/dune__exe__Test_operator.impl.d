@@ -1,0 +1,1 @@
+test/test_operator.ml: Alcotest Array Cost_meter Float Heap_file Interval Interval_data List Operator Policy Predicate QCheck2 QCheck_alcotest Quality Rng Synthetic Uncertain Unix Zone_map

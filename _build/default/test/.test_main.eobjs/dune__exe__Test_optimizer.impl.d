@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Array Cost_model Density Float Grid List Nelder_mead Policy Printf Quality Region_model Rng Selectivity Solver String Synthetic

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Counters Decision Float Policy Quality Rng Tvl

@@ -1,0 +1,1 @@
+test/test_predicate.ml: Alcotest Float Interval Predicate QCheck2 QCheck_alcotest Real_set Rng Tvl Uncertain

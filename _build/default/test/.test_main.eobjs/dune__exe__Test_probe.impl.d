@@ -1,0 +1,1 @@
+test/test_probe.ml: Alcotest Array Fun Interval Predicate Probe_source Rng Sensor_net Tvl

@@ -1,0 +1,1 @@
+test/test_real_set.ml: Alcotest Interval List QCheck2 QCheck_alcotest Real_set

@@ -1,0 +1,1 @@
+test/test_rect.ml: Alcotest Interval QCheck2 QCheck_alcotest Rect Rng Tvl

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Cost_meter List Operator Predicate QCheck2 QCheck_alcotest Quality Relation Rng Tvl Uncertain

@@ -1,0 +1,1 @@
+test/test_reports.ml: Alcotest Band_join Cost_meter Exp_config Exp_report Fun Interval Interval_data List Operator Policy Probe_source Quality Rng String Synthetic Text_table

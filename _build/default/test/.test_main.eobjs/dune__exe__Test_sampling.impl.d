@@ -1,0 +1,1 @@
+test/test_sampling.ml: Alcotest Array Float Histogram List Reservoir Rng Selectivity Synthetic

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Buffer_pool Cost_meter Cost_model Fun Heap_file Interval List Predicate QCheck2 QCheck_alcotest Rng Tvl Zone_map

@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Array Bytes Char Edit_distance List Operator Policy QCheck2 QCheck_alcotest Qgram Quality Rng String Text_query Tvl

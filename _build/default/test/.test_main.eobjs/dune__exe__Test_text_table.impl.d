@@ -1,0 +1,1 @@
+test/test_text_table.ml: Alcotest List String Text_table

@@ -1,0 +1,1 @@
+test/test_timeseries.ml: Alcotest Array Fun Interval List Operator Paa Policy QCheck2 QCheck_alcotest Quality Rng Seq Stdlib Time_series Ts_query Tvl

@@ -1,0 +1,1 @@
+test/test_top_k.ml: Alcotest Array Interval Interval_data List QCheck2 QCheck_alcotest Quality Rng Top_k Tvl Uncertain

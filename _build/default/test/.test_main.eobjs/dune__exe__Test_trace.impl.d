@@ -1,0 +1,1 @@
+test/test_trace.ml: Adaptive Alcotest Array Cost_model Float List Operator Policy Quality Region_model Rng Solver Synthetic Tvl

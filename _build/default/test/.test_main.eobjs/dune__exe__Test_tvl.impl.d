@@ -1,0 +1,1 @@
+test/test_tvl.ml: Alcotest List Tvl

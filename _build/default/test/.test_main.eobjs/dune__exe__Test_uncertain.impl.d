@@ -1,0 +1,1 @@
+test/test_uncertain.ml: Alcotest Float Interval QCheck2 QCheck_alcotest Rng Tvl Uncertain

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Interval Interval_data Predicate Printf QCheck2 QCheck_alcotest Rng Stats Stdlib Synthetic Tvl Uncertain

@@ -1,0 +1,100 @@
+(* Tests for the one-call execution facade. *)
+
+let checkb = Alcotest.(check bool)
+
+let requirements = Quality.requirements ~precision:0.9 ~recall:0.5 ~laxity:50.0
+
+let dataset seed = Synthetic.generate (Rng.create seed) (Synthetic.config ~total:5000 ())
+
+let test_execute_default () =
+  let data = dataset 1 in
+  let result =
+    Engine.execute ~rng:(Rng.create 2) ~max_laxity:100.0
+      ~instance:Synthetic.instance ~probe:Synthetic.probe ~requirements data
+  in
+  checkb "meets" true (Quality.meets result.report.guarantees requirements);
+  (match result.plan with
+  | Some plan ->
+      checkb "sampled an estimate" true (plan.estimate <> None);
+      checkb "solver feasible" true plan.evaluation.feasible;
+      (* Estimated fractions should be near the generator's 0.2. *)
+      (match plan.estimate with
+      | Some e ->
+          checkb "f_y plausible" true (Float.abs (e.f_y -. 0.2) < 0.15);
+          checkb "f_m plausible" true (Float.abs (e.f_m -. 0.2) < 0.15)
+      | None -> ())
+  | None -> Alcotest.fail "expected a plan");
+  checkb "cost in the plausible band" true
+    (result.normalized_cost > 1.0 && result.normalized_cost < 25.0)
+
+let test_execute_fixed () =
+  let data = dataset 3 in
+  let result =
+    Engine.execute ~rng:(Rng.create 4)
+      ~planning:(Engine.Fixed Policy.stingy_params)
+      ~instance:Synthetic.instance ~probe:Synthetic.probe ~requirements data
+  in
+  checkb "no plan for fixed" true (result.plan = None);
+  checkb "still meets" true (Quality.meets result.report.guarantees requirements)
+
+let test_execute_adaptive () =
+  let data = dataset 5 in
+  let result =
+    Engine.execute ~rng:(Rng.create 6) ~adaptive:true ~max_laxity:100.0
+      ~instance:Synthetic.instance ~probe:Synthetic.probe ~requirements data
+  in
+  checkb "adaptive meets" true (Quality.meets result.report.guarantees requirements)
+
+let test_execute_histogram_density () =
+  let data =
+    Synthetic.generate_skewed (Rng.create 7)
+      (Synthetic.config ~total:5000 ())
+      ~laxity_exponent:4.0 ~success_exponent:1.0
+  in
+  let result =
+    Engine.execute ~rng:(Rng.create 8)
+      ~planning:
+        (Engine.Sampled
+           { fraction = 0.05; density = `Histogram; fallback = (0.2, 0.2) })
+      ~max_laxity:100.0 ~instance:Synthetic.instance ~probe:Synthetic.probe
+      ~requirements data
+  in
+  checkb "histogram-planned run meets" true
+    (Quality.meets result.report.guarantees requirements)
+
+let test_execute_empty_and_tiny () =
+  let empty =
+    Engine.execute ~rng:(Rng.create 9) ~instance:Synthetic.instance
+      ~probe:Synthetic.probe ~requirements [||]
+  in
+  checkb "empty ok" true (Quality.meets empty.report.guarantees requirements);
+  Alcotest.(check (float 0.0)) "empty cost" 0.0 empty.normalized_cost;
+  (* A dataset too small for the sample to catch anything exercises the
+     fallback prior. *)
+  let tiny = Synthetic.generate (Rng.create 10) (Synthetic.config ~total:5 ()) in
+  let result =
+    Engine.execute ~rng:(Rng.create 11) ~instance:Synthetic.instance
+      ~probe:Synthetic.probe ~requirements tiny
+  in
+  checkb "tiny ok" true (Quality.meets result.report.guarantees requirements)
+
+let test_invalid_fallback () =
+  Alcotest.check_raises "bad fallback"
+    (Invalid_argument "Engine.execute: invalid fallback fractions") (fun () ->
+      ignore
+        (Engine.execute ~rng:(Rng.create 1)
+           ~planning:
+             (Engine.Sampled
+                { fraction = 0.01; density = `Uniform; fallback = (0.9, 0.9) })
+           ~instance:Synthetic.instance ~probe:Synthetic.probe ~requirements
+           (dataset 12)))
+
+let suite =
+  [
+    ("execute with default planning", `Quick, test_execute_default);
+    ("execute with fixed params", `Quick, test_execute_fixed);
+    ("execute adaptive", `Quick, test_execute_adaptive);
+    ("execute with histogram density", `Quick, test_execute_histogram_density);
+    ("empty and tiny inputs", `Quick, test_execute_empty_and_tiny);
+    ("invalid fallback", `Quick, test_invalid_fallback);
+  ]

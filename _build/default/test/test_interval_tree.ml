@@ -1,0 +1,134 @@
+(* Tests for the centered interval tree. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let iv lo hi = Interval.make lo hi
+
+let sample_tree () =
+  Interval_tree.build
+    [| (iv 0.0 3.0, "a"); (iv 2.0 5.0, "b"); (iv 4.0 9.0, "c");
+       (iv 8.0 10.0, "d"); (iv 1.0 1.0, "point") |]
+
+let sorted_payloads entries = List.sort compare (List.map snd entries)
+
+let test_stab () =
+  let t = sample_tree () in
+  Alcotest.(check (list string)) "stab 2.5" [ "a"; "b" ]
+    (sorted_payloads (Interval_tree.stab t 2.5));
+  Alcotest.(check (list string)) "stab 1" [ "a"; "point" ]
+    (sorted_payloads (Interval_tree.stab t 1.0));
+  Alcotest.(check (list string)) "stab 8.5" [ "c"; "d" ]
+    (sorted_payloads (Interval_tree.stab t 8.5));
+  Alcotest.(check (list string)) "stab outside" []
+    (sorted_payloads (Interval_tree.stab t 20.0));
+  checki "count agrees" 2 (Interval_tree.count_stab t 2.5)
+
+let test_overlapping () =
+  let t = sample_tree () in
+  Alcotest.(check (list string)) "window [3.5, 8]" [ "b"; "c"; "d" ]
+    (sorted_payloads (Interval_tree.overlapping t (iv 3.5 8.0)));
+  Alcotest.(check (list string)) "everything" [ "a"; "b"; "c"; "d"; "point" ]
+    (sorted_payloads (Interval_tree.overlapping t (iv (-5.0) 50.0)));
+  Alcotest.(check (list string)) "inside c only" [ "c" ]
+    (sorted_payloads (Interval_tree.overlapping t (iv 6.5 7.5)));
+  Alcotest.(check (list string)) "beyond everything" []
+    (sorted_payloads (Interval_tree.overlapping t (iv 10.5 11.0)))
+
+let test_empty_and_metrics () =
+  let empty = Interval_tree.build [||] in
+  checki "empty size" 0 (Interval_tree.size empty);
+  checki "empty height" 0 (Interval_tree.height empty);
+  Alcotest.(check (list string)) "empty stab" []
+    (sorted_payloads (Interval_tree.stab empty 1.0));
+  let t = sample_tree () in
+  checki "size" 5 (Interval_tree.size t);
+  checkb "height positive" true (Interval_tree.height t >= 1)
+
+let test_height_balanced () =
+  (* n well-spread intervals: height should stay logarithmic, far below
+     a degenerate chain. *)
+  let rng = Rng.create 13 in
+  let pairs =
+    Array.init 4096 (fun i ->
+        let lo = Rng.uniform_in rng 0.0 10000.0 in
+        (Interval.make lo (lo +. Rng.float rng 50.0), i))
+  in
+  let t = Interval_tree.build pairs in
+  checkb "logarithmic height" true (Interval_tree.height t <= 40)
+
+let entry_gen =
+  QCheck2.Gen.(
+    let* lo = float_range (-100.0) 100.0 in
+    let* w = float_range 0.0 40.0 in
+    return (Interval.make lo (lo +. w)))
+
+let prop_stab_matches_bruteforce =
+  QCheck2.Test.make ~name:"stab matches brute force" ~count:200
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 120) entry_gen) (float_range (-120.0) 120.0))
+    (fun (intervals, x) ->
+      let pairs = Array.of_list (List.mapi (fun i iv -> (iv, i)) intervals) in
+      let t = Interval_tree.build pairs in
+      let got = List.sort compare (List.map snd (Interval_tree.stab t x)) in
+      let expected =
+        List.sort compare
+          (List.filteri (fun _ _ -> true) intervals
+          |> List.mapi (fun i iv -> (i, iv))
+          |> List.filter (fun (_, iv) -> Interval.contains iv x)
+          |> List.map fst)
+      in
+      got = expected)
+
+let prop_overlap_matches_bruteforce =
+  QCheck2.Test.make ~name:"overlap matches brute force" ~count:200
+    QCheck2.Gen.(pair (list_size (int_range 0 120) entry_gen) entry_gen)
+    (fun (intervals, q) ->
+      let pairs = Array.of_list (List.mapi (fun i iv -> (iv, i)) intervals) in
+      let t = Interval_tree.build pairs in
+      let got =
+        List.sort compare (List.map snd (Interval_tree.overlapping t q))
+      in
+      let expected =
+        List.mapi (fun i iv -> (i, iv)) intervals
+        |> List.filter (fun (_, iv) -> Interval.intersects iv q)
+        |> List.map fst |> List.sort compare
+      in
+      got = expected)
+
+(* The tree and the sorted-array index must agree on predicate
+   candidates, including multi-component satisfying sets. *)
+let prop_candidates_match_index =
+  QCheck2.Test.make ~name:"tree candidates = interval-index candidates"
+    ~count:150
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 100) entry_gen)
+        (pair (float_range (-80.0) 80.0) (float_range (-80.0) 80.0)))
+    (fun (intervals, (t1, t2)) ->
+      let lo = Float.min t1 t2 and hi = Float.max t1 t2 in
+      (* A predicate with a hole: value <= lo OR value >= hi. *)
+      let pred = Predicate.(le lo ||| ge hi) in
+      let pairs = Array.of_list (List.mapi (fun i iv -> (iv, i)) intervals) in
+      let tree = Interval_tree.build pairs in
+      let index =
+        Interval_index.build
+          (Array.of_list (List.mapi (fun i iv -> (iv, i)) intervals))
+          ~support:fst
+      in
+      let got = List.sort compare (Interval_tree.candidates tree pred) in
+      let expected =
+        Interval_index.candidates index pred
+        |> Array.to_list |> List.map snd |> List.sort compare
+      in
+      got = expected)
+
+let suite =
+  [
+    ("stabbing queries", `Quick, test_stab);
+    ("overlap queries", `Quick, test_overlapping);
+    ("empty tree and metrics", `Quick, test_empty_and_metrics);
+    ("height stays logarithmic", `Quick, test_height_balanced);
+    QCheck_alcotest.to_alcotest prop_stab_matches_bruteforce;
+    QCheck_alcotest.to_alcotest prop_overlap_matches_bruteforce;
+    QCheck_alcotest.to_alcotest prop_candidates_match_index;
+  ]

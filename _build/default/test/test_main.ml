@@ -1,0 +1,38 @@
+let () =
+  Alcotest.run "imprecise"
+    [
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("math_special", Test_math_special.suite);
+      ("tvl", Test_tvl.suite);
+      ("interval", Test_interval.suite);
+      ("uncertain", Test_uncertain.suite);
+      ("rect", Test_rect.suite);
+      ("real_set", Test_real_set.suite);
+      ("predicate", Test_predicate.suite);
+      ("storage", Test_storage.suite);
+      ("probe", Test_probe.suite);
+      ("quality", Test_quality.suite);
+      ("counters", Test_counters.suite);
+      ("decision", Test_decision.suite);
+      ("policy", Test_policy.suite);
+      ("operator", Test_operator.suite);
+      ("sampling", Test_sampling.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("workload", Test_workload.suite);
+      ("timeseries", Test_timeseries.suite);
+      ("moving", Test_moving.suite);
+      ("experiments", Test_experiments.suite);
+      ("join", Test_join.suite);
+      ("interval_index", Test_interval_index.suite);
+      ("adaptive", Test_adaptive.suite);
+      ("io", Test_io.suite);
+      ("relation", Test_relation.suite);
+      ("top_k", Test_top_k.suite);
+      ("text_table", Test_text_table.suite);
+      ("trace", Test_trace.suite);
+      ("engine", Test_engine.suite);
+      ("interval_tree", Test_interval_tree.suite);
+      ("reports", Test_reports.suite);
+      ("text", Test_text.suite);
+    ]

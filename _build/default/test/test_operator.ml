@@ -1,0 +1,271 @@
+(* Tests for the online QaQ selection operator (Fig. 1).
+
+   The central property: with the Theorem 3.1 guard on, the reported
+   guarantees always satisfy the requirements AND the actual (ground
+   truth) precision/recall always dominate the guarantees — for any
+   policy, any workload, any requirements. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let req ?(p = 0.9) ?(r = 0.5) ?(l = 50.0) () =
+  Quality.requirements ~precision:p ~recall:r ~laxity:l
+
+let run ?(seed = 1) ?(policy = Policy.stingy) ?(enforce = true) ~requirements
+    data =
+  Operator.run ~rng:(Rng.create seed) ~enforce ~instance:Synthetic.instance
+    ~probe:Synthetic.probe ~policy ~requirements
+    (Operator.source_of_array data)
+
+let gen_data ?(seed = 7) ?(total = 1000) ?(f_y = 0.2) ?(f_m = 0.2) () =
+  Synthetic.generate (Rng.create seed)
+    (Synthetic.config ~total ~f_y ~f_m ~max_laxity:100.0 ())
+
+let test_empty_input () =
+  let report = run ~requirements:(req ()) [||] in
+  checki "no answer" 0 report.answer_size;
+  checkb "meets" true (Quality.meets report.guarantees (req ()));
+  checki "no reads" 0 report.counts.reads
+
+let test_zero_recall_reads_nothing () =
+  let report = run ~requirements:(req ~r:0.0 ()) (gen_data ()) in
+  checki "no reads" 0 report.counts.reads;
+  checki "empty answer" 0 report.answer_size;
+  checkb "not exhausted" false report.exhausted
+
+let test_perfect_quality_returns_exact_set () =
+  (* p_q = r_q = 1 and zero laxity tolerance: the answer must be exactly
+     the exact set, fully resolved. *)
+  let data = gen_data ~total:500 () in
+  let requirements = Quality.requirements ~precision:1.0 ~recall:1.0 ~laxity:0.0 in
+  let report = run ~requirements data in
+  checki "answer = exact set" (Synthetic.exact_size data) report.answer_size;
+  List.iter
+    (fun (e : Synthetic.obj Operator.emitted) ->
+      checkb "every answer is a true hit" true (Synthetic.in_exact e.obj);
+      checkb "fully resolved" true (e.precise || e.obj.laxity = 0.0))
+    report.answer;
+  checkb "guarantees perfect" true (Quality.meets report.guarantees requirements)
+
+let test_perfect_recall_reads_everything () =
+  let data = gen_data ~total:300 () in
+  let report = run ~requirements:(req ~r:1.0 ~p:0.5 ~l:100.0 ()) data in
+  checki "all read" 300 report.counts.reads;
+  checkb "exhausted" true report.exhausted;
+  (* No true hit may be missing. *)
+  let hits_in_answer =
+    List.length (List.filter (fun e -> Synthetic.in_exact e.Operator.obj) report.answer)
+  in
+  checki "no hit missed" (Synthetic.exact_size data) hits_in_answer
+
+let test_streaming_emit_matches_collection () =
+  let data = gen_data ~total:400 () in
+  let streamed = ref [] in
+  let report =
+    Operator.run ~rng:(Rng.create 3) ~instance:Synthetic.instance
+      ~probe:Synthetic.probe ~policy:Policy.greedy ~requirements:(req ())
+      ~emit:(fun e -> streamed := e :: !streamed)
+      (Operator.source_of_array data)
+  in
+  Alcotest.(check int) "same length" report.answer_size (List.length !streamed);
+  checkb "same order" true (List.rev !streamed = report.answer)
+
+let test_collect_false () =
+  let data = gen_data ~total:200 () in
+  let report =
+    Operator.run ~rng:(Rng.create 3) ~instance:Synthetic.instance
+      ~probe:Synthetic.probe ~policy:Policy.stingy ~requirements:(req ())
+      ~collect:false
+      (Operator.source_of_array data)
+  in
+  checkb "nothing collected" true (report.answer = []);
+  checkb "size still counted" true (report.answer_size > 0)
+
+let test_write_accounting () =
+  let data = gen_data ~total:500 () in
+  let report = run ~policy:Policy.greedy ~requirements:(req ~r:0.9 ()) data in
+  let precise, imprecise =
+    List.partition (fun e -> e.Operator.precise) report.answer
+  in
+  checki "imprecise writes" report.counts.writes_imprecise (List.length imprecise);
+  checki "precise writes" report.counts.writes_precise (List.length precise);
+  checki "answer size" report.answer_size (List.length report.answer);
+  checkb "reads bounded" true (report.counts.reads <= 500);
+  checkb "probes bounded by reads" true (report.counts.probes <= report.counts.reads)
+
+let test_shared_meter_delta () =
+  let meter = Cost_meter.create () in
+  let data = gen_data ~total:200 () in
+  let r1 =
+    Operator.run ~rng:(Rng.create 1) ~meter ~instance:Synthetic.instance
+      ~probe:Synthetic.probe ~policy:Policy.stingy ~requirements:(req ())
+      (Operator.source_of_array data)
+  in
+  let r2 =
+    Operator.run ~rng:(Rng.create 2) ~meter ~instance:Synthetic.instance
+      ~probe:Synthetic.probe ~policy:Policy.stingy ~requirements:(req ())
+      (Operator.source_of_array data)
+  in
+  (* Each report covers only its own run; the meter has both. *)
+  checki "meter accumulates"
+    ((Cost_meter.counts meter).reads)
+    (r1.counts.reads + r2.counts.reads)
+
+let test_inconsistent_probe_raises () =
+  let data = gen_data ~total:50 ~f_y:0.0 ~f_m:1.0 () in
+  let bad_probe (o : Synthetic.obj) = o (* refuses to resolve *) in
+  Alcotest.check_raises "unresolved probe detected" Operator.Inconsistent_probe
+    (fun () ->
+      ignore
+        (Operator.run ~rng:(Rng.create 1) ~instance:Synthetic.instance
+           ~probe:bad_probe ~policy:Policy.greedy
+           ~requirements:(req ~p:1.0 ~r:1.0 ())
+           (Operator.source_of_array data)))
+
+let test_raw_mode_can_violate () =
+  (* Greedy without the guard forwards all below-bound MAYBEs; with
+     p_q = 0.99 the precision guarantee must end below requirement. *)
+  let data = gen_data ~total:2000 () in
+  let requirements = req ~p:0.99 ~r:0.5 () in
+  let report = run ~policy:Policy.greedy ~enforce:false ~requirements data in
+  checkb "violates precision" false
+    (Quality.meets report.guarantees requirements);
+  (* The same policy with the guard on never violates. *)
+  let guarded = run ~policy:Policy.greedy ~enforce:true ~requirements data in
+  checkb "guarded version meets" true
+    (Quality.meets guarded.guarantees requirements)
+
+let test_zone_map_source_is_sound () =
+  (* Interval records, clustered; the filtered cursor prunes NO pages but
+     guarantees must stay honest w.r.t. the FULL input. *)
+  let rng = Rng.create 17 in
+  let records =
+    Interval_data.uniform_intervals rng ~n:3000
+      ~value_range:(Interval.make 0.0 1000.0) ~max_width:30.0
+  in
+  Array.sort
+    (fun (a : Interval_data.record) b -> Float.compare a.truth b.truth)
+    records;
+  let file = Heap_file.create ~page_size:64 records in
+  let pred = Predicate.ge 850.0 in
+  let zm =
+    Zone_map.build file ~support:(fun (r : Interval_data.record) ->
+        Uncertain.support r.belief)
+  in
+  let cursor =
+    Heap_file.Cursor.open_filtered file ~skip_page:(Zone_map.prunable zm pred)
+  in
+  let requirements = req ~p:0.9 ~r:0.8 ~l:20.0 () in
+  let report =
+    Operator.run ~rng ~instance:(Interval_data.instance pred)
+      ~probe:Interval_data.probe ~policy:Policy.stingy ~requirements
+      (Operator.source_of_cursor cursor)
+  in
+  checkb "meets requirements" true (Quality.meets report.guarantees requirements);
+  let answer_in_exact =
+    List.length
+      (List.filter (fun e -> Interval_data.in_exact pred e.Operator.obj) report.answer)
+  in
+  let actual_recall =
+    Quality.Diagnostics.recall
+      ~exact_size:(Interval_data.exact_size pred records)
+      ~answer_in_exact
+  in
+  checkb "actual recall over full input dominates guarantee" true
+    (actual_recall >= report.guarantees.recall -. 1e-9)
+
+(* The central soundness property, fuzzed over workload shape,
+   requirements and policy parameters. *)
+let soundness_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 0 10000 in
+    let* f_y = float_range 0.0 0.5 in
+    let* f_m = float_range 0.0 0.5 in
+    let* p_q = float_range 0.0 1.0 in
+    let* r_q = float_range 0.0 1.0 in
+    let* l_q = float_range 0.0 110.0 in
+    let* s3 = float_range 0.0 1.0 in
+    let* s5 = float_range 0.0 1.0 in
+    let* p_py = float_range 0.0 1.0 in
+    let* p_fm = float_range 0.0 1.0 in
+    return (seed, (f_y, f_m), (p_q, r_q, l_q), (s3, s5, p_py, p_fm)))
+
+let prop_guarantees_sound =
+  QCheck2.Test.make
+    ~name:"guarantees meet requirements and dominate ground truth" ~count:120
+    soundness_gen
+    (fun (seed, (f_y, f_m), (p_q, r_q, l_q), (s3, s5, p_py, p_fm)) ->
+      let data =
+        Synthetic.generate (Rng.create seed)
+          (Synthetic.config ~total:400 ~f_y ~f_m ~max_laxity:100.0 ())
+      in
+      let requirements =
+        Quality.requirements ~precision:p_q ~recall:r_q ~laxity:l_q
+      in
+      let policy = Policy.qaq (Policy.params ~s3 ~s5 ~p_py ~p_fm) in
+      let report = run ~seed ~policy ~requirements data in
+      let answer_in_exact =
+        List.length
+          (List.filter (fun e -> Synthetic.in_exact e.Operator.obj) report.answer)
+      in
+      let actual_p =
+        Quality.Diagnostics.precision ~answer_size:report.answer_size
+          ~answer_in_exact
+      in
+      let actual_r =
+        Quality.Diagnostics.recall ~exact_size:(Synthetic.exact_size data)
+          ~answer_in_exact
+      in
+      Quality.meets report.guarantees requirements
+      && actual_p >= report.guarantees.precision -. 1e-9
+      && actual_r >= report.guarantees.recall -. 1e-9
+      && report.guarantees.max_laxity <= l_q +. 1e-9)
+
+(* Early termination: under a policy whose per-object actions do not
+   depend on r_q (Greedy never prefers Ignore, so the Theorem 3.1 ignore
+   guard never changes its trace), a weaker recall bound stops no later.
+   For ignore-happy policies reads are genuinely non-monotone in r_q —
+   a stricter bound forces forwards that build recall faster. *)
+let prop_monotone_cost_in_recall =
+  QCheck2.Test.make ~name:"weaker recall never reads more (greedy)" ~count:60
+    QCheck2.Gen.(pair (int_range 0 1000) (float_range 0.1 0.9))
+    (fun (seed, r_lo) ->
+      let data = gen_data ~seed ~total:600 () in
+      let reads r =
+        (run ~seed:(seed + 1) ~policy:Policy.greedy ~requirements:(req ~r ())
+           data)
+          .counts.reads
+      in
+      reads r_lo <= reads (Float.min 1.0 (r_lo +. 0.1)))
+
+(* Scale check: the operator is O(n) with small constants; a 100k-object
+   query should complete in well under a second and stay sound. *)
+let test_large_input_scales () =
+  let data =
+    Synthetic.generate (Rng.create 77)
+      (Synthetic.config ~total:100_000 ~f_y:0.2 ~f_m:0.2 ())
+  in
+  let requirements = req ~p:0.9 ~r:0.7 ~l:60.0 () in
+  let t0 = Unix.gettimeofday () in
+  let report = run ~seed:78 ~policy:Policy.stingy ~requirements data in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  checkb "meets at scale" true (Quality.meets report.guarantees requirements);
+  checkb "subsecond" true (elapsed < 2.0)
+
+let suite =
+  [
+    ("empty input", `Quick, test_empty_input);
+    ("zero recall reads nothing", `Quick, test_zero_recall_reads_nothing);
+    ("perfect quality returns the exact set", `Quick, test_perfect_quality_returns_exact_set);
+    ("perfect recall reads everything", `Quick, test_perfect_recall_reads_everything);
+    ("streaming emit matches collection", `Quick, test_streaming_emit_matches_collection);
+    ("collect=false", `Quick, test_collect_false);
+    ("write accounting", `Quick, test_write_accounting);
+    ("shared meter reports deltas", `Quick, test_shared_meter_delta);
+    ("inconsistent probe raises", `Quick, test_inconsistent_probe_raises);
+    ("raw mode can violate, guarded cannot", `Quick, test_raw_mode_can_violate);
+    ("zone-map source stays sound", `Quick, test_zone_map_source_is_sound);
+    QCheck_alcotest.to_alcotest prop_guarantees_sound;
+    QCheck_alcotest.to_alcotest prop_monotone_cost_in_recall;
+    ("large input scales", `Slow, test_large_input_scales);
+  ]

@@ -1,0 +1,209 @@
+(* Tests for the optimization framework: densities, the region model,
+   Nelder-Mead, the closed-form read count, and reproduction of the
+   paper's §5.1 optimal costs. *)
+
+let checkf tol = Alcotest.(check (float tol))
+let checkb = Alcotest.(check bool)
+
+let test_uniform_density () =
+  let d = Density.uniform ~max_laxity:100.0 in
+  checkf 1e-12 "yes above" 0.3 (d.yes_above 70.0);
+  checkf 1e-12 "yes above 0" 1.0 (d.yes_above 0.0);
+  checkf 1e-12 "yes above L" 0.0 (d.yes_above 100.0);
+  let r = d.maybe_region ~s_min:0.6 ~l_min:20.0 ~l_max:70.0 in
+  checkf 1e-12 "region mass" (0.4 *. 0.5) r.mass;
+  checkf 1e-12 "region mean s" 0.8 r.mean_s;
+  let empty = d.maybe_region ~s_min:1.0 ~l_min:0.0 ~l_max:100.0 in
+  checkf 1e-12 "empty region" 0.0 empty.mass
+
+let test_histogram_density_approximates_uniform () =
+  (* A histogram estimated from a large uniform sample should agree with
+     the analytic uniform density. *)
+  let sample =
+    Synthetic.generate (Rng.create 12)
+      (Synthetic.config ~total:30000 ~f_y:0.2 ~f_m:0.3 ~max_laxity:100.0 ())
+  in
+  let e =
+    Selectivity.estimate ~instance:Synthetic.instance ~laxity_cap:100.0 sample
+  in
+  let d = Density.of_estimate e in
+  let u = Density.uniform ~max_laxity:100.0 in
+  checkb "yes_above close" true (Float.abs (d.yes_above 50.0 -. u.yes_above 50.0) < 0.03);
+  let rd = d.maybe_region ~s_min:0.7 ~l_min:0.0 ~l_max:50.0 in
+  let ru = u.maybe_region ~s_min:0.7 ~l_min:0.0 ~l_max:50.0 in
+  checkb "region mass close" true (Float.abs (rd.mass -. ru.mass) < 0.03);
+  checkb "mean s close" true (Float.abs (rd.mean_s -. ru.mean_s) < 0.05)
+
+(* Hand-checked region counts for the paper's varying-laxity point
+   l_q = 20 with the paper's reported optimum. *)
+let test_region_model_hand_check () =
+  let spec = Region_model.uniform_spec ~f_y:0.2 ~f_m:0.2 ~max_laxity:100.0 in
+  let params = Policy.params ~s3:1.0 ~s5:1.0 ~p_py:0.93 ~p_fm:0.53 in
+  let f = Region_model.fractions spec ~laxity_bound:20.0 params in
+  checkf 1e-9 "Y" 0.2 f.yes;
+  checkf 1e-9 "Yf = (l_q/L) Y" 0.04 f.yes_forwarded;
+  checkf 1e-9 "Yp = p_py (1-l_q/L) Y" (0.93 *. 0.8 *. 0.2) f.yes_probed;
+  checkf 1e-9 "no maybe probes at s3=s5=1" 0.0 f.maybe_probed;
+  checkf 1e-9 "Mf = p_fm (l_q/L) M" (0.53 *. 0.2 *. 0.2) f.maybe_forwarded;
+  (* Expected precision binds near 0.9, as in the paper. *)
+  checkb "precision near bound" true
+    (Float.abs (Region_model.precision_estimate f -. 0.9) < 0.01);
+  (* Unit cost: c_r + Yp c_p + (Yf+Mf) c_wi + Yp c_wp. *)
+  let w = Region_model.unit_cost Cost_model.paper f in
+  checkb "unit cost near 16.1" true (Float.abs (w -. 16.1) < 0.2)
+
+let default_problem ?(f_y = 0.2) ?(f_m = 0.2) ?(p = 0.9) ?(r = 0.5) ?(l = 50.0) () =
+  Solver.problem ~total:10000
+    ~spec:(Region_model.uniform_spec ~f_y ~f_m ~max_laxity:100.0)
+    ~requirements:(Quality.requirements ~precision:p ~recall:r ~laxity:l)
+    ()
+
+(* The closed-form minimal R reproduces the only R/|T| column the paper
+   reports (varying recall, Stingy-like parameters). *)
+let test_closed_form_reads () =
+  let evaluate r_q =
+    Solver.evaluate (default_problem ~r:r_q ()) Policy.stingy_params
+  in
+  let e1 = evaluate 0.01 in
+  checkb "feasible" true e1.feasible;
+  checkf 1e-3 "R/|T| at 0.01" 0.0943 e1.read_fraction;
+  let e2 = evaluate 0.1 in
+  checkf 1e-3 "R/|T| at 0.1" 0.625 e2.read_fraction;
+  checkf 5e-3 "W/|T| at 0.1" 0.6875 e2.normalized_cost;
+  (* Stingy alone cannot reach r_q = 0.5. *)
+  let e3 = evaluate 0.5 in
+  checkb "infeasible at 0.5" false e3.feasible;
+  checkb "violation positive" true (e3.violation > 0.0)
+
+let test_zero_recall_is_free () =
+  let e = Solver.evaluate (default_problem ~r:0.0 ()) Policy.greedy_params in
+  checkb "feasible" true e.feasible;
+  checkf 0.0 "no reads" 0.0 e.reads;
+  checkf 0.0 "no cost" 0.0 e.cost
+
+let test_nelder_mead_quadratic () =
+  let f x = ((x.(0) -. 0.3) ** 2.0) +. ((x.(1) +. 0.2) ** 2.0) in
+  let r =
+    Nelder_mead.minimize ~lower:[| -1.0; -1.0 |] ~upper:[| 1.0; 1.0 |]
+      ~init:[| 0.9; 0.9 |] f
+  in
+  checkb "x0" true (Float.abs (r.point.(0) -. 0.3) < 1e-4);
+  checkb "x1" true (Float.abs (r.point.(1) +. 0.2) < 1e-4);
+  checkb "value" true (r.value < 1e-8)
+
+let test_nelder_mead_respects_box () =
+  (* Optimum outside the box: solution must sit on the boundary. *)
+  let f x = (x.(0) -. 5.0) ** 2.0 in
+  let r =
+    Nelder_mead.minimize ~lower:[| 0.0 |] ~upper:[| 1.0 |] ~init:[| 0.5 |] f
+  in
+  checkb "clamped to boundary" true (Float.abs (r.point.(0) -. 1.0) < 1e-6);
+  Alcotest.check_raises "dimension mismatch"
+    (Invalid_argument "Nelder_mead.minimize: dimension mismatch") (fun () ->
+      ignore (Nelder_mead.minimize ~lower:[| 0.0 |] ~upper:[| 1.0; 2.0 |]
+                ~init:[| 0.5 |] f))
+
+(* §5.1 reproduction: the solver's optimal cost matches the paper's
+   tables within a few percent (the paper's own numbers are rounded). *)
+let paper_opt_cases =
+  [
+    (* (f_y, f_m, p_q, r_q, l_q, paper W/|T|) *)
+    (0.2, 0.2, 0.9, 0.5, 1.0, 20.9);
+    (0.2, 0.2, 0.9, 0.5, 40.0, 12.2);
+    (0.2, 0.2, 0.9, 0.5, 99.0, 1.2);
+    (0.2, 0.2, 0.5, 0.5, 50.0, 6.3);
+    (0.2, 0.2, 0.99, 0.5, 50.0, 11.1);
+    (0.2, 0.2, 0.9, 0.01, 50.0, 0.1);
+    (0.2, 0.2, 0.9, 0.99, 50.0, 27.8);
+    (0.01, 0.01, 0.9, 0.5, 50.0, 1.5);
+    (0.4, 0.4, 0.9, 0.5, 50.0, 19.3);
+    (0.2, 0.01, 0.9, 0.5, 50.0, 1.4);
+    (0.2, 0.4, 0.9, 0.5, 50.0, 20.3);
+  ]
+
+let test_solver_reproduces_paper () =
+  List.iter
+    (fun (f_y, f_m, p, r, l, paper) ->
+      let e = Solver.solve (default_problem ~f_y ~f_m ~p ~r ~l ()) in
+      checkb
+        (Printf.sprintf "feasible at l=%g p=%g r=%g fm=%g" l p r f_m)
+        true e.feasible;
+      let tolerance = Float.max 0.05 (0.04 *. paper) in
+      checkb
+        (Printf.sprintf "W/|T| %.3f within %.2f of paper %.1f"
+           e.normalized_cost tolerance paper)
+        true
+        (Float.abs (e.normalized_cost -. paper) <= tolerance))
+    paper_opt_cases
+
+let test_solver_never_beats_evaluate_feasibility () =
+  (* Whatever solve returns must evaluate identically: no stale caching. *)
+  let p = default_problem () in
+  let e = Solver.solve p in
+  let re = Solver.evaluate p e.params in
+  checkf 1e-9 "re-evaluated cost matches" e.cost re.cost;
+  checkb "re-evaluated feasibility matches" true (e.feasible = re.feasible)
+
+let test_grid_cross_check () =
+  (* The coarse grid must agree with Nelder-Mead within grid resolution
+     on a couple of representative problems. *)
+  List.iter
+    (fun problem ->
+      let nm = Solver.solve problem in
+      let grid = Grid.search ~resolution:6 ~refinements:2 problem in
+      checkb "both feasible" true (nm.feasible && grid.feasible);
+      checkb
+        (Printf.sprintf "grid %.3f vs nm %.3f" grid.normalized_cost
+           nm.normalized_cost)
+        true
+        (nm.normalized_cost <= grid.normalized_cost +. 0.05
+        && grid.normalized_cost <= nm.normalized_cost *. 1.10 +. 0.05))
+    [ default_problem (); default_problem ~r:0.8 (); default_problem ~l:20.0 () ]
+
+let test_monotone_in_requirements () =
+  let cost ?(p = 0.9) ?(r = 0.5) ?(l = 50.0) () =
+    (Solver.solve (default_problem ~p ~r ~l ())).normalized_cost
+  in
+  checkb "stricter recall costs more" true (cost ~r:0.8 () >= cost ~r:0.4 () -. 1e-6);
+  checkb "stricter precision costs more" true (cost ~p:0.99 () >= cost ~p:0.6 () -. 1e-6);
+  checkb "looser laxity costs less" true (cost ~l:80.0 () <= cost ~l:20.0 () +. 1e-6)
+
+let test_explain () =
+  let p = default_problem () in
+  let e = Solver.solve p in
+  let text = Solver.explain p e in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "names the plan" true (contains "plan: s3=");
+  Alcotest.(check bool) "reports reads" true (contains "reads:");
+  Alcotest.(check bool) "breaks down cost" true (contains "cost W =");
+  Alcotest.(check bool) "reports slacks" true (contains "slack");
+  Alcotest.(check bool) "feasible plan not flagged" false (contains "INFEASIBLE");
+  (* An infeasible evaluation is flagged. *)
+  let infeasible =
+    Solver.evaluate (default_problem ~r:0.99 ()) Policy.stingy_params
+  in
+  Alcotest.(check bool) "infeasible flagged" true
+    (let t = Solver.explain (default_problem ~r:0.99 ()) infeasible in
+     let n = String.length "INFEASIBLE" in
+     let rec go i = i + n <= String.length t && (String.sub t i n = "INFEASIBLE" || go (i + 1)) in
+     go 0)
+
+let suite =
+  [
+    ("uniform density", `Quick, test_uniform_density);
+    ("plan explanation", `Quick, test_explain);
+    ("histogram density approximates uniform", `Quick, test_histogram_density_approximates_uniform);
+    ("region model hand check", `Quick, test_region_model_hand_check);
+    ("closed-form reads (paper R/|T|)", `Quick, test_closed_form_reads);
+    ("zero recall is free", `Quick, test_zero_recall_is_free);
+    ("nelder-mead quadratic", `Quick, test_nelder_mead_quadratic);
+    ("nelder-mead box constraints", `Quick, test_nelder_mead_respects_box);
+    ("solver reproduces paper 5.1", `Slow, test_solver_reproduces_paper);
+    ("solve/evaluate agreement", `Quick, test_solver_never_beats_evaluate_feasibility);
+    ("grid cross-check", `Slow, test_grid_cross_check);
+    ("cost monotone in requirements", `Slow, test_monotone_in_requirements);
+  ]

@@ -1,0 +1,121 @@
+(* Tests for probe sources and the sensor-network simulator. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_probe_source_basic () =
+  let source = Probe_source.create (fun x -> x * 2) in
+  checki "resolves" 10 (Probe_source.probe source 5);
+  checki "again" 14 (Probe_source.probe source 7);
+  let s = Probe_source.stats source in
+  checki "probes" 2 s.probes;
+  checki "attempts" 2 s.attempts;
+  Alcotest.(check (float 0.0)) "no latency" 0.0 s.simulated_latency
+
+let test_probe_source_latency () =
+  let source = Probe_source.create ~latency:(Probe_source.Constant 3.0) Fun.id in
+  ignore (Probe_source.probe source 1);
+  ignore (Probe_source.probe source 2);
+  Alcotest.(check (float 1e-9)) "latency accumulates" 6.0
+    (Probe_source.stats source).simulated_latency;
+  Probe_source.reset_stats source;
+  checki "reset" 0 (Probe_source.stats source).probes
+
+let test_probe_source_failures () =
+  let rng = Rng.create 5 in
+  let source =
+    Probe_source.create ~failure_rate:0.5 ~max_retries:50 ~rng Fun.id
+  in
+  for i = 1 to 100 do
+    checki "eventually succeeds" i (Probe_source.probe source i)
+  done;
+  let s = Probe_source.stats source in
+  checki "100 probes" 100 s.probes;
+  checkb "more attempts than probes" true (s.attempts > 100);
+  (* Expected attempts/probe at p=0.5 is 2; allow wide slack. *)
+  checkb "attempt ratio sane" true
+    (s.attempts < 400)
+
+let test_probe_source_exhausts_retries () =
+  (* failure_rate just below 1 with zero retries fails almost surely on
+     some attempt within a few tries. *)
+  let rng = Rng.create 6 in
+  let source =
+    Probe_source.create ~failure_rate:0.99 ~max_retries:0 ~rng Fun.id
+  in
+  let failed = ref false in
+  (try
+     for i = 1 to 20 do
+       ignore (Probe_source.probe source i)
+     done
+   with Probe_source.Probe_failed -> failed := true);
+  checkb "a probe failed" true !failed
+
+let test_probe_source_validation () =
+  Alcotest.check_raises "rng required"
+    (Invalid_argument "Probe_source.create: rng required for jitter or failures")
+    (fun () -> ignore (Probe_source.create ~failure_rate:0.1 Fun.id));
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Probe_source.create: failure_rate outside [0, 1)")
+    (fun () -> ignore (Probe_source.create ~failure_rate:1.0 Fun.id))
+
+let make_net ?(n = 200) ?(drift = 1.0) seed =
+  Sensor_net.create (Rng.create seed) ~n
+    ~value_range:(Interval.make 0.0 100.0)
+    ~tolerance_range:(Interval.make 1.0 5.0)
+    ~drift_stddev:drift
+
+let test_sensor_net_replicas_sound () =
+  let net = make_net 10 in
+  for _ = 1 to 100 do
+    Sensor_net.step net
+  done;
+  (* The invariant of the approximate-replication protocol: the truth is
+     always inside the cached interval. *)
+  Array.iter
+    (fun (r : Sensor_net.reading) ->
+      checkb "truth inside replica" true (Interval.contains r.cached r.current))
+    (Sensor_net.snapshot net)
+
+let test_sensor_net_transmissions () =
+  let quiet = make_net ~drift:0.01 11 in
+  let noisy = make_net ~drift:5.0 11 in
+  for _ = 1 to 50 do
+    Sensor_net.step quiet;
+    Sensor_net.step noisy
+  done;
+  checkb "noisy drifts transmit more" true
+    (Sensor_net.transmissions noisy > Sensor_net.transmissions quiet);
+  checki "quiet barely transmits" 0 (Sensor_net.transmissions quiet)
+
+let test_sensor_net_instance () =
+  let net = make_net 12 in
+  for _ = 1 to 20 do
+    Sensor_net.step net
+  done;
+  let pred = Predicate.ge 50.0 in
+  let instance = Sensor_net.instance pred in
+  Array.iter
+    (fun (r : Sensor_net.reading) ->
+      (* YES/NO classifications must agree with ground truth. *)
+      (match instance.classify r with
+      | Tvl.Yes -> checkb "yes is true" true (Sensor_net.in_exact pred r)
+      | Tvl.No -> checkb "no is false" false (Sensor_net.in_exact pred r)
+      | Tvl.Maybe -> ());
+      (* Probing yields a definite, zero-laxity reading. *)
+      let probed = Sensor_net.probe r in
+      checkb "probe definite" true (Tvl.is_definite (instance.classify probed));
+      Alcotest.(check (float 0.0)) "probe laxity" 0.0 (instance.laxity probed))
+    (Sensor_net.snapshot net)
+
+let suite =
+  [
+    ("probe source basics", `Quick, test_probe_source_basic);
+    ("probe source latency", `Quick, test_probe_source_latency);
+    ("probe source failures and retries", `Quick, test_probe_source_failures);
+    ("probe source retry exhaustion", `Quick, test_probe_source_exhausts_retries);
+    ("probe source validation", `Quick, test_probe_source_validation);
+    ("sensor replicas are sound", `Quick, test_sensor_net_replicas_sound);
+    ("sensor transmissions scale with drift", `Quick, test_sensor_net_transmissions);
+    ("sensor reading instance", `Quick, test_sensor_net_instance);
+  ]

@@ -1,0 +1,125 @@
+(* Tests for reservoir sampling, histograms and selectivity estimation. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf tol = Alcotest.(check (float tol))
+
+let test_reservoir_small_stream () =
+  let r = Reservoir.create (Rng.create 1) ~capacity:10 in
+  for i = 1 to 5 do
+    Reservoir.add r i
+  done;
+  checki "keeps everything when under capacity" 5
+    (Array.length (Reservoir.contents r));
+  checki "seen" 5 (Reservoir.seen r)
+
+let test_reservoir_capacity () =
+  let r = Reservoir.create (Rng.create 2) ~capacity:10 in
+  for i = 1 to 1000 do
+    Reservoir.add r i
+  done;
+  let c = Reservoir.contents r in
+  checki "capped" 10 (Array.length c);
+  Array.iter (fun x -> checkb "from stream" true (x >= 1 && x <= 1000)) c;
+  (* Distinctness: reservoir never duplicates stream positions. *)
+  let sorted = Array.copy c in
+  Array.sort compare sorted;
+  for i = 0 to 8 do
+    checkb "distinct" true (sorted.(i) <> sorted.(i + 1))
+  done
+
+let test_reservoir_uniformity () =
+  (* Each element of a 100-stream should appear with probability 1/10 in
+     a 10-slot reservoir; check the first element's rate over many
+     trials. *)
+  let hits = ref 0 in
+  let trials = 5000 in
+  for t = 1 to trials do
+    let r = Reservoir.create (Rng.create t) ~capacity:10 in
+    for i = 1 to 100 do
+      Reservoir.add r i
+    done;
+    if Array.exists (fun x -> x = 1) (Reservoir.contents r) then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int trials in
+  checkb "first element rate near 0.1" true (Float.abs (rate -. 0.1) < 0.02)
+
+let test_hist1d () =
+  let h = Histogram.Hist1d.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  List.iter (Histogram.Hist1d.add h) [ 0.5; 1.5; 2.5; 3.5; 4.5; 5.5; 6.5; 7.5; 8.5; 9.5 ];
+  checki "count" 10 (Histogram.Hist1d.count h);
+  checkf 1e-9 "mass above 5" 0.5 (Histogram.Hist1d.mass_above h 5.0);
+  checkf 1e-9 "mass between" 0.3 (Histogram.Hist1d.mass_between h 2.0 5.0);
+  checkf 1e-9 "mean of midpoints" 5.0 (Histogram.Hist1d.mean h);
+  (* Fractional bin: above 4.5 takes half of bin [4,5]. *)
+  checkf 1e-9 "fractional bin" 0.55 (Histogram.Hist1d.mass_above h 4.5);
+  (* Out-of-range values clamp to boundary bins. *)
+  Histogram.Hist1d.add h 99.0;
+  checkf 1e-9 "clamped into top bin" (6.0 /. 11.0)
+    (Histogram.Hist1d.mass_above h 5.0)
+
+let test_hist2d_region () =
+  let h =
+    Histogram.Hist2d.create ~x_lo:0.0 ~x_hi:1.0 ~x_bins:10 ~y_lo:0.0 ~y_hi:100.0
+      ~y_bins:10
+  in
+  (* Four points at known spots. *)
+  Histogram.Hist2d.add h ~x:0.15 ~y:10.0;
+  Histogram.Hist2d.add h ~x:0.85 ~y:10.0;
+  Histogram.Hist2d.add h ~x:0.15 ~y:90.0;
+  Histogram.Hist2d.add h ~x:0.85 ~y:90.0;
+  let r = Histogram.Hist2d.region h ~x_min:0.5 ~y_min:50.0 ~y_max:100.0 in
+  checkf 1e-9 "one of four in the quadrant" 0.25 r.mass;
+  checkf 1e-9 "its mean x" 0.85 r.mean_x;
+  let all = Histogram.Hist2d.region h ~x_min:0.0 ~y_min:0.0 ~y_max:100.0 in
+  checkf 1e-9 "full mass" 1.0 all.mass;
+  checkf 1e-9 "overall mean x" 0.5 all.mean_x
+
+let synthetic_sample seed n f_y f_m =
+  Synthetic.generate (Rng.create seed)
+    (Synthetic.config ~total:n ~f_y ~f_m ~max_laxity:100.0 ())
+
+let test_selectivity_estimate () =
+  let sample = synthetic_sample 5 20000 0.25 0.35 in
+  let e =
+    Selectivity.estimate ~instance:Synthetic.instance ~laxity_cap:100.0 sample
+  in
+  checkb "f_y near truth" true (Float.abs (e.f_y -. 0.25) < 0.02);
+  checkb "f_m near truth" true (Float.abs (e.f_m -. 0.35) < 0.02);
+  checkf 0.0 "laxity cap respected" 100.0 e.max_laxity;
+  (* The maybe-plane histogram should see roughly uniform success: the
+     mass above s = 0.5 is about half. *)
+  let r =
+    Histogram.Hist2d.region e.maybe_plane ~x_min:0.5 ~y_min:0.0 ~y_max:100.0
+  in
+  checkb "uniform success mass" true (Float.abs (r.mass -. 0.5) < 0.05)
+
+let test_selectivity_validation () =
+  Alcotest.check_raises "empty sample"
+    (Invalid_argument "Selectivity.estimate: empty sample") (fun () ->
+      ignore (Selectivity.estimate ~instance:Synthetic.instance [||]))
+
+let test_bernoulli_sample () =
+  let rng = Rng.create 9 in
+  let data = Array.init 50000 (fun i -> i) in
+  let s = Selectivity.bernoulli_sample rng ~fraction:0.01 data in
+  let n = Array.length s in
+  checkb "about 1%" true (n > 350 && n < 650);
+  (* Order-preserving subsequence. *)
+  let ok = ref true in
+  Array.iteri (fun i x -> if i > 0 && x <= s.(i - 1) then ok := false) s;
+  checkb "order preserved" true !ok;
+  checki "fraction 0 empty" 0
+    (Array.length (Selectivity.bernoulli_sample rng ~fraction:0.0 data))
+
+let suite =
+  [
+    ("reservoir under capacity", `Quick, test_reservoir_small_stream);
+    ("reservoir at capacity", `Quick, test_reservoir_capacity);
+    ("reservoir uniformity", `Slow, test_reservoir_uniformity);
+    ("hist1d masses", `Quick, test_hist1d);
+    ("hist2d regions", `Quick, test_hist2d_region);
+    ("selectivity estimation", `Quick, test_selectivity_estimate);
+    ("selectivity validation", `Quick, test_selectivity_validation);
+    ("bernoulli sampling", `Quick, test_bernoulli_sample);
+  ]

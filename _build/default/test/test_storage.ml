@@ -1,0 +1,185 @@
+(* Tests for the storage substrate: cost model/meter, heap files,
+   cursors, buffer pool and zone maps. *)
+
+let checkf = Alcotest.(check (float 1e-9))
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_cost_model () =
+  let m = Cost_model.paper in
+  checkf "paper probe cost" 100.0 m.c_p;
+  checkf "paper read cost" 1.0 m.c_r;
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Cost_model.make: c_p must be >= 0") (fun () ->
+      ignore (Cost_model.make ~c_r:1.0 ~c_p:(-1.0) ~c_wi:1.0 ~c_wp:1.0))
+
+let test_cost_meter () =
+  let t = Cost_meter.create () in
+  Cost_meter.charge_read t;
+  Cost_meter.charge_read t;
+  Cost_meter.charge_probe t;
+  Cost_meter.charge_write_imprecise t;
+  Cost_meter.charge_write_precise t;
+  let c = Cost_meter.counts t in
+  checki "reads" 2 c.reads;
+  checki "probes" 1 c.probes;
+  (* W = 2*1 + 1*100 + 1*1 + 1*1 = 104 under the paper model. *)
+  checkf "total cost" 104.0 (Cost_meter.total_cost Cost_model.paper t);
+  Cost_meter.reset t;
+  checkf "reset" 0.0 (Cost_meter.total_cost Cost_model.paper t)
+
+let test_heap_file_layout () =
+  let file = Heap_file.create ~page_size:10 (Array.init 25 (fun i -> i)) in
+  checki "length" 25 (Heap_file.length file);
+  checki "page count" 3 (Heap_file.page_count file);
+  checki "short last page" 5 (Array.length (Heap_file.page file 2));
+  checki "get" 17 (Heap_file.get file 17);
+  Alcotest.check_raises "bad index" (Invalid_argument "Heap_file.get: index")
+    (fun () -> ignore (Heap_file.get file 25));
+  Alcotest.check_raises "bad page size"
+    (Invalid_argument "Heap_file.create: page_size < 1") (fun () ->
+      ignore (Heap_file.create ~page_size:0 [| 1 |]))
+
+let test_cursor_full_scan () =
+  let file = Heap_file.create ~page_size:7 (Array.init 23 (fun i -> i)) in
+  let c = Heap_file.Cursor.open_ file in
+  checki "initial remaining" 23 (Heap_file.Cursor.remaining c);
+  let seen = ref [] in
+  let rec drain () =
+    match Heap_file.Cursor.next c with
+    | Some x ->
+        seen := x :: !seen;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "storage order"
+    (List.init 23 (fun i -> i))
+    (List.rev !seen);
+  checki "consumed" 23 (Heap_file.Cursor.consumed c);
+  checki "remaining" 0 (Heap_file.Cursor.remaining c);
+  let io = Heap_file.Cursor.io c in
+  checki "pages fetched" 4 io.pages_fetched
+
+let test_cursor_filtered () =
+  let file = Heap_file.create ~page_size:10 (Array.init 40 (fun i -> i)) in
+  (* Skip even pages. *)
+  let c = Heap_file.Cursor.open_filtered file ~skip_page:(fun p -> p mod 2 = 0) in
+  checki "deliverable excludes skipped upfront" 20
+    (Heap_file.Cursor.remaining c);
+  checki "skipped" 20 (Heap_file.Cursor.skipped c);
+  let rec count acc =
+    match Heap_file.Cursor.next c with
+    | Some x ->
+        checkb "from odd pages only" true (x / 10 mod 2 = 1);
+        count (acc + 1)
+    | None -> acc
+  in
+  checki "delivered" 20 (count 0);
+  checki "pages fetched only odd" 2 (Heap_file.Cursor.io c).pages_fetched
+
+let test_buffer_pool_lru () =
+  let pool = Buffer_pool.create ~capacity:2 in
+  let loads = ref [] in
+  let load p =
+    loads := p :: !loads;
+    [| p |]
+  in
+  ignore (Buffer_pool.fetch pool 1 load);
+  ignore (Buffer_pool.fetch pool 2 load);
+  ignore (Buffer_pool.fetch pool 1 load);
+  (* hit *)
+  ignore (Buffer_pool.fetch pool 3 load);
+  (* evicts 2, the least recently used *)
+  checkb "page 1 kept" true (Buffer_pool.contains pool 1);
+  checkb "page 2 evicted" false (Buffer_pool.contains pool 2);
+  ignore (Buffer_pool.fetch pool 2 load);
+  let s = Buffer_pool.stats pool in
+  checki "hits" 1 s.hits;
+  checki "misses" 4 s.misses;
+  checki "evictions" 2 s.evictions;
+  Alcotest.(check (float 1e-9)) "hit rate" 0.2 (Buffer_pool.hit_rate s);
+  Alcotest.check_raises "capacity" (Invalid_argument "Buffer_pool.create: capacity < 1")
+    (fun () -> ignore (Buffer_pool.create ~capacity:0))
+
+let test_zone_map () =
+  (* Values clustered by page: page p holds supports around 10p. *)
+  let records =
+    Array.init 100 (fun i ->
+        Interval.make (float_of_int i -. 0.4) (float_of_int i +. 0.4))
+  in
+  let file = Heap_file.create ~page_size:10 records in
+  let zm = Zone_map.build file ~support:(fun i -> i) in
+  checki "zones" 10 (Zone_map.page_count zm);
+  let pred = Predicate.ge 75.0 in
+  (* Pages 0..6 hold values <= 64.4 < 75: prunable.  Page 7 straddles. *)
+  checkb "page 0 prunable" true (Zone_map.prunable zm pred 0);
+  checkb "page 6 prunable" true (Zone_map.prunable zm pred 6);
+  checkb "page 7 not prunable" false (Zone_map.prunable zm pred 7);
+  checkb "page 9 not prunable" false (Zone_map.prunable zm pred 9);
+  checki "pruned count" 7 (Zone_map.pruned_pages zm pred)
+
+(* Soundness of pruning: no pruned page may contain a satisfying object. *)
+let prop_zone_map_sound =
+  QCheck2.Test.make ~name:"zone-map pruning never drops a YES/MAYBE object"
+    ~count:100
+    QCheck2.Gen.(pair (int_range 1 200) (float_range (-50.0) 50.0))
+    (fun (n, threshold) ->
+      let rng = Rng.create (n * 31) in
+      let records =
+        Array.init n (fun _ ->
+            let lo = Rng.uniform_in rng (-60.0) 60.0 in
+            Interval.make lo (lo +. Rng.float rng 10.0))
+      in
+      let file = Heap_file.create ~page_size:8 records in
+      let zm = Zone_map.build file ~support:(fun i -> i) in
+      let pred = Predicate.ge threshold in
+      let sound = ref true in
+      Heap_file.iter_pages file (fun p objects ->
+          if Zone_map.prunable zm pred p then
+            Array.iter
+              (fun i ->
+                match Predicate.classify_interval pred i with
+                | Tvl.No -> ()
+                | Tvl.Yes | Tvl.Maybe -> sound := false)
+              objects);
+      !sound)
+
+let test_pooled_cursor () =
+  let file = Heap_file.create ~page_size:10 (Array.init 100 (fun i -> i)) in
+  let pool = Buffer_pool.create ~capacity:20 in
+  let drain cursor =
+    let rec go acc =
+      match Heap_file.Cursor.next cursor with
+      | Some x -> go (x :: acc)
+      | None -> List.rev acc
+    in
+    go []
+  in
+  let first = drain (Heap_file.Cursor.open_pooled file ~pool) in
+  Alcotest.(check (list int)) "pooled scan correct" (List.init 100 Fun.id) first;
+  let misses_after_first = (Buffer_pool.stats pool).misses in
+  checki "all pages loaded once" 10 misses_after_first;
+  (* A second scan through the same pool is all hits. *)
+  let second = drain (Heap_file.Cursor.open_pooled file ~pool) in
+  Alcotest.(check (list int)) "second scan correct" (List.init 100 Fun.id) second;
+  checki "no new misses" misses_after_first (Buffer_pool.stats pool).misses;
+  checki "ten hits" 10 (Buffer_pool.stats pool).hits;
+  (* Skip filter composes with pooling. *)
+  let partial =
+    drain (Heap_file.Cursor.open_pooled ~skip_page:(fun p -> p > 4) file ~pool)
+  in
+  checki "first half only" 50 (List.length partial)
+
+let suite =
+  [
+    ("cost model", `Quick, test_cost_model);
+    ("cost meter accounting", `Quick, test_cost_meter);
+    ("heap file layout", `Quick, test_heap_file_layout);
+    ("cursor full scan", `Quick, test_cursor_full_scan);
+    ("cursor with page filter", `Quick, test_cursor_filtered);
+    ("buffer pool LRU", `Quick, test_buffer_pool_lru);
+    ("pooled cursor", `Quick, test_pooled_cursor);
+    ("zone map pruning", `Quick, test_zone_map);
+    QCheck_alcotest.to_alcotest prop_zone_map_sound;
+  ]

@@ -1,0 +1,99 @@
+(* Exhaustive tests of the three-valued Kleene logic. *)
+
+open Tvl
+
+let tvl = Alcotest.testable Tvl.pp Tvl.equal
+let all_values = [ Yes; No; Maybe ]
+
+let test_and_table () =
+  let expect = function
+    | No, _ | _, No -> No
+    | Maybe, _ | _, Maybe -> Maybe
+    | Yes, Yes -> Yes
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b -> Alcotest.check tvl "and" (expect (a, b)) (and_ a b))
+        all_values)
+    all_values
+
+let test_or_table () =
+  let expect = function
+    | Yes, _ | _, Yes -> Yes
+    | Maybe, _ | _, Maybe -> Maybe
+    | No, No -> No
+  in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b -> Alcotest.check tvl "or" (expect (a, b)) (or_ a b))
+        all_values)
+    all_values
+
+let test_not () =
+  Alcotest.check tvl "not yes" No (not_ Yes);
+  Alcotest.check tvl "not no" Yes (not_ No);
+  Alcotest.check tvl "not maybe" Maybe (not_ Maybe)
+
+let test_de_morgan () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          Alcotest.check tvl "de morgan and"
+            (not_ (and_ a b))
+            (or_ (not_ a) (not_ b));
+          Alcotest.check tvl "de morgan or"
+            (not_ (or_ a b))
+            (and_ (not_ a) (not_ b)))
+        all_values)
+    all_values
+
+let test_lattice_laws () =
+  List.iter
+    (fun a ->
+      Alcotest.check tvl "and idempotent" a (and_ a a);
+      Alcotest.check tvl "or idempotent" a (or_ a a);
+      List.iter
+        (fun b ->
+          Alcotest.check tvl "and commutes" (and_ a b) (and_ b a);
+          Alcotest.check tvl "or commutes" (or_ a b) (or_ b a);
+          Alcotest.check tvl "absorption" a (and_ a (or_ a b)))
+        all_values)
+    all_values
+
+let test_all_any () =
+  Alcotest.check tvl "all empty" Yes (all []);
+  Alcotest.check tvl "any empty" No (any []);
+  Alcotest.check tvl "all with maybe" Maybe (all [ Yes; Maybe; Yes ]);
+  Alcotest.check tvl "all with no" No (all [ Yes; Maybe; No ]);
+  Alcotest.check tvl "any with yes" Yes (any [ No; Maybe; Yes ]);
+  Alcotest.check tvl "any maybes" Maybe (any [ No; Maybe ])
+
+let test_bool_conversions () =
+  Alcotest.check tvl "of_bool true" Yes (of_bool true);
+  Alcotest.check tvl "of_bool false" No (of_bool false);
+  Alcotest.(check (option bool)) "to_bool yes" (Some true) (to_bool Yes);
+  Alcotest.(check (option bool)) "to_bool no" (Some false) (to_bool No);
+  Alcotest.(check (option bool)) "to_bool maybe" None (to_bool Maybe)
+
+let test_ordering_and_strings () =
+  Alcotest.(check bool) "No < Maybe" true (compare No Maybe < 0);
+  Alcotest.(check bool) "Maybe < Yes" true (compare Maybe Yes < 0);
+  Alcotest.(check string) "YES" "YES" (to_string Yes);
+  Alcotest.(check string) "MAYBE" "MAYBE" (to_string Maybe);
+  Alcotest.(check bool) "is_definite" true (is_definite Yes);
+  Alcotest.(check bool) "maybe not definite" false (is_definite Maybe)
+
+let suite =
+  [
+    ("conjunction truth table", `Quick, test_and_table);
+    ("disjunction truth table", `Quick, test_or_table);
+    ("negation", `Quick, test_not);
+    ("de morgan", `Quick, test_de_morgan);
+    ("lattice laws", `Quick, test_lattice_laws);
+    ("all/any", `Quick, test_all_any);
+    ("bool conversions", `Quick, test_bool_conversions);
+    ("ordering and strings", `Quick, test_ordering_and_strings);
+  ]
