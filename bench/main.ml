@@ -7,6 +7,7 @@
      dune exec bench/main.exe                 # everything
      dune exec bench/main.exe -- tables       # only reproduction tables
      dune exec bench/main.exe -- ablations    # only ablations
+     dune exec bench/main.exe -- batch        # only the batch-size sweep
      dune exec bench/main.exe -- micro        # only Bechamel benches *)
 
 let section title =
@@ -133,7 +134,7 @@ let ablation_ambiguity () =
             (fun data ->
               let report =
                 Operator.run ~rng ~instance:Synthetic.instance
-                  ~probe:Synthetic.probe ~policy
+                  ~probe:(Probe_driver.scalar Synthetic.probe) ~policy
                   ~requirements:(Exp_config.requirements setting)
                   (Operator.source_of_array data)
               in
@@ -187,7 +188,8 @@ let ablation_index () =
     in
     let report =
       Operator.run ~rng ~instance:(Interval_data.instance pred)
-        ~probe:Interval_data.probe ~policy:Policy.stingy ~requirements
+        ~probe:(Probe_driver.scalar Interval_data.probe)
+        ~policy:Policy.stingy ~requirements
         (Operator.source_of_cursor cursor)
     in
     (report, Heap_file.Cursor.io cursor, Heap_file.Cursor.skipped cursor)
@@ -219,7 +221,8 @@ let ablation_index () =
   let cands = Interval_index.candidates idx pred in
   let report =
     Operator.run ~rng ~instance:(Interval_data.instance pred)
-      ~probe:Interval_data.probe ~policy:Policy.stingy ~requirements
+      ~probe:(Probe_driver.scalar Interval_data.probe)
+      ~policy:Policy.stingy ~requirements
       (Operator.source_of_array cands)
   in
   Text_table.add_row table
@@ -310,7 +313,8 @@ let ablation_adaptive () =
   in
   let run_static params data =
     normalized data
-      (Operator.run ~rng ~instance:Synthetic.instance ~probe:Synthetic.probe
+      (Operator.run ~rng ~instance:Synthetic.instance
+         ~probe:(Probe_driver.scalar Synthetic.probe)
          ~policy:(Policy.qaq params) ~requirements
          (Operator.source_of_array data))
   in
@@ -321,7 +325,8 @@ let ablation_adaptive () =
         ~initial:wrong_prior ()
     in
     normalized data
-      (Operator.run ~rng ~instance:Synthetic.instance ~probe:Synthetic.probe
+      (Operator.run ~rng ~instance:Synthetic.instance
+         ~probe:(Probe_driver.scalar Synthetic.probe)
          ~policy:(Adaptive.policy adaptive) ~requirements
          (Operator.source_of_array data))
   in
@@ -369,7 +374,7 @@ let generality_models () =
           (Engine.Sampled
              { fraction = 0.02; density = `Histogram; fallback = (0.2, 0.2) })
         ~instance:(Interval_data.instance predicate)
-        ~probe:Interval_data.probe ~requirements records
+        ~probe:(Probe_driver.scalar Interval_data.probe) ~requirements records
     in
     let report = result.report in
     let answer_in_exact =
@@ -510,6 +515,67 @@ let ablation_relation () =
   Text_table.print table
 
 (* ------------------------------------------------------------------ *)
+(* Ablation 8: batched probing (the Probe_driver pipeline)             *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_batching () =
+  section "Ablation: batched probing under a per-batch setup cost";
+  print_endline
+    "Probe-heavy workload (f_m = 0.4, r_q = 0.8) resolved through a\n\
+     Probe_source with constant wakeup latency, swept over batch size B.\n\
+     Each batch pays one setup charge c_b = 200 and one source wakeup;\n\
+     the optimizer prices probes at the amortized c_p + c_b/B.  Larger\n\
+     batches amortize the setup away while every guarantee still holds.";
+  let data =
+    Synthetic.generate (Rng.create 808)
+      (Synthetic.config ~total:10000 ~f_y:0.2 ~f_m:0.4 ~max_laxity:100.0 ())
+  in
+  let requirements =
+    Quality.requirements ~precision:0.92 ~recall:0.8 ~laxity:40.0
+  in
+  let model =
+    Cost_model.make ~c_r:1.0 ~c_p:100.0 ~c_wi:1.0 ~c_wp:1.0 ~c_b:200.0 ()
+  in
+  let table =
+    Text_table.create ~title:"batch-size sweep (c_b = 200, wakeup latency 5)"
+      ~header:
+        [ "B"; "amortized c_p"; "probes"; "batches"; "wakeup latency"; "W";
+          "W/|T|"; "meets" ]
+  in
+  let cost_at = Hashtbl.create 8 in
+  List.iter
+    (fun b ->
+      let source =
+        Probe_source.create ~latency:(Probe_source.Constant 5.0)
+          Synthetic.probe
+      in
+      let report =
+        Operator.run ~rng:(Rng.create 809) ~instance:Synthetic.instance
+          ~probe:(Probe_source.driver ~batch_size:b source)
+          ~policy:Policy.stingy ~requirements ~collect:false
+          (Operator.source_of_array data)
+      in
+      let st = Probe_source.stats source in
+      let w = Operator.cost model report in
+      Hashtbl.replace cost_at b w;
+      Text_table.add_row table
+        [ string_of_int b;
+          Printf.sprintf "%.1f" (Cost_model.amortized_probe model ~batch:b);
+          string_of_int report.counts.probes;
+          string_of_int report.counts.batches;
+          Printf.sprintf "%.0f" st.Probe_source.simulated_latency;
+          Printf.sprintf "%.0f" w;
+          Printf.sprintf "%.2f" (w /. float_of_int (Array.length data));
+          (if Quality.meets report.guarantees requirements then "yes"
+           else "NO") ])
+    [ 1; 4; 16; 64 ];
+  Text_table.print table;
+  let w_of b = Hashtbl.find cost_at b in
+  Printf.printf "cost decreasing with batch size: %s\n"
+    (if w_of 1 > w_of 4 && w_of 4 > w_of 16 then "yes (B=1 > B=4 > B=16)"
+     else "NO — check the batch accounting")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per paper table            *)
 (* ------------------------------------------------------------------ *)
 
@@ -558,7 +624,8 @@ let micro_tests () =
         (Staged.stage (fun () ->
              ignore
                (Operator.run ~rng ~instance:Synthetic.instance
-                  ~probe:Synthetic.probe ~policy:Policy.stingy ~collect:false
+                  ~probe:(Probe_driver.scalar Synthetic.probe)
+                  ~policy:Policy.stingy ~collect:false
                   ~requirements:
                     (Quality.requirements ~precision:0.9 ~recall:0.5
                        ~laxity:50.0)
@@ -645,17 +712,19 @@ let () =
     ablation_adaptive ();
     ablation_top_k ();
     ablation_relation ();
+    ablation_batching ();
     generality_models ()
   in
   match mode with
   | "tables" -> tables ()
   | "ablations" -> ablations ()
+  | "batch" -> ablation_batching ()
   | "micro" -> run_micro ()
   | "all" ->
       tables ();
       ablations ();
       run_micro ()
   | other ->
-      Printf.eprintf "unknown mode %S (expected tables|ablations|micro|all)\n"
-        other;
+      Printf.eprintf
+        "unknown mode %S (expected tables|ablations|batch|micro|all)\n" other;
       exit 2

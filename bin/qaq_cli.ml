@@ -43,22 +43,40 @@ let l_q =
   let doc = "Laxity requirement l_q^max." in
   Arg.(value & opt float 50.0 & info [ "laxity"; "l" ] ~doc)
 
+let batch =
+  let doc =
+    "Probe batch size B: probes are dispatched B at a time and priced at \
+     the amortized c_p + c_b/B."
+  in
+  Arg.(value & opt int 1 & info [ "batch"; "B" ] ~doc)
+
+let c_b =
+  let doc = "Per-batch probe setup cost c_b (paper model: 0)." in
+  Arg.(value & opt float 0.0 & info [ "cb" ] ~doc)
+
+let cost_model c_b =
+  let paper = Cost_model.paper in
+  Cost_model.make ~c_r:paper.Cost_model.c_r ~c_p:paper.Cost_model.c_p
+    ~c_wi:paper.Cost_model.c_wi ~c_wp:paper.Cost_model.c_wp ~c_b ()
+
 let setting total f_y f_m max_laxity p_q r_q l_q : Exp_config.setting =
   { label = "cli"; total; f_y; f_m; max_laxity; p_q; r_q; l_q }
 
 (* ---- solve -------------------------------------------------------- *)
 
-let solve_run total f_y f_m max_laxity p_q r_q l_q =
+let solve_run total f_y f_m max_laxity p_q r_q l_q batch c_b =
   let s = setting total f_y f_m max_laxity p_q r_q l_q in
-  let e = Exp_runner.solve_setting s in
-  Format.printf "problem: |T|=%d f_y=%g f_m=%g L=%g  %a@.@." s.total s.f_y
-    s.f_m s.max_laxity Quality.pp_requirements (Exp_config.requirements s);
+  let cost = cost_model c_b in
+  let e = Exp_runner.solve_setting ~cost ~batch s in
+  Format.printf "problem: |T|=%d f_y=%g f_m=%g L=%g B=%d %a  %a@.@." s.total
+    s.f_y s.f_m s.max_laxity batch Cost_model.pp cost Quality.pp_requirements
+    (Exp_config.requirements s);
   let problem =
     Solver.problem ~total:s.total
       ~spec:
         (Region_model.uniform_spec ~f_y:s.f_y ~f_m:s.f_m
            ~max_laxity:s.max_laxity)
-      ~requirements:(Exp_config.requirements s) ()
+      ~requirements:(Exp_config.requirements s) ~cost ~batch ()
   in
   print_string (Solver.explain problem e)
 
@@ -66,7 +84,9 @@ let solve_cmd =
   let doc = "Solve the optimization problem of paper section 4.2.2." in
   Cmd.v
     (Cmd.info "solve" ~doc)
-    Term.(const solve_run $ total $ f_y $ f_m $ max_laxity $ p_q $ r_q $ l_q)
+    Term.(
+      const solve_run $ total $ f_y $ f_m $ max_laxity $ p_q $ r_q $ l_q
+      $ batch $ c_b)
 
 (* ---- trial -------------------------------------------------------- *)
 
@@ -96,8 +116,9 @@ let data_file =
   Arg.(value & opt (some file) None & info [ "data" ] ~doc)
 
 let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
-    data_file =
+    data_file batch c_b =
   let s = setting total f_y f_m max_laxity p_q r_q l_q in
+  let cost = cost_model c_b in
   let rng = Rng.create seed in
   match data_file with
   | Some path ->
@@ -105,14 +126,17 @@ let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
       let s = { s with total = Array.length data } in
       Format.printf "dataset: %s (%d objects)  %a@." path (Array.length data)
         Quality.pp_requirements (Exp_config.requirements s);
-      let o = Exp_runner.trial_run ~rng ~setting:s ~data policy in
+      let o = Exp_runner.trial_run ~rng ~cost ~batch ~setting:s ~data policy in
       Format.printf
-        "%s: W/|T| = %.3f; guarantees %a; actual precision %.3f, recall %.3f@."
+        "%s: W/|T| = %.3f (%d probes in %d batches); guarantees %a; actual \
+         precision %.3f, recall %.3f@."
         (Exp_runner.policy_name policy)
-        o.normalized_cost Quality.pp_guarantees o.guarantees o.actual_precision
-        o.actual_recall
+        o.normalized_cost o.counts.probes o.counts.batches
+        Quality.pp_guarantees o.guarantees o.actual_precision o.actual_recall
   | None ->
-      let results = Exp_runner.trial_series ~rng ~repetitions s [ policy ] in
+      let results =
+        Exp_runner.trial_series ~rng ~repetitions ~cost ~batch s [ policy ]
+      in
       Format.printf "setting: |T|=%d f_y=%g f_m=%g L=%g  %a@." s.total s.f_y
         s.f_m s.max_laxity Quality.pp_requirements (Exp_config.requirements s);
       List.iter
@@ -131,7 +155,7 @@ let trial_cmd =
     (Cmd.info "trial" ~doc)
     Term.(
       const trial_run $ seed $ total $ f_y $ f_m $ max_laxity $ p_q $ r_q
-      $ l_q $ policy $ repetitions $ data_file)
+      $ l_q $ policy $ repetitions $ data_file $ batch $ c_b)
 
 (* ---- dataset ------------------------------------------------------ *)
 

@@ -40,7 +40,8 @@ type 'o report = {
 exception Inconsistent_probe
 
 let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true) ?on_progress
-    ~instance ~probe ~policy ~(requirements : Quality.requirements) source =
+    ~instance ~(probe : _ Probe_driver.t) ~policy
+    ~(requirements : Quality.requirements) source =
   let meter = match meter with Some m -> m | None -> Cost_meter.create () in
   (* A shared meter may carry charges from earlier runs; the report's
      counts cover this run only. *)
@@ -63,10 +64,6 @@ let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true) ?on_progress
      be emitted; an object that resolves to NO is discarded, so residual
      imprecision there is fine (a relational probe may stop fetching
      attributes the moment the condition is decided). *)
-  let probe_resolved o =
-    Cost_meter.charge_probe meter;
-    probe o
-  in
   let require_resolved precise =
     if instance.laxity precise > 0.0 then raise Inconsistent_probe
   in
@@ -77,13 +74,6 @@ let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true) ?on_progress
     else
       match preference with a :: _ -> a | [] -> Decision.Probe
   in
-  (* One object per iteration; Fig. 1's do-loop with the stopping test
-     hoisted, so a query whose recall bound is already met reads
-     nothing. *)
-  let exhausted = ref false in
-  let finished () =
-    Counters.recall_guarantee counters >= requirements.Quality.recall
-  in
   let note_progress () =
     match on_progress with
     | Some f ->
@@ -91,56 +81,136 @@ let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true) ?on_progress
           (Counters.guarantees counters)
     | None -> ()
   in
-  while not (!exhausted || finished ()) do
-    match source.next () with
-    | None -> exhausted := true
-    | Some o ->
-        Cost_meter.charge_read meter;
-        (match instance.classify o with
-        | Tvl.No -> Counters.saw_no counters
-        | Tvl.Yes as verdict -> (
-            let laxity = instance.laxity o in
-            let preference =
-              Policy.preference policy ~rng ~requirements ~counters ~verdict
-                ~laxity ~success:1.0
-            in
-            match choose ~verdict ~laxity preference with
-            | Decision.Forward ->
-                Counters.forward_yes counters ~laxity;
-                forward_imprecise o
-            | Decision.Probe ->
-                let precise = probe_resolved o in
-                (* A YES object's precise version must still satisfy λ. *)
-                (match instance.classify precise with
-                | Tvl.Yes -> ()
-                | Tvl.No | Tvl.Maybe -> raise Inconsistent_probe);
-                require_resolved precise;
-                Counters.probe_yes counters;
-                forward_precise precise
-            | Decision.Ignore -> Counters.ignore_yes counters)
-        | Tvl.Maybe as verdict -> (
-            let laxity = instance.laxity o in
-            let success = instance.success o in
-            let preference =
-              Policy.preference policy ~rng ~requirements ~counters ~verdict
-                ~laxity ~success
-            in
-            match choose ~verdict ~laxity preference with
-            | Decision.Forward ->
-                Counters.forward_maybe counters ~laxity;
-                forward_imprecise o
-            | Decision.Probe -> (
-                let precise = probe_resolved o in
-                match instance.classify precise with
-                | Tvl.Yes ->
-                    require_resolved precise;
-                    Counters.probe_maybe_yes counters;
-                    forward_precise precise
-                | Tvl.No -> Counters.probe_maybe_no counters
-                | Tvl.Maybe -> raise Inconsistent_probe)
-            | Decision.Ignore -> Counters.ignore_maybe counters));
-        note_progress ()
+  (* Probing is deferred: a PROBE decision submits the object to the
+     driver and its counter updates, consistency checks and emission run
+     when the batch resolves.  While a probe is pending the counters lag
+     by its eventual (answer_yes, yes_seen, unseen) increments — but a
+     resolution can only add the same amount to both sides of the
+     Theorem 3.1 inequalities (a YES resolution adds 1 to |A∩Y| and to
+     |A|, to |A∩Y| and to |Y|; a NO resolution changes nothing), so any
+     forward or ignore the guards admit against the lagged counters is
+     also admissible against the flushed ones: deferral is conservative,
+     never unsound.  With batch size 1 every submission flushes before
+     [submit] returns and this operator is the scalar Fig. 1 loop, bit
+     for bit. *)
+  let batches_seen = ref (Probe_driver.batches probe) in
+  let sync_batches () =
+    (* The driver flushes autonomously at batch boundaries; meter its
+       batch dispatches by delta so a shared driver stays accountable. *)
+    let b = Probe_driver.batches probe in
+    for _ = 1 to b - !batches_seen do
+      Cost_meter.charge_batch meter
+    done;
+    batches_seen := b
+  in
+  let submit_probe o complete =
+    Probe_driver.submit probe o (fun precise ->
+        Cost_meter.charge_probe meter;
+        complete precise;
+        note_progress ());
+    sync_batches ()
+  in
+  let flush_probes () =
+    Probe_driver.flush probe;
+    sync_batches ()
+  in
+  let finished () =
+    Counters.recall_guarantee counters >= requirements.Quality.recall
+  in
+  (* A pending resolution can only raise the recall guarantee: a YES
+     grows the numerator with the denominator unchanged, a NO shrinks
+     the denominator.  Flush as soon as the most favourable outcome mix
+     could reach r_q, so batching never reads past the early-termination
+     point by more than the probes already in flight. *)
+  let pending_could_finish () =
+    let n = Probe_driver.pending probe in
+    n > 0
+    &&
+    let ay = Counters.answer_yes counters in
+    let d =
+      Counters.yes_seen counters + Counters.unseen counters
+      + Counters.maybe_ignored counters
+    in
+    let ratio num den =
+      if den <= 0 then 1.0 else float_of_int num /. float_of_int den
+    in
+    Float.max (ratio (ay + n) d) (ratio ay (d - n))
+    >= requirements.Quality.recall
+  in
+  (* One object per iteration; Fig. 1's do-loop with the stopping test
+     hoisted, so a query whose recall bound is already met reads
+     nothing. *)
+  let exhausted = ref false in
+  let stop = ref false in
+  while not !stop do
+    if finished () then stop := true
+    else if pending_could_finish () then flush_probes ()
+    else
+      match source.next () with
+      | None ->
+          exhausted := true;
+          stop := true
+      | Some o -> (
+          Cost_meter.charge_read meter;
+          match instance.classify o with
+          | Tvl.No ->
+              Counters.saw_no counters;
+              note_progress ()
+          | Tvl.Yes as verdict -> (
+              let laxity = instance.laxity o in
+              let preference =
+                Policy.preference policy ~rng ~requirements ~counters ~verdict
+                  ~laxity ~success:1.0
+              in
+              match choose ~verdict ~laxity preference with
+              | Decision.Forward ->
+                  Counters.forward_yes counters ~laxity;
+                  forward_imprecise o;
+                  note_progress ()
+              | Decision.Probe ->
+                  submit_probe o (fun precise ->
+                      (* A YES object's precise version must still
+                         satisfy λ. *)
+                      (match instance.classify precise with
+                      | Tvl.Yes -> ()
+                      | Tvl.No | Tvl.Maybe -> raise Inconsistent_probe);
+                      require_resolved precise;
+                      Counters.probe_yes counters;
+                      forward_precise precise)
+              | Decision.Ignore ->
+                  Counters.ignore_yes counters;
+                  note_progress ())
+          | Tvl.Maybe as verdict -> (
+              let laxity = instance.laxity o in
+              let success = instance.success o in
+              let preference =
+                Policy.preference policy ~rng ~requirements ~counters ~verdict
+                  ~laxity ~success
+              in
+              match choose ~verdict ~laxity preference with
+              | Decision.Forward ->
+                  Counters.forward_maybe counters ~laxity;
+                  forward_imprecise o;
+                  note_progress ()
+              | Decision.Probe ->
+                  submit_probe o (fun precise ->
+                      match instance.classify precise with
+                      | Tvl.Yes ->
+                          require_resolved precise;
+                          Counters.probe_maybe_yes counters;
+                          forward_precise precise
+                      | Tvl.No -> Counters.probe_maybe_no counters
+                      | Tvl.Maybe -> raise Inconsistent_probe)
+              | Decision.Ignore ->
+                  Counters.ignore_maybe counters;
+                  note_progress ()))
   done;
+  (* Objects already read and committed to a probe must be resolved, on
+     early termination as much as on exhaustion: the answer and the
+     counters would otherwise be inconsistent.  The extra resolutions
+     can only improve the guarantees (precision adds YES-only entries,
+     recall rises, probed laxity is 0). *)
+  flush_probes ();
   {
     answer = List.rev !answer;
     guarantees = Counters.guarantees counters;
@@ -150,6 +220,7 @@ let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true) ?on_progress
        {
          Cost_meter.reads = after.reads - counts_before.reads;
          probes = after.probes - counts_before.probes;
+         batches = after.batches - counts_before.batches;
          writes_imprecise =
            after.writes_imprecise - counts_before.writes_imprecise;
          writes_precise = after.writes_precise - counts_before.writes_precise;

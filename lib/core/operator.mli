@@ -1,14 +1,18 @@
-(** The online QaQ selection operator (paper §3, Fig. 1).
+(** The online QaQ selection operator (paper §3, Fig. 1), with batched
+    probing.
 
     The operator reads objects one at a time from a {!source}, classifies
     each against the query predicate, and decides — policy preference
     filtered through Theorem 3.1 ({!Decision}) — whether to forward,
     probe, or ignore it.  Forwarded objects are piped to the output
-    immediately and never revisited; the operator's own state is the six
-    counters of {!Counters} (constant memory).  Evaluation stops as soon
-    as the recall guarantee reaches [r_q]; the precision and laxity
-    requirements hold invariantly throughout, so the final answer always
-    satisfies all three bounds, whatever the policy. *)
+    immediately and never revisited; probe decisions are submitted to a
+    {!Probe_driver} and their results are handled when the driver's
+    batch resolves.  The operator's own state is the six counters of
+    {!Counters} plus the driver's bounded queue (constant memory).
+    Evaluation stops as soon as the recall guarantee reaches [r_q]; the
+    precision and laxity requirements hold invariantly at every batch
+    flush point, so the final answer always satisfies all three bounds,
+    whatever the policy and batch size. *)
 
 (** How the operator interrogates an object type ['o]. *)
 type 'o instance = {
@@ -63,7 +67,7 @@ val run :
   ?enforce:bool ->
   ?on_progress:(reads:int -> Quality.guarantees -> unit) ->
   instance:'o instance ->
-  probe:('o -> 'o) ->
+  probe:'o Probe_driver.t ->
   policy:Policy.t ->
   requirements:Quality.requirements ->
   'o source ->
@@ -71,18 +75,34 @@ val run :
 (** Evaluate the query.
 
     [rng] drives the policy's randomised choices.  [meter] (fresh by
-    default) accumulates read/probe/write charges; the same meter can be
-    shared across runs to account a whole workload.  [emit] is called on
-    each answer object as soon as it is decided — the streaming interface.
-    [collect] (default [true]) additionally accumulates the answer in the
-    report.
+    default) accumulates read/probe/batch/write charges; the same meter
+    can be shared across runs to account a whole workload.  [emit] is
+    called on each answer object as soon as it is decided — the
+    streaming interface.  [collect] (default [true]) additionally
+    accumulates the answer in the report.
 
-    [on_progress] is invoked after every consumed object with the number
-    of objects read so far and the guarantees that would hold if the
-    answer were closed now — the progressive-refinement view: recall
-    climbs towards [r_q] while precision and laxity stay within bounds
-    throughout (under enforcement).  Useful for live dashboards and for
-    studying convergence; see the [trace] helper.
+    [probe] is the probe capability ({!Probe_driver}).  With
+    [Probe_driver.scalar f] the operator is the paper's scalar Fig. 1
+    loop, bit for bit.  With a larger batch size, PROBE-decided objects
+    queue on the driver and resolve together; the operator flushes the
+    queue at batch boundaries (the driver's own behaviour), on input
+    exhaustion and early termination, and eagerly whenever the pending
+    results could push the recall guarantee over [r_q] — so batching
+    never defers the stopping test.  Deferral is conservative for the
+    Theorem 3.1 guards (see the soundness note in the implementation),
+    so the returned guarantees satisfy the requirements for every batch
+    size.  The driver must not carry pending submissions from another
+    run; its lifetime statistics may (batch charges are metered by
+    delta).
+
+    [on_progress] is invoked after every {e settled} object — read and
+    forwarded/ignored, or probe-resolved — with the number of objects
+    settled so far and the guarantees that would hold if the answer were
+    closed now: the progressive-refinement view.  Recall climbs towards
+    [r_q] while precision and laxity stay within bounds throughout
+    (under enforcement); with batching, pending probes are still counted
+    unseen, which only understates the guarantees.  Useful for live
+    dashboards and for studying convergence; see the [trace] helper.
 
     [enforce] (default [true]) filters the policy through Theorem 3.1, in
     which case the returned guarantees always satisfy the requirements.
@@ -99,19 +119,20 @@ val trace :
   rng:Rng.t ->
   ?every:int ->
   instance:'o instance ->
-  probe:('o -> 'o) ->
+  probe:'o Probe_driver.t ->
   policy:Policy.t ->
   requirements:Quality.requirements ->
   'o source ->
   'o report * (int * Quality.guarantees) list
 (** Run and record the guarantee trajectory: one [(reads, guarantees)]
-    sample every [every] objects (default 1), in read order.  The
+    sample every [every] objects (default 1), in settlement order.  The
     trajectory is how the answer's quality converges — the progressive
     view the paper contrasts with one-shot evaluation in §6.
     @raise Invalid_argument if [every < 1]. *)
 
 val cost : Cost_model.t -> 'o report -> float
-(** Total cost [W] (Eq. 11) of the run under a cost model. *)
+(** Total cost [W] (Eq. 11, plus the batch term) of the run under a cost
+    model. *)
 
 val normalized_cost : Cost_model.t -> total:int -> 'o report -> float
 (** [W / |T|], the unit the paper reports.  @raise Invalid_argument if

@@ -1,0 +1,62 @@
+type 'o t = {
+  resolve_batch : 'o array -> 'o array;
+  batch_size : int;
+  mutable queue : ('o * ('o -> unit)) list;  (* newest first *)
+  mutable queued : int;
+  mutable probes : int;
+  mutable batches : int;
+  mutable resolving : bool;
+}
+
+let create ?(batch_size = 1) resolve_batch =
+  if batch_size < 1 then invalid_arg "Probe_driver.create: batch_size < 1";
+  {
+    resolve_batch;
+    batch_size;
+    queue = [];
+    queued = 0;
+    probes = 0;
+    batches = 0;
+    resolving = false;
+  }
+
+let scalar probe = create (Array.map probe)
+let of_scalar ~batch_size probe = create ~batch_size (Array.map probe)
+let batch_size t = t.batch_size
+let pending t = t.queued
+
+let flush t =
+  if t.resolving then invalid_arg "Probe_driver.flush: reentrant flush";
+  if t.queued > 0 then begin
+    let entries = Array.of_list (List.rev t.queue) in
+    t.queue <- [];
+    t.queued <- 0;
+    let objects = Array.map fst entries in
+    t.resolving <- true;
+    let precise =
+      Fun.protect
+        ~finally:(fun () -> t.resolving <- false)
+        (fun () -> t.resolve_batch objects)
+    in
+    if Array.length precise <> Array.length objects then
+      invalid_arg "Probe_driver.flush: resolver changed the batch length";
+    t.batches <- t.batches + 1;
+    t.probes <- t.probes + Array.length objects;
+    (* Callbacks run after the accounting and outside [resolving], so a
+       completion may inspect the stats or submit follow-up probes. *)
+    Array.iteri (fun i (_, k) -> k precise.(i)) entries
+  end
+
+let submit t o k =
+  t.queue <- (o, k) :: t.queue;
+  t.queued <- t.queued + 1;
+  if t.queued >= t.batch_size then flush t
+
+let resolve t o =
+  let result = ref None in
+  submit t o (fun precise -> result := Some precise);
+  flush t;
+  match !result with Some precise -> precise | None -> assert false
+
+let probes t = t.probes
+let batches t = t.batches

@@ -1,0 +1,73 @@
+(** Batched probe execution: the capability through which the operator
+    resolves imprecise objects.
+
+    The probe is the paper's expensive operation ([c_p = 100 c_r],
+    §3.1), and real probe backends — sensor radios with duty cycles,
+    remote archives, tertiary storage — charge a fixed per-request setup
+    cost on top of the per-object marginal.  A driver therefore exposes
+    probing as [submit]/[flush]: submissions accumulate in a queue and
+    are resolved together, [batch_size] at a time, so that the fixed
+    cost ([c_b] in {!Cost_model}) is paid once per batch instead of once
+    per probe.
+
+    A driver with [batch_size = 1] resolves every submission on the spot
+    and reproduces the scalar probe semantics exactly; see
+    {!Operator.run} for the invariants the operator maintains around
+    deferred resolutions. *)
+
+type 'o t
+
+val create : ?batch_size:int -> ('o array -> 'o array) -> 'o t
+(** [create ~batch_size resolve_batch] wraps a native batch resolver.
+    [resolve_batch] receives the queued objects in submission order and
+    must return their precise versions in the same order (same array
+    length).  [batch_size] defaults to 1.
+
+    @raise Invalid_argument if [batch_size < 1]. *)
+
+val scalar : ('o -> 'o) -> 'o t
+(** [scalar probe] lifts a scalar resolution function into a driver with
+    batch size 1: every submission resolves immediately.  This is the
+    pre-batching behaviour, bit for bit. *)
+
+val of_scalar : batch_size:int -> ('o -> 'o) -> 'o t
+(** [of_scalar ~batch_size probe] lifts a scalar resolver but batches
+    submissions anyway: resolution is still element-wise, yet per-batch
+    accounting ([batches], and hence the [c_b] charge) is amortized —
+    the right model for a backend whose fixed cost is dominated by the
+    round trip, not the per-object work. *)
+
+val batch_size : 'o t -> int
+(** The batch boundary [B]: [submit] resolves the queue whenever it
+    reaches this many pending entries. *)
+
+val pending : 'o t -> int
+(** Submissions queued but not yet resolved. *)
+
+val submit : 'o t -> 'o -> ('o -> unit) -> unit
+(** [submit t o k] enqueues [o] for resolution; [k] is invoked with the
+    precise version when the batch containing [o] is resolved.  If the
+    queue reaches [batch_size t] the batch is flushed immediately, so
+    with [batch_size = 1] the callback runs before [submit] returns.
+    Callbacks run in submission order and may themselves [submit]
+    (starting a fresh queue). *)
+
+val flush : 'o t -> unit
+(** Resolve every pending submission now (a possibly short batch) and
+    run the callbacks in submission order.  A no-op on an empty queue.
+
+    @raise Invalid_argument when called from inside the batch resolver
+    itself (a reentrant flush would resolve entries out of order). *)
+
+val resolve : 'o t -> 'o -> 'o
+(** Scalar convenience: submit [o], flush, and return its precise
+    version.  Note this flushes {e everything} pending, not just [o]. *)
+
+val probes : 'o t -> int
+(** Total objects resolved over the driver's lifetime. *)
+
+val batches : 'o t -> int
+(** Total (non-empty) batch resolutions over the driver's lifetime —
+    the number of times the fixed per-batch cost was paid.  Consumers
+    that meter costs (see {!Operator.run}) track this counter by delta,
+    so a driver may be shared across runs like a meter. *)

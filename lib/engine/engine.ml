@@ -26,8 +26,8 @@ let observed_max_laxity instance data =
     (fun acc o -> Float.max acc (instance.Operator.laxity o))
     0.0 data
 
-let make_plan ~rng ~cost ~max_laxity ~instance ~requirements ~fraction ~density
-    ~fallback data =
+let make_plan ~rng ~cost ~batch ~max_laxity ~instance ~requirements ~fraction
+    ~density ~fallback data =
   let total = Stdlib.max 1 (Array.length data) in
   let sample = Selectivity.bernoulli_sample rng ~fraction data in
   let cap =
@@ -53,13 +53,21 @@ let make_plan ~rng ~cost ~max_laxity ~instance ~requirements ~fraction ~density
   in
   let spec = Region_model.spec ~f_y ~f_m ~max_laxity:cap ~density in
   let evaluation =
-    Solver.solve (Solver.problem ~total ~spec ~requirements ~cost ())
+    Solver.solve (Solver.problem ~total ~spec ~requirements ~cost ~batch ())
   in
   { params = evaluation.params; estimate; evaluation }
 
 let execute ~rng ?(planning = default_planning) ?(adaptive = false)
-    ?(cost = Cost_model.paper) ?max_laxity ?emit ?collect ~instance ~probe
-    ~requirements data =
+    ?(cost = Cost_model.paper) ?batch ?max_laxity ?emit ?collect ~instance
+    ~(probe : _ Probe_driver.t) ~requirements data =
+  (* The planner prices probes for the batch size the evaluation will
+     actually use — the driver's, unless the caller overrides it (e.g. a
+     shared driver whose configured batch size a sweep wants to model
+     differently). *)
+  let batch =
+    match batch with Some b -> b | None -> Probe_driver.batch_size probe
+  in
+  if batch < 1 then invalid_arg "Engine.execute: batch < 1";
   let plan =
     match planning with
     | Fixed _ -> None
@@ -68,8 +76,8 @@ let execute ~rng ?(planning = default_planning) ?(adaptive = false)
         if f_y < 0.0 || f_m < 0.0 || f_y +. f_m > 1.0 then
           invalid_arg "Engine.execute: invalid fallback fractions";
         Some
-          (make_plan ~rng ~cost ~max_laxity ~instance ~requirements ~fraction
-             ~density ~fallback data)
+          (make_plan ~rng ~cost ~batch ~max_laxity ~instance ~requirements
+             ~fraction ~density ~fallback data)
   in
   let initial =
     match (planning, plan) with
@@ -89,7 +97,7 @@ let execute ~rng ?(planning = default_planning) ?(adaptive = false)
       let state =
         Adaptive.create ~rng:(Rng.split rng)
           ~total:(Stdlib.max 1 (Array.length data))
-          ~max_laxity:cap ~requirements ~cost ~initial ()
+          ~max_laxity:cap ~requirements ~cost ~batch ~initial ()
       in
       Adaptive.policy state
     end

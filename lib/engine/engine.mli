@@ -40,11 +40,12 @@ val execute :
   ?planning:planning ->
   ?adaptive:bool ->
   ?cost:Cost_model.t ->
+  ?batch:int ->
   ?max_laxity:float ->
   ?emit:('o Operator.emitted -> unit) ->
   ?collect:bool ->
   instance:'o Operator.instance ->
-  probe:('o -> 'o) ->
+  probe:'o Probe_driver.t ->
   requirements:Quality.requirements ->
   'o array ->
   'o result
@@ -58,7 +59,15 @@ val execute :
     used, falling back to 1).  [cost] (default {!Cost_model.paper})
     prices the run for [normalized_cost] and the solver's objective.
 
+    [probe] is the probe capability the operator will draw on; wrap a
+    plain closure with {!Probe_driver.scalar} for the paper's scalar
+    path.  [batch] (default: the driver's own batch size) is the batch
+    size the planner and the adaptive re-solver assume when pricing
+    probes at the amortized [c_p + c_b/batch]; override it only when the
+    driver's configured batch size is not what the evaluation will
+    effectively see.
+
     The returned report's guarantees always satisfy the requirements.
 
     @raise Invalid_argument on an invalid sampling fraction or fallback
-    fractions. *)
+    fractions, or if [batch < 1]. *)

@@ -6,13 +6,13 @@ let policy_name = function
   | Greedy -> "Greedy"
   | Fixed _ -> "Fixed"
 
-let solve_setting (s : Exp_config.setting) =
+let solve_setting ?cost ?batch (s : Exp_config.setting) =
   let spec =
     Region_model.uniform_spec ~f_y:s.f_y ~f_m:s.f_m ~max_laxity:s.max_laxity
   in
   let problem =
     Solver.problem ~total:s.total ~spec
-      ~requirements:(Exp_config.requirements s) ()
+      ~requirements:(Exp_config.requirements s) ?cost ?batch ()
   in
   Solver.solve problem
 
@@ -32,7 +32,8 @@ type outcome = {
 (* The paper's QaQ: estimate f_y, f_m from a pre-query sample, keep the
    density assumption (uniform by default), solve for the region
    parameters.  The histogram density is the §4.2 refinement. *)
-let qaq_params ~rng ~sample_fraction ~density (s : Exp_config.setting) data =
+let qaq_params ~rng ~sample_fraction ~density ?cost ?batch
+    (s : Exp_config.setting) data =
   let sample = Selectivity.bernoulli_sample rng ~fraction:sample_fraction data in
   let estimate, f_y, f_m =
     if Array.length sample = 0 then (None, s.f_y, s.f_m)
@@ -54,16 +55,16 @@ let qaq_params ~rng ~sample_fraction ~density (s : Exp_config.setting) data =
   in
   let problem =
     Solver.problem ~total:s.total ~spec
-      ~requirements:(Exp_config.requirements s) ()
+      ~requirements:(Exp_config.requirements s) ?cost ?batch ()
   in
   (Solver.solve problem).params
 
 let trial_run ~rng ?(sample_fraction = 0.01) ?(density = `Uniform)
-    ?(cost = Cost_model.paper) ?enforce ~(setting : Exp_config.setting) ~data
-    kind =
+    ?(cost = Cost_model.paper) ?(batch = 1) ?enforce
+    ~(setting : Exp_config.setting) ~data kind =
   let params =
     match kind with
-    | Qaq -> qaq_params ~rng ~sample_fraction ~density setting data
+    | Qaq -> qaq_params ~rng ~sample_fraction ~density ~cost ~batch setting data
     | Stingy -> Policy.stingy_params
     | Greedy -> Policy.greedy_params
     | Fixed p -> p
@@ -81,7 +82,8 @@ let trial_run ~rng ?(sample_fraction = 0.01) ?(density = `Uniform)
   let requirements = Exp_config.requirements setting in
   let report =
     Operator.run ~rng ~enforce ~instance:Synthetic.instance
-      ~probe:Synthetic.probe ~policy:(Policy.qaq params) ~requirements
+      ~probe:(Probe_driver.of_scalar ~batch_size:batch Synthetic.probe)
+      ~policy:(Policy.qaq params) ~requirements
       (Operator.source_of_array data)
   in
   let answer_in_exact =
@@ -142,7 +144,7 @@ let aggregate (s : Exp_config.setting) outcomes =
   }
 
 let trial_series ~rng ?(repetitions = 5) ?sample_fraction ?density ?cost
-    (setting : Exp_config.setting) kinds =
+    ?batch (setting : Exp_config.setting) kinds =
   let datasets =
     List.init repetitions (fun _ ->
         Synthetic.generate rng (Exp_config.workload setting))
@@ -152,7 +154,8 @@ let trial_series ~rng ?(repetitions = 5) ?sample_fraction ?density ?cost
       let outcomes =
         List.map
           (fun data ->
-            trial_run ~rng ?sample_fraction ?density ?cost ~setting ~data kind)
+            trial_run ~rng ?sample_fraction ?density ?cost ?batch ~setting
+              ~data kind)
           datasets
       in
       (kind, aggregate setting outcomes))

@@ -17,8 +17,12 @@ type policy_kind =
 
 val policy_name : policy_kind -> string
 
-val solve_setting : Exp_config.setting -> Solver.evaluation
-(** The §5.1 computation: exact [f_y]/[f_m], uniform density. *)
+val solve_setting :
+  ?cost:Cost_model.t -> ?batch:int -> Exp_config.setting -> Solver.evaluation
+(** The §5.1 computation: exact [f_y]/[f_m], uniform density.  [cost]
+    (default {!Cost_model.paper}) and [batch] (default 1) are passed to
+    {!Solver.problem}, so the batched-probe pricing can be studied on the
+    paper settings. *)
 
 type outcome = {
   normalized_cost : float;  (** W / |T| under the paper cost model *)
@@ -40,6 +44,7 @@ val trial_run :
   ?sample_fraction:float ->
   ?density:[ `Uniform | `Histogram ] ->
   ?cost:Cost_model.t ->
+  ?batch:int ->
   ?enforce:bool ->
   setting:Exp_config.setting ->
   data:Synthetic.obj array ->
@@ -48,7 +53,10 @@ val trial_run :
 (** One trial on pre-generated data.  [sample_fraction] (default 0.01)
     and [density] (default [`Uniform], the paper's choice) only affect
     [Qaq].  Sampling is pre-query work and is not charged to the meter,
-    as in the paper.  [enforce] overrides the Theorem 3.1 guard; by
+    as in the paper.  [batch] (default 1, the paper's scalar path) sets
+    the probe batch size: the operator probes through a driver of that
+    size and the [Qaq] planner prices probes at the amortized
+    [c_p + c_b/batch].  [enforce] overrides the Theorem 3.1 guard; by
     default it is on for every policy except [Greedy], which the paper's
     trials run raw (see {!Operator.run}). *)
 
@@ -72,6 +80,7 @@ val trial_series :
   ?sample_fraction:float ->
   ?density:[ `Uniform | `Histogram ] ->
   ?cost:Cost_model.t ->
+  ?batch:int ->
   Exp_config.setting ->
   policy_kind list ->
   (policy_kind * aggregate) list

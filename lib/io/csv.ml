@@ -1,3 +1,11 @@
+exception Parse_error of { offset : int; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { offset; reason } ->
+        Some (Printf.sprintf "Csv.Parse_error at offset %d: %s" offset reason)
+    | _ -> None)
+
 let needs_quoting s =
   String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
 
@@ -50,23 +58,24 @@ let decode text =
           flush_row ();
           plain (i + 1)
       | '\r' -> plain (i + 1)
-      | '"' when Buffer.length field = 0 -> quoted (i + 1)
+      | '"' when Buffer.length field = 0 -> quoted ~start:i (i + 1)
       | c ->
           Buffer.add_char field c;
           plain (i + 1)
-  and quoted i =
-    if i >= n then failwith "Csv.decode: unterminated quoted field"
+  and quoted ~start i =
+    if i >= n then
+      raise (Parse_error { offset = start; reason = "unterminated quoted field" })
     else
       match text.[i] with
       | '"' ->
           if i + 1 < n && text.[i + 1] = '"' then begin
             Buffer.add_char field '"';
-            quoted (i + 2)
+            quoted ~start (i + 2)
           end
           else after_quote (i + 1)
       | c ->
           Buffer.add_char field c;
-          quoted (i + 1)
+          quoted ~start (i + 1)
   and after_quote i =
     if i >= n then flush_row ()
     else

@@ -6,6 +6,11 @@
     are quoted; quotes are doubled.  Reading accepts both quoted and
     bare fields and both LF and CRLF line ends. *)
 
+exception Parse_error of { offset : int; reason : string }
+(** Malformed CSV input.  [offset] is the byte position in the decoded
+    text where the offending construct starts — for an unterminated
+    quoted field, the position of the opening quote. *)
+
 val escape_field : string -> string
 (** Quote a field if it needs quoting, else return it unchanged. *)
 
@@ -13,14 +18,15 @@ val encode_row : string list -> string
 (** One CSV line, without the trailing newline. *)
 
 val decode_row : string -> string list
-(** Parse one line.  @raise Failure on an unterminated quoted field. *)
+(** Parse one line.  @raise Parse_error on an unterminated quoted
+    field. *)
 
 val encode : string list list -> string
 (** Lines joined with ["\n"], with a trailing newline. *)
 
 val decode : string -> string list list
 (** Split into rows (handles quoted embedded newlines); skips a final
-    empty line. *)
+    empty line.  @raise Parse_error on an unterminated quoted field. *)
 
 val write_file : string -> string list list -> unit
 val read_file : string -> string list list

@@ -4,6 +4,7 @@ type t = {
   max_laxity : float;
   requirements : Quality.requirements;
   cost : Cost_model.t;
+  batch : int;
   replan_every : int;
   max_replans : int;
   mutable params : Policy.params;
@@ -16,19 +17,21 @@ type t = {
   maybe_plane : Histogram.Hist2d.t;
 }
 
-let default_initial ~total ~max_laxity ~requirements ~cost =
+let default_initial ~total ~max_laxity ~requirements ~cost ~batch =
   let spec = Region_model.uniform_spec ~f_y:0.2 ~f_m:0.2 ~max_laxity in
-  (Solver.solve (Solver.problem ~total ~spec ~requirements ~cost ())).params
+  (Solver.solve (Solver.problem ~total ~spec ~requirements ~cost ~batch ()))
+    .params
 
 let create ~rng ~total ~max_laxity ~requirements ?(cost = Cost_model.paper)
-    ?(replan_every = 500) ?(max_replans = 8) ?initial () =
+    ?(batch = 1) ?(replan_every = 500) ?(max_replans = 8) ?initial () =
   if total <= 0 then invalid_arg "Adaptive.create: total <= 0";
+  if batch < 1 then invalid_arg "Adaptive.create: batch < 1";
   if replan_every < 1 then invalid_arg "Adaptive.create: replan_every < 1";
   if max_replans < 0 then invalid_arg "Adaptive.create: max_replans < 0";
   let initial =
     match initial with
     | Some p -> p
-    | None -> default_initial ~total ~max_laxity ~requirements ~cost
+    | None -> default_initial ~total ~max_laxity ~requirements ~cost ~batch
   in
   {
     rng;
@@ -36,6 +39,7 @@ let create ~rng ~total ~max_laxity ~requirements ?(cost = Cost_model.paper)
     max_laxity;
     requirements;
     cost;
+    batch;
     replan_every;
     max_replans;
     params = initial;
@@ -82,7 +86,7 @@ let replan t ~reads =
     in
     let problem =
       Solver.problem ~total:t.total ~spec ~requirements:t.requirements
-        ~cost:t.cost ()
+        ~cost:t.cost ~batch:t.batch ()
     in
     t.params <- (Solver.solve problem).params;
     t.replans <- t.replans + 1

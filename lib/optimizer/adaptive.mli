@@ -21,6 +21,7 @@ val create :
   max_laxity:float ->
   requirements:Quality.requirements ->
   ?cost:Cost_model.t ->
+  ?batch:int ->
   ?replan_every:int ->
   ?max_replans:int ->
   ?initial:Policy.params ->
@@ -29,9 +30,12 @@ val create :
 (** [replan_every] (default 500) objects between re-solves, up to
     [max_replans] (default 8) re-solves.  [initial] (default: the
     solution under the uniform-density assumption with an agnostic
-    [f_y = f_m = 0.2] prior) is used until the first re-plan.
-    @raise Invalid_argument if [total <= 0], [replan_every < 1] or
-    [max_replans < 0]. *)
+    [f_y = f_m = 0.2] prior) is used until the first re-plan.  [batch]
+    (default 1) is the probe batch size the evaluation will use; every
+    re-solve prices probes at the amortized [c_p + c_b/batch] so
+    mid-scan plans see the same cost surface as the initial one.
+    @raise Invalid_argument if [total <= 0], [batch < 1],
+    [replan_every < 1] or [max_replans < 0]. *)
 
 val policy : t -> Policy.t
 (** The policy to pass to {!Operator.run}. *)

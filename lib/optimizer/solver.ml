@@ -3,11 +3,20 @@ type problem = {
   spec : Region_model.spec;
   requirements : Quality.requirements;
   cost : Cost_model.t;
+  batch : int;
 }
 
-let problem ~total ~spec ~requirements ?(cost = Cost_model.paper) () =
+let problem ~total ~spec ~requirements ?(cost = Cost_model.paper)
+    ?(batch = 1) () =
   if total <= 0 then invalid_arg "Solver.problem: total <= 0";
-  { total; spec; requirements; cost }
+  if batch < 1 then invalid_arg "Solver.problem: batch < 1";
+  { total; spec; requirements; cost; batch }
+
+(* The objective prices each probe at its amortized cost c_p + c_b/B:
+   the evaluation plan dispatches probes in batches of B, so that is the
+   marginal price the §4.2.2 objective must see for plan costs to match
+   the metered reality. *)
+let effective_cost t = Cost_model.amortize ~batch:t.batch t.cost
 
 type evaluation = {
   params : Policy.params;
@@ -48,7 +57,7 @@ let evaluate t (params : Policy.params) =
   in
   let violation = precision_violation +. recall_violation in
   let feasible = violation <= tolerance in
-  let cost = reads *. Region_model.unit_cost t.cost f in
+  let cost = reads *. Region_model.unit_cost (effective_cost t) f in
   {
     params;
     fractions = f;
@@ -68,8 +77,9 @@ let penalized t params =
   let e = evaluate t params in
   if e.feasible then e.cost
   else begin
+    let c = effective_cost t in
     let worst_unit =
-      t.cost.Cost_model.c_r +. t.cost.c_p +. t.cost.c_wi +. t.cost.c_wp
+      c.Cost_model.c_r +. c.c_p +. c.c_wi +. c.c_wp
     in
     let ceiling = float_of_int t.total *. worst_unit in
     (2.0 *. ceiling) +. (10.0 *. ceiling *. e.violation)
@@ -151,15 +161,19 @@ let explain t (e : evaluation) =
     (per f.maybe_forwarded)
     (per (f.maybe -. f.maybe_probed -. f.maybe_forwarded));
   add "  NO    %4.0f: discard\n" (per (1.0 -. f.yes -. f.maybe));
-  let reads_cost = e.reads *. t.cost.Cost_model.c_r in
-  let probe_cost = e.reads *. (f.yes_probed +. f.maybe_probed) *. t.cost.c_p in
+  let c = effective_cost t in
+  let reads_cost = e.reads *. c.Cost_model.c_r in
+  let probe_cost = e.reads *. (f.yes_probed +. f.maybe_probed) *. c.c_p in
   let write_cost =
     e.reads
-    *. (((f.yes_forwarded +. f.maybe_forwarded) *. t.cost.c_wi)
-       +. ((f.yes_probed +. f.maybe_probe_yes) *. t.cost.c_wp))
+    *. (((f.yes_forwarded +. f.maybe_forwarded) *. c.c_wi)
+       +. ((f.yes_probed +. f.maybe_probe_yes) *. c.c_wp))
   in
   add "cost W = %.0f (W/|T| = %.3f): read %.0f + probe %.0f + write %.0f\n"
     e.cost e.normalized_cost reads_cost probe_cost write_cost;
+  if t.batch > 1 || t.cost.Cost_model.c_b > 0.0 then
+    add "probes priced amortized: c_p + c_b/B = %g + %g/%d = %g per probe\n"
+      t.cost.c_p t.cost.c_b t.batch c.c_p;
   add "precision: expected %.4f vs bound %.4f (slack %+.4f)\n"
     e.expected_precision req.Quality.precision
     (e.expected_precision -. req.precision);

@@ -26,6 +26,9 @@ type problem = {
   spec : Region_model.spec;
   requirements : Quality.requirements;
   cost : Cost_model.t;
+  batch : int;
+      (** probe batch size B: the objective prices each probe at the
+          amortized [c_p + c_b/B] (see {!Cost_model.amortized_probe}) *)
 }
 
 val problem :
@@ -33,12 +36,16 @@ val problem :
   spec:Region_model.spec ->
   requirements:Quality.requirements ->
   ?cost:Cost_model.t ->
+  ?batch:int ->
   unit ->
   problem
-(** [cost] defaults to {!Cost_model.paper}.
-    @raise Invalid_argument if [total <= 0] or the requirements' laxity
-    bound exceeds the spec's [max_laxity] by more than the spec allows
-    (a bound above L is simply clamped: everything is forwardable). *)
+(** [cost] defaults to {!Cost_model.paper}; [batch] defaults to 1 (the
+    scalar probe path, under which the amortized probe price is exactly
+    [c_p] and every pre-batching solution is unchanged).
+    @raise Invalid_argument if [total <= 0], [batch < 1], or the
+    requirements' laxity bound exceeds the spec's [max_laxity] by more
+    than the spec allows (a bound above L is simply clamped: everything
+    is forwardable). *)
 
 (** The outcome of instantiating the model at one parameter point. *)
 type evaluation = {

@@ -13,6 +13,7 @@ type 'o t = {
   rng : Rng.t option;
   mutable probes : int;
   mutable attempts : int;
+  mutable batches : int;
   mutable simulated_latency : float;
 }
 
@@ -35,6 +36,7 @@ let create ?(latency = Instant) ?(failure_rate = 0.0) ?(max_retries = 10) ?rng
     rng;
     probes = 0;
     attempts = 0;
+    batches = 0;
     simulated_latency = 0.0;
   }
 
@@ -54,10 +56,16 @@ let attempt_fails t =
   | Some rng -> Rng.bernoulli rng t.failure_rate
   | None -> false
 
+(* One wakeup of the remote source: one latency sample, one batch
+   dispatch — whether it carries one object or a whole batch. *)
+let wakeup t =
+  t.batches <- t.batches + 1;
+  t.simulated_latency <- t.simulated_latency +. sample_latency t
+
 let probe t o =
   let rec go retries_left =
     t.attempts <- t.attempts + 1;
-    t.simulated_latency <- t.simulated_latency +. sample_latency t;
+    wakeup t;
     if attempt_fails t then
       if retries_left = 0 then raise Probe_failed else go (retries_left - 1)
     else t.resolve o
@@ -66,16 +74,57 @@ let probe t o =
   t.probes <- t.probes + 1;
   precise
 
-type stats = { probes : int; attempts : int; simulated_latency : float }
+let probe_batch t objs =
+  let n = Array.length objs in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let tries = Array.make n 0 in
+    let pending = ref (List.init n Fun.id) in
+    (* Each round is one wakeup: latency is paid once for the whole
+       pending set, failures strike per element, and only the failed
+       elements ride along to the next round. *)
+    while !pending <> [] do
+      wakeup t;
+      pending :=
+        List.filter
+          (fun i ->
+            t.attempts <- t.attempts + 1;
+            tries.(i) <- tries.(i) + 1;
+            if attempt_fails t then
+              if tries.(i) > t.max_retries then raise Probe_failed else true
+            else begin
+              results.(i) <- Some (t.resolve objs.(i));
+              t.probes <- t.probes + 1;
+              false
+            end)
+          !pending
+    done;
+    Array.map
+      (function Some o -> o | None -> assert false (* all settled *))
+      results
+  end
+
+let driver ?(batch_size = 1) t =
+  Probe_driver.create ~batch_size (probe_batch t)
+
+type stats = {
+  probes : int;
+  attempts : int;
+  batches : int;
+  simulated_latency : float;
+}
 
 let stats (t : _ t) : stats =
   {
     probes = t.probes;
     attempts = t.attempts;
+    batches = t.batches;
     simulated_latency = t.simulated_latency;
   }
 
 let reset_stats (t : _ t) =
   t.probes <- 0;
   t.attempts <- 0;
+  t.batches <- 0;
   t.simulated_latency <- 0.0

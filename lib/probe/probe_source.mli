@@ -6,7 +6,13 @@
     tertiary storage).  A source wraps the resolution function with
     latency simulation and optional transient-failure injection so that
     examples and benchmarks can model realistic remote stores; the QaQ
-    operator itself only sees [probe : 'o -> 'o]. *)
+    operator itself only sees the {!Probe_driver} capability.
+
+    The source resolves natively in batches: {!probe_batch} wakes the
+    remote store once per round, resolving every pending object in that
+    round together, so a batch of [B] pays one latency sample where [B]
+    scalar probes pay [B].  {!driver} packages a source as the
+    [Probe_driver] the operator consumes. *)
 
 (** Latency charged per probe attempt, in arbitrary time units. *)
 type latency =
@@ -39,11 +45,29 @@ val create :
 exception Probe_failed
 
 val probe : 'o t -> 'o -> 'o
-(** Resolve one object, recording attempts and simulated latency. *)
+(** Resolve one object, recording attempts and simulated latency.  Each
+    attempt is its own wakeup: it pays one latency sample and counts one
+    batch of size 1. *)
+
+val probe_batch : 'o t -> 'o array -> 'o array
+(** Resolve a batch, preserving order.  Each retry {e round} is one
+    wakeup — one latency sample and one batch count for however many
+    objects are still pending — while failures strike per element:
+    elements that resolve in a round are kept, and only the failed ones
+    ride along to the next round.  An element that fails
+    [max_retries + 1] times raises {!Probe_failed} (results already
+    obtained in the batch are then lost to the caller, but remain
+    counted in {!stats}). *)
+
+val driver : ?batch_size:int -> 'o t -> 'o Probe_driver.t
+(** The source as an operator-facing probe capability, resolving each
+    driver flush with {!probe_batch}.  [batch_size] defaults to 1 (the
+    scalar path). *)
 
 type stats = {
   probes : int;  (** successful probe operations *)
   attempts : int;  (** including failed attempts *)
+  batches : int;  (** wakeups: batch rounds dispatched to the store *)
   simulated_latency : float;  (** total time units spent *)
 }
 

@@ -10,6 +10,8 @@ type t = {
   sensors : sensor array;
   drift_stddev : float;
   mutable transmissions : int;
+  mutable probe_wakeups : int;
+  mutable probe_messages : int;
 }
 
 let create rng ~n ~value_range ~tolerance_range ~drift_stddev =
@@ -28,7 +30,14 @@ let create rng ~n ~value_range ~tolerance_range ~drift_stddev =
           cached = Interval.make (value -. tolerance) (value +. tolerance);
         })
   in
-  { rng; sensors; drift_stddev; transmissions = 0 }
+  {
+    rng;
+    sensors;
+    drift_stddev;
+    transmissions = 0;
+    probe_wakeups = 0;
+    probe_messages = 0;
+  }
 
 let size t = Array.length t.sensors
 
@@ -70,6 +79,22 @@ let instance pred : reading Operator.instance =
   }
 
 let probe r = { r with resolved = true }
+
+let probe_batch t readings =
+  (* One radio wakeup serves the whole batch; each sensor still answers
+     with its own message. *)
+  let n = Array.length readings in
+  if n > 0 then begin
+    t.probe_wakeups <- t.probe_wakeups + 1;
+    t.probe_messages <- t.probe_messages + n
+  end;
+  Array.map probe readings
+
+let batch_driver ?(batch_size = 1) t =
+  Probe_driver.create ~batch_size (probe_batch t)
+
+let probe_wakeups t = t.probe_wakeups
+let probe_messages t = t.probe_messages
 let in_exact pred r = Predicate.eval pred r.current
 
 let exact_size pred readings =

@@ -48,6 +48,24 @@ val snapshot : t -> reading array
 (** The query site's current view, suitable as a QaQ input set. *)
 
 val instance : Predicate.t -> reading Operator.instance
+
 val probe : reading -> reading
+(** Resolve one reading (pure; no network accounting). *)
+
+val probe_batch : t -> reading array -> reading array
+(** Resolve a batch over the network: one radio {e wakeup} for the whole
+    batch, one {e message} per sensor in it.  The batched-probe cost
+    model's [c_b] is the wakeup; [c_p] is the per-sensor message. *)
+
+val batch_driver : ?batch_size:int -> t -> reading Probe_driver.t
+(** The network as an operator-facing probe capability resolving through
+    {!probe_batch}; [batch_size] defaults to 1 (one wakeup per probe). *)
+
+val probe_wakeups : t -> int
+(** Batch round-trips the network has served via {!probe_batch}. *)
+
+val probe_messages : t -> int
+(** Individual sensor responses served via {!probe_batch}. *)
+
 val in_exact : Predicate.t -> reading -> bool
 val exact_size : Predicate.t -> reading array -> int

@@ -208,6 +208,7 @@ let run ?meter ~(requirements : Quality.requirements) ~k records =
       {
         Cost_meter.reads = counts_after.reads - counts_before.reads;
         probes = counts_after.probes - counts_before.probes;
+        batches = counts_after.batches - counts_before.batches;
         writes_imprecise =
           counts_after.writes_imprecise - counts_before.writes_imprecise;
         writes_precise =

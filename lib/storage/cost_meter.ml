@@ -1,6 +1,7 @@
 type counts = {
   reads : int;
   probes : int;
+  batches : int;
   writes_imprecise : int;
   writes_precise : int;
 }
@@ -8,21 +9,24 @@ type counts = {
 type t = {
   mutable reads : int;
   mutable probes : int;
+  mutable batches : int;
   mutable writes_imprecise : int;
   mutable writes_precise : int;
 }
 
 let create () =
-  { reads = 0; probes = 0; writes_imprecise = 0; writes_precise = 0 }
+  { reads = 0; probes = 0; batches = 0; writes_imprecise = 0; writes_precise = 0 }
 
 let reset t =
   t.reads <- 0;
   t.probes <- 0;
+  t.batches <- 0;
   t.writes_imprecise <- 0;
   t.writes_precise <- 0
 
 let charge_read t = t.reads <- t.reads + 1
 let charge_probe t = t.probes <- t.probes + 1
+let charge_batch t = t.batches <- t.batches + 1
 let charge_write_imprecise t = t.writes_imprecise <- t.writes_imprecise + 1
 let charge_write_precise t = t.writes_precise <- t.writes_precise + 1
 
@@ -30,6 +34,7 @@ let counts t : counts =
   {
     reads = t.reads;
     probes = t.probes;
+    batches = t.batches;
     writes_imprecise = t.writes_imprecise;
     writes_precise = t.writes_precise;
   }
@@ -37,11 +42,13 @@ let counts t : counts =
 let cost_of_counts (m : Cost_model.t) (c : counts) =
   (float_of_int c.reads *. m.c_r)
   +. (float_of_int c.probes *. m.c_p)
+  +. (float_of_int c.batches *. m.c_b)
   +. (float_of_int c.writes_imprecise *. m.c_wi)
   +. (float_of_int c.writes_precise *. m.c_wp)
 
 let total_cost m t = cost_of_counts m (counts t)
 
 let pp_counts ppf (c : counts) =
-  Format.fprintf ppf "reads=%d probes=%d writes_imprecise=%d writes_precise=%d"
-    c.reads c.probes c.writes_imprecise c.writes_precise
+  Format.fprintf ppf
+    "reads=%d probes=%d batches=%d writes_imprecise=%d writes_precise=%d"
+    c.reads c.probes c.batches c.writes_imprecise c.writes_precise

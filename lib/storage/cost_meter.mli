@@ -9,6 +9,7 @@ type t
 type counts = {
   reads : int;  (** R: objects read and classified *)
   probes : int;  (** Y_p + M_p: probe operations *)
+  batches : int;  (** probe batches dispatched (see {!Probe_driver}) *)
   writes_imprecise : int;  (** Y_f + M_f: imprecise objects output *)
   writes_precise : int;  (** Y_p + M_py: precise objects output *)
 }
@@ -18,6 +19,12 @@ val reset : t -> unit
 
 val charge_read : t -> unit
 val charge_probe : t -> unit
+
+val charge_batch : t -> unit
+(** One probe batch dispatched; charged [c_b] by {!total_cost}.  A
+    scalar probe path charges one batch per probe, so with [c_b = 0]
+    (the paper model) nothing changes. *)
+
 val charge_write_imprecise : t -> unit
 val charge_write_precise : t -> unit
 
@@ -25,7 +32,8 @@ val counts : t -> counts
 
 val total_cost : Cost_model.t -> t -> float
 (** The paper's [W = R·c_r + (Y_p+M_p)·c_p + (Y_f+M_f)·c_wi +
-    (Y_p+M_py)·c_wp]. *)
+    (Y_p+M_py)·c_wp], plus the batching extension's [B_n·c_b] where
+    [B_n] is the number of probe batches. *)
 
 val cost_of_counts : Cost_model.t -> counts -> float
 

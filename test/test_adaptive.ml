@@ -12,7 +12,8 @@ let run_with_adaptive ~seed ~data ~replan_every ~max_replans =
       ~max_laxity:100.0 ~requirements ~replan_every ~max_replans ()
   in
   let report =
-    Operator.run ~rng ~instance:Synthetic.instance ~probe:Synthetic.probe
+    Operator.run ~rng ~instance:Synthetic.instance
+      ~probe:(Probe_driver.scalar Synthetic.probe)
       ~policy:(Adaptive.policy adaptive) ~requirements
       (Operator.source_of_array data)
   in
@@ -80,7 +81,8 @@ let test_adapts_to_misestimated_workload () =
         in
         let rng = Rng.create (seed + 100) in
         let static_report =
-          Operator.run ~rng ~instance:Synthetic.instance ~probe:Synthetic.probe
+          Operator.run ~rng ~instance:Synthetic.instance
+      ~probe:(Probe_driver.scalar Synthetic.probe)
             ~policy:(Policy.qaq wrong_prior) ~requirements
             (Operator.source_of_array data)
         in
@@ -90,7 +92,8 @@ let test_adapts_to_misestimated_workload () =
             ~initial:wrong_prior ()
         in
         let adaptive_report =
-          Operator.run ~rng ~instance:Synthetic.instance ~probe:Synthetic.probe
+          Operator.run ~rng ~instance:Synthetic.instance
+      ~probe:(Probe_driver.scalar Synthetic.probe)
             ~policy:(Adaptive.policy adaptive) ~requirements
             (Operator.source_of_array data)
         in
@@ -116,7 +119,8 @@ let test_current_params_evolve () =
   in
   checkb "starts at initial" true (Adaptive.current_params adaptive = initial);
   let _ =
-    Operator.run ~rng ~instance:Synthetic.instance ~probe:Synthetic.probe
+    Operator.run ~rng ~instance:Synthetic.instance
+      ~probe:(Probe_driver.scalar Synthetic.probe)
       ~policy:(Adaptive.policy adaptive) ~requirements
       (Operator.source_of_array data)
   in

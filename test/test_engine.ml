@@ -10,7 +10,7 @@ let test_execute_default () =
   let data = dataset 1 in
   let result =
     Engine.execute ~rng:(Rng.create 2) ~max_laxity:100.0
-      ~instance:Synthetic.instance ~probe:Synthetic.probe ~requirements data
+      ~instance:Synthetic.instance ~probe:(Probe_driver.scalar Synthetic.probe) ~requirements data
   in
   checkb "meets" true (Quality.meets result.report.guarantees requirements);
   (match result.plan with
@@ -32,7 +32,7 @@ let test_execute_fixed () =
   let result =
     Engine.execute ~rng:(Rng.create 4)
       ~planning:(Engine.Fixed Policy.stingy_params)
-      ~instance:Synthetic.instance ~probe:Synthetic.probe ~requirements data
+      ~instance:Synthetic.instance ~probe:(Probe_driver.scalar Synthetic.probe) ~requirements data
   in
   checkb "no plan for fixed" true (result.plan = None);
   checkb "still meets" true (Quality.meets result.report.guarantees requirements)
@@ -41,7 +41,7 @@ let test_execute_adaptive () =
   let data = dataset 5 in
   let result =
     Engine.execute ~rng:(Rng.create 6) ~adaptive:true ~max_laxity:100.0
-      ~instance:Synthetic.instance ~probe:Synthetic.probe ~requirements data
+      ~instance:Synthetic.instance ~probe:(Probe_driver.scalar Synthetic.probe) ~requirements data
   in
   checkb "adaptive meets" true (Quality.meets result.report.guarantees requirements)
 
@@ -56,7 +56,7 @@ let test_execute_histogram_density () =
       ~planning:
         (Engine.Sampled
            { fraction = 0.05; density = `Histogram; fallback = (0.2, 0.2) })
-      ~max_laxity:100.0 ~instance:Synthetic.instance ~probe:Synthetic.probe
+      ~max_laxity:100.0 ~instance:Synthetic.instance ~probe:(Probe_driver.scalar Synthetic.probe)
       ~requirements data
   in
   checkb "histogram-planned run meets" true
@@ -65,7 +65,7 @@ let test_execute_histogram_density () =
 let test_execute_empty_and_tiny () =
   let empty =
     Engine.execute ~rng:(Rng.create 9) ~instance:Synthetic.instance
-      ~probe:Synthetic.probe ~requirements [||]
+      ~probe:(Probe_driver.scalar Synthetic.probe) ~requirements [||]
   in
   checkb "empty ok" true (Quality.meets empty.report.guarantees requirements);
   Alcotest.(check (float 0.0)) "empty cost" 0.0 empty.normalized_cost;
@@ -74,7 +74,7 @@ let test_execute_empty_and_tiny () =
   let tiny = Synthetic.generate (Rng.create 10) (Synthetic.config ~total:5 ()) in
   let result =
     Engine.execute ~rng:(Rng.create 11) ~instance:Synthetic.instance
-      ~probe:Synthetic.probe ~requirements tiny
+      ~probe:(Probe_driver.scalar Synthetic.probe) ~requirements tiny
   in
   checkb "tiny ok" true (Quality.meets result.report.guarantees requirements)
 
@@ -86,7 +86,7 @@ let test_invalid_fallback () =
            ~planning:
              (Engine.Sampled
                 { fraction = 0.01; density = `Uniform; fallback = (0.9, 0.9) })
-           ~instance:Synthetic.instance ~probe:Synthetic.probe ~requirements
+           ~instance:Synthetic.instance ~probe:(Probe_driver.scalar Synthetic.probe) ~requirements
            (dataset 12)))
 
 let suite =

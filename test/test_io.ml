@@ -31,8 +31,27 @@ let test_decode_variants () =
   Alcotest.(check (list (list string)))
     "empty fields" [ [ ""; ""; "" ] ] (Csv.decode ",,\n");
   Alcotest.check_raises "unterminated quote"
-    (Failure "Csv.decode: unterminated quoted field") (fun () ->
-      ignore (Csv.decode "\"abc"))
+    (Csv.Parse_error { offset = 0; reason = "unterminated quoted field" })
+    (fun () -> ignore (Csv.decode "\"abc"))
+
+let test_decode_unterminated_quote () =
+  (* The reported offset is that of the opening quote, even when the
+     bad field starts mid-text or spans line breaks. *)
+  let check_offset name text offset =
+    Alcotest.check_raises name
+      (Csv.Parse_error { offset; reason = "unterminated quoted field" })
+      (fun () -> ignore (Csv.decode text))
+  in
+  check_offset "at start" "\"abc" 0;
+  check_offset "mid-row" "a,b,\"oops" 4;
+  check_offset "later row" "a,b\nc,\"un\nterminated" 6;
+  (* A doubled quote does not terminate the field. *)
+  check_offset "escaped quote only" "\"he said \"\"hi" 0;
+  (* Properly terminated fields must not raise. *)
+  Alcotest.(check (list (list string)))
+    "terminated ok"
+    [ [ "a"; "b c" ] ]
+    (Csv.decode "a,\"b c\"\n")
 
 let test_file_roundtrip () =
   let path = Filename.temp_file "imprecise_csv" ".csv" in
@@ -126,6 +145,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_csv_roundtrip;
     ("row roundtrip", `Quick, test_row_roundtrip);
     ("decode variants", `Quick, test_decode_variants);
+    ("unterminated quoted field", `Quick, test_decode_unterminated_quote);
     ("file roundtrip", `Quick, test_file_roundtrip);
     ("synthetic roundtrip", `Quick, test_synthetic_roundtrip);
     ("synthetic file roundtrip", `Quick, test_synthetic_file_roundtrip);

@@ -11,10 +11,11 @@ let checkb = Alcotest.(check bool)
 let req ?(p = 0.9) ?(r = 0.5) ?(l = 50.0) () =
   Quality.requirements ~precision:p ~recall:r ~laxity:l
 
-let run ?(seed = 1) ?(policy = Policy.stingy) ?(enforce = true) ~requirements
-    data =
+let run ?(seed = 1) ?(policy = Policy.stingy) ?(enforce = true) ?(batch = 1)
+    ~requirements data =
   Operator.run ~rng:(Rng.create seed) ~enforce ~instance:Synthetic.instance
-    ~probe:Synthetic.probe ~policy ~requirements
+    ~probe:(Probe_driver.of_scalar ~batch_size:batch Synthetic.probe)
+    ~policy ~requirements
     (Operator.source_of_array data)
 
 let gen_data ?(seed = 7) ?(total = 1000) ?(f_y = 0.2) ?(f_m = 0.2) () =
@@ -63,7 +64,8 @@ let test_streaming_emit_matches_collection () =
   let streamed = ref [] in
   let report =
     Operator.run ~rng:(Rng.create 3) ~instance:Synthetic.instance
-      ~probe:Synthetic.probe ~policy:Policy.greedy ~requirements:(req ())
+      ~probe:(Probe_driver.scalar Synthetic.probe) ~policy:Policy.greedy
+      ~requirements:(req ())
       ~emit:(fun e -> streamed := e :: !streamed)
       (Operator.source_of_array data)
   in
@@ -74,8 +76,8 @@ let test_collect_false () =
   let data = gen_data ~total:200 () in
   let report =
     Operator.run ~rng:(Rng.create 3) ~instance:Synthetic.instance
-      ~probe:Synthetic.probe ~policy:Policy.stingy ~requirements:(req ())
-      ~collect:false
+      ~probe:(Probe_driver.scalar Synthetic.probe) ~policy:Policy.stingy
+      ~requirements:(req ()) ~collect:false
       (Operator.source_of_array data)
   in
   checkb "nothing collected" true (report.answer = []);
@@ -98,12 +100,14 @@ let test_shared_meter_delta () =
   let data = gen_data ~total:200 () in
   let r1 =
     Operator.run ~rng:(Rng.create 1) ~meter ~instance:Synthetic.instance
-      ~probe:Synthetic.probe ~policy:Policy.stingy ~requirements:(req ())
+      ~probe:(Probe_driver.scalar Synthetic.probe) ~policy:Policy.stingy
+      ~requirements:(req ())
       (Operator.source_of_array data)
   in
   let r2 =
     Operator.run ~rng:(Rng.create 2) ~meter ~instance:Synthetic.instance
-      ~probe:Synthetic.probe ~policy:Policy.stingy ~requirements:(req ())
+      ~probe:(Probe_driver.scalar Synthetic.probe) ~policy:Policy.stingy
+      ~requirements:(req ())
       (Operator.source_of_array data)
   in
   (* Each report covers only its own run; the meter has both. *)
@@ -118,7 +122,7 @@ let test_inconsistent_probe_raises () =
     (fun () ->
       ignore
         (Operator.run ~rng:(Rng.create 1) ~instance:Synthetic.instance
-           ~probe:bad_probe ~policy:Policy.greedy
+           ~probe:(Probe_driver.scalar bad_probe) ~policy:Policy.greedy
            ~requirements:(req ~p:1.0 ~r:1.0 ())
            (Operator.source_of_array data)))
 
@@ -158,7 +162,8 @@ let test_zone_map_source_is_sound () =
   let requirements = req ~p:0.9 ~r:0.8 ~l:20.0 () in
   let report =
     Operator.run ~rng ~instance:(Interval_data.instance pred)
-      ~probe:Interval_data.probe ~policy:Policy.stingy ~requirements
+      ~probe:(Probe_driver.scalar Interval_data.probe) ~policy:Policy.stingy
+      ~requirements
       (Operator.source_of_cursor cursor)
   in
   checkb "meets requirements" true (Quality.meets report.guarantees requirements);
@@ -252,6 +257,197 @@ let test_large_input_scales () =
   checkb "meets at scale" true (Quality.meets report.guarantees requirements);
   checkb "subsecond" true (elapsed < 2.0)
 
+(* ---- batched probing ------------------------------------------------ *)
+
+(* The golden workload the pre-refactor (scalar-closure) operator was run
+   on, with its full output hard-coded below.  [Probe_driver.scalar]
+   flushes inside [submit], so the batch=1 operator must replay the
+   scalar control flow — same RNG stream, same counters, same emission
+   order — bit for bit. *)
+let golden_data () =
+  Synthetic.generate (Rng.create 42)
+    (Synthetic.config ~total:2000 ~f_y:0.2 ~f_m:0.3 ~max_laxity:100.0 ())
+
+let golden_requirements =
+  Quality.requirements ~precision:0.92 ~recall:0.7 ~laxity:40.0
+
+type golden = {
+  g_reads : int;
+  g_probes : int;
+  g_wi : int;
+  g_wp : int;
+  g_answer : int;
+  g_yes_seen : int;
+  g_maybe_ignored : int;
+  g_exhausted : bool;
+  g_precision : float;
+  g_recall : float;
+  g_laxity : float;
+  g_hash : int;  (** order-sensitive digest of the whole emission *)
+  g_first10 : string;
+}
+
+(* Captured from the pre-refactor operator (commit before this one) by a
+   throwaway driver printing every field below. *)
+let goldens =
+  [
+    ( "stingy",
+      Policy.stingy,
+      {
+        g_reads = 2000;
+        g_probes = 545;
+        g_wi = 200;
+        g_wp = 373;
+        g_answer = 573;
+        g_yes_seen = 598;
+        g_maybe_ignored = 156;
+        g_exhausted = true;
+        g_precision = 0.92146596858638741;
+        g_recall = 0.70026525198938994;
+        g_laxity = 39.836905277424947;
+        g_hash = 1066082672;
+        g_first10 = "1I;6P;7I;10P;12P;13I;15P;23P;24P;25P";
+      } );
+    ( "greedy",
+      Policy.greedy,
+      {
+        g_reads = 1750;
+        g_probes = 663;
+        g_wi = 187;
+        g_wp = 449;
+        g_answer = 636;
+        g_yes_seen = 586;
+        g_maybe_ignored = 0;
+        g_exhausted = false;
+        g_precision = 0.92138364779874216;
+        g_recall = 0.70095693779904311;
+        g_laxity = 39.836905277424947;
+        g_hash = 937554316;
+        g_first10 = "1I;6P;7I;8P;10P;12P;13I;14P;15P;16P";
+      } );
+    ( "region",
+      Policy.qaq (Policy.params ~s3:0.6 ~s5:0.3 ~p_py:0.5 ~p_fm:0.5),
+      {
+        g_reads = 2000;
+        g_probes = 534;
+        g_wi = 192;
+        g_wp = 418;
+        g_answer = 610;
+        g_yes_seen = 648;
+        g_maybe_ignored = 170;
+        g_exhausted = true;
+        g_precision = 0.93934426229508194;
+        g_recall = 0.70048899755501226;
+        g_laxity = 39.851900579220114;
+        g_hash = 20894045;
+        g_first10 = "1I;6P;7I;10P;12P;13I;14P;15P;16P;24P";
+      } );
+  ]
+
+let emission_of report =
+  List.map
+    (fun (e : Synthetic.obj Operator.emitted) ->
+      (e.obj.Synthetic.id, e.precise))
+    report.Operator.answer
+
+let emission_hash emission =
+  List.fold_left
+    (fun acc (id, p) ->
+      ((acc * 1000003) + (id * 2) + (if p then 1 else 0)) land 0x3FFFFFFF)
+    17 emission
+
+let emission_first10 emission =
+  String.concat ";"
+    (List.map
+       (fun (id, p) -> Printf.sprintf "%d%c" id (if p then 'P' else 'I'))
+       (List.filteri (fun i _ -> i < 10) emission))
+
+let test_batch1_reproduces_scalar () =
+  let data = golden_data () in
+  List.iter
+    (fun (name, policy, g) ->
+      let report =
+        Operator.run ~rng:(Rng.create 7) ~instance:Synthetic.instance
+          ~probe:(Probe_driver.scalar Synthetic.probe) ~policy
+          ~requirements:golden_requirements
+          (Operator.source_of_array data)
+      in
+      let emission = emission_of report in
+      let chk l = Alcotest.check Alcotest.int (name ^ " " ^ l) in
+      chk "reads" g.g_reads report.counts.reads;
+      chk "probes" g.g_probes report.counts.probes;
+      (* The scalar driver dispatches one batch per probe. *)
+      chk "batches" g.g_probes report.counts.batches;
+      chk "writes imprecise" g.g_wi report.counts.writes_imprecise;
+      chk "writes precise" g.g_wp report.counts.writes_precise;
+      chk "answer size" g.g_answer report.answer_size;
+      chk "yes seen" g.g_yes_seen report.yes_seen;
+      chk "maybe ignored" g.g_maybe_ignored report.maybe_ignored;
+      checkb (name ^ " exhausted") g.g_exhausted report.exhausted;
+      let chkf l = Alcotest.check (Alcotest.float 0.0) (name ^ " " ^ l) in
+      chkf "precision" g.g_precision report.guarantees.precision;
+      chkf "recall" g.g_recall report.guarantees.recall;
+      chkf "laxity" g.g_laxity report.guarantees.max_laxity;
+      chk "emission digest" g.g_hash (emission_hash emission);
+      Alcotest.check Alcotest.string (name ^ " emission head") g.g_first10
+        (emission_first10 emission))
+    goldens
+
+let test_batched_guarantees_hold_throughout () =
+  (* For every batch size, the requirements must hold at the end AND the
+     progressive (per-settlement) precision/laxity guarantees must never
+     dip below/above the bounds: flush points included. *)
+  let data = golden_data () in
+  List.iter
+    (fun batch ->
+      let violated = ref 0 in
+      let report =
+        Operator.run ~rng:(Rng.create 7) ~instance:Synthetic.instance
+          ~probe:(Probe_driver.of_scalar ~batch_size:batch Synthetic.probe)
+          ~policy:Policy.stingy ~requirements:golden_requirements
+          ~on_progress:(fun ~reads:_ (g : Quality.guarantees) ->
+            if
+              g.precision < golden_requirements.Quality.precision -. 1e-9
+              || g.max_laxity > golden_requirements.Quality.laxity +. 1e-9
+            then incr violated)
+          (Operator.source_of_array data)
+      in
+      let name = Printf.sprintf "B=%d" batch in
+      checki (name ^ " no mid-run violation") 0 !violated;
+      checkb (name ^ " meets requirements") true
+        (Quality.meets report.guarantees golden_requirements);
+      (* Batch accounting: every batch has at most [batch] probes and the
+         batch count is at least ceil(probes/batch). *)
+      let min_batches =
+        (report.counts.probes + batch - 1) / batch
+      in
+      checkb (name ^ " batch count sane") true
+        (report.counts.probes = 0
+        || (report.counts.batches >= min_batches
+           && report.counts.batches <= report.counts.probes)))
+    [ 1; 4; 16; 64 ]
+
+let test_batching_reduces_cost_with_setup_charge () =
+  (* With a per-batch setup charge c_b > 0, batching must pay: the total
+     metered cost strictly decreases from B=1 to B=16 on a probe-heavy
+     run. *)
+  let data = golden_data () in
+  let model = Cost_model.make ~c_r:1.0 ~c_p:100.0 ~c_wi:1.0 ~c_wp:1.0
+      ~c_b:50.0 ()
+  in
+  let cost_at batch =
+    let report =
+      Operator.run ~rng:(Rng.create 7) ~instance:Synthetic.instance
+        ~probe:(Probe_driver.of_scalar ~batch_size:batch Synthetic.probe)
+        ~policy:Policy.stingy ~requirements:golden_requirements
+        (Operator.source_of_array data)
+    in
+    Operator.cost model report
+  in
+  let w1 = cost_at 1 and w4 = cost_at 4 and w16 = cost_at 16 in
+  checkb "B=4 cheaper than B=1" true (w4 < w1);
+  checkb "B=16 cheaper than B=4" true (w16 < w4)
+
 let suite =
   [
     ("empty input", `Quick, test_empty_input);
@@ -265,6 +461,12 @@ let suite =
     ("inconsistent probe raises", `Quick, test_inconsistent_probe_raises);
     ("raw mode can violate, guarded cannot", `Quick, test_raw_mode_can_violate);
     ("zone-map source stays sound", `Quick, test_zone_map_source_is_sound);
+    ("batch=1 reproduces the scalar operator", `Quick,
+     test_batch1_reproduces_scalar);
+    ("batched guarantees hold at every flush point", `Quick,
+     test_batched_guarantees_hold_throughout);
+    ("batching reduces cost under a setup charge", `Quick,
+     test_batching_reduces_cost_with_setup_charge);
     QCheck_alcotest.to_alcotest prop_guarantees_sound;
     QCheck_alcotest.to_alcotest prop_monotone_cost_in_recall;
     ("large input scales", `Slow, test_large_input_scales);

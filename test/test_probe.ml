@@ -51,6 +51,121 @@ let test_probe_source_exhausts_retries () =
    with Probe_source.Probe_failed -> failed := true);
   checkb "a probe failed" true !failed
 
+let test_probe_source_latency_per_attempt () =
+  (* Latency is a property of the attempt, not the success: every retry
+     of a flaky source pays the round trip again. *)
+  let rng = Rng.create 21 in
+  let source =
+    Probe_source.create ~latency:(Probe_source.Constant 2.0) ~failure_rate:0.5
+      ~max_retries:50 ~rng Fun.id
+  in
+  for i = 1 to 50 do
+    checki "resolves" i (Probe_source.probe source i)
+  done;
+  let s = Probe_source.stats source in
+  checki "50 probes" 50 s.probes;
+  checkb "retries happened" true (s.attempts > s.probes);
+  (* Scalar probes wake the source once per attempt. *)
+  checki "one wakeup per attempt" s.attempts s.batches;
+  Alcotest.(check (float 1e-9))
+    "latency = attempts * constant"
+    (float_of_int s.attempts *. 2.0)
+    s.simulated_latency
+
+let test_probe_source_fails_only_after_retries () =
+  (* Probe_failed may only surface once max_retries + 1 attempts have
+     been spent on the element. *)
+  let rng = Rng.create 22 in
+  let source =
+    Probe_source.create ~failure_rate:0.999999 ~max_retries:4 ~rng Fun.id
+  in
+  let raised =
+    try
+      ignore (Probe_source.probe source 1);
+      false
+    with Probe_source.Probe_failed -> true
+  in
+  checkb "failed" true raised;
+  let s = Probe_source.stats source in
+  checki "all retries spent first" 5 s.attempts;
+  checki "no probe recorded" 0 s.probes
+
+let test_probe_batch_accounting () =
+  (* A clean batch is one wakeup: one latency sample, one batch count,
+     however many elements ride along. *)
+  let source =
+    Probe_source.create ~latency:(Probe_source.Constant 2.0) (fun x -> x * 2)
+  in
+  let out = Probe_source.probe_batch source [| 1; 2; 3; 4; 5 |] in
+  Alcotest.(check (array int)) "order kept" [| 2; 4; 6; 8; 10 |] out;
+  let s = Probe_source.stats source in
+  checki "five probes" 5 s.probes;
+  checki "five attempts" 5 s.attempts;
+  checki "one wakeup" 1 s.batches;
+  Alcotest.(check (float 1e-9)) "one round trip" 2.0 s.simulated_latency;
+  checki "empty batch is free" 0
+    (Probe_source.reset_stats source;
+     ignore (Probe_source.probe_batch source [||]);
+     (Probe_source.stats source).batches)
+
+let test_probe_batch_partial_failure () =
+  (* When some elements of a round fail, only those ride into the next
+     round; the others' results are not lost, and order is kept. *)
+  let rng = Rng.create 23 in
+  let source =
+    Probe_source.create ~latency:(Probe_source.Constant 1.0) ~failure_rate:0.5
+      ~max_retries:100 ~rng (fun x -> x + 100)
+  in
+  let input = Array.init 16 (fun i -> i) in
+  let out = Probe_source.probe_batch source input in
+  Alcotest.(check (array int))
+    "all resolved in order"
+    (Array.map (fun x -> x + 100) input)
+    out;
+  let s = Probe_source.stats source in
+  checki "every element probed once" 16 s.probes;
+  checkb "some elements retried" true (s.attempts > s.probes);
+  checkb "retries grouped into rounds" true (s.batches < s.attempts);
+  (* Each round pays latency once for the whole pending set. *)
+  Alcotest.(check (float 1e-9))
+    "latency per round"
+    (float_of_int s.batches *. 1.0)
+    s.simulated_latency
+
+let test_probe_batch_retry_exhaustion () =
+  let rng = Rng.create 24 in
+  let source =
+    Probe_source.create ~failure_rate:0.999999 ~max_retries:2 ~rng Fun.id
+  in
+  let raised =
+    try
+      ignore (Probe_source.probe_batch source [| 1; 2; 3 |]);
+      false
+    with Probe_source.Probe_failed -> true
+  in
+  checkb "failed after retries" true raised
+
+let test_probe_source_driver () =
+  (* Probe_source.driver delivers the batch path through Probe_driver:
+     one wakeup per full batch. *)
+  let source =
+    Probe_source.create ~latency:(Probe_source.Constant 3.0) (fun x -> x * 10)
+  in
+  let driver = Probe_source.driver ~batch_size:4 source in
+  let results = ref [] in
+  for i = 1 to 8 do
+    Probe_driver.submit driver i (fun r -> results := r :: !results)
+  done;
+  Alcotest.(check (list int))
+    "two auto-flushed batches, in order"
+    [ 10; 20; 30; 40; 50; 60; 70; 80 ]
+    (List.rev !results);
+  checki "driver probes" 8 (Probe_driver.probes driver);
+  checki "driver batches" 2 (Probe_driver.batches driver);
+  let s = Probe_source.stats source in
+  checki "source wakeups match batches" 2 s.batches;
+  Alcotest.(check (float 1e-9)) "latency per batch" 6.0 s.simulated_latency
+
 let test_probe_source_validation () =
   Alcotest.check_raises "rng required"
     (Invalid_argument "Probe_source.create: rng required for jitter or failures")
@@ -108,14 +223,40 @@ let test_sensor_net_instance () =
       Alcotest.(check (float 0.0)) "probe laxity" 0.0 (instance.laxity probed))
     (Sensor_net.snapshot net)
 
+let test_sensor_net_batch_radio () =
+  (* Radio model: one wakeup per batch (c_b), one message per sensor
+     (c_p). *)
+  let net = make_net 13 in
+  for _ = 1 to 20 do
+    Sensor_net.step net
+  done;
+  let readings = Array.sub (Sensor_net.snapshot net) 0 6 in
+  let probed = Sensor_net.probe_batch net readings in
+  Array.iter
+    (fun (r : Sensor_net.reading) -> checkb "resolved" true r.resolved)
+    probed;
+  checki "one wakeup" 1 (Sensor_net.probe_wakeups net);
+  checki "one message per sensor" 6 (Sensor_net.probe_messages net);
+  let driver = Sensor_net.batch_driver ~batch_size:3 net in
+  Array.iter (fun r -> Probe_driver.submit driver r (fun _ -> ())) readings;
+  checki "two more wakeups via driver" 3 (Sensor_net.probe_wakeups net);
+  checki "messages accumulate" 12 (Sensor_net.probe_messages net)
+
 let suite =
   [
     ("probe source basics", `Quick, test_probe_source_basic);
     ("probe source latency", `Quick, test_probe_source_latency);
     ("probe source failures and retries", `Quick, test_probe_source_failures);
     ("probe source retry exhaustion", `Quick, test_probe_source_exhausts_retries);
+    ("latency charged per attempt", `Quick, test_probe_source_latency_per_attempt);
+    ("failure only after retries spent", `Quick, test_probe_source_fails_only_after_retries);
+    ("batch accounting", `Quick, test_probe_batch_accounting);
+    ("batch partial failure retries", `Quick, test_probe_batch_partial_failure);
+    ("batch retry exhaustion", `Quick, test_probe_batch_retry_exhaustion);
+    ("batch driver integration", `Quick, test_probe_source_driver);
     ("probe source validation", `Quick, test_probe_source_validation);
     ("sensor replicas are sound", `Quick, test_sensor_net_replicas_sound);
     ("sensor transmissions scale with drift", `Quick, test_sensor_net_transmissions);
     ("sensor reading instance", `Quick, test_sensor_net_instance);
+    ("sensor batch radio accounting", `Quick, test_sensor_net_batch_radio);
   ]

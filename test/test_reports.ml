@@ -62,7 +62,7 @@ let test_probe_failure_propagates () =
     try
       ignore
         (Operator.run ~rng ~meter ~instance:Synthetic.instance
-           ~probe:(Probe_source.probe source)
+           ~probe:(Probe_source.driver source)
            ~policy:Policy.greedy
            ~requirements:(Quality.requirements ~precision:1.0 ~recall:1.0 ~laxity:0.0)
            (Operator.source_of_array data));

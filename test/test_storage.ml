@@ -9,24 +9,80 @@ let test_cost_model () =
   let m = Cost_model.paper in
   checkf "paper probe cost" 100.0 m.c_p;
   checkf "paper read cost" 1.0 m.c_r;
+  checkf "paper batch cost" 0.0 m.c_b;
+  checkf "uniform batch cost" 0.0 Cost_model.uniform.c_b;
   Alcotest.check_raises "negative cost"
     (Invalid_argument "Cost_model.make: c_p must be >= 0") (fun () ->
-      ignore (Cost_model.make ~c_r:1.0 ~c_p:(-1.0) ~c_wi:1.0 ~c_wp:1.0))
+      ignore (Cost_model.make ~c_r:1.0 ~c_p:(-1.0) ~c_wi:1.0 ~c_wp:1.0 ()));
+  Alcotest.check_raises "negative batch cost"
+    (Invalid_argument "Cost_model.make: c_b must be >= 0") (fun () ->
+      ignore
+        (Cost_model.make ~c_r:1.0 ~c_p:1.0 ~c_wi:1.0 ~c_wp:1.0 ~c_b:(-0.5) ()));
+  Alcotest.check_raises "NaN batch cost"
+    (Invalid_argument "Cost_model.make: c_b must be >= 0") (fun () ->
+      ignore
+        (Cost_model.make ~c_r:1.0 ~c_p:1.0 ~c_wi:1.0 ~c_wp:1.0 ~c_b:Float.nan
+           ()))
+
+let test_cost_model_amortize () =
+  let m = Cost_model.make ~c_r:1.0 ~c_p:100.0 ~c_wi:1.0 ~c_wp:1.0 ~c_b:60.0 () in
+  checkf "amortized B=1" 160.0 (Cost_model.amortized_probe m ~batch:1);
+  checkf "amortized B=4" 115.0 (Cost_model.amortized_probe m ~batch:4);
+  let a = Cost_model.amortize ~batch:4 m in
+  checkf "amortize folds c_b into c_p" 115.0 a.c_p;
+  checkf "amortize zeroes c_b" 0.0 a.c_b;
+  checkf "amortize keeps c_r" 1.0 a.c_r;
+  (* batch = 1 with c_b = 0 is the identity: the paper model is
+     untouched. *)
+  checkb "paper model unchanged" true
+    (Cost_model.amortize ~batch:1 Cost_model.paper = Cost_model.paper);
+  Alcotest.check_raises "bad batch"
+    (Invalid_argument "Cost_model.amortized_probe: batch < 1") (fun () ->
+      ignore (Cost_model.amortized_probe m ~batch:0))
+
+let test_cost_model_roundtrip () =
+  let check_roundtrip m =
+    match Cost_model.of_string (Cost_model.to_string m) with
+    | Some m' -> checkb "pp/of_string roundtrip" true (m = m')
+    | None -> Alcotest.fail "of_string rejected its own pp output"
+  in
+  check_roundtrip Cost_model.paper;
+  check_roundtrip Cost_model.uniform;
+  check_roundtrip
+    (Cost_model.make ~c_r:0.5 ~c_p:250.0 ~c_wi:2.0 ~c_wp:3.0 ~c_b:12.5 ());
+  (* c_b is optional on input (older strings), defaulting to 0. *)
+  (match Cost_model.of_string "c_r=1 c_p=100 c_wi=1 c_wp=1" with
+  | Some m ->
+      checkf "legacy string parses" 100.0 m.c_p;
+      checkf "legacy c_b defaults to 0" 0.0 m.c_b
+  | None -> Alcotest.fail "legacy string rejected");
+  checkb "junk rejected" true (Cost_model.of_string "c_r=1 c_p=oops" = None);
+  checkb "missing field rejected" true (Cost_model.of_string "c_r=1" = None);
+  checkb "negative rejected" true
+    (Cost_model.of_string "c_r=1 c_p=-3 c_wi=1 c_wp=1" = None)
 
 let test_cost_meter () =
   let t = Cost_meter.create () in
   Cost_meter.charge_read t;
   Cost_meter.charge_read t;
   Cost_meter.charge_probe t;
+  Cost_meter.charge_batch t;
   Cost_meter.charge_write_imprecise t;
   Cost_meter.charge_write_precise t;
   let c = Cost_meter.counts t in
   checki "reads" 2 c.reads;
   checki "probes" 1 c.probes;
-  (* W = 2*1 + 1*100 + 1*1 + 1*1 = 104 under the paper model. *)
+  checki "batches" 1 c.batches;
+  (* W = 2*1 + 1*100 + 1*1 + 1*1 = 104 under the paper model (c_b = 0:
+     the batch charge is free there). *)
   checkf "total cost" 104.0 (Cost_meter.total_cost Cost_model.paper t);
+  let batched =
+    Cost_model.make ~c_r:1.0 ~c_p:100.0 ~c_wi:1.0 ~c_wp:1.0 ~c_b:7.0 ()
+  in
+  checkf "batch charge priced" 111.0 (Cost_meter.total_cost batched t);
   Cost_meter.reset t;
-  checkf "reset" 0.0 (Cost_meter.total_cost Cost_model.paper t)
+  checkf "reset" 0.0 (Cost_meter.total_cost Cost_model.paper t);
+  checki "reset batches" 0 (Cost_meter.counts t).batches
 
 let test_heap_file_layout () =
   let file = Heap_file.create ~page_size:10 (Array.init 25 (fun i -> i)) in
@@ -174,6 +230,8 @@ let test_pooled_cursor () =
 let suite =
   [
     ("cost model", `Quick, test_cost_model);
+    ("cost model amortized pricing", `Quick, test_cost_model_amortize);
+    ("cost model pp/of_string roundtrip", `Quick, test_cost_model_roundtrip);
     ("cost meter accounting", `Quick, test_cost_meter);
     ("heap file layout", `Quick, test_heap_file_layout);
     ("cursor full scan", `Quick, test_cursor_full_scan);

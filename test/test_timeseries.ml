@@ -130,7 +130,8 @@ let test_ts_query_end_to_end () =
   let q = Ts_query.query ~pattern ~epsilon:8.0 in
   let requirements = Quality.requirements ~precision:1.0 ~recall:0.5 ~laxity:5.0 in
   let report =
-    Operator.run ~rng ~instance:(Ts_query.instance q) ~probe:Ts_query.probe
+    Operator.run ~rng ~instance:(Ts_query.instance q)
+      ~probe:(Probe_driver.scalar Ts_query.probe)
       ~policy:Policy.stingy ~requirements
       (Operator.source_of_array items)
   in

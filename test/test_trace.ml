@@ -8,7 +8,8 @@ let requirements = Quality.requirements ~precision:0.9 ~recall:0.6 ~laxity:50.0
 
 let run_trace ?(every = 1) data =
   Operator.trace ~rng:(Rng.create 3) ~every ~instance:Synthetic.instance
-    ~probe:Synthetic.probe ~policy:Policy.stingy ~requirements
+    ~probe:(Probe_driver.scalar Synthetic.probe) ~policy:Policy.stingy
+    ~requirements
     (Operator.source_of_array data)
 
 let test_trace_covers_every_read () =
@@ -91,7 +92,8 @@ let test_adaptive_on_drift () =
         (Solver.solve (Solver.problem ~total:10000 ~spec ~requirements ())).params
       in
       let static =
-        Operator.run ~rng ~instance:Synthetic.instance ~probe:Synthetic.probe
+        Operator.run ~rng ~instance:Synthetic.instance
+          ~probe:(Probe_driver.scalar Synthetic.probe)
           ~policy:(Policy.qaq average_prior) ~requirements
           (Operator.source_of_array data)
       in
@@ -100,7 +102,8 @@ let test_adaptive_on_drift () =
           ~requirements ~replan_every:1000 ~max_replans:8 ~initial:average_prior ()
       in
       let adaptive =
-        Operator.run ~rng ~instance:Synthetic.instance ~probe:Synthetic.probe
+        Operator.run ~rng ~instance:Synthetic.instance
+          ~probe:(Probe_driver.scalar Synthetic.probe)
           ~policy:(Adaptive.policy adaptive_state) ~requirements
           (Operator.source_of_array data)
       in
