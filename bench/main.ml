@@ -8,7 +8,10 @@
      dune exec bench/main.exe -- tables       # only reproduction tables
      dune exec bench/main.exe -- ablations    # only ablations
      dune exec bench/main.exe -- batch        # only the batch-size sweep
-     dune exec bench/main.exe -- micro        # only Bechamel benches *)
+     dune exec bench/main.exe -- micro        # only Bechamel benches
+     dune exec bench/main.exe -- metrics [F]  # instrumented engine runs,
+                                              # metrics JSON to F
+                                              # (default BENCH_metrics.json) *)
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
@@ -576,6 +579,59 @@ let ablation_batching () =
      else "NO — check the batch accounting")
 
 (* ------------------------------------------------------------------ *)
+(* Metrics: instrumented engine runs, per-config JSON dump             *)
+(* ------------------------------------------------------------------ *)
+
+let metrics_dump path =
+  section "Metrics: instrumented engine runs";
+  print_endline
+    "Small engine configurations run with the observability capability\n\
+     attached; each config's metrics registry is dumped as JSON and the\n\
+     qaq.* counters are reconciled against the run's cost meter.";
+  let data =
+    Synthetic.generate (Rng.create 606) (Synthetic.config ~total:2000 ())
+  in
+  let requirements =
+    Quality.requirements ~precision:0.9 ~recall:0.6 ~laxity:50.0
+  in
+  let ok = ref true in
+  let entries =
+    List.map
+      (fun (label, batch, adaptive) ->
+        let obs = Obs.create () in
+        let result =
+          Engine.execute ~rng:(Rng.create 607) ~adaptive ~max_laxity:100.0
+            ~obs ~instance:Synthetic.instance
+            ~probe:
+              (Probe_driver.of_scalar ~obs ~batch_size:batch Synthetic.probe)
+            ~requirements data
+        in
+        let snapshot = Obs.snapshot obs in
+        (match Cost_meter.reconcile snapshot result.Engine.counts with
+        | Ok () -> ()
+        | Error msg ->
+            ok := false;
+            Printf.printf "RECONCILE FAILED (%s): %s\n" label msg);
+        Printf.printf "%-14s W/|T| = %6.2f  reads %4d  probes %3d  batches %3d\n"
+          label result.Engine.normalized_cost result.Engine.counts.reads
+          result.Engine.counts.probes result.Engine.counts.batches;
+        Printf.sprintf "  %S: %s" label (Metrics.to_json snapshot))
+      [
+        ("B1", 1, false);
+        ("B4", 4, false);
+        ("B16", 16, false);
+        ("B4-adaptive", 4, true);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc ("{\n" ^ String.concat ",\n" entries ^ "\n}\n");
+  close_out oc;
+  Printf.printf "metrics reconcile with the cost meter: %s\n"
+    (if !ok then "yes" else "NO");
+  Printf.printf "metrics written to %s\n" path;
+  if not !ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per paper table            *)
 (* ------------------------------------------------------------------ *)
 
@@ -720,11 +776,16 @@ let () =
   | "ablations" -> ablations ()
   | "batch" -> ablation_batching ()
   | "micro" -> run_micro ()
+  | "metrics" ->
+      metrics_dump
+        (if Array.length Sys.argv > 2 then Sys.argv.(2)
+         else "BENCH_metrics.json")
   | "all" ->
       tables ();
       ablations ();
       run_micro ()
   | other ->
       Printf.eprintf
-        "unknown mode %S (expected tables|ablations|batch|micro|all)\n" other;
+        "unknown mode %S (expected tables|ablations|batch|micro|metrics|all)\n"
+        other;
       exit 2

@@ -115,18 +115,42 @@ let data_file =
   in
   Arg.(value & opt (some file) None & info [ "data" ] ~doc)
 
+let trace_flag =
+  let doc =
+    "Print one structured trace line per run event (reads, decisions, probe \
+     batches, early termination) to standard error."
+  in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let metrics_file =
+  let doc =
+    "After the trial, write the metrics registry (reads, probes, batches, \
+     cache and span counters) as a JSON object to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
 let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
-    data_file batch c_b =
+    data_file batch c_b trace metrics_file =
   let s = setting total f_y f_m max_laxity p_q r_q l_q in
   let cost = cost_model c_b in
   let rng = Rng.create seed in
-  match data_file with
+  let obs =
+    if trace || metrics_file <> None then
+      let sink =
+        if trace then Trace.formatter Format.err_formatter else Trace.null
+      in
+      Some (Obs.create ~trace:sink ())
+    else None
+  in
+  (match data_file with
   | Some path ->
       let data = Dataset_io.read_synthetic path in
       let s = { s with total = Array.length data } in
       Format.printf "dataset: %s (%d objects)  %a@." path (Array.length data)
         Quality.pp_requirements (Exp_config.requirements s);
-      let o = Exp_runner.trial_run ~rng ~cost ~batch ~setting:s ~data policy in
+      let o =
+        Exp_runner.trial_run ~rng ~cost ~batch ?obs ~setting:s ~data policy
+      in
       Format.printf
         "%s: W/|T| = %.3f (%d probes in %d batches); guarantees %a; actual \
          precision %.3f, recall %.3f@."
@@ -135,7 +159,8 @@ let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
         Quality.pp_guarantees o.guarantees o.actual_precision o.actual_recall
   | None ->
       let results =
-        Exp_runner.trial_series ~rng ~repetitions ~cost ~batch s [ policy ]
+        Exp_runner.trial_series ~rng ~repetitions ~cost ~batch ?obs s
+          [ policy ]
       in
       Format.printf "setting: |T|=%d f_y=%g f_m=%g L=%g  %a@." s.total s.f_y
         s.f_m s.max_laxity Quality.pp_requirements (Exp_config.requirements s);
@@ -147,7 +172,15 @@ let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
             (Exp_runner.policy_name kind)
             a.mean_cost a.ci95 a.repetitions a.mean_precision a.mean_recall
             a.worst_precision_violation a.worst_recall_violation)
-        results
+        results);
+  match (obs, metrics_file) with
+  | Some o, Some path ->
+      let oc = open_out path in
+      output_string oc (Metrics.to_json (Obs.snapshot o));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "metrics written to %s@." path
+  | _ -> ()
 
 let trial_cmd =
   let doc = "Run the QaQ operator on the synthetic workload of section 5.2." in
@@ -155,7 +188,8 @@ let trial_cmd =
     (Cmd.info "trial" ~doc)
     Term.(
       const trial_run $ seed $ total $ f_y $ f_m $ max_laxity $ p_q $ r_q
-      $ l_q $ policy $ repetitions $ data_file $ batch $ c_b)
+      $ l_q $ policy $ repetitions $ data_file $ batch $ c_b $ trace_flag
+      $ metrics_file)
 
 (* ---- dataset ------------------------------------------------------ *)
 

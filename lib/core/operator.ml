@@ -39,7 +39,17 @@ type 'o report = {
 
 exception Inconsistent_probe
 
-let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true) ?on_progress
+let trace_verdict = function
+  | Tvl.Yes -> `Yes
+  | Tvl.No -> `No
+  | Tvl.Maybe -> `Maybe
+
+let trace_action = function
+  | Decision.Forward -> `Forward
+  | Decision.Probe -> `Probe
+  | Decision.Ignore -> `Ignore
+
+let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true) ?on_progress
     ~instance ~(probe : _ Probe_driver.t) ~policy
     ~(requirements : Quality.requirements) source =
   let meter = match meter with Some m -> m | None -> Cost_meter.create () in
@@ -47,6 +57,28 @@ let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true) ?on_progress
      counts cover this run only. *)
   let counts_before = Cost_meter.counts meter in
   let counters = Counters.create ~total:source.total in
+  (* Counter handles resolve once per run; with [obs] absent every note
+     is a no-op closure, so the per-object path allocates nothing. *)
+  let note_read, note_probe, note_batch, note_write_imprecise,
+      note_write_precise =
+    match obs with
+    | None ->
+        let nop () = () in
+        (nop, nop, nop, nop, nop)
+    | Some o ->
+        let r = Obs.counter o Obs.Keys.reads
+        and p = Obs.counter o Obs.Keys.probes
+        and b = Obs.counter o Obs.Keys.batches
+        and wi = Obs.counter o Obs.Keys.writes_imprecise
+        and wp = Obs.counter o Obs.Keys.writes_precise in
+        ( (fun () -> Metrics.incr r),
+          (fun () -> Metrics.incr p),
+          (fun () -> Metrics.incr b),
+          (fun () -> Metrics.incr wi),
+          (fun () -> Metrics.incr wp) )
+  in
+  let tracing = match obs with Some o -> Obs.tracing o | None -> false in
+  let trace_event e = match obs with Some o -> Obs.event o e | None -> () in
   let answer = ref [] in
   let deliver entry =
     (match emit with Some f -> f entry | None -> ());
@@ -54,10 +86,12 @@ let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true) ?on_progress
   in
   let forward_imprecise o =
     Cost_meter.charge_write_imprecise meter;
+    note_write_imprecise ();
     deliver { obj = o; precise = false }
   in
   let forward_precise o =
     Cost_meter.charge_write_precise meter;
+    note_write_precise ();
     deliver { obj = o; precise = true }
   in
   (* A probe must yield a laxity-0 object whenever the result is going to
@@ -99,13 +133,16 @@ let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true) ?on_progress
        batch dispatches by delta so a shared driver stays accountable. *)
     let b = Probe_driver.batches probe in
     for _ = 1 to b - !batches_seen do
-      Cost_meter.charge_batch meter
+      Cost_meter.charge_batch meter;
+      note_batch ()
     done;
     batches_seen := b
   in
   let submit_probe o complete =
     Probe_driver.submit probe o (fun precise ->
         Cost_meter.charge_probe meter;
+        note_probe ();
+        if tracing then trace_event Trace.Probe_resolved;
         complete precise;
         note_progress ());
     sync_batches ()
@@ -152,7 +189,11 @@ let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true) ?on_progress
           stop := true
       | Some o -> (
           Cost_meter.charge_read meter;
-          match instance.classify o with
+          note_read ();
+          let verdict = instance.classify o in
+          if tracing then
+            trace_event (Trace.Read { verdict = trace_verdict verdict });
+          match verdict with
           | Tvl.No ->
               Counters.saw_no counters;
               note_progress ()
@@ -162,7 +203,17 @@ let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true) ?on_progress
                 Policy.preference policy ~rng ~requirements ~counters ~verdict
                   ~laxity ~success:1.0
               in
-              match choose ~verdict ~laxity preference with
+              let decision = choose ~verdict ~laxity preference in
+              if tracing then
+                trace_event
+                  (Trace.Decision
+                     {
+                       verdict = `Yes;
+                       action = trace_action decision;
+                       laxity;
+                       success = 1.0;
+                     });
+              match decision with
               | Decision.Forward ->
                   Counters.forward_yes counters ~laxity;
                   forward_imprecise o;
@@ -187,7 +238,17 @@ let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true) ?on_progress
                 Policy.preference policy ~rng ~requirements ~counters ~verdict
                   ~laxity ~success
               in
-              match choose ~verdict ~laxity preference with
+              let decision = choose ~verdict ~laxity preference in
+              if tracing then
+                trace_event
+                  (Trace.Decision
+                     {
+                       verdict = `Maybe;
+                       action = trace_action decision;
+                       laxity;
+                       success;
+                     });
+              match decision with
               | Decision.Forward ->
                   Counters.forward_maybe counters ~laxity;
                   forward_imprecise o;
@@ -211,6 +272,13 @@ let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true) ?on_progress
      can only improve the guarantees (precision adds YES-only entries,
      recall rises, probed laxity is 0). *)
   flush_probes ();
+  if tracing && Counters.unseen counters > 0 then
+    trace_event
+      (Trace.Early_termination
+         {
+           reads = source.total - Counters.unseen counters;
+           recall = Counters.recall_guarantee counters;
+         });
   {
     answer = List.rev !answer;
     guarantees = Counters.guarantees counters;

@@ -62,6 +62,7 @@ exception Inconsistent_probe
 val run :
   rng:Rng.t ->
   ?meter:Cost_meter.t ->
+  ?obs:Obs.t ->
   ?emit:('o emitted -> unit) ->
   ?collect:bool ->
   ?enforce:bool ->
@@ -76,7 +77,17 @@ val run :
 
     [rng] drives the policy's randomised choices.  [meter] (fresh by
     default) accumulates read/probe/batch/write charges; the same meter
-    can be shared across runs to account a whole workload.  [emit] is
+    can be shared across runs to account a whole workload.
+
+    [obs] attaches observability: the counters [qaq.reads],
+    [qaq.probes], [qaq.batches], [qaq.writes_imprecise] and
+    [qaq.writes_precise] mirror the meter's charges (incremented at the
+    instrumentation sites, independently of the meter, so
+    {!Cost_meter.reconcile} is a real cross-check), and — when the obs
+    handle carries a live trace sink — every read, decision, probe
+    resolution and early termination emits a {!Trace} event.  Counter
+    handles are resolved once per run; with [obs] absent the per-object
+    path runs no-op closures and allocates nothing.  [emit] is
     called on each answer object as soon as it is decided — the
     streaming interface.  [collect] (default [true]) additionally
     accumulates the answer in the report.

@@ -1,6 +1,13 @@
+type instruments = {
+  i_obs : Obs.t;
+  m_probes : Metrics.counter;
+  m_batches : Metrics.counter;
+}
+
 type 'o t = {
   resolve_batch : 'o array -> 'o array;
   batch_size : int;
+  ins : instruments option;
   mutable queue : ('o * ('o -> unit)) list;  (* newest first *)
   mutable queued : int;
   mutable probes : int;
@@ -8,11 +15,22 @@ type 'o t = {
   mutable resolving : bool;
 }
 
-let create ?(batch_size = 1) resolve_batch =
+let create ?obs ?(batch_size = 1) resolve_batch =
   if batch_size < 1 then invalid_arg "Probe_driver.create: batch_size < 1";
+  let ins =
+    Option.map
+      (fun o ->
+        {
+          i_obs = o;
+          m_probes = Obs.counter o "probe_driver.probes";
+          m_batches = Obs.counter o "probe_driver.batches";
+        })
+      obs
+  in
   {
     resolve_batch;
     batch_size;
+    ins;
     queue = [];
     queued = 0;
     probes = 0;
@@ -20,8 +38,8 @@ let create ?(batch_size = 1) resolve_batch =
     resolving = false;
   }
 
-let scalar probe = create (Array.map probe)
-let of_scalar ~batch_size probe = create ~batch_size (Array.map probe)
+let scalar ?obs probe = create ?obs (Array.map probe)
+let of_scalar ?obs ~batch_size probe = create ?obs ~batch_size (Array.map probe)
 let batch_size t = t.batch_size
 let pending t = t.queued
 
@@ -36,12 +54,24 @@ let flush t =
     let precise =
       Fun.protect
         ~finally:(fun () -> t.resolving <- false)
-        (fun () -> t.resolve_batch objects)
+        (fun () ->
+          match t.ins with
+          | None -> t.resolve_batch objects
+          | Some i ->
+              Obs.span i.i_obs "probe-flush" (fun () ->
+                  t.resolve_batch objects))
     in
     if Array.length precise <> Array.length objects then
       invalid_arg "Probe_driver.flush: resolver changed the batch length";
     t.batches <- t.batches + 1;
     t.probes <- t.probes + Array.length objects;
+    (match t.ins with
+    | Some i ->
+        Metrics.incr i.m_batches;
+        Metrics.add i.m_probes (Array.length objects);
+        if Obs.tracing i.i_obs then
+          Obs.event i.i_obs (Trace.Batch { size = Array.length objects })
+    | None -> ());
     (* Callbacks run after the accounting and outside [resolving], so a
        completion may inspect the stats or submit follow-up probes. *)
     Array.iteri (fun i (_, k) -> k precise.(i)) entries

@@ -17,20 +17,24 @@
 
 type 'o t
 
-val create : ?batch_size:int -> ('o array -> 'o array) -> 'o t
+val create : ?obs:Obs.t -> ?batch_size:int -> ('o array -> 'o array) -> 'o t
 (** [create ~batch_size resolve_batch] wraps a native batch resolver.
     [resolve_batch] receives the queued objects in submission order and
     must return their precise versions in the same order (same array
     length).  [batch_size] defaults to 1.
 
+    [obs] registers the counters [probe_driver.probes] and
+    [probe_driver.batches], times every resolver invocation under the
+    [probe-flush] span, and emits a {!Trace.Batch} event per dispatch.
+
     @raise Invalid_argument if [batch_size < 1]. *)
 
-val scalar : ('o -> 'o) -> 'o t
+val scalar : ?obs:Obs.t -> ('o -> 'o) -> 'o t
 (** [scalar probe] lifts a scalar resolution function into a driver with
     batch size 1: every submission resolves immediately.  This is the
     pre-batching behaviour, bit for bit. *)
 
-val of_scalar : batch_size:int -> ('o -> 'o) -> 'o t
+val of_scalar : ?obs:Obs.t -> batch_size:int -> ('o -> 'o) -> 'o t
 (** [of_scalar ~batch_size probe] lifts a scalar resolver but batches
     submissions anyway: resolution is still element-wise, yet per-batch
     accounting ([batches], and hence the [c_b] charge) is amortized —

@@ -2,6 +2,7 @@ type plan = {
   params : Policy.params;
   estimate : Selectivity.estimate option;
   evaluation : Solver.evaluation;
+  sample_size : int;
 }
 
 type planning =
@@ -18,6 +19,7 @@ let default_planning =
 type 'o result = {
   report : 'o Operator.report;
   plan : plan option;
+  counts : Cost_meter.counts;
   normalized_cost : float;
 }
 
@@ -26,19 +28,24 @@ let observed_max_laxity instance data =
     (fun acc o -> Float.max acc (instance.Operator.laxity o))
     0.0 data
 
-let make_plan ~rng ~cost ~batch ~max_laxity ~instance ~requirements ~fraction
-    ~density ~fallback data =
+let make_plan ~rng ~meter ?obs ~cost ~batch ~cap ~instance ~requirements
+    ~fraction ~density ~fallback data =
   let total = Stdlib.max 1 (Array.length data) in
   let sample = Selectivity.bernoulli_sample rng ~fraction data in
-  let cap =
-    match max_laxity with
-    | Some l -> l
-    | None ->
-        let m = observed_max_laxity instance data in
-        if m > 0.0 then m else 1.0
-  in
+  let n = Array.length sample in
+  (* The pilot sample is real work: the paper's planning recipe reads
+     each sampled object, so its cost belongs on the same meter as the
+     scan's. *)
+  for _ = 1 to n do
+    Cost_meter.charge_read meter
+  done;
+  (match obs with
+  | Some o ->
+      Metrics.add (Obs.counter o Obs.Keys.reads) n;
+      Metrics.add (Obs.counter o Obs.Keys.sample_reads) n
+  | None -> ());
   let estimate =
-    if Array.length sample = 0 then None
+    if n = 0 then None
     else Some (Selectivity.estimate ~instance ~laxity_cap:cap sample)
   in
   let f_y, f_m =
@@ -55,10 +62,10 @@ let make_plan ~rng ~cost ~batch ~max_laxity ~instance ~requirements ~fraction
   let evaluation =
     Solver.solve (Solver.problem ~total ~spec ~requirements ~cost ~batch ())
   in
-  { params = evaluation.params; estimate; evaluation }
+  { params = evaluation.params; estimate; evaluation; sample_size = n }
 
 let execute ~rng ?(planning = default_planning) ?(adaptive = false)
-    ?(cost = Cost_model.paper) ?batch ?max_laxity ?emit ?collect ~instance
+    ?(cost = Cost_model.paper) ?batch ?max_laxity ?obs ?emit ?collect ~instance
     ~(probe : _ Probe_driver.t) ~requirements data =
   (* The planner prices probes for the batch size the evaluation will
      actually use — the driver's, unless the caller overrides it (e.g. a
@@ -68,6 +75,25 @@ let execute ~rng ?(planning = default_planning) ?(adaptive = false)
     match batch with Some b -> b | None -> Probe_driver.batch_size probe
   in
   if batch < 1 then invalid_arg "Engine.execute: batch < 1";
+  (* The sampling stream splits off unconditionally, whether or not this
+     planning mode samples: the operator's policy stream must be
+     identical across modes, so that a Sampled run and a Fixed run with
+     the same parameters differ in cost by exactly the sample's reads. *)
+  let sample_rng = Rng.split rng in
+  let meter = Cost_meter.create () in
+  (* The laxity cap needs one scan of the data at most, shared between
+     planning and the adaptive estimator. *)
+  let laxity_cap =
+    lazy
+      (match max_laxity with
+      | Some l -> l
+      | None ->
+          let m = observed_max_laxity instance data in
+          if m > 0.0 then m else 1.0)
+  in
+  let span name f =
+    match obs with Some o -> Obs.span o name f | None -> f ()
+  in
   let plan =
     match planning with
     | Fixed _ -> None
@@ -76,8 +102,10 @@ let execute ~rng ?(planning = default_planning) ?(adaptive = false)
         if f_y < 0.0 || f_m < 0.0 || f_y +. f_m > 1.0 then
           invalid_arg "Engine.execute: invalid fallback fractions";
         Some
-          (make_plan ~rng ~cost ~batch ~max_laxity ~instance ~requirements
-             ~fraction ~density ~fallback data)
+          (span "plan" (fun () ->
+               make_plan ~rng:sample_rng ~meter ?obs ~cost ~batch
+                 ~cap:(Lazy.force laxity_cap) ~instance ~requirements ~fraction
+                 ~density ~fallback data))
   in
   let initial =
     match (planning, plan) with
@@ -87,30 +115,30 @@ let execute ~rng ?(planning = default_planning) ?(adaptive = false)
   in
   let policy =
     if adaptive then begin
-      let cap =
-        match max_laxity with
-        | Some l -> l
-        | None ->
-            let m = observed_max_laxity instance data in
-            if m > 0.0 then m else 1.0
-      in
       let state =
         Adaptive.create ~rng:(Rng.split rng)
           ~total:(Stdlib.max 1 (Array.length data))
-          ~max_laxity:cap ~requirements ~cost ~batch ~initial ()
+          ~max_laxity:(Lazy.force laxity_cap) ~requirements ~cost ~batch
+          ~initial ?obs ()
       in
       Adaptive.policy state
     end
     else Policy.qaq initial
   in
   let report =
-    Operator.run ~rng ?emit ?collect ~instance ~probe ~policy ~requirements
-      (Operator.source_of_array data)
+    span "scan" (fun () ->
+        Operator.run ~rng ~meter ?obs ?emit ?collect ~instance ~probe ~policy
+          ~requirements
+          (Operator.source_of_array data))
   in
+  let counts = Cost_meter.counts meter in
   {
     report;
     plan;
+    counts;
     normalized_cost =
       (if Array.length data = 0 then 0.0
-       else Operator.cost cost report /. float_of_int (Array.length data));
+       else
+         Cost_meter.cost_of_counts cost counts
+         /. float_of_int (Array.length data));
   }

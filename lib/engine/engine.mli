@@ -13,6 +13,8 @@ type plan = {
       (** what the sample said; [None] when the sample came back empty
           and the fallback prior was used *)
   evaluation : Solver.evaluation;  (** the optimizer's own expectations *)
+  sample_size : int;
+      (** objects the pilot sample read (and charged to the run) *)
 }
 
 (** How to plan the query. *)
@@ -32,7 +34,12 @@ val default_planning : planning
 type 'o result = {
   report : 'o Operator.report;
   plan : plan option;  (** [None] when planning was [Fixed] *)
-  normalized_cost : float;  (** W / |T| under the chosen cost model *)
+  counts : Cost_meter.counts;
+      (** the whole run's charges: the pilot sample's reads plus
+          everything in [report.counts] *)
+  normalized_cost : float;
+      (** W / |T| under the chosen cost model, over [counts] — so
+          planning is priced, not free *)
 }
 
 val execute :
@@ -42,6 +49,7 @@ val execute :
   ?cost:Cost_model.t ->
   ?batch:int ->
   ?max_laxity:float ->
+  ?obs:Obs.t ->
   ?emit:('o Operator.emitted -> unit) ->
   ?collect:bool ->
   instance:'o Operator.instance ->
@@ -68,6 +76,20 @@ val execute :
     effectively see.
 
     The returned report's guarantees always satisfy the requirements.
+
+    The engine accounts the whole run on one meter: the pilot sample's
+    reads are charged before the scan, so [counts] (and hence
+    [normalized_cost]) include the price of planning while
+    [report.counts] stays scan-only.  The operator's policy rng stream
+    is independent of the sampling stream, so a [Sampled] run and a
+    [Fixed] run given the planned parameters make identical decisions
+    and differ in cost by exactly [sample_size * c_r].
+
+    [obs] threads observability through every stage: the [plan] and
+    [scan] spans (plus [probe-flush] and [adaptive-reestimate] further
+    down), the [qaq.*] counters mirroring the meter, and
+    [engine.sample_reads].  {!Cost_meter.reconcile} against [counts]
+    checks the instrumentation covers all metered work.
 
     @raise Invalid_argument on an invalid sampling fraction or fallback
     fractions, or if [batch < 1]. *)

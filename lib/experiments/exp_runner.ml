@@ -60,7 +60,7 @@ let qaq_params ~rng ~sample_fraction ~density ?cost ?batch
   (Solver.solve problem).params
 
 let trial_run ~rng ?(sample_fraction = 0.01) ?(density = `Uniform)
-    ?(cost = Cost_model.paper) ?(batch = 1) ?enforce
+    ?(cost = Cost_model.paper) ?(batch = 1) ?enforce ?obs
     ~(setting : Exp_config.setting) ~data kind =
   let params =
     match kind with
@@ -81,8 +81,8 @@ let trial_run ~rng ?(sample_fraction = 0.01) ?(density = `Uniform)
   in
   let requirements = Exp_config.requirements setting in
   let report =
-    Operator.run ~rng ~enforce ~instance:Synthetic.instance
-      ~probe:(Probe_driver.of_scalar ~batch_size:batch Synthetic.probe)
+    Operator.run ~rng ?obs ~enforce ~instance:Synthetic.instance
+      ~probe:(Probe_driver.of_scalar ?obs ~batch_size:batch Synthetic.probe)
       ~policy:(Policy.qaq params) ~requirements
       (Operator.source_of_array data)
   in
@@ -144,7 +144,7 @@ let aggregate (s : Exp_config.setting) outcomes =
   }
 
 let trial_series ~rng ?(repetitions = 5) ?sample_fraction ?density ?cost
-    ?batch (setting : Exp_config.setting) kinds =
+    ?batch ?obs (setting : Exp_config.setting) kinds =
   let datasets =
     List.init repetitions (fun _ ->
         Synthetic.generate rng (Exp_config.workload setting))
@@ -154,8 +154,8 @@ let trial_series ~rng ?(repetitions = 5) ?sample_fraction ?density ?cost
       let outcomes =
         List.map
           (fun data ->
-            trial_run ~rng ?sample_fraction ?density ?cost ?batch ~setting
-              ~data kind)
+            trial_run ~rng ?sample_fraction ?density ?cost ?batch ?obs
+              ~setting ~data kind)
           datasets
       in
       (kind, aggregate setting outcomes))

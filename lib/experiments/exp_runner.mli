@@ -46,6 +46,7 @@ val trial_run :
   ?cost:Cost_model.t ->
   ?batch:int ->
   ?enforce:bool ->
+  ?obs:Obs.t ->
   setting:Exp_config.setting ->
   data:Synthetic.obj array ->
   policy_kind ->
@@ -58,7 +59,8 @@ val trial_run :
     size and the [Qaq] planner prices probes at the amortized
     [c_p + c_b/batch].  [enforce] overrides the Theorem 3.1 guard; by
     default it is on for every policy except [Greedy], which the paper's
-    trials run raw (see {!Operator.run}). *)
+    trials run raw (see {!Operator.run}).  [obs] instruments the
+    operator and the probe driver (see {!Operator.run}). *)
 
 type aggregate = {
   repetitions : int;
@@ -81,6 +83,7 @@ val trial_series :
   ?density:[ `Uniform | `Histogram ] ->
   ?cost:Cost_model.t ->
   ?batch:int ->
+  ?obs:Obs.t ->
   Exp_config.setting ->
   policy_kind list ->
   (policy_kind * aggregate) list

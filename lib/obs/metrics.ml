@@ -1,0 +1,131 @@
+type counter = { c_name : string; mutable count : int }
+type gauge = { g_name : string; mutable level : float }
+type cell = Counter_cell of counter | Gauge_cell of gauge
+type t = { cells : (string, cell) Hashtbl.t }
+
+let create () = { cells = Hashtbl.create 32 }
+
+let counter t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some (Counter_cell c) -> c
+  | Some (Gauge_cell _) ->
+      invalid_arg ("Metrics.counter: " ^ name ^ " is registered as a gauge")
+  | None ->
+      let c = { c_name = name; count = 0 } in
+      Hashtbl.add t.cells name (Counter_cell c);
+      c
+
+let gauge t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some (Gauge_cell g) -> g
+  | Some (Counter_cell _) ->
+      invalid_arg ("Metrics.gauge: " ^ name ^ " is registered as a counter")
+  | None ->
+      let g = { g_name = name; level = 0.0 } in
+      Hashtbl.add t.cells name (Gauge_cell g);
+      g
+
+let incr c = c.count <- c.count + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: negative increment";
+  c.count <- c.count + n
+
+let count c = c.count
+let counter_name c = c.c_name
+let set g v = g.level <- v
+let level g = g.level
+let gauge_name g = g.g_name
+
+type value = Count of int | Level of float
+type snapshot = (string * value) list
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name cell acc ->
+      let v =
+        match cell with
+        | Counter_cell c -> Count c.count
+        | Gauge_cell g -> Level g.level
+      in
+      (name, v) :: acc)
+    t.cells []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let get s name = List.assoc_opt name s
+
+let count_of s name =
+  match get s name with Some (Count n) -> n | Some (Level _) | None -> 0
+
+let diff ~later ~earlier =
+  List.map
+    (fun (name, v) ->
+      match (v, List.assoc_opt name earlier) with
+      | Count l, Some (Count e) -> (name, Count (l - e))
+      | v, _ -> (name, v))
+    later
+
+(* Metric names here are dotted identifiers; escape defensively anyway so
+   the export is valid JSON whatever the caller registered. *)
+let json_escape name =
+  let b = Buffer.create (String.length name) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    name;
+  Buffer.contents b
+
+let json_of_value = function
+  | Count n -> string_of_int n
+  | Level v -> if Float.is_finite v then Printf.sprintf "%.17g" v else "null"
+
+let to_json s =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "\n  \"";
+      Buffer.add_string b (json_escape name);
+      Buffer.add_string b "\": ";
+      Buffer.add_string b (json_of_value v))
+    s;
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let prometheus_name name =
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ch
+      | _ -> '_')
+    name
+
+let to_prometheus s =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (name, v) ->
+      let pname = prometheus_name name in
+      let kind, text =
+        match v with
+        | Count n -> ("counter", string_of_int n)
+        | Level l -> ("gauge", Printf.sprintf "%.17g" l)
+      in
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n%s %s\n" pname kind pname text))
+    s;
+  Buffer.contents b
+
+let pp_snapshot ppf s =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Count n -> Format.fprintf ppf "%s = %d@." name n
+      | Level l -> Format.fprintf ppf "%s = %g@." name l)
+    s

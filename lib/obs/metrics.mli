@@ -1,0 +1,75 @@
+(** Registry of named monotonic counters and gauges.
+
+    The observability substrate for the whole engine: every instrumented
+    component registers its counters here by name, a snapshot captures
+    all of them at once, and the snapshot exports to JSON or
+    Prometheus-style text.  Counters are monotonic ints (work performed:
+    reads, probes, batch dispatches); gauges are floats free to move in
+    either direction (accumulated latency, span durations).
+
+    The registry is deliberately independent of {!Cost_meter}: the two
+    accountings are maintained at separate instrumentation sites, so a
+    test can assert that they reconcile — any future code path that does
+    work without charging it (or charges it without instrumenting it)
+    breaks the equality instead of silently skewing an experiment. *)
+
+type t
+(** A mutable registry. *)
+
+val create : unit -> t
+
+type counter
+(** A named monotonic integer counter. *)
+
+type gauge
+(** A named float gauge. *)
+
+val counter : t -> string -> counter
+(** [counter t name] returns the counter registered under [name],
+    creating it (at 0) on first use.  Handles are stable: resolve once,
+    increment many times — the hot path pays no table lookup.
+    @raise Invalid_argument if [name] is registered as a gauge. *)
+
+val gauge : t -> string -> gauge
+(** Get-or-create, like {!counter}.
+    @raise Invalid_argument if [name] is registered as a counter. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+(** @raise Invalid_argument on a negative increment (counters are
+    monotonic). *)
+
+val count : counter -> int
+val counter_name : counter -> string
+val set : gauge -> float -> unit
+val level : gauge -> float
+val gauge_name : gauge -> string
+
+type value = Count of int | Level of float
+
+type snapshot = (string * value) list
+(** Name-sorted point-in-time capture of every registered metric. *)
+
+val snapshot : t -> snapshot
+val get : snapshot -> string -> value option
+
+val count_of : snapshot -> string -> int
+(** The counter value under that name; 0 when absent or a gauge (an
+    unregistered counter never counted anything). *)
+
+val diff : later:snapshot -> earlier:snapshot -> snapshot
+(** Per-name delta: counters subtract ([later - earlier], with names
+    absent from [earlier] treated as 0); gauges keep the later level.
+    Names only in [earlier] are dropped. *)
+
+val to_json : snapshot -> string
+(** A flat JSON object, one member per metric; non-finite gauge levels
+    export as [null]. *)
+
+val to_prometheus : snapshot -> string
+(** Prometheus text exposition: a [# TYPE] line and a sample per metric,
+    with names mangled to the Prometheus charset (dots become
+    underscores). *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

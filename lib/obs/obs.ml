@@ -1,0 +1,23 @@
+type t = { metrics : Metrics.t; trace : Trace.sink; clock : unit -> float }
+
+let create ?(trace = Trace.null) ?(clock = Sys.time) () =
+  { metrics = Metrics.create (); trace; clock }
+
+let metrics t = t.metrics
+let trace t = t.trace
+let counter t name = Metrics.counter t.metrics name
+let gauge t name = Metrics.gauge t.metrics name
+let tracing t = Trace.enabled t.trace
+let event t e = Trace.emit t.trace e
+let span t name f = Span.time ~clock:t.clock t.metrics name f
+let snapshot t = Metrics.snapshot t.metrics
+
+module Keys = struct
+  let reads = "qaq.reads"
+  let probes = "qaq.probes"
+  let batches = "qaq.batches"
+  let writes_imprecise = "qaq.writes_imprecise"
+  let writes_precise = "qaq.writes_precise"
+  let sample_reads = "engine.sample_reads"
+  let replans = "adaptive.replans"
+end

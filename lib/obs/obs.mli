@@ -1,0 +1,53 @@
+(** The observability capability threaded through the engine.
+
+    An [Obs.t] bundles a {!Metrics} registry, a {!Trace} sink and the
+    clock {!Span} timings use.  Every instrumented entry point takes an
+    optional [?obs] argument; passing [None] (the default) keeps the
+    pre-observability behaviour — no counters, no events, no timing, and
+    no allocation on the per-object path.
+
+    {!Keys} names the counters whose totals must reconcile exactly with
+    {!Cost_meter.counts} at the end of a run — the "all work is metered"
+    invariant.  Producers increment these at their own instrumentation
+    sites, {e not} by mirroring the meter, so the reconciliation test
+    catches either side going unmetered. *)
+
+type t
+
+val create : ?trace:Trace.sink -> ?clock:(unit -> float) -> unit -> t
+(** A fresh capability with its own empty metrics registry.  [trace]
+    defaults to {!Trace.null}; [clock] (default {!Sys.time}) drives
+    {!span}. *)
+
+val metrics : t -> Metrics.t
+val trace : t -> Trace.sink
+val counter : t -> string -> Metrics.counter
+val gauge : t -> string -> Metrics.gauge
+
+val tracing : t -> bool
+(** Whether the trace sink is live; guard event construction with it. *)
+
+val event : t -> Trace.event -> unit
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] times [f ()] into [span.<name>.seconds] /
+    [span.<name>.calls] (see {!Span.time}). *)
+
+val snapshot : t -> Metrics.snapshot
+
+(** Canonical metric names shared across the engine. *)
+module Keys : sig
+  val reads : string
+  (** Objects read and classified — by the operator's scan {e and} the
+      planner's sample; reconciles with {!Cost_meter.counts.reads}. *)
+
+  val probes : string
+  val batches : string
+  val writes_imprecise : string
+  val writes_precise : string
+
+  val sample_reads : string
+  (** The planning sample alone (a subset of {!reads}). *)
+
+  val replans : string
+end

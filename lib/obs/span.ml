@@ -1,0 +1,12 @@
+let calls_key name = "span." ^ name ^ ".calls"
+let seconds_key name = "span." ^ name ^ ".seconds"
+
+let time ?(clock = Sys.time) metrics name f =
+  let calls = Metrics.counter metrics (calls_key name) in
+  let seconds = Metrics.gauge metrics (seconds_key name) in
+  let t0 = clock () in
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.incr calls;
+      Metrics.set seconds (Metrics.level seconds +. (clock () -. t0)))
+    f

@@ -1,0 +1,12 @@
+(** Phase timing recorded into a {!Metrics} registry.
+
+    [time metrics name f] runs [f ()] and accumulates its duration into
+    the gauge [span.<name>.seconds] and its completion into the counter
+    [span.<name>.calls] — even when [f] raises.  The clock defaults to
+    {!Sys.time} (processor seconds); inject a fake clock in tests for
+    deterministic durations. *)
+
+val calls_key : string -> string
+val seconds_key : string -> string
+
+val time : ?clock:(unit -> float) -> Metrics.t -> string -> (unit -> 'a) -> 'a

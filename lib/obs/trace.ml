@@ -1,0 +1,52 @@
+type verdict = [ `Yes | `No | `Maybe ]
+type action = [ `Forward | `Probe | `Ignore ]
+
+type event =
+  | Read of { verdict : verdict }
+  | Decision of {
+      verdict : verdict;
+      action : action;
+      laxity : float;
+      success : float;
+    }
+  | Probe_resolved
+  | Batch of { size : int }
+  | Early_termination of { reads : int; recall : float }
+  | Replan of { reads : int }
+  | Phase of { name : string; seconds : float }
+  | Note of string
+
+type sink = Null | Callback of (event -> unit)
+
+let null = Null
+let callback f = Callback f
+let enabled = function Null -> false | Callback _ -> true
+let emit sink e = match sink with Null -> () | Callback f -> f e
+
+let collector () =
+  let events = ref [] in
+  (Callback (fun e -> events := e :: !events), fun () -> List.rev !events)
+
+let verdict_name = function `Yes -> "YES" | `No -> "NO" | `Maybe -> "MAYBE"
+
+let action_name = function
+  | `Forward -> "forward"
+  | `Probe -> "probe"
+  | `Ignore -> "ignore"
+
+let pp_event ppf = function
+  | Read { verdict } -> Format.fprintf ppf "read %s" (verdict_name verdict)
+  | Decision { verdict; action; laxity; success } ->
+      Format.fprintf ppf "decision %s -> %s (l=%g s=%g)" (verdict_name verdict)
+        (action_name action) laxity success
+  | Probe_resolved -> Format.pp_print_string ppf "probe resolved"
+  | Batch { size } -> Format.fprintf ppf "batch dispatched (size %d)" size
+  | Early_termination { reads; recall } ->
+      Format.fprintf ppf "early termination after %d reads (r^G=%g)" reads
+        recall
+  | Replan { reads } -> Format.fprintf ppf "replan at %d reads" reads
+  | Phase { name; seconds } ->
+      Format.fprintf ppf "phase %s done in %gs" name seconds
+  | Note s -> Format.pp_print_string ppf s
+
+let formatter ppf = Callback (fun e -> Format.fprintf ppf "trace: %a@." pp_event e)

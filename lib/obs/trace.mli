@@ -1,0 +1,51 @@
+(** Structured run-event tracing.
+
+    A sink receives the engine's significant events — object reads,
+    decisions, probe resolutions, batch dispatches, early termination,
+    adaptive replans, phase completions.  The {!null} sink is free:
+    instrumented code guards event {e construction} behind {!enabled},
+    so a disabled trace allocates nothing on the per-object path.
+
+    Verdicts and actions are plain polymorphic variants so this library
+    stays at the bottom of the dependency graph (no {!Tvl} or
+    {!Decision} dependency); producers map their own types in. *)
+
+type verdict = [ `Yes | `No | `Maybe ]
+type action = [ `Forward | `Probe | `Ignore ]
+
+type event =
+  | Read of { verdict : verdict }  (** one object read and classified *)
+  | Decision of {
+      verdict : verdict;
+      action : action;
+      laxity : float;
+      success : float;
+    }  (** the operator committed to an action for one object *)
+  | Probe_resolved  (** one pending probe resolved to its precise object *)
+  | Batch of { size : int }  (** one probe batch dispatched to the source *)
+  | Early_termination of { reads : int; recall : float }
+      (** the scan stopped before exhausting the input *)
+  | Replan of { reads : int }  (** adaptive re-estimation re-solved the plan *)
+  | Phase of { name : string; seconds : float }  (** a {!Span} completed *)
+  | Note of string  (** freeform annotation *)
+
+type sink
+
+val null : sink
+(** Discards everything; {!enabled} is [false]. *)
+
+val callback : (event -> unit) -> sink
+
+val collector : unit -> sink * (unit -> event list)
+(** A sink that buffers events plus a function returning them in
+    emission order — the test-friendly sink. *)
+
+val formatter : Format.formatter -> sink
+(** Prints one line per event ([trace: ...]). *)
+
+val enabled : sink -> bool
+(** Guard event construction with this so the null sink costs nothing:
+    [if Trace.enabled sink then Trace.emit sink (Read ...)]. *)
+
+val emit : sink -> event -> unit
+val pp_event : Format.formatter -> event -> unit

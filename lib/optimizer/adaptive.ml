@@ -15,6 +15,8 @@ type t = {
   mutable replans : int;
   yes_laxity : Histogram.Hist1d.t;
   maybe_plane : Histogram.Hist2d.t;
+  obs : Obs.t option;
+  m_replans : Metrics.counter option;
 }
 
 let default_initial ~total ~max_laxity ~requirements ~cost ~batch =
@@ -23,7 +25,7 @@ let default_initial ~total ~max_laxity ~requirements ~cost ~batch =
     .params
 
 let create ~rng ~total ~max_laxity ~requirements ?(cost = Cost_model.paper)
-    ?(batch = 1) ?(replan_every = 500) ?(max_replans = 8) ?initial () =
+    ?(batch = 1) ?(replan_every = 500) ?(max_replans = 8) ?initial ?obs () =
   if total <= 0 then invalid_arg "Adaptive.create: total <= 0";
   if batch < 1 then invalid_arg "Adaptive.create: batch < 1";
   if replan_every < 1 then invalid_arg "Adaptive.create: replan_every < 1";
@@ -52,6 +54,8 @@ let create ~rng ~total ~max_laxity ~requirements ?(cost = Cost_model.paper)
     maybe_plane =
       Histogram.Hist2d.create ~x_lo:0.0 ~x_hi:1.0 ~x_bins:20 ~y_lo:0.0
         ~y_hi:max_laxity ~y_bins:20;
+    obs;
+    m_replans = Option.map (fun o -> Obs.counter o Obs.Keys.replans) obs;
   }
 
 let observe t ~verdict ~laxity ~success =
@@ -88,8 +92,16 @@ let replan t ~reads =
       Solver.problem ~total:t.total ~spec ~requirements:t.requirements
         ~cost:t.cost ~batch:t.batch ()
     in
-    t.params <- (Solver.solve problem).params;
-    t.replans <- t.replans + 1
+    let solve () = (Solver.solve problem).params in
+    t.params <-
+      (match t.obs with
+      | None -> solve ()
+      | Some o -> Obs.span o "adaptive-reestimate" solve);
+    t.replans <- t.replans + 1;
+    (match t.m_replans with Some m -> Metrics.incr m | None -> ());
+    match t.obs with
+    | Some o when Obs.tracing o -> Obs.event o (Trace.Replan { reads })
+    | Some _ | None -> ()
   end
 
 let policy t =

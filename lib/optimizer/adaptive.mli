@@ -25,6 +25,7 @@ val create :
   ?replan_every:int ->
   ?max_replans:int ->
   ?initial:Policy.params ->
+  ?obs:Obs.t ->
   unit ->
   t
 (** [replan_every] (default 500) objects between re-solves, up to
@@ -34,6 +35,8 @@ val create :
     (default 1) is the probe batch size the evaluation will use; every
     re-solve prices probes at the amortized [c_p + c_b/batch] so
     mid-scan plans see the same cost surface as the initial one.
+    [obs] counts re-solves under [adaptive.replans], times each under
+    the [adaptive-reestimate] span and emits a {!Trace.Replan} event.
     @raise Invalid_argument if [total <= 0], [batch < 1],
     [replan_every < 1] or [max_replans < 0]. *)
 

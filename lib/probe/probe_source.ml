@@ -5,20 +5,28 @@ type latency =
 
 exception Probe_failed
 
+type instruments = {
+  m_wakeups : Metrics.counter;
+  m_attempts : Metrics.counter;
+  m_resolved : Metrics.counter;
+  g_latency : Metrics.gauge;
+}
+
 type 'o t = {
   resolve : 'o -> 'o;
   latency : latency;
   failure_rate : float;
   max_retries : int;
   rng : Rng.t option;
+  ins : instruments option;
   mutable probes : int;
   mutable attempts : int;
   mutable batches : int;
   mutable simulated_latency : float;
 }
 
-let create ?(latency = Instant) ?(failure_rate = 0.0) ?(max_retries = 10) ?rng
-    resolve =
+let create ?obs ?(latency = Instant) ?(failure_rate = 0.0) ?(max_retries = 10)
+    ?rng resolve =
   if not (failure_rate >= 0.0 && failure_rate < 1.0) then
     invalid_arg "Probe_source.create: failure_rate outside [0, 1)";
   if max_retries < 0 then invalid_arg "Probe_source.create: max_retries < 0";
@@ -28,12 +36,24 @@ let create ?(latency = Instant) ?(failure_rate = 0.0) ?(max_retries = 10) ?rng
   in
   if needs_rng && rng = None then
     invalid_arg "Probe_source.create: rng required for jitter or failures";
+  let ins =
+    Option.map
+      (fun o ->
+        {
+          m_wakeups = Obs.counter o "probe_source.wakeups";
+          m_attempts = Obs.counter o "probe_source.attempts";
+          m_resolved = Obs.counter o "probe_source.resolved";
+          g_latency = Obs.gauge o "probe_source.latency";
+        })
+      obs
+  in
   {
     resolve;
     latency;
     failure_rate;
     max_retries;
     rng;
+    ins;
     probes = 0;
     attempts = 0;
     batches = 0;
@@ -60,18 +80,31 @@ let attempt_fails t =
    dispatch — whether it carries one object or a whole batch. *)
 let wakeup t =
   t.batches <- t.batches + 1;
-  t.simulated_latency <- t.simulated_latency +. sample_latency t
+  t.simulated_latency <- t.simulated_latency +. sample_latency t;
+  match t.ins with
+  | Some i ->
+      Metrics.incr i.m_wakeups;
+      Metrics.set i.g_latency t.simulated_latency
+  | None -> ()
+
+let note_attempt t =
+  t.attempts <- t.attempts + 1;
+  match t.ins with Some i -> Metrics.incr i.m_attempts | None -> ()
+
+let note_resolved t =
+  t.probes <- t.probes + 1;
+  match t.ins with Some i -> Metrics.incr i.m_resolved | None -> ()
 
 let probe t o =
   let rec go retries_left =
-    t.attempts <- t.attempts + 1;
+    note_attempt t;
     wakeup t;
     if attempt_fails t then
       if retries_left = 0 then raise Probe_failed else go (retries_left - 1)
     else t.resolve o
   in
   let precise = go t.max_retries in
-  t.probes <- t.probes + 1;
+  note_resolved t;
   precise
 
 let probe_batch t objs =
@@ -89,13 +122,13 @@ let probe_batch t objs =
       pending :=
         List.filter
           (fun i ->
-            t.attempts <- t.attempts + 1;
+            note_attempt t;
             tries.(i) <- tries.(i) + 1;
             if attempt_fails t then
               if tries.(i) > t.max_retries then raise Probe_failed else true
             else begin
               results.(i) <- Some (t.resolve objs.(i));
-              t.probes <- t.probes + 1;
+              note_resolved t;
               false
             end)
           !pending
@@ -105,8 +138,8 @@ let probe_batch t objs =
       results
   end
 
-let driver ?(batch_size = 1) t =
-  Probe_driver.create ~batch_size (probe_batch t)
+let driver ?obs ?(batch_size = 1) t =
+  Probe_driver.create ?obs ~batch_size (probe_batch t)
 
 type stats = {
   probes : int;

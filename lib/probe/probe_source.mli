@@ -24,6 +24,7 @@ type latency =
 type 'o t
 
 val create :
+  ?obs:Obs.t ->
   ?latency:latency ->
   ?failure_rate:float ->
   ?max_retries:int ->
@@ -38,6 +39,12 @@ val create :
     [max_retries] (default 10) extra attempts; each attempt pays the
     latency.  A probe that exhausts its retries raises {!Probe_failed}.
     [rng] is required if either latency jitter or failures are used.
+
+    [obs] registers [probe_source.wakeups], [probe_source.attempts] and
+    [probe_source.resolved] (counters, mirroring {!stats}) and the gauge
+    [probe_source.latency] (cumulative simulated latency, updated at
+    every wakeup) — how retry storms and latency tails show up in a
+    metrics dump.
 
     @raise Invalid_argument on a failure rate outside [0, 1) or a
     negative retry count. *)
@@ -59,10 +66,12 @@ val probe_batch : 'o t -> 'o array -> 'o array
     obtained in the batch are then lost to the caller, but remain
     counted in {!stats}). *)
 
-val driver : ?batch_size:int -> 'o t -> 'o Probe_driver.t
+val driver : ?obs:Obs.t -> ?batch_size:int -> 'o t -> 'o Probe_driver.t
 (** The source as an operator-facing probe capability, resolving each
     driver flush with {!probe_batch}.  [batch_size] defaults to 1 (the
-    scalar path). *)
+    scalar path).  [obs] instruments the driver itself (see
+    {!Probe_driver.create}); pass it to [create] as well to instrument
+    the source underneath. *)
 
 type stats = {
   probes : int;  (** successful probe operations *)

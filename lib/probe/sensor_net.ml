@@ -5,16 +5,23 @@ type sensor = {
   mutable cached : Interval.t;
 }
 
+type instruments = {
+  m_transmissions : Metrics.counter;
+  m_wakeups : Metrics.counter;
+  m_messages : Metrics.counter;
+}
+
 type t = {
   rng : Rng.t;
   sensors : sensor array;
   drift_stddev : float;
+  ins : instruments option;
   mutable transmissions : int;
   mutable probe_wakeups : int;
   mutable probe_messages : int;
 }
 
-let create rng ~n ~value_range ~tolerance_range ~drift_stddev =
+let create ?obs rng ~n ~value_range ~tolerance_range ~drift_stddev =
   if n < 0 then invalid_arg "Sensor_net.create: n < 0";
   if Interval.lo tolerance_range <= 0.0 then
     invalid_arg "Sensor_net.create: tolerances must be positive";
@@ -30,10 +37,21 @@ let create rng ~n ~value_range ~tolerance_range ~drift_stddev =
           cached = Interval.make (value -. tolerance) (value +. tolerance);
         })
   in
+  let ins =
+    Option.map
+      (fun o ->
+        {
+          m_transmissions = Obs.counter o "sensor_net.transmissions";
+          m_wakeups = Obs.counter o "sensor_net.probe_wakeups";
+          m_messages = Obs.counter o "sensor_net.probe_messages";
+        })
+      obs
+  in
   {
     rng;
     sensors;
     drift_stddev;
+    ins;
     transmissions = 0;
     probe_wakeups = 0;
     probe_messages = 0;
@@ -49,7 +67,10 @@ let step t =
         (* Escape: the sensor transmits a re-centred interval, keeping the
            replica sound. *)
         s.cached <- Interval.make (s.value -. s.tolerance) (s.value +. s.tolerance);
-        t.transmissions <- t.transmissions + 1
+        t.transmissions <- t.transmissions + 1;
+        match t.ins with
+        | Some i -> Metrics.incr i.m_transmissions
+        | None -> ()
       end)
     t.sensors
 
@@ -86,12 +107,17 @@ let probe_batch t readings =
   let n = Array.length readings in
   if n > 0 then begin
     t.probe_wakeups <- t.probe_wakeups + 1;
-    t.probe_messages <- t.probe_messages + n
+    t.probe_messages <- t.probe_messages + n;
+    match t.ins with
+    | Some i ->
+        Metrics.incr i.m_wakeups;
+        Metrics.add i.m_messages n
+    | None -> ()
   end;
   Array.map probe readings
 
-let batch_driver ?(batch_size = 1) t =
-  Probe_driver.create ~batch_size (probe_batch t)
+let batch_driver ?obs ?(batch_size = 1) t =
+  Probe_driver.create ?obs ~batch_size (probe_batch t)
 
 let probe_wakeups t = t.probe_wakeups
 let probe_messages t = t.probe_messages

@@ -13,6 +13,7 @@
 type t
 
 val create :
+  ?obs:Obs.t ->
   Rng.t ->
   n:int ->
   value_range:Interval.t ->
@@ -22,8 +23,10 @@ val create :
 (** [n] sensors with initial values uniform in [value_range].  Each
     sensor's tolerance (half its cache width) is drawn from
     [tolerance_range] (which must be positive); per-step drift is
-    Gaussian.  @raise Invalid_argument on a non-positive tolerance range
-    or [n < 0]. *)
+    Gaussian.  [obs] registers the counters [sensor_net.transmissions],
+    [sensor_net.probe_wakeups] and [sensor_net.probe_messages],
+    mirroring the accessors below.  @raise Invalid_argument on a
+    non-positive tolerance range or [n < 0]. *)
 
 val size : t -> int
 
@@ -57,7 +60,7 @@ val probe_batch : t -> reading array -> reading array
     batch, one {e message} per sensor in it.  The batched-probe cost
     model's [c_b] is the wakeup; [c_p] is the per-sensor message. *)
 
-val batch_driver : ?batch_size:int -> t -> reading Probe_driver.t
+val batch_driver : ?obs:Obs.t -> ?batch_size:int -> t -> reading Probe_driver.t
 (** The network as an operator-facing probe capability resolving through
     {!probe_batch}; [batch_size] defaults to 1 (one wakeup per probe). *)
 

@@ -23,6 +23,9 @@ module Hist1d = struct
     }
 
   let bin_of t x =
+    (* int_of_float on NaN is 0: a NaN sample would silently land in bin
+       0 and corrupt the density the optimizer integrates over. *)
+    if not (Float.is_finite x) then invalid_arg "Hist1d.bin_of: non-finite value";
     let i = int_of_float ((x -. t.lo) /. t.width) in
     Stdlib.max 0 (Stdlib.min (t.bins - 1) i)
 
@@ -101,6 +104,7 @@ module Hist2d = struct
     }
 
   let index lo width bins v =
+    if not (Float.is_finite v) then invalid_arg "Hist2d.index: non-finite value";
     let i = int_of_float ((v -. lo) /. width) in
     Stdlib.max 0 (Stdlib.min (bins - 1) i)
 

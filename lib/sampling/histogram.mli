@@ -14,7 +14,9 @@ module Hist1d : sig
   (** @raise Invalid_argument if [lo >= hi] or [bins < 1]. *)
 
   val add : t -> float -> unit
-  (** Values outside [\[lo, hi\]] are clamped into the boundary bins. *)
+  (** Values outside [\[lo, hi\]] are clamped into the boundary bins.
+      @raise Invalid_argument on a non-finite value (a NaN would
+      otherwise corrupt bin 0). *)
 
   val count : t -> int
 
@@ -37,6 +39,8 @@ module Hist2d : sig
     y_lo:float -> y_hi:float -> y_bins:int -> t
 
   val add : t -> x:float -> y:float -> unit
+  (** @raise Invalid_argument on a non-finite coordinate. *)
+
   val count : t -> int
 
   type region_stats = {

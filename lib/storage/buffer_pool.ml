@@ -5,20 +5,38 @@
 
 type 'a entry = { page : 'a array; mutable last_used : int }
 
+type instruments = {
+  m_hits : Metrics.counter;
+  m_misses : Metrics.counter;
+  m_evictions : Metrics.counter;
+}
+
 type 'a t = {
   capacity : int;
   table : (int, 'a entry) Hashtbl.t;
+  ins : instruments option;
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
 }
 
-let create ~capacity =
+let create ?obs ~capacity () =
   if capacity < 1 then invalid_arg "Buffer_pool.create: capacity < 1";
+  let ins =
+    Option.map
+      (fun o ->
+        {
+          m_hits = Obs.counter o "buffer_pool.hits";
+          m_misses = Obs.counter o "buffer_pool.misses";
+          m_evictions = Obs.counter o "buffer_pool.evictions";
+        })
+      obs
+  in
   {
     capacity;
     table = Hashtbl.create (2 * capacity);
+    ins;
     clock = 0;
     hits = 0;
     misses = 0;
@@ -41,18 +59,24 @@ let evict_lru t =
   | None -> ()
   | Some (id, _) ->
       Hashtbl.remove t.table id;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      (match t.ins with Some i -> Metrics.incr i.m_evictions | None -> ())
 
 let fetch t page_id load =
   match Hashtbl.find_opt t.table page_id with
   | Some entry ->
       t.hits <- t.hits + 1;
+      (match t.ins with Some i -> Metrics.incr i.m_hits | None -> ());
       entry.last_used <- tick t;
       entry.page
   | None ->
       t.misses <- t.misses + 1;
-      if Hashtbl.length t.table >= t.capacity then evict_lru t;
+      (match t.ins with Some i -> Metrics.incr i.m_misses | None -> ());
+      (* Load before making room: if the loader raises, the pool must
+         keep its cached pages and not charge an eviction for a fetch
+         that never completed. *)
       let page = load page_id in
+      if Hashtbl.length t.table >= t.capacity then evict_lru t;
       Hashtbl.replace t.table page_id { page; last_used = tick t };
       page
 

@@ -8,12 +8,16 @@
 
 type 'a t
 
-val create : capacity:int -> 'a t
-(** @raise Invalid_argument if [capacity < 1]. *)
+val create : ?obs:Obs.t -> capacity:int -> unit -> 'a t
+(** [obs] registers the counters [buffer_pool.hits], [buffer_pool.misses]
+    and [buffer_pool.evictions], incremented alongside {!stats}.
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val fetch : 'a t -> int -> (int -> 'a array) -> 'a array
 (** [fetch pool page_id load] returns the cached page or loads, caches and
-    returns it, evicting the least-recently-used page if full. *)
+    returns it, evicting the least-recently-used page if full.  A raising
+    [load] counts as a miss but leaves the pool untouched: the victim is
+    only evicted after the replacement page actually arrived. *)
 
 val contains : 'a t -> int -> bool
 

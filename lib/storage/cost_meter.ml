@@ -48,6 +48,29 @@ let cost_of_counts (m : Cost_model.t) (c : counts) =
 
 let total_cost m t = cost_of_counts m (counts t)
 
+(* The metrics side is incremented at observability instrumentation
+   sites, the meter at cost-charging sites; equality of the two is the
+   "all work is metered" invariant the test suite enforces. *)
+let reconcile snapshot (c : counts) =
+  let check name expected errs =
+    let got = Metrics.count_of snapshot name in
+    if got = expected then errs
+    else
+      Printf.sprintf "%s: metrics say %d, meter says %d" name got expected
+      :: errs
+  in
+  let errs =
+    []
+    |> check Obs.Keys.reads c.reads
+    |> check Obs.Keys.probes c.probes
+    |> check Obs.Keys.batches c.batches
+    |> check Obs.Keys.writes_imprecise c.writes_imprecise
+    |> check Obs.Keys.writes_precise c.writes_precise
+  in
+  match errs with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " (List.rev es))
+
 let pp_counts ppf (c : counts) =
   Format.fprintf ppf
     "reads=%d probes=%d batches=%d writes_imprecise=%d writes_precise=%d"

@@ -37,4 +37,11 @@ val total_cost : Cost_model.t -> t -> float
 
 val cost_of_counts : Cost_model.t -> counts -> float
 
+val reconcile : Metrics.snapshot -> counts -> (unit, string) result
+(** Check that the independently maintained observability counters (the
+    {!Obs.Keys} names: reads, probes, batches, writes) agree exactly
+    with the meter's counts — the "all work is metered" invariant.  A
+    name missing from the snapshot counts as 0.  [Error] carries every
+    mismatching name with both values. *)
+
 val pp_counts : Format.formatter -> counts -> unit

@@ -38,6 +38,7 @@ module Cursor = struct
     pages_to_visit : int array;  (* page indices, in storage order *)
     deliverable : int;  (* total objects on visited pages *)
     skipped_total : int;
+    m_pages : Metrics.counter option;
     mutable page_pos : int;  (* index into pages_to_visit *)
     mutable buffer : 'a array;  (* current page, [||] when exhausted *)
     mutable buffer_pos : int;
@@ -47,7 +48,7 @@ module Cursor = struct
 
   type 'a t = 'a cursor
 
-  let open_via file fetch ~skip_page =
+  let open_via ?obs file fetch ~skip_page =
     (* The zone map is consulted for every page up front: pruning is
        "implicit" in the paper's sense — pruned objects count as already
        classified NO, so they never appear in |M_ns|. *)
@@ -66,6 +67,7 @@ module Cursor = struct
       pages_to_visit = Array.of_list !visit;
       deliverable = !deliverable;
       skipped_total = length file - !deliverable;
+      m_pages = Option.map (fun o -> Obs.counter o "heap_file.pages_fetched") obs;
       page_pos = 0;
       buffer = [||];
       buffer_pos = 0;
@@ -73,13 +75,13 @@ module Cursor = struct
       pages_fetched = 0;
     }
 
-  let open_filtered file ~skip_page = open_via file (page file) ~skip_page
+  let open_filtered ?obs file ~skip_page = open_via ?obs file (page file) ~skip_page
 
-  let open_ file = open_filtered file ~skip_page:(fun _ -> false)
+  let open_ ?obs file = open_filtered ?obs file ~skip_page:(fun _ -> false)
 
-  let open_pooled ?(skip_page = fun _ -> false) file ~pool =
+  let open_pooled ?obs ?(skip_page = fun _ -> false) file ~pool =
     let fetch p = Buffer_pool.fetch pool p (page file) in
-    open_via file fetch ~skip_page
+    open_via ?obs file fetch ~skip_page
 
   let rec next c =
     if c.buffer_pos < Array.length c.buffer then begin
@@ -93,6 +95,7 @@ module Cursor = struct
       c.buffer_pos <- 0;
       c.page_pos <- c.page_pos + 1;
       c.pages_fetched <- c.pages_fetched + 1;
+      (match c.m_pages with Some m -> Metrics.incr m | None -> ());
       next c
     end
     else None

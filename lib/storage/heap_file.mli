@@ -43,15 +43,21 @@ module Cursor : sig
   type 'a file := 'a t
   type 'a t
 
-  val open_ : 'a file -> 'a t
+  val open_ : ?obs:Obs.t -> 'a file -> 'a t
+  (** [obs] registers the counter [heap_file.pages_fetched], incremented
+      on every page fetch of this cursor (same for the other opens). *)
 
-  val open_filtered : 'a file -> skip_page:(int -> bool) -> 'a t
+  val open_filtered : ?obs:Obs.t -> 'a file -> skip_page:(int -> bool) -> 'a t
   (** A cursor that skips whole pages for which [skip_page] is [true]
       without fetching them — the access-method hook used by the zone-map
       extension.  Skipped objects are reported via {!skipped}. *)
 
   val open_pooled :
-    ?skip_page:(int -> bool) -> 'a file -> pool:'a Buffer_pool.t -> 'a t
+    ?obs:Obs.t ->
+    ?skip_page:(int -> bool) ->
+    'a file ->
+    pool:'a Buffer_pool.t ->
+    'a t
   (** Like {!open_filtered} but page reads go through an LRU buffer pool
       shared across cursors: repeated or partially-overlapping scans
       re-use cached pages.  {!io}'s [pages_fetched] counts pages

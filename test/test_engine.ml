@@ -78,6 +78,80 @@ let test_execute_empty_and_tiny () =
   in
   checkb "tiny ok" true (Quality.meets result.report.guarantees requirements)
 
+(* Regression: the planner's Bernoulli sample is charged to the run's
+   meter, and sampling does not perturb the operator's rng stream — so a
+   planned run and a Fixed run given the planned parameters make
+   identical decisions and differ in cost by exactly the sample's
+   reads. *)
+let test_sample_reads_charged () =
+  let data = dataset 21 in
+  let planned =
+    Engine.execute ~rng:(Rng.create 22) ~max_laxity:100.0
+      ~instance:Synthetic.instance ~probe:(Probe_driver.scalar Synthetic.probe)
+      ~requirements data
+  in
+  let plan =
+    match planned.plan with Some p -> p | None -> Alcotest.fail "no plan"
+  in
+  Alcotest.(check bool) "sample was non-empty" true (plan.sample_size > 0);
+  let fixed =
+    Engine.execute ~rng:(Rng.create 22)
+      ~planning:(Engine.Fixed plan.params) ~max_laxity:100.0
+      ~instance:Synthetic.instance ~probe:(Probe_driver.scalar Synthetic.probe)
+      ~requirements data
+  in
+  let pc = planned.counts and fc = fixed.counts in
+  Alcotest.(check int) "reads differ by the sample" (fc.reads + plan.sample_size)
+    pc.reads;
+  Alcotest.(check int) "same probes" fc.probes pc.probes;
+  Alcotest.(check int) "same batches" fc.batches pc.batches;
+  Alcotest.(check int) "same imprecise writes" fc.writes_imprecise
+    pc.writes_imprecise;
+  Alcotest.(check int) "same precise writes" fc.writes_precise pc.writes_precise;
+  let model = Cost_model.paper in
+  let expected_delta =
+    float_of_int plan.sample_size *. model.Cost_model.c_r
+  in
+  Alcotest.(check (float 1e-9)) "cost delta is exactly the sample's reads"
+    expected_delta
+    (Cost_meter.cost_of_counts model pc -. Cost_meter.cost_of_counts model fc);
+  (* report.counts stays scan-only: the sample lands in result.counts. *)
+  Alcotest.(check int) "report counts exclude the sample" fc.reads
+    planned.report.counts.reads
+
+(* Regression: the input's maximum laxity is scanned at most once even
+   when both the planner and the adaptive estimator need it.  The
+   operator never asks a NO object for its laxity, so on an all-NO input
+   every laxity call comes from the shared cap scan (plus the sampled
+   objects the estimator inspects) — under the old duplicated scan this
+   counted 2N. *)
+let test_laxity_scanned_once () =
+  let n = 1000 in
+  let laxity_calls = ref 0 in
+  let instance =
+    {
+      Operator.classify = (fun (_ : int) -> Tvl.No);
+      laxity =
+        (fun _ ->
+          incr laxity_calls;
+          1.0);
+      success = (fun _ -> 0.0);
+    }
+  in
+  let data = Array.init n Fun.id in
+  let result =
+    Engine.execute ~rng:(Rng.create 23) ~adaptive:true ~instance
+      ~probe:(Probe_driver.scalar Fun.id)
+      ~requirements:(Quality.requirements ~precision:0.9 ~recall:0.5 ~laxity:50.0)
+      data
+  in
+  ignore result;
+  Alcotest.(check bool)
+    (Printf.sprintf "laxity scanned once (%d calls for %d objects)"
+       !laxity_calls n)
+    true
+    (!laxity_calls < 2 * n)
+
 let test_invalid_fallback () =
   Alcotest.check_raises "bad fallback"
     (Invalid_argument "Engine.execute: invalid fallback fractions") (fun () ->
@@ -96,5 +170,7 @@ let suite =
     ("execute adaptive", `Quick, test_execute_adaptive);
     ("execute with histogram density", `Quick, test_execute_histogram_density);
     ("empty and tiny inputs", `Quick, test_execute_empty_and_tiny);
+    ("sample reads are charged", `Quick, test_sample_reads_charged);
+    ("laxity cap scanned once", `Quick, test_laxity_scanned_once);
     ("invalid fallback", `Quick, test_invalid_fallback);
   ]

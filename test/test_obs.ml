@@ -1,0 +1,222 @@
+(* Tests for the observability layer: the metrics registry, trace sinks,
+   span timing, and — the load-bearing invariant — exact reconciliation
+   of the qaq.* counters against the run's cost meter. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf eps = Alcotest.(check (float eps))
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "test.reads" in
+  checki "fresh counter at 0" 0 (Metrics.count c);
+  Metrics.incr c;
+  Metrics.add c 4;
+  checki "incr + add" 5 (Metrics.count c);
+  Alcotest.(check string) "name" "test.reads" (Metrics.counter_name c);
+  (* Handles are stable: the registry returns the same cell. *)
+  Metrics.incr (Metrics.counter m "test.reads");
+  checki "get-or-create shares the cell" 6 (Metrics.count c);
+  let g = Metrics.gauge m "test.level" in
+  Metrics.set g 2.5;
+  checkf 0.0 "gauge level" 2.5 (Metrics.level g);
+  Alcotest.check_raises "counter/gauge clash"
+    (Invalid_argument "Metrics.gauge: test.reads is registered as a counter")
+    (fun () -> ignore (Metrics.gauge m "test.reads"));
+  Alcotest.check_raises "gauge/counter clash"
+    (Invalid_argument "Metrics.counter: test.level is registered as a gauge")
+    (fun () -> ignore (Metrics.counter m "test.level"));
+  Alcotest.check_raises "counters are monotonic"
+    (Invalid_argument "Metrics.add: negative increment") (fun () ->
+      Metrics.add c (-1))
+
+let test_snapshot_and_diff () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "b.count") 3;
+  Metrics.set (Metrics.gauge m "a.level") 1.5;
+  let earlier = Metrics.snapshot m in
+  (* Snapshots are name-sorted. *)
+  Alcotest.(check (list string))
+    "sorted names" [ "a.level"; "b.count" ]
+    (List.map fst earlier);
+  checki "count_of" 3 (Metrics.count_of earlier "b.count");
+  checki "count_of absent is 0" 0 (Metrics.count_of earlier "nope");
+  Metrics.add (Metrics.counter m "b.count") 4;
+  Metrics.set (Metrics.gauge m "a.level") 9.0;
+  Metrics.incr (Metrics.counter m "c.fresh");
+  let later = Metrics.snapshot m in
+  let d = Metrics.diff ~later ~earlier in
+  checki "counter delta" 4 (Metrics.count_of d "b.count");
+  checki "fresh counter full value" 1 (Metrics.count_of d "c.fresh");
+  (match Metrics.get d "a.level" with
+  | Some (Metrics.Level l) -> checkf 0.0 "gauge keeps later level" 9.0 l
+  | _ -> Alcotest.fail "gauge missing from diff");
+  (* A frozen snapshot does not follow the registry. *)
+  checki "earlier unchanged" 3 (Metrics.count_of earlier "b.count")
+
+let test_json_export () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "x.count") 7;
+  Metrics.set (Metrics.gauge m "x.nan") Float.nan;
+  Metrics.set (Metrics.gauge m "quote\"name") 1.0;
+  let json = Metrics.to_json (Metrics.snapshot m) in
+  checkb "counter exported" true
+    (String.length json > 0
+    && contains json "\"x.count\": 7");
+  checkb "non-finite gauge is null" true
+    (contains json "\"x.nan\": null");
+  checkb "quotes escaped" true
+    (contains json "quote\\\"name")
+
+let test_prometheus_export () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "qaq.reads") 12;
+  Metrics.set (Metrics.gauge m "span.plan.seconds") 0.5;
+  let text = Metrics.to_prometheus (Metrics.snapshot m) in
+  checkb "TYPE line, mangled name" true
+    (contains text "# TYPE qaq_reads counter");
+  checkb "sample line" true (contains text "qaq_reads 12");
+  checkb "gauge typed" true
+    (contains text "# TYPE span_plan_seconds gauge")
+
+let test_trace_sinks () =
+  checkb "null disabled" false (Trace.enabled Trace.null);
+  (* Emitting into the null sink is a no-op, not an error. *)
+  Trace.emit Trace.null (Trace.Note "dropped");
+  let sink, events = Trace.collector () in
+  checkb "collector enabled" true (Trace.enabled sink);
+  Trace.emit sink (Trace.Read { verdict = `Maybe });
+  Trace.emit sink (Trace.Batch { size = 3 });
+  (match events () with
+  | [ Trace.Read { verdict = `Maybe }; Trace.Batch { size = 3 } ] -> ()
+  | es -> Alcotest.failf "unexpected events (%d)" (List.length es));
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  Trace.emit (Trace.formatter ppf) (Trace.Read { verdict = `No });
+  Format.pp_print_flush ppf ();
+  Alcotest.(check string) "formatter line" "trace: read NO\n"
+    (Buffer.contents buf)
+
+let test_span_timing () =
+  let now = ref 10.0 in
+  let obs = Obs.create ~clock:(fun () -> !now) () in
+  let result =
+    Obs.span obs "phase" (fun () ->
+        now := !now +. 2.5;
+        42)
+  in
+  checki "span returns the body's value" 42 result;
+  ignore (Obs.span obs "phase" (fun () -> now := !now +. 1.5));
+  let s = Obs.snapshot obs in
+  checki "calls counted" 2 (Metrics.count_of s "span.phase.calls");
+  (match Metrics.get s "span.phase.seconds" with
+  | Some (Metrics.Level l) -> checkf 1e-9 "seconds accumulate" 4.0 l
+  | _ -> Alcotest.fail "span gauge missing");
+  (* A raising body still records its time. *)
+  (try
+     Obs.span obs "phase" (fun () ->
+         now := !now +. 1.0;
+         failwith "boom")
+   with Failure _ -> ());
+  checki "raising call counted" 3
+    (Metrics.count_of (Obs.snapshot obs) "span.phase.calls")
+
+(* ---- reconciliation: metrics vs the cost meter ------------------- *)
+
+let requirements = Quality.requirements ~precision:0.9 ~recall:0.6 ~laxity:50.0
+
+let test_operator_reconciles () =
+  let data =
+    Synthetic.generate (Rng.create 31) (Synthetic.config ~total:2000 ())
+  in
+  let obs = Obs.create () in
+  let meter = Cost_meter.create () in
+  let report =
+    Operator.run ~rng:(Rng.create 32) ~meter ~obs ~instance:Synthetic.instance
+      ~probe:(Probe_driver.of_scalar ~obs ~batch_size:4 Synthetic.probe)
+      ~policy:Policy.stingy ~requirements
+      (Operator.source_of_array data)
+  in
+  checkb "did some work" true (report.Operator.counts.reads > 0);
+  match Cost_meter.reconcile (Obs.snapshot obs) (Cost_meter.counts meter) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+(* The golden invariant: for every engine configuration, the qaq.*
+   counters written at the instrumentation sites equal the cost meter's
+   counts written at the charge sites — planning sample included. *)
+let test_engine_reconciles () =
+  List.iter
+    (fun (batch, adaptive) ->
+      let data =
+        Synthetic.generate (Rng.create 41) (Synthetic.config ~total:3000 ())
+      in
+      let obs = Obs.create () in
+      let result =
+        Engine.execute ~rng:(Rng.create 42) ~adaptive ~max_laxity:100.0 ~obs
+          ~instance:Synthetic.instance
+          ~probe:
+            (Probe_driver.of_scalar ~obs ~batch_size:batch Synthetic.probe)
+          ~requirements data
+      in
+      let snapshot = Obs.snapshot obs in
+      (match Cost_meter.reconcile snapshot result.Engine.counts with
+      | Ok () -> ()
+      | Error msg ->
+          Alcotest.failf "B=%d adaptive=%b: %s" batch adaptive msg);
+      (* The driver's own counters agree with the operator's view. *)
+      checki
+        (Printf.sprintf "driver probes (B=%d adaptive=%b)" batch adaptive)
+        result.Engine.counts.probes
+        (Metrics.count_of snapshot "probe_driver.probes");
+      checki
+        (Printf.sprintf "driver batches (B=%d adaptive=%b)" batch adaptive)
+        result.Engine.counts.batches
+        (Metrics.count_of snapshot "probe_driver.batches");
+      (* Reconcile is not vacuous: perturb one count and it must fail. *)
+      let skewed = { result.Engine.counts with reads = result.Engine.counts.reads + 1 } in
+      match Cost_meter.reconcile snapshot skewed with
+      | Ok () -> Alcotest.fail "reconcile accepted skewed counts"
+      | Error _ -> ())
+    [ (1, false); (4, false); (1, true); (4, true) ]
+
+(* Observability must be pure observation: attaching it changes no
+   decision, no answer, no charge. *)
+let test_obs_does_not_perturb () =
+  let data =
+    Synthetic.generate (Rng.create 51) (Synthetic.config ~total:2000 ())
+  in
+  let run obs_opt =
+    let sink, _ = Trace.collector () in
+    ignore sink;
+    Engine.execute ~rng:(Rng.create 52) ~max_laxity:100.0 ?obs:obs_opt
+      ~instance:Synthetic.instance
+      ~probe:(Probe_driver.of_scalar ~batch_size:4 Synthetic.probe)
+      ~requirements data
+  in
+  let plain = run None in
+  let sink, _events = Trace.collector () in
+  let observed = run (Some (Obs.create ~trace:sink ())) in
+  checkb "same counts" true (plain.Engine.counts = observed.Engine.counts);
+  checkb "same answer size" true
+    (plain.Engine.report.answer_size = observed.Engine.report.answer_size);
+  checkf 0.0 "same cost" plain.Engine.normalized_cost
+    observed.Engine.normalized_cost
+
+let suite =
+  [
+    ("metrics registry", `Quick, test_metrics_registry);
+    ("snapshot and diff", `Quick, test_snapshot_and_diff);
+    ("json export", `Quick, test_json_export);
+    ("prometheus export", `Quick, test_prometheus_export);
+    ("trace sinks", `Quick, test_trace_sinks);
+    ("span timing", `Quick, test_span_timing);
+    ("operator reconciles with meter", `Quick, test_operator_reconciles);
+    ("engine reconciles across configs", `Quick, test_engine_reconciles);
+    ("observability does not perturb the run", `Quick, test_obs_does_not_perturb);
+  ]

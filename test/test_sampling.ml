@@ -79,6 +79,30 @@ let synthetic_sample seed n f_y f_m =
   Synthetic.generate (Rng.create seed)
     (Synthetic.config ~total:n ~f_y ~f_m ~max_laxity:100.0 ())
 
+(* Regression: non-finite values used to clamp silently into a boundary
+   bin, corrupting the estimate; they must be rejected loudly and leave
+   the histogram untouched. *)
+let test_hist_non_finite () =
+  let h = Histogram.Hist1d.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  Alcotest.check_raises "1d nan"
+    (Invalid_argument "Hist1d.bin_of: non-finite value") (fun () ->
+      Histogram.Hist1d.add h Float.nan);
+  Alcotest.check_raises "1d infinity"
+    (Invalid_argument "Hist1d.bin_of: non-finite value") (fun () ->
+      Histogram.Hist1d.add h Float.infinity);
+  checki "1d untouched" 0 (Histogram.Hist1d.count h);
+  let h2 =
+    Histogram.Hist2d.create ~x_lo:0.0 ~x_hi:1.0 ~x_bins:4 ~y_lo:0.0 ~y_hi:1.0
+      ~y_bins:4
+  in
+  Alcotest.check_raises "2d nan x"
+    (Invalid_argument "Hist2d.index: non-finite value") (fun () ->
+      Histogram.Hist2d.add h2 ~x:Float.nan ~y:0.5);
+  Alcotest.check_raises "2d infinite y"
+    (Invalid_argument "Hist2d.index: non-finite value") (fun () ->
+      Histogram.Hist2d.add h2 ~x:0.5 ~y:Float.neg_infinity);
+  checki "2d untouched" 0 (Histogram.Hist2d.count h2)
+
 let test_selectivity_estimate () =
   let sample = synthetic_sample 5 20000 0.25 0.35 in
   let e =
@@ -119,6 +143,7 @@ let suite =
     ("reservoir uniformity", `Slow, test_reservoir_uniformity);
     ("hist1d masses", `Quick, test_hist1d);
     ("hist2d regions", `Quick, test_hist2d_region);
+    ("histograms reject non-finite", `Quick, test_hist_non_finite);
     ("selectivity estimation", `Quick, test_selectivity_estimate);
     ("selectivity validation", `Quick, test_selectivity_validation);
     ("bernoulli sampling", `Quick, test_bernoulli_sample);

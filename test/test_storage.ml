@@ -135,7 +135,7 @@ let test_cursor_filtered () =
   checki "pages fetched only odd" 2 (Heap_file.Cursor.io c).pages_fetched
 
 let test_buffer_pool_lru () =
-  let pool = Buffer_pool.create ~capacity:2 in
+  let pool = Buffer_pool.create ~capacity:2 () in
   let loads = ref [] in
   let load p =
     loads := p :: !loads;
@@ -156,7 +156,31 @@ let test_buffer_pool_lru () =
   checki "evictions" 2 s.evictions;
   Alcotest.(check (float 1e-9)) "hit rate" 0.2 (Buffer_pool.hit_rate s);
   Alcotest.check_raises "capacity" (Invalid_argument "Buffer_pool.create: capacity < 1")
-    (fun () -> ignore (Buffer_pool.create ~capacity:0))
+    (fun () -> ignore (Buffer_pool.create ~capacity:0 ()))
+
+(* Regression: a loader that raises must leave the pool exactly as it
+   was — in particular the LRU victim must not be evicted for a page
+   that never arrived. *)
+let test_buffer_pool_failed_load () =
+  let pool = Buffer_pool.create ~capacity:2 () in
+  let load p = [| p |] in
+  ignore (Buffer_pool.fetch pool 1 load);
+  ignore (Buffer_pool.fetch pool 2 load);
+  (* Pool is full; the next distinct fetch would evict page 1. *)
+  Alcotest.check_raises "loader failure propagates" Not_found (fun () ->
+      ignore (Buffer_pool.fetch pool 3 (fun _ -> raise Not_found)));
+  checkb "page 1 still cached" true (Buffer_pool.contains pool 1);
+  checkb "page 2 still cached" true (Buffer_pool.contains pool 2);
+  checkb "failed page not cached" false (Buffer_pool.contains pool 3);
+  let s = Buffer_pool.stats pool in
+  checki "no eviction for a failed load" 0 s.evictions;
+  checki "a failed fetch is still a miss" 3 s.misses;
+  (* The pool keeps working: retrying the load now succeeds and evicts
+     the true LRU victim (page 1). *)
+  ignore (Buffer_pool.fetch pool 3 load);
+  checki "eviction after a successful load" 1 (Buffer_pool.stats pool).evictions;
+  checkb "page 1 evicted on retry" false (Buffer_pool.contains pool 1);
+  checkb "page 3 cached on retry" true (Buffer_pool.contains pool 3)
 
 let test_zone_map () =
   (* Values clustered by page: page p holds supports around 10p. *)
@@ -203,7 +227,7 @@ let prop_zone_map_sound =
 
 let test_pooled_cursor () =
   let file = Heap_file.create ~page_size:10 (Array.init 100 (fun i -> i)) in
-  let pool = Buffer_pool.create ~capacity:20 in
+  let pool = Buffer_pool.create ~capacity:20 () in
   let drain cursor =
     let rec go acc =
       match Heap_file.Cursor.next cursor with
@@ -237,6 +261,7 @@ let suite =
     ("cursor full scan", `Quick, test_cursor_full_scan);
     ("cursor with page filter", `Quick, test_cursor_filtered);
     ("buffer pool LRU", `Quick, test_buffer_pool_lru);
+    ("buffer pool failed load", `Quick, test_buffer_pool_failed_load);
     ("pooled cursor", `Quick, test_pooled_cursor);
     ("zone map pruning", `Quick, test_zone_map);
     QCheck_alcotest.to_alcotest prop_zone_map_sound;
