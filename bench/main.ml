@@ -11,7 +11,14 @@
      dune exec bench/main.exe -- micro        # only Bechamel benches
      dune exec bench/main.exe -- metrics [F]  # instrumented engine runs,
                                               # metrics JSON to F
-                                              # (default BENCH_metrics.json) *)
+                                              # (default BENCH_metrics.json)
+     dune exec bench/main.exe -- scaling [F]  # multicore scan sweep over
+                                              # domains 1/2/4/8, JSON to F
+                                              # (default BENCH_scaling.json)
+
+   Setting QAQ_DOMAINS=N runs the trial tables (and any engine work that
+   does not pin a domain count) over an N-lane pool; results are
+   bit-for-bit independent of it. *)
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
@@ -28,12 +35,18 @@ let reproduction_tables () =
       print_newline ())
     Exp_config.all_sweeps;
   section "Reproduction: section 5.2 QaQ trial runs (T6-T10)";
+  (* Each sweep is self-contained (its own rng), so the five tables can
+     be computed on separate domains (QAQ_DOMAINS=N) and printed in
+     order afterwards; the tables themselves are identical either way. *)
   List.iter
-    (fun (sweep : Exp_config.sweep) ->
-      let rng = Rng.create 1984 in
-      Text_table.print (Exp_report.trial_table ~rng ~repetitions:5 sweep);
+    (fun table ->
+      Text_table.print table;
       print_newline ())
-    Exp_config.all_sweeps;
+    (Exp_runner.parallel_configs
+       (List.map
+          (fun (sweep : Exp_config.sweep) () ->
+            Exp_report.trial_table ~rng:(Rng.create 1984) ~repetitions:5 sweep)
+          Exp_config.all_sweeps));
   section "Soundness: worst observed requirement violations";
   let rng = Rng.create 515 in
   Text_table.print
@@ -184,9 +197,7 @@ let ablation_index () =
   in
   let run ~pruned =
     let cursor =
-      if pruned then
-        Heap_file.Cursor.open_filtered file
-          ~skip_page:(Zone_map.prunable zone_map pred)
+      if pruned then Zone_map.open_cursor zone_map pred file
       else Heap_file.Cursor.open_ file
     in
     let report =
@@ -632,6 +643,97 @@ let metrics_dump path =
   if not !ok then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Scaling: the multicore scan pipeline over domains 1/2/4/8           *)
+(* ------------------------------------------------------------------ *)
+
+(* Classification-heavy workload: Gaussian beliefs make classify/laxity/
+   success erf-bound computations, so the parallel stage has real work
+   per object.  Wall-clock is hardware-dependent (flat on a single-core
+   host); the answers are not — the sweep cross-checks that every domain
+   count produces the identical result before reporting speedups. *)
+let scaling_bench path =
+  section "Scaling: multicore scan pipeline (domains 1/2/4/8)";
+  let n = 120_000 in
+  let records =
+    Interval_data.gaussian_beliefs (Rng.create 4096) ~n ~mean:55.0
+      ~stddev:15.0 ~noise:2.0
+  in
+  let pred = Predicate.ge 60.0 in
+  let requirements =
+    Quality.requirements ~precision:0.9 ~recall:0.9 ~laxity:6.0
+  in
+  let run domains =
+    Engine.execute ~rng:(Rng.create 4097) ~domains
+      ~instance:(Interval_data.instance pred)
+      ~probe:(Probe_driver.scalar Interval_data.probe) ~requirements
+      ~collect:false records
+  in
+  let fingerprint (r : Interval_data.record Engine.result) =
+    ( r.report.answer_size,
+      r.report.yes_seen,
+      r.counts,
+      r.report.guarantees,
+      r.normalized_cost )
+  in
+  ignore (run 1) (* warmup: page in the data, settle the allocator *);
+  let time_best domains =
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      let r = run domains in
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      result := Some r
+    done;
+    (!best, Option.get !result)
+  in
+  let t1, base = time_best 1 in
+  let baseline = fingerprint base in
+  let deterministic = ref true in
+  let rows =
+    List.map
+      (fun domains ->
+        let dt, r = time_best domains in
+        let fp = fingerprint r in
+        if fp <> baseline then deterministic := false;
+        let speedup = t1 /. dt in
+        Printf.printf
+          "domains=%d  %.3fs  speedup %.2fx  answer %d  reads %d  probes %d%s\n"
+          domains dt speedup r.report.answer_size r.counts.reads
+          r.counts.probes
+          (if fp = baseline then "" else "  RESULT DIVERGED");
+        Printf.sprintf
+          "    { \"domains\": %d, \"seconds\": %.6f, \"speedup\": %.4f, \
+           \"answer_size\": %d, \"reads\": %d, \"probes\": %d }"
+          domains dt speedup r.report.answer_size r.counts.reads
+          r.counts.probes)
+      [ 1; 2; 4; 8 ]
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"bench\": \"scan-pipeline-scaling\",\n\
+      \  \"workload\": { \"records\": %d, \"model\": \"gaussian_beliefs\", \
+       \"predicate\": \"value >= 60\", \"precision\": 0.9, \"recall\": 0.9, \
+       \"laxity\": 6.0 },\n\
+      \  \"recommended_domain_count\": %d,\n\
+      \  \"deterministic\": %b,\n\
+      \  \"runs\": [\n%s\n  ]\n\
+       }\n"
+      n
+      (Domain.recommended_domain_count ())
+      !deterministic (String.concat ",\n" rows)
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "identical results across domain counts: %s\n"
+    (if !deterministic then "yes" else "NO — determinism broken");
+  Printf.printf "scaling results written to %s\n" path;
+  if not !deterministic then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per paper table            *)
 (* ------------------------------------------------------------------ *)
 
@@ -780,12 +882,17 @@ let () =
       metrics_dump
         (if Array.length Sys.argv > 2 then Sys.argv.(2)
          else "BENCH_metrics.json")
+  | "scaling" ->
+      scaling_bench
+        (if Array.length Sys.argv > 2 then Sys.argv.(2)
+         else "BENCH_scaling.json")
   | "all" ->
       tables ();
       ablations ();
       run_micro ()
   | other ->
       Printf.eprintf
-        "unknown mode %S (expected tables|ablations|batch|micro|metrics|all)\n"
+        "unknown mode %S (expected \
+         tables|ablations|batch|micro|metrics|scaling|all)\n"
         other;
       exit 2

@@ -54,6 +54,15 @@ let c_b =
   let doc = "Per-batch probe setup cost c_b (paper model: 0)." in
   Arg.(value & opt float 0.0 & info [ "cb" ] ~doc)
 
+let domains =
+  let doc =
+    "Worker domains for the scan pipeline (default: the QAQ_DOMAINS \
+     environment variable, else 1).  Classification fans out across \
+     domains while every decision stays sequential, so results are \
+     identical for any value."
+  in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
 let cost_model c_b =
   let paper = Cost_model.paper in
   Cost_model.make ~c_r:paper.Cost_model.c_r ~c_p:paper.Cost_model.c_p
@@ -130,7 +139,7 @@ let metrics_file =
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
 let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
-    data_file batch c_b trace metrics_file =
+    data_file batch c_b domains trace metrics_file =
   let s = setting total f_y f_m max_laxity p_q r_q l_q in
   let cost = cost_model c_b in
   let rng = Rng.create seed in
@@ -149,7 +158,8 @@ let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
       Format.printf "dataset: %s (%d objects)  %a@." path (Array.length data)
         Quality.pp_requirements (Exp_config.requirements s);
       let o =
-        Exp_runner.trial_run ~rng ~cost ~batch ?obs ~setting:s ~data policy
+        Exp_runner.trial_run ~rng ~cost ~batch ?obs ?domains ~setting:s ~data
+          policy
       in
       Format.printf
         "%s: W/|T| = %.3f (%d probes in %d batches); guarantees %a; actual \
@@ -159,7 +169,7 @@ let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
         Quality.pp_guarantees o.guarantees o.actual_precision o.actual_recall
   | None ->
       let results =
-        Exp_runner.trial_series ~rng ~repetitions ~cost ~batch ?obs s
+        Exp_runner.trial_series ~rng ~repetitions ~cost ~batch ?obs ?domains s
           [ policy ]
       in
       Format.printf "setting: |T|=%d f_y=%g f_m=%g L=%g  %a@." s.total s.f_y
@@ -188,8 +198,8 @@ let trial_cmd =
     (Cmd.info "trial" ~doc)
     Term.(
       const trial_run $ seed $ total $ f_y $ f_m $ max_laxity $ p_q $ r_q
-      $ l_q $ policy $ repetitions $ data_file $ batch $ c_b $ trace_flag
-      $ metrics_file)
+      $ l_q $ policy $ repetitions $ data_file $ batch $ c_b $ domains
+      $ trace_flag $ metrics_file)
 
 (* ---- dataset ------------------------------------------------------ *)
 

@@ -67,6 +67,18 @@ val resolve : 'o t -> 'o -> 'o
 (** Scalar convenience: submit [o], flush, and return its precise
     version.  Note this flushes {e everything} pending, not just [o]. *)
 
+val premap : into:('a -> 'o) -> back:('o -> 'a) -> 'o t -> 'a t
+(** [premap ~into ~back d] views a driver for ['o] as a driver for ['a]:
+    submissions are unwrapped with [into], resolutions re-wrapped with
+    [back].  The view batches with [d]'s batch size and forwards each of
+    its batches to [d] whole, so [d] flushes exactly as it would under
+    direct submission — its lifetime statistics, instruments and any
+    latency simulation are preserved; the view's own {!probes} and
+    {!batches} mirror the same counts starting from zero.  Do not attach
+    a separate [obs] to the view on top of an instrumented [d]: the
+    probes would be counted twice.  Used by the parallel scan pipeline
+    to probe pre-classified records through an unmodified backend. *)
+
 val probes : 'o t -> int
 (** Total objects resolved over the driver's lifetime. *)
 

@@ -23,12 +23,18 @@ type 'o result = {
   normalized_cost : float;
 }
 
-let observed_max_laxity instance data =
-  Array.fold_left
-    (fun acc o -> Float.max acc (instance.Operator.laxity o))
-    0.0 data
+let domains_env = Domain_pool.env_var
 
-let make_plan ~rng ~meter ?obs ~cost ~batch ~cap ~instance ~requirements
+let observed_max_laxity ?pool instance data =
+  let laxities =
+    match pool with
+    | Some p when Domain_pool.domains p > 1 ->
+        Domain_pool.parallel_map p instance.Operator.laxity data
+    | _ -> Array.map instance.Operator.laxity data
+  in
+  Array.fold_left Float.max 0.0 laxities
+
+let make_plan ~rng ~meter ?obs ?pool ~cost ~batch ~cap ~instance ~requirements
     ~fraction ~density ~fallback data =
   let total = Stdlib.max 1 (Array.length data) in
   let sample = Selectivity.bernoulli_sample rng ~fraction data in
@@ -46,7 +52,7 @@ let make_plan ~rng ~meter ?obs ~cost ~batch ~cap ~instance ~requirements
   | None -> ());
   let estimate =
     if n = 0 then None
-    else Some (Selectivity.estimate ~instance ~laxity_cap:cap sample)
+    else Some (Selectivity.estimate ~instance ?pool ~laxity_cap:cap sample)
   in
   let f_y, f_m =
     match estimate with
@@ -64,9 +70,8 @@ let make_plan ~rng ~meter ?obs ~cost ~batch ~cap ~instance ~requirements
   in
   { params = evaluation.params; estimate; evaluation; sample_size = n }
 
-let execute ~rng ?(planning = default_planning) ?(adaptive = false)
-    ?(cost = Cost_model.paper) ?batch ?max_laxity ?obs ?emit ?collect ~instance
-    ~(probe : _ Probe_driver.t) ~requirements data =
+let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
+    ?emit ?collect ~instance ~(probe : _ Probe_driver.t) ~requirements data =
   (* The planner prices probes for the batch size the evaluation will
      actually use — the driver's, unless the caller overrides it (e.g. a
      shared driver whose configured batch size a sweep wants to model
@@ -88,7 +93,7 @@ let execute ~rng ?(planning = default_planning) ?(adaptive = false)
       (match max_laxity with
       | Some l -> l
       | None ->
-          let m = observed_max_laxity instance data in
+          let m = observed_max_laxity ?pool instance data in
           if m > 0.0 then m else 1.0)
   in
   let span name f =
@@ -103,7 +108,7 @@ let execute ~rng ?(planning = default_planning) ?(adaptive = false)
           invalid_arg "Engine.execute: invalid fallback fractions";
         Some
           (span "plan" (fun () ->
-               make_plan ~rng:sample_rng ~meter ?obs ~cost ~batch
+               make_plan ~rng:sample_rng ~meter ?obs ?pool ~cost ~batch
                  ~cap:(Lazy.force laxity_cap) ~instance ~requirements ~fraction
                  ~density ~fallback data))
   in
@@ -127,10 +132,18 @@ let execute ~rng ?(planning = default_planning) ?(adaptive = false)
   in
   let report =
     span "scan" (fun () ->
-        Operator.run ~rng ~meter ?obs ?emit ?collect ~instance ~probe ~policy
-          ~requirements
-          (Operator.source_of_array data))
+        Scan_pipeline.run ~rng ?pool ~meter ?obs ?emit ?collect ~instance
+          ~probe ~policy ~requirements data)
   in
+  (match (obs, pool) with
+  | Some o, Some p ->
+      Metrics.set
+        (Obs.gauge o Obs.Keys.parallel_domains)
+        (float_of_int (Domain_pool.domains p));
+      Array.iteri
+        (fun i busy -> Metrics.set (Obs.gauge o (Obs.Keys.domain_busy i)) busy)
+        (Domain_pool.busy_seconds p)
+  | _ -> ());
   let counts = Cost_meter.counts meter in
   {
     report;
@@ -142,3 +155,14 @@ let execute ~rng ?(planning = default_planning) ?(adaptive = false)
          Cost_meter.cost_of_counts cost counts
          /. float_of_int (Array.length data));
   }
+
+let execute ~rng ?(planning = default_planning) ?(adaptive = false)
+    ?(cost = Cost_model.paper) ?batch ?max_laxity ?domains ?obs ?emit ?collect
+    ~instance ~probe ~requirements data =
+  let run ?pool () =
+    execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
+      ?emit ?collect ~instance ~probe ~requirements data
+  in
+  match Domain_pool.resolve ?domains () with
+  | 1 -> run ()
+  | d -> Domain_pool.with_pool ~domains:d (fun pool -> run ~pool ())

@@ -42,6 +42,11 @@ type 'o result = {
           planning is priced, not free *)
 }
 
+val domains_env : string
+(** Name of the environment variable ([QAQ_DOMAINS]) consulted when
+    {!execute}'s [domains] argument is absent.  Lets an entire test suite
+    or CI job exercise the parallel path without touching call sites. *)
+
 val execute :
   rng:Rng.t ->
   ?planning:planning ->
@@ -49,6 +54,7 @@ val execute :
   ?cost:Cost_model.t ->
   ?batch:int ->
   ?max_laxity:float ->
+  ?domains:int ->
   ?obs:Obs.t ->
   ?emit:('o Operator.emitted -> unit) ->
   ?collect:bool ->
@@ -85,11 +91,24 @@ val execute :
     [Fixed] run given the planned parameters make identical decisions
     and differ in cost by exactly [sample_size * c_r].
 
+    [domains] (default: the [QAQ_DOMAINS] environment variable, else 1)
+    sets the number of domains the run may use.  With more than one, a
+    {!Domain_pool} is created for the duration of the call and the
+    pure per-object work — the laxity-cap scan, the pilot sample's
+    classify/laxity/success evaluation, and the scan's classification
+    stage ({!Scan_pipeline}) — fans out across it, while every decision,
+    rng draw, counter and charge stays on the sequential path: the
+    result is bit-for-bit identical for every [domains] value.
+
     [obs] threads observability through every stage: the [plan] and
     [scan] spans (plus [probe-flush] and [adaptive-reestimate] further
     down), the [qaq.*] counters mirroring the meter, and
-    [engine.sample_reads].  {!Cost_meter.reconcile} against [counts]
-    checks the instrumentation covers all metered work.
+    [engine.sample_reads].  With [domains > 1] it also carries
+    [qaq.parallel.chunks], the [qaq.parallel.domains] gauge and one
+    [qaq.parallel.domain<i>.busy_seconds] gauge per lane.
+    {!Cost_meter.reconcile} against [counts] checks the instrumentation
+    covers all metered work.
 
     @raise Invalid_argument on an invalid sampling fraction or fallback
-    fractions, or if [batch < 1]. *)
+    fractions, if [batch < 1], if [domains < 1], or if [QAQ_DOMAINS] is
+    set to anything but a positive integer. *)

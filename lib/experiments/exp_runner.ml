@@ -32,14 +32,14 @@ type outcome = {
 (* The paper's QaQ: estimate f_y, f_m from a pre-query sample, keep the
    density assumption (uniform by default), solve for the region
    parameters.  The histogram density is the §4.2 refinement. *)
-let qaq_params ~rng ~sample_fraction ~density ?cost ?batch
+let qaq_params ~rng ?pool ~sample_fraction ~density ?cost ?batch
     (s : Exp_config.setting) data =
   let sample = Selectivity.bernoulli_sample rng ~fraction:sample_fraction data in
   let estimate, f_y, f_m =
     if Array.length sample = 0 then (None, s.f_y, s.f_m)
     else begin
       let e =
-        Selectivity.estimate ~instance:Synthetic.instance
+        Selectivity.estimate ~instance:Synthetic.instance ?pool
           ~laxity_cap:s.max_laxity sample
       in
       (Some e, e.f_y, e.f_m)
@@ -59,12 +59,13 @@ let qaq_params ~rng ~sample_fraction ~density ?cost ?batch
   in
   (Solver.solve problem).params
 
-let trial_run ~rng ?(sample_fraction = 0.01) ?(density = `Uniform)
-    ?(cost = Cost_model.paper) ?(batch = 1) ?enforce ?obs
+let trial_with ?pool ~rng ~sample_fraction ~density ~cost ~batch ?enforce ?obs
     ~(setting : Exp_config.setting) ~data kind =
   let params =
     match kind with
-    | Qaq -> qaq_params ~rng ~sample_fraction ~density ~cost ~batch setting data
+    | Qaq ->
+        qaq_params ~rng ?pool ~sample_fraction ~density ~cost ~batch setting
+          data
     | Stingy -> Policy.stingy_params
     | Greedy -> Policy.greedy_params
     | Fixed p -> p
@@ -81,10 +82,9 @@ let trial_run ~rng ?(sample_fraction = 0.01) ?(density = `Uniform)
   in
   let requirements = Exp_config.requirements setting in
   let report =
-    Operator.run ~rng ?obs ~enforce ~instance:Synthetic.instance
+    Scan_pipeline.run ~rng ?pool ?obs ~enforce ~instance:Synthetic.instance
       ~probe:(Probe_driver.of_scalar ?obs ~batch_size:batch Synthetic.probe)
-      ~policy:(Policy.qaq params) ~requirements
-      (Operator.source_of_array data)
+      ~policy:(Policy.qaq params) ~requirements data
   in
   let answer_in_exact =
     List.fold_left
@@ -112,6 +112,17 @@ let trial_run ~rng ?(sample_fraction = 0.01) ?(density = `Uniform)
     params_used = Some params;
     met_requirements = Quality.meets report.guarantees requirements;
   }
+
+let trial_run ~rng ?(sample_fraction = 0.01) ?(density = `Uniform)
+    ?(cost = Cost_model.paper) ?(batch = 1) ?enforce ?obs ?domains ~setting
+    ~data kind =
+  let go ?pool () =
+    trial_with ?pool ~rng ~sample_fraction ~density ~cost ~batch ?enforce ?obs
+      ~setting ~data kind
+  in
+  match Domain_pool.resolve ?domains () with
+  | 1 -> go ()
+  | d -> Domain_pool.with_pool ~domains:d (fun pool -> go ~pool ())
 
 type aggregate = {
   repetitions : int;
@@ -143,20 +154,35 @@ let aggregate (s : Exp_config.setting) outcomes =
     worst_recall_violation = worst (fun o -> o.actual_recall) s.r_q;
   }
 
-let trial_series ~rng ?(repetitions = 5) ?sample_fraction ?density ?cost
-    ?batch ?obs (setting : Exp_config.setting) kinds =
+let trial_series ~rng ?(repetitions = 5) ?(sample_fraction = 0.01)
+    ?(density = `Uniform) ?(cost = Cost_model.paper) ?(batch = 1) ?obs ?domains
+    (setting : Exp_config.setting) kinds =
   let datasets =
     List.init repetitions (fun _ ->
         Synthetic.generate rng (Exp_config.workload setting))
   in
-  List.map
-    (fun kind ->
-      let outcomes =
-        List.map
-          (fun data ->
-            trial_run ~rng ?sample_fraction ?density ?cost ?batch ?obs
-              ~setting ~data kind)
-          datasets
-      in
-      (kind, aggregate setting outcomes))
-    kinds
+  (* One pool for the whole series, not one per trial: worker spawn cost
+     is paid once and the trials reuse the lanes. *)
+  let series ?pool () =
+    List.map
+      (fun kind ->
+        let outcomes =
+          List.map
+            (fun data ->
+              trial_with ?pool ~rng ~sample_fraction ~density ~cost ~batch ?obs
+                ~setting ~data kind)
+            datasets
+        in
+        (kind, aggregate setting outcomes))
+      kinds
+  in
+  match Domain_pool.resolve ?domains () with
+  | 1 -> series ()
+  | d -> Domain_pool.with_pool ~domains:d (fun pool -> series ~pool ())
+
+let parallel_configs ?domains configs =
+  match Domain_pool.resolve ?domains () with
+  | 1 -> List.map (fun f -> f ()) configs
+  | d ->
+      Domain_pool.with_pool ~domains:d (fun pool ->
+          Array.to_list (Domain_pool.run_all pool (Array.of_list configs)))

@@ -47,6 +47,7 @@ val trial_run :
   ?batch:int ->
   ?enforce:bool ->
   ?obs:Obs.t ->
+  ?domains:int ->
   setting:Exp_config.setting ->
   data:Synthetic.obj array ->
   policy_kind ->
@@ -60,7 +61,11 @@ val trial_run :
     [c_p + c_b/batch].  [enforce] overrides the Theorem 3.1 guard; by
     default it is on for every policy except [Greedy], which the paper's
     trials run raw (see {!Operator.run}).  [obs] instruments the
-    operator and the probe driver (see {!Operator.run}). *)
+    operator and the probe driver (see {!Operator.run}).  [domains]
+    (default: {!Domain_pool.resolve} over [QAQ_DOMAINS], else 1) fans
+    the pure per-object work out across a {!Domain_pool} for the
+    duration of the trial; the outcome is bit-for-bit identical for
+    every value (see [Scan_pipeline]). *)
 
 type aggregate = {
   repetitions : int;
@@ -84,8 +89,19 @@ val trial_series :
   ?cost:Cost_model.t ->
   ?batch:int ->
   ?obs:Obs.t ->
+  ?domains:int ->
   Exp_config.setting ->
   policy_kind list ->
   (policy_kind * aggregate) list
 (** [repetitions] (default 5) independent datasets; all policies run on
-    the same datasets for paired comparison. *)
+    the same datasets for paired comparison.  With [domains > 1] a
+    single {!Domain_pool} is shared by every trial in the series. *)
+
+val parallel_configs : ?domains:int -> (unit -> 'a) list -> 'a list
+(** Run independent experiment configurations — whole sweeps, not
+    single objects — on separate domains, returning their results in
+    input order.  Each thunk must be self-contained (own rng, no shared
+    mutable state, no printing): thunks run concurrently on different
+    domains.  With [domains] resolved to 1 ({!Domain_pool.resolve}) the
+    thunks run sequentially in order, so results never depend on the
+    lane count. *)

@@ -20,4 +20,8 @@ module Keys = struct
   let writes_precise = "qaq.writes_precise"
   let sample_reads = "engine.sample_reads"
   let replans = "adaptive.replans"
+  let parallel_chunks = "qaq.parallel.chunks"
+  let pruned_pages = "qaq.parallel.pruned_pages"
+  let parallel_domains = "qaq.parallel.domains"
+  let domain_busy i = Printf.sprintf "qaq.parallel.domain%d.busy_seconds" i
 end

@@ -50,4 +50,19 @@ module Keys : sig
   (** The planning sample alone (a subset of {!reads}). *)
 
   val replans : string
+
+  val parallel_chunks : string
+  (** Blocks dispatched to the domain pool by the parallel
+      classification stage (0 on a sequential run). *)
+
+  val pruned_pages : string
+  (** Whole pages skipped by a zone-map pruning cursor — work that was
+      {e not} done, hence never metered as reads. *)
+
+  val parallel_domains : string
+  (** Gauge: the lane count of the pool a run executed on. *)
+
+  val domain_busy : int -> string
+  (** [domain_busy i] names the gauge holding lane [i]'s busy seconds
+      (lane 0 is the caller's domain). *)
 end

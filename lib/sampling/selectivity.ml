@@ -7,12 +7,26 @@ type estimate = {
   maybe_plane : Histogram.Hist2d.t;
 }
 
-let estimate ~(instance : 'o Operator.instance) ?laxity_cap ?(laxity_bins = 20)
-    ?(success_bins = 20) sample =
+let estimate ~(instance : 'o Operator.instance) ?pool ?laxity_cap
+    ?(laxity_bins = 20) ?(success_bins = 20) sample =
   let n = Array.length sample in
   if n = 0 then invalid_arg "Selectivity.estimate: empty sample";
-  let verdicts = Array.map instance.classify sample in
-  let laxities = Array.map instance.laxity sample in
+  (* Per-object evaluation is pure, so it may fan out across domains; the
+     histogram accumulation below stays sequential in sample order because
+     float summation is not associative — this keeps the pooled estimate
+     bit-for-bit equal to the sequential one. *)
+  let triple o =
+    let v = instance.classify o in
+    let l = instance.laxity o in
+    let s = match v with Tvl.Maybe -> instance.success o | _ -> 0.0 in
+    (v, l, s)
+  in
+  let triples =
+    match pool with
+    | Some p when Domain_pool.domains p > 1 -> Domain_pool.parallel_map p triple sample
+    | _ -> Array.map triple sample
+  in
+  let laxities = Array.map (fun (_, l, _) -> l) triples in
   let cap =
     match laxity_cap with
     | Some l ->
@@ -29,18 +43,17 @@ let estimate ~(instance : 'o Operator.instance) ?laxity_cap ?(laxity_bins = 20)
       ~y_hi:cap ~y_bins:laxity_bins
   in
   let yes = ref 0 and maybe = ref 0 in
-  Array.iteri
-    (fun i o ->
-      match verdicts.(i) with
+  Array.iter
+    (fun (v, l, s) ->
+      match v with
       | Tvl.Yes ->
           incr yes;
-          Histogram.Hist1d.add yes_laxity laxities.(i)
+          Histogram.Hist1d.add yes_laxity l
       | Tvl.Maybe ->
           incr maybe;
-          Histogram.Hist2d.add maybe_plane ~x:(instance.success o)
-            ~y:laxities.(i)
+          Histogram.Hist2d.add maybe_plane ~x:s ~y:l
       | Tvl.No -> ())
-    sample;
+    triples;
   let fn = float_of_int n in
   {
     f_y = float_of_int !yes /. fn;

@@ -20,6 +20,7 @@ type estimate = {
 
 val estimate :
   instance:'o Operator.instance ->
+  ?pool:Domain_pool.t ->
   ?laxity_cap:float ->
   ?laxity_bins:int ->
   ?success_bins:int ->
@@ -29,6 +30,11 @@ val estimate :
     the estimate.  [laxity_cap] fixes L when it is known a priori (the
     paper's setting); by default the sample maximum is used.  Histogram
     resolutions default to 20 bins per axis.
+
+    [pool] fans the per-object classify/laxity/success evaluation out
+    across domains; the histogram accumulation itself stays sequential in
+    sample order (float summation is order-sensitive), so the result is
+    bit-for-bit identical with and without a pool.
 
     @raise Invalid_argument on an empty sample. *)
 

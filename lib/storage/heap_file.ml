@@ -103,6 +103,7 @@ module Cursor = struct
   let consumed c = c.consumed
   let remaining c = c.deliverable - c.consumed
   let skipped c = c.skipped_total
+  let pages_skipped c = page_count c.file - Array.length c.pages_to_visit
 
   let io c = { pages_fetched = c.pages_fetched; objects_delivered = c.consumed }
 end

@@ -75,5 +75,9 @@ module Cursor : sig
   val skipped : 'a t -> int
   (** Objects pruned by [skip_page] so far. *)
 
+  val pages_skipped : 'a t -> int
+  (** Whole pages [skip_page] pruned — pages this cursor will never
+      fetch. *)
+
   val io : 'a t -> io_stats
 end

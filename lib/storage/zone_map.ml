@@ -30,3 +30,20 @@ let pruned_pages t pred =
     if prunable t pred p then incr n
   done;
   !n
+
+let open_cursor ?obs ?pool t pred file =
+  if page_count t <> Heap_file.page_count file then
+    invalid_arg "Zone_map.open_cursor: zone map does not match the file";
+  let skip_page = prunable t pred in
+  let cursor =
+    match pool with
+    | Some bp -> Heap_file.Cursor.open_pooled ?obs ~skip_page file ~pool:bp
+    | None -> Heap_file.Cursor.open_filtered ?obs file ~skip_page
+  in
+  (match obs with
+  | Some o ->
+      Metrics.add
+        (Obs.counter o Obs.Keys.pruned_pages)
+        (Heap_file.Cursor.pages_skipped cursor)
+  | None -> ());
+  cursor

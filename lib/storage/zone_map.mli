@@ -24,3 +24,23 @@ val prunable : t -> Predicate.t -> int -> bool
 
 val pruned_pages : t -> Predicate.t -> int
 (** Number of pages {!prunable} would skip. *)
+
+val open_cursor :
+  ?obs:Obs.t ->
+  ?pool:'a Buffer_pool.t ->
+  t ->
+  Predicate.t ->
+  'a Heap_file.t ->
+  'a Heap_file.Cursor.t
+(** The pruning-aware scan path: a cursor over [file] that skips every
+    page {!prunable} classifies as whole-NO, without fetching it.
+    Because skipped objects are definite NOs, they never enter
+    [|M_ns|]: the cursor's [remaining] (and hence the operator's
+    guarantee accounting) covers surviving pages only, and pruned pages
+    are never charged as reads — a scan to exhaustion reads exactly
+    [(pages - pruned_pages) * objects_per_page] objects.  [pool] routes
+    page fetches through a buffer pool ({!Heap_file.Cursor.open_pooled});
+    [obs] adds the pruned page count to [qaq.parallel.pruned_pages] (on
+    top of the cursor's own [heap_file.pages_fetched]).
+    @raise Invalid_argument if the zone map's page count differs from
+    the file's. *)

@@ -1,0 +1,169 @@
+type t = {
+  domains : int;  (* lanes, including the caller's lane 0 *)
+  mutex : Mutex.t;
+  work : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  busy : float array;  (* per-lane task seconds; written under [mutex] *)
+  mutable closing : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let now = Unix.gettimeofday
+
+let record_busy t lane dt =
+  Mutex.lock t.mutex;
+  t.busy.(lane) <- t.busy.(lane) +. dt;
+  Mutex.unlock t.mutex
+
+(* Tasks are always the chunk closures built by [parallel_map], which
+   capture their own exceptions — a worker never unwinds. *)
+let rec worker_loop t lane =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closing do
+    Condition.wait t.work t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex
+  else begin
+    let task = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    let t0 = now () in
+    task ();
+    record_busy t lane (now () -. t0);
+    worker_loop t lane
+  end
+
+let create ?domains () =
+  let domains =
+    match domains with Some d -> d | None -> Domain.recommended_domain_count ()
+  in
+  if domains < 1 then invalid_arg "Domain_pool.create: domains < 1";
+  let t =
+    {
+      domains;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      busy = Array.make domains 0.0;
+      closing = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (domains - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t (i + 1)));
+  t
+
+let domains t = t.domains
+
+let busy_seconds t =
+  Mutex.lock t.mutex;
+  let b = Array.copy t.busy in
+  Mutex.unlock t.mutex;
+  b
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.closing then Mutex.unlock t.mutex
+  else begin
+    t.closing <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Aim for several chunks per lane so a slow chunk cannot leave the
+   other lanes idle for long, without paying queue traffic per element. *)
+let default_chunk t n = Stdlib.max 1 ((n + (8 * t.domains) - 1) / (8 * t.domains))
+
+let parallel_map (type b) t ?chunk_size f arr =
+  let n = Array.length arr in
+  let chunk =
+    match chunk_size with
+    | Some c ->
+        if c < 1 then invalid_arg "Domain_pool.parallel_map: chunk_size < 1"
+        else c
+    | None -> default_chunk t n
+  in
+  if n = 0 then [||]
+  else if t.domains = 1 || n <= chunk then Array.map f arr
+  else begin
+    let nchunks = (n + chunk - 1) / chunk in
+    (* One result array per chunk, merged by chunk index at the end: the
+       deterministic merge that makes the map equal to [Array.map]
+       regardless of which lane ran which chunk.  (Per-chunk arrays also
+       sidestep writing a shared ['b array] before knowing a ['b].) *)
+    let parts : b array option array = Array.make nchunks None in
+    let first_error = Atomic.make None in
+    let remaining = Atomic.make nchunks in
+    let run_chunk c () =
+      (try
+         let lo = c * chunk in
+         let len = Stdlib.min chunk (n - lo) in
+         parts.(c) <- Some (Array.init len (fun k -> f arr.(lo + k)))
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         ignore (Atomic.compare_and_set first_error None (Some (e, bt))));
+      (* The decrement publishes the part write: the caller reads
+         [parts] only after observing [remaining = 0]. *)
+      ignore (Atomic.fetch_and_add remaining (-1))
+    in
+    Mutex.lock t.mutex;
+    for c = 0 to nchunks - 1 do
+      Queue.add (run_chunk c) t.queue
+    done;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    (* Lane 0: the caller works the queue rather than blocking on it. *)
+    let rec help () =
+      Mutex.lock t.mutex;
+      let task =
+        if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+      in
+      Mutex.unlock t.mutex;
+      match task with
+      | Some task ->
+          let t0 = now () in
+          task ();
+          record_busy t 0 (now () -. t0);
+          help ()
+      | None -> ()
+    in
+    help ();
+    while Atomic.get remaining > 0 do
+      Domain.cpu_relax ()
+    done;
+    match Atomic.get first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.concat
+          (Array.to_list
+             (Array.map
+                (function Some p -> p | None -> assert false)
+                parts))
+  end
+
+let run_all t thunks = parallel_map t ~chunk_size:1 (fun g -> g ()) thunks
+
+let env_var = "QAQ_DOMAINS"
+
+let resolve ?domains () =
+  match domains with
+  | Some d ->
+      if d < 1 then invalid_arg "Domain_pool.resolve: domains < 1";
+      d
+  | None -> (
+      match Sys.getenv_opt env_var with
+      | None | Some "" -> 1
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some d when d >= 1 -> d
+          | Some _ | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Domain_pool.resolve: %s must be a positive integer (got %S)"
+                   env_var s)))

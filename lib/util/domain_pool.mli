@@ -1,0 +1,76 @@
+(** A fixed pool of worker domains for deterministic data parallelism.
+
+    OCaml 5 exposes hardware parallelism through domains, but spawning a
+    domain is far too expensive to do per chunk of work.  A [Domain_pool]
+    spawns its workers once and feeds them chunk tasks through a shared
+    queue; the caller's own domain is lane 0 and works the queue
+    alongside the workers instead of blocking, so a pool of [domains = d]
+    really computes on [d] lanes with [d - 1] spawned domains.
+
+    Everything here is deterministic from the caller's point of view:
+    {!parallel_map} splits the input into contiguous chunks, each chunk
+    is mapped in index order, and the per-chunk results are concatenated
+    in chunk order — the result equals [Array.map f arr] whatever the
+    scheduling, which is what lets the QaQ engine keep the paper's
+    sequential semantics while classifying on every core (see
+    [Scan_pipeline]).
+
+    A pool is owned by the domain that created it: submitting work from
+    several domains at once is not supported.  Worker domains idle on a
+    condition variable between calls and cost nothing while the pool is
+    quiescent. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] workers.  [domains]
+    defaults to {!Domain.recommended_domain_count}[ ()].  With
+    [domains = 1] no domain is spawned and every operation degrades to
+    its sequential equivalent — the graceful fallback for single-core
+    hosts.
+    @raise Invalid_argument if [domains < 1]. *)
+
+val domains : t -> int
+(** The lane count [d] (workers plus the caller's lane). *)
+
+val parallel_map : t -> ?chunk_size:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map t f arr] is [Array.map f arr], computed on all lanes.
+    The input is cut into contiguous chunks of [chunk_size] (default:
+    about 8 chunks per lane); chunks are mapped concurrently and merged
+    by chunk index, so the result is independent of scheduling as long
+    as [f] is pure.  [f] must not touch the pool itself.
+
+    If any application of [f] raises, the first exception (in completion
+    order) is re-raised in the caller with its backtrace once every
+    chunk has settled; there is no cancellation of in-flight chunks.
+    @raise Invalid_argument if [chunk_size < 1]. *)
+
+val run_all : t -> (unit -> 'a) array -> 'a array
+(** [run_all t thunks] evaluates every thunk, one task each, and returns
+    their results in input order — the coarse-grained face of
+    {!parallel_map} for running independent configurations (e.g. whole
+    experiment sweeps) on separate domains. *)
+
+val busy_seconds : t -> float array
+(** Per-lane wall-clock seconds spent running tasks since {!create};
+    index 0 is the caller's lane.  The length equals {!domains}. *)
+
+val shutdown : t -> unit
+(** Drain nothing (no tasks can be pending between calls), stop the
+    workers and join their domains.  Idempotent; the pool must not be
+    used afterwards. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] over a fresh pool and shuts it down
+    on exit, normal or exceptional. *)
+
+val env_var : string
+(** ["QAQ_DOMAINS"] — the environment variable {!resolve} consults. *)
+
+val resolve : ?domains:int -> unit -> int
+(** The lane count an entry point should use: the explicit [domains]
+    argument if given, else the {!env_var} environment variable, else 1.
+    The env fallback lets a whole test suite or CI job exercise the
+    parallel path without touching call sites.
+    @raise Invalid_argument if [domains < 1] or the variable is set to
+    anything but a positive integer. *)

@@ -251,6 +251,82 @@ let test_pooled_cursor () =
   in
   checki "first half only" 50 (List.length partial)
 
+(* Regression for the pruning-aware scan path: the operator over a
+   zone-map cursor returns the same answer as over a full scan, and is
+   charged exactly (pages - pruned_pages) * page_size reads.  Pruned
+   objects are all definite NOs, which never consume policy randomness,
+   so the surviving objects see an identical rng stream. *)
+let test_pruned_scan_regression () =
+  let page_size = 64 in
+  let n = 4096 in
+  let records =
+    Interval_data.uniform_intervals (Rng.create 77) ~n
+      ~value_range:(Interval.make 0.0 100.0) ~max_width:6.0
+  in
+  (* Cluster values by page so low pages become whole-NO for a high
+     threshold — the layout zone maps exist for. *)
+  Array.sort
+    (fun (a : Interval_data.record) b ->
+      compare
+        (Interval.midpoint (Uncertain.support a.belief), a.id)
+        (Interval.midpoint (Uncertain.support b.belief), b.id))
+    records;
+  let file = Heap_file.create ~page_size records in
+  let zm =
+    Zone_map.build file ~support:(fun (r : Interval_data.record) ->
+        Uncertain.support r.belief)
+  in
+  let pred = Predicate.ge 70.0 in
+  let pruned = Zone_map.pruned_pages zm pred in
+  checkb "some pages prunable" true (pruned > 0);
+  checkb "some pages survive" true (pruned < Heap_file.page_count file);
+  (* recall = 1 forces consumption of every deliverable object, so the
+     read charge is exactly the deliverable count. *)
+  let requirements =
+    Quality.requirements ~precision:0.0 ~recall:1.0 ~laxity:200.0
+  in
+  let scan source =
+    let meter = Cost_meter.create () in
+    let report =
+      Operator.run ~rng:(Rng.create 5) ~meter
+        ~instance:(Interval_data.instance pred)
+        ~probe:(Probe_driver.scalar Interval_data.probe)
+        ~policy:(Policy.qaq Policy.stingy_params) ~requirements source
+    in
+    (report, Cost_meter.counts meter)
+  in
+  let full_report, full_counts =
+    scan (Operator.source_of_cursor (Heap_file.Cursor.open_ file))
+  in
+  let obs = Obs.create () in
+  let cursor = Zone_map.open_cursor ~obs zm pred file in
+  checki "cursor skips what the map prunes" pruned
+    (Heap_file.Cursor.pages_skipped cursor);
+  let pruned_report, pruned_counts =
+    scan (Operator.source_of_cursor cursor)
+  in
+  let ids (r : Interval_data.record Operator.report) =
+    List.map
+      (fun (e : Interval_data.record Operator.emitted) ->
+        (e.obj.id, e.precise))
+      r.answer
+  in
+  checkb "same answer set" true (ids full_report = ids pruned_report);
+  checkb "both meet requirements" true
+    (Quality.meets full_report.guarantees requirements
+    && Quality.meets pruned_report.guarantees requirements);
+  checki "full scan reads everything" n full_counts.reads;
+  checki "pruned pages never charged as reads"
+    (n - (pruned * page_size))
+    pruned_counts.reads;
+  checki "pruned_pages metric recorded" pruned
+    (Metrics.count_of (Obs.snapshot obs) Obs.Keys.pruned_pages);
+  Alcotest.check_raises "mismatched zone map rejected"
+    (Invalid_argument "Zone_map.open_cursor: zone map does not match the file")
+    (fun () ->
+      let other = Heap_file.create ~page_size (Array.sub records 0 128) in
+      ignore (Zone_map.open_cursor zm pred other))
+
 let suite =
   [
     ("cost model", `Quick, test_cost_model);
@@ -265,4 +341,5 @@ let suite =
     ("pooled cursor", `Quick, test_pooled_cursor);
     ("zone map pruning", `Quick, test_zone_map);
     QCheck_alcotest.to_alcotest prop_zone_map_sound;
+    ("pruned scan regression", `Quick, test_pruned_scan_regression);
   ]
