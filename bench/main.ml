@@ -15,6 +15,13 @@
      dune exec bench/main.exe -- scaling [F]  # multicore scan sweep over
                                               # domains 1/2/4/8, JSON to F
                                               # (default BENCH_scaling.json)
+     dune exec bench/main.exe -- profile [F] [T]
+                                              # profiled engine runs with
+                                              # quality audit, JSON to F
+                                              # (default BENCH_profile.json),
+                                              # sample Chrome trace to T
+                                              # (default BENCH_trace.json);
+                                              # exits 1 on audit failure
 
    Setting QAQ_DOMAINS=N runs the trial tables (and any engine work that
    does not pin a domain count) over an N-lane pool; results are
@@ -590,6 +597,44 @@ let ablation_batching () =
      else "NO — check the batch accounting")
 
 (* ------------------------------------------------------------------ *)
+(* Shared sweep scaffolding for the instrumented modes                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The instrumented modes — metrics, profile, scaling — sweep fixed
+   configurations over reproducible workloads and write one JSON
+   document apiece.  The configurations, the reference workload, its
+   requirements and the JSON envelope live here so the three modes (and
+   CI, which diffs their outputs across commits) agree on all of them. *)
+
+let standard_configs =
+  [ ("B1", 1, false); ("B4", 4, false); ("B16", 16, false);
+    ("B4-adaptive", 4, true) ]
+
+let standard_workload () =
+  Synthetic.generate (Rng.create 606) (Synthetic.config ~total:2000 ())
+
+let standard_requirements =
+  Quality.requirements ~precision:0.9 ~recall:0.6 ~laxity:50.0
+
+let engine_seed = 607
+
+let sweep_standard_configs f =
+  List.map (fun (label, batch, adaptive) -> f ~label ~batch ~adaptive)
+    standard_configs
+
+(* One envelope for every instrumented mode's output:
+   { "bench": ..., <fields>, "runs": [ <rows> ] }. *)
+let write_bench_json ~path ~bench ~fields ~rows =
+  let oc = open_out path in
+  output_string oc
+    (Printf.sprintf "{\n  \"bench\": %S,\n%s  \"runs\": [\n%s\n  ]\n}\n" bench
+       (String.concat ""
+          (List.map (fun (k, v) -> Printf.sprintf "  %S: %s,\n" k v) fields))
+       (String.concat ",\n" rows));
+  close_out oc;
+  Printf.printf "%s results written to %s\n" bench path
+
+(* ------------------------------------------------------------------ *)
 (* Metrics: instrumented engine runs, per-config JSON dump             *)
 (* ------------------------------------------------------------------ *)
 
@@ -599,23 +644,17 @@ let metrics_dump path =
     "Small engine configurations run with the observability capability\n\
      attached; each config's metrics registry is dumped as JSON and the\n\
      qaq.* counters are reconciled against the run's cost meter.";
-  let data =
-    Synthetic.generate (Rng.create 606) (Synthetic.config ~total:2000 ())
-  in
-  let requirements =
-    Quality.requirements ~precision:0.9 ~recall:0.6 ~laxity:50.0
-  in
+  let data = standard_workload () in
   let ok = ref true in
-  let entries =
-    List.map
-      (fun (label, batch, adaptive) ->
+  let rows =
+    sweep_standard_configs (fun ~label ~batch ~adaptive ->
         let obs = Obs.create () in
         let result =
-          Engine.execute ~rng:(Rng.create 607) ~adaptive ~max_laxity:100.0
-            ~obs ~instance:Synthetic.instance
+          Engine.execute ~rng:(Rng.create engine_seed) ~adaptive
+            ~max_laxity:100.0 ~obs ~instance:Synthetic.instance
             ~probe:
               (Probe_driver.of_scalar ~obs ~batch_size:batch Synthetic.probe)
-            ~requirements data
+            ~requirements:standard_requirements data
         in
         let snapshot = Obs.snapshot obs in
         (match Cost_meter.reconcile snapshot result.Engine.counts with
@@ -626,21 +665,85 @@ let metrics_dump path =
         Printf.printf "%-14s W/|T| = %6.2f  reads %4d  probes %3d  batches %3d\n"
           label result.Engine.normalized_cost result.Engine.counts.reads
           result.Engine.counts.probes result.Engine.counts.batches;
-        Printf.sprintf "  %S: %s" label (Metrics.to_json snapshot))
-      [
-        ("B1", 1, false);
-        ("B4", 4, false);
-        ("B16", 16, false);
-        ("B4-adaptive", 4, true);
-      ]
+        Printf.sprintf "    { \"label\": %S, \"metrics\": %s }" label
+          (String.trim (Metrics.to_json snapshot)))
   in
-  let oc = open_out path in
-  output_string oc ("{\n" ^ String.concat ",\n" entries ^ "\n}\n");
-  close_out oc;
+  write_bench_json ~path ~bench:"instrumented-metrics"
+    ~fields:[ ("reconciled", string_of_bool !ok) ]
+    ~rows;
   Printf.printf "metrics reconcile with the cost meter: %s\n"
     (if !ok then "yes" else "NO");
-  Printf.printf "metrics written to %s\n" path;
   if not !ok then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Profile: per-query profiler sweep with quality audit                *)
+(* ------------------------------------------------------------------ *)
+
+(* The profiler's quality audit is this mode's pass/fail: each standard
+   config runs under [Engine.execute ?profile] with the synthetic
+   ground-truth oracle, and any config whose achieved precision/recall
+   misses the requested bounds — or whose cost meter fails to reconcile
+   with the qaq.* counters — fails the whole mode.  CI runs it as the
+   audit smoke test. *)
+let profile_bench path ~trace =
+  section "Profile: per-query profiler with quality audit";
+  print_endline
+    "Each standard config runs under the profiler with a ground-truth\n\
+     oracle; quantile summaries land in the JSON dump and any audit or\n\
+     reconciliation failure fails the mode.";
+  let data = standard_workload () in
+  let all_passed = ref true in
+  let rows =
+    sweep_standard_configs (fun ~label ~batch ~adaptive ->
+        let obs = Obs.create () in
+        let result =
+          Engine.execute ~rng:(Rng.create engine_seed) ~adaptive
+            ~max_laxity:100.0 ~obs
+            ~profile:(Engine.profiling ~label ~oracle:Synthetic.in_exact ())
+            ~instance:Synthetic.instance
+            ~probe:
+              (Probe_driver.of_scalar ~obs ~batch_size:batch Synthetic.probe)
+            ~requirements:standard_requirements data
+        in
+        let profile =
+          match result.Engine.profile with
+          | Some p -> p
+          | None -> failwith "profile_bench: engine returned no profile"
+        in
+        if not (Profile.passed profile) then begin
+          all_passed := false;
+          Printf.printf "AUDIT FAILED (%s):\n" label;
+          Profile.print profile
+        end
+        else
+          Printf.printf
+            "%-14s audit ok  W/|T| = %6.2f  reads %4d  probes %3d  answer %4d\n"
+            label result.Engine.normalized_cost result.Engine.counts.reads
+            result.Engine.counts.probes result.Engine.report.answer_size;
+        Printf.sprintf "    %s" (String.trim (Profile.to_json profile)))
+  in
+  write_bench_json ~path ~bench:"profile-quality-audit"
+    ~fields:[ ("passed", string_of_bool !all_passed) ]
+    ~rows;
+  (* Sample Chrome trace: the B4 config once more on a two-domain pool,
+     with the recorder attached — one timeline lane per worker. *)
+  let recorder = Chrome_trace.create () in
+  let domains = 2 in
+  Chrome_trace.declare_lanes recorder domains;
+  let obs = Obs.create ~trace:(Chrome_trace.sink recorder) () in
+  ignore
+    (Engine.execute ~rng:(Rng.create engine_seed) ~domains ~max_laxity:100.0
+       ~obs
+       ~on_task:(Chrome_trace.on_task recorder)
+       ~instance:Synthetic.instance
+       ~probe:(Probe_driver.of_scalar ~obs ~batch_size:4 Synthetic.probe)
+       ~requirements:standard_requirements data);
+  Chrome_trace.write recorder trace;
+  Printf.printf "sample chrome trace (%d events, %d lanes) written to %s\n"
+    (Chrome_trace.events recorder) domains trace;
+  Printf.printf "profile quality audits: %s\n"
+    (if !all_passed then "all passed" else "FAILED");
+  if not !all_passed then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Scaling: the multicore scan pipeline over domains 1/2/4/8           *)
@@ -710,27 +813,22 @@ let scaling_bench path =
           r.counts.probes)
       [ 1; 2; 4; 8 ]
   in
-  let json =
-    Printf.sprintf
-      "{\n\
-      \  \"bench\": \"scan-pipeline-scaling\",\n\
-      \  \"workload\": { \"records\": %d, \"model\": \"gaussian_beliefs\", \
-       \"predicate\": \"value >= 60\", \"precision\": 0.9, \"recall\": 0.9, \
-       \"laxity\": 6.0 },\n\
-      \  \"recommended_domain_count\": %d,\n\
-      \  \"deterministic\": %b,\n\
-      \  \"runs\": [\n%s\n  ]\n\
-       }\n"
-      n
-      (Domain.recommended_domain_count ())
-      !deterministic (String.concat ",\n" rows)
-  in
-  let oc = open_out path in
-  output_string oc json;
-  close_out oc;
+  write_bench_json ~path ~bench:"scan-pipeline-scaling"
+    ~fields:
+      [
+        ( "workload",
+          Printf.sprintf
+            "{ \"records\": %d, \"model\": \"gaussian_beliefs\", \
+             \"predicate\": \"value >= 60\", \"precision\": 0.9, \
+             \"recall\": 0.9, \"laxity\": 6.0 }"
+            n );
+        ( "recommended_domain_count",
+          string_of_int (Domain.recommended_domain_count ()) );
+        ("deterministic", string_of_bool !deterministic);
+      ]
+    ~rows;
   Printf.printf "identical results across domain counts: %s\n"
     (if !deterministic then "yes" else "NO — determinism broken");
-  Printf.printf "scaling results written to %s\n" path;
   if not !deterministic then exit 1
 
 (* ------------------------------------------------------------------ *)
@@ -886,6 +984,13 @@ let () =
       scaling_bench
         (if Array.length Sys.argv > 2 then Sys.argv.(2)
          else "BENCH_scaling.json")
+  | "profile" ->
+      profile_bench
+        (if Array.length Sys.argv > 2 then Sys.argv.(2)
+         else "BENCH_profile.json")
+        ~trace:
+          (if Array.length Sys.argv > 3 then Sys.argv.(3)
+           else "BENCH_trace.json")
   | "all" ->
       tables ();
       ablations ();
@@ -893,6 +998,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown mode %S (expected \
-         tables|ablations|batch|micro|metrics|scaling|all)\n"
+         tables|ablations|batch|micro|metrics|scaling|profile|all)\n"
         other;
       exit 2

@@ -138,11 +138,113 @@ let metrics_file =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let profile_file =
+  let doc =
+    "Run one profiled query through the engine (single dataset; repetitions \
+     are ignored), print the per-run profile — cost counts reconciled \
+     against the qaq.* counters, phase timers, histogram quantiles, and a \
+     quality audit of achieved precision/recall against the requested \
+     bounds using the dataset's ground truth — and write it as JSON to \
+     $(docv).  Exits non-zero if the audit fails.  Guarantee enforcement \
+     stays on regardless of --policy."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
+let chrome_trace_file =
+  let doc =
+    "Record the run as a Chrome trace (catapult JSON) in $(docv); open it \
+     in chrome://tracing or Perfetto.  With --domains N the trace shows one \
+     timeline lane per pool lane.  Runs the same profiled engine path as \
+     --profile."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE" ~doc)
+
+let profiled_trial ~rng ~(s : Exp_config.setting) ~cost ~batch ~policy ~domains
+    ~trace ~metrics_file ~profile_file ~chrome_file data =
+  let recorder = Option.map (fun _ -> Chrome_trace.create ()) chrome_file in
+  let sink =
+    let fmt =
+      if trace then Trace.formatter Format.err_formatter else Trace.null
+    in
+    match recorder with
+    | Some r -> Trace.tee (Chrome_trace.sink r) fmt
+    | None -> fmt
+  in
+  let obs = Obs.create ~trace:sink () in
+  let lanes = Domain_pool.resolve ?domains () in
+  Option.iter (fun r -> Chrome_trace.declare_lanes r lanes) recorder;
+  let on_task =
+    Option.map
+      (fun r ~lane ~start ~finish -> Chrome_trace.on_task r ~lane ~start ~finish)
+      recorder
+  in
+  let planning =
+    match policy with
+    | Exp_runner.Qaq -> Engine.default_planning
+    | Exp_runner.Stingy -> Engine.Fixed Policy.stingy_params
+    | Exp_runner.Greedy -> Engine.Fixed Policy.greedy_params
+    | Exp_runner.Fixed params -> Engine.Fixed params
+  in
+  let probe = Probe_driver.of_scalar ~obs ~batch_size:batch Synthetic.probe in
+  let result =
+    Engine.execute ~rng ~planning ~cost ~batch ~max_laxity:s.max_laxity
+      ?domains ~obs ?on_task
+      ~profile:
+        (Engine.profiling
+           ~label:(Exp_runner.policy_name policy)
+           ~oracle:Synthetic.in_exact ())
+      ~instance:Synthetic.instance ~probe
+      ~requirements:(Exp_config.requirements s)
+      data
+  in
+  Format.printf "%s (profiled): W/|T| = %.3f (%d probes in %d batches)@.@."
+    (Exp_runner.policy_name policy)
+    result.Engine.normalized_cost result.counts.Cost_meter.probes
+    result.counts.Cost_meter.batches;
+  let profile = Option.get result.Engine.profile in
+  Profile.print profile;
+  (match profile_file with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Profile.to_json profile);
+      close_out oc;
+      Format.printf "profile written to %s@." path
+  | None -> ());
+  (match (recorder, chrome_file) with
+  | Some r, Some path ->
+      Chrome_trace.write r path;
+      Format.printf "chrome trace (%d events) written to %s@." (Chrome_trace.events r) path
+  | _ -> ());
+  (match metrics_file with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Metrics.to_json (Obs.snapshot obs));
+      close_out oc;
+      Format.printf "metrics written to %s@." path
+  | None -> ());
+  if not (Profile.passed profile) then begin
+    Format.eprintf "profile audit FAILED@.";
+    exit 1
+  end
+
 let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
-    data_file batch c_b domains trace metrics_file =
+    data_file batch c_b domains trace metrics_file profile_file chrome_file =
   let s = setting total f_y f_m max_laxity p_q r_q l_q in
   let cost = cost_model c_b in
   let rng = Rng.create seed in
+  if profile_file <> None || chrome_file <> None then begin
+    let data, s =
+      match data_file with
+      | Some path ->
+          let data = Dataset_io.read_synthetic path in
+          (data, { s with total = Array.length data })
+      | None -> (Synthetic.generate rng (Exp_config.workload s), s)
+    in
+    profiled_trial ~rng ~s ~cost ~batch ~policy ~domains ~trace ~metrics_file
+      ~profile_file ~chrome_file data
+  end
+  else
   let obs =
     if trace || metrics_file <> None then
       let sink =
@@ -199,7 +301,7 @@ let trial_cmd =
     Term.(
       const trial_run $ seed $ total $ f_y $ f_m $ max_laxity $ p_q $ r_q
       $ l_q $ policy $ repetitions $ data_file $ batch $ c_b $ domains
-      $ trace_flag $ metrics_file)
+      $ trace_flag $ metrics_file $ profile_file $ chrome_trace_file)
 
 (* ---- dataset ------------------------------------------------------ *)
 

@@ -77,6 +77,23 @@ let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true) ?on_progress
           (fun () -> Metrics.incr wi),
           (fun () -> Metrics.incr wp) )
   in
+  (* The MAYBE set is what the optimizer gambles on; record the laxity
+     and success-probability distributions it actually faced.  Guarded
+     observations so a pathological instance (negative or non-finite
+     laxity) degrades to "not recorded" rather than turning a profiled
+     run into a crashed one. *)
+  let note_maybe =
+    match obs with
+    | None -> fun ~laxity:_ ~success:_ -> ()
+    | Some o ->
+        let hl = Obs.histogram o Obs.Keys.maybe_laxity
+        and hs = Obs.histogram o Obs.Keys.maybe_success in
+        fun ~laxity ~success ->
+          if Float.is_finite laxity && laxity >= 0.0 then
+            Metrics.observe hl laxity;
+          if Float.is_finite success && success >= 0.0 then
+            Metrics.observe hs success
+  in
   let tracing = match obs with Some o -> Obs.tracing o | None -> false in
   let trace_event e = match obs with Some o -> Obs.event o e | None -> () in
   let answer = ref [] in
@@ -234,6 +251,7 @@ let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true) ?on_progress
           | Tvl.Maybe as verdict -> (
               let laxity = instance.laxity o in
               let success = instance.success o in
+              note_maybe ~laxity ~success;
               let preference =
                 Policy.preference policy ~rng ~requirements ~counters ~verdict
                   ~laxity ~success

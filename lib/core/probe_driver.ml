@@ -2,6 +2,7 @@ type instruments = {
   i_obs : Obs.t;
   m_probes : Metrics.counter;
   m_batches : Metrics.counter;
+  h_flush : Metrics.histogram;
 }
 
 type 'o t = {
@@ -24,6 +25,7 @@ let create ?obs ?(batch_size = 1) resolve_batch =
           i_obs = o;
           m_probes = Obs.counter o "probe_driver.probes";
           m_batches = Obs.counter o "probe_driver.batches";
+          h_flush = Obs.histogram o "probe_driver.flush_seconds";
         })
       obs
   in
@@ -58,8 +60,14 @@ let flush t =
           match t.ins with
           | None -> t.resolve_batch objects
           | Some i ->
-              Obs.span i.i_obs "probe-flush" (fun () ->
-                  t.resolve_batch objects))
+              let t0 = Obs.now i.i_obs in
+              let r =
+                Obs.span i.i_obs "probe-flush" (fun () ->
+                    t.resolve_batch objects)
+              in
+              Metrics.observe i.h_flush
+                (Float.max 0.0 (Obs.now i.i_obs -. t0));
+              r)
     in
     if Array.length precise <> Array.length objects then
       invalid_arg "Probe_driver.flush: resolver changed the batch length";

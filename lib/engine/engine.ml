@@ -21,7 +21,12 @@ type 'o result = {
   plan : plan option;
   counts : Cost_meter.counts;
   normalized_cost : float;
+  profile : Profile.t option;
 }
+
+type 'o profiling = { prof_label : string; oracle : ('o -> bool) option }
+
+let profiling ?(label = "run") ?oracle () = { prof_label = label; oracle }
 
 let domains_env = Domain_pool.env_var
 
@@ -71,7 +76,8 @@ let make_plan ~rng ~meter ?obs ?pool ~cost ~batch ~cap ~instance ~requirements
   { params = evaluation.params; estimate; evaluation; sample_size = n }
 
 let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
-    ?emit ?collect ~instance ~(probe : _ Probe_driver.t) ~requirements data =
+    ?emit ?collect ?profile ~instance ~(probe : _ Probe_driver.t) ~requirements
+    data =
   (* The planner prices probes for the batch size the evaluation will
      actually use — the driver's, unless the caller overrides it (e.g. a
      shared driver whose configured batch size a sweep wants to model
@@ -86,6 +92,13 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
      the same parameters differ in cost by exactly the sample's reads. *)
   let sample_rng = Rng.split rng in
   let meter = Cost_meter.create () in
+  (* The profile diffs the metric registry across the run, so a shared
+     [?obs] carrying earlier runs' totals still profiles this run alone. *)
+  let snap0 =
+    match (profile, obs) with
+    | Some _, Some o -> Obs.snapshot o
+    | _ -> []
+  in
   (* The laxity cap needs one scan of the data at most, shared between
      planning and the adaptive estimator. *)
   let laxity_cap =
@@ -145,6 +158,54 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
         (Domain_pool.busy_seconds p)
   | _ -> ());
   let counts = Cost_meter.counts meter in
+  let profile =
+    match (profile, obs) with
+    | None, _ | _, None -> None
+    | Some pr, Some o ->
+        let snap = Metrics.diff ~later:(Obs.snapshot o) ~earlier:snap0 in
+        let reconcile_error =
+          match Cost_meter.reconcile snap counts with
+          | Ok () -> None
+          | Error msg -> Some msg
+        in
+        (* The oracle audit is pure arithmetic over the answer the run
+           already produced — profiling cannot perturb the run. *)
+        let ground_truth =
+          Option.map
+            (fun oracle ->
+              let in_answer =
+                List.fold_left
+                  (fun acc (e : _ Operator.emitted) ->
+                    if oracle e.obj then acc + 1 else acc)
+                  0 report.Operator.answer
+              in
+              let exact_size =
+                Array.fold_left
+                  (fun acc o -> if oracle o then acc + 1 else acc)
+                  0 data
+              in
+              (in_answer, exact_size))
+            pr.oracle
+        in
+        let g = report.Operator.guarantees in
+        Some
+          (Profile.make ~label:pr.prof_label
+             ~counts:
+               {
+                 Profile.reads = counts.Cost_meter.reads;
+                 probes = counts.probes;
+                 batches = counts.batches;
+                 writes_imprecise = counts.writes_imprecise;
+                 writes_precise = counts.writes_precise;
+               }
+             ~snapshot:snap
+             ~requested_precision:requirements.Quality.precision
+             ~requested_recall:requirements.Quality.recall
+             ~guaranteed_precision:g.precision ~guaranteed_recall:g.recall
+             ~guarantees_met:(Quality.meets g requirements)
+             ~answer_size:report.Operator.answer_size ?ground_truth
+             ?reconcile_error ())
+  in
   {
     report;
     plan;
@@ -154,15 +215,21 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
        else
          Cost_meter.cost_of_counts cost counts
          /. float_of_int (Array.length data));
+    profile;
   }
 
 let execute ~rng ?(planning = default_planning) ?(adaptive = false)
     ?(cost = Cost_model.paper) ?batch ?max_laxity ?domains ?obs ?emit ?collect
-    ~instance ~probe ~requirements data =
+    ?profile ?on_task ~instance ~probe ~requirements data =
+  (* Profiling diffs a metrics registry; conjure a private one when the
+     caller wants a profile but passed no [?obs]. *)
+  let obs =
+    match (obs, profile) with None, Some _ -> Some (Obs.create ()) | o, _ -> o
+  in
   let run ?pool () =
     execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
-      ?emit ?collect ~instance ~probe ~requirements data
+      ?emit ?collect ?profile ~instance ~probe ~requirements data
   in
   match Domain_pool.resolve ?domains () with
   | 1 -> run ()
-  | d -> Domain_pool.with_pool ~domains:d (fun pool -> run ~pool ())
+  | d -> Domain_pool.with_pool ?on_task ~domains:d (fun pool -> run ~pool ())

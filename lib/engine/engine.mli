@@ -40,7 +40,20 @@ type 'o result = {
   normalized_cost : float;
       (** W / |T| under the chosen cost model, over [counts] — so
           planning is priced, not free *)
+  profile : Profile.t option;
+      (** present iff [?profile] was passed to {!execute} *)
 }
+
+type 'o profiling
+(** What to profile: a report label and, optionally, a ground-truth
+    oracle for the quality audit. *)
+
+val profiling : ?label:string -> ?oracle:('o -> bool) -> unit -> 'o profiling
+(** [oracle o] must answer whether [o] belongs to the exact (precise)
+    answer; when given, the profile audits {e achieved} precision and
+    recall against the requested bounds.  The audit inspects
+    [report.answer], so it needs the default [collect:true].  [label]
+    defaults to ["run"]. *)
 
 val domains_env : string
 (** Name of the environment variable ([QAQ_DOMAINS]) consulted when
@@ -58,6 +71,8 @@ val execute :
   ?obs:Obs.t ->
   ?emit:('o Operator.emitted -> unit) ->
   ?collect:bool ->
+  ?profile:'o profiling ->
+  ?on_task:(lane:int -> start:float -> finish:float -> unit) ->
   instance:'o Operator.instance ->
   probe:'o Probe_driver.t ->
   requirements:Quality.requirements ->
@@ -102,12 +117,26 @@ val execute :
 
     [obs] threads observability through every stage: the [plan] and
     [scan] spans (plus [probe-flush] and [adaptive-reestimate] further
-    down), the [qaq.*] counters mirroring the meter, and
-    [engine.sample_reads].  With [domains > 1] it also carries
-    [qaq.parallel.chunks], the [qaq.parallel.domains] gauge and one
+    down), the [qaq.*] counters mirroring the meter,
+    [engine.sample_reads], and the [qaq.maybe.laxity] /
+    [qaq.maybe.success] histograms over the MAYBE set.  With
+    [domains > 1] it also carries [qaq.parallel.chunks], the
+    [qaq.parallel.domains] gauge and one
     [qaq.parallel.domain<i>.busy_seconds] gauge per lane.
     {!Cost_meter.reconcile} against [counts] checks the instrumentation
     covers all metered work.
+
+    [profile] asks for a {!Profile.t} in the result: the run's metric
+    delta, cost counts (already reconciled — any mismatch lands in
+    [reconcile_error] rather than raising), spans, histogram quantiles
+    and the quality audit (see {!profiling}).  Profiling only reads
+    state the run produced anyway, so a profiled run is bit-for-bit
+    identical in answer and costs to an unprofiled one; when no [?obs]
+    is passed, a private registry is created for the diff.
+
+    [on_task] is handed to the pool ({!Domain_pool.create}) when
+    [domains > 1]; together with [Chrome_trace] it yields one timeline
+    lane per worker.
 
     @raise Invalid_argument on an invalid sampling fraction or fallback
     fractions, if [batch < 1], if [domains < 1], or if [QAQ_DOMAINS] is

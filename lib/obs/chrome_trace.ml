@@ -1,0 +1,170 @@
+(* Chrome-trace ("catapult") JSON recorder: a Trace sink plus a
+   Domain_pool task hook feeding one event list, exported in the
+   trace-event format chrome://tracing and Perfetto load directly.
+   Spans become complete ("X") slices, per-lane pool tasks become slices
+   on their lane's tid, everything else becomes instants on lane 0 (the
+   sequential decision loop).  The recorder is mutex-guarded because the
+   task hook fires on worker domains. *)
+
+type entry = {
+  e_name : string;
+  e_ph : [ `Complete | `Instant ];
+  e_tid : int;
+  e_ts : float;  (* absolute seconds on the recorder's clock *)
+  e_dur : float;  (* seconds; [`Complete] only *)
+  e_args : (string * string) list;  (* values pre-encoded as JSON *)
+}
+
+type t = {
+  clock : unit -> float;
+  epoch : float;  (* creation time; exported ts are relative to it *)
+  mutex : Mutex.t;
+  mutable entries : entry list;  (* newest first *)
+  mutable lanes : int;
+}
+
+let create ?(clock = Span.default_clock) () =
+  { clock; epoch = clock (); mutex = Mutex.create (); entries = []; lanes = 1 }
+
+let record t e =
+  Mutex.lock t.mutex;
+  t.entries <- e :: t.entries;
+  Mutex.unlock t.mutex
+
+let declare_lanes t n =
+  if n < 1 then invalid_arg "Chrome_trace.declare_lanes: lanes < 1";
+  Mutex.lock t.mutex;
+  t.lanes <- Stdlib.max t.lanes n;
+  Mutex.unlock t.mutex
+
+let instant t name args =
+  record t
+    { e_name = name; e_ph = `Instant; e_tid = 0; e_ts = t.clock (); e_dur = 0.0;
+      e_args = args }
+
+let on_task t ~lane ~start ~finish =
+  record t
+    {
+      e_name = "task";
+      e_ph = `Complete;
+      e_tid = lane;
+      e_ts = start;
+      e_dur = Float.max 0.0 (finish -. start);
+      e_args = [];
+    }
+
+let jstr s = "\"" ^ Metrics.json_escape s ^ "\""
+
+let jfloat v =
+  if Float.is_finite v then Printf.sprintf "%.17g" v else "null"
+
+let sink t =
+  Trace.callback (fun ev ->
+      match ev with
+      | Trace.Read { verdict } ->
+          instant t "read" [ ("verdict", jstr (Trace.verdict_name verdict)) ]
+      | Trace.Decision { verdict; action; laxity; success } ->
+          instant t "decision"
+            [
+              ("verdict", jstr (Trace.verdict_name verdict));
+              ("action", jstr (Trace.action_name action));
+              ("laxity", jfloat laxity);
+              ("success", jfloat success);
+            ]
+      | Trace.Probe_resolved -> instant t "probe-resolved" []
+      | Trace.Batch { size } -> instant t "batch" [ ("size", string_of_int size) ]
+      | Trace.Early_termination { reads; recall } ->
+          instant t "early-termination"
+            [ ("reads", string_of_int reads); ("recall", jfloat recall) ]
+      | Trace.Replan { reads } ->
+          instant t "replan" [ ("reads", string_of_int reads) ]
+      | Trace.Phase { name; seconds } ->
+          (* A phase arrives at completion; reconstruct its start so it
+             renders as a slice covering the work. *)
+          let now = t.clock () in
+          record t
+            {
+              e_name = name;
+              e_ph = `Complete;
+              e_tid = 0;
+              e_ts = now -. (Float.max 0.0 seconds);
+              e_dur = Float.max 0.0 seconds;
+              e_args = [];
+            }
+      | Trace.Note s -> instant t "note" [ ("text", jstr s) ])
+
+let to_json t =
+  Mutex.lock t.mutex;
+  let entries = List.rev t.entries in
+  let lanes = t.lanes in
+  Mutex.unlock t.mutex;
+  let entries =
+    List.stable_sort (fun a b -> Float.compare a.e_ts b.e_ts) entries
+  in
+  let max_tid =
+    List.fold_left (fun m e -> Stdlib.max m e.e_tid) (lanes - 1) entries
+  in
+  let b = Buffer.create 4096 in
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b "\n  ";
+    Buffer.add_string b s
+  in
+  Buffer.add_string b "{\"traceEvents\": [";
+  emit
+    "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", \
+     \"args\": {\"name\": \"qaq\"}}";
+  (* Every configured lane is named up front, so the viewer shows a
+     timeline row per lane even when a lane received no task. *)
+  for tid = 0 to max_tid do
+    let label =
+      if tid = 0 then "lane 0 (caller)" else Printf.sprintf "lane %d" tid
+    in
+    emit
+      (Printf.sprintf
+         "{\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"name\": \
+          \"thread_name\", \"args\": {\"name\": %s}}"
+         tid (jstr label))
+  done;
+  List.iter
+    (fun e ->
+      let ts = Float.max 0.0 ((e.e_ts -. t.epoch) *. 1e6) in
+      let args =
+        match e.e_args with
+        | [] -> ""
+        | kvs ->
+            Printf.sprintf ", \"args\": {%s}"
+              (String.concat ", "
+                 (List.map
+                    (fun (k, v) -> Printf.sprintf "%s: %s" (jstr k) v)
+                    kvs))
+      in
+      match e.e_ph with
+      | `Complete ->
+          emit
+            (Printf.sprintf
+               "{\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"ts\": %.3f, \
+                \"dur\": %.3f, \"name\": %s%s}"
+               e.e_tid ts (e.e_dur *. 1e6) (jstr e.e_name) args)
+      | `Instant ->
+          emit
+            (Printf.sprintf
+               "{\"ph\": \"i\", \"pid\": 1, \"tid\": %d, \"ts\": %.3f, \
+                \"s\": \"t\", \"name\": %s%s}"
+               e.e_tid ts (jstr e.e_name) args))
+    entries;
+  Buffer.add_string b "\n], \"displayTimeUnit\": \"ms\"}\n";
+  Buffer.contents b
+
+let write t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json t))
+
+let events t =
+  Mutex.lock t.mutex;
+  let n = List.length t.entries in
+  Mutex.unlock t.mutex;
+  n

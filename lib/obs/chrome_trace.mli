@@ -1,0 +1,43 @@
+(** Chrome-trace (catapult JSON) export of a run's trace events.
+
+    A recorder collects {!Trace} events (via {!sink}) and per-lane
+    [Domain_pool] task intervals (via {!on_task}) into one timeline,
+    exported in the trace-event JSON format that [chrome://tracing] and
+    Perfetto open directly.  Spans ({!Trace.Phase}) and pool tasks render
+    as duration slices — tasks on one timeline row ("thread") per pool
+    lane — and everything else (reads, decisions, batches, replans) as
+    instant markers on lane 0, where the sequential decision loop runs.
+
+    The recorder is thread-safe: {!on_task} may fire from worker
+    domains while lane 0 emits trace events. *)
+
+type t
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** [clock] defaults to {!Span.default_clock}; use the {e same} clock as
+    the [Obs.t] feeding the sink or the slices will not line up.
+    Exported timestamps are relative to creation time. *)
+
+val sink : t -> Trace.sink
+(** A sink recording every event; pass to [Obs.create ~trace] (possibly
+    {!Trace.tee}d with a formatter sink). *)
+
+val on_task : t -> lane:int -> start:float -> finish:float -> unit
+(** Record one pool task as a slice on lane [lane]'s timeline row —
+    shaped to partially apply as [Domain_pool]'s [?on_task] hook. *)
+
+val declare_lanes : t -> int -> unit
+(** Declare the pool's lane count so the export names every lane's row
+    up front, even lanes that end up running no task.
+    @raise Invalid_argument if [lanes < 1]. *)
+
+val events : t -> int
+(** Entries recorded so far. *)
+
+val to_json : t -> string
+(** The complete [{"traceEvents": [...]}] document: thread-name
+    metadata for every declared lane, then all entries in timestamp
+    order (microsecond units, as the format specifies). *)
+
+val write : t -> string -> unit
+(** [write t path] saves {!to_json} to [path]. *)

@@ -1,16 +1,84 @@
 type counter = { c_name : string; mutable count : int }
 type gauge = { g_name : string; mutable level : float }
-type cell = Counter_cell of counter | Gauge_cell of gauge
-type t = { cells : (string, cell) Hashtbl.t }
 
-let create () = { cells = Hashtbl.create 32 }
+(* --- histogram bucket layout ----------------------------------------- *)
+
+(* Log-spaced (HDR-style) buckets shared by every histogram: bucket 0
+   catches values <= [first_bound] (including exact zeros), buckets
+   1 .. n-2 grow geometrically by 2^(1/4) (at most ~19% relative error
+   per bucket) up past 1e12, and the last bucket is the overflow.  A
+   fixed layout makes merge and diff a plain element-wise array
+   operation — no bucket negotiation between snapshots. *)
+let bucket_count = 284
+let first_bound = 1e-9
+let growth = Float.pow 2.0 0.25
+
+let bucket_upper_bound i =
+  if i < 0 || i >= bucket_count then
+    invalid_arg "Metrics.bucket_upper_bound: index";
+  if i = bucket_count - 1 then Float.infinity
+  else first_bound *. Float.pow growth (float_of_int i)
+
+let bucket_of v =
+  if v <= first_bound then 0
+  else
+    let i = int_of_float (Float.ceil (4.0 *. Float.log2 (v /. first_bound))) in
+    if i >= bucket_count - 1 then bucket_count - 1 else Stdlib.max 1 i
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;  (* +inf while empty *)
+  mutable h_max : float;  (* -inf while empty *)
+  h_buckets : int array;
+}
+
+type cell =
+  | Counter_cell of counter
+  | Gauge_cell of gauge
+  | Histogram_cell of histogram
+
+type t = {
+  cells : (string, cell) Hashtbl.t;
+  exposition : (string, string) Hashtbl.t;
+      (* mangled Prometheus name -> owning metric name *)
+}
+
+let create () = { cells = Hashtbl.create 32; exposition = Hashtbl.create 32 }
+
+let prometheus_name name =
+  String.map
+    (fun ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ch
+      | _ -> '_')
+    name
+
+(* Mangling is lossy ("a.b" and "a_b" both expose as "a_b"), so every
+   exposition name is reserved at registration and a second metric
+   claiming it is rejected — before it counts anything, not when the
+   scrape silently merges two series. *)
+let reserve t name mangled =
+  (match Hashtbl.find_opt t.exposition mangled with
+  | Some owner when not (String.equal owner name) ->
+      invalid_arg
+        (Printf.sprintf
+           "Metrics: %S collides with %S in Prometheus exposition (both \
+            mangle to %S)"
+           name owner mangled)
+  | Some _ | None -> ());
+  Hashtbl.replace t.exposition mangled name
 
 let counter t name =
   match Hashtbl.find_opt t.cells name with
   | Some (Counter_cell c) -> c
   | Some (Gauge_cell _) ->
       invalid_arg ("Metrics.counter: " ^ name ^ " is registered as a gauge")
+  | Some (Histogram_cell _) ->
+      invalid_arg ("Metrics.counter: " ^ name ^ " is registered as a histogram")
   | None ->
+      reserve t name (prometheus_name name);
       let c = { c_name = name; count = 0 } in
       Hashtbl.add t.cells name (Counter_cell c);
       c
@@ -20,10 +88,41 @@ let gauge t name =
   | Some (Gauge_cell g) -> g
   | Some (Counter_cell _) ->
       invalid_arg ("Metrics.gauge: " ^ name ^ " is registered as a counter")
+  | Some (Histogram_cell _) ->
+      invalid_arg ("Metrics.gauge: " ^ name ^ " is registered as a histogram")
   | None ->
+      reserve t name (prometheus_name name);
       let g = { g_name = name; level = 0.0 } in
       Hashtbl.add t.cells name (Gauge_cell g);
       g
+
+let histogram t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some (Histogram_cell h) -> h
+  | Some (Counter_cell _) ->
+      invalid_arg ("Metrics.histogram: " ^ name ^ " is registered as a counter")
+  | Some (Gauge_cell _) ->
+      invalid_arg ("Metrics.histogram: " ^ name ^ " is registered as a gauge")
+  | None ->
+      let p = prometheus_name name in
+      (* A histogram exposes four series; reserve them all so a counter
+         named e.g. "<name>.count" cannot later alias "<name>_count". *)
+      reserve t name p;
+      reserve t name (p ^ "_bucket");
+      reserve t name (p ^ "_sum");
+      reserve t name (p ^ "_count");
+      let h =
+        {
+          h_name = name;
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = Float.infinity;
+          h_max = Float.neg_infinity;
+          h_buckets = Array.make bucket_count 0;
+        }
+      in
+      Hashtbl.add t.cells name (Histogram_cell h);
+      h
 
 let incr c = c.count <- c.count + 1
 
@@ -37,7 +136,83 @@ let set g v = g.level <- v
 let level g = g.level
 let gauge_name g = g.g_name
 
-type value = Count of int | Level of float
+let observe h v =
+  (* Same contract as Hist1d: a NaN or infinite observation is a bug at
+     the call site, not a value to bucket. *)
+  if not (Float.is_finite v) then invalid_arg "Metrics.observe: non-finite value";
+  if v < 0.0 then invalid_arg "Metrics.observe: negative value";
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let i = bucket_of v in
+  h.h_buckets.(i) <- h.h_buckets.(i) + 1
+
+let histogram_name h = h.h_name
+let observations h = h.h_count
+
+type dist = {
+  d_count : int;
+  d_sum : float;
+  d_min : float;
+  d_max : float;
+  d_buckets : int array;
+}
+
+let empty_dist =
+  {
+    d_count = 0;
+    d_sum = 0.0;
+    d_min = Float.infinity;
+    d_max = Float.neg_infinity;
+    d_buckets = Array.make bucket_count 0;
+  }
+
+let dist_of_histogram h =
+  {
+    d_count = h.h_count;
+    d_sum = h.h_sum;
+    d_min = h.h_min;
+    d_max = h.h_max;
+    d_buckets = Array.copy h.h_buckets;
+  }
+
+let quantile d q =
+  if d.d_count = 0 then Float.nan
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int d.d_count)))
+    in
+    let rec find i cum =
+      if i >= bucket_count - 1 then bucket_count - 1
+      else
+        let cum = cum + d.d_buckets.(i) in
+        if cum >= rank then i else find (i + 1) cum
+    in
+    let i = find 0 0 in
+    (* Geometric bucket midpoint, clamped to the observed extrema: a
+       single observation comes back exactly, and no estimate strays
+       outside what was actually seen. *)
+    let est =
+      if i = 0 then 0.0
+      else if i = bucket_count - 1 then d.d_max
+      else sqrt (bucket_upper_bound (i - 1) *. bucket_upper_bound i)
+    in
+    Float.max d.d_min (Float.min d.d_max est)
+  end
+
+let merge_dist a b =
+  {
+    d_count = a.d_count + b.d_count;
+    d_sum = a.d_sum +. b.d_sum;
+    d_min = Float.min a.d_min b.d_min;
+    d_max = Float.max a.d_max b.d_max;
+    d_buckets =
+      Array.init bucket_count (fun i -> a.d_buckets.(i) + b.d_buckets.(i));
+  }
+
+type value = Count of int | Level of float | Dist of dist
 type snapshot = (string * value) list
 
 let snapshot t =
@@ -47,6 +222,7 @@ let snapshot t =
         match cell with
         | Counter_cell c -> Count c.count
         | Gauge_cell g -> Level g.level
+        | Histogram_cell h -> Dist (dist_of_histogram h)
       in
       (name, v) :: acc)
     t.cells []
@@ -55,13 +231,33 @@ let snapshot t =
 let get s name = List.assoc_opt name s
 
 let count_of s name =
-  match get s name with Some (Count n) -> n | Some (Level _) | None -> 0
+  match get s name with
+  | Some (Count n) -> n
+  | Some (Level _) | Some (Dist _) | None -> 0
+
+let dist_of s name =
+  match get s name with Some (Dist d) -> Some d | Some _ | None -> None
 
 let diff ~later ~earlier =
   List.map
     (fun (name, v) ->
       match (v, List.assoc_opt name earlier) with
       | Count l, Some (Count e) -> (name, Count (l - e))
+      | Dist l, Some (Dist e) ->
+          (* Counts, sums and buckets subtract like counters; the window's
+             own extrema are not recoverable from two running extrema, so
+             the later ones stand in (they still bound the window). *)
+          ( name,
+            Dist
+              {
+                d_count = l.d_count - e.d_count;
+                d_sum = l.d_sum -. e.d_sum;
+                d_min = l.d_min;
+                d_max = l.d_max;
+                d_buckets =
+                  Array.init bucket_count (fun i ->
+                      l.d_buckets.(i) - e.d_buckets.(i));
+              } )
       | v, _ -> (name, v))
     later
 
@@ -82,9 +278,21 @@ let json_escape name =
     name;
   Buffer.contents b
 
+let json_float v = if Float.is_finite v then Printf.sprintf "%.17g" v else "null"
+
+let json_of_dist d =
+  let opt v = if d.d_count = 0 then "null" else json_float v in
+  let q p = opt (quantile d p) in
+  Printf.sprintf
+    "{\"count\": %d, \"sum\": %s, \"min\": %s, \"max\": %s, \"p50\": %s, \
+     \"p90\": %s, \"p99\": %s}"
+    d.d_count (json_float d.d_sum) (opt d.d_min) (opt d.d_max) (q 0.5) (q 0.9)
+    (q 0.99)
+
 let json_of_value = function
   | Count n -> string_of_int n
-  | Level v -> if Float.is_finite v then Printf.sprintf "%.17g" v else "null"
+  | Level v -> json_float v
+  | Dist d -> json_of_dist d
 
 let to_json s =
   let b = Buffer.create 256 in
@@ -100,25 +308,38 @@ let to_json s =
   Buffer.add_string b "\n}\n";
   Buffer.contents b
 
-let prometheus_name name =
-  String.map
-    (fun ch ->
-      match ch with
-      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ch
-      | _ -> '_')
-    name
-
 let to_prometheus s =
   let b = Buffer.create 256 in
   List.iter
     (fun (name, v) ->
       let pname = prometheus_name name in
-      let kind, text =
-        match v with
-        | Count n -> ("counter", string_of_int n)
-        | Level l -> ("gauge", Printf.sprintf "%.17g" l)
-      in
-      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n%s %s\n" pname kind pname text))
+      match v with
+      | Count n ->
+          Buffer.add_string b
+            (Printf.sprintf "# TYPE %s counter\n%s %d\n" pname pname n)
+      | Level l ->
+          Buffer.add_string b
+            (Printf.sprintf "# TYPE %s gauge\n%s %.17g\n" pname pname l)
+      | Dist d ->
+          (* Cumulative buckets in the standard exposition; empty buckets
+             are elided (the "le" bound carries the boundary, so a sparse
+             series stays well-formed) and "+Inf" always closes it. *)
+          Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" pname);
+          let cum = ref 0 in
+          Array.iteri
+            (fun i n ->
+              if n > 0 && i < bucket_count - 1 then begin
+                cum := !cum + n;
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket{le=\"%.9g\"} %d\n" pname
+                     (bucket_upper_bound i) !cum)
+              end)
+            d.d_buckets;
+          Buffer.add_string b
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" pname d.d_count);
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum %.17g\n" pname d.d_sum);
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" pname d.d_count))
     s;
   Buffer.contents b
 
@@ -127,5 +348,10 @@ let pp_snapshot ppf s =
     (fun (name, v) ->
       match v with
       | Count n -> Format.fprintf ppf "%s = %d@." name n
-      | Level l -> Format.fprintf ppf "%s = %g@." name l)
+      | Level l -> Format.fprintf ppf "%s = %g@." name l
+      | Dist d ->
+          if d.d_count = 0 then Format.fprintf ppf "%s = dist(empty)@." name
+          else
+            Format.fprintf ppf "%s = dist(n=%d, p50=%g, p99=%g, max=%g)@." name
+              d.d_count (quantile d 0.5) (quantile d 0.99) d.d_max)
     s

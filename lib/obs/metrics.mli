@@ -1,11 +1,13 @@
-(** Registry of named monotonic counters and gauges.
+(** Registry of named monotonic counters, gauges and histograms.
 
     The observability substrate for the whole engine: every instrumented
     component registers its counters here by name, a snapshot captures
     all of them at once, and the snapshot exports to JSON or
     Prometheus-style text.  Counters are monotonic ints (work performed:
     reads, probes, batch dispatches); gauges are floats free to move in
-    either direction (accumulated latency, span durations).
+    either direction (accumulated latency, span durations); histograms
+    record whole value distributions (latencies, laxities, success
+    probabilities) in fixed log-spaced buckets with quantile estimation.
 
     The registry is deliberately independent of {!Cost_meter}: the two
     accountings are maintained at separate instrumentation sites, so a
@@ -24,15 +26,27 @@ type counter
 type gauge
 (** A named float gauge. *)
 
+type histogram
+(** A named log-bucketed distribution of non-negative values. *)
+
 val counter : t -> string -> counter
 (** [counter t name] returns the counter registered under [name],
     creating it (at 0) on first use.  Handles are stable: resolve once,
     increment many times — the hot path pays no table lookup.
-    @raise Invalid_argument if [name] is registered as a gauge. *)
+    @raise Invalid_argument if [name] is registered as another kind, or
+    if its Prometheus exposition name collides with a different metric's
+    (e.g. ["a.b"] vs ["a_b"] — mangling is lossy, so ambiguous names are
+    rejected at registration). *)
 
 val gauge : t -> string -> gauge
 (** Get-or-create, like {!counter}.
-    @raise Invalid_argument if [name] is registered as a counter. *)
+    @raise Invalid_argument as for {!counter}. *)
+
+val histogram : t -> string -> histogram
+(** Get-or-create, like {!counter}.  A histogram additionally reserves
+    the [_bucket]/[_sum]/[_count] exposition names its Prometheus series
+    use.
+    @raise Invalid_argument as for {!counter}. *)
 
 val incr : counter -> unit
 
@@ -46,7 +60,50 @@ val set : gauge -> float -> unit
 val level : gauge -> float
 val gauge_name : gauge -> string
 
-type value = Count of int | Level of float
+val observe : histogram -> float -> unit
+(** Record one value.
+    @raise Invalid_argument on a non-finite or negative value (same
+    contract as [Hist1d]: bad observations are call-site bugs, not data). *)
+
+val histogram_name : histogram -> string
+
+val observations : histogram -> int
+(** Values observed so far. *)
+
+(** {2 Bucket layout}
+
+    All histograms share one fixed layout: bucket 0 holds values
+    [<= bucket_upper_bound 0] (including zeros), later buckets grow by
+    [2{^1/4}] per step (≤ ~19% relative error), and the last bucket is
+    the overflow with an infinite bound. *)
+
+val bucket_count : int
+val bucket_upper_bound : int -> float
+(** Inclusive upper bound of a bucket; [infinity] for the last.
+    @raise Invalid_argument if the index is out of range. *)
+
+type dist = {
+  d_count : int;
+  d_sum : float;
+  d_min : float;  (** [+inf] when empty *)
+  d_max : float;  (** [-inf] when empty *)
+  d_buckets : int array;  (** length {!bucket_count} *)
+}
+(** An immutable histogram capture. *)
+
+val quantile : dist -> float -> float
+(** [quantile d q] estimates the [q]-quantile ([q] clamped to [0, 1])
+    from the buckets: the geometric midpoint of the bucket holding the
+    rank, clamped to the observed [min]/[max] — so a single observation
+    is returned exactly.  [nan] when the capture is empty. *)
+
+val merge_dist : dist -> dist -> dist
+(** Element-wise union of two captures (counts, sums and buckets add;
+    extrema combine) — the same layout everywhere makes this total. *)
+
+val empty_dist : dist
+
+type value = Count of int | Level of float | Dist of dist
 
 type snapshot = (string * value) list
 (** Name-sorted point-in-time capture of every registered metric. *)
@@ -55,21 +112,35 @@ val snapshot : t -> snapshot
 val get : snapshot -> string -> value option
 
 val count_of : snapshot -> string -> int
-(** The counter value under that name; 0 when absent or a gauge (an
-    unregistered counter never counted anything). *)
+(** The counter value under that name; 0 when absent or not a counter
+    (an unregistered counter never counted anything). *)
+
+val dist_of : snapshot -> string -> dist option
+(** The histogram capture under that name, when it is one. *)
 
 val diff : later:snapshot -> earlier:snapshot -> snapshot
 (** Per-name delta: counters subtract ([later - earlier], with names
-    absent from [earlier] treated as 0); gauges keep the later level.
-    Names only in [earlier] are dropped. *)
+    absent from [earlier] treated as 0); histograms subtract counts,
+    sums and buckets (their [min]/[max] keep the later capture's, which
+    still bound the window); gauges keep the later level.  Names only in
+    [earlier] are dropped. *)
 
 val to_json : snapshot -> string
 (** A flat JSON object, one member per metric; non-finite gauge levels
-    export as [null]. *)
+    export as [null]; histograms export as nested objects with
+    [count]/[sum]/[min]/[max]/[p50]/[p90]/[p99]. *)
 
 val to_prometheus : snapshot -> string
 (** Prometheus text exposition: a [# TYPE] line and a sample per metric,
     with names mangled to the Prometheus charset (dots become
-    underscores). *)
+    underscores; collisions were rejected at registration).  Histograms
+    expose the standard cumulative [_bucket{le="..."}] series (empty
+    buckets elided, ["+Inf"] always present) plus [_sum] and [_count]. *)
+
+val prometheus_name : string -> string
+(** The mangling {!to_prometheus} applies to one metric name. *)
+
+val json_escape : string -> string
+(** JSON string-body escaping, shared with the other exporters. *)
 
 val pp_snapshot : Format.formatter -> snapshot -> unit

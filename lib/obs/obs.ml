@@ -1,15 +1,30 @@
 type t = { metrics : Metrics.t; trace : Trace.sink; clock : unit -> float }
 
-let create ?(trace = Trace.null) ?(clock = Sys.time) () =
+let create ?(trace = Trace.null) ?(clock = Span.default_clock) () =
   { metrics = Metrics.create (); trace; clock }
 
 let metrics t = t.metrics
 let trace t = t.trace
+let clock t = t.clock
+let now t = t.clock ()
 let counter t name = Metrics.counter t.metrics name
 let gauge t name = Metrics.gauge t.metrics name
+let histogram t name = Metrics.histogram t.metrics name
 let tracing t = Trace.enabled t.trace
 let event t e = Trace.emit t.trace e
-let span t name f = Span.time ~clock:t.clock t.metrics name f
+
+let span t name f =
+  if Trace.enabled t.trace then begin
+    (* The phase event carries the same duration the span metric
+       accumulates, so a trace viewer and the metrics agree. *)
+    let t0 = t.clock () in
+    Fun.protect
+      ~finally:(fun () ->
+        Trace.emit t.trace (Trace.Phase { name; seconds = t.clock () -. t0 }))
+      (fun () -> Span.time ~clock:t.clock t.metrics name f)
+  end
+  else Span.time ~clock:t.clock t.metrics name f
+
 let snapshot t = Metrics.snapshot t.metrics
 
 module Keys = struct
@@ -24,4 +39,6 @@ module Keys = struct
   let pruned_pages = "qaq.parallel.pruned_pages"
   let parallel_domains = "qaq.parallel.domains"
   let domain_busy i = Printf.sprintf "qaq.parallel.domain%d.busy_seconds" i
+  let maybe_laxity = "qaq.maybe.laxity"
+  let maybe_success = "qaq.maybe.success"
 end

@@ -16,13 +16,21 @@ type t
 
 val create : ?trace:Trace.sink -> ?clock:(unit -> float) -> unit -> t
 (** A fresh capability with its own empty metrics registry.  [trace]
-    defaults to {!Trace.null}; [clock] (default {!Sys.time}) drives
-    {!span}. *)
+    defaults to {!Trace.null}; [clock] (default {!Span.default_clock},
+    wall time — the clock [Domain_pool] also charges lane busy-seconds
+    with) drives {!span}, {!now} and the latency histograms. *)
 
 val metrics : t -> Metrics.t
 val trace : t -> Trace.sink
+
+val clock : t -> unit -> float
+val now : t -> float
+(** The capability's clock — instrumentation sites time their own work
+    with this so all durations in one run are on one clock. *)
+
 val counter : t -> string -> Metrics.counter
 val gauge : t -> string -> Metrics.gauge
+val histogram : t -> string -> Metrics.histogram
 
 val tracing : t -> bool
 (** Whether the trace sink is live; guard event construction with it. *)
@@ -31,7 +39,9 @@ val event : t -> Trace.event -> unit
 
 val span : t -> string -> (unit -> 'a) -> 'a
 (** [span t name f] times [f ()] into [span.<name>.seconds] /
-    [span.<name>.calls] (see {!Span.time}). *)
+    [span.<name>.calls] (see {!Span.time}).  When the trace sink is
+    live, a {!Trace.Phase} event with the same duration is emitted at
+    completion — that is how spans reach the Chrome-trace exporter. *)
 
 val snapshot : t -> Metrics.snapshot
 
@@ -65,4 +75,12 @@ module Keys : sig
   val domain_busy : int -> string
   (** [domain_busy i] names the gauge holding lane [i]'s busy seconds
       (lane 0 is the caller's domain). *)
+
+  val maybe_laxity : string
+  (** Histogram: laxity [l(o)] of every MAYBE object at decision time —
+      the distribution the optimizer's thresholds cut through. *)
+
+  val maybe_success : string
+  (** Histogram: success probability [s(o)] of every MAYBE object at
+      decision time. *)
 end

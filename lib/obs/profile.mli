@@ -1,0 +1,100 @@
+(** Per-run profile: cost, phases, distributions and a quality audit.
+
+    The paper's contract is a cost/quality trade: a run is only as good
+    as the precision and recall it {e delivered} for the work it
+    charged.  A [Profile.t] packages one run's verdict — the cost-meter
+    counts, whether they reconciled with the [qaq.*] counters, the span
+    timers, every histogram's quantiles, and a quality audit comparing
+    the requested [p_q]/[r_q] against both the operator's guarantees and
+    (when a ground-truth oracle is available) the {e achieved} precision
+    and recall — renderable as JSON or as human tables.
+
+    Construction is pure: everything is computed from a metric snapshot
+    and the numbers the caller already has, so profiling a run cannot
+    perturb it.  [Engine.execute ?profile] assembles one per query. *)
+
+type counts = {
+  reads : int;
+  probes : int;
+  batches : int;
+  writes_imprecise : int;
+  writes_precise : int;
+}
+(** Mirror of [Cost_meter.counts] (restated here so the profile layer
+    stays below the cost layer in the dependency graph). *)
+
+type achieved = {
+  answer_in_exact : int;  (** answer objects the oracle accepts *)
+  exact_size : int;  (** size of the exact answer per the oracle *)
+  achieved_precision : float;
+  achieved_recall : float;
+  precision_pass : bool;  (** achieved >= requested *)
+  recall_pass : bool;
+}
+(** Ground-truth side of the audit.  Degenerate denominators follow
+    [Quality.Diagnostics]: an empty answer is vacuously precise, an
+    empty exact answer fully recalled. *)
+
+type audit = {
+  requested_precision : float;
+  requested_recall : float;
+  guaranteed_precision : float;
+  guaranteed_recall : float;
+  guarantees_met : bool;  (** guarantees >= requirements *)
+  answer_size : int;
+  achieved : achieved option;  (** [None] without an oracle *)
+}
+
+type span_row = { span_name : string; calls : int; seconds : float }
+
+type t = {
+  label : string;
+  counts : counts;
+  reconcile_error : string option;
+      (** [Some msg] when the cost meter and the [qaq.*] counters
+          disagreed — unmetered or uninstrumented work *)
+  audit : audit;
+  spans : span_row list;  (** extracted from the [span.*] metrics *)
+  snapshot : Metrics.snapshot;  (** the run's full metric delta *)
+}
+
+val make :
+  ?label:string ->
+  counts:counts ->
+  snapshot:Metrics.snapshot ->
+  requested_precision:float ->
+  requested_recall:float ->
+  guaranteed_precision:float ->
+  guaranteed_recall:float ->
+  guarantees_met:bool ->
+  answer_size:int ->
+  ?ground_truth:int * int ->
+  ?reconcile_error:string ->
+  unit ->
+  t
+(** [ground_truth] is [(answer_in_exact, exact_size)]; the achieved
+    rates and pass flags are derived here.  [label] defaults to
+    ["run"]. *)
+
+val audit_passed : t -> bool
+(** Guarantees met, and — when ground truth was supplied — achieved
+    precision and recall both at least the requested values. *)
+
+val passed : t -> bool
+(** {!audit_passed} and no reconciliation error. *)
+
+val histograms : t -> (string * Metrics.dist) list
+(** Every distribution in the snapshot, name-sorted. *)
+
+val spans_of_snapshot : Metrics.snapshot -> span_row list
+(** The [span.<name>.calls]/[.seconds] pairs of a snapshot. *)
+
+val to_json : t -> string
+(** One self-contained JSON object (label, passed, counts, audit,
+    spans, and the full metric snapshot under ["metrics"]). *)
+
+val render : t -> string
+(** Human tables ({!Text_table}): cost counts, the quality audit,
+    phase timers and histogram quantiles. *)
+
+val print : t -> unit

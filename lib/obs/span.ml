@@ -1,7 +1,13 @@
 let calls_key name = "span." ^ name ^ ".calls"
 let seconds_key name = "span." ^ name ^ ".seconds"
 
-let time ?(clock = Sys.time) metrics name f =
+(* Wall clock, not [Sys.time]: spans cover work running on worker
+   domains and simulated I/O waits, neither of which accrues processor
+   time on the calling domain.  [Domain_pool] measures its lanes with
+   the same clock, so span and busy times compare directly. *)
+let default_clock = Unix.gettimeofday
+
+let time ?(clock = default_clock) metrics name f =
   let calls = Metrics.counter metrics (calls_key name) in
   let seconds = Metrics.gauge metrics (seconds_key name) in
   let t0 = clock () in

@@ -23,6 +23,15 @@ let callback f = Callback f
 let enabled = function Null -> false | Callback _ -> true
 let emit sink e = match sink with Null -> () | Callback f -> f e
 
+let tee a b =
+  match (a, b) with
+  | Null, s | s, Null -> s
+  | Callback f, Callback g ->
+      Callback
+        (fun e ->
+          f e;
+          g e)
+
 let collector () =
   let events = ref [] in
   (Callback (fun e -> events := e :: !events), fun () -> List.rev !events)

@@ -43,9 +43,19 @@ val collector : unit -> sink * (unit -> event list)
 val formatter : Format.formatter -> sink
 (** Prints one line per event ([trace: ...]). *)
 
+val tee : sink -> sink -> sink
+(** Both sinks receive every event, first argument first; {!null}
+    arguments collapse away, so teeing with {!null} stays free. *)
+
 val enabled : sink -> bool
 (** Guard event construction with this so the null sink costs nothing:
     [if Trace.enabled sink then Trace.emit sink (Read ...)]. *)
 
 val emit : sink -> event -> unit
 val pp_event : Format.formatter -> event -> unit
+
+val verdict_name : verdict -> string
+(** ["YES"] / ["NO"] / ["MAYBE"], as printed by {!pp_event}. *)
+
+val action_name : action -> string
+(** ["forward"] / ["probe"] / ["ignore"]. *)

@@ -10,6 +10,7 @@ type instruments = {
   m_attempts : Metrics.counter;
   m_resolved : Metrics.counter;
   g_latency : Metrics.gauge;
+  h_latency : Metrics.histogram;
 }
 
 type 'o t = {
@@ -44,6 +45,7 @@ let create ?obs ?(latency = Instant) ?(failure_rate = 0.0) ?(max_retries = 10)
           m_attempts = Obs.counter o "probe_source.attempts";
           m_resolved = Obs.counter o "probe_source.resolved";
           g_latency = Obs.gauge o "probe_source.latency";
+          h_latency = Obs.histogram o "probe_source.wakeup_latency";
         })
       obs
   in
@@ -80,11 +82,13 @@ let attempt_fails t =
    dispatch — whether it carries one object or a whole batch. *)
 let wakeup t =
   t.batches <- t.batches + 1;
-  t.simulated_latency <- t.simulated_latency +. sample_latency t;
+  let l = sample_latency t in
+  t.simulated_latency <- t.simulated_latency +. l;
   match t.ins with
   | Some i ->
       Metrics.incr i.m_wakeups;
-      Metrics.set i.g_latency t.simulated_latency
+      Metrics.set i.g_latency t.simulated_latency;
+      if Float.is_finite l then Metrics.observe i.h_latency (Float.max 0.0 l)
   | None -> ()
 
 let note_attempt t =

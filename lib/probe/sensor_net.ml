@@ -6,9 +6,11 @@ type sensor = {
 }
 
 type instruments = {
+  i_obs : Obs.t;
   m_transmissions : Metrics.counter;
   m_wakeups : Metrics.counter;
   m_messages : Metrics.counter;
+  h_roundtrip : Metrics.histogram;
 }
 
 type t = {
@@ -41,9 +43,11 @@ let create ?obs rng ~n ~value_range ~tolerance_range ~drift_stddev =
     Option.map
       (fun o ->
         {
+          i_obs = o;
           m_transmissions = Obs.counter o "sensor_net.transmissions";
           m_wakeups = Obs.counter o "sensor_net.probe_wakeups";
           m_messages = Obs.counter o "sensor_net.probe_messages";
+          h_roundtrip = Obs.histogram o "sensor_net.roundtrip_seconds";
         })
       obs
   in
@@ -114,7 +118,14 @@ let probe_batch t readings =
         Metrics.add i.m_messages n
     | None -> ()
   end;
-  Array.map probe readings
+  match t.ins with
+  | Some i when n > 0 ->
+      (* The round trip, wakeup to last answer, as one observation. *)
+      let t0 = Obs.now i.i_obs in
+      let precise = Array.map probe readings in
+      Metrics.observe i.h_roundtrip (Float.max 0.0 (Obs.now i.i_obs -. t0));
+      precise
+  | _ -> Array.map probe readings
 
 let batch_driver ?obs ?(batch_size = 1) t =
   Probe_driver.create ?obs ~batch_size (probe_batch t)

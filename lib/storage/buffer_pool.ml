@@ -3,12 +3,19 @@
    pool sizes used here (tens to hundreds of pages) the O(n) eviction scan
    is simpler than an intrusive list and never shows up in profiles. *)
 
-type 'a entry = { page : 'a array; mutable last_used : int }
+type 'a entry = {
+  page : 'a array;
+  mutable last_used : int;
+  loaded_at : float;  (* wall time of the miss; 0 when uninstrumented *)
+}
 
 type instruments = {
+  i_obs : Obs.t;
   m_hits : Metrics.counter;
   m_misses : Metrics.counter;
   m_evictions : Metrics.counter;
+  h_fetch : Metrics.histogram;  (* loader time per miss *)
+  h_residency : Metrics.histogram;  (* page lifetime in the pool, at eviction *)
 }
 
 type 'a t = {
@@ -27,9 +34,12 @@ let create ?obs ~capacity () =
     Option.map
       (fun o ->
         {
+          i_obs = o;
           m_hits = Obs.counter o "buffer_pool.hits";
           m_misses = Obs.counter o "buffer_pool.misses";
           m_evictions = Obs.counter o "buffer_pool.evictions";
+          h_fetch = Obs.histogram o "buffer_pool.fetch_seconds";
+          h_residency = Obs.histogram o "buffer_pool.residency_seconds";
         })
       obs
   in
@@ -58,6 +68,14 @@ let evict_lru t =
   match !victim with
   | None -> ()
   | Some (id, _) ->
+      (match t.ins with
+      | Some i -> (
+          match Hashtbl.find_opt t.table id with
+          | Some entry ->
+              Metrics.observe i.h_residency
+                (Float.max 0.0 (Obs.now i.i_obs -. entry.loaded_at))
+          | None -> ())
+      | None -> ());
       Hashtbl.remove t.table id;
       t.evictions <- t.evictions + 1;
       (match t.ins with Some i -> Metrics.incr i.m_evictions | None -> ())
@@ -75,9 +93,18 @@ let fetch t page_id load =
       (* Load before making room: if the loader raises, the pool must
          keep its cached pages and not charge an eviction for a fetch
          that never completed. *)
-      let page = load page_id in
+      let page, loaded_at =
+        match t.ins with
+        | None -> (load page_id, 0.0)
+        | Some i ->
+            let t0 = Obs.now i.i_obs in
+            let page = load page_id in
+            let t1 = Obs.now i.i_obs in
+            Metrics.observe i.h_fetch (Float.max 0.0 (t1 -. t0));
+            (page, t1)
+      in
       if Hashtbl.length t.table >= t.capacity then evict_lru t;
-      Hashtbl.replace t.table page_id { page; last_used = tick t };
+      Hashtbl.replace t.table page_id { page; last_used = tick t; loaded_at };
       page
 
 let contains t page_id = Hashtbl.mem t.table page_id

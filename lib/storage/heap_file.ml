@@ -39,6 +39,7 @@ module Cursor = struct
     deliverable : int;  (* total objects on visited pages *)
     skipped_total : int;
     m_pages : Metrics.counter option;
+    instruments : (Obs.t * Metrics.histogram) option;  (* obs, fetch time *)
     mutable page_pos : int;  (* index into pages_to_visit *)
     mutable buffer : 'a array;  (* current page, [||] when exhausted *)
     mutable buffer_pos : int;
@@ -68,6 +69,10 @@ module Cursor = struct
       deliverable = !deliverable;
       skipped_total = length file - !deliverable;
       m_pages = Option.map (fun o -> Obs.counter o "heap_file.pages_fetched") obs;
+      instruments =
+        Option.map
+          (fun o -> (o, Obs.histogram o "heap_file.fetch_seconds"))
+          obs;
       page_pos = 0;
       buffer = [||];
       buffer_pos = 0;
@@ -91,7 +96,12 @@ module Cursor = struct
       Some o
     end
     else if c.page_pos < Array.length c.pages_to_visit then begin
-      c.buffer <- c.fetch c.pages_to_visit.(c.page_pos);
+      (match c.instruments with
+      | None -> c.buffer <- c.fetch c.pages_to_visit.(c.page_pos)
+      | Some (o, h) ->
+          let t0 = Obs.now o in
+          c.buffer <- c.fetch c.pages_to_visit.(c.page_pos);
+          Metrics.observe h (Float.max 0.0 (Obs.now o -. t0)));
       c.buffer_pos <- 0;
       c.page_pos <- c.page_pos + 1;
       c.pages_fetched <- c.pages_fetched + 1;

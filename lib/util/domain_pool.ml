@@ -4,16 +4,23 @@ type t = {
   work : Condition.t;
   queue : (unit -> unit) Queue.t;
   busy : float array;  (* per-lane task seconds; written under [mutex] *)
+  on_task : (lane:int -> start:float -> finish:float -> unit) option;
   mutable closing : bool;
   mutable workers : unit Domain.t list;
 }
 
 let now = Unix.gettimeofday
 
-let record_busy t lane dt =
+let note_task t lane t0 t1 =
   Mutex.lock t.mutex;
-  t.busy.(lane) <- t.busy.(lane) +. dt;
-  Mutex.unlock t.mutex
+  t.busy.(lane) <- t.busy.(lane) +. (t1 -. t0);
+  Mutex.unlock t.mutex;
+  (* The hook runs outside the mutex (it may fire on any lane
+     concurrently) and must not unwind a worker: a tracing hook that
+     throws would kill the lane, not the run. *)
+  match t.on_task with
+  | None -> ()
+  | Some f -> ( try f ~lane ~start:t0 ~finish:t1 with _ -> ())
 
 (* Tasks are always the chunk closures built by [parallel_map], which
    capture their own exceptions — a worker never unwinds. *)
@@ -28,11 +35,11 @@ let rec worker_loop t lane =
     Mutex.unlock t.mutex;
     let t0 = now () in
     task ();
-    record_busy t lane (now () -. t0);
+    note_task t lane t0 (now ());
     worker_loop t lane
   end
 
-let create ?domains () =
+let create ?on_task ?domains () =
   let domains =
     match domains with Some d -> d | None -> Domain.recommended_domain_count ()
   in
@@ -44,6 +51,7 @@ let create ?domains () =
       work = Condition.create ();
       queue = Queue.create ();
       busy = Array.make domains 0.0;
+      on_task;
       closing = false;
       workers = [];
     }
@@ -72,8 +80,8 @@ let shutdown t =
     t.workers <- []
   end
 
-let with_pool ?domains f =
-  let t = create ?domains () in
+let with_pool ?on_task ?domains f =
+  let t = create ?on_task ?domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 (* Aim for several chunks per lane so a slow chunk cannot leave the
@@ -129,7 +137,7 @@ let parallel_map (type b) t ?chunk_size f arr =
       | Some task ->
           let t0 = now () in
           task ();
-          record_busy t 0 (now () -. t0);
+          note_task t 0 t0 (now ());
           help ()
       | None -> ()
     in

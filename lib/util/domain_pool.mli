@@ -22,12 +22,23 @@
 
 type t
 
-val create : ?domains:int -> unit -> t
+val create :
+  ?on_task:(lane:int -> start:float -> finish:float -> unit) ->
+  ?domains:int ->
+  unit ->
+  t
 (** [create ~domains ()] spawns [domains - 1] workers.  [domains]
     defaults to {!Domain.recommended_domain_count}[ ()].  With
     [domains = 1] no domain is spawned and every operation degrades to
     its sequential equivalent — the graceful fallback for single-core
     hosts.
+
+    [on_task] is invoked after every completed task with its lane and
+    wall-clock interval ([Unix.gettimeofday], the same clock
+    {!busy_seconds} accumulates) — the hook the Chrome-trace exporter
+    uses to draw one timeline row per lane.  It runs on the lane that
+    ran the task, concurrently with other lanes' hooks, so it must be
+    thread-safe; exceptions it raises are swallowed.
     @raise Invalid_argument if [domains < 1]. *)
 
 val domains : t -> int
@@ -60,7 +71,11 @@ val shutdown : t -> unit
     workers and join their domains.  Idempotent; the pool must not be
     used afterwards. *)
 
-val with_pool : ?domains:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?on_task:(lane:int -> start:float -> finish:float -> unit) ->
+  ?domains:int ->
+  (t -> 'a) ->
+  'a
 (** [with_pool ~domains f] runs [f] over a fresh pool and shuts it down
     on exit, normal or exceptional. *)
 

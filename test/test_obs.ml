@@ -84,6 +84,154 @@ let test_prometheus_export () =
   checkb "gauge typed" true
     (contains text "# TYPE span_plan_seconds gauge")
 
+(* ---- histograms --------------------------------------------------- *)
+
+let test_histogram_basics () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  checki "fresh histogram empty" 0 (Metrics.observations h);
+  Alcotest.(check string) "name" "lat" (Metrics.histogram_name h);
+  List.iter (Metrics.observe h) [ 0.010; 0.020; 0.030; 0.040 ];
+  checki "observations" 4 (Metrics.observations h);
+  (* Handles are stable, like counters. *)
+  Metrics.observe (Metrics.histogram m "lat") 0.020;
+  checki "get-or-create shares the cell" 5 (Metrics.observations h);
+  let d = Option.get (Metrics.dist_of (Metrics.snapshot m) "lat") in
+  checki "dist count" 5 d.Metrics.d_count;
+  checkf 1e-9 "dist sum" 0.12 d.Metrics.d_sum;
+  checkf 0.0 "min" 0.010 d.Metrics.d_min;
+  checkf 0.0 "max" 0.040 d.Metrics.d_max;
+  (* The log layout guarantees <= ~19% relative error per bucket. *)
+  let p50 = Metrics.quantile d 0.5 in
+  checkb "p50 near 0.02" true (p50 >= 0.015 && p50 <= 0.025);
+  let p100 = Metrics.quantile d 1.0 in
+  checkb "quantiles stay in the observed range" true
+    (p100 >= d.Metrics.d_min && p100 <= d.Metrics.d_max);
+  (* Same contract as Hist1d: bad observations are call-site bugs. *)
+  Alcotest.check_raises "nan rejected"
+    (Invalid_argument "Metrics.observe: non-finite value") (fun () ->
+      Metrics.observe h Float.nan);
+  Alcotest.check_raises "infinity rejected"
+    (Invalid_argument "Metrics.observe: non-finite value") (fun () ->
+      Metrics.observe h Float.infinity);
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Metrics.observe: negative value") (fun () ->
+      Metrics.observe h (-1.0));
+  checki "rejected observations not recorded" 5 (Metrics.observations h);
+  (* Kind clashes are rejected like counter/gauge clashes. *)
+  Alcotest.check_raises "histogram/counter clash"
+    (Invalid_argument "Metrics.counter: lat is registered as a histogram")
+    (fun () -> ignore (Metrics.counter m "lat"))
+
+let test_histogram_edge_cases () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "edge" in
+  let empty = Option.get (Metrics.dist_of (Metrics.snapshot m) "edge") in
+  checki "empty count" 0 empty.Metrics.d_count;
+  checkb "empty quantile is nan" true
+    (Float.is_nan (Metrics.quantile empty 0.5));
+  checkb "empty min +inf" true (empty.Metrics.d_min = Float.infinity);
+  checkb "empty max -inf" true (empty.Metrics.d_max = Float.neg_infinity);
+  (* A single observation comes back exactly at every quantile. *)
+  Metrics.observe h 0.037;
+  let one = Option.get (Metrics.dist_of (Metrics.snapshot m) "edge") in
+  List.iter
+    (fun q ->
+      checkf 0.0
+        (Printf.sprintf "single observation at q=%g" q)
+        0.037 (Metrics.quantile one q))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ];
+  (* Zero is a legal observation (bucket 0), not a rejection. *)
+  Metrics.observe h 0.0;
+  let two = Option.get (Metrics.dist_of (Metrics.snapshot m) "edge") in
+  checki "zero observed" 2 two.Metrics.d_count;
+  checkf 0.0 "zero is the min" 0.0 two.Metrics.d_min
+
+let test_histogram_merge_disjoint () =
+  let m = Metrics.create () in
+  let lo = Metrics.histogram m "lo" and hi = Metrics.histogram m "hi" in
+  List.iter (Metrics.observe lo) [ 1e-6; 2e-6; 3e-6 ];
+  List.iter (Metrics.observe hi) [ 10.0; 20.0 ];
+  let s = Metrics.snapshot m in
+  let dlo = Option.get (Metrics.dist_of s "lo")
+  and dhi = Option.get (Metrics.dist_of s "hi") in
+  let u = Metrics.merge_dist dlo dhi in
+  checki "merged count" 5 u.Metrics.d_count;
+  checkf 1e-9 "merged sum" 30.000006 u.Metrics.d_sum;
+  checkf 0.0 "merged min" 1e-6 u.Metrics.d_min;
+  checkf 0.0 "merged max" 20.0 u.Metrics.d_max;
+  (* The bucket ranges are disjoint: the median stays in the low mass,
+     the tail quantile jumps across the gap to the high mass. *)
+  checkb "p50 in the low range" true (Metrics.quantile u 0.5 < 1e-3);
+  checkb "p99 in the high range" true (Metrics.quantile u 0.99 > 1.0);
+  (* Merging with the empty capture is the identity on the data. *)
+  let id = Metrics.merge_dist dlo Metrics.empty_dist in
+  checki "merge with empty keeps count" 3 id.Metrics.d_count;
+  checkf 0.0 "merge with empty keeps min" 1e-6 id.Metrics.d_min;
+  checkf 0.0 "merge with empty keeps max" 3e-6 id.Metrics.d_max
+
+let test_histogram_diff_and_json () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "d.lat" in
+  Metrics.observe h 1.0;
+  Metrics.observe h 2.0;
+  let earlier = Metrics.snapshot m in
+  Metrics.observe h 4.0;
+  let later = Metrics.snapshot m in
+  let d =
+    Option.get (Metrics.dist_of (Metrics.diff ~later ~earlier) "d.lat")
+  in
+  checki "diff count" 1 d.Metrics.d_count;
+  checkf 1e-9 "diff sum" 4.0 d.Metrics.d_sum;
+  (* min/max keep the later capture's — they still bound the window. *)
+  checkf 0.0 "diff max" 4.0 d.Metrics.d_max;
+  let json = Metrics.to_json later in
+  checkb "histogram count exported" true (contains json "\"count\": 3");
+  checkb "histogram quantiles exported" true (contains json "\"p50\":");
+  (* An empty histogram exports null extrema and quantiles, count 0. *)
+  let m2 = Metrics.create () in
+  ignore (Metrics.histogram m2 "none");
+  let j2 = Metrics.to_json (Metrics.snapshot m2) in
+  checkb "empty count 0" true (contains j2 "\"count\": 0");
+  checkb "empty min null" true (contains j2 "\"min\": null");
+  checkb "empty quantile null" true (contains j2 "\"p50\": null")
+
+let test_prometheus_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "probe.flush_seconds" in
+  List.iter (Metrics.observe h) [ 0.001; 0.002; 0.004; 5.0 ];
+  let text = Metrics.to_prometheus (Metrics.snapshot m) in
+  checkb "TYPE histogram, mangled name" true
+    (contains text "# TYPE probe_flush_seconds histogram");
+  checkb "bucket series present" true
+    (contains text "probe_flush_seconds_bucket{le=");
+  checkb "+Inf closes the cumulative series with the total" true
+    (contains text "probe_flush_seconds_bucket{le=\"+Inf\"} 4");
+  checkb "sum series" true (contains text "probe_flush_seconds_sum ");
+  checkb "count series" true (contains text "probe_flush_seconds_count 4")
+
+(* Mangling to the Prometheus charset is lossy ("a.b" and "a_b" both
+   become "a_b"); ambiguous registrations must be rejected up front, not
+   silently merged at scrape time. *)
+let test_prometheus_name_collisions () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "a.b");
+  (* Same name, same kind: fine (get-or-create). *)
+  ignore (Metrics.counter m "a.b");
+  Alcotest.check_raises "a_b collides with a.b"
+    (Invalid_argument
+       "Metrics: \"a_b\" collides with \"a.b\" in Prometheus exposition \
+        (both mangle to \"a_b\")")
+    (fun () -> ignore (Metrics.counter m "a_b"));
+  (* The histogram's derived _bucket/_sum/_count series are reserved
+     too: a counter that would mangle onto one of them is rejected. *)
+  ignore (Metrics.histogram m "h");
+  Alcotest.check_raises "h.count collides with histogram series h_count"
+    (Invalid_argument
+       "Metrics: \"h.count\" collides with \"h\" in Prometheus exposition \
+        (both mangle to \"h_count\")")
+    (fun () -> ignore (Metrics.counter m "h.count"))
+
 let test_trace_sinks () =
   checkb "null disabled" false (Trace.enabled Trace.null);
   (* Emitting into the null sink is a no-op, not an error. *)
@@ -125,6 +273,38 @@ let test_span_timing () =
    with Failure _ -> ());
   checki "raising call counted" 3
     (Metrics.count_of (Obs.snapshot obs) "span.phase.calls")
+
+(* Spans and the pool's busy accounting share one wall clock
+   (Unix.gettimeofday).  Under the old CPU-time clock (Sys.time) a span
+   around sleeping workers read ~0 while the pool accumulated real
+   seconds — the regression this pins down: the span must cover at least
+   the pool's busy time spread across its lanes. *)
+let test_span_wall_clock_covers_pool_busy () =
+  Domain_pool.with_pool ~domains:2 (fun pool ->
+      let obs = Obs.create () in
+      let tasks = Array.init 8 (fun i -> i) in
+      let result =
+        Obs.span obs "pool-work" (fun () ->
+            Domain_pool.parallel_map pool ~chunk_size:1
+              (fun i ->
+                Unix.sleepf 0.02;
+                i)
+              tasks)
+      in
+      Alcotest.(check (array int)) "map result intact" tasks result;
+      let lanes = Domain_pool.domains pool in
+      let busy =
+        Array.fold_left ( +. ) 0.0 (Domain_pool.busy_seconds pool)
+      in
+      checkb "pool accumulated real busy time" true (busy > 0.1);
+      match Metrics.get (Obs.snapshot obs) "span.pool-work.seconds" with
+      | Some (Metrics.Level s) ->
+          checkb
+            (Printf.sprintf "span %.4fs covers busy %.4fs over %d lanes" s
+               busy lanes)
+            true
+            (s >= busy /. float_of_int lanes *. 0.5)
+      | _ -> Alcotest.fail "span gauge missing")
 
 (* ---- reconciliation: metrics vs the cost meter ------------------- *)
 
@@ -214,8 +394,17 @@ let suite =
     ("snapshot and diff", `Quick, test_snapshot_and_diff);
     ("json export", `Quick, test_json_export);
     ("prometheus export", `Quick, test_prometheus_export);
+    ("histogram basics", `Quick, test_histogram_basics);
+    ("histogram edge cases", `Quick, test_histogram_edge_cases);
+    ("histogram merge of disjoint ranges", `Quick, test_histogram_merge_disjoint);
+    ("histogram diff and json", `Quick, test_histogram_diff_and_json);
+    ("prometheus histogram exposition", `Quick, test_prometheus_histogram);
+    ("prometheus name collisions rejected", `Quick,
+     test_prometheus_name_collisions);
     ("trace sinks", `Quick, test_trace_sinks);
     ("span timing", `Quick, test_span_timing);
+    ("span wall clock covers pool busy time", `Quick,
+     test_span_wall_clock_covers_pool_busy);
     ("operator reconciles with meter", `Quick, test_operator_reconciles);
     ("engine reconciles across configs", `Quick, test_engine_reconciles);
     ("observability does not perturb the run", `Quick, test_obs_does_not_perturb);
