@@ -22,10 +22,18 @@
                                               # sample Chrome trace to T
                                               # (default BENCH_trace.json);
                                               # exits 1 on audit failure
+     dune exec bench/main.exe -- faults [F]   # degradation sweep over probe
+                                              # failure rates 0/1%/5%/20%,
+                                              # JSON to F
+                                              # (default BENCH_faults.json);
+                                              # exits 1 on any violated
+                                              # degradation invariant
 
    Setting QAQ_DOMAINS=N runs the trial tables (and any engine work that
    does not pin a domain count) over an N-lane pool; results are
-   bit-for-bit independent of it. *)
+   bit-for-bit independent of it.  QAQ_FAULT_SEED seeds the faults
+   sweep's fault plan (default 1337); every run is deterministic per
+   seed. *)
 
 let section title =
   Printf.printf "\n%s\n%s\n\n" title (String.make (String.length title) '=')
@@ -746,6 +754,151 @@ let profile_bench path ~trace =
   if not !all_passed then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Faults: graceful degradation sweep over probe failure rates         *)
+(* ------------------------------------------------------------------ *)
+
+(* The standard workload resolved through a fault-injected Probe_source,
+   swept over permanent-failure rates.  Every run must complete without
+   raising and hold the degradation invariants: the cost meter
+   reconciles with the qaq.* counters, the degraded flag agrees with
+   the profiler's audit, guarantees never overstate the oracle-achieved
+   precision/recall, every failure is covered by a fallback, and the
+   zero-rate plan is bit-for-bit the unfaulted baseline. *)
+let faults_bench path =
+  section "Faults: graceful degradation under permanent probe failure";
+  let fault_seed =
+    match Sys.getenv_opt "QAQ_FAULT_SEED" with
+    | None -> 1337
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n -> n
+        | None ->
+            Printf.eprintf "QAQ_FAULT_SEED must be an integer, got %S\n" s;
+            exit 2)
+  in
+  Printf.printf
+    "Standard workload (|T| = 2000, B = 16) probed through a seeded fault\n\
+     injector (QAQ_FAULT_SEED = %d); permanent probe failures degrade to\n\
+     guarantee-aware write decisions instead of aborting the run.\n\n"
+    fault_seed;
+  let data = standard_workload () in
+  let ok = ref true in
+  let violation label fmt =
+    Printf.ksprintf
+      (fun msg ->
+        ok := false;
+        Printf.printf "VIOLATION (%s): %s\n" label msg)
+      fmt
+  in
+  let run ?faults label =
+    let obs = Obs.create () in
+    let source =
+      match faults with
+      | None -> Probe_source.create ~obs Synthetic.probe
+      | Some f -> Probe_source.create ~obs ~max_retries:2 ~faults:f Synthetic.probe
+    in
+    let result =
+      Engine.execute ~rng:(Rng.create engine_seed) ~max_laxity:100.0 ~obs
+        ~profile:(Engine.profiling ~label ~oracle:Synthetic.in_exact ())
+        ~instance:Synthetic.instance
+        ~probe:(Probe_source.driver ~obs ~batch_size:16 source)
+        ~requirements:standard_requirements data
+    in
+    (result, Obs.snapshot obs)
+  in
+  let fingerprint (result : _ Engine.result) =
+    ( List.map
+        (fun (e : _ Operator.emitted) ->
+          (e.Operator.obj.Synthetic.id, e.Operator.precise))
+        result.Engine.report.Operator.answer,
+      result.Engine.counts,
+      result.Engine.report.Operator.guarantees,
+      result.Engine.normalized_cost )
+  in
+  let baseline, _ = run "no-fault-baseline" in
+  let rows =
+    List.map
+      (fun rate ->
+        let label = Printf.sprintf "rate-%g" rate in
+        let faults =
+          Fault_plan.make ~seed:fault_seed ~permanent_rate:rate
+            ~transient_rate:(rate /. 2.0) ~max_retries:2 ()
+        in
+        let result, snapshot = run ~faults label in
+        let d = result.Engine.degradation in
+        let profile = Option.get result.Engine.profile in
+        (match profile.Profile.reconcile_error with
+        | None -> ()
+        | Some msg -> violation label "meter failed to reconcile: %s" msg);
+        if Engine.degraded result <> (d.Engine.failed_probes > 0) then
+          violation label "degraded flag disagrees with failed_probes";
+        if profile.Profile.audit.Profile.degraded_probes <> d.Engine.failed_probes
+        then
+          violation label "audit flags %d degraded probes, run reports %d"
+            profile.Profile.audit.Profile.degraded_probes d.Engine.failed_probes;
+        if
+          d.Engine.failed_probes
+          <> d.Engine.degraded_forwards + d.Engine.degraded_ignores
+        then violation label "fallbacks do not cover every failure";
+        let achieved_p, achieved_r =
+          match profile.Profile.audit.Profile.achieved with
+          | Some a -> (a.Profile.achieved_precision, a.Profile.achieved_recall)
+          | None ->
+              violation label "oracle audit missing";
+              (1.0, 1.0)
+        in
+        if d.Engine.guarantees_after.Quality.precision > achieved_p +. 1e-9 then
+          violation label "guaranteed precision %.4f overstates achieved %.4f"
+            d.Engine.guarantees_after.Quality.precision achieved_p;
+        if d.Engine.guarantees_after.Quality.recall > achieved_r +. 1e-9 then
+          violation label "guaranteed recall %.4f overstates achieved %.4f"
+            d.Engine.guarantees_after.Quality.recall achieved_r;
+        if rate = 0.0 && fingerprint result <> fingerprint baseline then
+          violation label "zero-rate plan diverged from the unfaulted baseline";
+        Printf.printf
+          "rate %-5g failed %3d/%3d attempts  forwards %3d  ignores %3d  \
+           forced %2d  wasted %6.0f  W/|T| %6.2f  p^G %.3f (achieved %.3f)  \
+           r^G %.3f (achieved %.3f)%s\n"
+          rate d.Engine.failed_probes d.Engine.failed_attempts
+          d.Engine.degraded_forwards d.Engine.degraded_ignores
+          d.Engine.forced_actions d.Engine.wasted_cost
+          result.Engine.normalized_cost
+          d.Engine.guarantees_after.Quality.precision achieved_p
+          d.Engine.guarantees_after.Quality.recall achieved_r
+          (if d.Engine.requirements_met then "" else "  REQUIREMENTS MISSED");
+        Printf.sprintf
+          "    { \"rate\": %g, \"failed_probes\": %d, \"failed_attempts\": %d, \
+           \"degraded_forwards\": %d, \"degraded_ignores\": %d, \
+           \"forced_actions\": %d, \"wasted_cost\": %.1f, \
+           \"requirements_met\": %b, \"guaranteed_precision\": %.6f, \
+           \"guaranteed_recall\": %.6f, \"achieved_precision\": %.6f, \
+           \"achieved_recall\": %.6f, \"answer_size\": %d, \
+           \"normalized_cost\": %.6f, \"injected\": %d, \"retried\": %d, \
+           \"degraded\": %d }"
+          rate d.Engine.failed_probes d.Engine.failed_attempts
+          d.Engine.degraded_forwards d.Engine.degraded_ignores
+          d.Engine.forced_actions d.Engine.wasted_cost d.Engine.requirements_met
+          d.Engine.guarantees_after.Quality.precision
+          d.Engine.guarantees_after.Quality.recall achieved_p achieved_r
+          result.Engine.report.Operator.answer_size
+          result.Engine.normalized_cost
+          (Metrics.count_of snapshot Obs.Keys.fault_injected)
+          (Metrics.count_of snapshot Obs.Keys.fault_retried)
+          (Metrics.count_of snapshot Obs.Keys.fault_degraded))
+      [ 0.0; 0.01; 0.05; 0.20 ]
+  in
+  write_bench_json ~path ~bench:"fault-degradation"
+    ~fields:
+      [
+        ("fault_seed", string_of_int fault_seed);
+        ("invariants_held", string_of_bool !ok);
+      ]
+    ~rows;
+  Printf.printf "degradation invariants: %s\n"
+    (if !ok then "all held" else "VIOLATED");
+  if not !ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Scaling: the multicore scan pipeline over domains 1/2/4/8           *)
 (* ------------------------------------------------------------------ *)
 
@@ -991,6 +1144,10 @@ let () =
         ~trace:
           (if Array.length Sys.argv > 3 then Sys.argv.(3)
            else "BENCH_trace.json")
+  | "faults" ->
+      faults_bench
+        (if Array.length Sys.argv > 2 then Sys.argv.(2)
+         else "BENCH_faults.json")
   | "all" ->
       tables ();
       ablations ();
@@ -998,6 +1155,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown mode %S (expected \
-         tables|ablations|batch|micro|metrics|scaling|profile|all)\n"
+         tables|ablations|batch|micro|metrics|scaling|profile|faults|all)\n"
         other;
       exit 2

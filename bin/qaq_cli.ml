@@ -160,8 +160,29 @@ let chrome_trace_file =
   Arg.(
     value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE" ~doc)
 
+let fault_rate =
+  let doc =
+    "Inject permanent probe failures at rate $(docv) (plus transient \
+     failures at half that rate, retried up to 2 times).  The run \
+     completes anyway: failed objects degrade to guarantee-aware write \
+     decisions and the degradation summary is printed.  Uses the same \
+     profiled engine path as --profile, and an audit miss that is \
+     explained by flagged degradation does not fail the command."
+  in
+  Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"RATE" ~doc)
+
+let fault_seed =
+  let doc =
+    "Seed of the fault injector's own rng stream (independent of --seed: \
+     injection never perturbs the query's decisions).  Runs are \
+     deterministic per (seed, fault-seed) pair."
+  in
+  let env = Cmd.Env.info "QAQ_FAULT_SEED" ~doc:"Default for $(opt)." in
+  Arg.(value & opt int 1337 & info [ "fault-seed" ] ~env ~doc)
+
 let profiled_trial ~rng ~(s : Exp_config.setting) ~cost ~batch ~policy ~domains
-    ~trace ~metrics_file ~profile_file ~chrome_file data =
+    ~trace ~metrics_file ~profile_file ~chrome_file ~fault_rate ~fault_seed
+    data =
   let recorder = Option.map (fun _ -> Chrome_trace.create ()) chrome_file in
   let sink =
     let fmt =
@@ -186,7 +207,18 @@ let profiled_trial ~rng ~(s : Exp_config.setting) ~cost ~batch ~policy ~domains
     | Exp_runner.Greedy -> Engine.Fixed Policy.greedy_params
     | Exp_runner.Fixed params -> Engine.Fixed params
   in
-  let probe = Probe_driver.of_scalar ~obs ~batch_size:batch Synthetic.probe in
+  let probe =
+    if fault_rate > 0.0 then
+      let faults =
+        Fault_plan.make ~seed:fault_seed ~permanent_rate:fault_rate
+          ~transient_rate:(fault_rate /. 2.0) ~max_retries:2 ()
+      in
+      let source =
+        Probe_source.create ~obs ~max_retries:2 ~faults Synthetic.probe
+      in
+      Probe_source.driver ~obs ~batch_size:batch source
+    else Probe_driver.of_scalar ~obs ~batch_size:batch Synthetic.probe
+  in
   let result =
     Engine.execute ~rng ~planning ~cost ~batch ~max_laxity:s.max_laxity
       ?domains ~obs ?on_task
@@ -204,6 +236,16 @@ let profiled_trial ~rng ~(s : Exp_config.setting) ~cost ~batch ~policy ~domains
     result.counts.Cost_meter.batches;
   let profile = Option.get result.Engine.profile in
   Profile.print profile;
+  (let d = result.Engine.degradation in
+   if d.Engine.failed_probes > 0 then
+     Format.printf
+       "degradation: %d probe(s) failed permanently (%d attempts, wasted \
+        cost %.0f); %d forward fallback(s), %d ignore fallback(s), %d \
+        forced; post-degradation guarantees %s the requirements@."
+       d.Engine.failed_probes d.Engine.failed_attempts d.Engine.wasted_cost
+       d.Engine.degraded_forwards d.Engine.degraded_ignores
+       d.Engine.forced_actions
+       (if d.Engine.requirements_met then "still meet" else "MISS"));
   (match profile_file with
   | Some path ->
       let oc = open_out path in
@@ -223,17 +265,27 @@ let profiled_trial ~rng ~(s : Exp_config.setting) ~cost ~batch ~policy ~domains
       close_out oc;
       Format.printf "metrics written to %s@." path
   | None -> ());
-  if not (Profile.passed profile) then begin
-    Format.eprintf "profile audit FAILED@.";
-    exit 1
-  end
+  if not (Profile.passed profile) then
+    if Engine.degraded result && profile.Profile.reconcile_error = None then
+      Format.eprintf
+        "profile audit missed its bounds under flagged degradation (fault \
+         injection active) — not failing the command@."
+    else begin
+      Format.eprintf "profile audit FAILED@.";
+      exit 1
+    end
 
 let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
-    data_file batch c_b domains trace metrics_file profile_file chrome_file =
+    data_file batch c_b domains trace metrics_file profile_file chrome_file
+    fault_rate fault_seed =
   let s = setting total f_y f_m max_laxity p_q r_q l_q in
   let cost = cost_model c_b in
   let rng = Rng.create seed in
-  if profile_file <> None || chrome_file <> None then begin
+  if fault_rate < 0.0 || fault_rate > 1.0 then begin
+    Format.eprintf "--fault-rate must lie in [0, 1]@.";
+    exit 2
+  end;
+  if profile_file <> None || chrome_file <> None || fault_rate > 0.0 then begin
     let data, s =
       match data_file with
       | Some path ->
@@ -242,7 +294,7 @@ let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
       | None -> (Synthetic.generate rng (Exp_config.workload s), s)
     in
     profiled_trial ~rng ~s ~cost ~batch ~policy ~domains ~trace ~metrics_file
-      ~profile_file ~chrome_file data
+      ~profile_file ~chrome_file ~fault_rate ~fault_seed data
   end
   else
   let obs =
@@ -301,7 +353,8 @@ let trial_cmd =
     Term.(
       const trial_run $ seed $ total $ f_y $ f_m $ max_laxity $ p_q $ r_q
       $ l_q $ policy $ repetitions $ data_file $ batch $ c_b $ domains
-      $ trace_flag $ metrics_file $ profile_file $ chrome_trace_file)
+      $ trace_flag $ metrics_file $ profile_file $ chrome_trace_file
+      $ fault_rate $ fault_seed)
 
 (* ---- dataset ------------------------------------------------------ *)
 

@@ -26,6 +26,25 @@ let source_of_cursor cursor =
 
 type 'o emitted = { obj : 'o; precise : bool }
 
+type degradation = {
+  failed_probes : int;
+  failed_attempts : int;
+  degraded_forwards : int;
+  degraded_ignores : int;
+  forced_actions : int;
+  guarantees_before : Quality.guarantees option;
+}
+
+let no_degradation =
+  {
+    failed_probes = 0;
+    failed_attempts = 0;
+    degraded_forwards = 0;
+    degraded_ignores = 0;
+    forced_actions = 0;
+    guarantees_before = None;
+  }
+
 type 'o report = {
   answer : 'o emitted list;
   guarantees : Quality.guarantees;
@@ -35,6 +54,7 @@ type 'o report = {
   maybe_ignored : int;
   answer_size : int;
   exhausted : bool;
+  degraded : degradation;
 }
 
 exception Inconsistent_probe
@@ -93,6 +113,13 @@ let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true) ?on_progress
             Metrics.observe hl laxity;
           if Float.is_finite success && success >= 0.0 then
             Metrics.observe hs success
+  in
+  let note_degraded =
+    match obs with
+    | None -> fun () -> ()
+    | Some o ->
+        let c = Obs.counter o Obs.Keys.fault_degraded in
+        fun () -> Metrics.incr c
   in
   let tracing = match obs with Some o -> Obs.tracing o | None -> false in
   let trace_event e = match obs with Some o -> Obs.event o e | None -> () in
@@ -155,13 +182,85 @@ let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true) ?on_progress
     done;
     batches_seen := b
   in
-  let submit_probe o complete =
-    Probe_driver.submit probe o (fun precise ->
-        Cost_meter.charge_probe meter;
-        note_probe ();
-        if tracing then trace_event Trace.Probe_resolved;
-        complete precise;
-        note_progress ());
+  (* Degradation state: a probe that fails permanently does not abort
+     the run — the object is still MAYBE (or YES) and still needs a
+     write decision.  The fallback re-enters the Theorem 3.1 guards with
+     the probe option gone; when even Forward and Ignore are infeasible
+     the operator is forced to act anyway and the final guarantees are
+     recomputed honestly from the counters (they may then miss the
+     requirements — reported, never hidden). *)
+  let failed_probes = ref 0 in
+  let failed_attempts = ref 0 in
+  let degraded_forwards = ref 0 in
+  let degraded_ignores = ref 0 in
+  let forced_actions = ref 0 in
+  let guarantees_before = ref None in
+  let degraded_fallback ~verdict ~laxity preference =
+    let candidates =
+      List.filter
+        (fun a -> not (Decision.equal_action a Decision.Probe))
+        preference
+      @ [ Decision.Forward; Decision.Ignore ]
+    in
+    if not enforce then ((match candidates with a :: _ -> a | [] -> assert false), false)
+    else
+      let ok = function
+        | Decision.Forward ->
+            Decision.can_forward counters requirements ~verdict ~laxity
+        | Decision.Ignore -> Decision.can_ignore counters requirements ~verdict
+        | Decision.Probe -> false
+      in
+      match List.find_opt ok candidates with
+      | Some a -> (a, false)
+      | None ->
+          (* Nothing is guarantee-safe without the probe.  Keep the
+             object if its laxity alone is admissible (recall can still
+             recover later), drop it otherwise (laxity never heals). *)
+          ( (if laxity <= requirements.Quality.laxity then Decision.Forward
+             else Decision.Ignore),
+            true )
+  in
+  let degrade o ~verdict ~laxity ~attempts preference =
+    incr failed_probes;
+    failed_attempts := !failed_attempts + attempts;
+    if !guarantees_before = None then
+      guarantees_before := Some (Counters.guarantees counters);
+    note_degraded ();
+    let action, forced = degraded_fallback ~verdict ~laxity preference in
+    if forced then incr forced_actions;
+    if tracing then
+      trace_event
+        (Trace.Degraded
+           { verdict = trace_verdict verdict; action = trace_action action;
+             forced });
+    (match (action, verdict) with
+    | Decision.Forward, Tvl.Yes ->
+        incr degraded_forwards;
+        Counters.forward_yes counters ~laxity;
+        forward_imprecise o
+    | Decision.Forward, (Tvl.Maybe | Tvl.No) ->
+        incr degraded_forwards;
+        Counters.forward_maybe counters ~laxity;
+        forward_imprecise o
+    | Decision.Ignore, Tvl.Yes ->
+        incr degraded_ignores;
+        Counters.ignore_yes counters
+    | Decision.Ignore, (Tvl.Maybe | Tvl.No) ->
+        incr degraded_ignores;
+        Counters.ignore_maybe counters
+    | Decision.Probe, _ -> assert false);
+    note_progress ()
+  in
+  let submit_probe ~verdict ~laxity ~preference o complete =
+    Probe_driver.submit_outcome probe o (function
+      | Probe_driver.Resolved precise ->
+          Cost_meter.charge_probe meter;
+          note_probe ();
+          if tracing then trace_event Trace.Probe_resolved;
+          complete precise;
+          note_progress ()
+      | Probe_driver.Failed { attempts } ->
+          degrade o ~verdict ~laxity ~attempts preference);
     sync_batches ()
   in
   let flush_probes () =
@@ -236,7 +335,7 @@ let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true) ?on_progress
                   forward_imprecise o;
                   note_progress ()
               | Decision.Probe ->
-                  submit_probe o (fun precise ->
+                  submit_probe ~verdict ~laxity ~preference o (fun precise ->
                       (* A YES object's precise version must still
                          satisfy λ. *)
                       (match instance.classify precise with
@@ -272,7 +371,7 @@ let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true) ?on_progress
                   forward_imprecise o;
                   note_progress ()
               | Decision.Probe ->
-                  submit_probe o (fun precise ->
+                  submit_probe ~verdict ~laxity ~preference o (fun precise ->
                       match instance.classify precise with
                       | Tvl.Yes ->
                           require_resolved precise;
@@ -315,6 +414,15 @@ let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true) ?on_progress
     maybe_ignored = Counters.maybe_ignored counters;
     answer_size = Counters.answer_size counters;
     exhausted = !exhausted || Counters.unseen counters = 0;
+    degraded =
+      {
+        failed_probes = !failed_probes;
+        failed_attempts = !failed_attempts;
+        degraded_forwards = !degraded_forwards;
+        degraded_ignores = !degraded_ignores;
+        forced_actions = !forced_actions;
+        guarantees_before = !guarantees_before;
+      };
   }
 
 let cost model report = Cost_meter.cost_of_counts model report.counts

@@ -39,6 +39,29 @@ val source_of_cursor : 'o Heap_file.Cursor.t -> 'o source
     read, or the precise [ω^o] returned by a probe. *)
 type 'o emitted = { obj : 'o; precise : bool }
 
+(** What permanent probe failure did to a run.  A probe that fails
+    permanently ({!Probe_driver.Failed}) does not abort the query: the
+    object falls back to a guarantee-aware write decision — the policy's
+    first non-probe preference that Theorem 3.1 still admits, else
+    Forward/Ignore in that order, else (nothing feasible) a {e forced}
+    action: Forward when the object's laxity fits [l_q^max], Ignore
+    otherwise.  The final guarantees are recomputed from the counters as
+    usual, so a degraded run reports what it {e actually} achieved; only
+    forced actions can push those below the requirements. *)
+type degradation = {
+  failed_probes : int;  (** objects whose probe failed permanently *)
+  failed_attempts : int;  (** attempts burned on those objects *)
+  degraded_forwards : int;  (** fallbacks that forwarded imprecise *)
+  degraded_ignores : int;  (** fallbacks that ignored *)
+  forced_actions : int;  (** fallbacks with no feasible action left *)
+  guarantees_before : Quality.guarantees option;
+      (** the guarantees at the first failure ([None] if none failed) —
+          the "before" of a degradation summary *)
+}
+
+val no_degradation : degradation
+(** All-zero — what an unfaulted run reports. *)
+
 type 'o report = {
   answer : 'o emitted list;  (** in emission order; [] if not collected *)
   guarantees : Quality.guarantees;
@@ -50,6 +73,8 @@ type 'o report = {
   exhausted : bool;
       (** whether the whole input was consumed (early termination means
           the recall bound was reached first) *)
+  degraded : degradation;
+      (** {!no_degradation} unless probes failed permanently *)
 }
 
 exception Inconsistent_probe
@@ -85,7 +110,11 @@ val run :
     instrumentation sites, independently of the meter, so
     {!Cost_meter.reconcile} is a real cross-check), and — when the obs
     handle carries a live trace sink — every read, decision, probe
-    resolution and early termination emits a {!Trace} event.  Counter
+    resolution and early termination emits a {!Trace} event.  Permanent
+    probe failures additionally increment [qaq.fault.degraded] and emit
+    {!Trace.Degraded} events; the failed attempts are {e not} charged to
+    the meter (no probe completed), so reconciliation holds under
+    faults.  Counter
     handles are resolved once per run; with [obs] absent the per-object
     path runs no-op closures and allocates nothing.  [emit] is
     called on each answer object as soon as it is decided — the

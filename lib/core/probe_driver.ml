@@ -1,22 +1,28 @@
+type 'o outcome = Resolved of 'o | Failed of { attempts : int }
+
+exception Probe_failed
+
 type instruments = {
   i_obs : Obs.t;
   m_probes : Metrics.counter;
   m_batches : Metrics.counter;
+  m_failures : Metrics.counter;
   h_flush : Metrics.histogram;
 }
 
 type 'o t = {
-  resolve_batch : 'o array -> 'o array;
+  resolve_batch : 'o array -> 'o outcome array;
   batch_size : int;
   ins : instruments option;
-  mutable queue : ('o * ('o -> unit)) list;  (* newest first *)
+  mutable queue : ('o * ('o outcome -> unit)) list;  (* newest first *)
   mutable queued : int;
   mutable probes : int;
+  mutable failures : int;
   mutable batches : int;
   mutable resolving : bool;
 }
 
-let create ?obs ?(batch_size = 1) resolve_batch =
+let create_outcomes ?obs ?(batch_size = 1) resolve_batch =
   if batch_size < 1 then invalid_arg "Probe_driver.create: batch_size < 1";
   let ins =
     Option.map
@@ -25,6 +31,7 @@ let create ?obs ?(batch_size = 1) resolve_batch =
           i_obs = o;
           m_probes = Obs.counter o "probe_driver.probes";
           m_batches = Obs.counter o "probe_driver.batches";
+          m_failures = Obs.counter o "probe_driver.failures";
           h_flush = Obs.histogram o "probe_driver.flush_seconds";
         })
       obs
@@ -36,9 +43,14 @@ let create ?obs ?(batch_size = 1) resolve_batch =
     queue = [];
     queued = 0;
     probes = 0;
+    failures = 0;
     batches = 0;
     resolving = false;
   }
+
+let create ?obs ?batch_size resolve_batch =
+  create_outcomes ?obs ?batch_size (fun objects ->
+      Array.map (fun o -> Resolved o) (resolve_batch objects))
 
 let scalar ?obs probe = create ?obs (Array.map probe)
 let of_scalar ?obs ~batch_size probe = create ?obs ~batch_size (Array.map probe)
@@ -53,7 +65,7 @@ let flush t =
     t.queued <- 0;
     let objects = Array.map fst entries in
     t.resolving <- true;
-    let precise =
+    let outcomes =
       Fun.protect
         ~finally:(fun () -> t.resolving <- false)
         (fun () ->
@@ -69,26 +81,47 @@ let flush t =
                 (Float.max 0.0 (Obs.now i.i_obs -. t0));
               r)
     in
-    if Array.length precise <> Array.length objects then
+    if Array.length outcomes <> Array.length objects then
       invalid_arg "Probe_driver.flush: resolver changed the batch length";
+    let resolved = ref 0 and failed = ref 0 in
+    Array.iter
+      (function Resolved _ -> incr resolved | Failed _ -> incr failed)
+      outcomes;
     t.batches <- t.batches + 1;
-    t.probes <- t.probes + Array.length objects;
+    t.probes <- t.probes + !resolved;
+    t.failures <- t.failures + !failed;
     (match t.ins with
     | Some i ->
         Metrics.incr i.m_batches;
-        Metrics.add i.m_probes (Array.length objects);
-        if Obs.tracing i.i_obs then
-          Obs.event i.i_obs (Trace.Batch { size = Array.length objects })
+        Metrics.add i.m_probes !resolved;
+        Metrics.add i.m_failures !failed;
+        if Obs.tracing i.i_obs then begin
+          Obs.event i.i_obs (Trace.Batch { size = Array.length objects });
+          Array.iter
+            (function
+              | Resolved _ -> ()
+              | Failed { attempts } ->
+                  Obs.event i.i_obs (Trace.Probe_failed { attempts }))
+            outcomes
+        end
     | None -> ());
     (* Callbacks run after the accounting and outside [resolving], so a
        completion may inspect the stats or submit follow-up probes. *)
-    Array.iteri (fun i (_, k) -> k precise.(i)) entries
+    Array.iteri (fun i (_, k) -> k outcomes.(i)) entries
   end
 
-let submit t o k =
+let submit_outcome t o k =
   t.queue <- (o, k) :: t.queue;
   t.queued <- t.queued + 1;
   if t.queued >= t.batch_size then flush t
+
+(* Legacy callers expect the precise object or an exception; a failure
+   surfaces as [Probe_failed] from inside the flush that resolved it,
+   after the whole batch was accounted (siblings keep their results). *)
+let submit t o k =
+  submit_outcome t o (function
+    | Resolved p -> k p
+    | Failed _ -> raise Probe_failed)
 
 let resolve t o =
   let result = ref None in
@@ -97,6 +130,7 @@ let resolve t o =
   match !result with Some precise -> precise | None -> assert false
 
 let probes t = t.probes
+let failures t = t.failures
 let batches t = t.batches
 
 (* The wrapper batches on its own queue with the inner driver's batch
@@ -106,18 +140,20 @@ let batches t = t.batches
    (probes/batches, instruments, latency simulation) therefore happens
    on the inner driver precisely as in the unwrapped case; the wrapper
    mirrors the same counts through its own queue for the consumer's
-   delta metering. *)
+   delta metering.  Failures pass through untouched, so a degraded
+   outcome reaches the consumer with the inner driver's attempt count. *)
 let premap ~into ~back inner =
-  let wrapper =
-    create ~batch_size:inner.batch_size (fun items ->
-        let n = Array.length items in
-        let resolved = Array.make n None in
-        Array.iteri
-          (fun i a -> submit inner (into a) (fun p -> resolved.(i) <- Some p))
-          items;
-        flush inner;
-        Array.map
-          (function Some p -> back p | None -> assert false)
-          resolved)
-  in
-  wrapper
+  create_outcomes ~batch_size:inner.batch_size (fun items ->
+      let n = Array.length items in
+      let resolved = Array.make n None in
+      Array.iteri
+        (fun i a ->
+          submit_outcome inner (into a) (fun p -> resolved.(i) <- Some p))
+        items;
+      flush inner;
+      Array.map
+        (function
+          | Some (Resolved p) -> Resolved (back p)
+          | Some (Failed { attempts }) -> Failed { attempts }
+          | None -> assert false)
+        resolved)

@@ -13,9 +13,26 @@
     A driver with [batch_size = 1] resolves every submission on the spot
     and reproduces the scalar probe semantics exactly; see
     {!Operator.run} for the invariants the operator maintains around
-    deferred resolutions. *)
+    deferred resolutions.
+
+    Probes can {e fail}: a backend may exhaust its retry budget on an
+    element and give up.  The outcome-based API ({!create_outcomes} /
+    {!submit_outcome}) surfaces this per element — every sibling in the
+    batch still receives its own outcome, and the batch is accounted
+    exactly once.  The legacy precise-object API is a thin adapter that
+    raises {!Probe_failed} from the failing callback. *)
 
 type 'o t
+
+type 'o outcome =
+  | Resolved of 'o  (** the precise version of the submitted object *)
+  | Failed of { attempts : int }
+      (** the backend gave up after [attempts] tries; the object will
+          never resolve and must degrade (see {!Operator}) *)
+
+exception Probe_failed
+(** Raised by the legacy callback adapter ({!submit} / {!resolve}) when
+    an outcome is [Failed].  Outcome-based consumers never see it. *)
 
 val create : ?obs:Obs.t -> ?batch_size:int -> ('o array -> 'o array) -> 'o t
 (** [create ~batch_size resolve_batch] wraps a native batch resolver.
@@ -23,11 +40,19 @@ val create : ?obs:Obs.t -> ?batch_size:int -> ('o array -> 'o array) -> 'o t
     must return their precise versions in the same order (same array
     length).  [batch_size] defaults to 1.
 
-    [obs] registers the counters [probe_driver.probes] and
-    [probe_driver.batches], times every resolver invocation under the
-    [probe-flush] span, and emits a {!Trace.Batch} event per dispatch.
+    [obs] registers the counters [probe_driver.probes],
+    [probe_driver.batches] and [probe_driver.failures], times every
+    resolver invocation under the [probe-flush] span, and emits a
+    {!Trace.Batch} event per dispatch (plus a {!Trace.Probe_failed}
+    event per failed element).
 
     @raise Invalid_argument if [batch_size < 1]. *)
+
+val create_outcomes :
+  ?obs:Obs.t -> ?batch_size:int -> ('o array -> 'o outcome array) -> 'o t
+(** Like {!create} for a resolver that reports per-element outcomes
+    instead of raising on failure — the only way a backend can fail one
+    element without discarding its resolved siblings. *)
 
 val scalar : ?obs:Obs.t -> ('o -> 'o) -> 'o t
 (** [scalar probe] lifts a scalar resolution function into a driver with
@@ -54,7 +79,15 @@ val submit : 'o t -> 'o -> ('o -> unit) -> unit
     queue reaches [batch_size t] the batch is flushed immediately, so
     with [batch_size = 1] the callback runs before [submit] returns.
     Callbacks run in submission order and may themselves [submit]
-    (starting a fresh queue). *)
+    (starting a fresh queue).  If the outcome is [Failed] the adapter
+    raises {!Probe_failed} instead of invoking [k] — earlier callbacks
+    of the same batch have already run, and the whole batch was already
+    accounted. *)
+
+val submit_outcome : 'o t -> 'o -> ('o outcome -> unit) -> unit
+(** Like {!submit}, but [k] receives the {!outcome} — failures arrive
+    as values, never as exceptions.  Consumers that must survive
+    permanent probe failure (the degrading operator) use this. *)
 
 val flush : 'o t -> unit
 (** Resolve every pending submission now (a possibly short batch) and
@@ -65,7 +98,8 @@ val flush : 'o t -> unit
 
 val resolve : 'o t -> 'o -> 'o
 (** Scalar convenience: submit [o], flush, and return its precise
-    version.  Note this flushes {e everything} pending, not just [o]. *)
+    version.  Note this flushes {e everything} pending, not just [o].
+    @raise Probe_failed when the outcome is [Failed]. *)
 
 val premap : into:('a -> 'o) -> back:('o -> 'a) -> 'o t -> 'a t
 (** [premap ~into ~back d] views a driver for ['o] as a driver for ['a]:
@@ -80,7 +114,12 @@ val premap : into:('a -> 'o) -> back:('o -> 'a) -> 'o t -> 'a t
     to probe pre-classified records through an unmodified backend. *)
 
 val probes : 'o t -> int
-(** Total objects resolved over the driver's lifetime. *)
+(** Total objects {e successfully} resolved over the driver's lifetime
+    — failed elements are counted by {!failures}, not here, so probe
+    metering charges only work the backend actually completed. *)
+
+val failures : 'o t -> int
+(** Total elements whose resolution failed permanently. *)
 
 val batches : 'o t -> int
 (** Total (non-empty) batch resolutions over the driver's lifetime —

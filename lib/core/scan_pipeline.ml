@@ -75,6 +75,7 @@ let strip_report (r : 'o item Operator.report) : 'o Operator.report =
     maybe_ignored = r.maybe_ignored;
     answer_size = r.answer_size;
     exhausted = r.exhausted;
+    degraded = r.degraded;
   }
 
 let run ~rng ?pool ?block ?meter ?obs ?emit ?collect ?enforce ~instance ~probe

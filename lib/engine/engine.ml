@@ -16,13 +16,46 @@ type planning =
 let default_planning =
   Sampled { fraction = 0.01; density = `Uniform; fallback = (0.2, 0.2) }
 
+type degradation = {
+  failed_probes : int;
+  failed_attempts : int;
+  degraded_forwards : int;
+  degraded_ignores : int;
+  forced_actions : int;
+  wasted_cost : float;
+  guarantees_before : Quality.guarantees option;
+  guarantees_after : Quality.guarantees;
+  requirements_met : bool;
+}
+
 type 'o result = {
   report : 'o Operator.report;
   plan : plan option;
   counts : Cost_meter.counts;
   normalized_cost : float;
+  degradation : degradation;
   profile : Profile.t option;
 }
+
+let degraded result = result.degradation.failed_probes > 0
+
+(* Wasted cost prices the attempts burned on probes that never
+   completed — work the backend did that the meter (by design) never
+   charged, since no probe was delivered. *)
+let degradation_of_report ~(cost : Cost_model.t)
+    ~(requirements : Quality.requirements) (report : _ Operator.report) =
+  let d = report.Operator.degraded in
+  {
+    failed_probes = d.Operator.failed_probes;
+    failed_attempts = d.Operator.failed_attempts;
+    degraded_forwards = d.Operator.degraded_forwards;
+    degraded_ignores = d.Operator.degraded_ignores;
+    forced_actions = d.Operator.forced_actions;
+    wasted_cost = float_of_int d.Operator.failed_attempts *. cost.Cost_model.c_p;
+    guarantees_before = d.Operator.guarantees_before;
+    guarantees_after = report.Operator.guarantees;
+    requirements_met = Quality.meets report.Operator.guarantees requirements;
+  }
 
 type 'o profiling = { prof_label : string; oracle : ('o -> bool) option }
 
@@ -203,8 +236,9 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
              ~requested_recall:requirements.Quality.recall
              ~guaranteed_precision:g.precision ~guaranteed_recall:g.recall
              ~guarantees_met:(Quality.meets g requirements)
-             ~answer_size:report.Operator.answer_size ?ground_truth
-             ?reconcile_error ())
+             ~answer_size:report.Operator.answer_size
+             ~degraded_probes:report.Operator.degraded.Operator.failed_probes
+             ?ground_truth ?reconcile_error ())
   in
   {
     report;
@@ -215,6 +249,7 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
        else
          Cost_meter.cost_of_counts cost counts
          /. float_of_int (Array.length data));
+    degradation = degradation_of_report ~cost ~requirements report;
     profile;
   }
 

@@ -31,6 +31,27 @@ val default_planning : planning
 (** The paper's recipe: 1% sample, uniform density,
     fallback (0.2, 0.2). *)
 
+(** What permanent probe failure cost a run — the engine-level view of
+    {!Operator.degradation}, priced and judged.  An unfaulted run
+    reports all zeros with [requirements_met = true] (the operator's
+    guarantees always satisfy the requirements when nothing failed). *)
+type degradation = {
+  failed_probes : int;  (** objects whose probe failed permanently *)
+  failed_attempts : int;  (** attempts burned on those objects *)
+  degraded_forwards : int;
+  degraded_ignores : int;
+  forced_actions : int;  (** fallbacks with no feasible action left *)
+  wasted_cost : float;
+      (** [failed_attempts * c_p] — backend work the meter never
+          charged because no probe completed *)
+  guarantees_before : Quality.guarantees option;
+      (** at the first failure; [None] when nothing failed *)
+  guarantees_after : Quality.guarantees;  (** = [report.guarantees] *)
+  requirements_met : bool;
+      (** whether the post-degradation guarantees still satisfy the
+          requirements; can only be [false] when [forced_actions > 0] *)
+}
+
 type 'o result = {
   report : 'o Operator.report;
   plan : plan option;  (** [None] when planning was [Fixed] *)
@@ -40,9 +61,15 @@ type 'o result = {
   normalized_cost : float;
       (** W / |T| under the chosen cost model, over [counts] — so
           planning is priced, not free *)
+  degradation : degradation;
+      (** how permanent probe failures affected the run (all zeros
+          without faults) *)
   profile : Profile.t option;
       (** present iff [?profile] was passed to {!execute} *)
 }
+
+val degraded : 'o result -> bool
+(** [result.degradation.failed_probes > 0]. *)
 
 type 'o profiling
 (** What to profile: a report label and, optionally, a ground-truth
@@ -96,7 +123,13 @@ val execute :
     driver's configured batch size is not what the evaluation will
     effectively see.
 
-    The returned report's guarantees always satisfy the requirements.
+    The returned report's guarantees always satisfy the requirements —
+    unless the probe capability failed permanently on some objects
+    ({!Probe_driver.Failed}): the run still completes, the affected
+    objects fall back to guarantee-aware write decisions, and
+    [degradation] summarises what happened, including whether the
+    recomputed guarantees still meet the requirements (only a {e forced}
+    fallback can break them).
 
     The engine accounts the whole run on one meter: the pilot sample's
     reads are charged before the scan, so [counts] (and hence

@@ -1,0 +1,113 @@
+type state = Closed | Open | Half_open
+
+type instruments = {
+  g_state : Metrics.gauge;
+  h_outage : Metrics.histogram;
+}
+
+type t = {
+  trip_after : int;
+  backoff_base : int;
+  backoff_factor : float;
+  max_backoff : int;
+  ins : instruments option;
+  mutable state : state;
+  mutable consecutive : int;
+  mutable backoff : int;  (* window length the next trip uses *)
+  mutable opened_at : int;  (* round of the last trip *)
+  mutable open_until : int;  (* first round allowed after a trip *)
+  mutable trips : int;
+}
+
+let state_value = function Closed -> 0.0 | Half_open -> 1.0 | Open -> 2.0
+
+let set_state t s =
+  t.state <- s;
+  match t.ins with
+  | Some i -> Metrics.set i.g_state (state_value s)
+  | None -> ()
+
+let create ?obs ?(trip_after = 3) ?(backoff_base = 2) ?(backoff_factor = 2.0)
+    ?(max_backoff = 64) () =
+  if trip_after < 1 then invalid_arg "Circuit_breaker.create: trip_after < 1";
+  if backoff_base < 1 then
+    invalid_arg "Circuit_breaker.create: backoff_base < 1";
+  if backoff_factor < 1.0 then
+    invalid_arg "Circuit_breaker.create: backoff_factor < 1";
+  if max_backoff < backoff_base then
+    invalid_arg "Circuit_breaker.create: max_backoff < backoff_base";
+  let ins =
+    Option.map
+      (fun o ->
+        {
+          g_state = Obs.gauge o Obs.Keys.fault_breaker_state;
+          h_outage = Obs.histogram o Obs.Keys.fault_outage_rounds;
+        })
+      obs
+  in
+  let t =
+    {
+      trip_after;
+      backoff_base;
+      backoff_factor;
+      max_backoff;
+      ins;
+      state = Closed;
+      consecutive = 0;
+      backoff = backoff_base;
+      opened_at = 0;
+      open_until = 0;
+      trips = 0;
+    }
+  in
+  set_state t Closed;
+  t
+
+let state t = t.state
+
+let allow t ~round =
+  match t.state with
+  | Closed | Half_open -> true
+  | Open ->
+      if round >= t.open_until then begin
+        (* Backoff expired: let one recovery round through. *)
+        set_state t Half_open;
+        true
+      end
+      else false
+
+let trip t ~round =
+  t.trips <- t.trips + 1;
+  t.opened_at <- round;
+  t.open_until <- round + t.backoff;
+  set_state t Open
+
+let grow_backoff t =
+  t.backoff <-
+    min t.max_backoff
+      (max (t.backoff + 1)
+         (int_of_float (Float.round (float_of_int t.backoff *. t.backoff_factor))))
+
+let record_success t ~round =
+  (match (t.state, t.ins) with
+  | (Open | Half_open), Some i ->
+      (* The outage is over: record how long the breaker held traffic. *)
+      Metrics.observe i.h_outage (float_of_int (round - t.opened_at))
+  | _ -> ());
+  t.consecutive <- 0;
+  t.backoff <- t.backoff_base;
+  set_state t Closed
+
+let record_failure t ~round =
+  t.consecutive <- t.consecutive + 1;
+  match t.state with
+  | Half_open ->
+      (* The recovery probe failed too — re-open with a grown window. *)
+      grow_backoff t;
+      trip t ~round
+  | Closed -> if t.consecutive >= t.trip_after then trip t ~round
+  | Open -> ()
+
+let consecutive_failures t = t.consecutive
+let trips t = t.trips
+let current_backoff t = t.backoff

@@ -72,6 +72,18 @@ let sink t =
               ("success", jfloat success);
             ]
       | Trace.Probe_resolved -> instant t "probe-resolved" []
+      | Trace.Probe_failed { attempts } ->
+          instant t "probe-failed" [ ("attempts", string_of_int attempts) ]
+      | Trace.Degraded { verdict; action; forced } ->
+          instant t "degraded"
+            [
+              ("verdict", jstr (Trace.verdict_name verdict));
+              ("action", jstr (Trace.action_name action));
+              ("forced", string_of_bool forced);
+            ]
+      | Trace.Breaker { state; round } ->
+          instant t "breaker"
+            [ ("state", jstr state); ("round", string_of_int round) ]
       | Trace.Batch { size } -> instant t "batch" [ ("size", string_of_int size) ]
       | Trace.Early_termination { reads; recall } ->
           instant t "early-termination"

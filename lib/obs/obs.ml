@@ -41,4 +41,9 @@ module Keys = struct
   let domain_busy i = Printf.sprintf "qaq.parallel.domain%d.busy_seconds" i
   let maybe_laxity = "qaq.maybe.laxity"
   let maybe_success = "qaq.maybe.success"
+  let fault_injected = "qaq.fault.injected"
+  let fault_retried = "qaq.fault.retried"
+  let fault_degraded = "qaq.fault.degraded"
+  let fault_breaker_state = "qaq.fault.breaker_state"
+  let fault_outage_rounds = "qaq.fault.outage_rounds"
 end

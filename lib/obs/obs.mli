@@ -83,4 +83,23 @@ module Keys : sig
   val maybe_success : string
   (** Histogram: success probability [s(o)] of every MAYBE object at
       decision time. *)
+
+  val fault_injected : string
+  (** Injected fault decisions that fired — failed attempts and latency
+      spikes ({!Fault_plan}). *)
+
+  val fault_retried : string
+  (** Attempts retried because an injected (or simulated) failure struck
+      a retryable site. *)
+
+  val fault_degraded : string
+  (** Objects whose probe failed permanently and that fell back to the
+      guarantee-aware imprecise write decision ({!Operator}). *)
+
+  val fault_breaker_state : string
+  (** Gauge: circuit-breaker state (0 closed, 1 half-open, 2 open). *)
+
+  val fault_outage_rounds : string
+  (** Histogram: lengths (in rounds) of scripted outage windows and of
+      breaker open windows. *)
 end

@@ -22,6 +22,7 @@ type audit = {
   guaranteed_recall : float;
   guarantees_met : bool;
   answer_size : int;
+  degraded_probes : int;
   achieved : achieved option;
 }
 
@@ -61,7 +62,7 @@ let spans_of_snapshot s =
 
 let make ?(label = "run") ~counts ~snapshot ~requested_precision
     ~requested_recall ~guaranteed_precision ~guaranteed_recall ~guarantees_met
-    ~answer_size ?ground_truth ?reconcile_error () =
+    ~answer_size ?(degraded_probes = 0) ?ground_truth ?reconcile_error () =
   let achieved =
     Option.map
       (fun (answer_in_exact, exact_size) ->
@@ -89,6 +90,7 @@ let make ?(label = "run") ~counts ~snapshot ~requested_precision
         guaranteed_recall;
         guarantees_met;
         answer_size;
+        degraded_probes;
         achieved;
       };
     spans = spans_of_snapshot snapshot;
@@ -145,13 +147,14 @@ let to_json t =
   add
     "  \"audit\": {\"requested_precision\": %s, \"requested_recall\": %s, \
      \"guaranteed_precision\": %s, \"guaranteed_recall\": %s, \
-     \"guarantees_met\": %s, \"answer_size\": %d, \"achieved\": %s},\n"
+     \"guarantees_met\": %s, \"answer_size\": %d, \"degraded_probes\": %d, \
+     \"achieved\": %s},\n"
     (json_float t.audit.requested_precision)
     (json_float t.audit.requested_recall)
     (json_float t.audit.guaranteed_precision)
     (json_float t.audit.guaranteed_recall)
     (json_bool t.audit.guarantees_met)
-    t.audit.answer_size
+    t.audit.answer_size t.audit.degraded_probes
     (json_achieved t.audit.achieved);
   add "  \"spans\": [%s],\n"
     (String.concat ", "
@@ -211,6 +214,12 @@ let render t =
       pass_cell (fun a -> a.recall_pass);
     ];
   Buffer.add_string b (Text_table.render audit);
+  if t.audit.degraded_probes > 0 then
+    Buffer.add_string b
+      (Printf.sprintf
+         "DEGRADED: %d probe(s) failed permanently; guarantees above are \
+          post-degradation\n"
+         t.audit.degraded_probes);
   (match t.audit.achieved with
   | Some a ->
       Buffer.add_string b

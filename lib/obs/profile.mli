@@ -42,6 +42,10 @@ type audit = {
   guaranteed_recall : float;
   guarantees_met : bool;  (** guarantees >= requirements *)
   answer_size : int;
+  degraded_probes : int;
+      (** objects whose probe failed permanently and degraded to an
+          imprecise write decision; a non-zero value flags the run as
+          degraded in {!render} and {!to_json} *)
   achieved : achieved option;  (** [None] without an oracle *)
 }
 
@@ -68,13 +72,14 @@ val make :
   guaranteed_recall:float ->
   guarantees_met:bool ->
   answer_size:int ->
+  ?degraded_probes:int ->
   ?ground_truth:int * int ->
   ?reconcile_error:string ->
   unit ->
   t
 (** [ground_truth] is [(answer_in_exact, exact_size)]; the achieved
-    rates and pass flags are derived here.  [label] defaults to
-    ["run"]. *)
+    rates and pass flags are derived here.  [degraded_probes] defaults
+    to 0 (an unfaulted run).  [label] defaults to ["run"]. *)
 
 val audit_passed : t -> bool
 (** Guarantees met, and — when ground truth was supplied — achieved

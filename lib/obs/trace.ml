@@ -10,6 +10,9 @@ type event =
       success : float;
     }
   | Probe_resolved
+  | Probe_failed of { attempts : int }
+  | Degraded of { verdict : verdict; action : action; forced : bool }
+  | Breaker of { state : string; round : int }
   | Batch of { size : int }
   | Early_termination of { reads : int; recall : float }
   | Replan of { reads : int }
@@ -49,6 +52,14 @@ let pp_event ppf = function
       Format.fprintf ppf "decision %s -> %s (l=%g s=%g)" (verdict_name verdict)
         (action_name action) laxity success
   | Probe_resolved -> Format.pp_print_string ppf "probe resolved"
+  | Probe_failed { attempts } ->
+      Format.fprintf ppf "probe failed permanently after %d attempts" attempts
+  | Degraded { verdict; action; forced } ->
+      Format.fprintf ppf "degraded %s -> %s%s" (verdict_name verdict)
+        (action_name action)
+        (if forced then " (forced)" else "")
+  | Breaker { state; round } ->
+      Format.fprintf ppf "breaker %s at round %d" state round
   | Batch { size } -> Format.fprintf ppf "batch dispatched (size %d)" size
   | Early_termination { reads; recall } ->
       Format.fprintf ppf "early termination after %d reads (r^G=%g)" reads

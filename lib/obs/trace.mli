@@ -22,6 +22,15 @@ type event =
       success : float;
     }  (** the operator committed to an action for one object *)
   | Probe_resolved  (** one pending probe resolved to its precise object *)
+  | Probe_failed of { attempts : int }
+      (** one pending probe exhausted its retry budget and will never
+          resolve; the object degrades to an imprecise write decision *)
+  | Degraded of { verdict : verdict; action : action; forced : bool }
+      (** the operator fell back to [action] for an object whose probe
+          failed; [forced] when no guarantee-feasible action existed *)
+  | Breaker of { state : string; round : int }
+      (** a circuit breaker changed state ("open" / "half-open" /
+          "closed") at the given probe round *)
   | Batch of { size : int }  (** one probe batch dispatched to the source *)
   | Early_termination of { reads : int; recall : float }
       (** the scan stopped before exhausting the input *)

@@ -3,12 +3,13 @@ type latency =
   | Constant of float
   | Jittered of { base : float; jitter : float }
 
-exception Probe_failed
+exception Probe_failed = Probe_driver.Probe_failed
 
 type instruments = {
   m_wakeups : Metrics.counter;
   m_attempts : Metrics.counter;
   m_resolved : Metrics.counter;
+  m_retried : Metrics.counter;
   g_latency : Metrics.gauge;
   h_latency : Metrics.histogram;
 }
@@ -19,6 +20,7 @@ type 'o t = {
   failure_rate : float;
   max_retries : int;
   rng : Rng.t option;
+  faults : Fault_plan.t option;
   ins : instruments option;
   mutable probes : int;
   mutable attempts : int;
@@ -27,7 +29,7 @@ type 'o t = {
 }
 
 let create ?obs ?(latency = Instant) ?(failure_rate = 0.0) ?(max_retries = 10)
-    ?rng resolve =
+    ?rng ?(faults = Fault_plan.none) resolve =
   if not (failure_rate >= 0.0 && failure_rate < 1.0) then
     invalid_arg "Probe_source.create: failure_rate outside [0, 1)";
   if max_retries < 0 then invalid_arg "Probe_source.create: max_retries < 0";
@@ -44,6 +46,7 @@ let create ?obs ?(latency = Instant) ?(failure_rate = 0.0) ?(max_retries = 10)
           m_wakeups = Obs.counter o "probe_source.wakeups";
           m_attempts = Obs.counter o "probe_source.attempts";
           m_resolved = Obs.counter o "probe_source.resolved";
+          m_retried = Obs.counter o Obs.Keys.fault_retried;
           g_latency = Obs.gauge o "probe_source.latency";
           h_latency = Obs.histogram o "probe_source.wakeup_latency";
         })
@@ -55,6 +58,7 @@ let create ?obs ?(latency = Instant) ?(failure_rate = 0.0) ?(max_retries = 10)
     failure_rate;
     max_retries;
     rng;
+    faults = Fault_plan.injector_opt ?obs ~site:"probe_source" faults;
     ins;
     probes = 0;
     attempts = 0;
@@ -63,13 +67,16 @@ let create ?obs ?(latency = Instant) ?(failure_rate = 0.0) ?(max_retries = 10)
   }
 
 let sample_latency t =
-  match t.latency with
-  | Instant -> 0.0
-  | Constant l -> l
-  | Jittered { base; jitter } -> (
-      match t.rng with
-      | Some rng -> base +. Rng.float rng (Float.max jitter Float.epsilon)
-      | None -> base)
+  let l =
+    match t.latency with
+    | Instant -> 0.0
+    | Constant l -> l
+    | Jittered { base; jitter } -> (
+        match t.rng with
+        | Some rng -> base +. Rng.float rng (Float.max jitter Float.epsilon)
+        | None -> base)
+  in
+  match t.faults with Some f -> Fault_plan.latency f l | None -> l
 
 let attempt_fails t =
   t.failure_rate > 0.0
@@ -99,51 +106,99 @@ let note_resolved t =
   t.probes <- t.probes + 1;
   match t.ins with Some i -> Metrics.incr i.m_resolved | None -> ()
 
+let note_retried t =
+  match t.ins with Some i -> Metrics.incr i.m_retried | None -> ()
+
+(* Both failure draws happen unconditionally: the injected one comes
+   from the injector's own stream, the simulated one from [t.rng], and
+   evaluating both keeps each stream's consumption independent of the
+   other's outcome — attaching an injector never shifts the legacy
+   failure stream of a source that also simulates failures itself. *)
+let roll_failure t element ~round =
+  let injected =
+    match (t.faults, element) with
+    | Some f, Some e -> Fault_plan.attempt f e ~round
+    | _ -> false
+  in
+  let simulated = attempt_fails t in
+  injected || simulated
+
+let fresh_element t =
+  match t.faults with Some f -> Some (Fault_plan.fresh_element f) | None -> None
+
 let probe t o =
-  let rec go retries_left =
+  let element = fresh_element t in
+  let rec go ~round retries_left =
     note_attempt t;
     wakeup t;
-    if attempt_fails t then
-      if retries_left = 0 then raise Probe_failed else go (retries_left - 1)
+    if roll_failure t element ~round then
+      if retries_left = 0 then raise Probe_failed
+      else begin
+        note_retried t;
+        go ~round:(round + 1) (retries_left - 1)
+      end
     else t.resolve o
   in
-  let precise = go t.max_retries in
+  let precise = go ~round:0 t.max_retries in
   note_resolved t;
   precise
 
-let probe_batch t objs =
+let probe_batch_outcomes t objs =
   let n = Array.length objs in
   if n = 0 then [||]
   else begin
     let results = Array.make n None in
     let tries = Array.make n 0 in
+    (* Permanence is drawn once per element, in index order, before any
+       round runs — the draw sequence does not depend on how retries
+       interleave. *)
+    let elements = Array.init n (fun _ -> fresh_element t) in
     let pending = ref (List.init n Fun.id) in
+    let round = ref 0 in
     (* Each round is one wakeup: latency is paid once for the whole
        pending set, failures strike per element, and only the failed
-       elements ride along to the next round. *)
+       elements ride along to the next round.  An element that exhausts
+       its retries settles as [Failed] — its siblings keep resolving,
+       and the caller receives every outcome. *)
     while !pending <> [] do
       wakeup t;
+      let r = !round in
       pending :=
         List.filter
           (fun i ->
             note_attempt t;
             tries.(i) <- tries.(i) + 1;
-            if attempt_fails t then
-              if tries.(i) > t.max_retries then raise Probe_failed else true
+            if roll_failure t elements.(i) ~round:r then
+              if tries.(i) > t.max_retries then begin
+                results.(i) <-
+                  Some (Probe_driver.Failed { attempts = tries.(i) });
+                false
+              end
+              else begin
+                note_retried t;
+                true
+              end
             else begin
-              results.(i) <- Some (t.resolve objs.(i));
+              results.(i) <- Some (Probe_driver.Resolved (t.resolve objs.(i)));
               note_resolved t;
               false
             end)
-          !pending
+          !pending;
+      incr round
     done;
-    Array.map
-      (function Some o -> o | None -> assert false (* all settled *))
-      results
+    Array.map (function Some o -> o | None -> assert false) results
   end
 
+let probe_batch t objs =
+  let outcomes = probe_batch_outcomes t objs in
+  Array.map
+    (function
+      | Probe_driver.Resolved o -> o
+      | Probe_driver.Failed _ -> raise Probe_failed)
+    outcomes
+
 let driver ?obs ?(batch_size = 1) t =
-  Probe_driver.create ?obs ~batch_size (probe_batch t)
+  Probe_driver.create_outcomes ?obs ~batch_size (probe_batch_outcomes t)
 
 type stats = {
   probes : int;

@@ -4,15 +4,19 @@
     A probe is the expensive operation of the paper — fetching the precise
     object from wherever it lives (the sensor itself, a remote archive,
     tertiary storage).  A source wraps the resolution function with
-    latency simulation and optional transient-failure injection so that
-    examples and benchmarks can model realistic remote stores; the QaQ
-    operator itself only sees the {!Probe_driver} capability.
+    latency simulation, optional transient-failure injection, and an
+    optional {!Fault_plan} (scripted transient/permanent failures and
+    latency spikes) so that examples and benchmarks can model realistic
+    remote stores; the QaQ operator itself only sees the {!Probe_driver}
+    capability.
 
     The source resolves natively in batches: {!probe_batch} wakes the
     remote store once per round, resolving every pending object in that
     round together, so a batch of [B] pays one latency sample where [B]
     scalar probes pay [B].  {!driver} packages a source as the
-    [Probe_driver] the operator consumes. *)
+    [Probe_driver] the operator consumes — an outcome-based driver, so an
+    element that exhausts its retries degrades ({!Probe_driver.Failed})
+    instead of tearing down the run. *)
 
 (** Latency charged per probe attempt, in arbitrary time units. *)
 type latency =
@@ -29,6 +33,7 @@ val create :
   ?failure_rate:float ->
   ?max_retries:int ->
   ?rng:Rng.t ->
+  ?faults:Fault_plan.spec ->
   ('o -> 'o) ->
   'o t
 (** [create resolve] builds a source around the resolution function, which
@@ -37,39 +42,59 @@ val create :
     [latency] defaults to [Instant].  [failure_rate] (default 0) is the
     probability that one attempt fails transiently and is retried, up to
     [max_retries] (default 10) extra attempts; each attempt pays the
-    latency.  A probe that exhausts its retries raises {!Probe_failed}.
-    [rng] is required if either latency jitter or failures are used.
+    latency.  [rng] is required if either latency jitter or failures are
+    used.
+
+    [faults] (default {!Fault_plan.none}) attaches a fault injector at
+    site ["probe_source"]: injected transient failures compose with
+    [failure_rate] (either one fails the attempt), injected {e permanent}
+    elements fail every attempt and settle as {!Probe_driver.Failed}
+    after the retry budget, and latency spikes multiply the sampled
+    wakeup latency.  The injector draws from its own seeded stream, so a
+    null plan — or the same source without one — behaves bit-for-bit
+    identically.
 
     [obs] registers [probe_source.wakeups], [probe_source.attempts] and
-    [probe_source.resolved] (counters, mirroring {!stats}) and the gauge
+    [probe_source.resolved] (counters, mirroring {!stats}), the gauge
     [probe_source.latency] (cumulative simulated latency, updated at
-    every wakeup) — how retry storms and latency tails show up in a
-    metrics dump.
+    every wakeup), and [qaq.fault.retried] (attempts retried after a
+    failure, injected or simulated) — how retry storms and latency tails
+    show up in a metrics dump.
 
     @raise Invalid_argument on a failure rate outside [0, 1) or a
     negative retry count. *)
 
 exception Probe_failed
+(** The legacy abort exception — an alias of
+    {!Probe_driver.Probe_failed} (physically the same exception, so a
+    handler for either catches both). *)
 
 val probe : 'o t -> 'o -> 'o
 (** Resolve one object, recording attempts and simulated latency.  Each
     attempt is its own wakeup: it pays one latency sample and counts one
-    batch of size 1. *)
+    batch of size 1.  @raise Probe_failed when the retry budget is
+    exhausted (the scalar path has no outcome to degrade into). *)
 
-val probe_batch : 'o t -> 'o array -> 'o array
+val probe_batch_outcomes :
+  'o t -> 'o array -> 'o Probe_driver.outcome array
 (** Resolve a batch, preserving order.  Each retry {e round} is one
     wakeup — one latency sample and one batch count for however many
     objects are still pending — while failures strike per element:
     elements that resolve in a round are kept, and only the failed ones
     ride along to the next round.  An element that fails
-    [max_retries + 1] times raises {!Probe_failed} (results already
-    obtained in the batch are then lost to the caller, but remain
-    counted in {!stats}). *)
+    [max_retries + 1] times settles as [Failed] with its attempt count;
+    every sibling still resolves and every outcome is returned, so no
+    partial-batch work is ever lost. *)
+
+val probe_batch : 'o t -> 'o array -> 'o array
+(** {!probe_batch_outcomes} for callers that cannot degrade: the batch
+    is resolved {e completely} (all siblings settle and are counted in
+    {!stats}), then @raise Probe_failed if any element failed. *)
 
 val driver : ?obs:Obs.t -> ?batch_size:int -> 'o t -> 'o Probe_driver.t
 (** The source as an operator-facing probe capability, resolving each
-    driver flush with {!probe_batch}.  [batch_size] defaults to 1 (the
-    scalar path).  [obs] instruments the driver itself (see
+    driver flush with {!probe_batch_outcomes}.  [batch_size] defaults to
+    1 (the scalar path).  [obs] instruments the driver itself (see
     {!Probe_driver.create}); pass it to [create] as well to instrument
     the source underneath. *)
 

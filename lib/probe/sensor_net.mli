@@ -14,6 +14,7 @@ type t
 
 val create :
   ?obs:Obs.t ->
+  ?faults:Fault_plan.spec ->
   Rng.t ->
   n:int ->
   value_range:Interval.t ->
@@ -24,9 +25,17 @@ val create :
     sensor's tolerance (half its cache width) is drawn from
     [tolerance_range] (which must be positive); per-step drift is
     Gaussian.  [obs] registers the counters [sensor_net.transmissions],
-    [sensor_net.probe_wakeups] and [sensor_net.probe_messages],
-    mirroring the accessors below.  @raise Invalid_argument on a
-    non-positive tolerance range or [n < 0]. *)
+    [sensor_net.probe_wakeups], [sensor_net.probe_messages] and
+    [qaq.fault.retried], mirroring the accessors below.
+
+    [faults] (default {!Fault_plan.none}) attaches a fault injector at
+    site ["sensor_net"]: sensors can fail attempts transiently or
+    permanently, and scripted {!Fault_plan.outage} windows silence a
+    sensor ([node] = [sensor_id]) for whole probe rounds.  A non-null
+    plan also installs a {!Circuit_breaker} (default configuration)
+    over the net's probe rounds; its retry budget is the plan's
+    [max_retries].  @raise Invalid_argument on a non-positive tolerance
+    range or [n < 0]. *)
 
 val size : t -> int
 
@@ -55,14 +64,37 @@ val instance : Predicate.t -> reading Operator.instance
 val probe : reading -> reading
 (** Resolve one reading (pure; no network accounting). *)
 
+val probe_batch_outcomes :
+  t -> reading array -> reading Probe_driver.outcome array
+(** Resolve a batch over the network: one radio {e wakeup} per retry
+    round for however many sensors are still pending, one {e message}
+    per sensor in the round.  Without faults the batch resolves in one
+    round — the batched-probe cost model's [c_b] is the wakeup, [c_p]
+    the per-sensor message.  Under a fault plan, failed sensors retry
+    in later rounds until the budget runs out (settling as [Failed]
+    with their attempt count), outage windows silence individual
+    sensors, and the circuit breaker refuses rounds — waking no radio
+    and burning no budget — while the net looks dead.  Breaker state
+    changes emit {!Trace.Breaker} events when tracing. *)
+
 val probe_batch : t -> reading array -> reading array
-(** Resolve a batch over the network: one radio {e wakeup} for the whole
-    batch, one {e message} per sensor in it.  The batched-probe cost
-    model's [c_b] is the wakeup; [c_p] is the per-sensor message. *)
+(** {!probe_batch_outcomes} for callers that cannot degrade: the batch
+    resolves completely (all accounting happens), then
+    @raise Probe_driver.Probe_failed if any sensor failed. *)
 
 val batch_driver : ?obs:Obs.t -> ?batch_size:int -> t -> reading Probe_driver.t
 (** The network as an operator-facing probe capability resolving through
-    {!probe_batch}; [batch_size] defaults to 1 (one wakeup per probe). *)
+    {!probe_batch_outcomes}; [batch_size] defaults to 1 (one wakeup per
+    probe). *)
+
+val breaker : t -> Circuit_breaker.t option
+(** The breaker guarding the net's probe rounds; [Some] exactly when a
+    non-null fault plan was attached. *)
+
+val rounds : t -> int
+(** Probe rounds elapsed over the net's lifetime (including rounds the
+    breaker refused) — the clock {!Fault_plan.outage} windows and the
+    breaker run on. *)
 
 val probe_wakeups : t -> int
 (** Batch round-trips the network has served via {!probe_batch}. *)

@@ -31,7 +31,34 @@ let to_array t = Array.copy t.objects
 
 type io_stats = { pages_fetched : int; objects_delivered : int }
 
+exception Read_failed of { page : int; attempts : int }
+
 module Cursor = struct
+  (* A faulted loader retries transient read failures in place (each
+     retry counts into [qaq.fault.retried]) and surfaces exhaustion as
+     [Read_failed] — storage has no imprecise fallback to degrade into,
+     so a permanently unreadable page is an error the caller sees. *)
+  let wrap_fault ?obs spec fetch =
+    match Fault_plan.injector_opt ?obs ~site:"heap_file" spec with
+    | None -> fetch
+    | Some inj ->
+        let m_retried =
+          Option.map (fun o -> Obs.counter o Obs.Keys.fault_retried) obs
+        in
+        let max_retries = (Fault_plan.spec inj).Fault_plan.max_retries in
+        fun p ->
+          let e = Fault_plan.fresh_element inj in
+          let rec go ~attempts ~round =
+            if Fault_plan.attempt inj e ~round then
+              if attempts > max_retries then
+                raise (Read_failed { page = p; attempts })
+              else begin
+                (match m_retried with Some c -> Metrics.incr c | None -> ());
+                go ~attempts:(attempts + 1) ~round:(round + 1)
+              end
+            else fetch p
+          in
+          go ~attempts:1 ~round:0
   type 'a cursor = {
     file : 'a t;
     fetch : int -> 'a array;  (* page fetch, possibly through a pool *)
@@ -49,7 +76,8 @@ module Cursor = struct
 
   type 'a t = 'a cursor
 
-  let open_via ?obs file fetch ~skip_page =
+  let open_via ?obs ?(faults = Fault_plan.none) file fetch ~skip_page =
+    let fetch = wrap_fault ?obs faults fetch in
     (* The zone map is consulted for every page up front: pruning is
        "implicit" in the paper's sense — pruned objects count as already
        classified NO, so they never appear in |M_ns|. *)
@@ -80,12 +108,20 @@ module Cursor = struct
       pages_fetched = 0;
     }
 
-  let open_filtered ?obs file ~skip_page = open_via ?obs file (page file) ~skip_page
+  let open_filtered ?obs ?faults file ~skip_page =
+    open_via ?obs ?faults file (page file) ~skip_page
 
-  let open_ ?obs file = open_filtered ?obs file ~skip_page:(fun _ -> false)
+  let open_ ?obs ?faults file =
+    open_filtered ?obs ?faults file ~skip_page:(fun _ -> false)
 
-  let open_pooled ?obs ?(skip_page = fun _ -> false) file ~pool =
-    let fetch p = Buffer_pool.fetch pool p (page file) in
+  let open_pooled ?obs ?(faults = Fault_plan.none) ?(skip_page = fun _ -> false)
+      file ~pool =
+    (* Faults wrap the innermost load, not the pool lookup: a cached
+       page cannot fail, and a failing load raises out of
+       [Buffer_pool.fetch] before anything is inserted, leaving the
+       pool untouched. *)
+    let load = wrap_fault ?obs faults (page file) in
+    let fetch p = Buffer_pool.fetch pool p load in
     open_via ?obs file fetch ~skip_page
 
   let rec next c =

@@ -36,24 +36,38 @@ val to_array : 'a t -> 'a array
 
 type io_stats = { pages_fetched : int; objects_delivered : int }
 
+exception Read_failed of { page : int; attempts : int }
+(** A page read failed permanently under an attached {!Fault_plan}:
+    every retry of the fetch was struck down.  Storage has no imprecise
+    fallback — an unreadable page is an error, not a degradation. *)
+
 (** A sequential cursor over the file.  The QaQ operator consumes objects
     through a cursor so that [|M_ns|] (objects not yet seen) is always
-    [remaining]. *)
+    [remaining].
+
+    Every [open_] variant takes an optional [faults] plan (default
+    {!Fault_plan.none}), injected at site ["heap_file"]: a page fetch
+    that fails transiently is retried in place up to the plan's
+    [max_retries] (each retry counting into [qaq.fault.retried]); a
+    fetch that exhausts its budget raises {!Read_failed}. *)
 module Cursor : sig
   type 'a file := 'a t
   type 'a t
 
-  val open_ : ?obs:Obs.t -> 'a file -> 'a t
+  val open_ : ?obs:Obs.t -> ?faults:Fault_plan.spec -> 'a file -> 'a t
   (** [obs] registers the counter [heap_file.pages_fetched], incremented
       on every page fetch of this cursor (same for the other opens). *)
 
-  val open_filtered : ?obs:Obs.t -> 'a file -> skip_page:(int -> bool) -> 'a t
+  val open_filtered :
+    ?obs:Obs.t -> ?faults:Fault_plan.spec -> 'a file ->
+    skip_page:(int -> bool) -> 'a t
   (** A cursor that skips whole pages for which [skip_page] is [true]
       without fetching them — the access-method hook used by the zone-map
       extension.  Skipped objects are reported via {!skipped}. *)
 
   val open_pooled :
     ?obs:Obs.t ->
+    ?faults:Fault_plan.spec ->
     ?skip_page:(int -> bool) ->
     'a file ->
     pool:'a Buffer_pool.t ->
@@ -61,7 +75,9 @@ module Cursor : sig
   (** Like {!open_filtered} but page reads go through an LRU buffer pool
       shared across cursors: repeated or partially-overlapping scans
       re-use cached pages.  {!io}'s [pages_fetched] counts pages
-      {e requested}; the pool's own stats separate hits from misses. *)
+      {e requested}; the pool's own stats separate hits from misses.
+      Faults strike the {e load} under the pool, never a cached hit, and
+      a failing load leaves the pool untouched. *)
 
   val next : 'a t -> 'a option
   (** Next object, fetching a page when the current one is exhausted. *)

@@ -1,0 +1,370 @@
+(* Tests for the fault-injection library: the seeded fault plan, the
+   round-based circuit breaker, and their wiring into Sensor_net's
+   retry rounds. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* --- Fault_plan ------------------------------------------------------ *)
+
+let test_null_plan () =
+  checkb "none is null" true (Fault_plan.is_null Fault_plan.none);
+  checkb "seed alone keeps a plan null" true
+    (Fault_plan.is_null (Fault_plan.make ~seed:99 ()));
+  checkb "no injector for a null plan" true
+    (Fault_plan.injector_opt ~site:"x" Fault_plan.none = None);
+  checkb "a rate makes it live" false
+    (Fault_plan.is_null (Fault_plan.make ~transient_rate:0.1 ()));
+  checkb "an outage makes it live" false
+    (Fault_plan.is_null
+       (Fault_plan.make
+          ~outages:[ { Fault_plan.node = 0; from_round = 0; rounds = 1 } ]
+          ()));
+  checkb "live plan builds an injector" true
+    (Fault_plan.injector_opt ~site:"x"
+       (Fault_plan.make ~transient_rate:0.1 ())
+    <> None)
+
+let invalid f =
+  match ignore (f ()) with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_make_validation () =
+  invalid (fun () -> Fault_plan.make ~transient_rate:1.5 ());
+  invalid (fun () -> Fault_plan.make ~permanent_rate:(-0.1) ());
+  invalid (fun () -> Fault_plan.make ~spike_factor:0.5 ());
+  invalid (fun () -> Fault_plan.make ~max_retries:(-1) ());
+  invalid (fun () ->
+      Fault_plan.make
+        ~outages:[ { Fault_plan.node = 0; from_round = -1; rounds = 1 } ]
+        ());
+  invalid (fun () ->
+      Fault_plan.make
+        ~outages:[ { Fault_plan.node = 0; from_round = 0; rounds = 0 } ]
+        ())
+
+(* The injector's stream is a pure function of (seed, site): equal
+   arguments replay identically, in lockstep, forever. *)
+let draw_sequence inj n =
+  List.init n (fun i ->
+      let e = Fault_plan.fresh_element inj in
+      (Fault_plan.element_permanent e, Fault_plan.attempt inj e ~round:i))
+
+let prop_injector_deterministic =
+  QCheck2.Test.make ~name:"injector stream is a pure function of (seed, site)"
+    ~count:50
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let spec =
+        Fault_plan.make ~seed ~transient_rate:0.4 ~permanent_rate:0.1 ()
+      in
+      let a = Fault_plan.injector ~site:"probe_source" spec in
+      let b = Fault_plan.injector ~site:"probe_source" spec in
+      draw_sequence a 100 = draw_sequence b 100
+      && Fault_plan.injected a = Fault_plan.injected b)
+
+let test_sites_diverge () =
+  let spec = Fault_plan.make ~seed:7 ~transient_rate:0.5 () in
+  let a = Fault_plan.injector ~site:"probe_source" spec in
+  let b = Fault_plan.injector ~site:"sensor_net" spec in
+  checkb "different sites draw different streams" false
+    (draw_sequence a 200 = draw_sequence b 200)
+
+let test_permanent_element () =
+  let inj =
+    Fault_plan.injector ~site:"t" (Fault_plan.make ~permanent_rate:1.0 ())
+  in
+  let e = Fault_plan.fresh_element inj in
+  checkb "drawn permanent" true (Fault_plan.element_permanent e);
+  for round = 0 to 20 do
+    checkb "permanent fails every attempt" true
+      (Fault_plan.attempt inj e ~round)
+  done;
+  let inj0 =
+    Fault_plan.injector ~site:"t" (Fault_plan.make ~transient_rate:0.5 ())
+  in
+  checkb "no permanence without a rate" false
+    (Fault_plan.element_permanent (Fault_plan.fresh_element inj0))
+
+let test_outage_windows () =
+  let inj =
+    Fault_plan.injector ~site:"t"
+      (Fault_plan.make
+         ~outages:[ { Fault_plan.node = 3; from_round = 5; rounds = 2 } ]
+         ())
+  in
+  let active node round = Fault_plan.outage_active inj ~node ~round in
+  checkb "covers first round" true (active 3 5);
+  checkb "covers last round" true (active 3 6);
+  checkb "half-open end" false (active 3 7);
+  checkb "before the window" false (active 3 4);
+  checkb "other node untouched" false (active 2 5)
+
+let test_latency_spikes () =
+  let spiked =
+    Fault_plan.injector ~site:"t"
+      (Fault_plan.make ~spike_rate:1.0 ~spike_factor:10.0 ())
+  in
+  checkf "certain spike multiplies" 20.0 (Fault_plan.latency spiked 2.0);
+  checkb "spike counted as injected" true (Fault_plan.injected spiked > 0);
+  let calm =
+    Fault_plan.injector ~site:"t" (Fault_plan.make ~transient_rate:0.1 ())
+  in
+  checkf "no spike rate, identity" 2.0 (Fault_plan.latency calm 2.0)
+
+let test_injected_counter_reaches_metrics () =
+  let obs = Obs.create () in
+  let inj =
+    Fault_plan.injector ~obs ~site:"t" (Fault_plan.make ~transient_rate:1.0 ())
+  in
+  let e = Fault_plan.fresh_element inj in
+  for round = 0 to 4 do
+    ignore (Fault_plan.attempt inj e ~round)
+  done;
+  checki "qaq.fault.injected mirrors the injector" 5
+    (Metrics.count_of (Obs.snapshot obs) Obs.Keys.fault_injected);
+  checki "accessor agrees" 5 (Fault_plan.injected inj)
+
+(* --- Circuit_breaker ------------------------------------------------- *)
+
+let test_breaker_trip_threshold () =
+  let b = Circuit_breaker.create () in
+  Circuit_breaker.record_failure b ~round:0;
+  Circuit_breaker.record_failure b ~round:1;
+  checkb "two failures stay closed" true (Circuit_breaker.state b = Closed);
+  checki "consecutive tracked" 2 (Circuit_breaker.consecutive_failures b);
+  Circuit_breaker.record_failure b ~round:2;
+  checkb "third failure trips" true (Circuit_breaker.state b = Open);
+  checki "one trip" 1 (Circuit_breaker.trips b);
+  checkb "open refuses" false (Circuit_breaker.allow b ~round:3)
+
+let test_breaker_backoff_schedule () =
+  let b = Circuit_breaker.create () in
+  for round = 0 to 2 do
+    Circuit_breaker.record_failure b ~round
+  done;
+  (* Tripped at round 2 with the base window of 2: rounds 3 refused,
+     round 4 is the recovery probe. *)
+  checkb "round 3 refused" false (Circuit_breaker.allow b ~round:3);
+  checkb "round 4 allowed" true (Circuit_breaker.allow b ~round:4);
+  checkb "recovery probe is half-open" true
+    (Circuit_breaker.state b = Half_open);
+  (* Failed recovery re-trips with a doubled window: 4 rounds, so the
+     next probe is at round 8; then 8 rounds to round 16. *)
+  Circuit_breaker.record_failure b ~round:4;
+  checkb "re-tripped" true (Circuit_breaker.state b = Open);
+  checki "window doubled" 4 (Circuit_breaker.current_backoff b);
+  checkb "round 7 refused" false (Circuit_breaker.allow b ~round:7);
+  checkb "round 8 allowed" true (Circuit_breaker.allow b ~round:8);
+  Circuit_breaker.record_failure b ~round:8;
+  checki "window doubled again" 8 (Circuit_breaker.current_backoff b);
+  checkb "round 15 refused" false (Circuit_breaker.allow b ~round:15);
+  checkb "round 16 allowed" true (Circuit_breaker.allow b ~round:16);
+  (* A successful recovery closes the breaker and resets the schedule. *)
+  Circuit_breaker.record_success b ~round:16;
+  checkb "closed again" true (Circuit_breaker.state b = Closed);
+  checki "consecutive reset" 0 (Circuit_breaker.consecutive_failures b);
+  checki "backoff reset" 2 (Circuit_breaker.current_backoff b);
+  for round = 17 to 19 do
+    Circuit_breaker.record_failure b ~round
+  done;
+  checkb "fresh trip uses the base window: round 20 refused" false
+    (Circuit_breaker.allow b ~round:20);
+  checkb "round 21 allowed" true (Circuit_breaker.allow b ~round:21)
+
+let test_breaker_backoff_cap () =
+  let b =
+    Circuit_breaker.create ~trip_after:1 ~backoff_base:2 ~backoff_factor:2.0
+      ~max_backoff:8 ()
+  in
+  let fail_recovery_at round =
+    checkb "recovery allowed" true (Circuit_breaker.allow b ~round);
+    Circuit_breaker.record_failure b ~round
+  in
+  Circuit_breaker.record_failure b ~round:0;
+  fail_recovery_at 2;
+  (* 2 -> 4 *)
+  fail_recovery_at 6;
+  (* 4 -> 8 *)
+  fail_recovery_at 14;
+  (* 8 -> capped at 8 *)
+  checki "backoff capped" 8 (Circuit_breaker.current_backoff b);
+  checkb "next window is the cap: round 21 refused" false
+    (Circuit_breaker.allow b ~round:21);
+  checkb "round 22 allowed" true (Circuit_breaker.allow b ~round:22)
+
+let test_breaker_interleaved_success_resets () =
+  let b = Circuit_breaker.create () in
+  Circuit_breaker.record_failure b ~round:0;
+  Circuit_breaker.record_failure b ~round:1;
+  Circuit_breaker.record_success b ~round:2;
+  Circuit_breaker.record_failure b ~round:3;
+  Circuit_breaker.record_failure b ~round:4;
+  checkb "streak broken, still closed" true (Circuit_breaker.state b = Closed);
+  checki "never tripped" 0 (Circuit_breaker.trips b)
+
+let test_breaker_validation () =
+  invalid (fun () -> Circuit_breaker.create ~trip_after:0 ());
+  invalid (fun () -> Circuit_breaker.create ~backoff_base:0 ());
+  invalid (fun () -> Circuit_breaker.create ~backoff_factor:0.5 ());
+  invalid (fun () -> Circuit_breaker.create ~backoff_base:4 ~max_backoff:2 ())
+
+let test_breaker_state_gauge () =
+  let obs = Obs.create () in
+  let b = Circuit_breaker.create ~obs () in
+  let gauge () =
+    match Metrics.get (Obs.snapshot obs) Obs.Keys.fault_breaker_state with
+    | Some (Metrics.Level l) -> int_of_float l
+    | _ -> Alcotest.fail "breaker gauge missing"
+  in
+  checki "starts closed" 0 (gauge ());
+  for round = 0 to 2 do
+    Circuit_breaker.record_failure b ~round
+  done;
+  checki "open is 2" 2 (gauge ());
+  ignore (Circuit_breaker.allow b ~round:4);
+  checki "half-open is 1" 1 (gauge ());
+  Circuit_breaker.record_success b ~round:4;
+  checki "closed again is 0" 0 (gauge ());
+  (* The completed open window lands in the outage histogram. *)
+  match Metrics.dist_of (Obs.snapshot obs) Obs.Keys.fault_outage_rounds with
+  | Some d -> checki "outage window observed" 1 d.Metrics.d_count
+  | None -> Alcotest.fail "outage histogram missing"
+
+let prop_breaker_never_trips_without_failure =
+  QCheck2.Test.make ~name:"all-success round sequences never trip" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (int_range 0 3))
+    (fun gaps ->
+      let b = Circuit_breaker.create () in
+      let round = ref 0 in
+      List.for_all
+        (fun gap ->
+          round := !round + gap;
+          let allowed = Circuit_breaker.allow b ~round:!round in
+          Circuit_breaker.record_success b ~round:!round;
+          allowed
+          && Circuit_breaker.state b = Closed
+          && Circuit_breaker.trips b = 0)
+        gaps)
+
+(* --- Sensor_net under a fault plan ----------------------------------- *)
+
+let make_net ?obs ~n faults =
+  Sensor_net.create ?obs ~faults (Rng.create 5) ~n
+    ~value_range:(Interval.make 0.0 100.0)
+    ~tolerance_range:(Interval.make 1.0 2.0) ~drift_stddev:0.5
+
+(* An outage window that spans several retry rounds: the silenced
+   sensor rides along until the window ends, its siblings resolve in
+   round 0, and nothing trips because every early round still resolves
+   something or recovers before the threshold. *)
+let test_sensor_outage_overlaps_retry_rounds () =
+  let obs = Obs.create () in
+  let net =
+    make_net ~obs ~n:4
+      (Fault_plan.make
+         ~outages:[ { Fault_plan.node = 0; from_round = 0; rounds = 2 } ]
+         ~max_retries:5 ())
+  in
+  let outcomes = Sensor_net.probe_batch_outcomes net (Sensor_net.snapshot net) in
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Probe_driver.Resolved r ->
+          checkb "resolved flag set" true r.Sensor_net.resolved;
+          checki "order preserved" i r.Sensor_net.sensor_id
+      | Probe_driver.Failed _ -> Alcotest.fail "outage outlived by the budget")
+    outcomes;
+  checki "window + recovery = 3 rounds" 3 (Sensor_net.rounds net);
+  checki "one wakeup per round" 3 (Sensor_net.probe_wakeups net);
+  (* 4 messages in round 0, then the silenced sensor alone twice. *)
+  checki "messages follow the pending set" 6 (Sensor_net.probe_messages net);
+  checki "two retries recorded" 2
+    (Metrics.count_of (Obs.snapshot obs) Obs.Keys.fault_retried);
+  match Sensor_net.breaker net with
+  | None -> Alcotest.fail "live plan installs a breaker"
+  | Some b ->
+      checkb "never tripped" true (Circuit_breaker.trips b = 0);
+      checkb "closed" true (Circuit_breaker.state b = Closed)
+
+(* A net-wide permanent outage: the breaker trips after three dead
+   rounds and backs off exponentially, so the six-attempt budget is
+   spent at rounds 0,1,2,4,8,16 rather than hammering every round. *)
+let test_sensor_breaker_backoff_under_outage () =
+  let trace, events = Trace.collector () in
+  let obs = Obs.create ~trace () in
+  let net =
+    make_net ~obs ~n:1
+      (Fault_plan.make
+         ~outages:[ { Fault_plan.node = 0; from_round = 0; rounds = 1000 } ]
+         ~max_retries:5 ())
+  in
+  let outcomes = Sensor_net.probe_batch_outcomes net (Sensor_net.snapshot net) in
+  (match outcomes.(0) with
+  | Probe_driver.Failed { attempts } ->
+      checki "budget spent exactly" 6 attempts
+  | Probe_driver.Resolved _ -> Alcotest.fail "expected a permanent failure");
+  checki "attempt rounds 0,1,2,4,8,16" 6 (Sensor_net.probe_wakeups net);
+  checki "refused rounds still advance the clock" 17 (Sensor_net.rounds net);
+  (match Sensor_net.breaker net with
+  | None -> Alcotest.fail "expected a breaker"
+  | Some b ->
+      checkb "left open" true (Circuit_breaker.state b = Open);
+      checki "initial trip + three failed recoveries" 4
+        (Circuit_breaker.trips b));
+  let breaker_events =
+    List.filter
+      (function Trace.Breaker _ -> true | _ -> false)
+      (events ())
+  in
+  (* closed->open at round 2, then (half-open, open) pairs at rounds
+     4, 8 and 16. *)
+  checki "breaker transitions traced" 7 (List.length breaker_events);
+  (match breaker_events with
+  | Trace.Breaker { state; round } :: _ ->
+      Alcotest.(check string) "first transition opens" "open" state;
+      checki "at the trip round" 2 round
+  | _ -> Alcotest.fail "expected a breaker event");
+  checkb "refused rounds burn no budget" true
+    (Sensor_net.probe_messages net = 6)
+
+let test_sensor_no_faults_single_round () =
+  let net = make_net ~n:8 Fault_plan.none in
+  checkb "null plan installs no breaker" true (Sensor_net.breaker net = None);
+  let outcomes = Sensor_net.probe_batch_outcomes net (Sensor_net.snapshot net) in
+  Array.iter
+    (function
+      | Probe_driver.Resolved _ -> ()
+      | Probe_driver.Failed _ -> Alcotest.fail "unfaulted net failed")
+    outcomes;
+  checki "one round" 1 (Sensor_net.rounds net);
+  checki "one wakeup" 1 (Sensor_net.probe_wakeups net);
+  checki "one message per sensor" 8 (Sensor_net.probe_messages net)
+
+let suite =
+  [
+    ("null plan", `Quick, test_null_plan);
+    ("plan validation", `Quick, test_make_validation);
+    ("sites diverge", `Quick, test_sites_diverge);
+    ("permanent elements", `Quick, test_permanent_element);
+    ("outage windows", `Quick, test_outage_windows);
+    ("latency spikes", `Quick, test_latency_spikes);
+    ("injected counter", `Quick, test_injected_counter_reaches_metrics);
+    ("breaker trip threshold", `Quick, test_breaker_trip_threshold);
+    ("breaker backoff schedule", `Quick, test_breaker_backoff_schedule);
+    ("breaker backoff cap", `Quick, test_breaker_backoff_cap);
+    ("breaker success resets streak", `Quick,
+     test_breaker_interleaved_success_resets);
+    ("breaker validation", `Quick, test_breaker_validation);
+    ("breaker state gauge", `Quick, test_breaker_state_gauge);
+    ("sensor outage overlaps retries", `Quick,
+     test_sensor_outage_overlaps_retry_rounds);
+    ("sensor breaker backoff", `Quick,
+     test_sensor_breaker_backoff_under_outage);
+    ("sensor unfaulted single round", `Quick,
+     test_sensor_no_faults_single_round);
+    QCheck_alcotest.to_alcotest prop_injector_deterministic;
+    QCheck_alcotest.to_alcotest prop_breaker_never_trips_without_failure;
+  ]

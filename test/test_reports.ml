@@ -45,10 +45,11 @@ let test_quality_table_all_zero_for_enforced () =
   in
   checkb "rendered" true (contains "max p-viol" rendered)
 
-(* A probe source that exhausts its retries mid-query: the exception
-   must propagate out of the operator (the caller owns retry policy), and
-   the shared meter must still reflect the work done up to the failure. *)
-let test_probe_failure_propagates () =
+(* A probe source that exhausts its retries mid-query: the run must
+   complete anyway — each failed object degrades to a guarantee-aware
+   write decision and the report carries an honest degradation summary —
+   while the shared meter still reflects the work that was done. *)
+let test_probe_failure_degrades () =
   let rng = Rng.create 10 in
   let data =
     Synthetic.generate rng (Synthetic.config ~total:500 ~f_y:0.0 ~f_m:1.0 ())
@@ -58,18 +59,20 @@ let test_probe_failure_propagates () =
       Synthetic.probe
   in
   let meter = Cost_meter.create () in
-  let raised =
-    try
-      ignore
-        (Operator.run ~rng ~meter ~instance:Synthetic.instance
-           ~probe:(Probe_source.driver source)
-           ~policy:Policy.greedy
-           ~requirements:(Quality.requirements ~precision:1.0 ~recall:1.0 ~laxity:0.0)
-           (Operator.source_of_array data));
-      false
-    with Probe_source.Probe_failed -> true
+  let report =
+    Operator.run ~rng ~meter ~instance:Synthetic.instance
+      ~probe:(Probe_source.driver source)
+      ~policy:Policy.greedy
+      ~requirements:(Quality.requirements ~precision:1.0 ~recall:1.0 ~laxity:0.0)
+      (Operator.source_of_array data)
   in
-  checkb "failure propagated" true raised;
+  let d = report.Operator.degraded in
+  checkb "probes failed permanently" true (d.Operator.failed_probes > 0);
+  checkb "attempts recorded" true
+    (d.Operator.failed_attempts >= d.Operator.failed_probes);
+  checki "every failure fell back" d.Operator.failed_probes
+    (d.Operator.degraded_forwards + d.Operator.degraded_ignores);
+  checkb "before-snapshot captured" true (d.Operator.guarantees_before <> None);
   checkb "partial work metered" true ((Cost_meter.counts meter).reads > 0)
 
 let test_jittered_latency_in_range () =
@@ -110,7 +113,7 @@ let suite =
     ("opt table structure", `Slow, test_opt_table_structure);
     ("trial table structure", `Slow, test_trial_table_structure);
     ("quality table renders", `Slow, test_quality_table_all_zero_for_enforced);
-    ("probe failure propagates", `Quick, test_probe_failure_propagates);
+    ("probe failure degrades", `Quick, test_probe_failure_degrades);
     ("jittered latency in range", `Quick, test_jittered_latency_in_range);
     ("join streaming parity", `Quick, test_join_streaming);
   ]
