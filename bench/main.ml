@@ -28,6 +28,14 @@
                                               # (default BENCH_faults.json);
                                               # exits 1 on any violated
                                               # degradation invariant
+     dune exec bench/main.exe -- columnar [F] # row vs columnar scan
+                                              # throughput (never-probe
+                                              # workload, domains 1/4/8),
+                                              # JSON to F
+                                              # (default BENCH_columnar.json);
+                                              # exits 1 if the layouts
+                                              # disagree or columnar is
+                                              # slower than row at domains=1
 
    Setting QAQ_DOMAINS=N runs the trial tables (and any engine work that
    does not pin a domain count) over an N-lane pool; results are
@@ -985,6 +993,143 @@ let scaling_bench path =
   if not !deterministic then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Columnar: row vs columnar pre-classification throughput             *)
+(* ------------------------------------------------------------------ *)
+
+(* A never-probe workload isolates the pre-classification stage — the
+   only part the storage layout touches: every YES is forwarded, every
+   MAYBE ignored, no probe is ever issued, and recall 1 forces the scan
+   to exhaustion.  The row path evaluates the instance closures per
+   object (recomputing the predicate's satisfying set each call); the
+   columnar path runs the compiled kernel over chunk buffers.  Both
+   must produce identical reports — throughput is only interesting on
+   equal answers. *)
+let columnar_bench path =
+  section "Columnar: row vs columnar scan throughput (never-probe)";
+  let n = 200_000 in
+  let chunk_size = 64 in
+  let pages = ((n - 1) / chunk_size) + 1 in
+  let records =
+    Interval_data.uniform_intervals (Rng.create 8192) ~n
+      ~value_range:(Interval.make 0.0 100.0) ~max_width:10.0
+  in
+  (* A multi-band selection: the row path rebuilds this predicate's
+     satisfying set for every classify/success call, which is exactly
+     the per-object work compilation hoists out of the scan. *)
+  let pred =
+    Predicate.(
+      between 10.0 18.0 ||| between 26.0 34.0 ||| between 42.0 50.0
+      ||| between 58.0 66.0 ||| between 74.0 82.0)
+  in
+  let store = Interval_data.to_store ~chunk_size records in
+  let requirements =
+    Quality.requirements ~precision:0.0 ~recall:1.0 ~laxity:10.0
+  in
+  let never_probe =
+    Policy.Custom
+      (fun ~requirements:_ ~counters:_ ~verdict ~laxity:_ ~success:_ ->
+        match verdict with
+        | Tvl.Yes -> [ Decision.Forward ]
+        | Tvl.Maybe -> [ Decision.Ignore ]
+        | Tvl.No -> assert false)
+  in
+  let instance = Interval_data.instance pred in
+  let probe = Probe_driver.scalar Interval_data.probe in
+  let scan ?pool layout =
+    let meter = Cost_meter.create () in
+    let report =
+      match layout with
+      | `Row ->
+          Scan_pipeline.run ~rng:(Rng.create 8193) ?pool ~meter
+            ~collect:false ~enforce:false ~instance ~probe ~policy:never_probe
+            ~requirements records
+      | `Columnar ->
+          Column_scan.run ~rng:(Rng.create 8193) ?pool ~meter ~collect:false
+            ~enforce:false ~store ~of_row:Interval_data.of_row
+            ~pred:(Predicate.compile pred) ~instance ~probe
+            ~policy:never_probe ~requirements ()
+    in
+    (report, Cost_meter.counts meter)
+  in
+  let fingerprint ((report : Interval_data.record Operator.report), counts) =
+    ( report.yes_seen,
+      report.maybe_ignored,
+      report.answer_size,
+      report.guarantees,
+      counts )
+  in
+  let time_best ~domains layout =
+    let go ?pool () =
+      let best = ref infinity in
+      let result = ref None in
+      for _ = 1 to 3 do
+        let t0 = Unix.gettimeofday () in
+        let r = scan ?pool layout in
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < !best then best := dt;
+        result := Some r
+      done;
+      (!best, Option.get !result)
+    in
+    if domains = 1 then go ()
+    else Domain_pool.with_pool ~domains (fun pool -> go ~pool ())
+  in
+  ignore (scan `Row) (* warmup *);
+  ignore (scan `Columnar);
+  let baseline = fingerprint (scan `Row) in
+  let ok = ref true in
+  let row_d1 = ref nan in
+  let col_d1 = ref nan in
+  let rows =
+    List.concat_map
+      (fun domains ->
+        List.map
+          (fun layout ->
+            let name =
+              match layout with `Row -> "row" | `Columnar -> "columnar"
+            in
+            let dt, r = time_best ~domains layout in
+            let pps = float_of_int pages /. dt in
+            if fingerprint r <> baseline then begin
+              ok := false;
+              Printf.printf "%-8s domains=%d RESULT DIVERGED\n" name domains
+            end;
+            if domains = 1 then
+              if layout = `Row then row_d1 := pps else col_d1 := pps;
+            Printf.printf
+              "%-8s domains=%d  %.3fs  %10.0f pages/sec  probes %d\n" name
+              domains dt pps (snd r).Cost_meter.probes;
+            Printf.sprintf
+              "    { \"layout\": %S, \"domains\": %d, \"seconds\": %.6f, \
+               \"pages_per_sec\": %.1f }"
+              name domains dt pps)
+          [ `Row; `Columnar ])
+      [ 1; 4; 8 ]
+  in
+  let ratio = !col_d1 /. !row_d1 in
+  write_bench_json ~path ~bench:"columnar-scan-throughput"
+    ~fields:
+      [
+        ( "workload",
+          Printf.sprintf
+            "{ \"records\": %d, \"chunk_size\": %d, \"pages\": %d, \
+             \"model\": \"uniform_intervals\", \"predicate\": \"5-band \
+             union\", \"never_probe\": true }"
+            n chunk_size pages );
+        ("columnar_speedup_at_domains_1", Printf.sprintf "%.4f" ratio);
+        ("layouts_agree", string_of_bool !ok);
+      ]
+    ~rows;
+  Printf.printf "row and columnar reports identical: %s\n"
+    (if !ok then "yes" else "NO — layout equivalence broken");
+  Printf.printf "columnar vs row at domains=1: %.2fx\n" ratio;
+  if not !ok then exit 1;
+  if Float.is_nan ratio || ratio < 1.0 then begin
+    print_endline "columnar slower than row at domains=1 — FAIL";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per paper table            *)
 (* ------------------------------------------------------------------ *)
 
@@ -1148,6 +1293,10 @@ let () =
       faults_bench
         (if Array.length Sys.argv > 2 then Sys.argv.(2)
          else "BENCH_faults.json")
+  | "columnar" ->
+      columnar_bench
+        (if Array.length Sys.argv > 2 then Sys.argv.(2)
+         else "BENCH_columnar.json")
   | "all" ->
       tables ();
       ablations ();
@@ -1155,6 +1304,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown mode %S (expected \
-         tables|ablations|batch|micro|metrics|scaling|profile|faults|all)\n"
+         tables|ablations|batch|micro|metrics|scaling|profile|faults|columnar|all)\n"
         other;
       exit 2

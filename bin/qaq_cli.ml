@@ -3,7 +3,9 @@
    Subcommands:
      solve    solve the §4.2.2 optimization problem for given inputs
      trial    run the QaQ operator on a synthetic workload (or a saved one)
-     dataset  generate a synthetic workload and save it as CSV
+     dataset  generate a workload (synthetic or intervals) and save it as CSV
+     convert  convert an interval-record CSV to a columnar chunk file (QCOL)
+     query    run a quality-aware selection over an interval dataset
      tables   regenerate the paper's tables (§5.1 + §5.2)
      regions  print the decision-region diagram of Figs. 2-3 *)
 
@@ -359,21 +361,241 @@ let trial_cmd =
 (* ---- dataset ------------------------------------------------------ *)
 
 let out_file =
-  let doc = "Output CSV path." in
+  let doc = "Output path." in
   Arg.(required & opt (some string) None & info [ "out"; "o" ] ~doc)
 
-let dataset_run seed total f_y f_m max_laxity out =
-  let cfg = Synthetic.config ~total ~f_y ~f_m ~max_laxity () in
-  let data = Synthetic.generate (Rng.create seed) cfg in
-  Dataset_io.write_synthetic out data;
-  Format.printf "wrote %d objects to %s (exact set: %d)@." total out
-    (Synthetic.exact_size data)
+let model_conv =
+  let parse = function
+    | "synthetic" -> Ok `Synthetic
+    | "intervals" -> Ok `Intervals
+    | s -> Error (`Msg (Printf.sprintf "unknown model %S" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with `Synthetic -> "synthetic" | `Intervals -> "intervals")
+  in
+  Arg.conv (parse, print)
+
+let model =
+  let doc =
+    "Workload model: synthetic (the section 5.2 generator, consumed by \
+     trial) or intervals (interval-belief records over hidden scalar \
+     truths uniform in [0, max-laxity] — the input of convert and query)."
+  in
+  Arg.(value & opt model_conv `Synthetic & info [ "model" ] ~doc)
+
+let max_width =
+  let doc = "Maximum belief-interval width (intervals model only)." in
+  Arg.(value & opt float 10.0 & info [ "max-width" ] ~doc)
+
+let dataset_run seed total f_y f_m max_laxity model max_width out =
+  match model with
+  | `Synthetic ->
+      let cfg = Synthetic.config ~total ~f_y ~f_m ~max_laxity () in
+      let data = Synthetic.generate (Rng.create seed) cfg in
+      Dataset_io.write_synthetic out data;
+      Format.printf "wrote %d objects to %s (exact set: %d)@." total out
+        (Synthetic.exact_size data)
+  | `Intervals ->
+      let data =
+        Interval_data.uniform_intervals (Rng.create seed) ~n:total
+          ~value_range:(Interval.make 0.0 max_laxity) ~max_width
+      in
+      Dataset_io.write_records out data;
+      Format.printf
+        "wrote %d interval records to %s (truths in [0, %g], width <= %g)@."
+        total out max_laxity max_width
 
 let dataset_cmd =
-  let doc = "Generate a synthetic workload and save it as CSV." in
+  let doc = "Generate a workload and save it as CSV." in
   Cmd.v
     (Cmd.info "dataset" ~doc)
-    Term.(const dataset_run $ seed $ total $ f_y $ f_m $ max_laxity $ out_file)
+    Term.(
+      const dataset_run $ seed $ total $ f_y $ f_m $ max_laxity $ model
+      $ max_width $ out_file)
+
+(* ---- convert ------------------------------------------------------ *)
+
+let csv_in =
+  let doc = "Input interval-record CSV (see dataset --model intervals)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"CSV" ~doc)
+
+let chunk_size =
+  let doc = "Rows per columnar chunk (also the zone-hull granularity)." in
+  Arg.(value & opt int 64 & info [ "chunk-size" ] ~doc)
+
+let convert_run input out chunk_size =
+  let records = Dataset_io.read_records input in
+  let store = Interval_data.to_store ~chunk_size records in
+  Dataset_io.save_columnar out store;
+  Format.printf "wrote %d records in %d chunks of <= %d rows to %s@."
+    (Column_store.length store)
+    (Column_store.chunk_count store)
+    (Column_store.chunk_size store)
+    out
+
+let convert_cmd =
+  let doc =
+    "Convert an interval-record CSV to a binary columnar chunk file (QCOL) \
+     with per-chunk zone hulls."
+  in
+  Cmd.v
+    (Cmd.info "convert" ~doc)
+    Term.(const convert_run $ csv_in $ out_file $ chunk_size)
+
+(* ---- query -------------------------------------------------------- *)
+
+let layout_conv =
+  let parse = function
+    | "row" -> Ok Engine.Row
+    | "columnar" -> Ok Engine.Columnar
+    | s ->
+        Error (`Msg (Printf.sprintf "unknown layout %S (row or columnar)" s))
+  in
+  let print ppf l =
+    Format.pp_print_string ppf
+      (match l with Engine.Row -> "row" | Engine.Columnar -> "columnar")
+  in
+  Arg.conv (parse, print)
+
+let layout_opt =
+  let doc =
+    "Storage layout for the scan: row (the reference object-at-a-time \
+     path) or columnar (vectorized classification over column chunks).  \
+     Both return bit-for-bit identical results."
+  in
+  let env = Cmd.Env.info Engine.layout_env ~doc:"Default for $(opt)." in
+  Arg.(value & opt (some layout_conv) None & info [ "layout" ] ~env ~doc)
+
+let prune_flag =
+  let doc =
+    "With the columnar layout, skip chunks whose zone hull proves every \
+     row NO; a skipped chunk is never fetched (on a QCOL file, never \
+     decoded)."
+  in
+  Arg.(value & flag & info [ "prune" ] ~doc)
+
+let ge_opt =
+  let doc = "Conjunct: value >= $(docv)." in
+  Arg.(value & opt_all float [] & info [ "ge" ] ~docv:"X" ~doc)
+
+let le_opt =
+  let doc = "Conjunct: value <= $(docv)." in
+  Arg.(value & opt_all float [] & info [ "le" ] ~docv:"X" ~doc)
+
+let between_opt =
+  let doc =
+    "Conjunct: LO <= value <= HI.  Repeatable; all conjuncts are AND-ed."
+  in
+  Arg.(
+    value
+    & opt_all (pair ~sep:',' float float) []
+    & info [ "between" ] ~docv:"LO,HI" ~doc)
+
+let query_data =
+  let doc =
+    "Dataset to query: an interval-record CSV or a .qcol columnar chunk \
+     file written by convert."
+  in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DATA" ~doc)
+
+let predicate_of ges les betweens =
+  let conjuncts =
+    List.map Predicate.ge ges
+    @ List.map Predicate.le les
+    @ List.map (fun (lo, hi) -> Predicate.between lo hi) betweens
+  in
+  match conjuncts with
+  | [] -> None
+  | p :: rest -> Some (List.fold_left Predicate.( &&& ) p rest)
+
+let query_run seed data_path ges les betweens layout prune p_q r_q l_q batch
+    c_b domains metrics_file =
+  let pred =
+    match
+      try predicate_of ges les betweens
+      with Invalid_argument msg ->
+        Format.eprintf "bad predicate: %s@." msg;
+        exit 2
+    with
+    | Some p -> p
+    | None ->
+        Format.eprintf
+          "query needs at least one of --ge, --le or --between@.";
+        exit 2
+  in
+  let layout = Engine.resolve_layout ?layout () in
+  let requirements =
+    Quality.requirements ~precision:p_q ~recall:r_q ~laxity:l_q
+  in
+  let cost = cost_model c_b in
+  let rng = Rng.create seed in
+  let obs = if metrics_file <> None then Some (Obs.create ()) else None in
+  let columnar_of store =
+    match layout with
+    | Engine.Row -> None
+    | Engine.Columnar ->
+        Some { Engine.store; of_row = Interval_data.of_row; pred; prune }
+  in
+  let run data columnar =
+    let probe =
+      Probe_driver.of_scalar ?obs ~batch_size:batch Interval_data.probe
+    in
+    Engine.execute ~rng ~cost ~batch ?domains ?obs ?columnar
+      ~instance:(Interval_data.instance pred)
+      ~probe ~requirements data
+  in
+  let result, total =
+    if Filename.check_suffix data_path ".qcol" then
+      Dataset_io.with_columnar ?obs data_path (fun store ->
+          let data = Interval_data.of_store store in
+          (run data (columnar_of store), Array.length data))
+    else
+      let data = Dataset_io.read_records data_path in
+      let columnar =
+        columnar_of (Interval_data.to_store ~chunk_size:64 data)
+      in
+      (run data columnar, Array.length data)
+  in
+  let report = result.Engine.report in
+  let precise =
+    List.length
+      (List.filter (fun e -> e.Operator.precise) report.Operator.answer)
+  in
+  Format.printf "query: %s over %s (%d records), layout %s%s@."
+    (Predicate.to_string pred) data_path total
+    (match layout with Engine.Row -> "row" | Engine.Columnar -> "columnar")
+    (if prune && layout = Engine.Columnar then " with pruning" else "");
+  Format.printf
+    "answer: %d object(s) (%d precise, %d imprecise); guarantees %a for \
+     required %a@."
+    report.Operator.answer_size precise
+    (report.Operator.answer_size - precise)
+    Quality.pp_guarantees report.Operator.guarantees Quality.pp_requirements
+    requirements;
+  Format.printf "cost: W/|T| = %.3f (%d reads, %d probes in %d batches)@."
+    result.Engine.normalized_cost result.Engine.counts.Cost_meter.reads
+    result.Engine.counts.Cost_meter.probes
+    result.Engine.counts.Cost_meter.batches;
+  match (obs, metrics_file) with
+  | Some o, Some path ->
+      let oc = open_out path in
+      output_string oc (Metrics.to_json (Obs.snapshot o));
+      output_char oc '\n';
+      close_out oc;
+      Format.printf "metrics written to %s@." path
+  | _ -> ()
+
+let query_cmd =
+  let doc =
+    "Run a quality-aware selection over an interval dataset (CSV or QCOL)."
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    Term.(
+      const query_run $ seed $ query_data $ ge_opt $ le_opt $ between_opt
+      $ layout_opt $ prune_flag $ p_q $ r_q $ l_q $ batch $ c_b $ domains
+      $ metrics_file)
 
 (* ---- tables ------------------------------------------------------- *)
 
@@ -454,4 +676,10 @@ let regions_cmd =
 let () =
   let doc = "Approximate selection queries over imprecise data (ICDE 2004)" in
   let info = Cmd.info "qaq" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ solve_cmd; trial_cmd; dataset_cmd; tables_cmd; regions_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            solve_cmd; trial_cmd; dataset_cmd; convert_cmd; query_cmd;
+            tables_cmd; regions_cmd;
+          ]))

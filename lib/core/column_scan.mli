@@ -1,0 +1,95 @@
+(** Vectorized pre-classification over a {!Column_store}.
+
+    This is {!Scan_pipeline} with the per-object instance closures
+    replaced by kernels over column chunks: each chunk's supports are
+    classified by a {!Predicate.compiled} in a tight loop that reads two
+    floats per row and writes verdict/laxity/success into flat,
+    preallocated wave buffers — no per-object allocation and no object
+    materialization during classification.  Objects come into existence
+    ([of_row]) only when the sequential decision loop consumes them.
+
+    Equivalence with the row path is by construction, in two layers:
+    {ul
+    {- the kernel evaluates [Predicate.classify_bounds] /
+       [success_bounds] and the support width — exact mirrors of
+       [Predicate.classify] / [success] / [Uncertain.laxity] on
+       interval and exact beliefs — with the sequential loop's
+       evaluation pattern (laxity only for YES/MAYBE, success only for
+       MAYBE);}
+    {- the decision loop itself is the untouched {!Operator.run},
+       consuming through {!Scan_pipeline.item_instance} exactly as the
+       row pipeline does, with probes through the same
+       {!Probe_driver.premap}.}}
+    So verdicts, guarantees, metered costs and the rng stream are
+    bit-for-bit the row path's — the property the golden equivalence
+    suite checks for every pool width.
+
+    Chunks are classified in {e waves} of [wave] chunks: fetches happen
+    on the caller's lane (streamed stores do file io), kernels are
+    dispatched across the {!Domain_pool} (each wave position owns a
+    disjoint buffer slice, so results are scheduling-independent), and
+    speculation past the last consumed object is bounded by one wave —
+    none of it charged to the meter, since reads are metered at
+    consumption.
+
+    With [prune:true], chunks whose zone hull is a definite NO are
+    dropped before the scan: they are never fetched (the streamed store
+    never reads their bytes), never enter the source's [total], and are
+    counted under [qaq.parallel.pruned_pages] — the same soundness
+    argument as {!Zone_map.open_cursor}. *)
+
+val kernel :
+  Predicate.compiled ->
+  Column_store.chunk ->
+  off:int ->
+  verdicts:Bytes.t ->
+  laxities:float array ->
+  successes:float array ->
+  unit
+(** Classify one chunk into buffer slices starting at [off]: verdict
+    [Tvl.to_char]-packed, laxity and success as floats.  Pure in the
+    columns, writes only [off .. off + len - 1]. *)
+
+val source :
+  ?obs:Obs.t ->
+  ?wave:int ->
+  ?pool:Domain_pool.t ->
+  ?prune:bool ->
+  store:Column_store.t ->
+  of_row:(Column_store.row -> 'o) ->
+  pred:Predicate.compiled ->
+  unit ->
+  'o Scan_pipeline.item Operator.source
+(** A source of pre-classified items in storage order.  [wave] (default
+    16 chunks) bounds speculation; without a [pool] (or with one lane)
+    kernels run on the caller's lane — still vectorized, just not
+    parallel.  [obs] counts dispatched waves under [qaq.parallel.chunks]
+    and, with [prune:true] (default false), pruned chunks under
+    [qaq.parallel.pruned_pages]. *)
+
+val run :
+  rng:Rng.t ->
+  ?pool:Domain_pool.t ->
+  ?wave:int ->
+  ?meter:Cost_meter.t ->
+  ?obs:Obs.t ->
+  ?emit:('o Operator.emitted -> unit) ->
+  ?collect:bool ->
+  ?enforce:bool ->
+  ?prune:bool ->
+  store:Column_store.t ->
+  of_row:(Column_store.row -> 'o) ->
+  pred:Predicate.compiled ->
+  instance:'o Operator.instance ->
+  probe:'o Probe_driver.t ->
+  policy:Policy.t ->
+  requirements:Quality.requirements ->
+  unit ->
+  'o Operator.report
+(** {!Operator.run} over the columnar source.  [instance] is {e not}
+    used to classify stored rows (the kernel does that); it
+    re-classifies probed objects on the way back into the loop, exactly
+    as {!Scan_pipeline.run} does, so probe batching and statistics match
+    the row path.  [pred] must be the compiled form of the predicate the
+    instance classifies with — the golden suite holds the two to the
+    same answers. *)

@@ -63,6 +63,30 @@ let profiling ?(label = "run") ?oracle () = { prof_label = label; oracle }
 
 let domains_env = Domain_pool.env_var
 
+type 'o columnar = {
+  store : Column_store.t;
+  of_row : Column_store.row -> 'o;
+  pred : Predicate.t;
+  prune : bool;
+}
+
+type layout = Row | Columnar
+
+let layout_env = "QAQ_LAYOUT"
+
+let resolve_layout ?layout () =
+  match layout with
+  | Some l -> l
+  | None -> (
+      match Sys.getenv_opt layout_env with
+      | None | Some "" -> Row
+      | Some "row" -> Row
+      | Some "columnar" -> Columnar
+      | Some other ->
+          invalid_arg
+            (Printf.sprintf "%s: expected \"row\" or \"columnar\", got %S"
+               layout_env other))
+
 let observed_max_laxity ?pool instance data =
   let laxities =
     match pool with
@@ -109,8 +133,15 @@ let make_plan ~rng ~meter ?obs ?pool ~cost ~batch ~cap ~instance ~requirements
   { params = evaluation.params; estimate; evaluation; sample_size = n }
 
 let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
-    ?emit ?collect ?profile ~instance ~(probe : _ Probe_driver.t) ~requirements
-    data =
+    ?emit ?collect ?profile ?columnar ~instance ~(probe : _ Probe_driver.t)
+    ~requirements data =
+  (* Planning always runs over [data] — the materialized row view of the
+     same objects — so sampling, the rng streams and the laxity cap are
+     identical across layouts; only the scan itself switches engines. *)
+  (match columnar with
+  | Some c when Column_store.length c.store <> Array.length data ->
+      invalid_arg "Engine.execute: columnar store length differs from data"
+  | _ -> ());
   (* The planner prices probes for the batch size the evaluation will
      actually use — the driver's, unless the caller overrides it (e.g. a
      shared driver whose configured batch size a sweep wants to model
@@ -178,8 +209,15 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
   in
   let report =
     span "scan" (fun () ->
-        Scan_pipeline.run ~rng ?pool ~meter ?obs ?emit ?collect ~instance
-          ~probe ~policy ~requirements data)
+        match columnar with
+        | None ->
+            Scan_pipeline.run ~rng ?pool ~meter ?obs ?emit ?collect ~instance
+              ~probe ~policy ~requirements data
+        | Some c ->
+            Column_scan.run ~rng ?pool ~meter ?obs ?emit ?collect
+              ~prune:c.prune ~store:c.store ~of_row:c.of_row
+              ~pred:(Predicate.compile c.pred) ~instance ~probe ~policy
+              ~requirements ())
   in
   (match (obs, pool) with
   | Some o, Some p ->
@@ -255,7 +293,7 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
 
 let execute ~rng ?(planning = default_planning) ?(adaptive = false)
     ?(cost = Cost_model.paper) ?batch ?max_laxity ?domains ?obs ?emit ?collect
-    ?profile ?on_task ~instance ~probe ~requirements data =
+    ?profile ?on_task ?columnar ~instance ~probe ~requirements data =
   (* Profiling diffs a metrics registry; conjure a private one when the
      caller wants a profile but passed no [?obs]. *)
   let obs =
@@ -263,7 +301,7 @@ let execute ~rng ?(planning = default_planning) ?(adaptive = false)
   in
   let run ?pool () =
     execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
-      ?emit ?collect ?profile ~instance ~probe ~requirements data
+      ?emit ?collect ?profile ?columnar ~instance ~probe ~requirements data
   in
   match Domain_pool.resolve ?domains () with
   | 1 -> run ()

@@ -87,6 +87,33 @@ val domains_env : string
     {!execute}'s [domains] argument is absent.  Lets an entire test suite
     or CI job exercise the parallel path without touching call sites. *)
 
+(** {2 Storage layout} *)
+
+(** A columnar backing for the scan: the same objects as the [data]
+    array, decomposed into a {!Column_store} plus the rebuild function
+    and the scan predicate ({!Column_scan} needs it in compiled form).
+    With [prune] set, whole-NO chunks are skipped without being
+    fetched. *)
+type 'o columnar = {
+  store : Column_store.t;
+  of_row : Column_store.row -> 'o;
+  pred : Predicate.t;
+  prune : bool;
+}
+
+type layout = Row | Columnar
+
+val layout_env : string
+(** ["QAQ_LAYOUT"] — the environment variable {!resolve_layout}
+    consults.  Lets a test suite or CI job steer every entry point onto
+    the columnar engine without touching call sites, mirroring
+    [QAQ_DOMAINS] for the pool width. *)
+
+val resolve_layout : ?layout:layout -> unit -> layout
+(** The layout an entry point should use: the explicit argument if
+    given, else [QAQ_LAYOUT] (["row"] or ["columnar"]), else {!Row}.
+    @raise Invalid_argument if the variable holds anything else. *)
+
 val execute :
   rng:Rng.t ->
   ?planning:planning ->
@@ -100,6 +127,7 @@ val execute :
   ?collect:bool ->
   ?profile:'o profiling ->
   ?on_task:(lane:int -> start:float -> finish:float -> unit) ->
+  ?columnar:'o columnar ->
   instance:'o Operator.instance ->
   probe:'o Probe_driver.t ->
   requirements:Quality.requirements ->
@@ -170,6 +198,18 @@ val execute :
     [on_task] is handed to the pool ({!Domain_pool.create}) when
     [domains > 1]; together with [Chrome_trace] it yields one timeline
     lane per worker.
+
+    [columnar] switches the scan onto the vectorized columnar engine
+    ({!Column_scan}) over the given store; planning, sampling and the
+    laxity cap still run over [data] — the materialized row view of the
+    same objects — so the rng streams are identical across layouts and
+    the result is bit-for-bit the row path's for every [domains] value
+    (with [prune] off; pruning shrinks [total] like a zone map does).
+    Use {!resolve_layout} to pick the layout the way [domains] picks the
+    pool width.
+
+    @raise Invalid_argument if [columnar] is given and the store's
+    length differs from [data]'s.
 
     @raise Invalid_argument on an invalid sampling fraction or fallback
     fractions, if [batch < 1], if [domains < 1], or if [QAQ_DOMAINS] is

@@ -117,3 +117,197 @@ let records_of_rows rows =
 
 let write_records path records = Csv.write_file path (records_to_rows records)
 let read_records path = records_of_rows (Csv.read_file path)
+
+(* ---- columnar chunk files (QCOL) ---------------------------------- *)
+
+(* Layout (all integers and float bit patterns little-endian):
+
+     magic        8 bytes   "QCOLv001"
+     length       int64     row count
+     chunk_size   int64
+     zones        17 bytes per chunk: present byte, hull lo, hull hi
+     chunks       rows in storage order, chunk by chunk:
+                    len x int64 id, len x float64 lo,
+                    len x float64 hi, len x float64 truth
+
+   Every row costs exactly 32 bytes in the chunk region, so the byte
+   offset of chunk [c] is computable from the header alone — the
+   property that lets [open_columnar] fetch (and prune) chunks without
+   ever scanning the file. *)
+
+exception Corrupt_columnar of { path : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt_columnar { path; reason } ->
+        Some (Printf.sprintf "Corrupt_columnar(%S: %s)" path reason)
+    | _ -> None)
+
+let qcol_magic = "QCOLv001"
+let qcol_row_bytes = 32
+let qcol_zone_bytes = 17
+
+let corrupt path fmt =
+  Printf.ksprintf (fun reason -> raise (Corrupt_columnar { path; reason })) fmt
+
+let qcol_header_bytes ~chunks = String.length qcol_magic + 16 + (chunks * qcol_zone_bytes)
+
+let buf_add_int64 buf i = Buffer.add_int64_le buf i
+let buf_add_float buf f = Buffer.add_int64_le buf (Int64.bits_of_float f)
+
+let save_columnar path store =
+  let length = Column_store.length store in
+  let chunk_size = Column_store.chunk_size store in
+  let chunks = Column_store.chunk_count store in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let buf = Buffer.create 65536 in
+      Buffer.add_string buf qcol_magic;
+      buf_add_int64 buf (Int64.of_int length);
+      buf_add_int64 buf (Int64.of_int chunk_size);
+      Array.iter
+        (fun zone ->
+          match zone with
+          | Some hull ->
+              Buffer.add_char buf '\001';
+              buf_add_float buf (Interval.lo hull);
+              buf_add_float buf (Interval.hi hull)
+          | None ->
+              Buffer.add_char buf '\000';
+              buf_add_float buf 0.0;
+              buf_add_float buf 0.0)
+        (Column_store.zones store);
+      Buffer.output_buffer oc buf;
+      for c = 0 to chunks - 1 do
+        Buffer.clear buf;
+        let ch = Column_store.chunk store c in
+        let len = ch.Column_store.len in
+        for i = 0 to len - 1 do
+          buf_add_int64 buf (Int64.of_int ch.Column_store.ids.(i))
+        done;
+        for i = 0 to len - 1 do
+          buf_add_float buf (Bigarray.Array1.get ch.Column_store.lo i)
+        done;
+        for i = 0 to len - 1 do
+          buf_add_float buf (Bigarray.Array1.get ch.Column_store.hi i)
+        done;
+        for i = 0 to len - 1 do
+          buf_add_float buf (Bigarray.Array1.get ch.Column_store.truth i)
+        done;
+        Buffer.output_buffer oc buf
+      done)
+
+type columnar_file = {
+  qcol_path : string;
+  ic : in_channel;
+  qcol_store : Column_store.t;
+  qcol_pool : Column_store.chunk Buffer_pool.t;
+  closed : bool ref;
+}
+
+let read_exactly file path ~at ~len =
+  let b = Bytes.create len in
+  (try
+     seek_in file at;
+     really_input file b 0 len
+   with End_of_file -> corrupt path "truncated file: wanted %d bytes at %d" len at);
+  b
+
+let bytes_float b off = Int64.float_of_bits (Bytes.get_int64_le b off)
+
+let decode_chunk ~path ~ic ~chunk_size ~length c =
+  let base = c * chunk_size in
+  let len = Stdlib.min chunk_size (length - base) in
+  let chunks = if length = 0 then 0 else ((length - 1) / chunk_size) + 1 in
+  let at = qcol_header_bytes ~chunks + (base * qcol_row_bytes) in
+  let b = read_exactly ic path ~at ~len:(len * qcol_row_bytes) in
+  let ids = Array.make len 0 in
+  let lo = Bigarray.(Array1.create float64 c_layout len) in
+  let hi = Bigarray.(Array1.create float64 c_layout len) in
+  let truth = Bigarray.(Array1.create float64 c_layout len) in
+  for i = 0 to len - 1 do
+    let id = Bytes.get_int64_le b (i * 8) in
+    (match Int64.unsigned_to_int id with
+    | Some v -> ids.(i) <- v
+    | None -> corrupt path "chunk %d: id out of range" c);
+    let l = bytes_float b ((len + i) * 8) in
+    let h = bytes_float b (((2 * len) + i) * 8) in
+    if not (Float.is_finite l && Float.is_finite h) || l > h then
+      corrupt path "chunk %d row %d: bad support [%h, %h]" c i l h;
+    Bigarray.Array1.set lo i l;
+    Bigarray.Array1.set hi i h;
+    Bigarray.Array1.set truth i (bytes_float b (((3 * len) + i) * 8))
+  done;
+  { Column_store.base; len; ids; lo; hi; truth }
+
+let open_columnar ?obs ?(pool_capacity = 8) path =
+  let ic = open_in_bin path in
+  match
+    let magic =
+      try really_input_string ic (String.length qcol_magic)
+      with End_of_file -> corrupt path "truncated file: no magic"
+    in
+    if magic <> qcol_magic then corrupt path "bad magic %S" magic;
+    let header = read_exactly ic path ~at:(String.length qcol_magic) ~len:16 in
+    let length =
+      match Int64.unsigned_to_int (Bytes.get_int64_le header 0) with
+      | Some v -> v
+      | None -> corrupt path "length out of range"
+    in
+    let chunk_size =
+      match Int64.unsigned_to_int (Bytes.get_int64_le header 8) with
+      | Some v when v >= 1 -> v
+      | Some v -> corrupt path "chunk_size %d < 1" v
+      | None -> corrupt path "chunk_size out of range"
+    in
+    let chunks = if length = 0 then 0 else ((length - 1) / chunk_size) + 1 in
+    let expected = qcol_header_bytes ~chunks + (length * qcol_row_bytes) in
+    if in_channel_length ic <> expected then
+      corrupt path "wrong size: %d bytes, layout needs %d" (in_channel_length ic)
+        expected;
+    let zb =
+      read_exactly ic path ~at:(String.length qcol_magic + 16)
+        ~len:(chunks * qcol_zone_bytes)
+    in
+    let zones =
+      Array.init chunks (fun c ->
+          let off = c * qcol_zone_bytes in
+          match Bytes.get zb off with
+          | '\000' -> None
+          | '\001' ->
+              let l = bytes_float zb (off + 1) in
+              let h = bytes_float zb (off + 9) in
+              if not (Float.is_finite l && Float.is_finite h) || l > h then
+                corrupt path "chunk %d: bad zone hull [%h, %h]" c l h;
+              Some (Interval.make l h)
+          | b -> corrupt path "chunk %d: bad zone presence byte %C" c b)
+    in
+    let pool = Buffer_pool.create ?obs ~capacity:pool_capacity () in
+    let closed = ref false in
+    let fetch c =
+      if !closed then invalid_arg "Dataset_io: columnar file is closed";
+      Buffer_pool.fetch pool c (decode_chunk ~path ~ic ~chunk_size ~length)
+    in
+    let store = Column_store.of_fetch ~length ~chunk_size ~zones fetch in
+    { qcol_path = path; ic; qcol_store = store; qcol_pool = pool; closed }
+  with
+  | t -> t
+  | exception e ->
+      close_in_noerr ic;
+      raise e
+
+let columnar_store t = t.qcol_store
+let columnar_pool t = t.qcol_pool
+let columnar_path t = t.qcol_path
+
+let close_columnar t =
+  if not !(t.closed) then begin
+    t.closed := true;
+    close_in_noerr t.ic
+  end
+
+let with_columnar ?obs ?pool_capacity path f =
+  let t = open_columnar ?obs ?pool_capacity path in
+  Fun.protect ~finally:(fun () -> close_columnar t) (fun () -> f t.qcol_store)

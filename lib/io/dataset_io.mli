@@ -27,3 +27,50 @@ val records_to_rows : Interval_data.record array -> string list list
 val records_of_rows : string list list -> Interval_data.record array
 val write_records : string -> Interval_data.record array -> unit
 val read_records : string -> Interval_data.record array
+
+(** {2 Columnar chunk files (QCOL)}
+
+    A binary, chunk-addressable on-disk form of a {!Column_store}: a
+    fixed header (magic ["QCOLv001"], row count, chunk size), the
+    per-chunk zone hulls, then the chunks themselves — each chunk its
+    [id]s followed by the [lo], [hi] and [truth] columns, 32 bytes per
+    row, little-endian throughout.  Because every chunk's byte offset is
+    computable from the header, an opened file serves chunk fetches
+    directly by [seek]: a scan streams chunk by chunk through a
+    {!Buffer_pool}, and a chunk pruned by its persisted zone hull is
+    {e never read from disk}. *)
+
+exception Corrupt_columnar of { path : string; reason : string }
+(** The file is not a well-formed QCOL file: bad magic, impossible
+    header fields, a size that disagrees with the declared layout
+    (truncated or padded), a malformed zone entry, or a chunk whose
+    decoded bounds are non-finite or reversed.  Raised by
+    {!open_columnar} for header damage and by chunk fetches for body
+    damage. *)
+
+val save_columnar : string -> Column_store.t -> unit
+(** Write the store — resident or itself streamed — chunk by chunk.
+    Floats round-trip exactly (bit patterns are stored, not decimal). *)
+
+type columnar_file
+(** An open QCOL file: a {!Column_store} whose chunks are decoded from
+    disk on fetch, through an LRU {!Buffer_pool} of decoded chunks. *)
+
+val open_columnar : ?obs:Obs.t -> ?pool_capacity:int -> string -> columnar_file
+(** Validates the header and zone table eagerly (raising
+    {!Corrupt_columnar}) but reads no chunk data.  [pool_capacity]
+    (default 8 chunks) sizes the decoded-chunk pool; [obs] instruments
+    it ({!Buffer_pool.create}). *)
+
+val columnar_store : columnar_file -> Column_store.t
+(** Fetching a chunk after {!close_columnar} raises [Invalid_argument]. *)
+
+val columnar_pool : columnar_file -> Column_store.chunk Buffer_pool.t
+(** The decoded-chunk pool, for cache statistics. *)
+
+val columnar_path : columnar_file -> string
+val close_columnar : columnar_file -> unit
+
+val with_columnar :
+  ?obs:Obs.t -> ?pool_capacity:int -> string -> (Column_store.t -> 'a) -> 'a
+(** Open, run, close (also on exceptions). *)

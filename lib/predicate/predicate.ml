@@ -80,6 +80,40 @@ let success p o =
       in
       Float.min 1.0 (Float.max 0.0 mass)
 
+(* ---- compiled form for vectorized classification ------------------ *)
+
+(* [classify] and [success] above recompute the satisfying set on every
+   call — fine for row-at-a-time evaluation, ruinous in a scan loop.  A
+   compiled predicate computes the set once; its per-object entry points
+   take the support as two floats and allocate nothing on the YES/NO
+   path.  Every comparison goes through the same [Real_set] tests as the
+   row path, so verdicts, laxities and success probabilities are
+   bit-for-bit identical — the property the columnar golden suite
+   checks. *)
+type compiled = { source : t; set : Real_set.t }
+
+let compile p = { source = p; set = satisfying_set p }
+let source c = c.source
+
+let classify_bounds c ~lo ~hi =
+  if Real_set.covers_bounds c.set ~lo ~hi then Tvl.Yes
+  else if Real_set.disjoint_bounds c.set ~lo ~hi then Tvl.No
+  else Tvl.Maybe
+
+let success_bounds c ~lo ~hi =
+  match classify_bounds c ~lo ~hi with
+  | Tvl.Yes -> 1.0
+  | Tvl.No -> 0.0
+  | Tvl.Maybe ->
+      (* Mirrors [success] on the flat-schema belief models: a point
+         support is an [Exact]/point-interval belief (membership test),
+         a proper interval divides the covered measure by the width. *)
+      let mass =
+        if lo = hi then (if Real_set.mem c.set lo then 1.0 else 0.0)
+        else Real_set.measure_within_bounds c.set ~lo ~hi /. (hi -. lo)
+      in
+      Float.min 1.0 (Float.max 0.0 mass)
+
 let rec pp ppf = function
   | Ge x -> Format.fprintf ppf "v >= %g" x
   | Gt x -> Format.fprintf ppf "v > %g" x

@@ -52,5 +52,30 @@ val success : t -> Uncertain.t -> float
 (** Probability that a probe returns YES, under the object's belief
     model.  Returns 1 (resp. 0) when {!classify} is [Yes] (resp. [No]). *)
 
+(** {2 Compiled form}
+
+    {!classify} and {!success} recompute the satisfying set on every
+    call.  A {!compiled} predicate computes it once; the [_bounds] entry
+    points then take an interval support as two floats and allocate
+    nothing on the YES/NO path — the shape the columnar classification
+    kernel needs.  Results are bit-for-bit those of {!classify} /
+    {!success} on the corresponding [Exact]/[Interval] belief. *)
+
+type compiled
+
+val compile : t -> compiled
+
+val source : compiled -> t
+(** The predicate the kernel was compiled from. *)
+
+val classify_bounds : compiled -> lo:float -> hi:float -> Tvl.t
+(** {!classify} of an object whose support is [\[lo, hi\]]. *)
+
+val success_bounds : compiled -> lo:float -> hi:float -> float
+(** {!success} of a flat-schema belief with support [\[lo, hi\]]: a
+    point support reads as an exact value (membership), a proper
+    interval as a uniform interval belief (covered measure over
+    width). *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -4,7 +4,7 @@
    is simpler than an intrusive list and never shows up in profiles. *)
 
 type 'a entry = {
-  page : 'a array;
+  page : 'a;  (* the cached unit: a page array, a column chunk, ... *)
   mutable last_used : int;
   loaded_at : float;  (* wall time of the miss; 0 when uninstrumented *)
 }

@@ -1,30 +1,50 @@
-(** A small LRU buffer pool over heap-file pages.
+(** A small LRU buffer pool over fetch-by-index storage units.
 
-    The simulated storage charges one page fetch per miss; hits are free.
-    This substrate exists to make the storage layer a faithful miniature
-    of a database engine and to let benchmarks show how caching interacts
-    with partial scans (low-recall queries touch a prefix of the file and
-    benefit most from re-use across queries). *)
+    The pool caches whatever the loader produces for an integer key —
+    heap-file pages ([`'o array`], via {!Heap_file.Cursor.open_pooled})
+    or column chunks ({!Column_store.chunk}, via the streaming store of
+    [Dataset_io.open_columnar]).  The simulated storage charges one
+    fetch per miss; hits are free.  This substrate exists to make the
+    storage layer a faithful miniature of a database engine and to let
+    benchmarks show how caching interacts with partial scans (low-recall
+    queries touch a prefix of the file and benefit most from re-use
+    across queries). *)
 
 type 'a t
+(** A pool caching values of type ['a] — a page array for row storage,
+    a decoded column chunk for columnar storage. *)
 
 val create : ?obs:Obs.t -> capacity:int -> unit -> 'a t
 (** [obs] registers the counters [buffer_pool.hits], [buffer_pool.misses]
     and [buffer_pool.evictions], incremented alongside {!stats}.
     @raise Invalid_argument if [capacity < 1]. *)
 
-val fetch : 'a t -> int -> (int -> 'a array) -> 'a array
-(** [fetch pool page_id load] returns the cached page or loads, caches and
-    returns it, evicting the least-recently-used page if full.  A raising
-    [load] counts as a miss but leaves the pool untouched: the victim is
-    only evicted after the replacement page actually arrived. *)
+val fetch : 'a t -> int -> (int -> 'a) -> 'a
+(** [fetch pool id load] returns the cached value or loads, caches and
+    returns it, evicting the least-recently-used entry if full.
+
+    A {e raising} [load] counts as a miss — the access happened and the
+    cache could not serve it — but leaves the pool otherwise untouched:
+    nothing is inserted, no eviction is charged, and every cached entry
+    survives, because the LRU victim is only evicted after the
+    replacement actually arrived.  This holds identically for the
+    page-fetch and the chunk-fetch paths; {!stats} after a failed load
+    therefore shows one extra miss, unchanged evictions, and
+    {!hit_rate} correspondingly counts the failure against the pool. *)
 
 val contains : 'a t -> int -> bool
 
 type stats = { hits : int; misses : int; evictions : int }
 
 val stats : 'a t -> stats
+(** Lifetime counters since creation (or {!reset_stats}).  [misses]
+    includes fetches whose loader raised; [evictions] counts only
+    entries actually removed for a successfully loaded replacement. *)
+
 val reset_stats : 'a t -> unit
 val clear : 'a t -> unit
+
 val hit_rate : stats -> float
-(** [hits / (hits + misses)]; 0 when no accesses. *)
+(** [hits / (hits + misses)]; 0 when no accesses.  Failed loads are
+    misses, so a flaky backend lowers the hit rate even when every
+    successful fetch was served from cache. *)

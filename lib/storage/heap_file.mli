@@ -70,7 +70,7 @@ module Cursor : sig
     ?faults:Fault_plan.spec ->
     ?skip_page:(int -> bool) ->
     'a file ->
-    pool:'a Buffer_pool.t ->
+    pool:'a array Buffer_pool.t ->
     'a t
   (** Like {!open_filtered} but page reads go through an LRU buffer pool
       shared across cursors: repeated or partially-overlapping scans

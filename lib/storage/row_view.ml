@@ -1,0 +1,28 @@
+type 'o t = { store : Column_store.t; of_row : Column_store.row -> 'o }
+
+let create store ~of_row = { store; of_row }
+let length t = Column_store.length t.store
+let store t = t.store
+let get t i = t.of_row (Column_store.get t.store i)
+
+let iter t f =
+  let chunks = Column_store.chunk_count t.store in
+  for c = 0 to chunks - 1 do
+    let ch = Column_store.chunk t.store c in
+    for i = 0 to ch.Column_store.len - 1 do
+      f (t.of_row (Column_store.row ch i))
+    done
+  done
+
+let to_array t =
+  let n = length t in
+  if n = 0 then [||]
+  else begin
+    let first = get t 0 in
+    let out = Array.make n first in
+    let pos = ref 0 in
+    iter t (fun o ->
+        out.(!pos) <- o;
+        incr pos);
+    out
+  end

@@ -1,0 +1,29 @@
+(** Row-oriented adapter over a {!Column_store}.
+
+    Row-at-a-time consumers — the probing operator, planners sampling
+    objects, reports — keep working against a columnar store through
+    this view: it materializes domain objects from column rows on
+    demand, chunk by chunk, so the columnar layout never forces callers
+    to learn the chunk geometry.  Materialization order is storage order,
+    identical to the row layout's arrival order; this is what makes
+    row-vs-columnar equivalence checks meaningful. *)
+
+type 'o t
+
+val create : Column_store.t -> of_row:(Column_store.row -> 'o) -> 'o t
+(** [of_row] rebuilds the domain object (e.g. an [Interval_data.record])
+    from its flattened columns. *)
+
+val length : 'o t -> int
+val store : 'o t -> Column_store.t
+
+val get : 'o t -> int -> 'o
+(** Materialize object [i] (fetches its chunk).
+    @raise Invalid_argument on out-of-range index. *)
+
+val iter : 'o t -> ('o -> unit) -> unit
+(** All objects in storage order, one chunk fetch per chunk. *)
+
+val to_array : 'o t -> 'o array
+(** Materialize everything — the bridge that lets planning and the
+    row-path oracle run from the same data as the columnar scan. *)

@@ -13,7 +13,9 @@ let build file ~support =
       zones.(p) <- hull);
   { zones }
 
+let of_zones zones = { zones = Array.copy zones }
 let page_count t = Array.length t.zones
+let zones t = Array.copy t.zones
 
 let zone t p =
   if p < 0 || p >= page_count t then invalid_arg "Zone_map.zone: index";

@@ -14,6 +14,15 @@ type t
 val build : 'a Heap_file.t -> support:('a -> Interval.t) -> t
 (** One hull per page. *)
 
+val of_zones : Interval.t option array -> t
+(** A zone map from precomputed hulls (one per page, [None] for an
+    empty page) — how persisted column-chunk zone maps re-enter the
+    pruning machinery without touching the chunks themselves. *)
+
+val zones : t -> Interval.t option array
+(** The hulls, in page order (a copy) — what the columnar codec
+    persists alongside the chunks. *)
+
 val page_count : t -> int
 
 val zone : t -> int -> Interval.t option
@@ -27,7 +36,7 @@ val pruned_pages : t -> Predicate.t -> int
 
 val open_cursor :
   ?obs:Obs.t ->
-  ?pool:'a Buffer_pool.t ->
+  ?pool:'a array Buffer_pool.t ->
   t ->
   Predicate.t ->
   'a Heap_file.t ->

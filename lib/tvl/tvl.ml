@@ -19,3 +19,16 @@ let or_ a b = if rank a >= rank b then a else b
 let all ts = List.fold_left and_ Yes ts
 let any ts = List.fold_left or_ No ts
 let is_definite = function Yes | No -> true | Maybe -> false
+
+(* The unboxed encoding reuses the truth order ([rank]), so packed
+   verdict buffers compare the way the logic does. *)
+let to_int = rank
+
+let of_int = function
+  | 0 -> No
+  | 1 -> Maybe
+  | 2 -> Yes
+  | n -> invalid_arg (Printf.sprintf "Tvl.of_int: %d" n)
+
+let to_char t = Char.unsafe_chr (rank t)
+let of_char c = of_int (Char.code c)

@@ -40,3 +40,20 @@ val any : t list -> t
 
 val is_definite : t -> bool
 (** [true] for [Yes] and [No]. *)
+
+(** {2 Unboxed encoding}
+
+    Vectorized classification packs one verdict per byte into
+    preallocated buffers; the codes follow the truth order used by
+    {!compare} ([No] = 0, [Maybe] = 1, [Yes] = 2). *)
+
+val to_int : t -> int
+
+val of_int : int -> t
+(** @raise Invalid_argument outside [0..2]. *)
+
+val to_char : t -> char
+(** [to_int] as a byte, for [Bytes] verdict buffers. *)
+
+val of_char : char -> t
+(** @raise Invalid_argument outside ['\000'..'\002']. *)

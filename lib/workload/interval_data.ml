@@ -12,6 +12,33 @@ let instance pred : record Operator.instance =
   }
 
 let probe r = { r with belief = Uncertain.exact r.truth }
+
+(* Flat columnar form: the belief support as two floats.  Same encoding
+   decision as the CSV codec — a degenerate support round-trips to an
+   [Exact] belief — so a record survives record -> row -> record
+   whenever it came from the flat schema in the first place. *)
+let to_row (r : record) : Column_store.row =
+  match r.belief with
+  | Uncertain.Exact v -> { Column_store.id = r.id; lo = v; hi = v; truth = r.truth }
+  | Uncertain.Interval i ->
+      { Column_store.id = r.id; lo = Interval.lo i; hi = Interval.hi i; truth = r.truth }
+  | Uncertain.Gaussian _ ->
+      invalid_arg "Interval_data.to_row: gaussian beliefs have no flat columnar form"
+
+let of_row (row : Column_store.row) : record =
+  {
+    id = row.Column_store.id;
+    belief =
+      (if row.Column_store.lo = row.Column_store.hi then
+         Uncertain.exact row.Column_store.lo
+       else Uncertain.interval row.Column_store.lo row.Column_store.hi);
+    truth = row.Column_store.truth;
+  }
+
+let to_store ?chunk_size records =
+  Column_store.create ?chunk_size (Array.map to_row records)
+
+let of_store store = Row_view.to_array (Row_view.create store ~of_row)
 let in_exact pred r = Predicate.eval pred r.truth
 
 let exact_set pred records =

@@ -29,6 +29,26 @@ val exact_size : Predicate.t -> record array -> int
 
 val in_exact : Predicate.t -> record -> bool
 
+(** {2 Columnar form}
+
+    The flat schema ([id], support [lo]/[hi], [truth]) of the columnar
+    engine.  Only exact and interval beliefs fit — the same restriction
+    as the CSV record codec — and a degenerate support decodes back to
+    an [Exact] belief, mirroring that codec's choice. *)
+
+val to_row : record -> Column_store.row
+(** @raise Invalid_argument on a Gaussian belief. *)
+
+val of_row : Column_store.row -> record
+
+val to_store : ?chunk_size:int -> record array -> Column_store.t
+(** Resident columnar store of the records in array order
+    ({!Column_store.create}). *)
+
+val of_store : Column_store.t -> record array
+(** Materialize every record in storage order — the row view that
+    planning and equivalence oracles run from. *)
+
 (** {2 Generators} *)
 
 val uniform_intervals :

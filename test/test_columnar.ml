@@ -1,0 +1,449 @@
+(* Golden equivalence tests for the columnar engine: the vectorized
+   kernel path over a [Column_store] must be bit-for-bit the row path —
+   same verdicts, laxities, success probabilities, answers, guarantees,
+   metered costs and planner output — for every pool width, batch size,
+   backing (resident or streamed from a QCOL file) and fault plan.
+   Plus the QCOL codec itself: exact round-trips and typed rejection of
+   damaged files. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let check_same label a b = checkb label true (a = b)
+
+let requirements = Quality.requirements ~precision:0.85 ~recall:0.7 ~laxity:8.0
+
+let dataset ?(n = 4000) seed =
+  Interval_data.uniform_intervals (Rng.create seed) ~n
+    ~value_range:(Interval.make 0.0 100.0) ~max_width:10.0
+
+let pred = Predicate.between 30.0 60.0
+
+(* ---- kernel vs instance -------------------------------------------- *)
+
+(* The kernel must reproduce [Scan_pipeline.classify_one] — verdict,
+   laxity and success — bit for bit, on arbitrary exact/interval
+   records and arbitrary predicates. *)
+let record_gen =
+  QCheck2.Gen.(
+    let value = float_range (-50.0) 50.0 in
+    let* lo = value in
+    let* w = oneof [ return 0.0; float_range 0.0 20.0 ] in
+    return (lo, lo +. w))
+
+let pred_gen =
+  QCheck2.Gen.(
+    let bound = float_range (-40.0) 40.0 in
+    oneof
+      [
+        map Predicate.ge bound;
+        map Predicate.le bound;
+        map
+          (fun (a, b) -> Predicate.between (Float.min a b) (Float.max a b))
+          (pair bound bound);
+        map
+          (fun (a, b) ->
+            Predicate.(ge (Float.min a b) &&& not_ (gt (Float.max a b))))
+          (pair bound bound);
+      ])
+
+let prop_kernel_matches_instance =
+  QCheck2.Test.make ~name:"kernel equals instance evaluation" ~count:200
+    QCheck2.Gen.(pair pred_gen (list_size (int_range 1 200) record_gen))
+    (fun (pred, bounds) ->
+      let records =
+        Array.of_list bounds
+        |> Array.mapi (fun id (lo, hi) ->
+               {
+                 Interval_data.id;
+                 belief =
+                   (if lo = hi then Uncertain.exact lo
+                    else Uncertain.interval lo hi);
+                 truth = lo;
+               })
+      in
+      let store = Interval_data.to_store ~chunk_size:7 records in
+      let instance = Interval_data.instance pred in
+      let compiled = Predicate.compile pred in
+      let n = Array.length records in
+      let verdicts = Bytes.create n in
+      let laxities = Array.make n nan in
+      let successes = Array.make n nan in
+      for c = 0 to Column_store.chunk_count store - 1 do
+        let ch = Column_store.chunk store c in
+        Column_scan.kernel compiled ch ~off:ch.Column_store.base ~verdicts
+          ~laxities ~successes
+      done;
+      Array.for_all
+        (fun (r : Interval_data.record) ->
+          let expect = Scan_pipeline.classify_one instance r in
+          let i = r.id in
+          Tvl.equal expect.Scan_pipeline.verdict
+            (Tvl.of_char (Bytes.get verdicts i))
+          && expect.Scan_pipeline.laxity = laxities.(i)
+          && expect.Scan_pipeline.success = successes.(i))
+        records)
+
+(* ---- engine equivalence -------------------------------------------- *)
+
+type fingerprint = {
+  answer : (int * bool) list;
+  guarantees : Quality.guarantees;
+  counts : Cost_meter.counts;
+  run_counts : Cost_meter.counts;
+  yes_seen : int;
+  maybe_ignored : int;
+  answer_size : int;
+  exhausted : bool;
+  normalized_cost : float;
+  plan_params : Policy.params option;
+  degradation : Engine.degradation;
+}
+
+let fingerprint (result : Interval_data.record Engine.result) =
+  {
+    answer =
+      List.map
+        (fun (e : Interval_data.record Operator.emitted) ->
+          (e.obj.id, e.precise))
+        result.report.answer;
+    guarantees = result.report.guarantees;
+    counts = result.counts;
+    run_counts = result.report.counts;
+    yes_seen = result.report.yes_seen;
+    maybe_ignored = result.report.maybe_ignored;
+    answer_size = result.report.answer_size;
+    exhausted = result.report.exhausted;
+    normalized_cost = result.normalized_cost;
+    plan_params = Option.map (fun (p : Engine.plan) -> p.params) result.plan;
+    degradation = result.degradation;
+  }
+
+let columnar ?(prune = false) store =
+  { Engine.store; of_row = Interval_data.of_row; pred; prune }
+
+let run ?columnar ?faults ~seed ~batch ~domains data =
+  let probe =
+    match faults with
+    | None -> Probe_driver.of_scalar ~batch_size:batch Interval_data.probe
+    | Some fault_seed ->
+        let plan =
+          Fault_plan.make ~seed:fault_seed ~transient_rate:0.05
+            ~permanent_rate:0.1 ~max_retries:2 ()
+        in
+        Probe_source.driver ~batch_size:batch
+          (Probe_source.create ~max_retries:2 ~faults:plan Interval_data.probe)
+  in
+  fingerprint
+    (Engine.execute ~rng:(Rng.create seed) ~max_laxity:10.0 ~batch ~domains
+       ?columnar ~instance:(Interval_data.instance pred) ~probe ~requirements
+       data)
+
+let test_golden_row_vs_columnar () =
+  let data = dataset 11 in
+  let store = Interval_data.to_store data in
+  List.iter
+    (fun batch ->
+      List.iter
+        (fun domains ->
+          let row = run ~seed:21 ~batch ~domains data in
+          checkb
+            (Printf.sprintf "B=%d d=%d baseline answers" batch domains)
+            true (row.answer_size > 0);
+          let col =
+            run ~columnar:(columnar store) ~seed:21 ~batch ~domains data
+          in
+          check_same
+            (Printf.sprintf "B=%d domains=%d row = columnar" batch domains)
+            row col)
+        [ 1; 2; 4 ])
+    [ 1; 4 ]
+
+let test_golden_under_faults () =
+  let data = dataset 13 in
+  let store = Interval_data.to_store data in
+  List.iter
+    (fun domains ->
+      let row = run ~faults:99 ~seed:5 ~batch:4 ~domains data in
+      let col =
+        run ~columnar:(columnar store) ~faults:99 ~seed:5 ~batch:4 ~domains
+          data
+      in
+      checkb "faults actually degraded the run" true
+        (row.degradation.Engine.failed_probes > 0);
+      check_same
+        (Printf.sprintf "faulted domains=%d row = columnar" domains)
+        row col)
+    [ 1; 4 ]
+
+let test_golden_streamed_store () =
+  let data = dataset 17 in
+  let resident = Interval_data.to_store ~chunk_size:50 data in
+  let path = Filename.temp_file "imprecise_qcol" ".qcol" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dataset_io.save_columnar path resident;
+      Dataset_io.with_columnar ~pool_capacity:4 path (fun streamed ->
+          let base = run ~columnar:(columnar resident) ~seed:7 ~batch:4
+              ~domains:2 data
+          in
+          let got = run ~columnar:(columnar streamed) ~seed:7 ~batch:4
+              ~domains:2 data
+          in
+          check_same "resident = streamed" base got))
+
+(* Pruning drops whole-NO chunks before the scan: the exact answer is
+   untouched (pruned objects are definite NOs) and pruned chunks of a
+   streamed store are never decoded. *)
+let test_prune_sound_and_lazy () =
+  let data = dataset 19 in
+  let resident = Interval_data.to_store ~chunk_size:32 data in
+  (* A selective predicate so that many chunk hulls are whole-NO. *)
+  let pred = Predicate.between 5.0 9.0 in
+  let requirements =
+    Quality.requirements ~precision:0.6 ~recall:1.0 ~laxity:10.0
+  in
+  let run columnar =
+    Engine.execute ~rng:(Rng.create 3) ~max_laxity:10.0 ~domains:1 ~columnar
+      ~planning:(Engine.Fixed Policy.greedy_params)
+      ~instance:(Interval_data.instance pred)
+      ~probe:(Probe_driver.scalar Interval_data.probe)
+      ~requirements data
+  in
+  let fetched = ref [] in
+  let counting =
+    Column_store.of_fetch
+      ~length:(Column_store.length resident)
+      ~chunk_size:(Column_store.chunk_size resident)
+      ~zones:(Column_store.zones resident)
+      (fun c ->
+        fetched := c :: !fetched;
+        Column_store.chunk resident c)
+  in
+  let result =
+    run { Engine.store = counting; of_row = Interval_data.of_row; pred;
+          prune = true }
+  in
+  let pruned = Column_store.pruned_chunks resident pred in
+  checkb "predicate prunes some chunks" true (pruned > 0);
+  List.iter
+    (fun c ->
+      checkb "no pruned chunk was fetched" false
+        (Column_store.prunable resident pred c))
+    !fetched;
+  (* Recall 1 forces a full scan of the surviving chunks, so the answer
+     must contain the whole exact set despite the pruning. *)
+  let answer_ids =
+    List.map
+      (fun (e : Interval_data.record Operator.emitted) -> e.obj.id)
+      result.Engine.report.Operator.answer
+  in
+  List.iter
+    (fun (r : Interval_data.record) ->
+      checkb "exact member survived pruning" true (List.mem r.id answer_ids))
+    (Interval_data.exact_set pred data)
+
+(* ---- layout resolution --------------------------------------------- *)
+
+let with_env var value f =
+  let old = Sys.getenv_opt var in
+  Unix.putenv var value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv var (Option.value old ~default:""))
+    f
+
+let test_resolve_layout () =
+  check_same "explicit wins" Engine.Columnar
+    (with_env Engine.layout_env "row" (fun () ->
+         Engine.resolve_layout ~layout:Engine.Columnar ()));
+  check_same "env columnar"
+    Engine.Columnar
+    (with_env Engine.layout_env "columnar" (fun () ->
+         Engine.resolve_layout ()));
+  check_same "env row" Engine.Row
+    (with_env Engine.layout_env "row" (fun () -> Engine.resolve_layout ()));
+  check_same "unset defaults to row" Engine.Row
+    (with_env Engine.layout_env "" (fun () -> Engine.resolve_layout ()));
+  checkb "garbage rejected" true
+    (with_env Engine.layout_env "diagonal" (fun () ->
+         match Engine.resolve_layout () with
+         | exception Invalid_argument _ -> true
+         | _ -> false))
+
+(* The suite honours the resolved layout: under QAQ_LAYOUT=columnar this
+   exercises the columnar engine end to end (the CI matrix leg), and the
+   result must still be the row oracle's. *)
+let test_resolved_layout_run () =
+  let data = dataset 23 in
+  let row = run ~seed:9 ~batch:4 ~domains:1 data in
+  let resolved =
+    match Engine.resolve_layout () with
+    | Engine.Row -> row
+    | Engine.Columnar ->
+        run ~columnar:(columnar (Interval_data.to_store data)) ~seed:9
+          ~batch:4 ~domains:1 data
+  in
+  check_same "resolved layout equals row oracle" row resolved
+
+let test_store_length_mismatch () =
+  let data = dataset 29 ~n:100 in
+  let store = Interval_data.to_store (Array.sub data 0 99) in
+  checkb "length mismatch rejected" true
+    (match run ~columnar:(columnar store) ~seed:1 ~batch:1 ~domains:1 data with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---- QCOL codec ---------------------------------------------------- *)
+
+let same_records (a : Interval_data.record array)
+    (b : Interval_data.record array) =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun (x : Interval_data.record) (y : Interval_data.record) ->
+         x.id = y.id && x.truth = y.truth
+         && Uncertain.equal x.belief y.belief)
+       a b
+
+let prop_qcol_roundtrip =
+  QCheck2.Test.make ~name:"qcol file roundtrip" ~count:60
+    QCheck2.Gen.(
+      pair (int_range 1 9) (list_size (int_range 0 120) record_gen))
+    (fun (chunk_size, bounds) ->
+      let records =
+        Array.of_list bounds
+        |> Array.mapi (fun id (lo, hi) ->
+               {
+                 Interval_data.id;
+                 belief =
+                   (if lo = hi then Uncertain.exact lo
+                    else Uncertain.interval lo hi);
+                 truth = (lo +. hi) /. 2.0;
+               })
+      in
+      let store = Interval_data.to_store ~chunk_size records in
+      let path = Filename.temp_file "imprecise_qcol" ".qcol" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Dataset_io.save_columnar path store;
+          Dataset_io.with_columnar path (fun streamed ->
+              same_records records (Interval_data.of_store streamed)
+              && Column_store.zones streamed = Column_store.zones store)))
+
+let write_file path bytes =
+  let oc = open_out_bin path in
+  output_string oc bytes;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let expect_corrupt name f =
+  checkb name true
+    (match f () with
+    | exception Dataset_io.Corrupt_columnar _ -> true
+    | _ -> false)
+
+let test_qcol_corruption () =
+  let records = dataset 31 ~n:100 in
+  let store = Interval_data.to_store ~chunk_size:16 records in
+  let path = Filename.temp_file "imprecise_qcol" ".qcol" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dataset_io.save_columnar path store;
+      let good = read_file path in
+      (* Bad magic. *)
+      write_file path ("XCOLv001" ^ String.sub good 8 (String.length good - 8));
+      expect_corrupt "bad magic" (fun () ->
+          Dataset_io.with_columnar path ignore);
+      (* Truncated header. *)
+      write_file path (String.sub good 0 10);
+      expect_corrupt "truncated header" (fun () ->
+          Dataset_io.with_columnar path ignore);
+      (* Truncated body: size no longer matches the declared layout. *)
+      write_file path (String.sub good 0 (String.length good - 5));
+      expect_corrupt "truncated body" (fun () ->
+          Dataset_io.with_columnar path ignore);
+      (* Trailing garbage is also a size mismatch. *)
+      write_file path (good ^ "junk");
+      expect_corrupt "padded file" (fun () ->
+          Dataset_io.with_columnar path ignore);
+      (* Corrupt row bounds: flip a chunk's lo/hi columns so a decoded
+         support is reversed.  The header is intact, so the damage only
+         surfaces when the chunk is actually fetched. *)
+      let header = 8 + 16 + (Column_store.chunk_count store * 17) in
+      let body = Bytes.of_string good in
+      let len = 16 in
+      (* lo column of chunk 0 starts after its ids *)
+      let lo_off = header + (len * 8) in
+      let hi_off = lo_off + (len * 8) in
+      let tmp = Bytes.sub body lo_off (len * 8) in
+      Bytes.blit body hi_off body lo_off (len * 8);
+      Bytes.blit tmp 0 body hi_off (len * 8);
+      write_file path (Bytes.to_string body);
+      expect_corrupt "reversed bounds in chunk" (fun () ->
+          Dataset_io.with_columnar path (fun s ->
+              ignore (Column_store.chunk s 0))))
+
+let test_closed_file_fetch () =
+  let records = dataset 37 ~n:50 in
+  let store = Interval_data.to_store ~chunk_size:16 records in
+  let path = Filename.temp_file "imprecise_qcol" ".qcol" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dataset_io.save_columnar path store;
+      let file = Dataset_io.open_columnar path in
+      let streamed = Dataset_io.columnar_store file in
+      ignore (Column_store.chunk streamed 0);
+      Dataset_io.close_columnar file;
+      checkb "fetch after close rejected" true
+        (match Column_store.chunk streamed 1 with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+
+(* The streamed store's chunk pool really caches: re-reading the same
+   chunk is a hit, and capacity bounds residency. *)
+let test_qcol_pool_caches () =
+  let records = dataset 41 ~n:200 in
+  let store = Interval_data.to_store ~chunk_size:16 records in
+  let path = Filename.temp_file "imprecise_qcol" ".qcol" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dataset_io.save_columnar path store;
+      let file = Dataset_io.open_columnar ~pool_capacity:2 path in
+      Fun.protect
+        ~finally:(fun () -> Dataset_io.close_columnar file)
+        (fun () ->
+          let streamed = Dataset_io.columnar_store file in
+          ignore (Column_store.chunk streamed 0);
+          ignore (Column_store.chunk streamed 0);
+          ignore (Column_store.chunk streamed 1);
+          ignore (Column_store.chunk streamed 2);
+          (* capacity 2: chunk 0 evicted *)
+          ignore (Column_store.chunk streamed 0);
+          let s = Buffer_pool.stats (Dataset_io.columnar_pool file) in
+          checki "hits" 1 s.Buffer_pool.hits;
+          checki "misses" 4 s.Buffer_pool.misses;
+          checki "evictions" 2 s.Buffer_pool.evictions))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_kernel_matches_instance;
+    ("golden row vs columnar", `Quick, test_golden_row_vs_columnar);
+    ("golden under faults", `Quick, test_golden_under_faults);
+    ("golden streamed store", `Quick, test_golden_streamed_store);
+    ("pruning sound and lazy", `Quick, test_prune_sound_and_lazy);
+    ("resolve_layout", `Quick, test_resolve_layout);
+    ("resolved layout run", `Quick, test_resolved_layout_run);
+    ("store length mismatch", `Quick, test_store_length_mismatch);
+    QCheck_alcotest.to_alcotest prop_qcol_roundtrip;
+    ("qcol corruption", `Quick, test_qcol_corruption);
+    ("fetch after close", `Quick, test_closed_file_fetch);
+    ("qcol pool caches", `Quick, test_qcol_pool_caches);
+  ]

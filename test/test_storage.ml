@@ -182,6 +182,132 @@ let test_buffer_pool_failed_load () =
   checkb "page 1 evicted on retry" false (Buffer_pool.contains pool 1);
   checkb "page 3 cached on retry" true (Buffer_pool.contains pool 3)
 
+(* The docs promise the raising-load contract holds identically for the
+   chunk-fetch path: the pool is unit-agnostic, a failed chunk decode is
+   a miss, nothing is inserted, no eviction is charged, and the hit rate
+   counts the failure against the pool. *)
+let test_buffer_pool_failed_chunk_load () =
+  let pool : Column_store.chunk Buffer_pool.t =
+    Buffer_pool.create ~capacity:2 ()
+  in
+  let store =
+    Column_store.create ~chunk_size:4
+      (Array.init 12 (fun id ->
+           { Column_store.id; lo = 0.0; hi = 1.0; truth = 0.5 }))
+  in
+  let load c = Column_store.chunk store c in
+  ignore (Buffer_pool.fetch pool 0 load);
+  ignore (Buffer_pool.fetch pool 1 load);
+  Alcotest.check_raises "decode failure propagates" Not_found (fun () ->
+      ignore (Buffer_pool.fetch pool 2 (fun _ -> raise Not_found)));
+  checkb "chunk 0 still cached" true (Buffer_pool.contains pool 0);
+  checkb "chunk 1 still cached" true (Buffer_pool.contains pool 1);
+  checkb "failed chunk not cached" false (Buffer_pool.contains pool 2);
+  let s = Buffer_pool.stats pool in
+  checki "failed decode is a miss" 3 s.misses;
+  checki "no eviction for a failed decode" 0 s.evictions;
+  Alcotest.(check (float 1e-9)) "hit rate charges the failure" 0.0
+    (Buffer_pool.hit_rate s);
+  ignore (Buffer_pool.fetch pool 2 load);
+  checki "retry evicts the true LRU victim" 1 (Buffer_pool.stats pool).evictions
+
+let test_column_store_layout () =
+  let rows =
+    Array.init 25 (fun id ->
+        let lo = float_of_int id in
+        { Column_store.id = 1000 + id; lo; hi = lo +. 0.5; truth = lo +. 0.25 })
+  in
+  let store = Column_store.create ~chunk_size:10 rows in
+  checki "length" 25 (Column_store.length store);
+  checki "chunk count" 3 (Column_store.chunk_count store);
+  checkb "short last chunk" true (Column_store.chunk_bounds store 2 = (20, 5));
+  let ch = Column_store.chunk store 1 in
+  checki "chunk base" 10 ch.Column_store.base;
+  checki "chunk len" 10 ch.Column_store.len;
+  checkb "row materializes" true (Column_store.row ch 3 = rows.(13));
+  checkb "get crosses chunks" true (Column_store.get store 21 = rows.(21));
+  (match Column_store.zone store 1 with
+  | Some hull ->
+      checkf "zone lo" 10.0 (Interval.lo hull);
+      checkf "zone hi" 19.5 (Interval.hi hull)
+  | None -> Alcotest.fail "chunk 1 has a zone");
+  Alcotest.check_raises "bad chunk index"
+    (Invalid_argument "Column_store.fetch: chunk index") (fun () ->
+      ignore (Column_store.chunk store 3));
+  Alcotest.check_raises "bad row"
+    (Invalid_argument "Column_store.create: bound columns need finite lo <= hi")
+    (fun () ->
+      ignore
+        (Column_store.create
+           [| { Column_store.id = 0; lo = 2.0; hi = 1.0; truth = 0.0 } |]));
+  Alcotest.check_raises "bad chunk size"
+    (Invalid_argument "Column_store.create: chunk_size < 1") (fun () ->
+      ignore (Column_store.create ~chunk_size:0 rows));
+  Alcotest.check_raises "of_fetch zone mismatch"
+    (Invalid_argument
+       "Column_store.of_fetch: zone count does not match the layout")
+    (fun () ->
+      ignore
+        (Column_store.of_fetch ~length:25 ~chunk_size:10 ~zones:[| None |]
+           (Column_store.chunk store)))
+
+(* Chunk pruning must agree with the row path's zone-map semantics: the
+   hulls repackaged as a [Zone_map] give the same prunable set. *)
+let test_column_store_pruning_matches_zone_map () =
+  let records =
+    Interval_data.uniform_intervals (Rng.create 53) ~n:500
+      ~value_range:(Interval.make 0.0 100.0) ~max_width:5.0
+  in
+  Array.sort
+    (fun (a : Interval_data.record) b ->
+      compare
+        (Interval.midpoint (Uncertain.support a.belief), a.id)
+        (Interval.midpoint (Uncertain.support b.belief), b.id))
+    records;
+  let store = Interval_data.to_store ~chunk_size:25 records in
+  let zm = Column_store.zone_map store in
+  let pred = Predicate.ge 60.0 in
+  checki "zone map covers every chunk"
+    (Column_store.chunk_count store)
+    (Zone_map.page_count zm);
+  for c = 0 to Column_store.chunk_count store - 1 do
+    checkb "prunable agrees with Zone_map" (Zone_map.prunable zm pred c)
+      (Column_store.prunable store pred c)
+  done;
+  checki "pruned counts agree"
+    (Zone_map.pruned_pages zm pred)
+    (Column_store.pruned_chunks store pred);
+  checkb "pruning bites on this layout" true
+    (Column_store.pruned_chunks store pred > 0);
+  (* Soundness: no pruned chunk holds a YES/MAYBE row. *)
+  for c = 0 to Column_store.chunk_count store - 1 do
+    if Column_store.prunable store pred c then begin
+      let ch = Column_store.chunk store c in
+      for i = 0 to ch.Column_store.len - 1 do
+        let r = Interval_data.of_row (Column_store.row ch i) in
+        checkb "pruned rows are NO" true
+          (Tvl.equal (Predicate.classify pred r.belief) Tvl.No)
+      done
+    end
+  done
+
+let test_row_view () =
+  let records =
+    Interval_data.uniform_intervals (Rng.create 59) ~n:77
+      ~value_range:(Interval.make 0.0 10.0) ~max_width:2.0
+  in
+  let store = Interval_data.to_store ~chunk_size:8 records in
+  let view = Row_view.create store ~of_row:Interval_data.of_row in
+  checki "view length" 77 (Row_view.length view);
+  checkb "get matches source" true (Row_view.get view 13 = records.(13));
+  checkb "to_array is the original data in storage order" true
+    (Row_view.to_array view = records);
+  let seen = ref 0 in
+  Row_view.iter view (fun r ->
+      checkb "iter order" true (r = records.(!seen));
+      incr seen);
+  checki "iter covers everything" 77 !seen
+
 let test_zone_map () =
   (* Values clustered by page: page p holds supports around 10p. *)
   let records =
@@ -338,6 +464,12 @@ let suite =
     ("cursor with page filter", `Quick, test_cursor_filtered);
     ("buffer pool LRU", `Quick, test_buffer_pool_lru);
     ("buffer pool failed load", `Quick, test_buffer_pool_failed_load);
+    ("buffer pool failed chunk load", `Quick, test_buffer_pool_failed_chunk_load);
+    ("column store layout", `Quick, test_column_store_layout);
+    ( "column pruning matches zone map",
+      `Quick,
+      test_column_store_pruning_matches_zone_map );
+    ("row view adapter", `Quick, test_row_view);
     ("pooled cursor", `Quick, test_pooled_cursor);
     ("zone map pruning", `Quick, test_zone_map);
     QCheck_alcotest.to_alcotest prop_zone_map_sound;
