@@ -1254,6 +1254,158 @@ let run_micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Anytime: budget sweep with monotonicity and overshoot gates         *)
+(* ------------------------------------------------------------------ *)
+
+(* The anytime contract, checked empirically: sweeping the cost budget
+   over a fixed workload and seed, achieved recall and answer size must
+   be monotone non-decreasing in the budget, achieved precision must
+   hold at every point (precision is never traded for budget), the spend
+   must never overshoot the allotment by more than one probe batch, and
+   [budget = infinity] must be bit-for-bit the unbudgeted run.  Any
+   violation fails the mode — CI runs it as the anytime smoke test. *)
+let anytime_bench path =
+  section "Anytime: budget sweep";
+  print_endline
+    "The standard workload runs under a sweep of cost budgets; each\n\
+     budgeted run plans via the dual solver, re-solves mid-scan against\n\
+     the remaining budget, and stops before overspending.  The mode\n\
+     fails on non-monotone quality, any overshoot past one probe batch,\n\
+     or an infinity-budget run that differs from the unbudgeted one.";
+  let data = standard_workload () in
+  let batch = 4 in
+  (* Every point runs with adaptivity on: a finite budget forces it
+     anyway (mid-scan dual re-solves are part of the contract), so the
+     unbudgeted ends of the sweep must use the same machinery for the
+     comparison to be apples-to-apples. *)
+  let run ?budget label =
+    let obs = Obs.create () in
+    Engine.execute ~rng:(Rng.create engine_seed) ?budget ~adaptive:true
+      ~max_laxity:100.0 ~obs
+      ~profile:(Engine.profiling ~label ~oracle:Synthetic.in_exact ())
+      ~instance:Synthetic.instance
+      ~probe:(Probe_driver.of_scalar ~obs ~batch_size:batch Synthetic.probe)
+      ~requirements:standard_requirements data
+  in
+  let requested_precision = 0.9 and requested_recall = 0.6 in
+  let budgets = [ 1_500.0; 4_000.0; 10_000.0; 30_000.0; infinity ] in
+  let fingerprint (result : Synthetic.obj Engine.result) =
+    ( List.map
+        (fun (e : Synthetic.obj Operator.emitted) ->
+          (e.Operator.obj.Synthetic.id, e.Operator.precise))
+        result.Engine.report.Operator.answer,
+      result.Engine.counts,
+      result.Engine.report.Operator.guarantees,
+      result.Engine.normalized_cost )
+  in
+  let ok = ref true in
+  let fail fmt = Printf.ksprintf (fun m -> ok := false; print_endline m) fmt in
+  (* One probe batch is the overshoot the contract allows. *)
+  let batch_cost =
+    float_of_int batch
+    *. (Cost_model.amortize ~batch Cost_model.paper).Cost_model.c_p
+  in
+  let runs =
+    List.map
+      (fun b ->
+        let label =
+          if Float.is_finite b then Printf.sprintf "budget-%.0f" b
+          else "budget-inf"
+        in
+        (b, label, run ~budget:b label))
+      budgets
+  in
+  let achieved_of result =
+    match
+      (Option.get result.Engine.profile).Profile.audit.Profile.achieved
+    with
+    | Some a -> a
+    | None -> failwith "anytime_bench: engine returned no oracle audit"
+  in
+  let rows =
+    List.map
+      (fun (b, label, result) ->
+        let s = Option.get result.Engine.budget in
+        let a = achieved_of result in
+        Printf.printf
+          "%-14s spent %8.1f / %8s  target r %.3f%s  answer %4d  achieved \
+           p %.3f r %.3f%s\n"
+          label s.Engine.spent
+          (if Float.is_finite b then Printf.sprintf "%.0f" b else "inf")
+          s.Engine.target_recall
+          (if s.Engine.budget_limited then " (limited)" else "")
+          result.Engine.report.Operator.answer_size
+          a.Profile.achieved_precision a.Profile.achieved_recall
+          (if s.Engine.stopped_early then "  stopped early" else "");
+        if s.Engine.spent > s.Engine.allotted +. batch_cost then
+          fail "OVERSHOOT (%s): spent %.1f > allotted %.1f + one batch %.1f"
+            label s.Engine.spent s.Engine.allotted batch_cost;
+        if a.Profile.achieved_precision < requested_precision -. 1e-9 then
+          fail "PRECISION LOST (%s): achieved %.3f < requested %.3f" label
+            a.Profile.achieved_precision requested_precision;
+        Printf.sprintf
+          "    { \"label\": %S, \"budget\": %s, \"spent\": %.6g, \
+           \"remaining\": %s, \"target_recall\": %.6g, \"budget_limited\": \
+           %b, \"budget_replans\": %d, \"stopped_early\": %b, \
+           \"answer_size\": %d, \"achieved_precision\": %.6g, \
+           \"achieved_recall\": %.6g, \"normalized_cost\": %.6g }"
+          label
+          (if Float.is_finite b then Printf.sprintf "%.6g" b else "null")
+          s.Engine.spent
+          (if Float.is_finite s.Engine.remaining then
+             Printf.sprintf "%.6g" s.Engine.remaining
+           else "null")
+          s.Engine.target_recall s.Engine.budget_limited
+          s.Engine.budget_replans s.Engine.stopped_early
+          result.Engine.report.Operator.answer_size
+          a.Profile.achieved_precision a.Profile.achieved_recall
+          result.Engine.normalized_cost)
+      runs
+  in
+  (* Monotonicity along the sweep: recall and answer size never drop as
+     the budget grows. *)
+  let rec monotone = function
+    | (_, lo_label, lo) :: ((_, hi_label, hi) :: _ as rest) ->
+        let lo_a = achieved_of lo and hi_a = achieved_of hi in
+        if lo_a.Profile.achieved_recall > hi_a.Profile.achieved_recall +. 1e-9
+        then
+          fail "NON-MONOTONE recall: %s %.3f > %s %.3f" lo_label
+            lo_a.Profile.achieved_recall hi_label hi_a.Profile.achieved_recall;
+        if
+          lo.Engine.report.Operator.answer_size
+          > hi.Engine.report.Operator.answer_size
+        then
+          fail "NON-MONOTONE answer size: %s %d > %s %d" lo_label
+            lo.Engine.report.Operator.answer_size hi_label
+            hi.Engine.report.Operator.answer_size;
+        monotone rest
+    | _ -> ()
+  in
+  monotone runs;
+  (* The top of the sweep must actually reach the requested recall, or
+     the monotonicity gate is vacuous. *)
+  let _, _, top = List.nth runs (List.length runs - 1) in
+  if (achieved_of top).Profile.achieved_recall < requested_recall -. 1e-9 then
+    fail "SWEEP TOO SHALLOW: infinite budget achieved %.3f < requested %.3f"
+      (achieved_of top).Profile.achieved_recall requested_recall;
+  (* budget = infinity is the unbudgeted run, bit for bit. *)
+  let unbudgeted = run "unbudgeted" in
+  if fingerprint top <> fingerprint unbudgeted then
+    fail "INFINITY MISMATCH: budget = infinity differs from the unbudgeted run";
+  write_bench_json ~path ~bench:"anytime-budget-sweep"
+    ~fields:
+      [
+        ("passed", string_of_bool !ok);
+        ("requested_precision", Printf.sprintf "%.6g" requested_precision);
+        ("requested_recall", Printf.sprintf "%.6g" requested_recall);
+        ("batch", string_of_int batch);
+      ]
+    ~rows;
+  Printf.printf "anytime contract holds across the sweep: %s\n"
+    (if !ok then "yes" else "NO");
+  if not !ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -1297,6 +1449,10 @@ let () =
       columnar_bench
         (if Array.length Sys.argv > 2 then Sys.argv.(2)
          else "BENCH_columnar.json")
+  | "anytime" ->
+      anytime_bench
+        (if Array.length Sys.argv > 2 then Sys.argv.(2)
+         else "BENCH_anytime.json")
   | "all" ->
       tables ();
       ablations ();
@@ -1304,6 +1460,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown mode %S (expected \
-         tables|ablations|batch|micro|metrics|scaling|profile|faults|columnar|all)\n"
+         tables|ablations|batch|micro|metrics|scaling|profile|faults|columnar|anytime|all)\n"
         other;
       exit 2

@@ -65,6 +65,45 @@ let domains =
   in
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
 
+let budget_opt =
+  let doc =
+    "Cap the run's total metered spend at $(docv) cost units (planning \
+     included).  The engine then plans for the best reachable recall \
+     within the budget (the dual problem), re-solves mid-scan against \
+     whatever remains on the meter, and stops the scan before the spend \
+     can exceed the cap.  Precision stays a hard constraint; the budget \
+     summary is printed after the run."
+  in
+  Arg.(value & opt (some float) None & info [ "budget" ] ~docv:"COST" ~doc)
+
+let deadline_ms_opt =
+  let doc =
+    "Stop the scan after $(docv) milliseconds of wall clock.  Unlike \
+     --budget this is inherently non-deterministic; prefer --budget \
+     wherever reproducibility matters.  Composes with --budget."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let deadline_of_ms = Option.map (fun ms -> ms /. 1000.0)
+
+let print_budget_summary result =
+  match result.Engine.budget with
+  | None -> ()
+  | Some b ->
+      let money v =
+        if Float.is_finite v then Printf.sprintf "%.1f" v else "inf"
+      in
+      Format.printf
+        "budget: allotted %s, spent %.1f, remaining %s; target recall \
+         %.3f%s; %d budget replan(s)%s@."
+        (money b.Engine.allotted) b.Engine.spent
+        (money b.Engine.remaining)
+        b.Engine.target_recall
+        (if b.Engine.budget_limited then " (budget-limited)" else "")
+        b.Engine.budget_replans
+        (if b.Engine.stopped_early then "; scan stopped early" else "")
+
 let cost_model c_b =
   let paper = Cost_model.paper in
   Cost_model.make ~c_r:paper.Cost_model.c_r ~c_p:paper.Cost_model.c_p
@@ -184,7 +223,7 @@ let fault_seed =
 
 let profiled_trial ~rng ~(s : Exp_config.setting) ~cost ~batch ~policy ~domains
     ~trace ~metrics_file ~profile_file ~chrome_file ~fault_rate ~fault_seed
-    data =
+    ~budget ~deadline data =
   let recorder = Option.map (fun _ -> Chrome_trace.create ()) chrome_file in
   let sink =
     let fmt =
@@ -223,7 +262,7 @@ let profiled_trial ~rng ~(s : Exp_config.setting) ~cost ~batch ~policy ~domains
   in
   let result =
     Engine.execute ~rng ~planning ~cost ~batch ~max_laxity:s.max_laxity
-      ?domains ~obs ?on_task
+      ?budget ?deadline ?domains ~obs ?on_task
       ~profile:
         (Engine.profiling
            ~label:(Exp_runner.policy_name policy)
@@ -236,6 +275,7 @@ let profiled_trial ~rng ~(s : Exp_config.setting) ~cost ~batch ~policy ~domains
     (Exp_runner.policy_name policy)
     result.Engine.normalized_cost result.counts.Cost_meter.probes
     result.counts.Cost_meter.batches;
+  print_budget_summary result;
   let profile = Option.get result.Engine.profile in
   Profile.print profile;
   (let d = result.Engine.degradation in
@@ -279,15 +319,22 @@ let profiled_trial ~rng ~(s : Exp_config.setting) ~cost ~batch ~policy ~domains
 
 let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
     data_file batch c_b domains trace metrics_file profile_file chrome_file
-    fault_rate fault_seed =
+    fault_rate fault_seed budget deadline_ms =
   let s = setting total f_y f_m max_laxity p_q r_q l_q in
   let cost = cost_model c_b in
   let rng = Rng.create seed in
+  let deadline = deadline_of_ms deadline_ms in
   if fault_rate < 0.0 || fault_rate > 1.0 then begin
     Format.eprintf "--fault-rate must lie in [0, 1]@.";
     exit 2
   end;
-  if profile_file <> None || chrome_file <> None || fault_rate > 0.0 then begin
+  (* A budgeted or deadlined trial goes through the profiled engine path:
+     the budget is an engine contract (dual planning, mid-scan re-solves,
+     the stop closure), not something the bare operator loop offers. *)
+  if
+    profile_file <> None || chrome_file <> None || fault_rate > 0.0
+    || budget <> None || deadline <> None
+  then begin
     let data, s =
       match data_file with
       | Some path ->
@@ -296,7 +343,8 @@ let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
       | None -> (Synthetic.generate rng (Exp_config.workload s), s)
     in
     profiled_trial ~rng ~s ~cost ~batch ~policy ~domains ~trace ~metrics_file
-      ~profile_file ~chrome_file ~fault_rate ~fault_seed data
+      ~profile_file ~chrome_file ~fault_rate ~fault_seed ~budget ~deadline
+      data
   end
   else
   let obs =
@@ -356,7 +404,7 @@ let trial_cmd =
       const trial_run $ seed $ total $ f_y $ f_m $ max_laxity $ p_q $ r_q
       $ l_q $ policy $ repetitions $ data_file $ batch $ c_b $ domains
       $ trace_flag $ metrics_file $ profile_file $ chrome_trace_file
-      $ fault_rate $ fault_seed)
+      $ fault_rate $ fault_seed $ budget_opt $ deadline_ms_opt)
 
 (* ---- dataset ------------------------------------------------------ *)
 
@@ -510,7 +558,8 @@ let predicate_of ges les betweens =
   | p :: rest -> Some (List.fold_left Predicate.( &&& ) p rest)
 
 let query_run seed data_path ges les betweens layout prune p_q r_q l_q batch
-    c_b domains metrics_file =
+    c_b domains metrics_file budget deadline_ms =
+  let deadline = deadline_of_ms deadline_ms in
   let pred =
     match
       try predicate_of ges les betweens
@@ -541,7 +590,8 @@ let query_run seed data_path ges les betweens layout prune p_q r_q l_q batch
     let probe =
       Probe_driver.of_scalar ?obs ~batch_size:batch Interval_data.probe
     in
-    Engine.execute ~rng ~cost ~batch ?domains ?obs ?columnar
+    Engine.execute ~rng ~cost ~batch ?budget ?deadline ?domains ?obs
+      ?columnar
       ~instance:(Interval_data.instance pred)
       ~probe ~requirements data
   in
@@ -577,6 +627,7 @@ let query_run seed data_path ges les betweens layout prune p_q r_q l_q batch
     result.Engine.normalized_cost result.Engine.counts.Cost_meter.reads
     result.Engine.counts.Cost_meter.probes
     result.Engine.counts.Cost_meter.batches;
+  print_budget_summary result;
   match (obs, metrics_file) with
   | Some o, Some path ->
       let oc = open_out path in
@@ -595,7 +646,7 @@ let query_cmd =
     Term.(
       const query_run $ seed $ query_data $ ge_opt $ le_opt $ between_opt
       $ layout_opt $ prune_flag $ p_q $ r_q $ l_q $ batch $ c_b $ domains
-      $ metrics_file)
+      $ metrics_file $ budget_opt $ deadline_ms_opt)
 
 (* ---- tables ------------------------------------------------------- *)
 

@@ -127,8 +127,8 @@ let source ?obs ?(wave = 16) ?pool ?(prune = false) ~store ~of_row ~pred () =
   in
   { Operator.next; total }
 
-let run ~rng ?pool ?wave ?meter ?obs ?emit ?collect ?enforce ?prune ~store
-    ~of_row ~pred ~instance ~probe ~policy ~requirements () =
+let run ~rng ?pool ?wave ?meter ?obs ?emit ?collect ?enforce ?should_stop
+    ?prune ~store ~of_row ~pred ~instance ~probe ~policy ~requirements () =
   let src = source ?obs ?wave ?pool ?prune ~store ~of_row ~pred () in
   let probe' =
     Probe_driver.premap ~into:Scan_pipeline.original
@@ -142,6 +142,6 @@ let run ~rng ?pool ?wave ?meter ?obs ?emit ?collect ?enforce ?prune ~store
       emit
   in
   Scan_pipeline.strip_report
-    (Operator.run ~rng ?meter ?obs ?emit:emit' ?collect ?enforce
+    (Operator.run ~rng ?meter ?obs ?emit:emit' ?collect ?enforce ?should_stop
        ~instance:Scan_pipeline.item_instance ~probe:probe' ~policy
        ~requirements src)

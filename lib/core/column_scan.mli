@@ -76,6 +76,7 @@ val run :
   ?emit:('o Operator.emitted -> unit) ->
   ?collect:bool ->
   ?enforce:bool ->
+  ?should_stop:(pending:int -> bool) ->
   ?prune:bool ->
   store:Column_store.t ->
   of_row:(Column_store.row -> 'o) ->

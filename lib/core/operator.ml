@@ -54,6 +54,7 @@ type 'o report = {
   maybe_ignored : int;
   answer_size : int;
   exhausted : bool;
+  stopped_early : bool;
   degraded : degradation;
 }
 
@@ -69,8 +70,9 @@ let trace_action = function
   | Decision.Probe -> `Probe
   | Decision.Ignore -> `Ignore
 
-let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true) ?on_progress
-    ~instance ~(probe : _ Probe_driver.t) ~policy
+let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true)
+    ?(should_stop = fun ~pending:_ -> false) ?on_progress ~instance
+    ~(probe : _ Probe_driver.t) ~policy
     ~(requirements : Quality.requirements) source =
   let meter = match meter with Some m -> m | None -> Cost_meter.create () in
   (* A shared meter may carry charges from earlier runs; the report's
@@ -294,9 +296,25 @@ let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true) ?on_progress
      hoisted, so a query whose recall bound is already met reads
      nothing. *)
   let exhausted = ref false in
+  let stopped_early = ref false in
   let stop = ref false in
   while not !stop do
     if finished () then stop := true
+    else if should_stop ~pending:(Probe_driver.pending probe) then begin
+      (* The budget (or deadline) cannot pay for another read: stop
+         here, keeping whatever answer has accumulated — the anytime
+         contract.  Pending probes were committed before the check and
+         still resolve in the final flush below. *)
+      stopped_early := true;
+      stop := true;
+      if tracing then
+        trace_event
+          (Trace.Budget_stop
+             {
+               reads = source.total - Counters.unseen counters;
+               recall = Counters.recall_guarantee counters;
+             })
+    end
     else if pending_could_finish () then flush_probes ()
     else
       match source.next () with
@@ -414,6 +432,7 @@ let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true) ?on_progress
     maybe_ignored = Counters.maybe_ignored counters;
     answer_size = Counters.answer_size counters;
     exhausted = !exhausted || Counters.unseen counters = 0;
+    stopped_early = !stopped_early;
     degraded =
       {
         failed_probes = !failed_probes;

@@ -73,6 +73,9 @@ type 'o report = {
   exhausted : bool;
       (** whether the whole input was consumed (early termination means
           the recall bound was reached first) *)
+  stopped_early : bool;
+      (** whether [should_stop] fired — the run ended on its budget or
+          deadline before the recall bound was reached *)
   degraded : degradation;
       (** {!no_degradation} unless probes failed permanently *)
 }
@@ -91,6 +94,7 @@ val run :
   ?emit:('o emitted -> unit) ->
   ?collect:bool ->
   ?enforce:bool ->
+  ?should_stop:(pending:int -> bool) ->
   ?on_progress:(reads:int -> Quality.guarantees -> unit) ->
   instance:'o instance ->
   probe:'o Probe_driver.t ->
@@ -99,6 +103,17 @@ val run :
   'o source ->
   'o report
 (** Evaluate the query.
+
+    [should_stop] (default: never) is consulted before every read with
+    the number of probes still pending on the driver; returning [true]
+    ends the scan immediately with whatever answer has accumulated (the
+    anytime stop — used by the engine's cost budget and deadline).
+    Pending probes are still resolved by the final flush, so the
+    reported counters stay consistent; because the hook sees the
+    pending count, a cost-budget caller can bound its overshoot to at
+    most one probe batch.  The report records the firing under
+    [stopped_early], and a {!Trace.Budget_stop} event is emitted when
+    tracing.
 
     [rng] drives the policy's randomised choices.  [meter] (fresh by
     default) accumulates read/probe/batch/write charges; the same meter

@@ -75,11 +75,12 @@ let strip_report (r : 'o item Operator.report) : 'o Operator.report =
     maybe_ignored = r.maybe_ignored;
     answer_size = r.answer_size;
     exhausted = r.exhausted;
+    stopped_early = r.stopped_early;
     degraded = r.degraded;
   }
 
-let run ~rng ?pool ?block ?meter ?obs ?emit ?collect ?enforce ~instance ~probe
-    ~policy ~requirements data =
+let run ~rng ?pool ?block ?meter ?obs ?emit ?collect ?enforce ?should_stop
+    ~instance ~probe ~policy ~requirements data =
   match pool with
   | Some pool when Domain_pool.domains pool > 1 ->
       let src = source ?obs ?block ~pool ~instance data in
@@ -94,8 +95,9 @@ let run ~rng ?pool ?block ?meter ?obs ?emit ?collect ?enforce ~instance ~probe
       in
       strip_report
         (Operator.run ~rng ?meter ?obs ?emit:emit' ?collect ?enforce
-           ~instance:item_instance ~probe:probe' ~policy ~requirements src)
+           ?should_stop ~instance:item_instance ~probe:probe' ~policy
+           ~requirements src)
   | Some _ | None ->
-      Operator.run ~rng ?meter ?obs ?emit ?collect ?enforce ~instance ~probe
-        ~policy ~requirements
+      Operator.run ~rng ?meter ?obs ?emit ?collect ?enforce ?should_stop
+        ~instance ~probe ~policy ~requirements
         (Operator.source_of_array data)

@@ -63,6 +63,7 @@ val run :
   ?emit:('o Operator.emitted -> unit) ->
   ?collect:bool ->
   ?enforce:bool ->
+  ?should_stop:(pending:int -> bool) ->
   instance:'o Operator.instance ->
   probe:'o Probe_driver.t ->
   policy:Policy.t ->

@@ -2,6 +2,7 @@ type plan = {
   params : Policy.params;
   estimate : Selectivity.estimate option;
   evaluation : Solver.evaluation;
+  dual : Solver.dual_evaluation option;
   sample_size : int;
 }
 
@@ -28,12 +29,23 @@ type degradation = {
   requirements_met : bool;
 }
 
+type budget_summary = {
+  allotted : float;
+  spent : float;
+  remaining : float;
+  target_recall : float;
+  budget_limited : bool;
+  budget_replans : int;
+  stopped_early : bool;
+}
+
 type 'o result = {
   report : 'o Operator.report;
   plan : plan option;
   counts : Cost_meter.counts;
   normalized_cost : float;
   degradation : degradation;
+  budget : budget_summary option;
   profile : Profile.t option;
 }
 
@@ -41,17 +53,21 @@ let degraded result = result.degradation.failed_probes > 0
 
 (* Wasted cost prices the attempts burned on probes that never
    completed — work the backend did that the meter (by design) never
-   charged, since no probe was delivered. *)
-let degradation_of_report ~(cost : Cost_model.t)
+   charged, since no probe was delivered.  Each attempt is priced at the
+   amortized c_p + c_b/B the solver and meter price completed probes at,
+   so degradation reports reconcile with plan pricing. *)
+let degradation_of_report ~(cost : Cost_model.t) ~batch
     ~(requirements : Quality.requirements) (report : _ Operator.report) =
   let d = report.Operator.degraded in
+  let amortized = Cost_model.amortize ~batch cost in
   {
     failed_probes = d.Operator.failed_probes;
     failed_attempts = d.Operator.failed_attempts;
     degraded_forwards = d.Operator.degraded_forwards;
     degraded_ignores = d.Operator.degraded_ignores;
     forced_actions = d.Operator.forced_actions;
-    wasted_cost = float_of_int d.Operator.failed_attempts *. cost.Cost_model.c_p;
+    wasted_cost =
+      float_of_int d.Operator.failed_attempts *. amortized.Cost_model.c_p;
     guarantees_before = d.Operator.guarantees_before;
     guarantees_after = report.Operator.guarantees;
     requirements_met = Quality.meets report.Operator.guarantees requirements;
@@ -96,8 +112,8 @@ let observed_max_laxity ?pool instance data =
   in
   Array.fold_left Float.max 0.0 laxities
 
-let make_plan ~rng ~meter ?obs ?pool ~cost ~batch ~cap ~instance ~requirements
-    ~fraction ~density ~fallback data =
+let make_plan ~rng ~meter ?obs ?pool ~cost ~batch ~cap ~budget ~instance
+    ~requirements ~fraction ~density ~fallback data =
   let total = Stdlib.max 1 (Array.length data) in
   let sample = Selectivity.bernoulli_sample rng ~fraction data in
   let n = Array.length sample in
@@ -127,14 +143,51 @@ let make_plan ~rng ~meter ?obs ?pool ~cost ~batch ~cap ~instance ~requirements
     | (`Uniform | `Histogram), _ -> Density.uniform ~max_laxity:cap
   in
   let spec = Region_model.spec ~f_y ~f_m ~max_laxity:cap ~density in
-  let evaluation =
-    Solver.solve (Solver.problem ~total ~spec ~requirements ~cost ~batch ())
-  in
-  { params = evaluation.params; estimate; evaluation; sample_size = n }
+  let problem = Solver.problem ~total ~spec ~requirements ~cost ~batch () in
+  match budget with
+  | None ->
+      let evaluation = Solver.solve problem in
+      {
+        params = evaluation.params;
+        estimate;
+        evaluation;
+        dual = None;
+        sample_size = n;
+      }
+  | Some b ->
+      (* The pilot sample's reads are already on the meter: the scan can
+         only spend what the planning phase left over. *)
+      let remaining = Float.max 0.0 (b -. Cost_meter.total_cost cost meter) in
+      let dual = Solver.solve_dual ~budget:remaining problem in
+      {
+        params = dual.Solver.d_params;
+        estimate;
+        (* The primal evaluation of the chosen parameters, for uniform
+           reporting; [dual] carries the budgeted expectations. *)
+        evaluation = Solver.evaluate problem dual.Solver.d_params;
+        dual = Some dual;
+        sample_size = n;
+      }
 
-let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
-    ?emit ?collect ?profile ?columnar ~instance ~(probe : _ Probe_driver.t)
-    ~requirements data =
+let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
+    ?budget ?deadline ?obs ?emit ?collect ?profile ?columnar ~instance
+    ~(probe : _ Probe_driver.t) ~requirements data =
+  (match budget with
+  | Some b when Float.is_nan b || b < 0.0 ->
+      invalid_arg "Engine.execute: budget must be non-negative"
+  | _ -> ());
+  (match deadline with
+  | Some d when Float.is_nan d || d < 0.0 ->
+      invalid_arg "Engine.execute: deadline must be non-negative"
+  | _ -> ());
+  let allotted = match budget with Some b -> b | None -> infinity in
+  (* [budget = infinity] takes exactly the unbudgeted paths (primal
+     planning, no stop condition) so it is bit-for-bit identical to an
+     unbudgeted run; only the result summary differs. *)
+  let budgeted = Float.is_finite allotted in
+  let deadline_start =
+    match deadline with Some _ -> Span.default_clock () | None -> 0.0
+  in
   (* Planning always runs over [data] — the materialized row view of the
      same objects — so sampling, the rng streams and the laxity cap are
      identical across layouts; only the scan itself switches engines. *)
@@ -186,8 +239,9 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
         Some
           (span "plan" (fun () ->
                make_plan ~rng:sample_rng ~meter ?obs ?pool ~cost ~batch
-                 ~cap:(Lazy.force laxity_cap) ~instance ~requirements ~fraction
-                 ~density ~fallback data))
+                 ~cap:(Lazy.force laxity_cap)
+                 ~budget:(if budgeted then Some allotted else None)
+                 ~instance ~requirements ~fraction ~density ~fallback data))
   in
   let initial =
     match (planning, plan) with
@@ -195,29 +249,114 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
     | Sampled _, Some p -> p.params
     | Sampled _, None -> assert false
   in
+  (* A finite budget forces adaptivity: mid-flight dual re-solves against
+     the remaining budget are what keeps a mis-estimated selectivity from
+     blowing it. *)
+  let adaptive = adaptive || budgeted in
+  let adaptive_state =
+    if adaptive then
+      Some
+        (Adaptive.create ~rng:(Rng.split rng)
+           ~total:(Stdlib.max 1 (Array.length data))
+           ~max_laxity:(Lazy.force laxity_cap) ~requirements ~cost ~batch
+           ?budget:
+             (if budgeted then
+                Some
+                  {
+                    Adaptive.allotted;
+                    spent = (fun () -> Cost_meter.total_cost cost meter);
+                  }
+              else None)
+           ~initial ?obs ())
+    else None
+  in
   let policy =
-    if adaptive then begin
-      let state =
-        Adaptive.create ~rng:(Rng.split rng)
-          ~total:(Stdlib.max 1 (Array.length data))
-          ~max_laxity:(Lazy.force laxity_cap) ~requirements ~cost ~batch
-          ~initial ?obs ()
-      in
-      Adaptive.policy state
-    end
-    else Policy.qaq initial
+    match adaptive_state with
+    | Some state -> Adaptive.policy state
+    | None -> Policy.qaq initial
+  in
+  (* The anytime stop: refuse the next read when the committed spend
+     cannot pay for its worst case.  Committed = metered charges, plus
+     each probe still pending on the driver at its full downstream price
+     (the probe, its possible precise write, one batch dispatch), plus
+     the candidate read's own worst case (read, then probe + batch +
+     write, or an imprecise write).  Admitting a read therefore never
+     pushes the realized spend past the budget: the scan's spend stays
+     within [allotted], strictly below the "one probe batch" overshoot
+     the contract allows.  (Only the pilot sample, charged before this
+     closure exists, can exceed a budget smaller than the sample
+     itself.)  The deadline is wall-clock and inherently
+     non-deterministic; the cost budget is exact. *)
+  let should_stop =
+    let budget_stop =
+      if budgeted then begin
+        let c = cost in
+        let next_read_worst =
+          c.Cost_model.c_r
+          +. Float.max
+               (c.Cost_model.c_p +. c.Cost_model.c_b +. c.Cost_model.c_wp)
+               (Float.max c.Cost_model.c_wi c.Cost_model.c_wp)
+        in
+        Some
+          (fun ~pending ->
+            let committed =
+              Cost_meter.total_cost cost meter
+              +. float_of_int pending
+                 *. (c.Cost_model.c_p +. c.Cost_model.c_wp)
+              +. (if pending > 0 then c.Cost_model.c_b else 0.0)
+            in
+            committed +. next_read_worst > allotted)
+      end
+      else None
+    in
+    let deadline_stop =
+      Option.map
+        (fun secs ~pending:_ -> Span.default_clock () -. deadline_start >= secs)
+        deadline
+    in
+    match (budget_stop, deadline_stop) with
+    | None, None -> None
+    | (Some _ as f), None -> f
+    | None, (Some _ as g) -> g
+    | Some f, Some g -> Some (fun ~pending -> f ~pending || g ~pending)
   in
   let report =
     span "scan" (fun () ->
         match columnar with
         | None ->
-            Scan_pipeline.run ~rng ?pool ~meter ?obs ?emit ?collect ~instance
-              ~probe ~policy ~requirements data
+            Scan_pipeline.run ~rng ?pool ~meter ?obs ?emit ?collect
+              ?should_stop ~instance ~probe ~policy ~requirements data
         | Some c ->
-            Column_scan.run ~rng ?pool ~meter ?obs ?emit ?collect
+            Column_scan.run ~rng ?pool ~meter ?obs ?emit ?collect ?should_stop
               ~prune:c.prune ~store:c.store ~of_row:c.of_row
               ~pred:(Predicate.compile c.pred) ~instance ~probe ~policy
               ~requirements ())
+  in
+  let budget_summary =
+    match (budget, deadline) with
+    | None, None -> None
+    | _ ->
+        let spent = Cost_meter.total_cost cost meter in
+        let target_recall, planner_limited =
+          match plan with
+          | Some { dual = Some d; _ } ->
+              (d.Solver.target_recall, d.Solver.budget_limited)
+          | _ -> (requirements.Quality.recall, false)
+        in
+        Some
+          {
+            allotted;
+            spent;
+            remaining = Float.max 0.0 (allotted -. spent);
+            target_recall;
+            budget_limited =
+              planner_limited || report.Operator.stopped_early;
+            budget_replans =
+              (match adaptive_state with
+              | Some a -> Adaptive.budget_replans a
+              | None -> 0);
+            stopped_early = report.Operator.stopped_early;
+          }
   in
   (match (obs, pool) with
   | Some o, Some p ->
@@ -276,6 +415,16 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
              ~guarantees_met:(Quality.meets g requirements)
              ~answer_size:report.Operator.answer_size
              ~degraded_probes:report.Operator.degraded.Operator.failed_probes
+             ?budget:
+               (Option.map
+                  (fun (b : budget_summary) ->
+                    {
+                      Profile.b_allotted = b.allotted;
+                      b_spent = b.spent;
+                      b_target_recall = b.target_recall;
+                      b_limited = b.budget_limited;
+                    })
+                  budget_summary)
              ?ground_truth ?reconcile_error ())
   in
   {
@@ -287,21 +436,24 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
        else
          Cost_meter.cost_of_counts cost counts
          /. float_of_int (Array.length data));
-    degradation = degradation_of_report ~cost ~requirements report;
+    degradation = degradation_of_report ~cost ~batch ~requirements report;
+    budget = budget_summary;
     profile;
   }
 
 let execute ~rng ?(planning = default_planning) ?(adaptive = false)
-    ?(cost = Cost_model.paper) ?batch ?max_laxity ?domains ?obs ?emit ?collect
-    ?profile ?on_task ?columnar ~instance ~probe ~requirements data =
+    ?(cost = Cost_model.paper) ?batch ?max_laxity ?budget ?deadline ?domains
+    ?obs ?emit ?collect ?profile ?on_task ?columnar ~instance ~probe
+    ~requirements data =
   (* Profiling diffs a metrics registry; conjure a private one when the
      caller wants a profile but passed no [?obs]. *)
   let obs =
     match (obs, profile) with None, Some _ -> Some (Obs.create ()) | o, _ -> o
   in
   let run ?pool () =
-    execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity ?obs
-      ?emit ?collect ?profile ?columnar ~instance ~probe ~requirements data
+    execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
+      ?budget ?deadline ?obs ?emit ?collect ?profile ?columnar ~instance
+      ~probe ~requirements data
   in
   match Domain_pool.resolve ?domains () with
   | 1 -> run ()

@@ -13,6 +13,10 @@ type plan = {
       (** what the sample said; [None] when the sample came back empty
           and the fallback prior was used *)
   evaluation : Solver.evaluation;  (** the optimizer's own expectations *)
+  dual : Solver.dual_evaluation option;
+      (** the budgeted (dual) solution a finite [?budget] planned with;
+          [None] on unbudgeted runs — [evaluation] is then the primal
+          optimum, otherwise the primal re-pricing of [dual]'s params *)
   sample_size : int;
       (** objects the pilot sample read (and charged to the run) *)
 }
@@ -42,14 +46,37 @@ type degradation = {
   degraded_ignores : int;
   forced_actions : int;  (** fallbacks with no feasible action left *)
   wasted_cost : float;
-      (** [failed_attempts * c_p] — backend work the meter never
-          charged because no probe completed *)
+      (** [failed_attempts * (c_p + c_b/batch)] — backend work the
+          meter never charged because no probe completed, priced at the
+          same amortized per-probe rate the solver and meter use, so
+          degradation reports reconcile with plan pricing *)
   guarantees_before : Quality.guarantees option;
       (** at the first failure; [None] when nothing failed *)
   guarantees_after : Quality.guarantees;  (** = [report.guarantees] *)
   requirements_met : bool;
       (** whether the post-degradation guarantees still satisfy the
           requirements; can only be [false] when [forced_actions > 0] *)
+}
+
+(** The anytime contract of a budgeted run, summarised.  Present on the
+    result iff [?budget] or [?deadline] was passed to {!execute}. *)
+type budget_summary = {
+  allotted : float;  (** the requested budget ([infinity] = deadline only) *)
+  spent : float;  (** total metered spend, planning included *)
+  remaining : float;  (** [max 0 (allotted - spent)] *)
+  target_recall : float;
+      (** the dual planner's reachable recall target — the requested
+          recall whenever the budget did not bind at planning time *)
+  budget_limited : bool;
+      (** the budget bound the run: the planner capped the target below
+          the requested recall, or the scan stopped on the budget or
+          deadline before reaching it *)
+  budget_replans : int;
+      (** adaptive re-solves that went through the dual against the
+          remaining budget *)
+  stopped_early : bool;
+      (** the scan was cut off by the budget or deadline (mirrors
+          [report.stopped_early]) *)
 }
 
 type 'o result = {
@@ -64,6 +91,8 @@ type 'o result = {
   degradation : degradation;
       (** how permanent probe failures affected the run (all zeros
           without faults) *)
+  budget : budget_summary option;
+      (** present iff [?budget] or [?deadline] was passed *)
   profile : Profile.t option;
       (** present iff [?profile] was passed to {!execute} *)
 }
@@ -121,6 +150,8 @@ val execute :
   ?cost:Cost_model.t ->
   ?batch:int ->
   ?max_laxity:float ->
+  ?budget:float ->
+  ?deadline:float ->
   ?domains:int ->
   ?obs:Obs.t ->
   ?emit:('o Operator.emitted -> unit) ->
@@ -142,6 +173,27 @@ val execute :
     histogram range when known a priori (otherwise the sample maximum is
     used, falling back to 1).  [cost] (default {!Cost_model.paper})
     prices the run for [normalized_cost] and the solver's objective.
+
+    [budget] caps the run's total metered spend (cost units of [cost],
+    planning included) — the anytime contract: planning solves the
+    {e dual} problem ({!Solver.solve_dual}), maximising the reachable
+    recall guarantee within the budget instead of minimising cost at
+    fixed recall, adaptivity is forced on so every replan window
+    re-solves the dual against the budget {e remaining} on the meter,
+    and the scan refuses the next read once the committed spend (metered
+    charges, pending probes and the read's own worst case) cannot pay
+    for it — the scan's spend never exceeds the budget, strictly within
+    the one-probe-batch overshoot the anytime contract allows (only a
+    budget smaller than the pilot sample itself can be exceeded, by the
+    sample; use [Fixed] planning for sub-sample budgets).  The answer
+    only ever grows, so quality is monotone in budget on a fixed
+    workload.
+    [budget = infinity] takes exactly the unbudgeted code paths
+    (bit-for-bit identical result; only the [budget] summary is added).
+    [deadline] is the same stop on wall-clock seconds since the call —
+    inherently non-deterministic, so prefer [budget] wherever
+    reproducibility matters.  Both may be combined; either makes the
+    result carry a {!budget_summary}.
 
     [probe] is the probe capability the operator will draw on; wrap a
     plain closure with {!Probe_driver.scalar} for the paper's scalar
@@ -212,5 +264,6 @@ val execute :
     length differs from [data]'s.
 
     @raise Invalid_argument on an invalid sampling fraction or fallback
-    fractions, if [batch < 1], if [domains < 1], or if [QAQ_DOMAINS] is
-    set to anything but a positive integer. *)
+    fractions, if [batch < 1], if [domains < 1], if [budget] or
+    [deadline] is negative or NaN, or if [QAQ_DOMAINS] is set to
+    anything but a positive integer. *)

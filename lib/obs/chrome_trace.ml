@@ -88,6 +88,9 @@ let sink t =
       | Trace.Early_termination { reads; recall } ->
           instant t "early-termination"
             [ ("reads", string_of_int reads); ("recall", jfloat recall) ]
+      | Trace.Budget_stop { reads; recall } ->
+          instant t "budget-stop"
+            [ ("reads", string_of_int reads); ("recall", jfloat recall) ]
       | Trace.Replan { reads } ->
           instant t "replan" [ ("reads", string_of_int reads) ]
       | Trace.Phase { name; seconds } ->

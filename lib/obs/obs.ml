@@ -35,6 +35,7 @@ module Keys = struct
   let writes_precise = "qaq.writes_precise"
   let sample_reads = "engine.sample_reads"
   let replans = "adaptive.replans"
+  let budget_replans = "adaptive.budget_replans"
   let parallel_chunks = "qaq.parallel.chunks"
   let pruned_pages = "qaq.parallel.pruned_pages"
   let parallel_domains = "qaq.parallel.domains"

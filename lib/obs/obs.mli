@@ -61,6 +61,10 @@ module Keys : sig
 
   val replans : string
 
+  val budget_replans : string
+  (** Re-solves that went through the dual (budgeted) solver against
+      the remaining budget — a subset of {!replans}. *)
+
   val parallel_chunks : string
   (** Blocks dispatched to the domain pool by the parallel
       classification stage (0 on a sequential run). *)

@@ -15,6 +15,13 @@ type achieved = {
   recall_pass : bool;
 }
 
+type budget_audit = {
+  b_allotted : float;
+  b_spent : float;
+  b_target_recall : float;
+  b_limited : bool;
+}
+
 type audit = {
   requested_precision : float;
   requested_recall : float;
@@ -23,6 +30,7 @@ type audit = {
   guarantees_met : bool;
   answer_size : int;
   degraded_probes : int;
+  budget : budget_audit option;
   achieved : achieved option;
 }
 
@@ -62,7 +70,8 @@ let spans_of_snapshot s =
 
 let make ?(label = "run") ~counts ~snapshot ~requested_precision
     ~requested_recall ~guaranteed_precision ~guaranteed_recall ~guarantees_met
-    ~answer_size ?(degraded_probes = 0) ?ground_truth ?reconcile_error () =
+    ~answer_size ?(degraded_probes = 0) ?budget ?ground_truth ?reconcile_error
+    () =
   let achieved =
     Option.map
       (fun (answer_in_exact, exact_size) ->
@@ -91,6 +100,7 @@ let make ?(label = "run") ~counts ~snapshot ~requested_precision
         guarantees_met;
         answer_size;
         degraded_probes;
+        budget;
         achieved;
       };
     spans = spans_of_snapshot snapshot;
@@ -98,11 +108,21 @@ let make ?(label = "run") ~counts ~snapshot ~requested_precision
   }
 
 let audit_passed t =
-  t.audit.guarantees_met
-  &&
-  match t.audit.achieved with
-  | None -> true
-  | Some a -> a.precision_pass && a.recall_pass
+  match t.audit.budget with
+  | Some b when b.b_limited ->
+      (* A budget-limited run trades recall for staying within its
+         allotment — the recall shortfall is the contract, not a
+         failure.  Precision remains a hard constraint. *)
+      t.audit.guaranteed_precision >= t.audit.requested_precision
+      && (match t.audit.achieved with
+         | None -> true
+         | Some a -> a.precision_pass)
+  | Some _ | None -> (
+      t.audit.guarantees_met
+      &&
+      match t.audit.achieved with
+      | None -> true
+      | Some a -> a.precision_pass && a.recall_pass)
 
 let passed t = Option.is_none t.reconcile_error && audit_passed t
 
@@ -144,17 +164,28 @@ let to_json t =
   (match t.reconcile_error with
   | None -> add "  \"reconcile_error\": null,\n"
   | Some msg -> add "  \"reconcile_error\": \"%s\",\n" (Metrics.json_escape msg));
+  let json_budget = function
+    | None -> "null"
+    | Some b ->
+        Printf.sprintf
+          "{\"allotted\": %s, \"spent\": %s, \"target_recall\": %s, \
+           \"limited\": %s}"
+          (json_float b.b_allotted) (json_float b.b_spent)
+          (json_float b.b_target_recall)
+          (json_bool b.b_limited)
+  in
   add
     "  \"audit\": {\"requested_precision\": %s, \"requested_recall\": %s, \
      \"guaranteed_precision\": %s, \"guaranteed_recall\": %s, \
      \"guarantees_met\": %s, \"answer_size\": %d, \"degraded_probes\": %d, \
-     \"achieved\": %s},\n"
+     \"budget\": %s, \"achieved\": %s},\n"
     (json_float t.audit.requested_precision)
     (json_float t.audit.requested_recall)
     (json_float t.audit.guaranteed_precision)
     (json_float t.audit.guaranteed_recall)
     (json_bool t.audit.guarantees_met)
     t.audit.answer_size t.audit.degraded_probes
+    (json_budget t.audit.budget)
     (json_achieved t.audit.achieved);
   add "  \"spans\": [%s],\n"
     (String.concat ", "
@@ -220,6 +251,19 @@ let render t =
          "DEGRADED: %d probe(s) failed permanently; guarantees above are \
           post-degradation\n"
          t.audit.degraded_probes);
+  (match t.audit.budget with
+  | None -> ()
+  | Some bu ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "budget: allotted %s, spent %.6g, target recall %.3f%s\n"
+           (if Float.is_finite bu.b_allotted then
+              Printf.sprintf "%.6g" bu.b_allotted
+            else "inf")
+           bu.b_spent bu.b_target_recall
+           (if bu.b_limited then
+              " (BUDGET-LIMITED: recall shortfall is the contract)"
+            else "")));
   (match t.audit.achieved with
   | Some a ->
       Buffer.add_string b

@@ -35,6 +35,19 @@ type achieved = {
     [Quality.Diagnostics]: an empty answer is vacuously precise, an
     empty exact answer fully recalled. *)
 
+type budget_audit = {
+  b_allotted : float;  (** cost units allotted ([infinity] = deadline only) *)
+  b_spent : float;  (** total metered spend at completion *)
+  b_target_recall : float;
+      (** the dual planner's reachable recall target (the requested
+          recall when the budget did not bind at planning time) *)
+  b_limited : bool;
+      (** the budget bound the run: the planner capped the target below
+          the requested recall, or the scan was stopped by the budget or
+          deadline before reaching it *)
+}
+(** Budget side of the audit for a time-budgeted (anytime) run. *)
+
 type audit = {
   requested_precision : float;
   requested_recall : float;
@@ -46,6 +59,7 @@ type audit = {
       (** objects whose probe failed permanently and degraded to an
           imprecise write decision; a non-zero value flags the run as
           degraded in {!render} and {!to_json} *)
+  budget : budget_audit option;  (** [None] for unbudgeted runs *)
   achieved : achieved option;  (** [None] without an oracle *)
 }
 
@@ -73,17 +87,21 @@ val make :
   guarantees_met:bool ->
   answer_size:int ->
   ?degraded_probes:int ->
+  ?budget:budget_audit ->
   ?ground_truth:int * int ->
   ?reconcile_error:string ->
   unit ->
   t
 (** [ground_truth] is [(answer_in_exact, exact_size)]; the achieved
     rates and pass flags are derived here.  [degraded_probes] defaults
-    to 0 (an unfaulted run).  [label] defaults to ["run"]. *)
+    to 0 (an unfaulted run).  [budget] attaches the anytime context of a
+    budgeted run.  [label] defaults to ["run"]. *)
 
 val audit_passed : t -> bool
 (** Guarantees met, and — when ground truth was supplied — achieved
-    precision and recall both at least the requested values. *)
+    precision and recall both at least the requested values.  On a
+    budget-limited run ({!budget_audit.b_limited}) the recall shortfall
+    is the contract, not a failure: only the precision checks apply. *)
 
 val passed : t -> bool
 (** {!audit_passed} and no reconciliation error. *)

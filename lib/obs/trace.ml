@@ -15,6 +15,7 @@ type event =
   | Breaker of { state : string; round : int }
   | Batch of { size : int }
   | Early_termination of { reads : int; recall : float }
+  | Budget_stop of { reads : int; recall : float }
   | Replan of { reads : int }
   | Phase of { name : string; seconds : float }
   | Note of string
@@ -63,6 +64,9 @@ let pp_event ppf = function
   | Batch { size } -> Format.fprintf ppf "batch dispatched (size %d)" size
   | Early_termination { reads; recall } ->
       Format.fprintf ppf "early termination after %d reads (r^G=%g)" reads
+        recall
+  | Budget_stop { reads; recall } ->
+      Format.fprintf ppf "budget exhausted after %d reads (r^G=%g)" reads
         recall
   | Replan { reads } -> Format.fprintf ppf "replan at %d reads" reads
   | Phase { name; seconds } ->

@@ -34,6 +34,9 @@ type event =
   | Batch of { size : int }  (** one probe batch dispatched to the source *)
   | Early_termination of { reads : int; recall : float }
       (** the scan stopped before exhausting the input *)
+  | Budget_stop of { reads : int; recall : float }
+      (** the scan stopped because the cost/time budget ran out before
+          the recall bound was reached *)
   | Replan of { reads : int }  (** adaptive re-estimation re-solved the plan *)
   | Phase of { name : string; seconds : float }  (** a {!Span} completed *)
   | Note of string  (** freeform annotation *)

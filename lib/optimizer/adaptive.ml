@@ -1,3 +1,5 @@
+type budget = { allotted : float; spent : unit -> float }
+
 type t = {
   rng : Rng.t;
   total : int;
@@ -7,16 +9,19 @@ type t = {
   batch : int;
   replan_every : int;
   max_replans : int;
+  budget : budget option;
   mutable params : Policy.params;
   mutable yes_seen : int;
   mutable maybe_seen : int;
   mutable observed : int;  (* yes_seen + maybe_seen *)
   mutable next_replan_at : int;  (* in reads, from the counters *)
   mutable replans : int;
+  mutable budget_replans : int;  (* re-solves through the dual *)
   yes_laxity : Histogram.Hist1d.t;
   maybe_plane : Histogram.Hist2d.t;
   obs : Obs.t option;
   m_replans : Metrics.counter option;
+  m_budget_replans : Metrics.counter option;
 }
 
 let default_initial ~total ~max_laxity ~requirements ~cost ~batch =
@@ -25,7 +30,8 @@ let default_initial ~total ~max_laxity ~requirements ~cost ~batch =
     .params
 
 let create ~rng ~total ~max_laxity ~requirements ?(cost = Cost_model.paper)
-    ?(batch = 1) ?(replan_every = 500) ?(max_replans = 8) ?initial ?obs () =
+    ?(batch = 1) ?(replan_every = 500) ?(max_replans = 8) ?budget ?initial
+    ?obs () =
   if total <= 0 then invalid_arg "Adaptive.create: total <= 0";
   if batch < 1 then invalid_arg "Adaptive.create: batch < 1";
   if replan_every < 1 then invalid_arg "Adaptive.create: replan_every < 1";
@@ -44,18 +50,22 @@ let create ~rng ~total ~max_laxity ~requirements ?(cost = Cost_model.paper)
     batch;
     replan_every;
     max_replans;
+    budget;
     params = initial;
     yes_seen = 0;
     maybe_seen = 0;
     observed = 0;
     next_replan_at = replan_every;
     replans = 0;
+    budget_replans = 0;
     yes_laxity = Histogram.Hist1d.create ~lo:0.0 ~hi:max_laxity ~bins:20;
     maybe_plane =
       Histogram.Hist2d.create ~x_lo:0.0 ~x_hi:1.0 ~x_bins:20 ~y_lo:0.0
         ~y_hi:max_laxity ~y_bins:20;
     obs;
     m_replans = Option.map (fun o -> Obs.counter o Obs.Keys.replans) obs;
+    m_budget_replans =
+      Option.map (fun o -> Obs.counter o Obs.Keys.budget_replans) obs;
   }
 
 let observe t ~verdict ~laxity ~success =
@@ -88,11 +98,32 @@ let replan t ~reads =
         ~max_laxity:t.max_laxity
         ~density:(Density.of_estimate estimate)
     in
-    let problem =
-      Solver.problem ~total:t.total ~spec ~requirements:t.requirements
-        ~cost:t.cost ~batch:t.batch ()
+    let solve () =
+      match t.budget with
+      | None ->
+          let problem =
+            Solver.problem ~total:t.total ~spec ~requirements:t.requirements
+              ~cost:t.cost ~batch:t.batch ()
+          in
+          (Solver.solve problem).params
+      | Some b ->
+          (* Budgeted run: re-solve the dual over the remaining scan
+             against whatever budget is left on the live meter, assuming
+             the observed (s, l) density is stationary.  A mis-estimated
+             selectivity then degrades the recall target gracefully
+             instead of blowing the budget. *)
+          let remaining_total = Int.max 1 (t.total - reads) in
+          let remaining_budget = Float.max 0.0 (b.allotted -. b.spent ()) in
+          let problem =
+            Solver.problem ~total:remaining_total ~spec
+              ~requirements:t.requirements ~cost:t.cost ~batch:t.batch ()
+          in
+          t.budget_replans <- t.budget_replans + 1;
+          (match t.m_budget_replans with
+          | Some m -> Metrics.incr m
+          | None -> ());
+          (Solver.solve_dual ~budget:remaining_budget problem).d_params
     in
-    let solve () = (Solver.solve problem).params in
     t.params <-
       (match t.obs with
       | None -> solve ()
@@ -110,7 +141,11 @@ let policy t =
       observe t ~verdict ~laxity ~success;
       let reads = t.total - Counters.unseen counters in
       if reads >= t.next_replan_at && t.replans < t.max_replans then begin
-        t.next_replan_at <- t.next_replan_at + t.replan_every;
+        (* Advance to the smallest window boundary strictly beyond
+           [reads]: when reads jump past several windows at once (bulk
+           parallel chunks), exactly one re-solve runs — not one per
+           skipped window on essentially identical histograms. *)
+        t.next_replan_at <- ((reads / t.replan_every) + 1) * t.replan_every;
         replan t ~reads
       end;
       Policy.preference (Policy.Region t.params) ~rng:t.rng ~requirements
@@ -118,4 +153,5 @@ let policy t =
 
 let current_params t = t.params
 let replans t = t.replans
+let budget_replans t = t.budget_replans
 let observed t = t.observed

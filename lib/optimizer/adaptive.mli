@@ -15,6 +15,10 @@
 
 type t
 
+type budget = { allotted : float; spent : unit -> float }
+(** A live budget: the total allotted spend and a closure reading the
+    spend so far off the engine's {!Cost_meter} (or any other source). *)
+
 val create :
   rng:Rng.t ->
   total:int ->
@@ -24,6 +28,7 @@ val create :
   ?batch:int ->
   ?replan_every:int ->
   ?max_replans:int ->
+  ?budget:budget ->
   ?initial:Policy.params ->
   ?obs:Obs.t ->
   unit ->
@@ -35,6 +40,14 @@ val create :
     (default 1) is the probe batch size the evaluation will use; every
     re-solve prices probes at the amortized [c_p + c_b/batch] so
     mid-scan plans see the same cost surface as the initial one.
+
+    With [budget], every re-solve goes through {!Solver.solve_dual}
+    instead of the primal: the refreshed [(s, l)] histograms are solved
+    over the {e remaining} scan against the {e remaining} budget
+    [allotted - spent ()], so a mis-estimated selectivity degrades the
+    recall target gracefully instead of blowing the budget.  These dual
+    re-solves are additionally counted under [adaptive.budget_replans].
+
     [obs] counts re-solves under [adaptive.replans], times each under
     the [adaptive-reestimate] span and emits a {!Trace.Replan} event.
     @raise Invalid_argument if [total <= 0], [batch < 1],
@@ -48,6 +61,10 @@ val current_params : t -> Policy.params
 
 val replans : t -> int
 (** Re-solves performed so far. *)
+
+val budget_replans : t -> int
+(** Re-solves that went through the dual (budgeted) path; 0 when no
+    budget was given. *)
 
 val observed : t -> int
 (** YES/MAYBE objects observed so far (NO objects never reach a policy,

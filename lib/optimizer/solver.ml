@@ -109,12 +109,18 @@ let default_seeds =
   :: Policy.stingy_params :: Policy.greedy_params :: !corners
 
 let better a b =
-  (* Prefer feasibility, then cost, then violation. *)
+  (* Prefer feasibility, then cost; among infeasible points, less
+     violation, with cost as the tie-break so seed order cannot decide
+     which of two equally-violating plans is returned. *)
   match (a.feasible, b.feasible) with
   | true, false -> a
   | false, true -> b
   | true, true -> if a.cost <= b.cost then a else b
-  | false, false -> if a.violation <= b.violation then a else b
+  | false, false ->
+      if a.violation < b.violation then a
+      else if b.violation < a.violation then b
+      else if a.cost <= b.cost then a
+      else b
 
 let solve ?(seeds = default_seeds) t =
   if seeds = [] then invalid_arg "Solver.solve: no seeds";
@@ -133,6 +139,148 @@ let solve ?(seeds = default_seeds) t =
   match candidates with
   | [] -> assert false
   | first :: rest -> List.fold_left better first rest
+
+(* {2 The dual problem: maximise quality under a cost budget} *)
+
+type dual_evaluation = {
+  d_params : Policy.params;
+  d_fractions : Region_model.fractions;
+  d_feasible : bool;
+  d_violation : float;
+  target_recall : float;
+  d_reads : float;
+  d_cost : float;
+  d_budget : float;
+  budget_limited : bool;
+  d_expected_precision : float;
+}
+
+let evaluate_dual t ~budget (params : Policy.params) =
+  let req = t.requirements in
+  let f = Region_model.fractions t.spec ~laxity_bound:req.laxity params in
+  let alpha = Region_model.answer_yes_rate f in
+  let beta = Region_model.uncertainty_rate f in
+  let precision = Region_model.precision_estimate f in
+  let total = float_of_int t.total in
+  let r_q = req.recall in
+  let unit = Region_model.unit_cost (effective_cost t) f in
+  let budget = Float.max 0.0 budget in
+  (* Reads affordable within the budget, capped at |T|. *)
+  let r_budget =
+    if unit <= 0.0 then total else Float.min total (budget /. unit)
+  in
+  (* The recall guarantee reachable after R reads: constraint (16) at R
+     solved for r gives r(R) = alpha R / ((beta - 1) R + |T|). *)
+  let recall_at r =
+    if r <= 0.0 then 0.0
+    else
+      let denom = ((beta -. 1.0) *. r) +. total in
+      if denom <= tolerance then 1.0
+      else Float.max 0.0 (Float.min 1.0 (alpha *. r /. denom))
+  in
+  let target = Float.min r_q (recall_at r_budget) in
+  (* Reads needed for the capped target — the primal closed form, which
+     equals r_budget exactly when the budget binds. *)
+  let reads =
+    if target <= 0.0 then 0.0
+    else
+      let gamma = alpha -. (target *. (beta -. 1.0)) in
+      if gamma <= tolerance then r_budget
+      else Float.min r_budget (target *. total /. gamma)
+  in
+  let cost = reads *. unit in
+  (* An empty answer (target 0) is trivially precise, as in the primal. *)
+  let precision_violation =
+    if target <= 0.0 then 0.0 else Float.max 0.0 (req.precision -. precision)
+  in
+  {
+    d_params = params;
+    d_fractions = f;
+    d_feasible = precision_violation <= tolerance;
+    d_violation = precision_violation;
+    target_recall = target;
+    d_reads = reads;
+    d_cost = cost;
+    d_budget = budget;
+    budget_limited = target < r_q -. tolerance;
+    d_expected_precision = precision;
+  }
+
+let better_dual a b =
+  (* Prefer precision-feasibility, then higher reachable recall, then
+     lower spend; among infeasible points, less violation then cost. *)
+  match (a.d_feasible, b.d_feasible) with
+  | true, false -> a
+  | false, true -> b
+  | true, true ->
+      if a.target_recall > b.target_recall +. tolerance then a
+      else if b.target_recall > a.target_recall +. tolerance then b
+      else if a.d_cost <= b.d_cost then a
+      else b
+  | false, false ->
+      if a.d_violation < b.d_violation then a
+      else if b.d_violation < a.d_violation then b
+      else if a.d_cost <= b.d_cost then a
+      else b
+
+(* Penalised dual objective: feasible points score their negated target
+   recall (plus a cost term small enough to only break ties), infeasible
+   points sit strictly above every feasible score, scaled by the
+   precision violation. *)
+let dual_penalized t ~budget params =
+  let e = evaluate_dual t ~budget params in
+  if e.d_feasible then begin
+    let c = effective_cost t in
+    let worst_unit = c.Cost_model.c_r +. c.c_p +. c.c_wi +. c.c_wp in
+    let ceiling = Float.max 1.0 (float_of_int t.total *. worst_unit) in
+    -.e.target_recall +. (1e-4 *. e.d_cost /. ceiling)
+  end
+  else 2.0 +. (10.0 *. e.d_violation)
+
+let solve_dual ?(seeds = default_seeds) ~budget t =
+  if seeds = [] then invalid_arg "Solver.solve_dual: no seeds";
+  let budget = Float.max 0.0 budget in
+  (* Fast path: if the primal optimum is affordable, the dual answer is
+     the primal one — full requested recall at minimal cost.  This keeps
+     ample-budget plans continuous with the unbudgeted planner. *)
+  let primal = solve ~seeds t in
+  if primal.feasible && primal.cost <= budget then
+    {
+      d_params = primal.params;
+      d_fractions = primal.fractions;
+      d_feasible = true;
+      d_violation = 0.0;
+      target_recall = t.requirements.Quality.recall;
+      d_reads = primal.reads;
+      d_cost = primal.cost;
+      d_budget = budget;
+      budget_limited = false;
+      d_expected_precision = primal.expected_precision;
+    }
+  else begin
+    let lower = Array.make 4 0.0 and upper = Array.make 4 1.0 in
+    let objective v = dual_penalized t ~budget (params_of_vector v) in
+    let refine (p : Policy.params) =
+      let init = [| p.s3; p.s5; p.p_py; p.p_fm |] in
+      let result =
+        Nelder_mead.minimize
+          ~options:{ Nelder_mead.max_iterations = 800; tolerance = 1e-12 }
+          ~lower ~upper ~init objective
+      in
+      evaluate_dual t ~budget (params_of_vector result.point)
+    in
+    match List.map refine seeds with
+    | [] -> assert false
+    | first :: rest -> List.fold_left better_dual first rest
+  end
+
+let pp_dual_evaluation ppf e =
+  Format.fprintf ppf
+    "%a%s: budget=%.4g target_recall=%.4g W=%.4g R=%.4g precision~%.4g%s"
+    Policy.pp_params e.d_params
+    (if e.d_feasible then "" else " (infeasible)")
+    e.d_budget e.target_recall e.d_cost e.d_reads e.d_expected_precision
+    (if e.budget_limited then " (budget-limited)" else "")
 
 let pp_evaluation ppf e =
   Format.fprintf ppf

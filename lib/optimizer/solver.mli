@@ -62,13 +62,62 @@ type evaluation = {
 
 val evaluate : problem -> Policy.params -> evaluation
 
+val better : evaluation -> evaluation -> evaluation
+(** The candidate comparator used by {!solve}: prefer feasibility, then
+    lower cost; among infeasible candidates prefer less violation, with
+    cost as the tie-break so seed order cannot decide between two
+    equally-violating plans.  Exposed for testing. *)
+
 val solve : ?seeds:Policy.params list -> problem -> evaluation
 (** Multistart Nelder–Mead.  Default seeds: the 16 corners of the unit
     hypercube, its centre, and the Stingy and Greedy parameter points.
     Returns the best feasible evaluation, or the least-violating one if
     no start reaches feasibility. *)
 
+(** {2 The dual problem — maximise quality under a cost budget}
+
+    The anytime/budgeted form inverts §4.2.2: instead of minimising cost
+    subject to the recall bound, maximise the reachable recall guarantee
+    subject to [cost <= budget] (precision stays a hard constraint).
+    For fixed parameters the budget affords [R_b = min(|T|, budget/u(f))]
+    reads at unit cost [u(f)], and constraint (16) solved for [r] gives
+    the recall guarantee reachable after [R] reads:
+    [r(R) = αR / ((β − 1)R + |T|)], monotone non-decreasing in [R].  The
+    dual target is [min(r(R_b), r_q)] — quality never exceeds what was
+    asked for, and the spend for the capped target falls back to the
+    primal closed form, so an ample budget reproduces the primal plan. *)
+
+type dual_evaluation = {
+  d_params : Policy.params;
+  d_fractions : Region_model.fractions;
+  d_feasible : bool;  (** precision bound holds (an empty answer always does) *)
+  d_violation : float;  (** precision violation; 0 when feasible *)
+  target_recall : float;  (** reachable recall guarantee, capped at [r_q] *)
+  d_reads : float;  (** expected reads for the target, [<= budget/u] *)
+  d_cost : float;  (** expected spend, [<= budget] by construction *)
+  d_budget : float;  (** the (clamped, non-negative) budget solved against *)
+  budget_limited : bool;  (** [target_recall < r_q]: budget binds *)
+  d_expected_precision : float;
+}
+
+val evaluate_dual : problem -> budget:float -> Policy.params -> dual_evaluation
+
+val better_dual : dual_evaluation -> dual_evaluation -> dual_evaluation
+(** Prefer precision-feasibility, then higher [target_recall], then lower
+    spend; among infeasible candidates, less violation then cost. *)
+
+val solve_dual :
+  ?seeds:Policy.params list -> budget:float -> problem -> dual_evaluation
+(** Multistart Nelder–Mead on the penalised dual objective (same seed set
+    and simplex machinery as {!solve}).  Fast path: when the primal
+    optimum is affordable ([solve] feasible with [cost <= budget]) it is
+    returned verbatim as a dual evaluation with [target_recall = r_q] —
+    ample budgets are continuous with the unbudgeted planner.  A
+    non-positive budget yields the empty plan (target 0, cost 0). *)
+
 val pp_evaluation : Format.formatter -> evaluation -> unit
+
+val pp_dual_evaluation : Format.formatter -> dual_evaluation -> unit
 
 val explain : problem -> evaluation -> string
 (** A human-readable account of a plan: the chosen parameters, the

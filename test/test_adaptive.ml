@@ -106,6 +106,42 @@ let test_adapts_to_misestimated_workload () =
     true
     (cost_adaptive <= cost_static *. 1.02)
 
+let test_bulk_jump_replans_once () =
+  (* Regression for the replan stampede: when reads jump past several
+     window boundaries at once (bulk parallel chunks), the policy must
+     re-solve exactly once and advance [next_replan_at] past the jump —
+     not once per skipped window on essentially identical histograms. *)
+  let adaptive =
+    Adaptive.create ~rng:(Rng.create 31) ~total:10_000 ~max_laxity:100.0
+      ~requirements ~replan_every:100 ~max_replans:50 ()
+  in
+  let decide =
+    match Adaptive.policy adaptive with
+    | Policy.Custom f -> f
+    | _ -> Alcotest.fail "adaptive policy is a Custom policy"
+  in
+  let counters = Counters.create ~total:10_000 in
+  let step () =
+    ignore
+      (decide ~requirements ~counters ~verdict:Tvl.Yes ~laxity:10.0
+         ~success:0.5)
+  in
+  (* Jump reads in bulk across nine window boundaries: 0 -> 949. *)
+  for _ = 1 to 949 do Counters.saw_no counters done;
+  step ();
+  checki "exactly one re-solve for the whole jump" 1
+    (Adaptive.replans adaptive);
+  (* Still inside the same window: no further re-solve. *)
+  step ();
+  checki "no second re-solve before the next boundary" 1
+    (Adaptive.replans adaptive);
+  (* Crossing the next boundary (reads 949 -> 1000) re-solves once. *)
+  for _ = 1 to 51 do Counters.saw_no counters done;
+  step ();
+  checki "one re-solve at the next boundary" 2 (Adaptive.replans adaptive);
+  step ();
+  checki "and only one" 2 (Adaptive.replans adaptive)
+
 let test_current_params_evolve () =
   let data =
     Synthetic.generate (Rng.create 21)
@@ -133,5 +169,6 @@ let suite =
     ("replans happen and are bounded", `Quick, test_replans_happen_and_are_bounded);
     ("soundness unaffected", `Quick, test_soundness_unaffected);
     ("adapts to misestimated workload", `Slow, test_adapts_to_misestimated_workload);
+    ("bulk read jump re-solves once", `Quick, test_bulk_jump_replans_once);
     ("params evolve", `Quick, test_current_params_evolve);
   ]

@@ -153,6 +153,35 @@ let test_engine_survives_20pct_permanent () =
         (d.Engine.guarantees_after.Quality.recall
         <= a.Profile.achieved_recall +. 1e-9)
 
+(* Regression: [wasted_cost] used to price failed attempts at the bare
+   [c_p], silently dropping the amortized batch setup share whenever
+   [c_b > 0] — the report then under-stated the backend work lost to
+   failures relative to how the solver and meter price probes. *)
+let test_wasted_cost_amortizes_batch_setup () =
+  let cost = { Cost_model.paper with Cost_model.c_b = 64.0 } in
+  let data =
+    Synthetic.generate (Rng.create 51) (Synthetic.config ~total:1000 ())
+  in
+  let faults =
+    Fault_plan.make ~seed:7 ~permanent_rate:0.2 ~max_retries:2 ()
+  in
+  let source = Probe_source.create ~max_retries:2 ~faults Synthetic.probe in
+  let result =
+    Engine.execute ~rng:(Rng.create 52) ~max_laxity:100.0 ~cost ~batch:16
+      ~instance:Synthetic.instance
+      ~probe:(Probe_source.driver ~batch_size:16 source)
+      ~requirements data
+  in
+  let d = result.Engine.degradation in
+  checkb "failures happened" true (d.Engine.failed_attempts > 0);
+  checkf "wasted cost priced at the amortized c_p + c_b/B"
+    (float_of_int d.Engine.failed_attempts
+    *. (Cost_model.amortize ~batch:16 cost).Cost_model.c_p)
+    d.Engine.wasted_cost;
+  checkb "the setup share is actually in there" true
+    (d.Engine.wasted_cost
+    > float_of_int d.Engine.failed_attempts *. cost.Cost_model.c_p +. 1e-9)
+
 (* --- qcheck invariants ----------------------------------------------- *)
 
 (* (a) Whatever the failure mix, the reported achieved precision and
@@ -295,6 +324,8 @@ let suite =
     ("failed element spares its siblings", `Quick, test_sibling_survival);
     ("survives 20% permanent failure", `Quick,
      test_engine_survives_20pct_permanent);
+    ("wasted cost amortizes batch setup", `Quick,
+     test_wasted_cost_amortizes_batch_setup);
     ("deterministic replay", `Slow, test_deterministic_replay);
     QCheck_alcotest.to_alcotest prop_degraded_audit_honest;
     QCheck_alcotest.to_alcotest prop_meter_reconciles_under_faults;

@@ -168,6 +168,77 @@ let test_monotone_in_requirements () =
   checkb "stricter precision costs more" true (cost ~p:0.99 () >= cost ~p:0.6 () -. 1e-6);
   checkb "looser laxity costs less" true (cost ~l:80.0 () <= cost ~l:20.0 () +. 1e-6)
 
+let test_better_tie_break () =
+  (* Two infeasible candidates with the same violation used to be
+     decided by seed order; cost is the tie-break now, in both argument
+     orders. *)
+  let p = default_problem ~r:0.99 () in
+  let base = Solver.evaluate p Policy.stingy_params in
+  let a = { base with Solver.feasible = false; violation = 0.3; cost = 10.0 } in
+  let b = { a with Solver.cost = 5.0 } in
+  checkf 0.0 "cheaper wins (a, b)" 5.0 (Solver.better a b).Solver.cost;
+  checkf 0.0 "cheaper wins (b, a)" 5.0 (Solver.better b a).Solver.cost;
+  (* Unequal violations still dominate cost. *)
+  let worse = { a with Solver.violation = 0.4; cost = 1.0 } in
+  checkf 0.0 "less violation beats cheaper" 0.3
+    (Solver.better a worse).Solver.violation;
+  (* Feasibility still dominates everything. *)
+  let feasible = { base with Solver.feasible = true; violation = 0.0 } in
+  checkb "feasible beats infeasible" true
+    (Solver.better feasible b).Solver.feasible
+
+(* --- the dual (budgeted) problem ------------------------------------- *)
+
+let test_dual_ample_budget_matches_primal () =
+  let p = default_problem () in
+  let primal = Solver.solve p in
+  let d = Solver.solve_dual ~budget:(primal.Solver.cost *. 2.0) p in
+  checkb "feasible" true d.Solver.d_feasible;
+  checkb "budget does not bind" false d.Solver.budget_limited;
+  checkf 1e-12 "target is the requested recall" 0.5 d.Solver.target_recall;
+  checkf 1e-9 "spend is the primal optimum" primal.Solver.cost d.Solver.d_cost;
+  checkb "params are the primal params" true
+    (d.Solver.d_params = primal.Solver.params)
+
+let test_dual_zero_budget_is_empty () =
+  let d = Solver.solve_dual ~budget:0.0 (default_problem ()) in
+  checkb "feasible (empty answer)" true d.Solver.d_feasible;
+  checkf 0.0 "target 0" 0.0 d.Solver.target_recall;
+  checkf 0.0 "no reads" 0.0 d.Solver.d_reads;
+  checkf 0.0 "no spend" 0.0 d.Solver.d_cost;
+  checkb "budget binds" true d.Solver.budget_limited
+
+let test_dual_monotone_in_budget () =
+  let p = default_problem () in
+  let budgets = [ 100.0; 1_000.0; 10_000.0; 50_000.0; 1_000_000.0 ] in
+  let duals = List.map (fun b -> Solver.solve_dual ~budget:b p) budgets in
+  List.iter2
+    (fun b d ->
+      checkb
+        (Printf.sprintf "spend %.1f within budget %.1f" d.Solver.d_cost b)
+        true
+        (d.Solver.d_cost <= b +. 1e-6);
+      checkb "feasible at every budget" true d.Solver.d_feasible;
+      checkb "target capped at r_q" true
+        (d.Solver.target_recall <= 0.5 +. 1e-9))
+    budgets duals;
+  let rec pairs = function
+    | lo :: (hi :: _ as rest) ->
+        checkb
+          (Printf.sprintf "target %.4f <= %.4f" lo.Solver.target_recall
+             hi.Solver.target_recall)
+          true
+          (lo.Solver.target_recall <= hi.Solver.target_recall +. 1e-9);
+        pairs rest
+    | _ -> ()
+  in
+  pairs duals;
+  (* The sweep spans both regimes. *)
+  checkb "smallest budget binds" true
+    (List.hd duals).Solver.budget_limited;
+  checkb "largest budget does not" false
+    (List.nth duals (List.length duals - 1)).Solver.budget_limited
+
 let test_explain () =
   let p = default_problem () in
   let e = Solver.solve p in
@@ -202,6 +273,12 @@ let suite =
     ("zero recall is free", `Quick, test_zero_recall_is_free);
     ("nelder-mead quadratic", `Quick, test_nelder_mead_quadratic);
     ("nelder-mead box constraints", `Quick, test_nelder_mead_respects_box);
+    ("better tie-break on equal violation", `Quick, test_better_tie_break);
+    ("dual: ample budget is the primal plan", `Quick,
+     test_dual_ample_budget_matches_primal);
+    ("dual: zero budget is the empty plan", `Quick,
+     test_dual_zero_budget_is_empty);
+    ("dual: target monotone in budget", `Slow, test_dual_monotone_in_budget);
     ("solver reproduces paper 5.1", `Slow, test_solver_reproduces_paper);
     ("solve/evaluate agreement", `Quick, test_solver_never_beats_evaluate_feasibility);
     ("grid cross-check", `Slow, test_grid_cross_check);
