@@ -1406,6 +1406,152 @@ let anytime_bench path =
   if not !ok then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Server: cross-query broker throughput under concurrency            *)
+(* ------------------------------------------------------------------ *)
+
+(* The QaQ server scenario: several clients run the same-shape query
+   (own seed, same dataset, same quality) against one probe backend
+   with real per-batch latency.  The serial baseline gives every query
+   its own direct driver — each probe is paid again, query after query.
+   The swept configurations share a [Probe_broker]: overlapping probe
+   sets are charged once, partial flushes pack into full batches, and
+   [Engine.execute_many] overlaps one query's classification with
+   another's backend wait.
+
+   Gates (exit 1): at concurrency 8 the shared path must run at least
+   1.3x the serial queries/sec; at every level the broker must charge
+   strictly fewer backend probes than the solo runs paid in total; and
+   every query's result must be bit-for-bit its solo run — same answer,
+   same guarantees, same per-query accounting — with requirements met. *)
+let server_bench path =
+  section "Server: cross-query probe broker concurrency sweep";
+  print_endline
+    "8 clients, one shared dataset, 10 ms of real backend latency per\n\
+     probe batch (the probe-bound regime a broker exists for).  serial\n\
+     = solo drivers back to back; the sweep runs the same queries\n\
+     through one shared broker on 1/2/4/8 domains.";
+  let data = standard_workload () in
+  let n_clients = 8 in
+  let batch = 8 in
+  let probe_seconds = 0.010 in
+  let resolve objs =
+    Unix.sleepf probe_seconds;
+    Array.map (fun o -> Probe_driver.Resolved (Synthetic.probe o)) objs
+  in
+  let seeds = Array.init n_clients (fun i -> engine_seed + i) in
+  let fingerprint (r : Synthetic.obj Engine.result) =
+    let report = r.Engine.report in
+    ( List.map
+        (fun e -> (e.Operator.obj.Synthetic.id, e.Operator.precise))
+        report.Operator.answer,
+      report.Operator.guarantees,
+      r.Engine.counts )
+  in
+  let ok = ref true in
+  let fail fmt = Printf.ksprintf (fun m -> ok := false; print_endline m) fmt in
+  let t0 = Unix.gettimeofday () in
+  let solo =
+    Array.map
+      (fun seed ->
+        Engine.execute ~rng:(Rng.create seed) ~max_laxity:100.0 ~domains:1
+          ~instance:Synthetic.instance
+          ~probe:(Probe_driver.create_outcomes ~batch_size:batch resolve)
+          ~requirements:standard_requirements data)
+      seeds
+  in
+  let serial_seconds = Unix.gettimeofday () -. t0 in
+  let solo_probes =
+    Array.fold_left
+      (fun acc r -> acc + r.Engine.counts.Cost_meter.probes)
+      0 solo
+  in
+  let serial_qps = float_of_int n_clients /. serial_seconds in
+  Printf.printf
+    "serial (direct drivers): %.3f s, %.2f queries/s, %d probes paid\n"
+    serial_seconds serial_qps solo_probes;
+  let speedup_at_8 = ref 0.0 in
+  let rows =
+    List.map
+      (fun domains ->
+        let broker =
+          Probe_broker.create ~batch_size:batch
+            ~key:(fun (o : Synthetic.obj) -> o.Synthetic.id)
+            resolve
+        in
+        let queries =
+          Array.mapi
+            (fun i seed ->
+              Engine.query ~rng:(Rng.create seed) ~max_laxity:100.0
+                ~instance:Synthetic.instance
+                ~probe:
+                  (Probe_broker.client
+                     ~tenant:(Printf.sprintf "c%d" i)
+                     broker)
+                ~requirements:standard_requirements data)
+            seeds
+        in
+        let t0 = Unix.gettimeofday () in
+        let results = Engine.execute_many ~domains queries in
+        let seconds = Unix.gettimeofday () -. t0 in
+        let qps = float_of_int n_clients /. seconds in
+        let speedup = serial_seconds /. seconds in
+        if domains = 8 then speedup_at_8 := speedup;
+        let stats = Probe_broker.stats broker in
+        let identical =
+          Array.for_all2
+            (fun a b -> fingerprint a = fingerprint b)
+            solo results
+        in
+        let met =
+          Array.for_all
+            (fun r -> r.Engine.degradation.Engine.requirements_met)
+            results
+        in
+        if not identical then
+          fail "NOT IDENTICAL at %d domains: broker runs differ from solo"
+            domains;
+        if not met then
+          fail "REQUIREMENTS MISSED at %d domains" domains;
+        if stats.Probe_broker.charged >= solo_probes then
+          fail "NO PROBE SAVING at %d domains: broker charged %d >= solo %d"
+            domains stats.Probe_broker.charged solo_probes;
+        Printf.printf
+          "domains %d: %.3f s, %6.2f queries/s (%.2fx), charged %d, \
+           coalesced %d, fresh %d, %d batches%s\n"
+          domains seconds qps speedup stats.Probe_broker.charged
+          stats.Probe_broker.coalesced stats.Probe_broker.fresh_hits
+          stats.Probe_broker.batches
+          (if identical then "" else "  [MISMATCH]");
+        Printf.sprintf
+          "    { \"concurrency\": %d, \"seconds\": %.6f, \"qps\": %.3f, \
+           \"speedup\": %.3f, \"charged\": %d, \"coalesced\": %d, \
+           \"fresh_hits\": %d, \"batches\": %d, \"identical\": %b, \
+           \"requirements_met\": %b }"
+          domains seconds qps speedup stats.Probe_broker.charged
+          stats.Probe_broker.coalesced stats.Probe_broker.fresh_hits
+          stats.Probe_broker.batches identical met)
+      [ 1; 2; 4; 8 ]
+  in
+  if !speedup_at_8 < 1.3 then
+    fail "TOO SLOW: %.2fx at 8 domains (gate: >= 1.3x over serial)"
+      !speedup_at_8;
+  write_bench_json ~path ~bench:"server-broker-concurrency"
+    ~fields:
+      [
+        ("passed", string_of_bool !ok);
+        ("clients", string_of_int n_clients);
+        ("batch", string_of_int batch);
+        ("probe_ms", Printf.sprintf "%.3f" (probe_seconds *. 1000.0));
+        ("serial_seconds", Printf.sprintf "%.6f" serial_seconds);
+        ("serial_qps", Printf.sprintf "%.3f" serial_qps);
+        ("solo_probes", string_of_int solo_probes);
+      ]
+    ~rows;
+  Printf.printf "server concurrency gates hold: %s\n"
+    (if !ok then "yes" else "NO");
+  if not !ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -1453,6 +1599,10 @@ let () =
       anytime_bench
         (if Array.length Sys.argv > 2 then Sys.argv.(2)
          else "BENCH_anytime.json")
+  | "server" ->
+      server_bench
+        (if Array.length Sys.argv > 2 then Sys.argv.(2)
+         else "BENCH_server.json")
   | "all" ->
       tables ();
       ablations ();
@@ -1460,6 +1610,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown mode %S (expected \
-         tables|ablations|batch|micro|metrics|scaling|profile|faults|columnar|anytime|all)\n"
+         tables|ablations|batch|micro|metrics|scaling|profile|faults|columnar|anytime|server|all)\n"
         other;
       exit 2

@@ -1,0 +1,461 @@
+(* Shared probe capacity behind a monitor (one mutex + one condition
+   variable).  All broker state is touched only with the lock held; the
+   backend resolver runs outside the lock, guarded by the [dispatching]
+   flag so only one domain talks to the backend at a time.
+
+   Liveness invariant: a request a client is waiting on is always
+   either (a) in some tenant queue — and any waiting client whose
+   requests are unresolved will become the dispatcher when no dispatch
+   is in progress — or (b) part of the in-progress dispatch, which
+   settles it and broadcasts.  A blocked client therefore never depends
+   on another *blocked* client, whatever the lane count: the broker is
+   deadlock-free even with more clients than domains. *)
+
+type 'o request = {
+  rq_obj : 'o;
+  rq_key : int;
+  rq_tenant : string;
+  rq_enqueued_at : float;
+  mutable rq_waiters : ('o Probe_driver.outcome -> unit) list;
+      (* newest first; each writes one waiter's result slot *)
+}
+
+type 'o fresh_entry = { fe_outcome : 'o Probe_driver.outcome; fe_at : float }
+
+type tenant = {
+  tn_queue : int Queue.t;  (* keys, FIFO; requests live in [inflight] *)
+  mutable tn_quota : int option;
+  mutable tn_requests : int;
+  mutable tn_admitted : int;
+  mutable tn_charged : int;
+  mutable tn_failed : int;
+  mutable tn_coalesced : int;
+  mutable tn_fresh : int;
+  mutable tn_rejected : int;
+}
+
+type instruments = {
+  m_requests : Metrics.counter;
+  m_admitted : Metrics.counter;
+  m_charged : Metrics.counter;
+  m_failed : Metrics.counter;
+  m_coalesced : Metrics.counter;
+  m_fresh : Metrics.counter;
+  m_rejected : Metrics.counter;
+  m_batches : Metrics.counter;
+  h_fill : Metrics.histogram;
+  h_wait : Metrics.histogram;
+}
+
+type 'o t = {
+  resolve : 'o array -> 'o Probe_driver.outcome array;
+  key : 'o -> int;
+  bk_batch_size : int;
+  freshness : float;
+  capacity : int option;
+  breaker : Circuit_breaker.t option;
+  clock : unit -> float;
+  ins : instruments option;
+  lock : Mutex.t;
+  cond : Condition.t;
+  fresh : (int, 'o fresh_entry) Hashtbl.t;
+  inflight : (int, 'o request) Hashtbl.t;  (* queued or dispatching *)
+  tenants : (string, tenant) Hashtbl.t;
+  mutable tenant_order : string list;  (* registration order, reversed *)
+  mutable rr : int;  (* round-robin start into [tenant_order] *)
+  mutable queued : int;
+  mutable dispatching : bool;
+  mutable rounds : int;
+  mutable s_requests : int;
+  mutable s_admitted : int;
+  mutable s_charged : int;
+  mutable s_failed : int;
+  mutable s_coalesced : int;
+  mutable s_fresh : int;
+  mutable s_rejected : int;
+  mutable s_batches : int;
+}
+
+type stats = {
+  requests : int;
+  admitted : int;
+  charged : int;
+  failed : int;
+  coalesced : int;
+  fresh_hits : int;
+  rejected : int;
+  batches : int;
+}
+
+let create ?obs ?clock ?(freshness = infinity) ?capacity ?breaker
+    ?(batch_size = 1) ~key resolve =
+  if batch_size < 1 then invalid_arg "Probe_broker.create: batch_size < 1";
+  if Float.is_nan freshness || freshness < 0.0 then
+    invalid_arg "Probe_broker.create: freshness must be non-negative";
+  (match capacity with
+  | Some c when c < 0 -> invalid_arg "Probe_broker.create: capacity < 0"
+  | _ -> ());
+  let clock =
+    match (clock, obs) with
+    | Some c, _ -> c
+    | None, Some o -> Obs.clock o
+    | None, None -> Span.default_clock
+  in
+  let ins =
+    Option.map
+      (fun o ->
+        {
+          m_requests = Obs.counter o Obs.Keys.broker_requests;
+          m_admitted = Obs.counter o Obs.Keys.broker_admitted;
+          m_charged = Obs.counter o Obs.Keys.broker_charged;
+          m_failed = Obs.counter o Obs.Keys.broker_failed;
+          m_coalesced = Obs.counter o Obs.Keys.broker_coalesced;
+          m_fresh = Obs.counter o Obs.Keys.broker_fresh_hits;
+          m_rejected = Obs.counter o Obs.Keys.broker_rejected;
+          m_batches = Obs.counter o Obs.Keys.broker_batches;
+          h_fill = Obs.histogram o Obs.Keys.broker_batch_fill;
+          h_wait = Obs.histogram o Obs.Keys.broker_queue_wait;
+        })
+      obs
+  in
+  {
+    resolve;
+    key;
+    bk_batch_size = batch_size;
+    freshness;
+    capacity;
+    breaker;
+    clock;
+    ins;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+    fresh = Hashtbl.create 256;
+    inflight = Hashtbl.create 64;
+    tenants = Hashtbl.create 8;
+    tenant_order = [];
+    rr = 0;
+    queued = 0;
+    dispatching = false;
+    rounds = 0;
+    s_requests = 0;
+    s_admitted = 0;
+    s_charged = 0;
+    s_failed = 0;
+    s_coalesced = 0;
+    s_fresh = 0;
+    s_rejected = 0;
+    s_batches = 0;
+  }
+
+let of_source ?obs ?clock ?freshness ?capacity ?breaker ?batch_size ~key
+    source =
+  create ?obs ?clock ?freshness ?capacity ?breaker ?batch_size ~key
+    (Probe_source.resolver source)
+
+let batch_size t = t.bk_batch_size
+
+(* ---- lock-held helpers ------------------------------------------- *)
+
+let tenant_of t name =
+  match Hashtbl.find_opt t.tenants name with
+  | Some tn -> tn
+  | None ->
+      let tn =
+        {
+          tn_queue = Queue.create ();
+          tn_quota = None;
+          tn_requests = 0;
+          tn_admitted = 0;
+          tn_charged = 0;
+          tn_failed = 0;
+          tn_coalesced = 0;
+          tn_fresh = 0;
+          tn_rejected = 0;
+        }
+      in
+      Hashtbl.add t.tenants name tn;
+      t.tenant_order <- name :: t.tenant_order;
+      tn
+
+let register_quota t name quota =
+  Mutex.lock t.lock;
+  let tn = tenant_of t name in
+  (match (quota, tn.tn_quota) with
+  | None, _ -> ()
+  | Some q, None -> tn.tn_quota <- Some q
+  | Some q, Some q' -> tn.tn_quota <- Some (Stdlib.min q q'))
+  (* the tightest registered quota wins *);
+  Mutex.unlock t.lock
+
+let fresh_lookup t k now =
+  match Hashtbl.find_opt t.fresh k with
+  | Some e when now -. e.fe_at < t.freshness -> Some e.fe_outcome
+  | _ -> None
+
+let admissible t tn =
+  (match t.capacity with Some c -> t.s_admitted < c | None -> true)
+  && match tn.tn_quota with Some q -> tn.tn_admitted < q | None -> true
+
+let note t f = match t.ins with Some i -> f i | None -> ()
+
+(* Pack one backend batch: drain tenant queues round-robin, one request
+   per tenant per pass, starting after wherever the last dispatch
+   stopped — per-tenant FIFO, cross-tenant fair. *)
+let take_batch t =
+  let order = Array.of_list (List.rev t.tenant_order) in
+  let n = Array.length order in
+  let batch = ref [] in
+  let taken = ref 0 in
+  let progress = ref true in
+  while !taken < t.bk_batch_size && t.queued > 0 && !progress do
+    progress := false;
+    let i = ref 0 in
+    while !taken < t.bk_batch_size && !i < n do
+      let tn = Hashtbl.find t.tenants order.((t.rr + !i) mod n) in
+      (match Queue.take_opt tn.tn_queue with
+      | Some k ->
+          let rq = Hashtbl.find t.inflight k in
+          batch := rq :: !batch;
+          incr taken;
+          t.queued <- t.queued - 1;
+          t.rr <- (t.rr + !i + 1) mod n;
+          progress := true
+      | None -> ());
+      incr i
+    done
+  done;
+  Array.of_list (List.rev !batch)
+
+let settle t rq outcome =
+  Hashtbl.remove t.inflight rq.rq_key;
+  let now = t.clock () in
+  (match outcome with
+  | Probe_driver.Resolved _ ->
+      t.s_charged <- t.s_charged + 1;
+      (tenant_of t rq.rq_tenant).tn_charged <-
+        (tenant_of t rq.rq_tenant).tn_charged + 1;
+      note t (fun i -> Metrics.incr i.m_charged);
+      (* Failures are never cached: a later request retries. *)
+      Hashtbl.replace t.fresh rq.rq_key { fe_outcome = outcome; fe_at = now }
+  | Probe_driver.Failed _ ->
+      t.s_failed <- t.s_failed + 1;
+      (tenant_of t rq.rq_tenant).tn_failed <-
+        (tenant_of t rq.rq_tenant).tn_failed + 1;
+      note t (fun i -> Metrics.incr i.m_failed));
+  note t (fun i ->
+      Metrics.observe i.h_wait (Float.max 0.0 (now -. rq.rq_enqueued_at)));
+  List.iter (fun k -> k outcome) (List.rev rq.rq_waiters)
+
+(* One backend round.  Called with the lock held and [dispatching]
+   false; returns with the lock held and [dispatching] false again,
+   having broadcast.  The resolver itself runs unlocked — only the
+   [dispatching] flag keeps it single-threaded. *)
+let dispatch_round t =
+  t.dispatching <- true;
+  let batch = take_batch t in
+  let round = t.rounds in
+  t.rounds <- t.rounds + 1;
+  let allowed =
+    match t.breaker with
+    | Some b -> Circuit_breaker.allow b ~round
+    | None -> true
+  in
+  (if not allowed then
+     (* Refused round: burn no backend budget, degrade the batch.  The
+        refused requests were admitted, so they count against capacity
+        — the breaker protects the backend, not the budget. *)
+     Array.iter
+       (fun rq -> settle t rq (Probe_driver.Failed { attempts = 0 }))
+       batch
+   else begin
+     Mutex.unlock t.lock;
+     let outcomes =
+       try Ok (t.resolve (Array.map (fun rq -> rq.rq_obj) batch))
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Error (e, bt)
+     in
+     Mutex.lock t.lock;
+     match outcomes with
+     | Ok outcomes ->
+         if Array.length outcomes <> Array.length batch then begin
+           Array.iter
+             (fun rq -> settle t rq (Probe_driver.Failed { attempts = 0 }))
+             batch;
+           t.dispatching <- false;
+           Condition.broadcast t.cond;
+           invalid_arg "Probe_broker: resolver changed the batch length"
+         end;
+         t.s_batches <- t.s_batches + 1;
+         note t (fun i ->
+             Metrics.incr i.m_batches;
+             Metrics.observe i.h_fill (float_of_int (Array.length batch)));
+         let any_resolved = ref false in
+         Array.iteri
+           (fun i oc ->
+             (match oc with
+             | Probe_driver.Resolved _ -> any_resolved := true
+             | Probe_driver.Failed _ -> ());
+             settle t batch.(i) oc)
+           outcomes;
+         (match t.breaker with
+         | Some b ->
+             if !any_resolved then Circuit_breaker.record_success b ~round
+             else if Array.length batch > 0 then
+               Circuit_breaker.record_failure b ~round
+         | None -> ())
+     | Error (e, bt) ->
+         (* A raising resolver would strand every waiter; settle the
+            batch as failed, restore the monitor, then re-raise in the
+            dispatching client.  Backends should not raise — use
+            outcome-based resolvers. *)
+         Array.iter
+           (fun rq -> settle t rq (Probe_driver.Failed { attempts = 0 }))
+           batch;
+         t.dispatching <- false;
+         Condition.broadcast t.cond;
+         Printexc.raise_with_backtrace e bt
+   end);
+  t.dispatching <- false;
+  Condition.broadcast t.cond
+
+(* ---- the client path --------------------------------------------- *)
+
+let resolve_many t ~tenant objects =
+  let n = Array.length objects in
+  let results = Array.make n None in
+  let remaining = ref n in
+  Mutex.lock t.lock;
+  let tn = tenant_of t tenant in
+  let now = t.clock () in
+  Array.iteri
+    (fun i o ->
+      let k = t.key o in
+      t.s_requests <- t.s_requests + 1;
+      tn.tn_requests <- tn.tn_requests + 1;
+      note t (fun ins -> Metrics.incr ins.m_requests);
+      let deliver oc =
+        results.(i) <- Some oc;
+        decr remaining
+      in
+      match fresh_lookup t k now with
+      | Some oc ->
+          t.s_fresh <- t.s_fresh + 1;
+          tn.tn_fresh <- tn.tn_fresh + 1;
+          note t (fun ins -> Metrics.incr ins.m_fresh);
+          deliver oc
+      | None -> (
+          match Hashtbl.find_opt t.inflight k with
+          | Some rq ->
+              (* Someone (possibly this very call) already wants this
+                 object: one probe, fanned out. *)
+              t.s_coalesced <- t.s_coalesced + 1;
+              tn.tn_coalesced <- tn.tn_coalesced + 1;
+              note t (fun ins -> Metrics.incr ins.m_coalesced);
+              rq.rq_waiters <- deliver :: rq.rq_waiters
+          | None ->
+              if not (admissible t tn) then begin
+                (* Saturated: degrade, never block — the PR-5 outcome
+                   the operator's fallback already understands. *)
+                t.s_rejected <- t.s_rejected + 1;
+                tn.tn_rejected <- tn.tn_rejected + 1;
+                note t (fun ins -> Metrics.incr ins.m_rejected);
+                deliver (Probe_driver.Failed { attempts = 0 })
+              end
+              else begin
+                t.s_admitted <- t.s_admitted + 1;
+                tn.tn_admitted <- tn.tn_admitted + 1;
+                note t (fun ins -> Metrics.incr ins.m_admitted);
+                let rq =
+                  {
+                    rq_obj = o;
+                    rq_key = k;
+                    rq_tenant = tenant;
+                    rq_enqueued_at = now;
+                    rq_waiters = [ deliver ];
+                  }
+                in
+                Hashtbl.add t.inflight k rq;
+                Queue.add k tn.tn_queue;
+                t.queued <- t.queued + 1
+              end))
+    objects;
+  (* Drive the monitor until every request of this call is settled:
+     dispatch whenever the channel is free and work is queued (ours or
+     anyone's — fair FIFO means helping drains the queue towards our
+     own requests), otherwise wait for the in-flight round. *)
+  (try
+     while !remaining > 0 do
+       if (not t.dispatching) && t.queued > 0 then dispatch_round t
+       else Condition.wait t.cond t.lock
+     done
+   with e ->
+     Mutex.unlock t.lock;
+     raise e);
+  Mutex.unlock t.lock;
+  Array.map (function Some oc -> oc | None -> assert false) results
+
+let client ?(tenant = "default") ?quota t =
+  (match quota with
+  | Some q when q < 0 -> invalid_arg "Probe_broker.client: quota < 0"
+  | _ -> ());
+  register_quota t tenant quota;
+  Probe_driver.create_outcomes ~batch_size:t.bk_batch_size (fun objects ->
+      resolve_many t ~tenant objects)
+
+let fetch ?(tenant = "default") t o = (resolve_many t ~tenant [| o |]).(0)
+
+(* ---- introspection ------------------------------------------------ *)
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let is_fresh t k =
+  locked t (fun () -> fresh_lookup t k (t.clock ()) <> None)
+
+let invalidate t k = locked t (fun () -> Hashtbl.remove t.fresh k)
+let pending t = locked t (fun () -> t.queued)
+
+let saturated t =
+  locked t (fun () ->
+      match t.capacity with Some c -> t.s_admitted >= c | None -> false)
+
+let stats t =
+  locked t (fun () ->
+      {
+        requests = t.s_requests;
+        admitted = t.s_admitted;
+        charged = t.s_charged;
+        failed = t.s_failed;
+        coalesced = t.s_coalesced;
+        fresh_hits = t.s_fresh;
+        rejected = t.s_rejected;
+        batches = t.s_batches;
+      })
+
+let tenant_stats t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun name tn acc ->
+          ( name,
+            {
+              requests = tn.tn_requests;
+              admitted = tn.tn_admitted;
+              charged = tn.tn_charged;
+              failed = tn.tn_failed;
+              coalesced = tn.tn_coalesced;
+              fresh_hits = tn.tn_fresh;
+              rejected = tn.tn_rejected;
+              batches = 0;
+            } )
+          :: acc)
+        t.tenants []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "requests %d (admitted %d, coalesced %d, fresh %d, rejected %d); charged \
+     %d, failed %d, batches %d"
+    s.requests s.admitted s.coalesced s.fresh_hits s.rejected s.charged
+    s.failed s.batches

@@ -1,0 +1,171 @@
+(** Cross-query probe broker: shared batching, deduplication and
+    admission control in front of a probe backend.
+
+    The paper prices every query as if it owned the probe channel, but
+    the expensive resource — probes into imprecise objects — is
+    naturally shared: when N in-flight queries all need object [o]
+    refreshed, charging N probes is pure waste.  A broker sits between
+    many concurrent queries and one backend and serves them from shared
+    probe capacity:
+
+    {ul
+    {- {e Coalescing}: requests for an object that is already queued or
+       in flight join its waiter list — one probe is charged and the
+       outcome fans out to every waiter.}
+    {- {e Freshness}: an object probed within the freshness window is
+       served from the broker's cache without touching the backend at
+       all — the generalisation of the per-object probe cache the band
+       join has always used.}
+    {- {e Cross-query batch packing}: requests from different queries
+       accumulate in shared per-tenant queues, and a dispatch drains
+       them round-robin up to the batch size — partially-filled batches
+       from different queries merge into full ones, so the amortized
+       [c_p + c_b/B] price is actually achieved under concurrency
+       instead of only per query.}
+    {- {e Admission control}: a shared capacity, per-tenant quotas and
+       an optional {!Circuit_breaker} bound what the backend can be
+       asked to do.  A request refused by admission settles as
+       [Failed { attempts = 0 }] — the PR-5 degradation outcome — so a
+       query over a saturated broker degrades gracefully through the
+       operator's guarantee-aware fallback instead of erroring.}}
+
+    Clients are ordinary {!Probe_driver}s ({!client}), so a query's
+    engine path is unchanged; a {e single} query through the broker is
+    bit-for-bit identical to the direct driver path (same batches, same
+    outcomes, same per-query accounting), while a shared workload
+    charges the backend strictly fewer probes than the sum of solo runs
+    whenever any object overlaps.
+
+    The broker is safe for concurrent use from many domains.  Each
+    {e client driver} must still be confined to one domain at a time
+    (drivers are not thread-safe); give every concurrent query its own
+    client.  The backend resolver is only ever invoked by one domain at
+    a time — the current dispatcher — so an unsynchronised backend
+    (e.g. {!Probe_source}) works unmodified.  For results to be
+    independent of scheduling, the resolver must be a pure function of
+    the submitted object. *)
+
+type 'o t
+
+val create :
+  ?obs:Obs.t ->
+  ?clock:(unit -> float) ->
+  ?freshness:float ->
+  ?capacity:int ->
+  ?breaker:Circuit_breaker.t ->
+  ?batch_size:int ->
+  key:('o -> int) ->
+  ('o array -> 'o Probe_driver.outcome array) ->
+  'o t
+(** [create ~key resolve] builds a broker over a batch resolver (same
+    contract as {!Probe_driver.create_outcomes}: outcomes in submission
+    order, same length).  [key] must identify an object uniquely — two
+    objects with the same key are considered the same probe target.
+
+    [freshness] (seconds, default [infinity]) is the window within
+    which a completed probe is a free hit; [0.] disables the cache
+    entirely (every request reaches the backend).  Failed probes are
+    never cached — a later request retries.  [capacity] (default
+    unlimited) caps the {e admitted} backend probes over the broker's
+    lifetime; once exhausted, new probe targets settle as
+    [Failed { attempts = 0 }] (coalesced and fresh requests still
+    succeed — they cost nothing).  [breaker] consults
+    {!Circuit_breaker.allow} per dispatch round: a refused round
+    settles its whole batch as [Failed { attempts = 0 }] without
+    touching the backend, and backend rounds feed
+    [record_success]/[record_failure].
+
+    [batch_size] (default 1) is the backend batch bound [B]: a
+    dispatch drains at most [B] requests, round-robin across tenants.
+    [clock] (default: [obs]'s clock, else wall time) stamps freshness
+    and the queue-wait histogram.  [obs] registers the
+    [qaq.broker.*] counters and histograms ({!Obs.Keys}).
+
+    @raise Invalid_argument if [batch_size < 1], [capacity < 0] or
+    [freshness] is negative or NaN. *)
+
+val of_source :
+  ?obs:Obs.t ->
+  ?clock:(unit -> float) ->
+  ?freshness:float ->
+  ?capacity:int ->
+  ?breaker:Circuit_breaker.t ->
+  ?batch_size:int ->
+  key:('o -> int) ->
+  'o Probe_source.t ->
+  'o t
+(** A broker whose backend is a {!Probe_source} (resolved with
+    {!Probe_source.resolver}): latency simulation, transient retries
+    and fault plans all apply per dispatched batch, exactly as they
+    would under a direct {!Probe_source.driver}. *)
+
+val batch_size : 'o t -> int
+
+val client : ?tenant:string -> ?quota:int -> 'o t -> 'o Probe_driver.t
+(** [client t] is the broker as a per-query probe capability: a driver
+    with the broker's batch size whose flushes resolve through the
+    shared broker.  Hand one to {!Engine.execute} (or any
+    {!Operator.run}) and the query runs unchanged — its own
+    probes/batches accounting is what it would have been solo, while
+    the backend is only charged for work no other query already paid
+    for.
+
+    [tenant] (default ["default"]) attributes the client's requests for
+    fair round-robin scheduling, per-tenant statistics and [quota] —
+    a cap on the tenant's admitted backend probes (across all of the
+    tenant's clients; the tightest quota registered for a tenant wins).
+    Beyond the quota, the tenant's new probe targets degrade like
+    capacity exhaustion; other tenants are unaffected.
+
+    Each client must be used from one domain at a time.
+    @raise Invalid_argument if [quota < 0]. *)
+
+val fetch : ?tenant:string -> 'o t -> 'o -> 'o Probe_driver.outcome
+(** Resolve one object through the broker synchronously — the scalar
+    convenience the band join's probe cache is built on.  Equivalent to
+    a one-element client flush: fresh hits are free, otherwise the
+    request is admitted (or degraded) and dispatched. *)
+
+val is_fresh : 'o t -> int -> bool
+(** Whether a successful probe for this key is currently within the
+    freshness window — i.e. whether a request for it right now would be
+    a free hit. *)
+
+val invalidate : 'o t -> int -> unit
+(** Drop the cached outcome for a key, if any: the next request
+    re-probes.  The hook for backends whose objects go stale out of
+    band. *)
+
+val pending : 'o t -> int
+(** Requests admitted but not yet handed to the backend — the shared
+    queue depth at this instant. *)
+
+val saturated : 'o t -> bool
+(** Whether the shared capacity is exhausted: every new probe target
+    (from any tenant) will degrade until the end of the broker's life.
+    Admission-control front ends ({!bin/qaq_server}) use this to reject
+    queries outright instead of running them degraded. *)
+
+type stats = {
+  requests : int;  (** objects clients asked for, before dedup *)
+  admitted : int;  (** requests enqueued for the backend *)
+  charged : int;  (** backend probes resolved — the real spend *)
+  failed : int;  (** admitted requests that failed permanently *)
+  coalesced : int;  (** requests that joined a queued/in-flight probe *)
+  fresh_hits : int;  (** requests served from the freshness window *)
+  rejected : int;  (** requests degraded by admission control *)
+  batches : int;  (** backend dispatches (the [c_b] charges) *)
+}
+
+val stats : 'o t -> stats
+(** Lifetime totals.  [requests = admitted + coalesced + fresh_hits +
+    rejected], and [charged + failed <= admitted] (the difference is
+    still queued).  Reading the stats synchronises with the broker's
+    lock, so the identity holds at any moment of a concurrent run. *)
+
+val tenant_stats : 'o t -> (string * stats) list
+(** Per-tenant totals ([batches] is 0 — dispatches are shared),
+    sorted by tenant name.  A tenant appears once any client or fetch
+    has named it. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -458,3 +458,63 @@ let execute ~rng ?(planning = default_planning) ?(adaptive = false)
   match Domain_pool.resolve ?domains () with
   | 1 -> run ()
   | d -> Domain_pool.with_pool ?on_task ~domains:d (fun pool -> run ~pool ())
+
+(* ---- concurrent multi-query execution ----------------------------- *)
+
+type 'o query = {
+  q_rng : Rng.t;
+  q_planning : planning;
+  q_adaptive : bool;
+  q_cost : Cost_model.t;
+  q_batch : int option;
+  q_max_laxity : float option;
+  q_budget : float option;
+  q_deadline : float option;
+  q_instance : 'o Operator.instance;
+  q_probe : 'o Probe_driver.t;
+  q_requirements : Quality.requirements;
+  q_data : 'o array;
+}
+
+let query ~rng ?(planning = default_planning) ?(adaptive = false)
+    ?(cost = Cost_model.paper) ?batch ?max_laxity ?budget ?deadline ~instance
+    ~probe ~requirements data =
+  {
+    q_rng = rng;
+    q_planning = planning;
+    q_adaptive = adaptive;
+    q_cost = cost;
+    q_batch = batch;
+    q_max_laxity = max_laxity;
+    q_budget = budget;
+    q_deadline = deadline;
+    q_instance = instance;
+    q_probe = probe;
+    q_requirements = requirements;
+    q_data = data;
+  }
+
+let execute_one (q : 'o query) =
+  (* Each query is pinned to one lane ([domains:1]): no nested pools,
+     and [QAQ_DOMAINS] steers [execute] call sites, not the inner runs
+     of an already-parallel batch. *)
+  execute ~rng:q.q_rng ~planning:q.q_planning ~adaptive:q.q_adaptive
+    ~cost:q.q_cost ?batch:q.q_batch ?max_laxity:q.q_max_laxity
+    ?budget:q.q_budget ?deadline:q.q_deadline ~domains:1
+    ~instance:q.q_instance ~probe:q.q_probe ~requirements:q.q_requirements
+    q.q_data
+
+let execute_many ?domains (queries : 'o query array) =
+  let n = Array.length queries in
+  let d =
+    match domains with
+    | Some d when d < 1 -> invalid_arg "Engine.execute_many: domains < 1"
+    | Some d -> d
+    | None -> Stdlib.min (Stdlib.max 1 n) 16
+  in
+  if n = 0 then [||]
+  else if d = 1 || n = 1 then Array.map execute_one queries
+  else
+    Domain_pool.with_pool ~domains:(Stdlib.min d n) (fun pool ->
+        Domain_pool.run_all pool
+          (Array.map (fun q () -> execute_one q) queries))

@@ -267,3 +267,47 @@ val execute :
     fractions, if [batch < 1], if [domains < 1], if [budget] or
     [deadline] is negative or NaN, or if [QAQ_DOMAINS] is set to
     anything but a positive integer. *)
+
+(** {2 Concurrent multi-query execution} *)
+
+type 'o query
+(** One query of a concurrent batch: everything {!execute} takes, bound
+    into a value so a server can accumulate queries and run them
+    together. *)
+
+val query :
+  rng:Rng.t ->
+  ?planning:planning ->
+  ?adaptive:bool ->
+  ?cost:Cost_model.t ->
+  ?batch:int ->
+  ?max_laxity:float ->
+  ?budget:float ->
+  ?deadline:float ->
+  instance:'o Operator.instance ->
+  probe:'o Probe_driver.t ->
+  requirements:Quality.requirements ->
+  'o array ->
+  'o query
+(** Same arguments and defaults as {!execute}.  Each query of a batch
+    must own its [rng] and its [probe] driver (drivers are confined to
+    one domain at a time) — to run many queries against shared probe
+    capacity, give each one its own [Probe_broker.client] of a common
+    broker. *)
+
+val execute_many : ?domains:int -> 'o query array -> 'o result array
+(** Run every query, concurrently when [domains > 1], and return their
+    results in input order.  [domains] (default: the number of queries,
+    capped at 16) bounds the lane count of the {!Domain_pool} the
+    queries are spread over; each query itself runs single-lane
+    ([domains:1]), so [QAQ_DOMAINS] does not nest pools here.
+
+    Results are bit-for-bit independent of scheduling — each query owns
+    its rng and probe driver, so [execute_many queries] equals
+    [Array.map] of solo {!execute} runs {e provided} the probe
+    capability behind the drivers resolves each object to a value that
+    does not depend on when other queries probe it (a pure resolver
+    behind a [Probe_broker] with the default infinite freshness
+    qualifies; so does any set of independent drivers).
+
+    @raise Invalid_argument if [domains < 1]. *)

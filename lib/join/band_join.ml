@@ -44,40 +44,49 @@ type report = {
   exhausted : bool;
 }
 
-(* Probe cache: one entry per (side, record id); an object is fetched —
-   and charged — at most once, however many pairs it appears in. *)
+(* Probe cache: the cross-query {!Probe_broker}, keyed per (side, record
+   id), with the join as its only tenant.  With sharing, the broker's
+   infinite freshness window makes each object a backend fetch — and a
+   meter charge — at most once, however many pairs it appears in; a zero
+   window reproduces the unshared (re-fetch every request) accounting.
+   The broker's own [requests]/[charged] statistics are the join's
+   historical [probe_requests]/[object_probes] counters, unchanged. *)
 type cache = {
-  meter : Cost_meter.t;
+  broker : (bool * Interval_data.record) Probe_broker.t;
   share : bool;  (* false: re-fetch (and re-charge) on every request *)
-  resolved : (bool * int, unit) Hashtbl.t;  (* (is_left, id) *)
-  mutable requests : int;
-  mutable fetches : int;
 }
+
+let side_key ~is_left id = (id lsl 1) lor (if is_left then 1 else 0)
+
+let make_cache ~meter ~share =
+  let broker =
+    Probe_broker.create
+      ~freshness:(if share then infinity else 0.0)
+      ~key:(fun (is_left, r) -> side_key ~is_left r.Interval_data.id)
+      (Array.map (fun (is_left, r) ->
+           Cost_meter.charge_probe meter;
+           Probe_driver.Resolved (is_left, Interval_data.probe r)))
+  in
+  { broker; share }
 
 (* Resolve one side of a pair.  [r] must be the record as stored in the
    base relation: a record that is imprecise there counts as a probe
-   request even when the cache already holds it (that is precisely the
-   saving being measured); only a cache miss fetches and is charged. *)
+   request even when the broker already holds it fresh (that is
+   precisely the saving being measured); only a backend fetch is
+   charged. *)
 let resolve_record cache ~is_left (r : Interval_data.record) =
   if Uncertain.laxity r.Interval_data.belief = 0.0 then r
-  else begin
-    cache.requests <- cache.requests + 1;
-    let key = (is_left, r.id) in
-    if not (Hashtbl.mem cache.resolved key) then begin
-      Hashtbl.add cache.resolved key ();
-      cache.fetches <- cache.fetches + 1;
-      Cost_meter.charge_probe cache.meter
-    end
-    else if not cache.share then begin
-      cache.fetches <- cache.fetches + 1;
-      Cost_meter.charge_probe cache.meter
-    end;
-    Interval_data.probe r
-  end
+  else
+    match Probe_broker.fetch cache.broker (is_left, r) with
+    | Probe_driver.Resolved (_, precise) -> precise
+    | Probe_driver.Failed _ ->
+        (* the in-process resolver above never fails, and the broker has
+           no capacity bound or breaker to refuse it *)
+        assert false
 
 let is_resolved cache ~is_left (r : Interval_data.record) =
   Uncertain.laxity r.Interval_data.belief = 0.0
-  || Hashtbl.mem cache.resolved (is_left, r.id)
+  || Probe_broker.is_fresh cache.broker (side_key ~is_left r.Interval_data.id)
 
 (* The current belief of a side, given the cache: pairs are generated
    from the base relations, so a record probed through an earlier pair
@@ -107,15 +116,7 @@ let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true)
   let counts_before = Cost_meter.counts meter in
   let pairs_total = Array.length left * Array.length right in
   let counters = Counters.create ~total:pairs_total in
-  let cache =
-    {
-      meter;
-      share = share_probes;
-      resolved = Hashtbl.create 64;
-      requests = 0;
-      fetches = 0;
-    }
-  in
+  let cache = make_cache ~meter ~share:share_probes in
   let inst = instance ~epsilon in
   let answer = ref [] in
   let deliver entry =
@@ -222,8 +223,8 @@ let run ~rng ?meter ?emit ?(collect = true) ?(enforce = true)
           counts_after.writes_precise - counts_before.writes_precise;
       };
     pairs_total;
-    object_probes = cache.fetches;
-    probe_requests = cache.requests;
+    object_probes = (Probe_broker.stats cache.broker).charged;
+    probe_requests = (Probe_broker.stats cache.broker).requests;
     answer_size = Counters.answer_size counters;
     exhausted = !pos >= pairs_total;
   }

@@ -42,6 +42,16 @@ module Keys = struct
   let domain_busy i = Printf.sprintf "qaq.parallel.domain%d.busy_seconds" i
   let maybe_laxity = "qaq.maybe.laxity"
   let maybe_success = "qaq.maybe.success"
+  let broker_requests = "qaq.broker.requests"
+  let broker_admitted = "qaq.broker.admitted"
+  let broker_charged = "qaq.broker.charged"
+  let broker_failed = "qaq.broker.failed"
+  let broker_coalesced = "qaq.broker.coalesced"
+  let broker_fresh_hits = "qaq.broker.fresh_hits"
+  let broker_rejected = "qaq.broker.rejected"
+  let broker_batches = "qaq.broker.batches"
+  let broker_batch_fill = "qaq.broker.batch_fill"
+  let broker_queue_wait = "qaq.broker.queue_wait_seconds"
   let fault_injected = "qaq.fault.injected"
   let fault_retried = "qaq.fault.retried"
   let fault_degraded = "qaq.fault.degraded"

@@ -88,6 +88,48 @@ module Keys : sig
   (** Histogram: success probability [s(o)] of every MAYBE object at
       decision time. *)
 
+  val broker_requests : string
+  (** Probe requests arriving at the cross-query {!Probe_broker} —
+      every object a client asked for, before dedup. *)
+
+  val broker_admitted : string
+  (** Requests admitted for backend dispatch (a subset of
+      {!broker_requests}; the rest were coalesced, served fresh, or
+      rejected). *)
+
+  val broker_charged : string
+  (** Backend probes actually resolved — the shared resource really
+      spent.  Under overlap this is strictly below what the same
+      queries would charge solo. *)
+
+  val broker_failed : string
+  (** Admitted requests whose backend probe failed permanently. *)
+
+  val broker_coalesced : string
+  (** Requests that joined an already queued or in-flight probe for
+      the same object: one probe charged, the result fanned out. *)
+
+  val broker_fresh_hits : string
+  (** Requests served from a probe completed within the freshness
+      window — no backend work at all. *)
+
+  val broker_rejected : string
+  (** Requests degraded to [Failed] by admission control (shared
+      capacity or tenant quota exhausted, or the breaker open). *)
+
+  val broker_batches : string
+  (** Backend batch dispatches — how often the per-batch setup cost
+      was actually paid across all queries. *)
+
+  val broker_batch_fill : string
+  (** Histogram: objects per dispatched backend batch — cross-query
+      packing shows up as fill above any single query's partial
+      flushes. *)
+
+  val broker_queue_wait : string
+  (** Histogram: seconds a request spent between arriving at the
+      broker and its outcome being settled. *)
+
   val fault_injected : string
   (** Injected fault decisions that fired — failed attempts and latency
       spikes ({!Fault_plan}). *)

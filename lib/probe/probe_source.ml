@@ -197,8 +197,10 @@ let probe_batch t objs =
       | Probe_driver.Failed _ -> raise Probe_failed)
     outcomes
 
+let resolver t = probe_batch_outcomes t
+
 let driver ?obs ?(batch_size = 1) t =
-  Probe_driver.create_outcomes ?obs ~batch_size (probe_batch_outcomes t)
+  Probe_driver.create_outcomes ?obs ~batch_size (resolver t)
 
 type stats = {
   probes : int;

@@ -91,6 +91,11 @@ val probe_batch : 'o t -> 'o array -> 'o array
     is resolved {e completely} (all siblings settle and are counted in
     {!stats}), then @raise Probe_failed if any element failed. *)
 
+val resolver : 'o t -> 'o array -> 'o Probe_driver.outcome array
+(** {!probe_batch_outcomes} partially applied — the source as a bare
+    batch-resolution function, the shape {!Probe_driver.create_outcomes}
+    (and the cross-query probe broker) consume directly. *)
+
 val driver : ?obs:Obs.t -> ?batch_size:int -> 'o t -> 'o Probe_driver.t
 (** The source as an operator-facing probe capability, resolving each
     driver flush with {!probe_batch_outcomes}.  [batch_size] defaults to

@@ -1,11 +1,22 @@
 (* LRU via a doubly-linked order encoded with a logical clock: each entry
-   stores the tick of its last use; eviction removes the minimum.  For the
-   pool sizes used here (tens to hundreds of pages) the O(n) eviction scan
-   is simpler than an intrusive list and never shows up in profiles. *)
+   stores the tick of its last use; eviction removes the minimum unpinned
+   entry.  For the pool sizes used here (tens to hundreds of pages) the
+   O(n) eviction scan is simpler than an intrusive list and never shows
+   up in profiles.
+
+   The pool is a monitor: every operation — including the loader call on
+   a miss — runs under one mutex.  Holding the lock across the load is
+   what makes concurrent fetches of the same page single-load: the
+   second domain blocks until the first has inserted the entry, then
+   takes a hit.  The price is that the loader must not re-enter the pool
+   (the mutex is not reentrant) and that loads of *different* pages
+   serialize; for the simulated storage underneath this pool, loads are
+   cheap decodes, so correctness wins over load concurrency. *)
 
 type 'a entry = {
   page : 'a;  (* the cached unit: a page array, a column chunk, ... *)
   mutable last_used : int;
+  mutable pins : int;  (* > 0: immune to eviction *)
   loaded_at : float;  (* wall time of the miss; 0 when uninstrumented *)
 }
 
@@ -22,6 +33,7 @@ type 'a t = {
   capacity : int;
   table : (int, 'a entry) Hashtbl.t;
   ins : instruments option;
+  lock : Mutex.t;
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
@@ -47,46 +59,54 @@ let create ?obs ~capacity () =
     capacity;
     table = Hashtbl.create (2 * capacity);
     ins;
+    lock = Mutex.create ();
     clock = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
   }
 
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
 let tick t =
   t.clock <- t.clock + 1;
   t.clock
 
+(* Evict the LRU *unpinned* entry; false when every entry is pinned (the
+   pool then temporarily exceeds capacity rather than discarding a page
+   someone is using). *)
 let evict_lru t =
   let victim = ref None in
   Hashtbl.iter
     (fun id entry ->
-      match !victim with
-      | None -> victim := Some (id, entry.last_used)
-      | Some (_, best) -> if entry.last_used < best then victim := Some (id, entry.last_used))
+      if entry.pins = 0 then
+        match !victim with
+        | None -> victim := Some (id, entry)
+        | Some (_, best) ->
+            if entry.last_used < best.last_used then victim := Some (id, entry))
     t.table;
   match !victim with
-  | None -> ()
-  | Some (id, _) ->
+  | None -> false
+  | Some (id, entry) ->
       (match t.ins with
-      | Some i -> (
-          match Hashtbl.find_opt t.table id with
-          | Some entry ->
-              Metrics.observe i.h_residency
-                (Float.max 0.0 (Obs.now i.i_obs -. entry.loaded_at))
-          | None -> ())
+      | Some i ->
+          Metrics.observe i.h_residency
+            (Float.max 0.0 (Obs.now i.i_obs -. entry.loaded_at))
       | None -> ());
       Hashtbl.remove t.table id;
       t.evictions <- t.evictions + 1;
-      (match t.ins with Some i -> Metrics.incr i.m_evictions | None -> ())
+      (match t.ins with Some i -> Metrics.incr i.m_evictions | None -> ());
+      true
 
-let fetch t page_id load =
+let fetch_entry t page_id load =
   match Hashtbl.find_opt t.table page_id with
   | Some entry ->
       t.hits <- t.hits + 1;
       (match t.ins with Some i -> Metrics.incr i.m_hits | None -> ());
       entry.last_used <- tick t;
-      entry.page
+      entry
   | None ->
       t.misses <- t.misses + 1;
       (match t.ins with Some i -> Metrics.incr i.m_misses | None -> ());
@@ -103,25 +123,57 @@ let fetch t page_id load =
             Metrics.observe i.h_fetch (Float.max 0.0 (t1 -. t0));
             (page, t1)
       in
-      if Hashtbl.length t.table >= t.capacity then evict_lru t;
-      Hashtbl.replace t.table page_id { page; last_used = tick t; loaded_at };
-      page
+      if Hashtbl.length t.table >= t.capacity then ignore (evict_lru t);
+      let entry = { page; last_used = tick t; pins = 0; loaded_at } in
+      Hashtbl.replace t.table page_id entry;
+      entry
 
-let contains t page_id = Hashtbl.mem t.table page_id
+let fetch t page_id load =
+  locked t (fun () -> (fetch_entry t page_id load).page)
+
+let pin t page_id load =
+  locked t (fun () ->
+      let entry = fetch_entry t page_id load in
+      entry.pins <- entry.pins + 1;
+      entry.page)
+
+let unpin t page_id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table page_id with
+      | Some entry when entry.pins > 0 ->
+          entry.pins <- entry.pins - 1;
+          (* A pool held over capacity by pins shrinks back as soon as
+             pins release, instead of waiting for the next miss. *)
+          if entry.pins = 0 && Hashtbl.length t.table > t.capacity then
+            ignore (evict_lru t)
+      | Some _ | None -> invalid_arg "Buffer_pool.unpin: page is not pinned")
+
+let pinned t page_id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table page_id with
+      | Some entry -> entry.pins > 0
+      | None -> false)
+
+let contains t page_id = locked t (fun () -> Hashtbl.mem t.table page_id)
 
 type stats = { hits : int; misses : int; evictions : int }
 
 let stats (t : _ t) : stats =
-  { hits = t.hits; misses = t.misses; evictions = t.evictions }
+  locked t (fun () ->
+      { hits = t.hits; misses = t.misses; evictions = t.evictions })
 
 let reset_stats (t : _ t) =
-  t.hits <- 0;
-  t.misses <- 0;
-  t.evictions <- 0
+  locked t (fun () ->
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)
 
 let clear t =
-  Hashtbl.reset t.table;
-  reset_stats t
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)
 
 let hit_rate s =
   let total = s.hits + s.misses in

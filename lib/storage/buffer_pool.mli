@@ -8,7 +8,16 @@
     storage layer a faithful miniature of a database engine and to let
     benchmarks show how caching interacts with partial scans (low-recall
     queries touch a prefix of the file and benefit most from re-use
-    across queries). *)
+    across queries).
+
+    The pool is safe for concurrent use from many domains: every
+    operation, {e including the loader call on a miss}, runs under the
+    pool's mutex, so two domains fetching the same page never load it
+    twice — the second blocks until the first has inserted the entry
+    and then takes a hit.  Consequently the loader must not call back
+    into the same pool (the mutex is not reentrant), and loads
+    serialize; for the cheap simulated-storage decodes cached here,
+    single-load correctness is worth far more than load concurrency. *)
 
 type 'a t
 (** A pool caching values of type ['a] — a page array for row storage,
@@ -31,6 +40,22 @@ val fetch : 'a t -> int -> (int -> 'a) -> 'a
     page-fetch and the chunk-fetch paths; {!stats} after a failed load
     therefore shows one extra miss, unchanged evictions, and
     {!hit_rate} correspondingly counts the failure against the pool. *)
+
+val pin : 'a t -> int -> (int -> 'a) -> 'a
+(** Like {!fetch}, but additionally pins the entry: a pinned page is
+    immune to eviction until every pin is released with {!unpin} (pins
+    are counted, so nested pinners compose).  When every resident entry
+    is pinned, a miss inserts {e over} capacity rather than discard a
+    page in use; the pool shrinks back as pins release. *)
+
+val unpin : 'a t -> int -> unit
+(** Release one pin.  If the entry just became unpinned and the pool is
+    over capacity, the LRU unpinned entry is evicted immediately.
+    @raise Invalid_argument if the page is absent or not pinned —
+    unbalanced pin/unpin is a caller bug the pool refuses to absorb. *)
+
+val pinned : 'a t -> int -> bool
+(** Whether the page is resident with at least one pin. *)
 
 val contains : 'a t -> int -> bool
 

@@ -1,0 +1,426 @@
+(* Tests for the cross-query probe broker: single-query transparency,
+   dedup/coalescing accounting, cross-tenant batch packing, admission
+   control, and scheduling-independence of concurrent execution. *)
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let pure_resolve objs =
+  Array.map (fun o -> Probe_driver.Resolved (Synthetic.probe o)) objs
+
+let obj_key (o : Synthetic.obj) = o.Synthetic.id
+
+let small_data total =
+  Synthetic.generate (Rng.create 5) (Synthetic.config ~total ())
+
+let requirements =
+  Quality.requirements ~precision:0.9 ~recall:0.7 ~laxity:40.0
+
+let run_engine ~seed ~probe data =
+  Engine.execute ~rng:(Rng.create seed) ~max_laxity:100.0 ~domains:1
+    ~instance:Synthetic.instance ~probe ~requirements data
+
+let fingerprint (r : Synthetic.obj Engine.result) =
+  ( List.map
+      (fun e -> (e.Operator.obj.Synthetic.id, e.Operator.precise))
+      r.Engine.report.Operator.answer,
+    r.Engine.report.Operator.guarantees,
+    r.Engine.counts )
+
+(* A single query through the broker must be bit-for-bit the direct
+   driver path: same answer, same guarantees, same charges, for scalar
+   and batched drivers alike. *)
+let test_single_query_identity () =
+  let data = small_data 400 in
+  List.iter
+    (fun batch_size ->
+      let direct =
+        run_engine ~seed:99
+          ~probe:(Probe_driver.create_outcomes ~batch_size pure_resolve)
+          data
+      in
+      let broker =
+        Probe_broker.create ~batch_size ~key:obj_key pure_resolve
+      in
+      let brokered =
+        run_engine ~seed:99 ~probe:(Probe_broker.client broker) data
+      in
+      checkb
+        (Printf.sprintf "identical result at B=%d" batch_size)
+        true
+        (fingerprint direct = fingerprint brokered);
+      (* and the broker charged exactly what the query's meter did *)
+      let stats = Probe_broker.stats broker in
+      checki
+        (Printf.sprintf "charged = query probes at B=%d" batch_size)
+        direct.Engine.counts.Cost_meter.probes stats.Probe_broker.charged;
+      checki
+        (Printf.sprintf "no rejections at B=%d" batch_size)
+        0 stats.Probe_broker.rejected)
+    [ 1; 4 ]
+
+(* K queries over overlapping object sets charge exactly |union| backend
+   probes, whatever the overlap pattern, and the stats identity holds. *)
+let prop_dedup_charged_once =
+  QCheck2.Test.make ~name:"overlapping queries charge exactly |union|"
+    ~count:100
+    QCheck2.Gen.(
+      list_size (int_range 1 6) (list_size (int_range 0 20) (int_range 0 30)))
+    (fun key_lists ->
+      let broker =
+        Probe_broker.create ~batch_size:3 ~key:Fun.id (fun objs ->
+            Array.map (fun k -> Probe_driver.Resolved k) objs)
+      in
+      List.iteri
+        (fun i keys ->
+          let d = Probe_broker.client ~tenant:(string_of_int i) broker in
+          List.iter
+            (fun k -> Probe_driver.submit_outcome d k (fun _ -> ()))
+            keys;
+          Probe_driver.flush d)
+        key_lists;
+      let union = List.sort_uniq compare (List.concat key_lists) in
+      let total = List.fold_left (fun n l -> n + List.length l) 0 key_lists in
+      let s = Probe_broker.stats broker in
+      s.Probe_broker.charged = List.length union
+      && s.Probe_broker.requests = total
+      && s.Probe_broker.requests
+         = s.Probe_broker.admitted + s.Probe_broker.coalesced
+           + s.Probe_broker.fresh_hits + s.Probe_broker.rejected
+      && s.Probe_broker.failed = 0)
+
+(* The same dedup bound under real concurrency: domains flush
+   overlapping key sets through their own clients simultaneously; the
+   union is still charged exactly once and every waiter gets a correct
+   outcome. *)
+let test_concurrent_dedup () =
+  let keys_of i = List.init 25 (fun j -> (5 * i) + j) in
+  let broker =
+    Probe_broker.create ~batch_size:4 ~key:Fun.id (fun objs ->
+        (* a little real latency so flushes genuinely overlap *)
+        Unix.sleepf 0.001;
+        Array.map (fun k -> Probe_driver.Resolved (k * 7)) objs)
+  in
+  let worker i () =
+    let d = Probe_broker.client ~tenant:(string_of_int i) broker in
+    let results = ref [] in
+    List.iter
+      (fun k ->
+        Probe_driver.submit_outcome d k (fun oc -> results := (k, oc) :: !results))
+      (keys_of i);
+    Probe_driver.flush d;
+    !results
+  in
+  let domains = List.init 4 (fun i -> Domain.spawn (worker i)) in
+  let all = List.concat_map Domain.join domains in
+  List.iter
+    (fun (k, oc) ->
+      match oc with
+      | Probe_driver.Resolved v -> checki "fanned-out outcome" (k * 7) v
+      | Probe_driver.Failed _ -> Alcotest.fail "unexpected failure")
+    all;
+  let union =
+    List.sort_uniq compare (List.concat_map keys_of [ 0; 1; 2; 3 ])
+  in
+  let s = Probe_broker.stats broker in
+  checki "concurrent union charged once" (List.length union)
+    s.Probe_broker.charged;
+  checki "every request accounted" (4 * 25) s.Probe_broker.requests;
+  checki "nothing rejected" 0 s.Probe_broker.rejected;
+  checkb "dedup actually happened" true
+    (s.Probe_broker.coalesced + s.Probe_broker.fresh_hits > 0)
+
+(* execute_many results are independent of scheduling: same queries on
+   1 domain, on 4 domains, and in reversed submission order — all equal
+   to the solo runs. *)
+let test_execute_many_deterministic () =
+  let data = small_data 400 in
+  let seeds = [| 11; 12; 13; 14 |] in
+  let solo =
+    Array.map
+      (fun seed ->
+        fingerprint
+          (run_engine ~seed
+             ~probe:(Probe_driver.create_outcomes ~batch_size:4 pure_resolve)
+             data))
+      seeds
+  in
+  let run ~domains ~order =
+    let broker = Probe_broker.create ~batch_size:4 ~key:obj_key pure_resolve in
+    let queries =
+      Array.map
+        (fun i ->
+          Engine.query ~rng:(Rng.create seeds.(i)) ~max_laxity:100.0
+            ~instance:Synthetic.instance
+            ~probe:(Probe_broker.client ~tenant:(string_of_int i) broker)
+            ~requirements data)
+        order
+    in
+    let results = Engine.execute_many ~domains queries in
+    Array.map fingerprint results
+  in
+  let forward = [| 0; 1; 2; 3 |] in
+  let serial = run ~domains:1 ~order:forward in
+  let parallel = run ~domains:4 ~order:forward in
+  let reversed = run ~domains:4 ~order:[| 3; 2; 1; 0 |] in
+  Array.iteri
+    (fun i fp ->
+      checkb (Printf.sprintf "serial query %d = solo" i) true (fp = solo.(i)))
+    serial;
+  Array.iteri
+    (fun i fp ->
+      checkb (Printf.sprintf "parallel query %d = solo" i) true (fp = solo.(i)))
+    parallel;
+  Array.iteri
+    (fun i fp ->
+      checkb
+        (Printf.sprintf "reversed query %d = solo" i)
+        true
+        (fp = solo.(3 - i)))
+    reversed
+
+(* Cross-query batch packing: while one dispatch is held open inside the
+   backend, requests from other clients queue up; the next round merges
+   them into one batch. *)
+let test_cross_query_packing () =
+  let gate = Atomic.make false in
+  let entered = Atomic.make false in
+  let calls = Atomic.make 0 in
+  let resolve objs =
+    if Atomic.fetch_and_add calls 1 = 0 then begin
+      Atomic.set entered true;
+      while not (Atomic.get gate) do
+        Unix.sleepf 0.0005
+      done
+    end;
+    Array.map (fun k -> Probe_driver.Resolved k) objs
+  in
+  let broker = Probe_broker.create ~batch_size:4 ~key:Fun.id resolve in
+  let await ?(what = "condition") p =
+    let tries = ref 0 in
+    while not (p ()) do
+      incr tries;
+      if !tries > 4000 then Alcotest.failf "timed out waiting for %s" what;
+      Unix.sleepf 0.0005
+    done
+  in
+  let a = Domain.spawn (fun () -> Probe_broker.fetch ~tenant:"a" broker 1) in
+  await ~what:"first dispatch to enter the backend" (fun () ->
+      Atomic.get entered);
+  let b = Domain.spawn (fun () -> Probe_broker.fetch ~tenant:"b" broker 2) in
+  let c = Domain.spawn (fun () -> Probe_broker.fetch ~tenant:"c" broker 3) in
+  await ~what:"two requests to queue behind the dispatch" (fun () ->
+      Probe_broker.pending broker = 2);
+  Atomic.set gate true;
+  let oa = Domain.join a and ob = Domain.join b and oc = Domain.join c in
+  (match (oa, ob, oc) with
+  | Probe_driver.Resolved 1, Probe_driver.Resolved 2, Probe_driver.Resolved 3
+    ->
+      ()
+  | _ -> Alcotest.fail "wrong outcomes");
+  let s = Probe_broker.stats broker in
+  checki "two rounds for three queries" 2 s.Probe_broker.batches;
+  checki "backend called twice" 2 (Atomic.get calls);
+  checki "three backend probes" 3 s.Probe_broker.charged
+
+(* Shared capacity: once the admitted budget is spent, new probe targets
+   degrade to [Failed { attempts = 0 }] while fresh hits stay free. *)
+let test_capacity_saturation () =
+  let broker =
+    Probe_broker.create ~capacity:2 ~key:Fun.id (fun objs ->
+        Array.map (fun k -> Probe_driver.Resolved k) objs)
+  in
+  checkb "not saturated at start" false (Probe_broker.saturated broker);
+  (match Probe_broker.fetch broker 1 with
+  | Probe_driver.Resolved 1 -> ()
+  | _ -> Alcotest.fail "first probe should resolve");
+  (match Probe_broker.fetch broker 2 with
+  | Probe_driver.Resolved 2 -> ()
+  | _ -> Alcotest.fail "second probe should resolve");
+  checkb "saturated after capacity" true (Probe_broker.saturated broker);
+  (match Probe_broker.fetch broker 3 with
+  | Probe_driver.Failed { attempts = 0 } -> ()
+  | _ -> Alcotest.fail "over-capacity probe should degrade");
+  (match Probe_broker.fetch broker 1 with
+  | Probe_driver.Resolved 1 -> ()
+  | _ -> Alcotest.fail "fresh hit must still succeed when saturated");
+  let s = Probe_broker.stats broker in
+  checki "rejected counted" 1 s.Probe_broker.rejected;
+  checki "fresh hit counted" 1 s.Probe_broker.fresh_hits;
+  checki "charged stops at capacity" 2 s.Probe_broker.charged
+
+(* A query over a saturated broker still completes, degrading through
+   the operator's guarantee-aware fallback instead of erroring. *)
+let test_saturated_engine_run_degrades () =
+  let data = small_data 400 in
+  let broker =
+    Probe_broker.create ~capacity:5 ~batch_size:4 ~key:obj_key pure_resolve
+  in
+  let result = run_engine ~seed:99 ~probe:(Probe_broker.client broker) data in
+  checkb "run degraded" true (Engine.degraded result);
+  checkb "degraded probes happened" true
+    (result.Engine.degradation.Engine.failed_probes > 0);
+  checki "exactly the capacity was charged" 5
+    (Probe_broker.stats broker).Probe_broker.charged;
+  checkb "broker saturated" true (Probe_broker.saturated broker)
+
+(* The freshness window: infinite = probe once, zero = no sharing at
+   all, finite = a strict wall-clock window on the broker's clock. *)
+let test_freshness_window () =
+  let fetch_twice freshness =
+    let broker =
+      Probe_broker.create ~freshness ~key:Fun.id (fun objs ->
+          Array.map (fun k -> Probe_driver.Resolved k) objs)
+    in
+    ignore (Probe_broker.fetch broker 7);
+    ignore (Probe_broker.fetch broker 7);
+    Probe_broker.stats broker
+  in
+  checki "infinite window: one charge" 1 (fetch_twice infinity).Probe_broker.charged;
+  checki "zero window: every request charges" 2
+    (fetch_twice 0.0).Probe_broker.charged;
+  let now = ref 0.0 in
+  let broker =
+    Probe_broker.create
+      ~clock:(fun () -> !now)
+      ~freshness:10.0 ~key:Fun.id
+      (fun objs -> Array.map (fun k -> Probe_driver.Resolved k) objs)
+  in
+  ignore (Probe_broker.fetch broker 7);
+  now := 5.0;
+  checkb "within the window" true (Probe_broker.is_fresh broker 7);
+  ignore (Probe_broker.fetch broker 7);
+  now := 10.0;
+  (* the window is strict: age 10 is not < 10 *)
+  checkb "window boundary is stale" false (Probe_broker.is_fresh broker 7);
+  ignore (Probe_broker.fetch broker 7);
+  let s = Probe_broker.stats broker in
+  checki "re-probed at the boundary" 2 s.Probe_broker.charged;
+  checki "one fresh hit inside the window" 1 s.Probe_broker.fresh_hits;
+  Probe_broker.invalidate broker 7;
+  checkb "invalidate drops the entry" false (Probe_broker.is_fresh broker 7)
+
+(* Per-tenant quotas: one tenant exhausting its quota degrades only its
+   own new probe targets. *)
+let test_tenant_quota () =
+  let broker =
+    Probe_broker.create ~key:Fun.id (fun objs ->
+        Array.map (fun k -> Probe_driver.Resolved k) objs)
+  in
+  ignore (Probe_broker.client ~tenant:"a" ~quota:2 broker);
+  (match Probe_broker.fetch ~tenant:"a" broker 1 with
+  | Probe_driver.Resolved _ -> ()
+  | _ -> Alcotest.fail "within quota");
+  (match Probe_broker.fetch ~tenant:"a" broker 2 with
+  | Probe_driver.Resolved _ -> ()
+  | _ -> Alcotest.fail "within quota");
+  (match Probe_broker.fetch ~tenant:"a" broker 3 with
+  | Probe_driver.Failed { attempts = 0 } -> ()
+  | _ -> Alcotest.fail "over quota must degrade");
+  (match Probe_broker.fetch ~tenant:"b" broker 3 with
+  | Probe_driver.Resolved _ -> ()
+  | _ -> Alcotest.fail "other tenants unaffected");
+  (* a's fresh hit on b's probe is free, so it still succeeds *)
+  (match Probe_broker.fetch ~tenant:"a" broker 3 with
+  | Probe_driver.Resolved _ -> ()
+  | _ -> Alcotest.fail "fresh hits are free even over quota");
+  let by_tenant = Probe_broker.tenant_stats broker in
+  let a = List.assoc "a" by_tenant and b = List.assoc "b" by_tenant in
+  checki "a admitted to quota" 2 a.Probe_broker.admitted;
+  checki "a rejected beyond" 1 a.Probe_broker.rejected;
+  checki "a served fresh" 1 a.Probe_broker.fresh_hits;
+  checki "b admitted" 1 b.Probe_broker.admitted;
+  checki "b rejected" 0 b.Probe_broker.rejected
+
+(* An open circuit breaker refuses whole dispatch rounds: the backend is
+   not touched and the refused requests degrade. *)
+let test_breaker_refuses_rounds () =
+  let calls = Atomic.make 0 in
+  let breaker =
+    Circuit_breaker.create ~trip_after:1 ~backoff_base:64 ()
+  in
+  let broker =
+    Probe_broker.create ~breaker ~key:Fun.id (fun objs ->
+        Atomic.incr calls;
+        Array.map (fun _ -> Probe_driver.Failed { attempts = 1 }) objs)
+  in
+  (match Probe_broker.fetch broker 1 with
+  | Probe_driver.Failed { attempts = 1 } -> ()
+  | _ -> Alcotest.fail "backend failure surfaces");
+  checkb "breaker tripped" true (Circuit_breaker.state breaker = Open);
+  (match Probe_broker.fetch broker 2 with
+  | Probe_driver.Failed { attempts = 0 } -> ()
+  | _ -> Alcotest.fail "refused round degrades with attempts = 0");
+  checki "backend called once" 1 (Atomic.get calls);
+  let s = Probe_broker.stats broker in
+  checki "only the real round counts a batch" 1 s.Probe_broker.batches;
+  checki "nothing charged" 0 s.Probe_broker.charged;
+  checki "both requests failed" 2 s.Probe_broker.failed
+
+(* The qaq.broker.* instruments mirror the broker's own statistics. *)
+let test_broker_metrics () =
+  let obs = Obs.create () in
+  let broker =
+    Probe_broker.create ~obs ~capacity:2 ~batch_size:2 ~key:Fun.id
+      (fun objs -> Array.map (fun k -> Probe_driver.Resolved k) objs)
+  in
+  ignore (Probe_broker.fetch broker 1);
+  ignore (Probe_broker.fetch broker 1);
+  ignore (Probe_broker.fetch broker 2);
+  ignore (Probe_broker.fetch broker 3);
+  let s = Probe_broker.stats broker in
+  let snapshot = Obs.snapshot obs in
+  let count key = Metrics.count_of snapshot key in
+  checki "requests mirrored" s.Probe_broker.requests
+    (count Obs.Keys.broker_requests);
+  checki "admitted mirrored" s.Probe_broker.admitted
+    (count Obs.Keys.broker_admitted);
+  checki "charged mirrored" s.Probe_broker.charged
+    (count Obs.Keys.broker_charged);
+  checki "fresh mirrored" s.Probe_broker.fresh_hits
+    (count Obs.Keys.broker_fresh_hits);
+  checki "rejected mirrored" s.Probe_broker.rejected
+    (count Obs.Keys.broker_rejected);
+  checki "batches mirrored" s.Probe_broker.batches
+    (count Obs.Keys.broker_batches);
+  match Metrics.dist_of snapshot Obs.Keys.broker_batch_fill with
+  | Some d -> checki "one fill observation per batch" s.Probe_broker.batches
+      d.Metrics.d_count
+  | None -> Alcotest.fail "batch fill histogram missing"
+
+let test_validation () =
+  let resolve objs =
+    Array.map (fun k -> Probe_driver.Resolved k) objs
+  in
+  Alcotest.check_raises "bad batch size"
+    (Invalid_argument "Probe_broker.create: batch_size < 1") (fun () ->
+      ignore (Probe_broker.create ~batch_size:0 ~key:Fun.id resolve));
+  Alcotest.check_raises "bad freshness"
+    (Invalid_argument "Probe_broker.create: freshness must be non-negative")
+    (fun () ->
+      ignore (Probe_broker.create ~freshness:(-1.0) ~key:Fun.id resolve));
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Probe_broker.create: capacity < 0") (fun () ->
+      ignore (Probe_broker.create ~capacity:(-1) ~key:Fun.id resolve));
+  let broker = Probe_broker.create ~key:Fun.id resolve in
+  Alcotest.check_raises "bad quota"
+    (Invalid_argument "Probe_broker.client: quota < 0") (fun () ->
+      ignore (Probe_broker.client ~quota:(-1) broker))
+
+let suite =
+  [
+    ("single query is bit-for-bit direct", `Quick, test_single_query_identity);
+    QCheck_alcotest.to_alcotest prop_dedup_charged_once;
+    ("concurrent dedup charges the union once", `Quick, test_concurrent_dedup);
+    ("execute_many is scheduling-independent", `Quick,
+     test_execute_many_deterministic);
+    ("cross-query batch packing", `Quick, test_cross_query_packing);
+    ("capacity saturation degrades", `Quick, test_capacity_saturation);
+    ("saturated engine run degrades gracefully", `Quick,
+     test_saturated_engine_run_degrades);
+    ("freshness window semantics", `Quick, test_freshness_window);
+    ("tenant quota isolates tenants", `Quick, test_tenant_quota);
+    ("open breaker refuses rounds", `Quick, test_breaker_refuses_rounds);
+    ("broker metrics mirror stats", `Quick, test_broker_metrics);
+    ("validation", `Quick, test_validation);
+  ]

@@ -119,6 +119,28 @@ let test_probe_cache_bounds_probes () =
   checki "charged once per object" report.object_probes report.counts.probes;
   checkb "cache actually hit" true (report.probe_requests > report.object_probes)
 
+(* The probe cache is now the cross-query broker underneath; the join's
+   historical accounting must be unchanged on both sides of the
+   share_probes switch.  Without sharing every request re-fetches — the
+   broker's zero freshness window — so requests and fetches coincide. *)
+let test_probe_cache_unshared_accounting () =
+  let left, right = relations 3 40 40 in
+  let requirements =
+    Quality.requirements ~precision:1.0 ~recall:1.0 ~laxity:0.0
+  in
+  let run share =
+    Band_join.run ~rng:(Rng.create 4) ~share_probes:share ~requirements
+      ~epsilon:5.0 ~left ~right ()
+  in
+  let unshared = run false in
+  checki "unshared: every request fetches" unshared.probe_requests
+    unshared.object_probes;
+  checki "unshared: every fetch charged" unshared.object_probes
+    unshared.counts.probes;
+  let shared = run true in
+  checkb "sharing strictly cheaper" true
+    (shared.counts.probes < unshared.counts.probes)
+
 let test_join_guarantee_soundness () =
   let left, right = relations 5 50 40 in
   let epsilon = 4.0 in
@@ -200,6 +222,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_distance_interval_sound;
     ("perfect quality returns the exact join", `Quick, test_join_exact_under_perfect_quality);
     ("probe cache charges each object once", `Quick, test_probe_cache_bounds_probes);
+    ("unshared cache accounting unchanged", `Quick, test_probe_cache_unshared_accounting);
     ("guarantee soundness", `Quick, test_join_guarantee_soundness);
     ("early termination", `Quick, test_join_early_termination);
     ("validation", `Quick, test_join_validation);

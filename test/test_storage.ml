@@ -211,6 +211,101 @@ let test_buffer_pool_failed_chunk_load () =
   ignore (Buffer_pool.fetch pool 2 load);
   checki "retry evicts the true LRU victim" 1 (Buffer_pool.stats pool).evictions
 
+(* The pool is a monitor: two domains hammering the same pages must
+   never run the loader twice for one page. *)
+let test_buffer_pool_concurrent_single_load () =
+  let pages = 8 in
+  let pool = Buffer_pool.create ~capacity:pages () in
+  let loads = Array.init pages (fun _ -> Atomic.make 0) in
+  let load p =
+    Atomic.incr loads.(p);
+    (* widen the race window a loader outside the lock would lose *)
+    Unix.sleepf 0.0005;
+    [| p * 3 |]
+  in
+  let worker () =
+    for _ = 1 to 50 do
+      for p = 0 to pages - 1 do
+        let v = Buffer_pool.fetch pool p load in
+        if v.(0) <> p * 3 then Alcotest.fail "wrong page contents"
+      done
+    done
+  in
+  let a = Domain.spawn worker and b = Domain.spawn worker in
+  Domain.join a;
+  Domain.join b;
+  for p = 0 to pages - 1 do
+    checki (Printf.sprintf "page %d loaded exactly once" p) 1
+      (Atomic.get loads.(p))
+  done;
+  let s = Buffer_pool.stats pool in
+  checki "one miss per page" pages s.misses;
+  checki "no evictions below capacity" 0 s.evictions
+
+(* Pinned pages survive arbitrary eviction pressure, including pressure
+   generated from another domain. *)
+let test_buffer_pool_pin_survives_pressure () =
+  let pool = Buffer_pool.create ~capacity:2 () in
+  let load p = [| p |] in
+  ignore (Buffer_pool.pin pool 100 load);
+  checkb "pinned after pin" true (Buffer_pool.pinned pool 100);
+  let pressure =
+    Domain.spawn (fun () ->
+        for p = 0 to 19 do
+          ignore (Buffer_pool.fetch pool p load)
+        done)
+  in
+  Domain.join pressure;
+  checkb "pinned page never evicted" true (Buffer_pool.contains pool 100);
+  checkb "still pinned" true (Buffer_pool.pinned pool 100);
+  (* A fetch of the pinned page is a hit, not a reload. *)
+  let before = (Buffer_pool.stats pool).misses in
+  ignore (Buffer_pool.fetch pool 100 load);
+  checki "pinned fetch is a hit" before (Buffer_pool.stats pool).misses;
+  Buffer_pool.unpin pool 100;
+  checkb "unpinned" false (Buffer_pool.pinned pool 100)
+
+(* When every entry is pinned the pool would rather exceed capacity than
+   discard a page in use; releasing a pin shrinks it back at once. *)
+let test_buffer_pool_pin_over_capacity () =
+  let pool = Buffer_pool.create ~capacity:2 () in
+  let load p = [| p |] in
+  ignore (Buffer_pool.pin pool 1 load);
+  ignore (Buffer_pool.pin pool 2 load);
+  ignore (Buffer_pool.fetch pool 3 load);
+  (* nothing was evictable, so all three pages are resident *)
+  checkb "page 1 resident" true (Buffer_pool.contains pool 1);
+  checkb "page 2 resident" true (Buffer_pool.contains pool 2);
+  checkb "page 3 resident" true (Buffer_pool.contains pool 3);
+  checki "no eviction while all pinned" 0 (Buffer_pool.stats pool).evictions;
+  Buffer_pool.unpin pool 1;
+  (* page 1 became the LRU unpinned entry and is evicted immediately *)
+  checkb "released page evicted to shrink back" false
+    (Buffer_pool.contains pool 1);
+  checkb "page 2 survives (pinned)" true (Buffer_pool.contains pool 2);
+  checkb "page 3 survives (recent)" true (Buffer_pool.contains pool 3);
+  checki "shrink-back charged as eviction" 1 (Buffer_pool.stats pool).evictions;
+  Buffer_pool.unpin pool 2;
+  checkb "page 2 stays once within capacity" true (Buffer_pool.contains pool 2)
+
+let test_buffer_pool_unpin_validation () =
+  let pool = Buffer_pool.create ~capacity:2 () in
+  let load p = [| p |] in
+  ignore (Buffer_pool.fetch pool 1 load);
+  Alcotest.check_raises "unpinned page"
+    (Invalid_argument "Buffer_pool.unpin: page is not pinned") (fun () ->
+      Buffer_pool.unpin pool 1);
+  Alcotest.check_raises "absent page"
+    (Invalid_argument "Buffer_pool.unpin: page is not pinned") (fun () ->
+      Buffer_pool.unpin pool 42);
+  (* nested pins release one level at a time *)
+  ignore (Buffer_pool.pin pool 1 load);
+  ignore (Buffer_pool.pin pool 1 load);
+  Buffer_pool.unpin pool 1;
+  checkb "still pinned after one release" true (Buffer_pool.pinned pool 1);
+  Buffer_pool.unpin pool 1;
+  checkb "fully released" false (Buffer_pool.pinned pool 1)
+
 let test_column_store_layout () =
   let rows =
     Array.init 25 (fun id ->
@@ -465,6 +560,14 @@ let suite =
     ("buffer pool LRU", `Quick, test_buffer_pool_lru);
     ("buffer pool failed load", `Quick, test_buffer_pool_failed_load);
     ("buffer pool failed chunk load", `Quick, test_buffer_pool_failed_chunk_load);
+    ("buffer pool concurrent single load", `Quick,
+     test_buffer_pool_concurrent_single_load);
+    ("buffer pool pin survives pressure", `Quick,
+     test_buffer_pool_pin_survives_pressure);
+    ("buffer pool pin over capacity", `Quick,
+     test_buffer_pool_pin_over_capacity);
+    ("buffer pool unpin validation", `Quick,
+     test_buffer_pool_unpin_validation);
     ("column store layout", `Quick, test_column_store_layout);
     ( "column pruning matches zone map",
       `Quick,
