@@ -1552,6 +1552,196 @@ let server_bench path =
   if not !ok then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: live-telemetry overhead on the server scenario          *)
+(* ------------------------------------------------------------------ *)
+
+(* The server-bench workload (8 clients, one shared broker, 10 ms of
+   real backend latency per batch) run twice at 8 domains: once bare,
+   once with the full live-telemetry stack on — per-query trace
+   contexts stamped on engine and broker events, a flight recorder on
+   the shared trace path, rolling per-tenant SLO windows fed from every
+   result.  Gates (exit 1): the telemetry run must be bit-for-bit
+   identical to the bare run (telemetry is read-only), and it may cost
+   at most 5% throughput.  A forced-fault mini-run (permanent backend
+   failures tripping a breaker) then produces the sample
+   flight-recorder dump uploaded as a CI artifact. *)
+let telemetry_bench path ~dump:dump_path =
+  section "Telemetry: live-telemetry overhead on the server scenario";
+  let data = standard_workload () in
+  let n_clients = 8 in
+  let batch = 8 in
+  let domains = 8 in
+  let probe_seconds = 0.010 in
+  let resolve objs =
+    Unix.sleepf probe_seconds;
+    Array.map (fun o -> Probe_driver.Resolved (Synthetic.probe o)) objs
+  in
+  let seeds = Array.init n_clients (fun i -> engine_seed + i) in
+  let fingerprint (r : Synthetic.obj Engine.result) =
+    let report = r.Engine.report in
+    ( List.map
+        (fun e -> (e.Operator.obj.Synthetic.id, e.Operator.precise))
+        report.Operator.answer,
+      report.Operator.guarantees,
+      r.Engine.counts )
+  in
+  let ok = ref true in
+  let fail fmt = Printf.ksprintf (fun m -> ok := false; print_endline m) fmt in
+  let run ~telemetry =
+    let obs, recorder, slo =
+      if telemetry then
+        let recorder = Flight_recorder.create ~capacity:256 () in
+        let obs = Obs.create ~trace:(Flight_recorder.sink recorder) () in
+        (Some obs, Some recorder, Some (Slo.create ()))
+      else (None, None, None)
+    in
+    let broker =
+      Probe_broker.create ?obs ~batch_size:batch
+        ~key:(fun (o : Synthetic.obj) -> o.Synthetic.id)
+        resolve
+    in
+    let queries =
+      Array.mapi
+        (fun i seed ->
+          let tenant = Printf.sprintf "c%d" i in
+          let trace_id = Engine.next_trace_id () in
+          let client_obs =
+            Option.map
+              (fun o ->
+                Obs.with_context o
+                  { Trace.query = Some trace_id; tenant = Some tenant })
+              obs
+          in
+          Engine.query ~rng:(Rng.create seed) ~max_laxity:100.0
+            ~instance:Synthetic.instance
+            ~probe:(Probe_broker.client ?obs:client_obs ~tenant broker)
+            ?obs ~tenant ~trace_id ~requirements:standard_requirements data)
+        seeds
+    in
+    let t0 = Unix.gettimeofday () in
+    let results = Engine.execute_many ~domains queries in
+    let seconds = Unix.gettimeofday () -. t0 in
+    (match slo with
+    | Some slo ->
+        Array.iteri
+          (fun i r ->
+            Slo.observe slo
+              {
+                Slo.tenant = Printf.sprintf "c%d" i;
+                latency_seconds = r.Engine.elapsed_seconds;
+                probes = r.Engine.counts.Cost_meter.probes;
+                degraded = Engine.degraded r;
+                rejections = 0;
+                shortfall = not r.Engine.degradation.Engine.requirements_met;
+              })
+          results
+    | None -> ());
+    (results, seconds, recorder, slo)
+  in
+  let bare, bare_seconds, _, _ = run ~telemetry:false in
+  let live, live_seconds, recorder, slo = run ~telemetry:true in
+  let identical = Array.for_all2 (fun a b -> fingerprint a = fingerprint b) bare live in
+  if not identical then
+    fail "NOT IDENTICAL: telemetry run differs from the bare run";
+  let overhead = (live_seconds -. bare_seconds) /. bare_seconds in
+  let recorded =
+    match recorder with Some r -> Flight_recorder.recorded r | None -> 0
+  in
+  let slo_requests =
+    match slo with Some s -> (Slo.overall s).Slo.r_requests | None -> 0.0
+  in
+  Printf.printf
+    "bare:      %.3f s, %.2f queries/s\n\
+     telemetry: %.3f s, %.2f queries/s (%+.1f%% time, %d events recorded, \
+     %g requests windowed)\n"
+    bare_seconds
+    (float_of_int n_clients /. bare_seconds)
+    live_seconds
+    (float_of_int n_clients /. live_seconds)
+    (overhead *. 100.0) recorded slo_requests;
+  if overhead > 0.05 then
+    fail "TOO SLOW: telemetry costs %.1f%% (gate: <= 5%%)" (overhead *. 100.0);
+  (* The sample anomaly dump: a permanently failing backend behind a
+     breaker; the trip auto-dumps the failing query's ring. *)
+  let dump_recorder = Flight_recorder.create ~capacity:256 () in
+  let dump_obs = Obs.create ~trace:(Flight_recorder.sink dump_recorder) () in
+  let inj =
+    Fault_plan.injector ~site:"bench-telemetry"
+      (Fault_plan.make ~seed:1337 ~permanent_rate:1.0 ())
+  in
+  let failing objs =
+    Array.map
+      (fun _ ->
+        let el = Fault_plan.fresh_element inj in
+        ignore (Fault_plan.attempt inj el ~round:0);
+        Probe_driver.Failed { attempts = 1 })
+      objs
+  in
+  let fbroker =
+    Probe_broker.create ~obs:dump_obs
+      ~breaker:(Circuit_breaker.create ~obs:dump_obs ())
+      ~batch_size:batch
+      ~key:(fun (o : Synthetic.obj) -> o.Synthetic.id)
+      failing
+  in
+  let trace_id = Engine.next_trace_id () in
+  let ctx = { Trace.query = Some trace_id; tenant = Some "bench" } in
+  let fquery =
+    Engine.query ~rng:(Rng.create engine_seed) ~max_laxity:100.0
+      ~instance:Synthetic.instance
+      ~probe:
+        (Probe_broker.client
+           ~obs:(Obs.with_context dump_obs ctx)
+           ~tenant:"bench" fbroker)
+      ~obs:dump_obs ~tenant:"bench" ~trace_id
+      ~requirements:standard_requirements data
+  in
+  ignore (Engine.execute_many ~domains:1 [| fquery |]);
+  let dumps = Flight_recorder.dumps dump_recorder in
+  (match
+     List.find_opt (fun d -> d.Flight_recorder.reason = "breaker-open") dumps
+   with
+  | Some d ->
+      let oc = open_out dump_path in
+      output_string oc (Flight_recorder.dump_to_json d);
+      close_out oc;
+      Printf.printf
+        "sample dump: %s (reason %s, query %s, %d events) written to %s\n"
+        (Flight_recorder.dump_filename d)
+        d.Flight_recorder.reason
+        (match d.Flight_recorder.query with
+        | Some q -> string_of_int q
+        | None -> "-")
+        (List.length d.Flight_recorder.events)
+        dump_path
+  | None -> fail "NO DUMP: the forced fault never tripped the breaker");
+  write_bench_json ~path ~bench:"telemetry-overhead"
+    ~fields:
+      [
+        ("passed", string_of_bool !ok);
+        ("clients", string_of_int n_clients);
+        ("batch", string_of_int batch);
+        ("domains", string_of_int domains);
+        ("probe_ms", Printf.sprintf "%.3f" (probe_seconds *. 1000.0));
+        ("overhead_gate", "0.05");
+      ]
+    ~rows:
+      [
+        Printf.sprintf
+          "    { \"mode\": \"bare\", \"seconds\": %.6f, \"qps\": %.3f }"
+          bare_seconds
+          (float_of_int n_clients /. bare_seconds);
+        Printf.sprintf
+          "    { \"mode\": \"telemetry\", \"seconds\": %.6f, \"qps\": %.3f, \
+           \"overhead\": %.4f, \"identical\": %b, \"events_recorded\": %d }"
+          live_seconds
+          (float_of_int n_clients /. live_seconds)
+          overhead identical recorded;
+      ];
+  Printf.printf "telemetry gates hold: %s\n" (if !ok then "yes" else "NO");
+  if not !ok then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -1603,6 +1793,13 @@ let () =
       server_bench
         (if Array.length Sys.argv > 2 then Sys.argv.(2)
          else "BENCH_server.json")
+  | "telemetry" ->
+      telemetry_bench
+        (if Array.length Sys.argv > 2 then Sys.argv.(2)
+         else "BENCH_telemetry.json")
+        ~dump:
+          (if Array.length Sys.argv > 3 then Sys.argv.(3)
+           else "BENCH_flight_dump.json")
   | "all" ->
       tables ();
       ablations ();
@@ -1610,6 +1807,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown mode %S (expected \
-         tables|ablations|batch|micro|metrics|scaling|profile|faults|columnar|anytime|server|all)\n"
+         tables|ablations|batch|micro|metrics|scaling|profile|faults|columnar|anytime|server|telemetry|all)\n"
         other;
       exit 2

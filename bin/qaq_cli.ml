@@ -6,6 +6,7 @@
      dataset  generate a workload (synthetic or intervals) and save it as CSV
      convert  convert an interval-record CSV to a columnar chunk file (QCOL)
      query    run a quality-aware selection over an interval dataset
+     watch    live per-tenant SLO dashboard for a running qaq-server
      tables   regenerate the paper's tables (§5.1 + §5.2)
      regions  print the decision-region diagram of Figs. 2-3 *)
 
@@ -722,6 +723,120 @@ let regions_cmd =
     (Cmd.info "regions" ~doc)
     Term.(const regions_run $ p_q $ r_q $ l_q $ max_laxity $ f_y $ f_m $ total)
 
+(* ---- watch: live SLO dashboard over a qaq-server socket ----------- *)
+
+(* Speak the qaq-server line protocol (HEALTH + SLO) over its Unix
+   socket and render the rolling per-tenant numbers as a dashboard,
+   refreshed in place.  Read-only: watching never perturbs the server
+   beyond answering the two verbs. *)
+
+let kvs_of_tokens tokens =
+  List.filter_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i ->
+          Some
+            (String.sub tok 0 i,
+             String.sub tok (i + 1) (String.length tok - i - 1))
+      | None -> None)
+    tokens
+
+let watch_fetch path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_UNIX path);
+      let inc = Unix.in_channel_of_descr sock in
+      let out = Unix.out_channel_of_descr sock in
+      output_string out "HEALTH\nSLO\n";
+      flush out;
+      let health =
+        match String.split_on_char ' ' (input_line inc) with
+        | "HEALTH" :: rest -> kvs_of_tokens rest
+        | _ -> []
+      in
+      let rec slo_lines acc =
+        match input_line inc with
+        | "OK" -> List.rev acc
+        | line -> (
+            match String.split_on_char ' ' line with
+            | "SLO" :: rest -> slo_lines (kvs_of_tokens rest :: acc)
+            | _ -> slo_lines acc)
+        | exception End_of_file -> List.rev acc
+      in
+      (health, slo_lines []))
+
+let watch_render (health, tenants) =
+  let get kvs k = Option.value (List.assoc_opt k kvs) ~default:"-" in
+  let ms kvs k =
+    match float_of_string_opt (get kvs k) with
+    | Some v when Float.is_finite v -> Printf.sprintf "%.1f" (v *. 1000.0)
+    | _ -> "-"
+  in
+  let row label kvs =
+    [
+      label; get kvs "requests"; get kvs "rate"; ms kvs "p50"; ms kvs "p99";
+      get kvs "probe_rate"; get kvs "degraded"; get kvs "rejections";
+      get kvs "shortfalls";
+    ]
+  in
+  let table =
+    Text_table.create
+      ~title:(Printf.sprintf "live SLO (window %ss)" (get health "window"))
+      ~header:
+        [
+          "tenant"; "req"; "req/s"; "p50 ms"; "p99 ms"; "probe/s"; "degr";
+          "rej"; "short";
+        ]
+  in
+  List.iter
+    (fun kvs -> Text_table.add_row table (row (get kvs "tenant") kvs))
+    tenants;
+  Text_table.add_row table (row "(all)" health);
+  print_string (Text_table.render table);
+  Printf.printf "recorder: %s events, %s dumps | breaker: %s\n%!"
+    (get health "recorded") (get health "dumps") (get health "breaker")
+
+let watch_run socket interval count =
+  if count < 0 then (
+    Printf.eprintf "watch: --count must be >= 0\n";
+    exit 2);
+  let rec loop i =
+    if count = 0 || i < count then begin
+      (match watch_fetch socket with
+      | snapshot ->
+          (* Refresh in place unless this is a one-shot. *)
+          if count <> 1 then print_string "\027[2J\027[H";
+          watch_render snapshot
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "watch: %s: %s\n%!" socket (Unix.error_message e);
+          exit 1);
+      if count = 0 || i + 1 < count then Unix.sleepf interval;
+      loop (i + 1)
+    end
+  in
+  loop 0
+
+let watch_cmd =
+  let socket =
+    let doc = "The qaq-server Unix domain socket to watch." in
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let interval =
+    let doc = "Seconds between refreshes." in
+    Arg.(value & opt float 2.0 & info [ "interval"; "i" ] ~docv:"SECONDS" ~doc)
+  in
+  let count =
+    let doc = "Number of refreshes (0 = until interrupted)." in
+    Arg.(value & opt int 0 & info [ "count"; "n" ] ~docv:"N" ~doc)
+  in
+  let doc = "Watch a running qaq-server's rolling per-tenant SLOs live." in
+  Cmd.v (Cmd.info "watch" ~doc) Term.(const watch_run $ socket $ interval $ count)
+
 (* ---- main --------------------------------------------------------- *)
 
 let () =
@@ -732,5 +847,5 @@ let () =
        (Cmd.group info
           [
             solve_cmd; trial_cmd; dataset_cmd; convert_cmd; query_cmd;
-            tables_cmd; regions_cmd;
+            tables_cmd; regions_cmd; watch_cmd;
           ]))

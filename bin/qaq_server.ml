@@ -1,24 +1,15 @@
 (* qaq-server — a long-running multi-query QaQ front end.
 
-   The server owns one synthetic dataset and one cross-query
-   Probe_broker over it; clients register quality-aware queries (each
-   with its own seed, requirements and tenant) and run them as a
-   concurrent batch through Engine.execute_many, every query drawing on
-   the shared probe capacity through its own broker client.  Responses
-   report each query's quality guarantees next to the broker's
-   hit/dedup statistics, so the saving from shared probing is visible
-   per batch.
-
-   Line protocol (one request per line; key=value tokens):
-
-     QUERY [tenant=T] [seed=N] [p=0.9] [r=0.6] [l=50] [quota=N]
-                  register a query           -> QUEUED id=...
-     RUN          run every queued query     -> RESULT ... lines, DONE ...
-     STATS        broker lifetime statistics -> STATS ...
-     TENANTS      per-tenant statistics      -> TENANT ... lines, OK
-     METRICS      the qaq.broker.* metrics registry as one JSON line
-     HELP         this summary
-     QUIT         close the session          -> BYE
+   A thin cmdliner wrapper over Server_core: the server owns one
+   synthetic dataset and one cross-query Probe_broker over it; clients
+   register quality-aware queries (each with its own seed, requirements
+   and tenant) and run them as a concurrent batch through
+   Engine.execute_many, every query drawing on the shared probe
+   capacity through its own broker client.  Live telemetry — trace IDs
+   on every query, a flight recorder with anomaly dumps, rolling
+   per-tenant SLO windows behind HEALTH/SLO/RECORDER — is wired by the
+   library; this file only parses flags (see Server_core for the line
+   protocol).
 
    By default the server speaks on stdin/stdout; --socket PATH listens
    on a Unix domain socket instead and serves connections one at a
@@ -26,265 +17,57 @@
 
 open Cmdliner
 
-type admission = Degrade | Reject
-
-type pending = {
-  id : int;
-  tenant : string;
-  seed : int;
-  quota : int option;
-  requirements : Quality.requirements;
-}
-
-type server = {
-  data : Synthetic.obj array;
-  broker : Synthetic.obj Probe_broker.t;
-  obs : Obs.t;
-  admission : admission;
-  domains : int option;
-  mutable queue : pending list;  (* newest first *)
-  mutable next_id : int;
-  mutable next_seed : int;
-}
-
-let pr out fmt =
-  Printf.ksprintf
-    (fun line ->
-      output_string out line;
-      output_char out '\n';
-      flush out)
-    fmt
-
-let print_stats out label (s : Probe_broker.stats) =
-  pr out
-    "%s requests=%d admitted=%d charged=%d failed=%d coalesced=%d fresh=%d \
-     rejected=%d batches=%d"
-    label s.requests s.admitted s.charged s.failed s.coalesced s.fresh_hits
-    s.rejected s.batches
-
-(* key=value tokens; bare tokens are errors the client can see. *)
-let parse_kvs tokens =
-  List.fold_left
-    (fun acc tok ->
-      match acc with
-      | Error _ as e -> e
-      | Ok kvs -> (
-          match String.index_opt tok '=' with
-          | Some i ->
-              Ok
-                ((String.sub tok 0 i,
-                  String.sub tok (i + 1) (String.length tok - i - 1))
-                :: kvs)
-          | None -> Error tok))
-    (Ok []) tokens
-
-let handle_query srv out tokens =
-  match parse_kvs tokens with
-  | Error tok -> pr out "ERR expected key=value, got %S" tok
-  | Ok kvs -> (
-      let find k = List.assoc_opt k kvs in
-      let float_of k default =
-        match find k with Some v -> float_of_string_opt v | None -> Some default
-      in
-      let tenant = Option.value (find "tenant") ~default:"default" in
-      let seed =
-        match find "seed" with
-        | Some v -> int_of_string_opt v
-        | None ->
-            let s = srv.next_seed in
-            srv.next_seed <- s + 1;
-            Some s
-      in
-      let quota =
-        match find "quota" with
-        | Some v -> Option.map Option.some (int_of_string_opt v)
-        | None -> Some None
-      in
-      match
-        (seed, quota, float_of "p" 0.9, float_of "r" 0.6, float_of "l" 50.0)
-      with
-      | Some seed, Some quota, Some p, Some r, Some l -> (
-          match Quality.requirements ~precision:p ~recall:r ~laxity:l with
-          | requirements ->
-              let id = srv.next_id in
-              srv.next_id <- id + 1;
-              srv.queue <-
-                { id; tenant; seed; quota; requirements } :: srv.queue;
-              pr out "QUEUED id=%d tenant=%s seed=%d p=%g r=%g l=%g" id tenant
-                seed p r l
-          | exception Invalid_argument msg -> pr out "ERR %s" msg)
-      | _ -> pr out "ERR malformed QUERY arguments")
-
-let handle_run srv out =
-  let queued = Array.of_list (List.rev srv.queue) in
-  srv.queue <- [];
-  if Array.length queued = 0 then pr out "DONE queries=0"
-  else if srv.admission = Reject && Probe_broker.saturated srv.broker then
-    (* Admission at the front door: a saturated broker would only
-       degrade every probe, so refuse the batch outright and leave the
-       shared capacity to coalesced/fresh traffic. *)
-    Array.iter
-      (fun q -> pr out "REJECTED id=%d tenant=%s saturated" q.id q.tenant)
-      queued
-  else begin
-    let before = Probe_broker.stats srv.broker in
-    let queries =
-      Array.map
-        (fun q ->
-          Engine.query ~rng:(Rng.create q.seed)
-            ~probe:(Probe_broker.client ~tenant:q.tenant ?quota:q.quota
-                      srv.broker)
-            ~instance:Synthetic.instance ~requirements:q.requirements srv.data)
-        queued
-    in
-    let results = Engine.execute_many ?domains:srv.domains queries in
-    Array.iteri
-      (fun i result ->
-        let q = queued.(i) in
-        let report = result.Engine.report in
-        let g = report.Operator.guarantees in
-        let d = result.Engine.degradation in
-        pr out
-          "RESULT id=%d tenant=%s seed=%d answer=%d precision=%.4f \
-           recall=%.4f laxity=%.4f met=%b probes=%d batches=%d failed=%d \
-           degraded=%b cost=%.4f"
-          q.id q.tenant q.seed report.Operator.answer_size
-          g.Quality.precision g.Quality.recall g.Quality.max_laxity
-          d.Engine.requirements_met
-          result.Engine.counts.Cost_meter.probes
-          result.Engine.counts.Cost_meter.batches d.Engine.failed_probes
-          (Engine.degraded result) result.Engine.normalized_cost)
-      results;
-    let after = Probe_broker.stats srv.broker in
-    pr out
-      "DONE queries=%d charged=%d coalesced=%d fresh=%d rejected=%d \
-       batches=%d"
-      (Array.length results)
-      (after.charged - before.charged)
-      (after.coalesced - before.coalesced)
-      (after.fresh_hits - before.fresh_hits)
-      (after.rejected - before.rejected)
-      (after.batches - before.batches)
-  end
-
-let help out =
-  pr out
-    "OK commands: QUERY [tenant=T] [seed=N] [p=] [r=] [l=] [quota=N] | RUN | \
-     STATS | TENANTS | METRICS | HELP | QUIT"
-
-(* One session over a channel pair; returns [`Quit] when the client
-   asked to stop the server, [`Eof] when the stream just ended. *)
-let serve srv inc out =
-  let rec loop () =
-    match input_line inc with
-    | exception End_of_file -> `Eof
-    | line -> (
-        let tokens =
-          String.split_on_char ' ' (String.trim line)
-          |> List.filter (fun s -> s <> "")
-        in
-        match tokens with
-        | [] -> loop ()
-        | cmd :: args -> (
-            match (String.uppercase_ascii cmd, args) with
-            | "QUERY", args ->
-                handle_query srv out args;
-                loop ()
-            | "RUN", [] ->
-                handle_run srv out;
-                loop ()
-            | "STATS", [] ->
-                print_stats out "STATS" (Probe_broker.stats srv.broker);
-                loop ()
-            | "TENANTS", [] ->
-                List.iter
-                  (fun (name, s) ->
-                    print_stats out (Printf.sprintf "TENANT %s" name) s)
-                  (Probe_broker.tenant_stats srv.broker);
-                pr out "OK";
-                loop ()
-            | "METRICS", [] ->
-                pr out "%s" (Metrics.to_json (Obs.snapshot srv.obs));
-                loop ()
-            | "HELP", _ ->
-                help out;
-                loop ()
-            | "QUIT", [] ->
-                pr out "BYE";
-                `Quit
-            | _ ->
-                pr out "ERR unknown command %S (try HELP)" line;
-                loop ()))
-  in
-  loop ()
-
-let serve_socket srv path =
-  (try Unix.unlink path with Unix.Unix_error _ -> ());
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.bind sock (Unix.ADDR_UNIX path);
-  Unix.listen sock 8;
-  Printf.eprintf "qaq-server: listening on %s\n%!" path;
-  let rec accept_loop () =
-    let client, _ = Unix.accept sock in
-    let inc = Unix.in_channel_of_descr client in
-    let out = Unix.out_channel_of_descr client in
-    let verdict = try serve srv inc out with End_of_file -> `Eof in
-    (try Unix.close client with Unix.Unix_error _ -> ());
-    match verdict with `Quit -> () | `Eof -> accept_loop ()
-  in
-  Fun.protect
-    ~finally:(fun () ->
-      (try Unix.close sock with Unix.Unix_error _ -> ());
-      try Unix.unlink path with Unix.Unix_error _ -> ())
-    accept_loop
-
 let admission_conv =
   let parse = function
-    | "degrade" -> Ok Degrade
-    | "reject" -> Ok Reject
+    | "degrade" -> Ok Server_core.Degrade
+    | "reject" -> Ok Server_core.Reject
     | s -> Error (`Msg (Printf.sprintf "unknown admission mode %S" s))
   in
   let print ppf m =
     Format.pp_print_string ppf
-      (match m with Degrade -> "degrade" | Reject -> "reject")
+      (match m with
+      | Server_core.Degrade -> "degrade"
+      | Server_core.Reject -> "reject")
   in
   Arg.conv (parse, print)
 
 let run seed total f_y f_m max_laxity batch capacity freshness probe_ms
-    admission domains socket =
-  let cfg = Synthetic.config ~total ~f_y ~f_m ~max_laxity () in
-  let data = Synthetic.generate (Rng.create seed) cfg in
-  let obs = Obs.create () in
-  let latency = probe_ms /. 1000.0 in
-  let resolve objs =
-    if latency > 0.0 then Unix.sleepf latency;
-    Array.map (fun o -> Probe_driver.Resolved (Synthetic.probe o)) objs
-  in
-  let broker =
-    Probe_broker.create ~obs ~freshness ?capacity ~batch_size:batch
-      ~key:(fun (o : Synthetic.obj) -> o.Synthetic.id)
-      resolve
-  in
-  let srv =
+    admission domains fault_rate fault_seed breaker recorder recorder_dir
+    window prom trace socket =
+  let cfg =
     {
-      data;
-      broker;
-      obs;
-      admission;
-      domains;
-      queue = [];
-      next_id = 0;
-      next_seed = seed + 1;
+      Server_core.c_seed = seed;
+      c_total = total;
+      c_f_y = f_y;
+      c_f_m = f_m;
+      c_max_laxity = max_laxity;
+      c_batch = batch;
+      c_capacity = capacity;
+      c_freshness = freshness;
+      c_probe_ms = probe_ms;
+      c_admission = admission;
+      c_domains = domains;
+      c_fault_rate = fault_rate;
+      c_fault_seed = fault_seed;
+      c_breaker = breaker;
+      c_recorder = recorder;
+      c_recorder_dir = recorder_dir;
+      c_window = window;
+      c_prom = prom;
+      c_trace = trace;
     }
   in
+  let srv = Server_core.create cfg in
   match socket with
-  | Some path -> serve_socket srv path
+  | Some path -> Server_core.serve_socket srv path
   | None ->
       Printf.eprintf
         "qaq-server: %d objects, batch %d, admission %s (HELP for commands)\n%!"
         total batch
-        (match admission with Degrade -> "degrade" | Reject -> "reject");
-      ignore (serve srv stdin stdout)
+        (match admission with
+        | Server_core.Degrade -> "degrade"
+        | Server_core.Reject -> "reject");
+      ignore (Server_core.serve srv stdin stdout)
 
 let cmd =
   let seed =
@@ -342,13 +125,58 @@ let cmd =
        probes beyond capacity fail into guarantee-aware fallbacks) or \
        reject (refuse the batch outright)."
     in
-    Arg.(value & opt admission_conv Degrade & info [ "admission" ] ~doc)
+    Arg.(value & opt admission_conv Server_core.Degrade & info [ "admission" ] ~doc)
   in
   let domains =
     let doc =
       "Domains for RUN (default: one per queued query, capped at 16)."
     in
     Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+  in
+  let fault_rate =
+    let doc =
+      "Probability a backend probe fails permanently (deterministic per \
+       --fault-seed).  Default 0: no injection."
+    in
+    Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"P" ~doc)
+  in
+  let fault_seed =
+    let doc = "Fault-injection seed." in
+    Arg.(value & opt int 1337 & info [ "fault-seed" ] ~doc)
+  in
+  let breaker =
+    let doc = "Put a circuit breaker on the broker's backend dispatch." in
+    Arg.(value & flag & info [ "breaker" ] ~doc)
+  in
+  let recorder =
+    let doc =
+      "Flight-recorder ring capacity (recent trace events kept per query \
+       and globally).  0 disables the recorder."
+    in
+    Arg.(value & opt int 256 & info [ "recorder" ] ~docv:"N" ~doc)
+  in
+  let recorder_dir =
+    let doc =
+      "Directory automatic anomaly dumps are written to as chrome-trace \
+       JSON files (they stay queryable over RECORDER regardless)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "recorder-dir" ] ~docv:"DIR" ~doc)
+  in
+  let window =
+    let doc = "Rolling SLO window in seconds (HEALTH and SLO verbs)." in
+    Arg.(value & opt float 60.0 & info [ "window" ] ~docv:"SECONDS" ~doc)
+  in
+  let prom =
+    let doc =
+      "Write a Prometheus text exposition (cumulative metrics + the \
+       windowed qaq_slo_* family) to this file after every RUN."
+    in
+    Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"PATH" ~doc)
+  in
+  let trace =
+    let doc = "Format every trace event to stderr (debugging)." in
+    Arg.(value & flag & info [ "trace" ] ~doc)
   in
   let socket =
     let doc = "Listen on a Unix domain socket instead of stdin/stdout." in
@@ -359,6 +187,7 @@ let cmd =
     (Cmd.info "qaq-server" ~version:"1.0.0" ~doc)
     Term.(
       const run $ seed $ total $ f_y $ f_m $ max_laxity $ batch $ capacity
-      $ freshness $ probe_ms $ admission $ domains $ socket)
+      $ freshness $ probe_ms $ admission $ domains $ fault_rate $ fault_seed
+      $ breaker $ recorder $ recorder_dir $ window $ prom $ trace $ socket)
 
 let () = exit (Cmd.eval cmd)

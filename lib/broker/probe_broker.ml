@@ -35,6 +35,7 @@ type tenant = {
 }
 
 type instruments = {
+  m_registry : Metrics.t;  (* for grouping related increments *)
   m_requests : Metrics.counter;
   m_admitted : Metrics.counter;
   m_charged : Metrics.counter;
@@ -105,6 +106,7 @@ let create ?obs ?clock ?(freshness = infinity) ?capacity ?breaker
     Option.map
       (fun o ->
         {
+          m_registry = Obs.metrics o;
           m_requests = Obs.counter o Obs.Keys.broker_requests;
           m_admitted = Obs.counter o Obs.Keys.broker_admitted;
           m_charged = Obs.counter o Obs.Keys.broker_charged;
@@ -198,6 +200,17 @@ let admissible t tn =
 
 let note t f = match t.ins with Some i -> f i | None -> ()
 
+(* Related increments (a request plus its outcome) done as one
+   indivisible step against the registry, so a concurrent
+   [Metrics.snapshot] always sees the broker identity
+   [requests = admitted + coalesced + fresh_hits + rejected] intact.
+   Lock order is broker lock, then registry lock; metrics code never
+   calls back into the broker, so no cycle. *)
+let note_atomic t f =
+  match t.ins with
+  | Some i -> Metrics.atomically i.m_registry (fun () -> f i)
+  | None -> ()
+
 (* Pack one backend batch: drain tenant queues round-robin, one request
    per tenant per pass, starting after wherever the last dispatch
    stopped — per-tenant FIFO, cross-tenant fair. *)
@@ -246,18 +259,33 @@ let settle t rq outcome =
       Metrics.observe i.h_wait (Float.max 0.0 (now -. rq.rq_enqueued_at)));
   List.iter (fun k -> k outcome) (List.rev rq.rq_waiters)
 
+(* Emit a breaker transition onto the dispatching caller's trace sink.
+   The sink is the *caller's* (typically stamped with that query's
+   trace ID), so the flight recorder can attribute the trip to the
+   query whose dispatch observed it. *)
+let breaker_transition ~trace ~round before after =
+  if before <> after && Trace.enabled trace then
+    Trace.emit trace
+      (Trace.Breaker { state = Circuit_breaker.state_name after; round })
+
 (* One backend round.  Called with the lock held and [dispatching]
    false; returns with the lock held and [dispatching] false again,
    having broadcast.  The resolver itself runs unlocked — only the
-   [dispatching] flag keeps it single-threaded. *)
-let dispatch_round t =
+   [dispatching] flag keeps it single-threaded.  [trace] is the
+   dispatching caller's sink; breaker state changes this round causes
+   are emitted there. *)
+let dispatch_round ?(trace = Trace.null) t =
   t.dispatching <- true;
   let batch = take_batch t in
   let round = t.rounds in
   t.rounds <- t.rounds + 1;
   let allowed =
     match t.breaker with
-    | Some b -> Circuit_breaker.allow b ~round
+    | Some b ->
+        let before = Circuit_breaker.state b in
+        let allowed = Circuit_breaker.allow b ~round in
+        breaker_transition ~trace ~round before (Circuit_breaker.state b);
+        allowed
     | None -> true
   in
   (if not allowed then
@@ -300,9 +328,11 @@ let dispatch_round t =
            outcomes;
          (match t.breaker with
          | Some b ->
+             let before = Circuit_breaker.state b in
              if !any_resolved then Circuit_breaker.record_success b ~round
              else if Array.length batch > 0 then
-               Circuit_breaker.record_failure b ~round
+               Circuit_breaker.record_failure b ~round;
+             breaker_transition ~trace ~round before (Circuit_breaker.state b)
          | None -> ())
      | Error (e, bt) ->
          (* A raising resolver would strand every waiter; settle the
@@ -321,7 +351,7 @@ let dispatch_round t =
 
 (* ---- the client path --------------------------------------------- *)
 
-let resolve_many t ~tenant objects =
+let resolve_many ?trace t ~tenant objects =
   let n = Array.length objects in
   let results = Array.make n None in
   let remaining = ref n in
@@ -333,16 +363,20 @@ let resolve_many t ~tenant objects =
       let k = t.key o in
       t.s_requests <- t.s_requests + 1;
       tn.tn_requests <- tn.tn_requests + 1;
-      note t (fun ins -> Metrics.incr ins.m_requests);
       let deliver oc =
         results.(i) <- Some oc;
         decr remaining
       in
+      (* Each arm below records the request *and* its outcome in one
+         atomic metrics group — a concurrent snapshot never sees a
+         request without its classification. *)
       match fresh_lookup t k now with
       | Some oc ->
           t.s_fresh <- t.s_fresh + 1;
           tn.tn_fresh <- tn.tn_fresh + 1;
-          note t (fun ins -> Metrics.incr ins.m_fresh);
+          note_atomic t (fun ins ->
+              Metrics.incr ins.m_requests;
+              Metrics.incr ins.m_fresh);
           deliver oc
       | None -> (
           match Hashtbl.find_opt t.inflight k with
@@ -351,7 +385,9 @@ let resolve_many t ~tenant objects =
                  object: one probe, fanned out. *)
               t.s_coalesced <- t.s_coalesced + 1;
               tn.tn_coalesced <- tn.tn_coalesced + 1;
-              note t (fun ins -> Metrics.incr ins.m_coalesced);
+              note_atomic t (fun ins ->
+                  Metrics.incr ins.m_requests;
+                  Metrics.incr ins.m_coalesced);
               rq.rq_waiters <- deliver :: rq.rq_waiters
           | None ->
               if not (admissible t tn) then begin
@@ -359,13 +395,17 @@ let resolve_many t ~tenant objects =
                    the operator's fallback already understands. *)
                 t.s_rejected <- t.s_rejected + 1;
                 tn.tn_rejected <- tn.tn_rejected + 1;
-                note t (fun ins -> Metrics.incr ins.m_rejected);
+                note_atomic t (fun ins ->
+                    Metrics.incr ins.m_requests;
+                    Metrics.incr ins.m_rejected);
                 deliver (Probe_driver.Failed { attempts = 0 })
               end
               else begin
                 t.s_admitted <- t.s_admitted + 1;
                 tn.tn_admitted <- tn.tn_admitted + 1;
-                note t (fun ins -> Metrics.incr ins.m_admitted);
+                note_atomic t (fun ins ->
+                    Metrics.incr ins.m_requests;
+                    Metrics.incr ins.m_admitted);
                 let rq =
                   {
                     rq_obj = o;
@@ -386,7 +426,7 @@ let resolve_many t ~tenant objects =
      own requests), otherwise wait for the in-flight round. *)
   (try
      while !remaining > 0 do
-       if (not t.dispatching) && t.queued > 0 then dispatch_round t
+       if (not t.dispatching) && t.queued > 0 then dispatch_round ?trace t
        else Condition.wait t.cond t.lock
      done
    with e ->
@@ -395,13 +435,18 @@ let resolve_many t ~tenant objects =
   Mutex.unlock t.lock;
   Array.map (function Some oc -> oc | None -> assert false) results
 
-let client ?(tenant = "default") ?quota t =
+let client ?obs ?(tenant = "default") ?quota t =
   (match quota with
   | Some q when q < 0 -> invalid_arg "Probe_broker.client: quota < 0"
   | _ -> ());
   register_quota t tenant quota;
-  Probe_driver.create_outcomes ~batch_size:t.bk_batch_size (fun objects ->
-      resolve_many t ~tenant objects)
+  (* [obs] here is the *query's* capability (its sink typically stamped
+     with the query's trace context by [Engine.execute_one]): the
+     driver's batch/failure events and any breaker transition observed
+     while this client is the dispatcher carry that attribution. *)
+  let trace = Option.map Obs.trace obs in
+  Probe_driver.create_outcomes ?obs ~batch_size:t.bk_batch_size
+    (fun objects -> resolve_many ?trace t ~tenant objects)
 
 let fetch ?(tenant = "default") t o = (resolve_many t ~tenant [| o |]).(0)
 

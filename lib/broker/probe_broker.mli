@@ -101,7 +101,8 @@ val of_source :
 
 val batch_size : 'o t -> int
 
-val client : ?tenant:string -> ?quota:int -> 'o t -> 'o Probe_driver.t
+val client :
+  ?obs:Obs.t -> ?tenant:string -> ?quota:int -> 'o t -> 'o Probe_driver.t
 (** [client t] is the broker as a per-query probe capability: a driver
     with the broker's batch size whose flushes resolve through the
     shared broker.  Hand one to {!Engine.execute} (or any
@@ -116,6 +117,15 @@ val client : ?tenant:string -> ?quota:int -> 'o t -> 'o Probe_driver.t
     tenant's clients; the tightest quota registered for a tenant wins).
     Beyond the quota, the tenant's new probe targets degrade like
     capacity exhaustion; other tenants are unaffected.
+
+    [obs] is the {e query's} observability capability: the client's
+    driver registers its per-query probe instruments there and emits
+    its batch/failure events on its trace sink — and when this client
+    happens to be the domain driving a dispatch round, any circuit
+    breaker state change that round causes is emitted on the same sink.
+    Pass a sink stamped with {!Trace.with_context} (as
+    [Engine.execute_one] does) and everything the query triggers
+    carries its trace ID.
 
     Each client must be used from one domain at a time.
     @raise Invalid_argument if [quota < 0]. *)

@@ -47,6 +47,7 @@ type 'o result = {
   degradation : degradation;
   budget : budget_summary option;
   profile : Profile.t option;
+  elapsed_seconds : float;
 }
 
 let degraded result = result.degradation.failed_probes > 0
@@ -180,6 +181,10 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
   | Some d when Float.is_nan d || d < 0.0 ->
       invalid_arg "Engine.execute: deadline must be non-negative"
   | _ -> ());
+  let run_clock =
+    match obs with Some o -> Obs.clock o | None -> Span.default_clock
+  in
+  let run_start = run_clock () in
   let allotted = match budget with Some b -> b | None -> infinity in
   (* [budget = infinity] takes exactly the unbudgeted paths (primal
      planning, no stop condition) so it is bit-for-bit identical to an
@@ -427,6 +432,23 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
                   budget_summary)
              ?ground_truth ?reconcile_error ())
   in
+  let degradation = degradation_of_report ~cost ~batch ~requirements report in
+  (* The audit shortfall surfaces on the trace so the server's flight
+     recorder can treat "finished but below the requested quality" as
+     an anomaly; deterministic per run, so domain-count determinism
+     tests still see identical event streams. *)
+  (match obs with
+  | Some o when Obs.tracing o && not degradation.requirements_met ->
+      let g = report.Operator.guarantees in
+      Obs.event o
+        (Trace.Shortfall
+           {
+             requested_precision = requirements.Quality.precision;
+             requested_recall = requirements.Quality.recall;
+             guaranteed_precision = g.Quality.precision;
+             guaranteed_recall = g.Quality.recall;
+           })
+  | _ -> ());
   {
     report;
     plan;
@@ -436,9 +458,10 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
        else
          Cost_meter.cost_of_counts cost counts
          /. float_of_int (Array.length data));
-    degradation = degradation_of_report ~cost ~batch ~requirements report;
+    degradation;
     budget = budget_summary;
     profile;
+    elapsed_seconds = run_clock () -. run_start;
   }
 
 let execute ~rng ?(planning = default_planning) ?(adaptive = false)
@@ -461,6 +484,11 @@ let execute ~rng ?(planning = default_planning) ?(adaptive = false)
 
 (* ---- concurrent multi-query execution ----------------------------- *)
 
+(* Trace IDs are minted process-wide so every query a server ever runs
+   gets a distinct ID regardless of which batch or domain it lands on. *)
+let trace_ids = Atomic.make 1
+let next_trace_id () = Atomic.fetch_and_add trace_ids 1
+
 type 'o query = {
   q_rng : Rng.t;
   q_planning : planning;
@@ -470,6 +498,9 @@ type 'o query = {
   q_max_laxity : float option;
   q_budget : float option;
   q_deadline : float option;
+  q_obs : Obs.t option;
+  q_tenant : string option;
+  q_id : int;
   q_instance : 'o Operator.instance;
   q_probe : 'o Probe_driver.t;
   q_requirements : Quality.requirements;
@@ -477,8 +508,8 @@ type 'o query = {
 }
 
 let query ~rng ?(planning = default_planning) ?(adaptive = false)
-    ?(cost = Cost_model.paper) ?batch ?max_laxity ?budget ?deadline ~instance
-    ~probe ~requirements data =
+    ?(cost = Cost_model.paper) ?batch ?max_laxity ?budget ?deadline ?obs
+    ?tenant ?trace_id ~instance ~probe ~requirements data =
   {
     q_rng = rng;
     q_planning = planning;
@@ -488,19 +519,29 @@ let query ~rng ?(planning = default_planning) ?(adaptive = false)
     q_max_laxity = max_laxity;
     q_budget = budget;
     q_deadline = deadline;
+    q_obs = obs;
+    q_tenant = tenant;
+    q_id = (match trace_id with Some i -> i | None -> next_trace_id ());
     q_instance = instance;
     q_probe = probe;
     q_requirements = requirements;
     q_data = data;
   }
 
+let trace_id q = q.q_id
+let query_context q = { Trace.query = Some q.q_id; tenant = q.q_tenant }
+
 let execute_one (q : 'o query) =
   (* Each query is pinned to one lane ([domains:1]): no nested pools,
      and [QAQ_DOMAINS] steers [execute] call sites, not the inner runs
-     of an already-parallel batch. *)
+     of an already-parallel batch.  A supplied observability capability
+     is re-stamped so every event this query emits — through the
+     operator, the probe driver, and any broker the driver feeds —
+     carries its trace ID and tenant. *)
+  let obs = Option.map (fun o -> Obs.with_context o (query_context q)) q.q_obs in
   execute ~rng:q.q_rng ~planning:q.q_planning ~adaptive:q.q_adaptive
     ~cost:q.q_cost ?batch:q.q_batch ?max_laxity:q.q_max_laxity
-    ?budget:q.q_budget ?deadline:q.q_deadline ~domains:1
+    ?budget:q.q_budget ?deadline:q.q_deadline ~domains:1 ?obs
     ~instance:q.q_instance ~probe:q.q_probe ~requirements:q.q_requirements
     q.q_data
 

@@ -95,6 +95,10 @@ type 'o result = {
       (** present iff [?budget] or [?deadline] was passed *)
   profile : Profile.t option;
       (** present iff [?profile] was passed to {!execute} *)
+  elapsed_seconds : float;
+      (** end-to-end wall time of the run on the observability clock
+          (the default clock without [?obs]) — for latency SLOs; not
+          part of the deterministic answer *)
 }
 
 val degraded : 'o result -> bool
@@ -284,6 +288,9 @@ val query :
   ?max_laxity:float ->
   ?budget:float ->
   ?deadline:float ->
+  ?obs:Obs.t ->
+  ?tenant:string ->
+  ?trace_id:int ->
   instance:'o Operator.instance ->
   probe:'o Probe_driver.t ->
   requirements:Quality.requirements ->
@@ -293,7 +300,25 @@ val query :
     must own its [rng] and its [probe] driver (drivers are confined to
     one domain at a time) — to run many queries against shared probe
     capacity, give each one its own [Probe_broker.client] of a common
-    broker. *)
+    broker.
+
+    Every query carries a process-unique trace ID — [trace_id] to
+    supply one minted earlier (e.g. with {!next_trace_id}, so a broker
+    client built before the query can share it), otherwise minted here.
+    When [obs] is given, {!execute_one} re-stamps its trace sink with
+    a {!Trace.context} holding the ID and [tenant], so every event the
+    query emits is attributed; the metrics registry is shared as-is
+    (it is concurrency-safe). *)
+
+val next_trace_id : unit -> int
+(** Mint a fresh query trace ID (process-wide atomic counter). *)
+
+val trace_id : 'o query -> int
+(** The ID this query's events are stamped with. *)
+
+val query_context : 'o query -> Trace.context
+(** The exact context {!execute_one} stamps: the query's trace ID and
+    tenant. *)
 
 val execute_many : ?domains:int -> 'o query array -> 'o result array
 (** Run every query, concurrently when [domains > 1], and return their

@@ -65,6 +65,11 @@ let create ?obs ?(trip_after = 3) ?(backoff_base = 2) ?(backoff_factor = 2.0)
 
 let state t = t.state
 
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
 let allow t ~round =
   match t.state with
   | Closed | Half_open -> true

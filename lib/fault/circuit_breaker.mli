@@ -36,6 +36,10 @@ val create :
 
 val state : t -> state
 
+val state_name : state -> string
+(** ["closed"] / ["open"] / ["half-open"] — the strings
+    {!Trace.Breaker} events carry. *)
+
 val allow : t -> round:int -> bool
 (** Whether a probe round may run at [round].  Closed and half-open
     always allow; open refuses until [round] reaches the end of the

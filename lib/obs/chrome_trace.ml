@@ -2,9 +2,12 @@
    Domain_pool task hook feeding one event list, exported in the
    trace-event format chrome://tracing and Perfetto load directly.
    Spans become complete ("X") slices, per-lane pool tasks become slices
-   on their lane's tid, everything else becomes instants on lane 0 (the
-   sequential decision loop).  The recorder is mutex-guarded because the
-   task hook fires on worker domains. *)
+   on their lane's tid, and everything else becomes instants — on lane 0
+   (the sequential decision loop) when uncorrelated, or on a dedicated
+   per-query row (tid 1000 + trace ID) when the event carries a
+   {!Trace.context}, so one tenant's query can be read out of
+   interleaved server traffic.  The recorder is mutex-guarded because
+   the task hook fires on worker domains. *)
 
 type entry = {
   e_name : string;
@@ -21,10 +24,22 @@ type t = {
   mutex : Mutex.t;
   mutable entries : entry list;  (* newest first *)
   mutable lanes : int;
+  query_names : (int, string) Hashtbl.t;  (* tid -> row label *)
 }
 
+(* Per-query rows live far above any plausible pool lane count. *)
+let query_tid_base = 1000
+let query_tid q = query_tid_base + q
+
 let create ?(clock = Span.default_clock) () =
-  { clock; epoch = clock (); mutex = Mutex.create (); entries = []; lanes = 1 }
+  {
+    clock;
+    epoch = clock ();
+    mutex = Mutex.create ();
+    entries = [];
+    lanes = 1;
+    query_names = Hashtbl.create 8;
+  }
 
 let record t e =
   Mutex.lock t.mutex;
@@ -36,11 +51,6 @@ let declare_lanes t n =
   Mutex.lock t.mutex;
   t.lanes <- Stdlib.max t.lanes n;
   Mutex.unlock t.mutex
-
-let instant t name args =
-  record t
-    { e_name = name; e_ph = `Instant; e_tid = 0; e_ts = t.clock (); e_dur = 0.0;
-      e_args = args }
 
 let on_task t ~lane ~start ~finish =
   record t
@@ -58,66 +68,128 @@ let jstr s = "\"" ^ Metrics.json_escape s ^ "\""
 let jfloat v =
   if Float.is_finite v then Printf.sprintf "%.17g" v else "null"
 
-let sink t =
-  Trace.callback (fun ev ->
-      match ev with
-      | Trace.Read { verdict } ->
-          instant t "read" [ ("verdict", jstr (Trace.verdict_name verdict)) ]
-      | Trace.Decision { verdict; action; laxity; success } ->
-          instant t "decision"
-            [
-              ("verdict", jstr (Trace.verdict_name verdict));
-              ("action", jstr (Trace.action_name action));
-              ("laxity", jfloat laxity);
-              ("success", jfloat success);
-            ]
-      | Trace.Probe_resolved -> instant t "probe-resolved" []
-      | Trace.Probe_failed { attempts } ->
-          instant t "probe-failed" [ ("attempts", string_of_int attempts) ]
-      | Trace.Degraded { verdict; action; forced } ->
-          instant t "degraded"
-            [
-              ("verdict", jstr (Trace.verdict_name verdict));
-              ("action", jstr (Trace.action_name action));
-              ("forced", string_of_bool forced);
-            ]
-      | Trace.Breaker { state; round } ->
-          instant t "breaker"
-            [ ("state", jstr state); ("round", string_of_int round) ]
-      | Trace.Batch { size } -> instant t "batch" [ ("size", string_of_int size) ]
-      | Trace.Early_termination { reads; recall } ->
-          instant t "early-termination"
-            [ ("reads", string_of_int reads); ("recall", jfloat recall) ]
-      | Trace.Budget_stop { reads; recall } ->
-          instant t "budget-stop"
-            [ ("reads", string_of_int reads); ("recall", jfloat recall) ]
-      | Trace.Replan { reads } ->
-          instant t "replan" [ ("reads", string_of_int reads) ]
-      | Trace.Phase { name; seconds } ->
-          (* A phase arrives at completion; reconstruct its start so it
-             renders as a slice covering the work. *)
-          let now = t.clock () in
-          record t
-            {
-              e_name = name;
-              e_ph = `Complete;
-              e_tid = 0;
-              e_ts = now -. (Float.max 0.0 seconds);
-              e_dur = Float.max 0.0 seconds;
-              e_args = [];
-            }
-      | Trace.Note s -> instant t "note" [ ("text", jstr s) ])
+let query_label q tenant =
+  match tenant with
+  | Some tn -> Printf.sprintf "query %d (%s)" q tn
+  | None -> Printf.sprintf "query %d" q
 
-let to_json t =
-  Mutex.lock t.mutex;
-  let entries = List.rev t.entries in
-  let lanes = t.lanes in
-  Mutex.unlock t.mutex;
+(* The one event -> (slice name, args) mapping, shared by the live sink
+   and the flight-recorder export so both dumps read identically.
+   [Phase] is absent: it renders as a slice, not an instant. *)
+let describe = function
+  | Trace.Read { verdict } ->
+      ("read", [ ("verdict", jstr (Trace.verdict_name verdict)) ])
+  | Trace.Decision { verdict; action; laxity; success } ->
+      ( "decision",
+        [
+          ("verdict", jstr (Trace.verdict_name verdict));
+          ("action", jstr (Trace.action_name action));
+          ("laxity", jfloat laxity);
+          ("success", jfloat success);
+        ] )
+  | Trace.Probe_resolved -> ("probe-resolved", [])
+  | Trace.Probe_failed { attempts } ->
+      ("probe-failed", [ ("attempts", string_of_int attempts) ])
+  | Trace.Degraded { verdict; action; forced } ->
+      ( "degraded",
+        [
+          ("verdict", jstr (Trace.verdict_name verdict));
+          ("action", jstr (Trace.action_name action));
+          ("forced", string_of_bool forced);
+        ] )
+  | Trace.Breaker { state; round } ->
+      ("breaker", [ ("state", jstr state); ("round", string_of_int round) ])
+  | Trace.Batch { size } -> ("batch", [ ("size", string_of_int size) ])
+  | Trace.Early_termination { reads; recall } ->
+      ( "early-termination",
+        [ ("reads", string_of_int reads); ("recall", jfloat recall) ] )
+  | Trace.Budget_stop { reads; recall } ->
+      ( "budget-stop",
+        [ ("reads", string_of_int reads); ("recall", jfloat recall) ] )
+  | Trace.Replan { reads } -> ("replan", [ ("reads", string_of_int reads) ])
+  | Trace.Shortfall
+      {
+        requested_precision;
+        requested_recall;
+        guaranteed_precision;
+        guaranteed_recall;
+      } ->
+      ( "shortfall",
+        [
+          ("requested_precision", jfloat requested_precision);
+          ("requested_recall", jfloat requested_recall);
+          ("guaranteed_precision", jfloat guaranteed_precision);
+          ("guaranteed_recall", jfloat guaranteed_recall);
+        ] )
+  | Trace.Phase { name; seconds } ->
+      (* Only reachable through [describe] from instant-style callers;
+         keep it total anyway. *)
+      ("phase:" ^ name, [ ("seconds", jfloat seconds) ])
+  | Trace.Note s -> ("note", [ ("text", jstr s) ])
+
+(* Context attribution rendered as explicit args so a dump is
+   self-describing even outside the viewer (the e2e anomaly test greps
+   these). *)
+let ctx_args (ctx : Trace.context) =
+  (match ctx.Trace.query with
+  | Some q -> [ ("query", string_of_int q) ]
+  | None -> [])
+  @
+  match ctx.Trace.tenant with
+  | Some tn -> [ ("tenant", jstr tn) ]
+  | None -> []
+
+(* Turn one contextful event at absolute time [ts] into an entry. *)
+let entry_of_event ts (ctx : Trace.context) ev =
+  let tid = match ctx.Trace.query with Some q -> query_tid q | None -> 0 in
+  match ev with
+  | Trace.Phase { name; seconds } ->
+      (* A phase arrives at completion; reconstruct its start so it
+         renders as a slice covering the work. *)
+      {
+        e_name = name;
+        e_ph = `Complete;
+        e_tid = tid;
+        e_ts = ts -. Float.max 0.0 seconds;
+        e_dur = Float.max 0.0 seconds;
+        e_args = ctx_args ctx;
+      }
+  | ev ->
+      let name, args = describe ev in
+      {
+        e_name = name;
+        e_ph = `Instant;
+        e_tid = tid;
+        e_ts = ts;
+        e_dur = 0.0;
+        e_args = args @ ctx_args ctx;
+      }
+
+let note_query t (ctx : Trace.context) =
+  match ctx.Trace.query with
+  | None -> ()
+  | Some q ->
+      let tid = query_tid q in
+      Mutex.lock t.mutex;
+      if not (Hashtbl.mem t.query_names tid) then
+        Hashtbl.add t.query_names tid (query_label q ctx.Trace.tenant);
+      Mutex.unlock t.mutex
+
+let sink t =
+  Trace.callback_ctx (fun ctx ev ->
+      note_query t ctx;
+      record t (entry_of_event (t.clock ()) ctx ev))
+
+(* Shared document renderer: lane metadata rows 0..lanes-1, one named
+   row per query tid, then every entry in timestamp order. *)
+let render ~epoch ~lanes ~query_names entries =
   let entries =
     List.stable_sort (fun a b -> Float.compare a.e_ts b.e_ts) entries
   in
-  let max_tid =
-    List.fold_left (fun m e -> Stdlib.max m e.e_tid) (lanes - 1) entries
+  let max_lane =
+    List.fold_left
+      (fun m e -> if e.e_tid < query_tid_base then Stdlib.max m e.e_tid else m)
+      (lanes - 1) entries
   in
   let b = Buffer.create 4096 in
   let first = ref true in
@@ -132,7 +204,7 @@ let to_json t =
      \"args\": {\"name\": \"qaq\"}}";
   (* Every configured lane is named up front, so the viewer shows a
      timeline row per lane even when a lane received no task. *)
-  for tid = 0 to max_tid do
+  for tid = 0 to max_lane do
     let label =
       if tid = 0 then "lane 0 (caller)" else Printf.sprintf "lane %d" tid
     in
@@ -142,9 +214,21 @@ let to_json t =
           \"thread_name\", \"args\": {\"name\": %s}}"
          tid (jstr label))
   done;
+  let named =
+    Hashtbl.fold (fun tid label acc -> (tid, label) :: acc) query_names []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  List.iter
+    (fun (tid, label) ->
+      emit
+        (Printf.sprintf
+           "{\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"name\": \
+            \"thread_name\", \"args\": {\"name\": %s}}"
+           tid (jstr label)))
+    named;
   List.iter
     (fun e ->
-      let ts = Float.max 0.0 ((e.e_ts -. t.epoch) *. 1e6) in
+      let ts = Float.max 0.0 ((e.e_ts -. epoch) *. 1e6) in
       let args =
         match e.e_args with
         | [] -> ""
@@ -171,6 +255,38 @@ let to_json t =
     entries;
   Buffer.add_string b "\n], \"displayTimeUnit\": \"ms\"}\n";
   Buffer.contents b
+
+let to_json t =
+  Mutex.lock t.mutex;
+  let entries = List.rev t.entries in
+  let lanes = t.lanes in
+  let query_names = Hashtbl.copy t.query_names in
+  Mutex.unlock t.mutex;
+  render ~epoch:t.epoch ~lanes ~query_names entries
+
+let json_of_entries ?epoch events =
+  let epoch =
+    match epoch with
+    | Some e -> e
+    | None ->
+        List.fold_left (fun m (ts, _, _) -> Float.min m ts) Float.infinity
+          events
+        |> fun m -> if Float.is_finite m then m else 0.0
+  in
+  let query_names = Hashtbl.create 8 in
+  let entries =
+    List.map
+      (fun (ts, ctx, ev) ->
+        (match ctx.Trace.query with
+        | Some q ->
+            let tid = query_tid q in
+            if not (Hashtbl.mem query_names tid) then
+              Hashtbl.add query_names tid (query_label q ctx.Trace.tenant)
+        | None -> ());
+        entry_of_event ts ctx ev)
+      events
+  in
+  render ~epoch ~lanes:1 ~query_names entries
 
 let write t path =
   let oc = open_out path in

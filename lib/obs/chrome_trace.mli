@@ -8,6 +8,11 @@
     lane — and everything else (reads, decisions, batches, replans) as
     instant markers on lane 0, where the sequential decision loop runs.
 
+    Events carrying a {!Trace.context} with a query trace ID render on
+    a dedicated per-query timeline row (tid [1000 + id], named
+    ["query N (tenant)"]) with explicit [query]/[tenant] args, so one
+    query's events read straight out of interleaved server traffic.
+
     The recorder is thread-safe: {!on_task} may fire from worker
     domains while lane 0 emits trace events. *)
 
@@ -41,3 +46,14 @@ val to_json : t -> string
 
 val write : t -> string -> unit
 (** [write t path] saves {!to_json} to [path]. *)
+
+val json_of_entries :
+  ?epoch:float -> (float * Trace.context * Trace.event) list -> string
+(** Render a bare list of timestamped, attributed events — e.g. a
+    flight-recorder dump — as a standalone chrome-trace document, with
+    the same per-query rows and args as the live {!sink}.  [epoch]
+    defaults to the earliest timestamp in the list, so the dump starts
+    at t=0. *)
+
+val query_tid : int -> int
+(** The timeline row a given query trace ID renders on ([1000 + id]). *)

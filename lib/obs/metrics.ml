@@ -1,5 +1,45 @@
-type counter = { c_name : string; mutable count : int }
-type gauge = { g_name : string; mutable level : float }
+(* --- registry lock ---------------------------------------------------- *)
+
+(* One recursive lock per registry, shared by every cell it owns: any
+   single update is atomic, [snapshot] sees no torn multi-metric states,
+   and [atomically] lets a caller group several updates (e.g. the
+   broker's requests + outcome pair) into one indivisible step.  OCaml
+   mutexes are not re-entrant, so re-entrancy is hand-rolled: the owner
+   records its domain id and recursion depth, and only the outermost
+   release unlocks.  The unlocked [owner = me] fast path is sound
+   because only the domain itself ever stores its own id there. *)
+type rlock = { rl_mutex : Mutex.t; mutable rl_owner : int; mutable rl_depth : int }
+
+let rlock_create () = { rl_mutex = Mutex.create (); rl_owner = -1; rl_depth = 0 }
+
+let rlock_acquire l =
+  let me = (Domain.self () :> int) in
+  if l.rl_owner = me then l.rl_depth <- l.rl_depth + 1
+  else begin
+    Mutex.lock l.rl_mutex;
+    l.rl_owner <- me;
+    l.rl_depth <- 1
+  end
+
+let rlock_release l =
+  l.rl_depth <- l.rl_depth - 1;
+  if l.rl_depth = 0 then begin
+    l.rl_owner <- -1;
+    Mutex.unlock l.rl_mutex
+  end
+
+let locked l f =
+  rlock_acquire l;
+  match f () with
+  | v ->
+      rlock_release l;
+      v
+  | exception e ->
+      rlock_release l;
+      raise e
+
+type counter = { c_name : string; mutable count : int; c_lock : rlock }
+type gauge = { g_name : string; mutable level : float; g_lock : rlock }
 
 (* --- histogram bucket layout ----------------------------------------- *)
 
@@ -32,6 +72,7 @@ type histogram = {
   mutable h_min : float;  (* +inf while empty *)
   mutable h_max : float;  (* -inf while empty *)
   h_buckets : int array;
+  h_lock : rlock;
 }
 
 type cell =
@@ -43,9 +84,17 @@ type t = {
   cells : (string, cell) Hashtbl.t;
   exposition : (string, string) Hashtbl.t;
       (* mangled Prometheus name -> owning metric name *)
+  lock : rlock;
 }
 
-let create () = { cells = Hashtbl.create 32; exposition = Hashtbl.create 32 }
+let create () =
+  {
+    cells = Hashtbl.create 32;
+    exposition = Hashtbl.create 32;
+    lock = rlock_create ();
+  }
+
+let atomically t f = locked t.lock f
 
 let prometheus_name name =
   String.map
@@ -71,69 +120,77 @@ let reserve t name mangled =
   Hashtbl.replace t.exposition mangled name
 
 let counter t name =
-  match Hashtbl.find_opt t.cells name with
-  | Some (Counter_cell c) -> c
-  | Some (Gauge_cell _) ->
-      invalid_arg ("Metrics.counter: " ^ name ^ " is registered as a gauge")
-  | Some (Histogram_cell _) ->
-      invalid_arg ("Metrics.counter: " ^ name ^ " is registered as a histogram")
-  | None ->
-      reserve t name (prometheus_name name);
-      let c = { c_name = name; count = 0 } in
-      Hashtbl.add t.cells name (Counter_cell c);
-      c
+  locked t.lock (fun () ->
+      match Hashtbl.find_opt t.cells name with
+      | Some (Counter_cell c) -> c
+      | Some (Gauge_cell _) ->
+          invalid_arg ("Metrics.counter: " ^ name ^ " is registered as a gauge")
+      | Some (Histogram_cell _) ->
+          invalid_arg
+            ("Metrics.counter: " ^ name ^ " is registered as a histogram")
+      | None ->
+          reserve t name (prometheus_name name);
+          let c = { c_name = name; count = 0; c_lock = t.lock } in
+          Hashtbl.add t.cells name (Counter_cell c);
+          c)
 
 let gauge t name =
-  match Hashtbl.find_opt t.cells name with
-  | Some (Gauge_cell g) -> g
-  | Some (Counter_cell _) ->
-      invalid_arg ("Metrics.gauge: " ^ name ^ " is registered as a counter")
-  | Some (Histogram_cell _) ->
-      invalid_arg ("Metrics.gauge: " ^ name ^ " is registered as a histogram")
-  | None ->
-      reserve t name (prometheus_name name);
-      let g = { g_name = name; level = 0.0 } in
-      Hashtbl.add t.cells name (Gauge_cell g);
-      g
+  locked t.lock (fun () ->
+      match Hashtbl.find_opt t.cells name with
+      | Some (Gauge_cell g) -> g
+      | Some (Counter_cell _) ->
+          invalid_arg ("Metrics.gauge: " ^ name ^ " is registered as a counter")
+      | Some (Histogram_cell _) ->
+          invalid_arg
+            ("Metrics.gauge: " ^ name ^ " is registered as a histogram")
+      | None ->
+          reserve t name (prometheus_name name);
+          let g = { g_name = name; level = 0.0; g_lock = t.lock } in
+          Hashtbl.add t.cells name (Gauge_cell g);
+          g)
 
 let histogram t name =
-  match Hashtbl.find_opt t.cells name with
-  | Some (Histogram_cell h) -> h
-  | Some (Counter_cell _) ->
-      invalid_arg ("Metrics.histogram: " ^ name ^ " is registered as a counter")
-  | Some (Gauge_cell _) ->
-      invalid_arg ("Metrics.histogram: " ^ name ^ " is registered as a gauge")
-  | None ->
-      let p = prometheus_name name in
-      (* A histogram exposes four series; reserve them all so a counter
-         named e.g. "<name>.count" cannot later alias "<name>_count". *)
-      reserve t name p;
-      reserve t name (p ^ "_bucket");
-      reserve t name (p ^ "_sum");
-      reserve t name (p ^ "_count");
-      let h =
-        {
-          h_name = name;
-          h_count = 0;
-          h_sum = 0.0;
-          h_min = Float.infinity;
-          h_max = Float.neg_infinity;
-          h_buckets = Array.make bucket_count 0;
-        }
-      in
-      Hashtbl.add t.cells name (Histogram_cell h);
-      h
+  locked t.lock (fun () ->
+      match Hashtbl.find_opt t.cells name with
+      | Some (Histogram_cell h) -> h
+      | Some (Counter_cell _) ->
+          invalid_arg
+            ("Metrics.histogram: " ^ name ^ " is registered as a counter")
+      | Some (Gauge_cell _) ->
+          invalid_arg
+            ("Metrics.histogram: " ^ name ^ " is registered as a gauge")
+      | None ->
+          let p = prometheus_name name in
+          (* A histogram exposes four series; reserve them all so a counter
+             named e.g. "<name>.count" cannot later alias "<name>_count". *)
+          reserve t name p;
+          reserve t name (p ^ "_bucket");
+          reserve t name (p ^ "_sum");
+          reserve t name (p ^ "_count");
+          let h =
+            {
+              h_name = name;
+              h_count = 0;
+              h_sum = 0.0;
+              h_min = Float.infinity;
+              h_max = Float.neg_infinity;
+              h_buckets = Array.make bucket_count 0;
+              h_lock = t.lock;
+            }
+          in
+          Hashtbl.add t.cells name (Histogram_cell h);
+          h)
 
-let incr c = c.count <- c.count + 1
+let incr c = locked c.c_lock (fun () -> c.count <- c.count + 1)
 
 let add c n =
   if n < 0 then invalid_arg "Metrics.add: negative increment";
-  c.count <- c.count + n
+  locked c.c_lock (fun () -> c.count <- c.count + n)
 
-let count c = c.count
+let count c = locked c.c_lock (fun () -> c.count)
 let counter_name c = c.c_name
-let set g v = g.level <- v
-let level g = g.level
+let set g v = locked g.g_lock (fun () -> g.level <- v)
+let level g = locked g.g_lock (fun () -> g.level)
 let gauge_name g = g.g_name
 
 let observe h v =
@@ -141,15 +198,16 @@ let observe h v =
      the call site, not a value to bucket. *)
   if not (Float.is_finite v) then invalid_arg "Metrics.observe: non-finite value";
   if v < 0.0 then invalid_arg "Metrics.observe: negative value";
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v;
-  let i = bucket_of v in
-  h.h_buckets.(i) <- h.h_buckets.(i) + 1
+  locked h.h_lock (fun () ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      let i = bucket_of v in
+      h.h_buckets.(i) <- h.h_buckets.(i) + 1)
 
 let histogram_name h = h.h_name
-let observations h = h.h_count
+let observations h = locked h.h_lock (fun () -> h.h_count)
 
 type dist = {
   d_count : int;
@@ -202,6 +260,21 @@ let quantile d q =
     Float.max d.d_min (Float.min d.d_max est)
   end
 
+let dist_observe d v =
+  if not (Float.is_finite v) then
+    invalid_arg "Metrics.dist_observe: non-finite value";
+  if v < 0.0 then invalid_arg "Metrics.dist_observe: negative value";
+  let buckets = Array.copy d.d_buckets in
+  let i = bucket_of v in
+  buckets.(i) <- buckets.(i) + 1;
+  {
+    d_count = d.d_count + 1;
+    d_sum = d.d_sum +. v;
+    d_min = Float.min d.d_min v;
+    d_max = Float.max d.d_max v;
+    d_buckets = buckets;
+  }
+
 let merge_dist a b =
   {
     d_count = a.d_count + b.d_count;
@@ -216,17 +289,21 @@ type value = Count of int | Level of float | Dist of dist
 type snapshot = (string * value) list
 
 let snapshot t =
-  Hashtbl.fold
-    (fun name cell acc ->
-      let v =
-        match cell with
-        | Counter_cell c -> Count c.count
-        | Gauge_cell g -> Level g.level
-        | Histogram_cell h -> Dist (dist_of_histogram h)
-      in
-      (name, v) :: acc)
-    t.cells []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  (* Under the registry lock: concurrent writers (and [atomically]
+     groups) either happened entirely before this capture or entirely
+     after it — no torn multi-metric states. *)
+  locked t.lock (fun () ->
+      Hashtbl.fold
+        (fun name cell acc ->
+          let v =
+            match cell with
+            | Counter_cell c -> Count c.count
+            | Gauge_cell g -> Level g.level
+            | Histogram_cell h -> Dist (dist_of_histogram h)
+          in
+          (name, v) :: acc)
+        t.cells []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b))
 
 let get s name = List.assoc_opt name s
 

@@ -16,9 +16,19 @@
     breaks the equality instead of silently skewing an experiment. *)
 
 type t
-(** A mutable registry. *)
+(** A mutable registry.  Concurrency-safe: every update and
+    {!snapshot} runs under one per-registry lock, so a snapshot taken
+    while other domains write never captures a torn state. *)
 
 val create : unit -> t
+
+val atomically : t -> (unit -> 'a) -> 'a
+(** [atomically t f] runs [f] holding the registry lock, so a group of
+    related updates (e.g. a request counter plus exactly one of its
+    outcome counters) becomes indivisible with respect to {!snapshot}
+    and other [atomically] blocks.  The lock is re-entrant: metric
+    operations inside [f] (including registration) are fine.  Keep [f]
+    short — it stalls every other writer on this registry. *)
 
 type counter
 (** A named monotonic integer counter. *)
@@ -96,6 +106,12 @@ val quantile : dist -> float -> float
     from the buckets: the geometric midpoint of the bucket holding the
     rank, clamped to the observed [min]/[max] — so a single observation
     is returned exactly.  [nan] when the capture is empty. *)
+
+val dist_observe : dist -> float -> dist
+(** Functional observe: a fresh capture with one more value recorded —
+    the building block for windowed (rolling) histograms that keep a
+    [dist] per time slice.
+    @raise Invalid_argument as for {!observe}. *)
 
 val merge_dist : dist -> dist -> dist
 (** Element-wise union of two captures (counts, sums and buckets add;

@@ -1,0 +1,116 @@
+(* Sliding-window metrics: counters and histograms that only remember
+   the last [window_seconds] of observations.
+
+   The window is [slices] fixed-duration slices addressed by absolute
+   slot number (floor (now / slice_seconds)); each cell remembers which
+   absolute slot it last served, and a writer landing on a cell from an
+   older slot resets it first — so stale data self-invalidates without
+   a sweeper thread.  Reads merge every cell whose slot still falls
+   inside the window.  Each instance carries its own mutex; instances
+   are cheap and independent. *)
+
+type spec = { slices : int; slice_seconds : float; clock : unit -> float }
+
+let spec ?(slices = 12) ?(clock = Span.default_clock) ~window_seconds () =
+  if slices < 1 then invalid_arg "Rolling.spec: slices < 1";
+  if not (Float.is_finite window_seconds) || window_seconds <= 0.0 then
+    invalid_arg "Rolling.spec: window_seconds must be finite and positive";
+  { slices; slice_seconds = window_seconds /. float_of_int slices; clock }
+
+let window_seconds s = s.slice_seconds *. float_of_int s.slices
+
+let abs_slot s now = int_of_float (Float.floor (now /. s.slice_seconds))
+
+(* --- counters --------------------------------------------------------- *)
+
+type cslot = { mutable c_slot : int; mutable c_value : float }
+
+type counter = {
+  c_spec : spec;
+  c_lock : Mutex.t;
+  c_cells : cslot array;  (* indexed by abs_slot mod slices *)
+}
+
+let counter s =
+  {
+    c_spec = s;
+    c_lock = Mutex.create ();
+    c_cells =
+      Array.init s.slices (fun _ -> { c_slot = min_int; c_value = 0.0 });
+  }
+
+let counter_add c v =
+  let s = c.c_spec in
+  let now = s.clock () in
+  let slot = abs_slot s now in
+  let cell = c.c_cells.(((slot mod s.slices) + s.slices) mod s.slices) in
+  Mutex.protect c.c_lock (fun () ->
+      if cell.c_slot <> slot then begin
+        cell.c_slot <- slot;
+        cell.c_value <- 0.0
+      end;
+      cell.c_value <- cell.c_value +. v)
+
+let counter_incr c = counter_add c 1.0
+
+let counter_total c =
+  let s = c.c_spec in
+  let now = s.clock () in
+  let newest = abs_slot s now in
+  let oldest = newest - s.slices + 1 in
+  Mutex.protect c.c_lock (fun () ->
+      Array.fold_left
+        (fun acc cell ->
+          if cell.c_slot >= oldest && cell.c_slot <= newest then
+            acc +. cell.c_value
+          else acc)
+        0.0 c.c_cells)
+
+let counter_rate c = counter_total c /. window_seconds c.c_spec
+
+(* --- histograms ------------------------------------------------------- *)
+
+type hslot = { mutable h_slot : int; mutable h_dist : Metrics.dist }
+
+type series = {
+  s_spec : spec;
+  s_lock : Mutex.t;
+  s_cells : hslot array;
+}
+
+let series s =
+  {
+    s_spec = s;
+    s_lock = Mutex.create ();
+    s_cells =
+      Array.init s.slices (fun _ ->
+          { h_slot = min_int; h_dist = Metrics.empty_dist });
+  }
+
+let series_observe sr v =
+  let s = sr.s_spec in
+  let now = s.clock () in
+  let slot = abs_slot s now in
+  let cell = sr.s_cells.(((slot mod s.slices) + s.slices) mod s.slices) in
+  Mutex.protect sr.s_lock (fun () ->
+      if cell.h_slot <> slot then begin
+        cell.h_slot <- slot;
+        cell.h_dist <- Metrics.empty_dist
+      end;
+      cell.h_dist <- Metrics.dist_observe cell.h_dist v)
+
+let series_dist sr =
+  let s = sr.s_spec in
+  let now = s.clock () in
+  let newest = abs_slot s now in
+  let oldest = newest - s.slices + 1 in
+  Mutex.protect sr.s_lock (fun () ->
+      Array.fold_left
+        (fun acc cell ->
+          if cell.h_slot >= oldest && cell.h_slot <= newest then
+            Metrics.merge_dist acc cell.h_dist
+          else acc)
+        Metrics.empty_dist sr.s_cells)
+
+let series_quantile sr q = Metrics.quantile (series_dist sr) q
+let series_count sr = (series_dist sr).Metrics.d_count

@@ -1,0 +1,56 @@
+(** Sliding-window metrics: counters and histograms remembering only
+    the last [window_seconds] of observations — the live view behind
+    the server's rolling SLO tracking, complementing the cumulative
+    {!Metrics} registry.
+
+    The window is [slices] equal slices addressed by absolute slot
+    number; a writer landing on a cell left over from an expired slot
+    resets it in place, so stale data self-invalidates with no sweeper
+    thread.  Reads merge every cell still inside the window, so a
+    reported total/rate/quantile covers between [window - slice] and
+    [window] seconds of history.  All operations are mutex-guarded per
+    instance. *)
+
+type spec
+(** Window geometry plus the clock: shared by every counter/series of
+    one tracker so they stay in step. *)
+
+val spec :
+  ?slices:int -> ?clock:(unit -> float) -> window_seconds:float -> unit -> spec
+(** [slices] defaults to 12 (e.g. a 60 s window in 5 s steps);
+    [clock] defaults to the wall clock.
+    @raise Invalid_argument if [slices < 1] or [window_seconds] is not
+    finite and positive. *)
+
+val window_seconds : spec -> float
+
+(** {2 Windowed counters} *)
+
+type counter
+
+val counter : spec -> counter
+val counter_incr : counter -> unit
+val counter_add : counter -> float -> unit
+
+val counter_total : counter -> float
+(** Sum of everything added inside the window. *)
+
+val counter_rate : counter -> float
+(** [counter_total / window_seconds] — events (or units) per second. *)
+
+(** {2 Windowed histograms} *)
+
+type series
+
+val series : spec -> series
+
+val series_observe : series -> float -> unit
+(** @raise Invalid_argument on non-finite or negative values (the
+    {!Metrics.observe} contract). *)
+
+val series_dist : series -> Metrics.dist
+(** Merged capture of the window's observations ({!Metrics.empty_dist}
+    when idle); feed to {!Metrics.quantile} / exporters. *)
+
+val series_quantile : series -> float -> float
+val series_count : series -> int

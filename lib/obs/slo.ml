@@ -1,0 +1,160 @@
+(* Per-tenant rolling SLO tracking for a long-running server.
+
+   Each tenant owns a family of Rolling counters/series (request count,
+   latency, charged probes, degraded requests, quota rejections,
+   guarantee shortfalls); one synthetic "_all" tenant aggregates every
+   request.  A report merges a tenant's windows into the live numbers
+   the HEALTH/SLO verbs, the Prometheus file and the watch dashboard
+   show. *)
+
+let all_tenant = "_all"
+
+type sample = {
+  tenant : string;
+  latency_seconds : float;
+  probes : int;  (* probes charged to this request *)
+  degraded : bool;
+  rejections : int;  (* quota/capacity rejections this request absorbed *)
+  shortfall : bool;  (* finished without meeting requested quality *)
+}
+
+type cell = {
+  requests : Rolling.counter;
+  latency : Rolling.series;
+  probes_c : Rolling.counter;
+  degraded_c : Rolling.counter;
+  rejections_c : Rolling.counter;
+  shortfalls_c : Rolling.counter;
+}
+
+type t = {
+  spec : Rolling.spec;
+  lock : Mutex.t;
+  cells : (string, cell) Hashtbl.t;
+}
+
+let create ?(window_seconds = 60.0) ?slices ?clock () =
+  let spec = Rolling.spec ?slices ?clock ~window_seconds () in
+  { spec; lock = Mutex.create (); cells = Hashtbl.create 8 }
+
+let window_seconds t = Rolling.window_seconds t.spec
+
+let cell t tenant =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.cells tenant with
+      | Some c -> c
+      | None ->
+          let c =
+            {
+              requests = Rolling.counter t.spec;
+              latency = Rolling.series t.spec;
+              probes_c = Rolling.counter t.spec;
+              degraded_c = Rolling.counter t.spec;
+              rejections_c = Rolling.counter t.spec;
+              shortfalls_c = Rolling.counter t.spec;
+            }
+          in
+          Hashtbl.add t.cells tenant c;
+          c)
+
+let observe_cell c s =
+  Rolling.counter_incr c.requests;
+  if Float.is_finite s.latency_seconds && s.latency_seconds >= 0.0 then
+    Rolling.series_observe c.latency s.latency_seconds;
+  Rolling.counter_add c.probes_c (float_of_int (Stdlib.max 0 s.probes));
+  if s.degraded then Rolling.counter_incr c.degraded_c;
+  Rolling.counter_add c.rejections_c (float_of_int (Stdlib.max 0 s.rejections));
+  if s.shortfall then Rolling.counter_incr c.shortfalls_c
+
+let observe t s =
+  observe_cell (cell t s.tenant) s;
+  if not (String.equal s.tenant all_tenant) then
+    observe_cell (cell t all_tenant) s
+
+type report = {
+  r_tenant : string;
+  r_window : float;  (* seconds *)
+  r_requests : float;  (* requests inside the window *)
+  r_rate : float;  (* requests per second *)
+  r_p50 : float;  (* latency seconds; nan while idle *)
+  r_p99 : float;
+  r_probe_rate : float;  (* charged probes per second *)
+  r_degraded : float;  (* fraction of windowed requests degraded *)
+  r_rejections : float;  (* quota rejections inside the window *)
+  r_shortfalls : float;  (* guarantee shortfalls inside the window *)
+}
+
+let report_cell t tenant c =
+  let requests = Rolling.counter_total c.requests in
+  let dist = Rolling.series_dist c.latency in
+  {
+    r_tenant = tenant;
+    r_window = window_seconds t;
+    r_requests = requests;
+    r_rate = Rolling.counter_rate c.requests;
+    r_p50 = Metrics.quantile dist 0.5;
+    r_p99 = Metrics.quantile dist 0.99;
+    r_probe_rate = Rolling.counter_rate c.probes_c;
+    r_degraded =
+      (if requests > 0.0 then Rolling.counter_total c.degraded_c /. requests
+       else 0.0);
+    r_rejections = Rolling.counter_total c.rejections_c;
+    r_shortfalls = Rolling.counter_total c.shortfalls_c;
+  }
+
+let report t tenant = report_cell t tenant (cell t tenant)
+let overall t = report t all_tenant
+
+let tenants t =
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun name _ acc -> name :: acc) t.cells [])
+  |> List.filter (fun n -> not (String.equal n all_tenant))
+  |> List.sort String.compare
+
+let reports t = List.map (report t) (tenants t)
+
+(* Prometheus text exposition with tenant labels.  The cumulative
+   Metrics registry has no label support (names are flat), so the SLO
+   family is written by hand here; every series is a gauge because a
+   windowed value can fall. *)
+let to_prometheus t =
+  let b = Buffer.create 512 in
+  let esc = Metrics.json_escape in
+  let series name help =
+    Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" name)
+  in
+  let sample name tenant v =
+    if Float.is_finite v then
+      Buffer.add_string b
+        (Printf.sprintf "%s{tenant=\"%s\"} %.17g\n" name (esc tenant) v)
+  in
+  let names = tenants t @ [ all_tenant ] in
+  let rs = List.map (fun n -> report t n) names in
+  series "qaq_slo_request_rate" "windowed requests per second";
+  List.iter (fun r -> sample "qaq_slo_request_rate" r.r_tenant r.r_rate) rs;
+  series "qaq_slo_latency_p50_seconds" "windowed median query latency";
+  List.iter
+    (fun r -> sample "qaq_slo_latency_p50_seconds" r.r_tenant r.r_p50)
+    rs;
+  series "qaq_slo_latency_p99_seconds" "windowed p99 query latency";
+  List.iter
+    (fun r -> sample "qaq_slo_latency_p99_seconds" r.r_tenant r.r_p99)
+    rs;
+  series "qaq_slo_probe_rate" "windowed charged probes per second";
+  List.iter
+    (fun r -> sample "qaq_slo_probe_rate" r.r_tenant r.r_probe_rate)
+    rs;
+  series "qaq_slo_degraded_fraction" "fraction of windowed requests degraded";
+  List.iter
+    (fun r -> sample "qaq_slo_degraded_fraction" r.r_tenant r.r_degraded)
+    rs;
+  series "qaq_slo_rejections" "windowed quota/capacity rejections";
+  List.iter
+    (fun r -> sample "qaq_slo_rejections" r.r_tenant r.r_rejections)
+    rs;
+  series "qaq_slo_shortfalls" "windowed guarantee shortfalls";
+  List.iter
+    (fun r -> sample "qaq_slo_shortfalls" r.r_tenant r.r_shortfalls)
+    rs;
+  Buffer.contents b

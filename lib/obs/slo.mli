@@ -1,0 +1,70 @@
+(** Rolling per-tenant SLO tracking.
+
+    A live, time-windowed view of how each tenant's queries are doing
+    right now — request rate, p50/p99 latency, charged-probe rate,
+    degraded fraction, quota rejections, guarantee shortfalls — built
+    on {!Rolling} windows so quiet history ages out.  One synthetic
+    ["_all"] tenant aggregates everything for the [HEALTH] verb.
+
+    Concurrency-safe: {!observe} may run from many query domains while
+    a reader renders reports. *)
+
+type t
+
+val all_tenant : string
+(** ["_all"], the synthetic aggregate tenant. *)
+
+type sample = {
+  tenant : string;
+  latency_seconds : float;  (** end-to-end query latency *)
+  probes : int;  (** probes charged to this request *)
+  degraded : bool;
+  rejections : int;
+      (** quota/capacity rejections this request absorbed *)
+  shortfall : bool;
+      (** the run finished without meeting the requested quality *)
+}
+
+val create :
+  ?window_seconds:float ->
+  ?slices:int ->
+  ?clock:(unit -> float) ->
+  unit ->
+  t
+(** [window_seconds] defaults to 60; [slices] and [clock] as in
+    {!Rolling.spec}. *)
+
+val observe : t -> sample -> unit
+(** Record one finished request against its tenant and ["_all"]. *)
+
+type report = {
+  r_tenant : string;
+  r_window : float;  (** seconds of history the numbers cover *)
+  r_requests : float;  (** requests inside the window *)
+  r_rate : float;  (** requests per second *)
+  r_p50 : float;  (** latency seconds; [nan] while idle *)
+  r_p99 : float;
+  r_probe_rate : float;  (** charged probes per second *)
+  r_degraded : float;  (** fraction of windowed requests degraded *)
+  r_rejections : float;
+  r_shortfalls : float;
+}
+
+val report : t -> string -> report
+(** A tenant's live numbers (all zero / [nan] quantiles when idle or
+    unknown). *)
+
+val overall : t -> report
+(** [report t all_tenant]. *)
+
+val tenants : t -> string list
+(** Tenants observed so far, sorted, excluding ["_all"]. *)
+
+val reports : t -> report list
+(** One {!report} per tenant in {!tenants} order. *)
+
+val window_seconds : t -> float
+
+val to_prometheus : t -> string
+(** Text exposition of the [qaq_slo_*] gauge family with
+    [{tenant="..."}] labels (idle [nan] quantiles are elided). *)

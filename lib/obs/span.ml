@@ -13,6 +13,10 @@ let time ?(clock = default_clock) metrics name f =
   let t0 = clock () in
   Fun.protect
     ~finally:(fun () ->
-      Metrics.incr calls;
-      Metrics.set seconds (Metrics.level seconds +. (clock () -. t0)))
+      let dt = clock () -. t0 in
+      (* Grouped: the seconds read-modify-write must not interleave
+         with another domain timing the same span. *)
+      Metrics.atomically metrics (fun () ->
+          Metrics.incr calls;
+          Metrics.set seconds (Metrics.level seconds +. dt)))
     f

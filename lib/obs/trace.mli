@@ -6,12 +6,29 @@
     instrumented code guards event {e construction} behind {!enabled},
     so a disabled trace allocates nothing on the per-object path.
 
+    Every emission carries a {!context} — which query (trace ID) and
+    which tenant the event belongs to — so that sinks observing a
+    concurrent server can attribute interleaved events.  Code that does
+    not care about attribution keeps using {!callback} / {!emit}; the
+    engine stamps a context onto a whole sink with {!with_context} so
+    downstream emitters stay context-oblivious.
+
+    The {!tee}, {!formatter} and collector sinks serialise emission
+    with an internal mutex and are safe to share across domains.
+
     Verdicts and actions are plain polymorphic variants so this library
     stays at the bottom of the dependency graph (no {!Tvl} or
     {!Decision} dependency); producers map their own types in. *)
 
 type verdict = [ `Yes | `No | `Maybe ]
 type action = [ `Forward | `Probe | `Ignore ]
+
+type context = { query : int option; tenant : string option }
+(** Attribution for an event: the engine-minted per-query trace ID and
+    the owning tenant, when known. *)
+
+val no_context : context
+(** Both fields [None] — what plain {!emit} stamps. *)
 
 type event =
   | Read of { verdict : verdict }  (** one object read and classified *)
@@ -38,6 +55,14 @@ type event =
       (** the scan stopped because the cost/time budget ran out before
           the recall bound was reached *)
   | Replan of { reads : int }  (** adaptive re-estimation re-solved the plan *)
+  | Shortfall of {
+      requested_precision : float;
+      requested_recall : float;
+      guaranteed_precision : float;
+      guaranteed_recall : float;
+    }
+      (** the run finished without meeting the requested quality
+          targets — the guaranteed lower bounds fell short *)
   | Phase of { name : string; seconds : float }  (** a {!Span} completed *)
   | Note of string  (** freeform annotation *)
 
@@ -47,24 +72,49 @@ val null : sink
 (** Discards everything; {!enabled} is [false]. *)
 
 val callback : (event -> unit) -> sink
+(** A sink that ignores the context — for consumers that only care
+    about the event stream. *)
+
+val callback_ctx : (context -> event -> unit) -> sink
+(** A sink that receives the full attribution with every event. *)
 
 val collector : unit -> sink * (unit -> event list)
 (** A sink that buffers events plus a function returning them in
-    emission order — the test-friendly sink. *)
+    emission order — the test-friendly sink.  Mutex-guarded. *)
+
+val collector_ctx : unit -> sink * (unit -> (context * event) list)
+(** Like {!collector} but keeps each event's context. *)
 
 val formatter : Format.formatter -> sink
-(** Prints one line per event ([trace: ...]). *)
+(** Prints one line per event ([trace: ...]; [trace[q7 tenant]: ...]
+    when the event carries a context).  Mutex-guarded, so concurrent
+    domains never interleave within a line. *)
 
 val tee : sink -> sink -> sink
 (** Both sinks receive every event, first argument first; {!null}
-    arguments collapse away, so teeing with {!null} stays free. *)
+    arguments collapse away, so teeing with {!null} stays free.  The
+    combined emission is mutex-guarded. *)
+
+val with_context : context -> sink -> sink
+(** [with_context ctx sink] stamps [ctx] on every event passing
+    through, overriding whatever context the emitter supplied.  This is
+    how the engine attributes a whole query's events: wrap the shared
+    sink once, hand the wrapped sink to context-oblivious emitters.
+    {!null} stays {!null} (and so stays free). *)
 
 val enabled : sink -> bool
 (** Guard event construction with this so the null sink costs nothing:
     [if Trace.enabled sink then Trace.emit sink (Read ...)]. *)
 
 val emit : sink -> event -> unit
+(** Emit with {!no_context}. *)
+
+val emit_ctx : sink -> context -> event -> unit
 val pp_event : Format.formatter -> event -> unit
+
+val context_label : context -> string
+(** [""] for {!no_context}, ["[q7]"] / ["[q7 tenant]"] otherwise — the
+    prefix {!formatter} uses. *)
 
 val verdict_name : verdict -> string
 (** ["YES"] / ["NO"] / ["MAYBE"], as printed by {!pp_event}. *)

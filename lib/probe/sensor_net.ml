@@ -122,10 +122,7 @@ let instance pred : reading Operator.instance =
 
 let probe r = { r with resolved = true }
 
-let breaker_state_name = function
-  | Circuit_breaker.Closed -> "closed"
-  | Circuit_breaker.Open -> "open"
-  | Circuit_breaker.Half_open -> "half-open"
+let breaker_state_name = Circuit_breaker.state_name
 
 let trace_breaker t ~round state =
   match t.ins with

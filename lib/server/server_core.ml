@@ -1,0 +1,539 @@
+(* The qaq-server engine room, as a library.
+
+   Everything the bin/qaq_server front end does — dataset, cross-query
+   broker, line protocol, admission control — lives here so tests and
+   benchmarks can drive a server in-process over channel pairs, and so
+   the live-telemetry plumbing (trace-stamped queries, the flight
+   recorder, rolling SLO windows) has one owner.
+
+   Telemetry wiring, end to end:
+
+   - Every RUN mints a process-unique trace ID per queued query
+     (Engine.next_trace_id) and hands the query a broker client whose
+     trace sink is stamped with that ID and tenant
+     (Obs.with_context); Engine.execute_one stamps the engine-side
+     events the same way.  Everything a query triggers — reads,
+     decisions, probe batches, breaker transitions its dispatch round
+     causes — carries its ID.
+   - The server's base trace sink tees the flight recorder (bounded
+     ring of recent events, auto-dumping on anomalies) with an optional
+     stderr formatter.  Dumps land in [c_recorder_dir] as chrome-trace
+     JSON and stay queryable over the protocol (RECORDER).
+   - Each finished query feeds one Slo.sample (latency from
+     result.elapsed_seconds, charged probes, degradation, broker
+     rejections, guarantee shortfall) into the rolling per-tenant
+     windows behind HEALTH and SLO; METRICS/the Prometheus file expose
+     the cumulative registry next to the windowed family. *)
+
+type admission = Degrade | Reject
+
+type config = {
+  c_seed : int;
+  c_total : int;
+  c_f_y : float;
+  c_f_m : float;
+  c_max_laxity : float;
+  c_batch : int;
+  c_capacity : int option;
+  c_freshness : float;
+  c_probe_ms : float;
+  c_admission : admission;
+  c_domains : int option;
+  c_fault_rate : float;
+  c_fault_seed : int;
+  c_breaker : bool;
+  c_recorder : int;
+  c_recorder_dir : string option;
+  c_window : float;
+  c_prom : string option;
+  c_trace : bool;
+}
+
+let default_config =
+  {
+    c_seed = 2004;
+    c_total = 10000;
+    c_f_y = 0.2;
+    c_f_m = 0.2;
+    c_max_laxity = 100.0;
+    c_batch = 8;
+    c_capacity = None;
+    c_freshness = infinity;
+    c_probe_ms = 0.0;
+    c_admission = Degrade;
+    c_domains = None;
+    c_fault_rate = 0.0;
+    c_fault_seed = 1337;
+    c_breaker = false;
+    c_recorder = 256;
+    c_recorder_dir = None;
+    c_window = 60.0;
+    c_prom = None;
+    c_trace = false;
+  }
+
+type pending = {
+  id : int;
+  tenant : string;
+  seed : int;
+  quota : int option;
+  requirements : Quality.requirements;
+}
+
+type t = {
+  cfg : config;
+  data : Synthetic.obj array;
+  broker : Synthetic.obj Probe_broker.t;
+  srv_obs : Obs.t;
+  srv_recorder : Flight_recorder.t option;
+  srv_slo : Slo.t;
+  srv_breaker : Circuit_breaker.t option;
+  mutable queue : pending list;  (* newest first *)
+  mutable next_id : int;
+  mutable next_seed : int;
+}
+
+let obs t = t.srv_obs
+let broker t = t.broker
+let recorder t = t.srv_recorder
+let slo t = t.srv_slo
+
+(* Dump writing must never take a query down: a full disk loses the
+   dump, not the answer. *)
+let write_dump dir dump =
+  let path = Filename.concat dir (Flight_recorder.dump_filename dump) in
+  try
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Flight_recorder.dump_to_json dump))
+  with Sys_error msg ->
+    Printf.eprintf "qaq-server: flight-recorder dump failed: %s\n%!" msg
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create ?clock cfg =
+  let syn =
+    Synthetic.config ~total:cfg.c_total ~f_y:cfg.c_f_y ~f_m:cfg.c_f_m
+      ~max_laxity:cfg.c_max_laxity ()
+  in
+  let data = Synthetic.generate (Rng.create cfg.c_seed) syn in
+  let srv_recorder =
+    if cfg.c_recorder > 0 then
+      let on_dump =
+        match cfg.c_recorder_dir with
+        | Some dir ->
+            mkdir_p dir;
+            fun d -> write_dump dir d
+        | None -> fun _ -> ()
+      in
+      Some (Flight_recorder.create ~capacity:cfg.c_recorder ?clock ~on_dump ())
+    else None
+  in
+  let sinks =
+    (match srv_recorder with
+    | Some r -> [ Flight_recorder.sink r ]
+    | None -> [])
+    @ if cfg.c_trace then [ Trace.formatter Format.err_formatter ] else []
+  in
+  let trace =
+    match sinks with [] -> Trace.null | s :: rest -> List.fold_left Trace.tee s rest
+  in
+  let srv_obs = Obs.create ~trace ?clock () in
+  let srv_breaker =
+    if cfg.c_breaker then Some (Circuit_breaker.create ~obs:srv_obs ())
+    else None
+  in
+  let latency = cfg.c_probe_ms /. 1000.0 in
+  let inj =
+    Fault_plan.injector_opt ~obs:srv_obs ~site:"server-backend"
+      (Fault_plan.make ~seed:cfg.c_fault_seed
+         ~permanent_rate:cfg.c_fault_rate ())
+  in
+  let resolve objs =
+    if latency > 0.0 then Unix.sleepf latency;
+    Array.map
+      (fun o ->
+        let failed =
+          match inj with
+          | None -> false
+          | Some inj ->
+              let el = Fault_plan.fresh_element inj in
+              Fault_plan.attempt inj el ~round:0
+        in
+        if failed then Probe_driver.Failed { attempts = 1 }
+        else Probe_driver.Resolved (Synthetic.probe o))
+      objs
+  in
+  let broker =
+    Probe_broker.create ~obs:srv_obs ~freshness:cfg.c_freshness
+      ?capacity:cfg.c_capacity ?breaker:srv_breaker ~batch_size:cfg.c_batch
+      ~key:(fun (o : Synthetic.obj) -> o.Synthetic.id)
+      resolve
+  in
+  let srv_slo = Slo.create ~window_seconds:cfg.c_window ?clock () in
+  {
+    cfg;
+    data;
+    broker;
+    srv_obs;
+    srv_recorder;
+    srv_slo;
+    srv_breaker;
+    queue = [];
+    next_id = 0;
+    next_seed = cfg.c_seed + 1;
+  }
+
+let pr out fmt =
+  Printf.ksprintf
+    (fun line ->
+      output_string out line;
+      output_char out '\n';
+      flush out)
+    fmt
+
+let print_stats out label (s : Probe_broker.stats) =
+  pr out
+    "%s requests=%d admitted=%d charged=%d failed=%d coalesced=%d fresh=%d \
+     rejected=%d batches=%d"
+    label s.requests s.admitted s.charged s.failed s.coalesced s.fresh_hits
+    s.rejected s.batches
+
+(* key=value tokens; bare tokens are errors the client can see. *)
+let parse_kvs tokens =
+  List.fold_left
+    (fun acc tok ->
+      match acc with
+      | Error _ as e -> e
+      | Ok kvs -> (
+          match String.index_opt tok '=' with
+          | Some i ->
+              Ok
+                ((String.sub tok 0 i,
+                  String.sub tok (i + 1) (String.length tok - i - 1))
+                :: kvs)
+          | None -> Error tok))
+    (Ok []) tokens
+
+let handle_query srv out tokens =
+  match parse_kvs tokens with
+  | Error tok -> pr out "ERR expected key=value, got %S" tok
+  | Ok kvs -> (
+      let find k = List.assoc_opt k kvs in
+      let float_of k default =
+        match find k with Some v -> float_of_string_opt v | None -> Some default
+      in
+      let tenant = Option.value (find "tenant") ~default:"default" in
+      let seed =
+        match find "seed" with
+        | Some v -> int_of_string_opt v
+        | None ->
+            let s = srv.next_seed in
+            srv.next_seed <- s + 1;
+            Some s
+      in
+      let quota =
+        match find "quota" with
+        | Some v -> Option.map Option.some (int_of_string_opt v)
+        | None -> Some None
+      in
+      match
+        (seed, quota, float_of "p" 0.9, float_of "r" 0.6, float_of "l" 50.0)
+      with
+      | Some seed, Some quota, Some p, Some r, Some l -> (
+          match Quality.requirements ~precision:p ~recall:r ~laxity:l with
+          | requirements ->
+              let id = srv.next_id in
+              srv.next_id <- id + 1;
+              srv.queue <-
+                { id; tenant; seed; quota; requirements } :: srv.queue;
+              pr out "QUEUED id=%d tenant=%s seed=%d p=%g r=%g l=%g" id tenant
+                seed p r l
+          | exception Invalid_argument msg -> pr out "ERR %s" msg)
+      | _ -> pr out "ERR malformed QUERY arguments")
+
+(* Per-tenant broker rejections are only visible as lifetime totals, so
+   a batch attributes each tenant's rejection delta to its first query
+   of the batch — the windowed totals per tenant come out right. *)
+let rejection_deltas before after =
+  List.filter_map
+    (fun (tenant, (a : Probe_broker.stats)) ->
+      let prior =
+        match List.assoc_opt tenant before with
+        | Some (b : Probe_broker.stats) -> b.rejected
+        | None -> 0
+      in
+      if a.rejected > prior then Some (tenant, a.rejected - prior) else None)
+    after
+
+let flush_prometheus srv =
+  match srv.cfg.c_prom with
+  | None -> ()
+  | Some path -> (
+      let text =
+        Metrics.to_prometheus (Obs.snapshot srv.srv_obs)
+        ^ Slo.to_prometheus srv.srv_slo
+      in
+      try
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc text)
+      with Sys_error msg ->
+        Printf.eprintf "qaq-server: prometheus write failed: %s\n%!" msg)
+
+let handle_run srv out =
+  let queued = Array.of_list (List.rev srv.queue) in
+  srv.queue <- [];
+  if Array.length queued = 0 then pr out "DONE queries=0"
+  else if srv.cfg.c_admission = Reject && Probe_broker.saturated srv.broker
+  then begin
+    (* Admission at the front door: a saturated broker would only
+       degrade every probe, so refuse the batch outright and leave the
+       shared capacity to coalesced/fresh traffic. *)
+    Array.iter
+      (fun q ->
+        Slo.observe srv.srv_slo
+          {
+            Slo.tenant = q.tenant;
+            latency_seconds = nan;
+            probes = 0;
+            degraded = false;
+            rejections = 1;
+            shortfall = false;
+          };
+        pr out "REJECTED id=%d tenant=%s saturated" q.id q.tenant)
+      queued;
+    flush_prometheus srv
+  end
+  else begin
+    let before = Probe_broker.stats srv.broker in
+    let tenant_before = Probe_broker.tenant_stats srv.broker in
+    let queries =
+      Array.map
+        (fun q ->
+          let trace_id = Engine.next_trace_id () in
+          let ctx =
+            { Trace.query = Some trace_id; tenant = Some q.tenant }
+          in
+          let probe =
+            Probe_broker.client
+              ~obs:(Obs.with_context srv.srv_obs ctx)
+              ~tenant:q.tenant ?quota:q.quota srv.broker
+          in
+          Engine.query ~rng:(Rng.create q.seed) ~probe ~obs:srv.srv_obs
+            ~tenant:q.tenant ~trace_id ~instance:Synthetic.instance
+            ~requirements:q.requirements srv.data)
+        queued
+    in
+    let results = Engine.execute_many ?domains:srv.cfg.c_domains queries in
+    let tenant_after = Probe_broker.tenant_stats srv.broker in
+    let deltas = ref (rejection_deltas tenant_before tenant_after) in
+    Array.iteri
+      (fun i result ->
+        let q = queued.(i) in
+        let report = result.Engine.report in
+        let g = report.Operator.guarantees in
+        let d = result.Engine.degradation in
+        let rejections =
+          match List.assoc_opt q.tenant !deltas with
+          | Some n ->
+              deltas := List.remove_assoc q.tenant !deltas;
+              n
+          | None -> 0
+        in
+        Slo.observe srv.srv_slo
+          {
+            Slo.tenant = q.tenant;
+            latency_seconds = result.Engine.elapsed_seconds;
+            probes = result.Engine.counts.Cost_meter.probes;
+            degraded = Engine.degraded result;
+            rejections;
+            shortfall = not d.Engine.requirements_met;
+          };
+        pr out
+          "RESULT id=%d trace=%d tenant=%s seed=%d answer=%d precision=%.4f \
+           recall=%.4f laxity=%.4f met=%b probes=%d batches=%d failed=%d \
+           degraded=%b cost=%.4f elapsed=%.6f"
+          q.id
+          (Engine.trace_id queries.(i))
+          q.tenant q.seed report.Operator.answer_size g.Quality.precision
+          g.Quality.recall g.Quality.max_laxity d.Engine.requirements_met
+          result.Engine.counts.Cost_meter.probes
+          result.Engine.counts.Cost_meter.batches d.Engine.failed_probes
+          (Engine.degraded result) result.Engine.normalized_cost
+          result.Engine.elapsed_seconds)
+      results;
+    let after = Probe_broker.stats srv.broker in
+    pr out
+      "DONE queries=%d charged=%d coalesced=%d fresh=%d rejected=%d \
+       batches=%d"
+      (Array.length results)
+      (after.charged - before.charged)
+      (after.coalesced - before.coalesced)
+      (after.fresh_hits - before.fresh_hits)
+      (after.rejected - before.rejected)
+      (after.batches - before.batches);
+    flush_prometheus srv
+  end
+
+let breaker_state srv =
+  match srv.srv_breaker with
+  | Some b -> Circuit_breaker.state_name (Circuit_breaker.state b)
+  | None -> "none"
+
+let print_report out label (r : Slo.report) =
+  pr out
+    "%s window=%g requests=%g rate=%.4f p50=%.6f p99=%.6f probe_rate=%.4f \
+     degraded=%.4f rejections=%g shortfalls=%g"
+    label r.Slo.r_window r.Slo.r_requests r.Slo.r_rate r.Slo.r_p50
+    r.Slo.r_p99 r.Slo.r_probe_rate r.Slo.r_degraded r.Slo.r_rejections
+    r.Slo.r_shortfalls
+
+let handle_health srv out =
+  let r = Slo.overall srv.srv_slo in
+  let recorded, dumps =
+    match srv.srv_recorder with
+    | Some rec_ ->
+        (Flight_recorder.recorded rec_, List.length (Flight_recorder.dumps rec_))
+    | None -> (0, 0)
+  in
+  pr out
+    "HEALTH window=%g requests=%g rate=%.4f p50=%.6f p99=%.6f \
+     probe_rate=%.4f degraded=%.4f rejections=%g shortfalls=%g recorded=%d \
+     dumps=%d breaker=%s"
+    r.Slo.r_window r.Slo.r_requests r.Slo.r_rate r.Slo.r_p50 r.Slo.r_p99
+    r.Slo.r_probe_rate r.Slo.r_degraded r.Slo.r_rejections r.Slo.r_shortfalls
+    recorded dumps (breaker_state srv)
+
+let handle_slo srv out args =
+  (match args with
+  | [ tenant ] ->
+      print_report out
+        (Printf.sprintf "SLO tenant=%s" tenant)
+        (Slo.report srv.srv_slo tenant)
+  | _ ->
+      List.iter
+        (fun (r : Slo.report) ->
+          print_report out (Printf.sprintf "SLO tenant=%s" r.Slo.r_tenant) r)
+        (Slo.reports srv.srv_slo));
+  pr out "OK"
+
+(* RECORDER            the global ring as one chrome-trace document
+   RECORDER <trace-id> that query's ring
+   RECORDER last       the most recent automatic anomaly dump *)
+let handle_recorder srv out args =
+  match srv.srv_recorder with
+  | None -> pr out "ERR recorder disabled"
+  | Some rec_ -> (
+      let emit (d : Flight_recorder.dump) =
+        pr out "RECORDER reason=%s query=%s tenant=%s events=%d" d.reason
+          (match d.query with Some q -> string_of_int q | None -> "-")
+          (Option.value d.tenant ~default:"-")
+          (List.length d.events);
+        pr out "%s" (Flight_recorder.dump_to_json d);
+        pr out "OK"
+      in
+      match args with
+      | [] -> emit (Flight_recorder.manual_dump rec_ ~reason:"manual")
+      | [ "last" ] -> (
+          match List.rev (Flight_recorder.dumps rec_) with
+          | d :: _ -> emit d
+          | [] -> pr out "ERR no dumps recorded")
+      | [ arg ] -> (
+          match int_of_string_opt arg with
+          | Some q -> emit (Flight_recorder.manual_dump ~query:q rec_ ~reason:"manual")
+          | None -> pr out "ERR expected a trace id or 'last', got %S" arg)
+      | _ -> pr out "ERR usage: RECORDER [trace-id|last]")
+
+let help out =
+  pr out
+    "OK commands: QUERY [tenant=T] [seed=N] [p=] [r=] [l=] [quota=N] | RUN | \
+     STATS | TENANTS | METRICS | HEALTH | SLO [tenant] | RECORDER \
+     [trace-id|last] | HELP | QUIT"
+
+(* One session over a channel pair; returns [`Quit] when the client
+   asked to stop the server, [`Eof] when the stream just ended. *)
+let serve srv inc out =
+  let rec loop () =
+    match input_line inc with
+    | exception End_of_file -> `Eof
+    | line -> (
+        let tokens =
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun s -> s <> "")
+        in
+        match tokens with
+        | [] -> loop ()
+        | cmd :: args -> (
+            match (String.uppercase_ascii cmd, args) with
+            | "QUERY", args ->
+                handle_query srv out args;
+                loop ()
+            | "RUN", [] ->
+                handle_run srv out;
+                loop ()
+            | "STATS", [] ->
+                print_stats out "STATS" (Probe_broker.stats srv.broker);
+                loop ()
+            | "TENANTS", [] ->
+                List.iter
+                  (fun (name, s) ->
+                    print_stats out (Printf.sprintf "TENANT %s" name) s)
+                  (Probe_broker.tenant_stats srv.broker);
+                pr out "OK";
+                loop ()
+            | "METRICS", [] ->
+                pr out "%s" (Metrics.to_json (Obs.snapshot srv.srv_obs));
+                loop ()
+            | "HEALTH", [] ->
+                handle_health srv out;
+                loop ()
+            | "SLO", args ->
+                handle_slo srv out args;
+                loop ()
+            | "RECORDER", args ->
+                handle_recorder srv out args;
+                loop ()
+            | "HELP", _ ->
+                help out;
+                loop ()
+            | "QUIT", [] ->
+                pr out "BYE";
+                `Quit
+            | _ ->
+                pr out "ERR unknown command %S (try HELP)" line;
+                loop ()))
+  in
+  loop ()
+
+let serve_socket srv path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  Printf.eprintf "qaq-server: listening on %s\n%!" path;
+  let rec accept_loop () =
+    let client, _ = Unix.accept sock in
+    let inc = Unix.in_channel_of_descr client in
+    let out = Unix.out_channel_of_descr client in
+    (* A client that disconnects abruptly surfaces as Sys_error
+       (ECONNRESET / EPIPE) from channel IO; treat it like EOF rather
+       than taking the server down. *)
+    let verdict =
+      try serve srv inc out with End_of_file | Sys_error _ -> `Eof
+    in
+    (try Unix.close client with Unix.Unix_error _ -> ());
+    match verdict with `Quit -> () | `Eof -> accept_loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    accept_loop
