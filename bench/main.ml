@@ -1742,6 +1742,184 @@ let telemetry_bench path ~dump:dump_path =
   if not !ok then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Cascade: tiered probe economics under a proxy hit-rate sweep        *)
+(* ------------------------------------------------------------------ *)
+
+(* A cheap interval-shrinking proxy in front of the oracle, swept over
+   proxy effectiveness (the fraction of probed objects the narrowed
+   interval settles under the query), plus a leg with the proxy
+   permanently down.  The requirements force a full scan — a recall
+   guarantee of 1.0 is only reachable once nothing is unseen — and the
+   fixed plan probes every YES and MAYBE candidate, so every leg must
+   return the same answer ids whatever tier settled each object.  The
+   mode fails unless the answers agree, every leg meets its guarantees
+   with a reconciled meter, and the 90%-effective proxy beats the
+   oracle-only total metered cost by at least 1.5x. *)
+let cascade_bench path =
+  section "Cascade: tiered probes vs the oracle";
+  print_endline
+    "A shrink proxy (c_p = 0.05, B = 32) fronts the oracle (c_p = 1,\n\
+     B = 8), swept over proxy effectiveness 0/50/90% plus a forced\n\
+     proxy outage.  Full-scan probe-everything requirements make the\n\
+     answer tier-independent; the gate demands identical answers,\n\
+     guarantees met on every leg, and a >= 1.5x win at 90%.";
+  let pred = Predicate.ge 60.0 in
+  let data =
+    Interval_data.uniform_intervals (Rng.create 808) ~n:4000
+      ~value_range:(Interval.make 0.0 100.0) ~max_width:30.0
+  in
+  let requirements =
+    Quality.requirements ~precision:0.9 ~recall:1.0 ~laxity:25.0
+  in
+  (* s3 = s5 = 0 probes every MAYBE; p_py = 1 probes every wide YES.
+     No decision is randomised away, so each leg makes the same calls. *)
+  let probe_everything = Policy.params ~s3:0.0 ~s5:0.0 ~p_py:1.0 ~p_fm:0.0 in
+  (* Reads priced near zero: the gate is about probe economics. *)
+  let cost =
+    Cost_model.make ~c_r:0.01 ~c_p:1.0 ~c_b:5.0 ~c_wi:0.1 ~c_wp:0.1 ()
+  in
+  let specs ~power =
+    [|
+      {
+        Probe_tier.name = "proxy";
+        kind = Probe_tier.Shrink { power };
+        c_p = 0.05;
+        c_b = 0.5;
+        batch = 32;
+      };
+      {
+        Probe_tier.name = "oracle";
+        kind = Probe_tier.Resolve;
+        c_p = 1.0;
+        c_b = 5.0;
+        batch = 8;
+      };
+    |]
+  in
+  let execute ~label ~obs ?probe ?cascade () =
+    Engine.execute ~rng:(Rng.create 809) ~max_laxity:30.0
+      ~planning:(Engine.Fixed probe_everything) ~cost ~batch:8 ~obs
+      ~profile:(Engine.profiling ~label ~oracle:(Interval_data.in_exact pred) ())
+      ~instance:(Interval_data.instance pred) ?probe ?cascade ~requirements
+      data
+  in
+  let run ~label kind =
+    let obs = Obs.create () in
+    match kind with
+    | `Oracle_only ->
+        let source = Probe_source.create ~obs Interval_data.probe in
+        let result =
+          execute ~label ~obs
+            ~probe:(Probe_source.driver ~obs ~batch_size:8 source)
+            ()
+        in
+        (label, result, [||])
+    | `Tiered power ->
+        let cascade, _sources =
+          Tiered.of_functions ~obs ~specs:(specs ~power)
+            ~narrow:Interval_data.shrink ~resolve:Interval_data.probe ()
+        in
+        let result = execute ~label ~obs ~cascade () in
+        (label, result, Cascade.stats cascade)
+    | `Proxy_outage power ->
+        let sources =
+          [|
+            Probe_source.create ~obs ~tier:"proxy" ~max_retries:0
+              ~faults:(Fault_plan.make ~seed:811 ~permanent_rate:1.0 ())
+              (fun o -> Interval_data.shrink ~power o);
+            Probe_source.create ~obs ~tier:"oracle" Interval_data.probe;
+          |]
+        in
+        let cascade = Tiered.cascade ~obs ~specs:(specs ~power) sources in
+        let result = execute ~label ~obs ~cascade () in
+        (label, result, Cascade.stats cascade)
+  in
+  let legs =
+    [
+      run ~label:"oracle-only" `Oracle_only;
+      run ~label:"proxy-0" (`Tiered 0.0);
+      run ~label:"proxy-50" (`Tiered 0.5);
+      run ~label:"proxy-90" (`Tiered 0.9);
+      run ~label:"proxy-outage" (`Proxy_outage 0.9);
+    ]
+  in
+  let ids (r : Interval_data.record Engine.result) =
+    List.sort compare
+      (List.map
+         (fun (e : Interval_data.record Operator.emitted) ->
+           e.Operator.obj.Interval_data.id)
+         r.Engine.report.Operator.answer)
+  in
+  let cost_of (_, (r : Interval_data.record Engine.result), _) =
+    r.Engine.normalized_cost
+  in
+  let reference_ids = ids (match legs with (_, r, _) :: _ -> r | [] -> assert false) in
+  let quality_ok (r : Interval_data.record Engine.result) =
+    Quality.meets r.Engine.report.Operator.guarantees requirements
+    && match r.Engine.profile with
+       | Some p -> Profile.passed p
+       | None -> false
+  in
+  let all_identical = ref true and all_quality = ref true in
+  let rows =
+    List.map
+      (fun (label, result, tiers) ->
+        let identical = ids result = reference_ids in
+        let quality = quality_ok result in
+        if not identical then all_identical := false;
+        if not quality then all_quality := false;
+        let tier_summary =
+          Array.to_list tiers
+          |> List.map (fun (s : Cascade.stats) ->
+                 Printf.sprintf
+                   "{ \"name\": %S, \"probes\": %d, \"shrinks\": %d, \
+                    \"failovers\": %d, \"batches\": %d }"
+                   s.Cascade.st_name s.Cascade.st_probes s.Cascade.st_shrinks
+                   s.Cascade.st_failovers s.Cascade.st_batches)
+          |> String.concat ", "
+        in
+        Printf.printf
+          "%-14s W/|T| = %8.4f  probes %5d  batches %4d  answer %4d  %s%s\n"
+          label result.Engine.normalized_cost result.Engine.counts.probes
+          result.Engine.counts.batches result.Engine.report.answer_size
+          (if quality then "guarantees ok" else "GUARANTEES MISSED")
+          (if identical then "" else "  ANSWER DIVERGED");
+        Printf.sprintf
+          "    { \"label\": %S, \"normalized_cost\": %.6f, \"probes\": %d, \
+           \"batches\": %d, \"answer\": %d, \"guarantees_met\": %b, \
+           \"identical_answer\": %b, \"tiers\": [ %s ] }"
+          label result.Engine.normalized_cost result.Engine.counts.probes
+          result.Engine.counts.batches result.Engine.report.answer_size
+          quality identical tier_summary)
+      legs
+  in
+  let oracle_cost = cost_of (List.nth legs 0) in
+  let tiered90_cost = cost_of (List.nth legs 3) in
+  let ratio = oracle_cost /. tiered90_cost in
+  let gate = ratio >= 1.5 && !all_identical && !all_quality in
+  write_bench_json ~path ~bench:"cascade-tier-sweep"
+    ~fields:
+      [
+        ("records", string_of_int (Array.length data));
+        ("gate_min_ratio", "1.5");
+        ("oracle_over_proxy90_ratio", Printf.sprintf "%.4f" ratio);
+        ("all_answers_identical", string_of_bool !all_identical);
+        ("all_guarantees_met", string_of_bool !all_quality);
+        ("passed", string_of_bool gate);
+      ]
+    ~rows;
+  Printf.printf
+    "oracle-only / proxy-90 cost ratio: %.2fx (gate >= 1.50x)\n\
+     answers identical on every leg: %s\n\
+     guarantees met on every leg: %s\n\
+     cascade gate: %s\n"
+    ratio
+    (if !all_identical then "yes" else "NO")
+    (if !all_quality then "yes" else "NO")
+    (if gate then "PASS" else "FAIL");
+  if not gate then exit 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -1800,6 +1978,10 @@ let () =
         ~dump:
           (if Array.length Sys.argv > 3 then Sys.argv.(3)
            else "BENCH_flight_dump.json")
+  | "cascade" ->
+      cascade_bench
+        (if Array.length Sys.argv > 2 then Sys.argv.(2)
+         else "BENCH_cascade.json")
   | "all" ->
       tables ();
       ablations ();
@@ -1807,6 +1989,6 @@ let () =
   | other ->
       Printf.eprintf
         "unknown mode %S (expected \
-         tables|ablations|batch|micro|metrics|scaling|profile|faults|columnar|anytime|server|telemetry|all)\n"
+         tables|ablations|batch|micro|metrics|scaling|profile|faults|columnar|anytime|server|telemetry|cascade|all)\n"
         other;
       exit 2

@@ -213,6 +213,21 @@ let fault_rate =
   in
   Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"RATE" ~doc)
 
+let tiers_opt =
+  let doc =
+    "Probe through a tiered cascade instead of the single oracle \
+     driver.  $(docv) is a semicolon-separated tier list, e.g. \
+     \"proxy:cp=0.1,cb=1,B=32,shrink=0.8;oracle:cp=1,cb=5,B=8\".  Each \
+     tier with a shrink=POWER key is a cheap proxy that narrows \
+     objects instead of resolving them; the final tier (no shrink key) \
+     is the oracle.  The optimizer prices probes at the cheapest \
+     escalation strategy over the tiers and per-tier counters are \
+     reported after the run.  Uses the profiled engine path; combines \
+     with --fault-rate, in which case every tier draws an independent \
+     fault stream and a dead proxy fails over to the tier below."
+  in
+  Arg.(value & opt (some string) None & info [ "tiers" ] ~docv:"SPEC" ~doc)
+
 let fault_seed =
   let doc =
     "Seed of the fault injector's own rng stream (independent of --seed: \
@@ -224,7 +239,7 @@ let fault_seed =
 
 let profiled_trial ~rng ~(s : Exp_config.setting) ~cost ~batch ~policy ~domains
     ~trace ~metrics_file ~profile_file ~chrome_file ~fault_rate ~fault_seed
-    ~budget ~deadline data =
+    ~tiers ~budget ~deadline data =
   let recorder = Option.map (fun _ -> Chrome_trace.create ()) chrome_file in
   let sink =
     let fmt =
@@ -249,17 +264,36 @@ let profiled_trial ~rng ~(s : Exp_config.setting) ~cost ~batch ~policy ~domains
     | Exp_runner.Greedy -> Engine.Fixed Policy.greedy_params
     | Exp_runner.Fixed params -> Engine.Fixed params
   in
-  let probe =
+  let faults =
     if fault_rate > 0.0 then
-      let faults =
-        Fault_plan.make ~seed:fault_seed ~permanent_rate:fault_rate
-          ~transient_rate:(fault_rate /. 2.0) ~max_retries:2 ()
-      in
-      let source =
-        Probe_source.create ~obs ~max_retries:2 ~faults Synthetic.probe
-      in
-      Probe_source.driver ~obs ~batch_size:batch source
-    else Probe_driver.of_scalar ~obs ~batch_size:batch Synthetic.probe
+      Some
+        (Fault_plan.make ~seed:fault_seed ~permanent_rate:fault_rate
+           ~transient_rate:(fault_rate /. 2.0) ~max_retries:2 ())
+    else None
+  in
+  let cascade =
+    Option.map
+      (fun specs ->
+        let c, _sources =
+          Tiered.of_functions ~obs ?faults ~max_retries:2 ~specs
+            ~narrow:(fun ~power o -> Synthetic.shrink ~power o)
+            ~resolve:Synthetic.probe ()
+        in
+        c)
+      tiers
+  in
+  let probe =
+    match cascade with
+    | Some _ -> None
+    | None ->
+        Some
+          (match faults with
+          | Some faults ->
+              let source =
+                Probe_source.create ~obs ~max_retries:2 ~faults Synthetic.probe
+              in
+              Probe_source.driver ~obs ~batch_size:batch source
+          | None -> Probe_driver.of_scalar ~obs ~batch_size:batch Synthetic.probe)
   in
   let result =
     Engine.execute ~rng ~planning ~cost ~batch ~max_laxity:s.max_laxity
@@ -268,7 +302,7 @@ let profiled_trial ~rng ~(s : Exp_config.setting) ~cost ~batch ~policy ~domains
         (Engine.profiling
            ~label:(Exp_runner.policy_name policy)
            ~oracle:Synthetic.in_exact ())
-      ~instance:Synthetic.instance ~probe
+      ~instance:Synthetic.instance ?probe ?cascade
       ~requirements:(Exp_config.requirements s)
       data
   in
@@ -277,6 +311,18 @@ let profiled_trial ~rng ~(s : Exp_config.setting) ~cost ~batch ~policy ~domains
     result.Engine.normalized_cost result.counts.Cost_meter.probes
     result.counts.Cost_meter.batches;
   print_budget_summary result;
+  Option.iter
+    (fun c ->
+      Format.printf "cascade (entered at tier %d):@." (Cascade.start c);
+      Array.iter
+        (fun (st : Cascade.stats) ->
+          Format.printf
+            "  tier %-12s %d probe(s), %d shrink(s), %d failure(s), %d \
+             batch(es), %d failover(s)@."
+            st.Cascade.st_name st.st_probes st.st_shrinks st.st_failures
+            st.st_batches st.st_failovers)
+        (Cascade.stats c))
+    cascade;
   let profile = Option.get result.Engine.profile in
   Profile.print profile;
   (let d = result.Engine.degradation in
@@ -320,7 +366,7 @@ let profiled_trial ~rng ~(s : Exp_config.setting) ~cost ~batch ~policy ~domains
 
 let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
     data_file batch c_b domains trace metrics_file profile_file chrome_file
-    fault_rate fault_seed budget deadline_ms =
+    fault_rate fault_seed tiers_spec budget deadline_ms =
   let s = setting total f_y f_m max_laxity p_q r_q l_q in
   let cost = cost_model c_b in
   let rng = Rng.create seed in
@@ -329,12 +375,22 @@ let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
     Format.eprintf "--fault-rate must lie in [0, 1]@.";
     exit 2
   end;
+  let tiers =
+    match tiers_spec with
+    | None -> None
+    | Some spec -> (
+        match Probe_tier.of_string spec with
+        | specs -> Some specs
+        | exception Invalid_argument msg ->
+            Format.eprintf "--tiers: %s@." msg;
+            exit 2)
+  in
   (* A budgeted or deadlined trial goes through the profiled engine path:
      the budget is an engine contract (dual planning, mid-scan re-solves,
      the stop closure), not something the bare operator loop offers. *)
   if
     profile_file <> None || chrome_file <> None || fault_rate > 0.0
-    || budget <> None || deadline <> None
+    || tiers <> None || budget <> None || deadline <> None
   then begin
     let data, s =
       match data_file with
@@ -344,8 +400,8 @@ let trial_run seed total f_y f_m max_laxity p_q r_q l_q policy repetitions
       | None -> (Synthetic.generate rng (Exp_config.workload s), s)
     in
     profiled_trial ~rng ~s ~cost ~batch ~policy ~domains ~trace ~metrics_file
-      ~profile_file ~chrome_file ~fault_rate ~fault_seed ~budget ~deadline
-      data
+      ~profile_file ~chrome_file ~fault_rate ~fault_seed ~tiers ~budget
+      ~deadline data
   end
   else
   let obs =
@@ -405,7 +461,7 @@ let trial_cmd =
       const trial_run $ seed $ total $ f_y $ f_m $ max_laxity $ p_q $ r_q
       $ l_q $ policy $ repetitions $ data_file $ batch $ c_b $ domains
       $ trace_flag $ metrics_file $ profile_file $ chrome_trace_file
-      $ fault_rate $ fault_seed $ budget_opt $ deadline_ms_opt)
+      $ fault_rate $ fault_seed $ tiers_opt $ budget_opt $ deadline_ms_opt)
 
 (* ---- dataset ------------------------------------------------------ *)
 

@@ -32,8 +32,18 @@ let admission_conv =
   Arg.conv (parse, print)
 
 let run seed total f_y f_m max_laxity batch capacity freshness probe_ms
-    admission domains fault_rate fault_seed breaker recorder recorder_dir
-    window prom trace socket =
+    admission domains fault_rate fault_seed tiers_spec breaker recorder
+    recorder_dir window prom trace socket =
+  let tiers =
+    match tiers_spec with
+    | None -> None
+    | Some spec -> (
+        match Probe_tier.of_string spec with
+        | specs -> Some specs
+        | exception Invalid_argument msg ->
+            Printf.eprintf "qaq-server: --tiers: %s\n%!" msg;
+            exit 2)
+  in
   let cfg =
     {
       Server_core.c_seed = seed;
@@ -49,6 +59,7 @@ let run seed total f_y f_m max_laxity batch capacity freshness probe_ms
       c_domains = domains;
       c_fault_rate = fault_rate;
       c_fault_seed = fault_seed;
+      c_tiers = tiers;
       c_breaker = breaker;
       c_recorder = recorder;
       c_recorder_dir = recorder_dir;
@@ -144,6 +155,17 @@ let cmd =
     let doc = "Fault-injection seed." in
     Arg.(value & opt int 1337 & info [ "fault-seed" ] ~doc)
   in
+  let tiers =
+    let doc =
+      "Serve probes through a tiered cascade, e.g. \
+       \"proxy:cp=0.1,cb=1,B=32,shrink=0.8;oracle:cp=1,cb=5,B=8\": one \
+       shared backend per tier (shrink=POWER tiers narrow objects, the \
+       final tier resolves), per-(object, tier) coalescing and \
+       freshness, and a TIER line per backend in STATS.  Overrides \
+       --batch with each tier's own B."
+    in
+    Arg.(value & opt (some string) None & info [ "tiers" ] ~docv:"SPEC" ~doc)
+  in
   let breaker =
     let doc = "Put a circuit breaker on the broker's backend dispatch." in
     Arg.(value & flag & info [ "breaker" ] ~doc)
@@ -188,6 +210,7 @@ let cmd =
     Term.(
       const run $ seed $ total $ f_y $ f_m $ max_laxity $ batch $ capacity
       $ freshness $ probe_ms $ admission $ domains $ fault_rate $ fault_seed
-      $ breaker $ recorder $ recorder_dir $ window $ prom $ trace $ socket)
+      $ tiers $ breaker $ recorder $ recorder_dir $ window $ prom $ trace
+      $ socket)
 
 let () = exit (Cmd.eval cmd)

@@ -14,6 +14,7 @@
 type 'o request = {
   rq_obj : 'o;
   rq_key : int;
+  rq_tier : int;
   rq_tenant : string;
   rq_enqueued_at : float;
   mutable rq_waiters : ('o Probe_driver.outcome -> unit) list;
@@ -23,7 +24,8 @@ type 'o request = {
 type 'o fresh_entry = { fe_outcome : 'o Probe_driver.outcome; fe_at : float }
 
 type tenant = {
-  tn_queue : int Queue.t;  (* keys, FIFO; requests live in [inflight] *)
+  tn_queue : (int * int) Queue.t;
+      (* (tier, key), FIFO; requests live in [inflight] *)
   mutable tn_quota : int option;
   mutable tn_requests : int;
   mutable tn_admitted : int;
@@ -33,6 +35,38 @@ type tenant = {
   mutable tn_fresh : int;
   mutable tn_rejected : int;
 }
+
+(* One probe backend — a cascade tier.  [bk_resolve] may return
+   [Resolved] (an oracle) or [Shrunk] (a proxy that narrowed the
+   interval); the broker never interprets the object, only the outcome
+   kind, for its freshness rules. *)
+type 'o backend = {
+  bk_resolve : 'o array -> 'o Probe_driver.outcome array;
+  bk_batch : int;
+}
+
+type tier_counters = {
+  mutable tc_requests : int;
+  mutable tc_admitted : int;
+  mutable tc_charged : int;
+  mutable tc_failed : int;
+  mutable tc_coalesced : int;
+  mutable tc_fresh : int;
+  mutable tc_rejected : int;
+  mutable tc_batches : int;
+}
+
+let fresh_tier_counters () =
+  {
+    tc_requests = 0;
+    tc_admitted = 0;
+    tc_charged = 0;
+    tc_failed = 0;
+    tc_coalesced = 0;
+    tc_fresh = 0;
+    tc_rejected = 0;
+    tc_batches = 0;
+  }
 
 type instruments = {
   m_registry : Metrics.t;  (* for grouping related increments *)
@@ -49,9 +83,8 @@ type instruments = {
 }
 
 type 'o t = {
-  resolve : 'o array -> 'o Probe_driver.outcome array;
+  backends : 'o backend array;  (* cascade tiers; cheapest first *)
   key : 'o -> int;
-  bk_batch_size : int;
   freshness : float;
   capacity : int option;
   breaker : Circuit_breaker.t option;
@@ -60,8 +93,17 @@ type 'o t = {
   lock : Mutex.t;
   cond : Condition.t;
   fresh : (int, 'o fresh_entry) Hashtbl.t;
-  inflight : (int, 'o request) Hashtbl.t;  (* queued or dispatching *)
+      (* [Resolved] outcomes, keyed by object: a point answers a
+         request at ANY tier — an oracle-fresh object never re-pays the
+         proxy *)
+  shrunk_fresh : (int * int, 'o fresh_entry) Hashtbl.t;
+      (* [Shrunk] outcomes, keyed (tier, object): a narrowed interval
+         only answers the same proxy tier again — a proxy-fresh object
+         requested at the oracle still escalates *)
+  inflight : (int * int, 'o request) Hashtbl.t;
+      (* (tier, key); queued or dispatching *)
   tenants : (string, tenant) Hashtbl.t;
+  tiers : tier_counters array;
   mutable tenant_order : string list;  (* registration order, reversed *)
   mutable rr : int;  (* round-robin start into [tenant_order] *)
   mutable queued : int;
@@ -88,13 +130,19 @@ type stats = {
   batches : int;
 }
 
-let create ?obs ?clock ?(freshness = infinity) ?capacity ?breaker
-    ?(batch_size = 1) ~key resolve =
-  if batch_size < 1 then invalid_arg "Probe_broker.create: batch_size < 1";
+let create_tiered ?obs ?clock ?(freshness = infinity) ?capacity ?breaker ~key
+    backends =
+  if Array.length backends = 0 then
+    invalid_arg "Probe_broker.create_tiered: no backends";
+  Array.iter
+    (fun b ->
+      if b.bk_batch < 1 then
+        invalid_arg "Probe_broker.create_tiered: batch_size < 1")
+    backends;
   if Float.is_nan freshness || freshness < 0.0 then
-    invalid_arg "Probe_broker.create: freshness must be non-negative";
+    invalid_arg "Probe_broker.create_tiered: freshness must be non-negative";
   (match capacity with
-  | Some c when c < 0 -> invalid_arg "Probe_broker.create: capacity < 0"
+  | Some c when c < 0 -> invalid_arg "Probe_broker.create_tiered: capacity < 0"
   | _ -> ());
   let clock =
     match (clock, obs) with
@@ -121,9 +169,8 @@ let create ?obs ?clock ?(freshness = infinity) ?capacity ?breaker
       obs
   in
   {
-    resolve;
+    backends;
     key;
-    bk_batch_size = batch_size;
     freshness;
     capacity;
     breaker;
@@ -132,8 +179,10 @@ let create ?obs ?clock ?(freshness = infinity) ?capacity ?breaker
     lock = Mutex.create ();
     cond = Condition.create ();
     fresh = Hashtbl.create 256;
+    shrunk_fresh = Hashtbl.create 256;
     inflight = Hashtbl.create 64;
     tenants = Hashtbl.create 8;
+    tiers = Array.init (Array.length backends) (fun _ -> fresh_tier_counters ());
     tenant_order = [];
     rr = 0;
     queued = 0;
@@ -149,12 +198,42 @@ let create ?obs ?clock ?(freshness = infinity) ?capacity ?breaker
     s_batches = 0;
   }
 
+let create ?obs ?clock ?freshness ?capacity ?breaker ?(batch_size = 1) ~key
+    resolve =
+  if batch_size < 1 then invalid_arg "Probe_broker.create: batch_size < 1";
+  create_tiered ?obs ?clock ?freshness ?capacity ?breaker ~key
+    [| { bk_resolve = resolve; bk_batch = batch_size } |]
+
 let of_source ?obs ?clock ?freshness ?capacity ?breaker ?batch_size ~key
     source =
   create ?obs ?clock ?freshness ?capacity ?breaker ?batch_size ~key
     (Probe_source.resolver source)
 
-let batch_size t = t.bk_batch_size
+let of_sources ?obs ?clock ?freshness ?capacity ?breaker ~key
+    ~(specs : Probe_tier.spec array) sources =
+  Probe_tier.validate specs;
+  if Array.length sources <> Array.length specs then
+    invalid_arg "Probe_broker.of_sources: sources/specs length mismatch";
+  let backends =
+    Array.map2
+      (fun (spec : Probe_tier.spec) src ->
+        let resolver =
+          match spec.Probe_tier.kind with
+          | Probe_tier.Resolve -> Probe_source.resolver src
+          | Probe_tier.Shrink _ -> Tiered.shrink_resolver src
+        in
+        { bk_resolve = resolver; bk_batch = spec.Probe_tier.batch })
+      specs sources
+  in
+  create_tiered ?obs ?clock ?freshness ?capacity ?breaker ~key backends
+
+let batch_size t = t.backends.(0).bk_batch
+let tiers t = Array.length t.backends
+
+let tier_batch_size t ~tier =
+  if tier < 0 || tier >= Array.length t.backends then
+    invalid_arg "Probe_broker.tier_batch_size";
+  t.backends.(tier).bk_batch
 
 (* ---- lock-held helpers ------------------------------------------- *)
 
@@ -189,10 +268,17 @@ let register_quota t name quota =
   (* the tightest registered quota wins *);
   Mutex.unlock t.lock
 
-let fresh_lookup t k now =
+(* Freshness is asymmetric across tiers: a [Resolved] point (any tier's
+   oracle answer) satisfies a request at every tier, while a [Shrunk]
+   interval only satisfies the tier that produced it — requesting a
+   stronger answer must still pay for it. *)
+let fresh_lookup t ~tier k now =
   match Hashtbl.find_opt t.fresh k with
   | Some e when now -. e.fe_at < t.freshness -> Some e.fe_outcome
-  | _ -> None
+  | _ -> (
+      match Hashtbl.find_opt t.shrunk_fresh (tier, k) with
+      | Some e when now -. e.fe_at < t.freshness -> Some e.fe_outcome
+      | _ -> None)
 
 let admissible t tn =
   (match t.capacity with Some c -> t.s_admitted < c | None -> true)
@@ -213,45 +299,81 @@ let note_atomic t f =
 
 (* Pack one backend batch: drain tenant queues round-robin, one request
    per tenant per pass, starting after wherever the last dispatch
-   stopped — per-tenant FIFO, cross-tenant fair. *)
+   stopped — per-tenant FIFO, cross-tenant fair.
+
+   A round serves exactly one tier (one backend, one batch-size limit):
+   the target is the tier of the first queued head in RR order, and
+   only heads at that tier are taken this round — a tenant whose head
+   wants a different tier simply waits for a later round, preserving
+   its own FIFO.  With a single backend every head matches and this is
+   the old behavior exactly.  Returns [(tier, batch)]; the batch is
+   non-empty whenever [t.queued > 0]. *)
 let take_batch t =
   let order = Array.of_list (List.rev t.tenant_order) in
   let n = Array.length order in
-  let batch = ref [] in
-  let taken = ref 0 in
-  let progress = ref true in
-  while !taken < t.bk_batch_size && t.queued > 0 && !progress do
-    progress := false;
-    let i = ref 0 in
-    while !taken < t.bk_batch_size && !i < n do
-      let tn = Hashtbl.find t.tenants order.((t.rr + !i) mod n) in
-      (match Queue.take_opt tn.tn_queue with
-      | Some k ->
-          let rq = Hashtbl.find t.inflight k in
-          batch := rq :: !batch;
-          incr taken;
-          t.queued <- t.queued - 1;
-          t.rr <- (t.rr + !i + 1) mod n;
-          progress := true
-      | None -> ());
-      incr i
-    done
-  done;
-  Array.of_list (List.rev !batch)
+  let target = ref (-1) in
+  (let i = ref 0 in
+   while !target < 0 && !i < n do
+     let tn = Hashtbl.find t.tenants order.((t.rr + !i) mod n) in
+     (match Queue.peek_opt tn.tn_queue with
+     | Some (tier, _) -> target := tier
+     | None -> ());
+     incr i
+   done);
+  if !target < 0 then (0, [||])
+  else begin
+    let limit = t.backends.(!target).bk_batch in
+    let batch = ref [] in
+    let taken = ref 0 in
+    let progress = ref true in
+    while !taken < limit && t.queued > 0 && !progress do
+      progress := false;
+      let i = ref 0 in
+      while !taken < limit && !i < n do
+        let tn = Hashtbl.find t.tenants order.((t.rr + !i) mod n) in
+        (match Queue.peek_opt tn.tn_queue with
+        | Some (tier, k) when tier = !target ->
+            ignore (Queue.pop tn.tn_queue);
+            let rq = Hashtbl.find t.inflight (tier, k) in
+            batch := rq :: !batch;
+            incr taken;
+            t.queued <- t.queued - 1;
+            t.rr <- (t.rr + !i + 1) mod n;
+            progress := true
+        | Some _ | None -> ());
+        incr i
+      done
+    done;
+    (!target, Array.of_list (List.rev !batch))
+  end
 
 let settle t rq outcome =
-  Hashtbl.remove t.inflight rq.rq_key;
+  Hashtbl.remove t.inflight (rq.rq_tier, rq.rq_key);
+  let tc = t.tiers.(rq.rq_tier) in
   let now = t.clock () in
   (match outcome with
   | Probe_driver.Resolved _ ->
       t.s_charged <- t.s_charged + 1;
+      tc.tc_charged <- tc.tc_charged + 1;
       (tenant_of t rq.rq_tenant).tn_charged <-
         (tenant_of t rq.rq_tenant).tn_charged + 1;
       note t (fun i -> Metrics.incr i.m_charged);
-      (* Failures are never cached: a later request retries. *)
+      (* A point answers any tier's future request. *)
       Hashtbl.replace t.fresh rq.rq_key { fe_outcome = outcome; fe_at = now }
+  | Probe_driver.Shrunk _ ->
+      t.s_charged <- t.s_charged + 1;
+      tc.tc_charged <- tc.tc_charged + 1;
+      (tenant_of t rq.rq_tenant).tn_charged <-
+        (tenant_of t rq.rq_tenant).tn_charged + 1;
+      note t (fun i -> Metrics.incr i.m_charged);
+      (* A narrowed interval only answers this same tier again. *)
+      Hashtbl.replace t.shrunk_fresh
+        (rq.rq_tier, rq.rq_key)
+        { fe_outcome = outcome; fe_at = now }
   | Probe_driver.Failed _ ->
       t.s_failed <- t.s_failed + 1;
+      tc.tc_failed <- tc.tc_failed + 1;
+      (* Failures are never cached: a later request retries. *)
       (tenant_of t rq.rq_tenant).tn_failed <-
         (tenant_of t rq.rq_tenant).tn_failed + 1;
       note t (fun i -> Metrics.incr i.m_failed));
@@ -276,7 +398,7 @@ let breaker_transition ~trace ~round before after =
    are emitted there. *)
 let dispatch_round ?(trace = Trace.null) t =
   t.dispatching <- true;
-  let batch = take_batch t in
+  let tier, batch = take_batch t in
   let round = t.rounds in
   t.rounds <- t.rounds + 1;
   let allowed =
@@ -298,7 +420,7 @@ let dispatch_round ?(trace = Trace.null) t =
    else begin
      Mutex.unlock t.lock;
      let outcomes =
-       try Ok (t.resolve (Array.map (fun rq -> rq.rq_obj) batch))
+       try Ok (t.backends.(tier).bk_resolve (Array.map (fun rq -> rq.rq_obj) batch))
        with e ->
          let bt = Printexc.get_raw_backtrace () in
          Error (e, bt)
@@ -315,6 +437,7 @@ let dispatch_round ?(trace = Trace.null) t =
            invalid_arg "Probe_broker: resolver changed the batch length"
          end;
          t.s_batches <- t.s_batches + 1;
+         t.tiers.(tier).tc_batches <- t.tiers.(tier).tc_batches + 1;
          note t (fun i ->
              Metrics.incr i.m_batches;
              Metrics.observe i.h_fill (float_of_int (Array.length batch)));
@@ -322,7 +445,8 @@ let dispatch_round ?(trace = Trace.null) t =
          Array.iteri
            (fun i oc ->
              (match oc with
-             | Probe_driver.Resolved _ -> any_resolved := true
+             | Probe_driver.Resolved _ | Probe_driver.Shrunk _ ->
+                 any_resolved := true
              | Probe_driver.Failed _ -> ());
              settle t batch.(i) oc)
            outcomes;
@@ -351,17 +475,21 @@ let dispatch_round ?(trace = Trace.null) t =
 
 (* ---- the client path --------------------------------------------- *)
 
-let resolve_many ?trace t ~tenant objects =
+let resolve_many ?trace ?(tier = 0) t ~tenant objects =
+  if tier < 0 || tier >= Array.length t.backends then
+    invalid_arg "Probe_broker.resolve_many: tier out of range";
   let n = Array.length objects in
   let results = Array.make n None in
   let remaining = ref n in
   Mutex.lock t.lock;
   let tn = tenant_of t tenant in
+  let tc = t.tiers.(tier) in
   let now = t.clock () in
   Array.iteri
     (fun i o ->
       let k = t.key o in
       t.s_requests <- t.s_requests + 1;
+      tc.tc_requests <- tc.tc_requests + 1;
       tn.tn_requests <- tn.tn_requests + 1;
       let deliver oc =
         results.(i) <- Some oc;
@@ -370,20 +498,22 @@ let resolve_many ?trace t ~tenant objects =
       (* Each arm below records the request *and* its outcome in one
          atomic metrics group — a concurrent snapshot never sees a
          request without its classification. *)
-      match fresh_lookup t k now with
+      match fresh_lookup t ~tier k now with
       | Some oc ->
           t.s_fresh <- t.s_fresh + 1;
+          tc.tc_fresh <- tc.tc_fresh + 1;
           tn.tn_fresh <- tn.tn_fresh + 1;
           note_atomic t (fun ins ->
               Metrics.incr ins.m_requests;
               Metrics.incr ins.m_fresh);
           deliver oc
       | None -> (
-          match Hashtbl.find_opt t.inflight k with
+          match Hashtbl.find_opt t.inflight (tier, k) with
           | Some rq ->
               (* Someone (possibly this very call) already wants this
-                 object: one probe, fanned out. *)
+                 object at this tier: one probe, fanned out. *)
               t.s_coalesced <- t.s_coalesced + 1;
+              tc.tc_coalesced <- tc.tc_coalesced + 1;
               tn.tn_coalesced <- tn.tn_coalesced + 1;
               note_atomic t (fun ins ->
                   Metrics.incr ins.m_requests;
@@ -394,6 +524,7 @@ let resolve_many ?trace t ~tenant objects =
                 (* Saturated: degrade, never block — the PR-5 outcome
                    the operator's fallback already understands. *)
                 t.s_rejected <- t.s_rejected + 1;
+                tc.tc_rejected <- tc.tc_rejected + 1;
                 tn.tn_rejected <- tn.tn_rejected + 1;
                 note_atomic t (fun ins ->
                     Metrics.incr ins.m_requests;
@@ -402,6 +533,7 @@ let resolve_many ?trace t ~tenant objects =
               end
               else begin
                 t.s_admitted <- t.s_admitted + 1;
+                tc.tc_admitted <- tc.tc_admitted + 1;
                 tn.tn_admitted <- tn.tn_admitted + 1;
                 note_atomic t (fun ins ->
                     Metrics.incr ins.m_requests;
@@ -410,13 +542,14 @@ let resolve_many ?trace t ~tenant objects =
                   {
                     rq_obj = o;
                     rq_key = k;
+                    rq_tier = tier;
                     rq_tenant = tenant;
                     rq_enqueued_at = now;
                     rq_waiters = [ deliver ];
                   }
                 in
-                Hashtbl.add t.inflight k rq;
-                Queue.add k tn.tn_queue;
+                Hashtbl.add t.inflight (tier, k) rq;
+                Queue.add (tier, k) tn.tn_queue;
                 t.queued <- t.queued + 1
               end))
     objects;
@@ -435,20 +568,41 @@ let resolve_many ?trace t ~tenant objects =
   Mutex.unlock t.lock;
   Array.map (function Some oc -> oc | None -> assert false) results
 
-let client ?obs ?(tenant = "default") ?quota t =
+let client ?obs ?(tenant = "default") ?quota ?(tier = 0) t =
   (match quota with
   | Some q when q < 0 -> invalid_arg "Probe_broker.client: quota < 0"
   | _ -> ());
+  if tier < 0 || tier >= Array.length t.backends then
+    invalid_arg "Probe_broker.client: tier out of range";
   register_quota t tenant quota;
   (* [obs] here is the *query's* capability (its sink typically stamped
      with the query's trace context by [Engine.execute_one]): the
      driver's batch/failure events and any breaker transition observed
      while this client is the dispatcher carry that attribution. *)
   let trace = Option.map Obs.trace obs in
-  Probe_driver.create_outcomes ?obs ~batch_size:t.bk_batch_size
-    (fun objects -> resolve_many ?trace t ~tenant objects)
+  Probe_driver.create_outcomes ?obs ~batch_size:t.backends.(tier).bk_batch
+    (fun objects -> resolve_many ?trace ~tier t ~tenant objects)
 
-let fetch ?(tenant = "default") t o = (resolve_many t ~tenant [| o |]).(0)
+(* A per-query cascade whose tier-[i] driver is a tier-pinned broker
+   client: escalation decisions stay in the operator, sharing (and
+   coalescing) each tier's backend across queries. *)
+let cascade_client ?obs ?tenant ?quota ~(specs : Probe_tier.spec array) t =
+  Probe_tier.validate specs;
+  if Array.length specs <> Array.length t.backends then
+    invalid_arg "Probe_broker.cascade_client: specs/backends length mismatch";
+  Array.iteri
+    (fun i (spec : Probe_tier.spec) ->
+      if spec.Probe_tier.batch <> t.backends.(i).bk_batch then
+        invalid_arg "Probe_broker.cascade_client: spec batch <> backend batch")
+    specs;
+  let drivers =
+    Array.init (Array.length specs) (fun tier ->
+        client ?obs ?tenant ?quota ~tier t)
+  in
+  Cascade.create ~specs drivers
+
+let fetch ?(tenant = "default") ?tier t o =
+  (resolve_many ?tier t ~tenant [| o |]).(0)
 
 (* ---- introspection ------------------------------------------------ *)
 
@@ -457,9 +611,16 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let is_fresh t k =
-  locked t (fun () -> fresh_lookup t k (t.clock ()) <> None)
+  locked t (fun () ->
+      let now = t.clock () in
+      let tiers = Array.length t.backends in
+      let rec any i = i < tiers && (fresh_lookup t ~tier:i k now <> None || any (i + 1)) in
+      any 0)
 
-let invalidate t k = locked t (fun () -> Hashtbl.remove t.fresh k)
+let invalidate t k =
+  locked t (fun () ->
+      Hashtbl.remove t.fresh k;
+      Array.iteri (fun i _ -> Hashtbl.remove t.shrunk_fresh (i, k)) t.backends)
 let pending t = locked t (fun () -> t.queued)
 
 let saturated t =
@@ -478,6 +639,22 @@ let stats t =
         rejected = t.s_rejected;
         batches = t.s_batches;
       })
+
+let by_tier t =
+  locked t (fun () ->
+      Array.map
+        (fun tc ->
+          {
+            requests = tc.tc_requests;
+            admitted = tc.tc_admitted;
+            charged = tc.tc_charged;
+            failed = tc.tc_failed;
+            coalesced = tc.tc_coalesced;
+            fresh_hits = tc.tc_fresh;
+            rejected = tc.tc_rejected;
+            batches = tc.tc_batches;
+          })
+        t.tiers)
 
 let tenant_stats t =
   locked t (fun () ->

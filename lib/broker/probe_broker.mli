@@ -36,6 +36,17 @@
     charges the backend strictly fewer probes than the sum of solo runs
     whenever any object overlaps.
 
+    {e Tiers.}  A broker may front a whole probe cascade
+    ({!create_tiered}, {!of_sources}): one backend per {!Probe_tier}
+    tier, cheapest first.  Queueing, coalescing and freshness are then
+    per [(object, tier)] — each dispatch round serves exactly one tier
+    — with one asymmetry: a cached {e point} ([Resolved], from any
+    tier) satisfies a request at {e every} tier, while a cached
+    {e narrowed interval} ([Shrunk]) only satisfies its own tier, so a
+    proxy-fresh object requested at the oracle still escalates and
+    pays.  {!cascade_client} packages the tier-pinned clients as a
+    {!Cascade} for [Operator.run].
+
     The broker is safe for concurrent use from many domains.  Each
     {e client driver} must still be confined to one domain at a time
     (drivers are not thread-safe); give every concurrent query its own
@@ -99,10 +110,68 @@ val of_source :
     and fault plans all apply per dispatched batch, exactly as they
     would under a direct {!Probe_source.driver}. *)
 
+(** {2 Tiered backends} *)
+
+type 'o backend = {
+  bk_resolve : 'o array -> 'o Probe_driver.outcome array;
+      (** may return [Resolved] (an oracle tier) or [Shrunk] (a proxy
+          tier that narrowed the interval); the broker interprets only
+          the outcome kind *)
+  bk_batch : int;  (** this tier's batch bound [B] *)
+}
+
+val create_tiered :
+  ?obs:Obs.t ->
+  ?clock:(unit -> float) ->
+  ?freshness:float ->
+  ?capacity:int ->
+  ?breaker:Circuit_breaker.t ->
+  key:('o -> int) ->
+  'o backend array ->
+  'o t
+(** [create_tiered ~key backends] builds a broker over a cascade of
+    backends, cheapest first (tier 0 is the cheapest proxy, the last is
+    typically the oracle).  Requests name their tier
+    ({!client}'s [?tier]); each dispatch round drains one tier's
+    requests into that tier's resolver at that tier's batch bound.
+    Admission (capacity, quotas) and the breaker are shared across
+    tiers — they protect the probe subsystem as a whole.
+    @raise Invalid_argument on an empty backend array, a [bk_batch < 1],
+    [capacity < 0], or negative/NaN [freshness]. *)
+
+val of_sources :
+  ?obs:Obs.t ->
+  ?clock:(unit -> float) ->
+  ?freshness:float ->
+  ?capacity:int ->
+  ?breaker:Circuit_breaker.t ->
+  key:('o -> int) ->
+  specs:Probe_tier.spec array ->
+  'o Probe_source.t array ->
+  'o t
+(** A tiered broker whose backends are {!Probe_source}s paired with
+    {!Probe_tier} specs ([sources.(i)] serves [specs.(i)]): [Resolve]
+    tiers resolve with {!Probe_source.resolver}, [Shrink] tiers with
+    {!Tiered.shrink_resolver}.  Batch bounds come from the specs.
+    @raise Invalid_argument on invalid specs or a length mismatch. *)
+
 val batch_size : 'o t -> int
+(** Tier 0's batch bound — for a single-backend broker, {e the} batch
+    size. *)
+
+val tiers : 'o t -> int
+(** Number of backend tiers (1 for {!create}/{!of_source}). *)
+
+val tier_batch_size : 'o t -> tier:int -> int
+(** @raise Invalid_argument if [tier] is out of range. *)
 
 val client :
-  ?obs:Obs.t -> ?tenant:string -> ?quota:int -> 'o t -> 'o Probe_driver.t
+  ?obs:Obs.t ->
+  ?tenant:string ->
+  ?quota:int ->
+  ?tier:int ->
+  'o t ->
+  'o Probe_driver.t
 (** [client t] is the broker as a per-query probe capability: a driver
     with the broker's batch size whose flushes resolve through the
     shared broker.  Hand one to {!Engine.execute} (or any
@@ -127,24 +196,45 @@ val client :
     [Engine.execute_one] does) and everything the query triggers
     carries its trace ID.
 
-    Each client must be used from one domain at a time.
-    @raise Invalid_argument if [quota < 0]. *)
+    [tier] (default 0) pins the client to one backend tier: its batch
+    size is that tier's [bk_batch] and its flushes dispatch against
+    that tier's resolver.  A single-backend broker only has tier 0.
 
-val fetch : ?tenant:string -> 'o t -> 'o -> 'o Probe_driver.outcome
+    Each client must be used from one domain at a time.
+    @raise Invalid_argument if [quota < 0] or [tier] is out of
+    range. *)
+
+val cascade_client :
+  ?obs:Obs.t ->
+  ?tenant:string ->
+  ?quota:int ->
+  specs:Probe_tier.spec array ->
+  'o t ->
+  'o Cascade.t
+(** The broker as a per-query {!Cascade}: tier [i]'s driver is
+    [client ~tier:i t], so escalation decisions stay in the operator
+    while every tier's backend is shared (coalesced, freshness-cached)
+    across queries.  [specs] must match the broker's backends
+    tier-for-tier — same count, same batch bounds; pricing fields feed
+    the cascade's start-tier selection.
+    @raise Invalid_argument on a mismatch or invalid specs. *)
+
+val fetch : ?tenant:string -> ?tier:int -> 'o t -> 'o -> 'o Probe_driver.outcome
 (** Resolve one object through the broker synchronously — the scalar
     convenience the band join's probe cache is built on.  Equivalent to
     a one-element client flush: fresh hits are free, otherwise the
-    request is admitted (or degraded) and dispatched. *)
+    request is admitted (or degraded) and dispatched.  [tier] defaults
+    to 0. *)
 
 val is_fresh : 'o t -> int -> bool
 (** Whether a successful probe for this key is currently within the
-    freshness window — i.e. whether a request for it right now would be
-    a free hit. *)
+    freshness window at {e some} tier — i.e. whether a request for it
+    at some tier right now would be a free hit. *)
 
 val invalidate : 'o t -> int -> unit
-(** Drop the cached outcome for a key, if any: the next request
-    re-probes.  The hook for backends whose objects go stale out of
-    band. *)
+(** Drop every cached outcome for a key (point and per-tier shrunk
+    entries alike): the next request re-probes.  The hook for backends
+    whose objects go stale out of band. *)
 
 val pending : 'o t -> int
 (** Requests admitted but not yet handed to the backend — the shared
@@ -172,6 +262,11 @@ val stats : 'o t -> stats
     rejected], and [charged + failed <= admitted] (the difference is
     still queued).  Reading the stats synchronises with the broker's
     lock, so the identity holds at any moment of a concurrent run. *)
+
+val by_tier : 'o t -> stats array
+(** Per-tier totals, index-aligned with the backends.  The {!stats}
+    identity holds per tier, and the whole-broker totals are the
+    element-wise sums. *)
 
 val tenant_stats : 'o t -> (string * stats) list
 (** Per-tenant totals ([batches] is 0 — dispatches are shared),

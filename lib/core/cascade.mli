@@ -1,0 +1,68 @@
+(** A tiered probe cascade: one {!Probe_driver} per {!Probe_tier.spec},
+    cheap [Shrink] proxies first, the [Resolve] oracle last.
+
+    The cascade is passive plumbing over the per-tier drivers;
+    escalation, re-classification and the Theorem 3.1 counter updates
+    live in [Operator.run ?cascade].  A [Shrunk] outcome at tier [i]
+    narrows the object's imprecision interval — a narrower interval is
+    still a valid imprecise model, so re-classifying the shrunk object
+    may turn MAYBE into a definite verdict and save the oracle probe
+    entirely; residuals escalate to tier [i+1].  A tier that fails
+    permanently fails over to the next tier ({!note_failover}); only an
+    oracle failure degrades the answer. *)
+
+type 'o t
+
+val create :
+  ?start:int -> specs:Probe_tier.spec array -> 'o Probe_driver.t array -> 'o t
+(** [create ~specs drivers] pairs tier [i]'s spec with [drivers.(i)].
+    [start] is the tier submissions enter at; it defaults to
+    {!Probe_tier.select}'s cheapest escalation strategy.
+    @raise Invalid_argument if the specs are invalid
+    ({!Probe_tier.validate}), the arrays differ in length, or a
+    driver's batch size disagrees with its spec. *)
+
+val of_driver : ?name:string -> cost:Cost_model.t -> 'o Probe_driver.t -> 'o t
+(** Single-tier cascade around today's oracle driver, priced at the
+    cost model's [(c_p, c_b)] and the driver's batch size — the
+    degenerate cascade the golden tests pin against the direct
+    driver. *)
+
+val tiers : 'o t -> int
+val specs : 'o t -> Probe_tier.spec array
+val names : 'o t -> string array
+val drivers : 'o t -> 'o Probe_driver.t array
+val driver : 'o t -> int -> 'o Probe_driver.t
+
+val oracle : 'o t -> 'o Probe_driver.t
+(** The final [Resolve] tier's driver. *)
+
+val start : 'o t -> int
+val set_start : 'o t -> int -> unit
+
+val replan : 'o t -> unit
+(** Re-select the cheapest starting tier from the specs — e.g. after a
+    fault plan changed which tiers are worth entering. *)
+
+val pending : 'o t -> int
+(** Submissions queued but unresolved, summed over every tier. *)
+
+val note_failover : 'o t -> int -> unit
+(** Record a permanent failure at tier [i] that escalated to [i+1]. *)
+
+val failovers : 'o t -> int array
+
+val premap : into:('a -> 'o) -> back:('o -> 'a) -> 'o t -> 'a t
+(** Per-tier {!Probe_driver.premap}; the view shares [start] and the
+    failover counters with the original. *)
+
+type stats = {
+  st_name : string;
+  st_probes : int;  (** [Resolved] outcomes at this tier *)
+  st_shrinks : int;  (** [Shrunk] outcomes at this tier *)
+  st_failures : int;
+  st_batches : int;
+  st_failovers : int;
+}
+
+val stats : 'o t -> stats array

@@ -78,6 +78,7 @@ val run :
   ?enforce:bool ->
   ?should_stop:(pending:int -> bool) ->
   ?prune:bool ->
+  ?cascade:'o Cascade.t ->
   store:Column_store.t ->
   of_row:(Column_store.row -> 'o) ->
   pred:Predicate.compiled ->

@@ -71,7 +71,8 @@ let trace_action = function
   | Decision.Ignore -> `Ignore
 
 let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true)
-    ?(should_stop = fun ~pending:_ -> false) ?on_progress ~instance
+    ?(should_stop = fun ~pending:_ -> false) ?on_progress
+    ?(cascade : _ Cascade.t option) ~instance
     ~(probe : _ Probe_driver.t) ~policy
     ~(requirements : Quality.requirements) source =
   let meter = match meter with Some m -> m | None -> Cost_meter.create () in
@@ -173,17 +174,6 @@ let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true)
      never unsound.  With batch size 1 every submission flushes before
      [submit] returns and this operator is the scalar Fig. 1 loop, bit
      for bit. *)
-  let batches_seen = ref (Probe_driver.batches probe) in
-  let sync_batches () =
-    (* The driver flushes autonomously at batch boundaries; meter its
-       batch dispatches by delta so a shared driver stays accountable. *)
-    let b = Probe_driver.batches probe in
-    for _ = 1 to b - !batches_seen do
-      Cost_meter.charge_batch meter;
-      note_batch ()
-    done;
-    batches_seen := b
-  in
   (* Degradation state: a probe that fails permanently does not abort
      the run — the object is still MAYBE (or YES) and still needs a
      write decision.  The fallback re-enters the Theorem 3.1 guards with
@@ -253,21 +243,156 @@ let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true)
     | Decision.Probe, _ -> assert false);
     note_progress ()
   in
-  let submit_probe ~verdict ~laxity ~preference o complete =
-    Probe_driver.submit_outcome probe o (function
-      | Probe_driver.Resolved precise ->
-          Cost_meter.charge_probe meter;
+  (* Probe machinery, abstracted over the two backends: the single
+     oracle driver (today's path, untouched) or a tiered cascade where
+     a submission enters at the cheapest viable tier, [Shrunk] outcomes
+     are re-classified (a narrower interval may be definite, saving the
+     oracle probe) and residuals escalate tier by tier. *)
+  let pending_probes, submit_probe, flush_probes =
+    match cascade with
+    | None ->
+        let batches_seen = ref (Probe_driver.batches probe) in
+        let sync_batches () =
+          (* The driver flushes autonomously at batch boundaries; meter
+             its batch dispatches by delta so a shared driver stays
+             accountable. *)
+          let b = Probe_driver.batches probe in
+          for _ = 1 to b - !batches_seen do
+            Cost_meter.charge_batch meter;
+            note_batch ()
+          done;
+          batches_seen := b
+        in
+        let submit_probe ~verdict ~laxity ~preference o complete =
+          Probe_driver.submit_outcome probe o (function
+            | Probe_driver.Resolved precise ->
+                Cost_meter.charge_probe meter;
+                note_probe ();
+                if tracing then trace_event Trace.Probe_resolved;
+                complete precise;
+                note_progress ()
+            | Probe_driver.Shrunk _ ->
+                invalid_arg "Operator.run: Shrunk outcome without a cascade"
+            | Probe_driver.Failed { attempts } ->
+                degrade o ~verdict ~laxity ~attempts preference);
+          sync_batches ()
+        in
+        let flush_probes () =
+          Probe_driver.flush probe;
+          sync_batches ()
+        in
+        ((fun () -> Probe_driver.pending probe), submit_probe, flush_probes)
+    | Some c ->
+        let specs = Cascade.specs c in
+        let drivers = Cascade.drivers c in
+        let n = Array.length drivers in
+        let note_tier_probe, note_tier_batch, note_tier_shrink,
+            note_tier_failover =
+          match obs with
+          | None ->
+              let nop (_ : int) = () in
+              (nop, nop, nop, nop)
+          | Some o ->
+              let mk key =
+                Array.map
+                  (fun (s : Probe_tier.spec) ->
+                    Obs.counter o (key s.Probe_tier.name))
+                  specs
+              in
+              let p = mk Obs.Keys.tier_probes
+              and b = mk Obs.Keys.tier_batches
+              and s = mk Obs.Keys.tier_shrinks
+              and f = mk Obs.Keys.tier_failovers in
+              ( (fun i -> Metrics.incr p.(i)),
+                (fun i -> Metrics.incr b.(i)),
+                (fun i -> Metrics.incr s.(i)),
+                (fun i -> Metrics.incr f.(i)) )
+        in
+        let batches_seen = Array.map Probe_driver.batches drivers in
+        let sync_batches () =
+          Array.iteri
+            (fun i d ->
+              let b = Probe_driver.batches d in
+              for _ = 1 to b - batches_seen.(i) do
+                Cost_meter.charge_batch_tier meter i;
+                note_batch ();
+                note_tier_batch i
+              done;
+              batches_seen.(i) <- b)
+            drivers
+        in
+        let charge_probe_at i =
+          Cost_meter.charge_probe_tier meter i;
           note_probe ();
-          if tracing then trace_event Trace.Probe_resolved;
-          complete precise;
-          note_progress ()
-      | Probe_driver.Failed { attempts } ->
-          degrade o ~verdict ~laxity ~attempts preference);
-    sync_batches ()
-  in
-  let flush_probes () =
-    Probe_driver.flush probe;
-    sync_batches ()
+          note_tier_probe i
+        in
+        (* A shrunk object that became definite YES forwards imprecise
+           when its residual laxity is admissible — exactly rule (a),
+           i.e. [Decision.can_forward ~verdict:Yes].  The policy is not
+           re-consulted (no rng draw), so plans and adaptive windows
+           see the same decision stream as an oracle-only run. *)
+        let forwardable ~laxity = laxity <= requirements.Quality.laxity in
+        let rec submit_tier i ~verdict ~laxity ~preference o complete =
+          Probe_driver.submit_outcome drivers.(i) o (function
+            | Probe_driver.Resolved precise ->
+                charge_probe_at i;
+                if tracing then trace_event Trace.Probe_resolved;
+                complete precise;
+                note_progress ()
+            | Probe_driver.Shrunk narrowed ->
+                charge_probe_at i;
+                note_tier_shrink i;
+                (* The final tier is Resolve by construction; a Shrunk
+                   outcome there is a broken backend. *)
+                if i >= n - 1 then raise Inconsistent_probe;
+                let laxity' = instance.laxity narrowed in
+                (* Shrinking must narrow: more laxity than before means
+                   the proxy widened the imprecision model. *)
+                if laxity' > laxity +. 1e-9 then raise Inconsistent_probe;
+                let verdict' = instance.classify narrowed in
+                (match (verdict, verdict') with
+                | Tvl.Yes, (Tvl.No | Tvl.Maybe) ->
+                    (* a narrower interval of a YES object stays inside
+                       the query region *)
+                    raise Inconsistent_probe
+                | _ -> ());
+                (match verdict' with
+                | Tvl.No ->
+                    (* Definite NO: the proxy answered the query; like
+                       a probed MAYBE that resolved NO, the object is
+                       consumed and never reaches the oracle. *)
+                    Counters.probe_maybe_no counters;
+                    note_progress ()
+                | Tvl.Yes when forwardable ~laxity:laxity' ->
+                    Counters.forward_yes counters ~laxity:laxity';
+                    forward_imprecise narrowed;
+                    note_progress ()
+                | Tvl.Yes | Tvl.Maybe ->
+                    submit_tier (i + 1) ~verdict:verdict' ~laxity:laxity'
+                      ~preference narrowed complete)
+            | Probe_driver.Failed { attempts } ->
+                if i < n - 1 then begin
+                  (* Cheap tier down: escalate straight to the next
+                     tier — the answer only degrades when the oracle
+                     itself fails. *)
+                  Cascade.note_failover c i;
+                  note_tier_failover i;
+                  submit_tier (i + 1) ~verdict ~laxity ~preference o complete
+                end
+                else degrade o ~verdict ~laxity ~attempts preference)
+        in
+        let submit_probe ~verdict ~laxity ~preference o complete =
+          submit_tier (Cascade.start c) ~verdict ~laxity ~preference o
+            complete;
+          sync_batches ()
+        in
+        let flush_probes () =
+          (* Escalation strictly increases the tier index, so one pass
+             in order drains everything a callback re-submits. *)
+          Array.iter Probe_driver.flush drivers;
+          sync_batches ()
+        in
+        ((fun () -> Cascade.pending c), submit_probe, flush_probes)
   in
   let finished () =
     Counters.recall_guarantee counters >= requirements.Quality.recall
@@ -278,7 +403,7 @@ let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true)
      could reach r_q, so batching never reads past the early-termination
      point by more than the probes already in flight. *)
   let pending_could_finish () =
-    let n = Probe_driver.pending probe in
+    let n = pending_probes () in
     n > 0
     &&
     let ay = Counters.answer_yes counters in
@@ -300,7 +425,7 @@ let run ~rng ?meter ?obs ?emit ?(collect = true) ?(enforce = true)
   let stop = ref false in
   while not !stop do
     if finished () then stop := true
-    else if should_stop ~pending:(Probe_driver.pending probe) then begin
+    else if should_stop ~pending:(pending_probes ()) then begin
       (* The budget (or deadline) cannot pay for another read: stop
          here, keeping whatever answer has accumulated — the anytime
          contract.  Pending probes were committed before the check and

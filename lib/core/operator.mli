@@ -96,6 +96,7 @@ val run :
   ?enforce:bool ->
   ?should_stop:(pending:int -> bool) ->
   ?on_progress:(reads:int -> Quality.guarantees -> unit) ->
+  ?cascade:'o Cascade.t ->
   instance:'o instance ->
   probe:'o Probe_driver.t ->
   policy:Policy.t ->
@@ -149,6 +150,25 @@ val run :
     size.  The driver must not carry pending submissions from another
     run; its lifetime statistics may (batch charges are metered by
     delta).
+
+    [cascade] replaces the single driver with a tiered probe cascade
+    ({!Cascade}): a PROBE decision enters at the cascade's starting
+    tier, a [Resolved] outcome completes exactly as with [probe], and a
+    [Shrunk] outcome is re-classified — a narrower interval is still a
+    valid imprecision model, so the verdict may become definite.  A
+    definite NO is consumed like a probed MAYBE that resolved NO; a
+    definite YES whose residual laxity fits [l_q^max] forwards
+    imprecise (rule (a)); anything else escalates to the next tier with
+    the {e new} verdict and laxity.  The policy is not re-consulted on
+    escalation (no rng draw), so the decision stream is identical to an
+    oracle-only run.  A permanent failure at a proxy tier fails over to
+    the next tier ([qaq.probe.tier.<name>.failovers]); only an oracle
+    failure degrades.  Probes and batches are metered per tier
+    ({!Cost_meter.charge_probe_tier}) and mirrored to the
+    [qaq.probe.tier.<name>.*] counters, summing to the aggregate
+    [qaq.probes]/[qaq.batches] so reconciliation still holds.  When
+    [cascade] is given, [probe] is ignored.  A single-tier [Resolve]
+    cascade is bit-for-bit identical to passing its driver as [probe].
 
     [on_progress] is invoked after every {e settled} object — read and
     forwarded/ignored, or probe-resolved — with the number of objects

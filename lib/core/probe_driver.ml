@@ -1,4 +1,7 @@
-type 'o outcome = Resolved of 'o | Failed of { attempts : int }
+type 'o outcome =
+  | Resolved of 'o
+  | Shrunk of 'o
+  | Failed of { attempts : int }
 
 exception Probe_failed
 
@@ -6,6 +9,7 @@ type instruments = {
   i_obs : Obs.t;
   m_probes : Metrics.counter;
   m_batches : Metrics.counter;
+  m_shrinks : Metrics.counter;
   m_failures : Metrics.counter;
   h_flush : Metrics.histogram;
 }
@@ -17,6 +21,7 @@ type 'o t = {
   mutable queue : ('o * ('o outcome -> unit)) list;  (* newest first *)
   mutable queued : int;
   mutable probes : int;
+  mutable shrinks : int;
   mutable failures : int;
   mutable batches : int;
   mutable resolving : bool;
@@ -31,6 +36,7 @@ let create_outcomes ?obs ?(batch_size = 1) resolve_batch =
           i_obs = o;
           m_probes = Obs.counter o "probe_driver.probes";
           m_batches = Obs.counter o "probe_driver.batches";
+          m_shrinks = Obs.counter o "probe_driver.shrinks";
           m_failures = Obs.counter o "probe_driver.failures";
           h_flush = Obs.histogram o "probe_driver.flush_seconds";
         })
@@ -43,6 +49,7 @@ let create_outcomes ?obs ?(batch_size = 1) resolve_batch =
     queue = [];
     queued = 0;
     probes = 0;
+    shrinks = 0;
     failures = 0;
     batches = 0;
     resolving = false;
@@ -51,6 +58,13 @@ let create_outcomes ?obs ?(batch_size = 1) resolve_batch =
 let create ?obs ?batch_size resolve_batch =
   create_outcomes ?obs ?batch_size (fun objects ->
       Array.map (fun o -> Resolved o) (resolve_batch objects))
+
+(* A proxy tier: the narrowing function maps every object to a Shrunk
+   outcome — still possibly imprecise, so the consumer must re-classify
+   and escalate residuals (see Cascade). *)
+let shrinking ?obs ?batch_size narrow_batch =
+  create_outcomes ?obs ?batch_size (fun objects ->
+      Array.map (fun o -> Shrunk o) (narrow_batch objects))
 
 let scalar ?obs probe = create ?obs (Array.map probe)
 let of_scalar ?obs ~batch_size probe = create ?obs ~batch_size (Array.map probe)
@@ -83,23 +97,28 @@ let flush t =
     in
     if Array.length outcomes <> Array.length objects then
       invalid_arg "Probe_driver.flush: resolver changed the batch length";
-    let resolved = ref 0 and failed = ref 0 in
+    let resolved = ref 0 and shrunk = ref 0 and failed = ref 0 in
     Array.iter
-      (function Resolved _ -> incr resolved | Failed _ -> incr failed)
+      (function
+        | Resolved _ -> incr resolved
+        | Shrunk _ -> incr shrunk
+        | Failed _ -> incr failed)
       outcomes;
     t.batches <- t.batches + 1;
     t.probes <- t.probes + !resolved;
+    t.shrinks <- t.shrinks + !shrunk;
     t.failures <- t.failures + !failed;
     (match t.ins with
     | Some i ->
         Metrics.incr i.m_batches;
         Metrics.add i.m_probes !resolved;
+        Metrics.add i.m_shrinks !shrunk;
         Metrics.add i.m_failures !failed;
         if Obs.tracing i.i_obs then begin
           Obs.event i.i_obs (Trace.Batch { size = Array.length objects });
           Array.iter
             (function
-              | Resolved _ -> ()
+              | Resolved _ | Shrunk _ -> ()
               | Failed { attempts } ->
                   Obs.event i.i_obs (Trace.Probe_failed { attempts }))
             outcomes
@@ -121,6 +140,8 @@ let submit_outcome t o k =
 let submit t o k =
   submit_outcome t o (function
     | Resolved p -> k p
+    | Shrunk _ ->
+        invalid_arg "Probe_driver.submit: shrinking tier needs outcome API"
     | Failed _ -> raise Probe_failed)
 
 let resolve t o =
@@ -130,6 +151,7 @@ let resolve t o =
   match !result with Some precise -> precise | None -> assert false
 
 let probes t = t.probes
+let shrinks t = t.shrinks
 let failures t = t.failures
 let batches t = t.batches
 
@@ -154,6 +176,7 @@ let premap ~into ~back inner =
       Array.map
         (function
           | Some (Resolved p) -> Resolved (back p)
+          | Some (Shrunk p) -> Shrunk (back p)
           | Some (Failed { attempts }) -> Failed { attempts }
           | None -> assert false)
         resolved)

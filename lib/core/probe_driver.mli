@@ -26,6 +26,11 @@ type 'o t
 
 type 'o outcome =
   | Resolved of 'o  (** the precise version of the submitted object *)
+  | Shrunk of 'o
+      (** a proxy tier narrowed the object's imprecision interval —
+          still a valid imprecise model, possibly still indefinite; the
+          consumer re-classifies and escalates residuals (see
+          {!Cascade}) *)
   | Failed of { attempts : int }
       (** the backend gave up after [attempts] tries; the object will
           never resolve and must degrade (see {!Operator}) *)
@@ -53,6 +58,14 @@ val create_outcomes :
 (** Like {!create} for a resolver that reports per-element outcomes
     instead of raising on failure — the only way a backend can fail one
     element without discarding its resolved siblings. *)
+
+val shrinking :
+  ?obs:Obs.t -> ?batch_size:int -> ('o array -> 'o array) -> 'o t
+(** [shrinking narrow_batch] wraps a proxy backend: every submission
+    comes back [Shrunk (narrow_batch o)] — an object whose imprecision
+    interval the proxy narrowed without resolving it to a point.  Only
+    outcome-based consumers can drive such a tier; the legacy {!submit}
+    adapter raises [Invalid_argument] on a [Shrunk] outcome. *)
 
 val scalar : ?obs:Obs.t -> ('o -> 'o) -> 'o t
 (** [scalar probe] lifts a scalar resolution function into a driver with
@@ -117,6 +130,11 @@ val probes : 'o t -> int
 (** Total objects {e successfully} resolved over the driver's lifetime
     — failed elements are counted by {!failures}, not here, so probe
     metering charges only work the backend actually completed. *)
+
+val shrinks : 'o t -> int
+(** Total elements that came back [Shrunk] over the driver's lifetime
+    — counted separately from {!probes} ([Resolved] only) so tiered
+    metering can attribute each to its own tier price. *)
 
 val failures : 'o t -> int
 (** Total elements whose resolution failed permanently. *)

@@ -64,6 +64,7 @@ val run :
   ?collect:bool ->
   ?enforce:bool ->
   ?should_stop:(pending:int -> bool) ->
+  ?cascade:'o Cascade.t ->
   instance:'o Operator.instance ->
   probe:'o Probe_driver.t ->
   policy:Policy.t ->
@@ -73,7 +74,8 @@ val run :
 (** {!Operator.run} over an array, classifying on [pool] when it has
     more than one lane and degrading to the plain sequential operator
     otherwise (or when [pool] is omitted).  Probes go through
-    {!Probe_driver.premap} on the given driver, so its batching,
+    {!Probe_driver.premap} on the given driver (every tier's, under
+    [cascade] — see [Operator.run]'s [?cascade]), so its batching,
     statistics and instruments behave exactly as under direct use.  The
     report (answers included) is expressed over ['o], not {!item};
     results are bit-for-bit the sequential run's. *)

@@ -56,19 +56,26 @@ let degraded result = result.degradation.failed_probes > 0
    completed — work the backend did that the meter (by design) never
    charged, since no probe was delivered.  Each attempt is priced at the
    amortized c_p + c_b/B the solver and meter price completed probes at,
-   so degradation reports reconcile with plan pricing. *)
-let degradation_of_report ~(cost : Cost_model.t) ~batch
+   so degradation reports reconcile with plan pricing.  Under a cascade
+   only the final (oracle) tier can fail permanently — cheaper tiers
+   fail over instead of degrading — so attempts are priced at the final
+   tier's amortized rate. *)
+let degradation_of_report ~(cost : Cost_model.t) ~batch ?tiers
     ~(requirements : Quality.requirements) (report : _ Operator.report) =
   let d = report.Operator.degraded in
-  let amortized = Cost_model.amortize ~batch cost in
+  let attempt_price =
+    match tiers with
+    | Some (specs : Probe_tier.spec array) when Array.length specs > 0 ->
+        Probe_tier.amortized specs.(Array.length specs - 1)
+    | Some _ | None -> (Cost_model.amortize ~batch cost).Cost_model.c_p
+  in
   {
     failed_probes = d.Operator.failed_probes;
     failed_attempts = d.Operator.failed_attempts;
     degraded_forwards = d.Operator.degraded_forwards;
     degraded_ignores = d.Operator.degraded_ignores;
     forced_actions = d.Operator.forced_actions;
-    wasted_cost =
-      float_of_int d.Operator.failed_attempts *. amortized.Cost_model.c_p;
+    wasted_cost = float_of_int d.Operator.failed_attempts *. attempt_price;
     guarantees_before = d.Operator.guarantees_before;
     guarantees_after = report.Operator.guarantees;
     requirements_met = Quality.meets report.Operator.guarantees requirements;
@@ -113,8 +120,8 @@ let observed_max_laxity ?pool instance data =
   in
   Array.fold_left Float.max 0.0 laxities
 
-let make_plan ~rng ~meter ?obs ?pool ~cost ~batch ~cap ~budget ~instance
-    ~requirements ~fraction ~density ~fallback data =
+let make_plan ~rng ~meter ?obs ?pool ~cost ~batch ?tiers ~cap ~budget
+    ~instance ~requirements ~fraction ~density ~fallback data =
   let total = Stdlib.max 1 (Array.length data) in
   let sample = Selectivity.bernoulli_sample rng ~fraction data in
   let n = Array.length sample in
@@ -144,7 +151,9 @@ let make_plan ~rng ~meter ?obs ?pool ~cost ~batch ~cap ~budget ~instance
     | (`Uniform | `Histogram), _ -> Density.uniform ~max_laxity:cap
   in
   let spec = Region_model.spec ~f_y ~f_m ~max_laxity:cap ~density in
-  let problem = Solver.problem ~total ~spec ~requirements ~cost ~batch () in
+  let problem =
+    Solver.problem ~total ~spec ~requirements ~cost ~batch ?tiers ()
+  in
   match budget with
   | None ->
       let evaluation = Solver.solve problem in
@@ -171,8 +180,8 @@ let make_plan ~rng ~meter ?obs ?pool ~cost ~batch ~cap ~budget ~instance
       }
 
 let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
-    ?budget ?deadline ?obs ?emit ?collect ?profile ?columnar ~instance
-    ~(probe : _ Probe_driver.t) ~requirements data =
+    ?budget ?deadline ?obs ?emit ?collect ?profile ?columnar ?cascade
+    ~instance ~(probe : _ Probe_driver.t) ~requirements data =
   (match budget with
   | Some b when Float.is_nan b || b < 0.0 ->
       invalid_arg "Engine.execute: budget must be non-negative"
@@ -208,12 +217,21 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
     match batch with Some b -> b | None -> Probe_driver.batch_size probe
   in
   if batch < 1 then invalid_arg "Engine.execute: batch < 1";
+  (* Under a cascade the planner prices probes at the cascade's strategy
+     price instead of the amortized oracle price, and the run's spend is
+     read off the meter per tier. *)
+  let tiers = Option.map Cascade.specs cascade in
   (* The sampling stream splits off unconditionally, whether or not this
      planning mode samples: the operator's policy stream must be
      identical across modes, so that a Sampled run and a Fixed run with
      the same parameters differ in cost by exactly the sample's reads. *)
   let sample_rng = Rng.split rng in
   let meter = Cost_meter.create () in
+  let spent_total () =
+    match tiers with
+    | Some specs -> Cost_meter.tiered_cost cost ~tiers:specs meter
+    | None -> Cost_meter.total_cost cost meter
+  in
   (* The profile diffs the metric registry across the run, so a shared
      [?obs] carrying earlier runs' totals still profiles this run alone. *)
   let snap0 =
@@ -243,7 +261,7 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
           invalid_arg "Engine.execute: invalid fallback fractions";
         Some
           (span "plan" (fun () ->
-               make_plan ~rng:sample_rng ~meter ?obs ?pool ~cost ~batch
+               make_plan ~rng:sample_rng ~meter ?obs ?pool ~cost ~batch ?tiers
                  ~cap:(Lazy.force laxity_cap)
                  ~budget:(if budgeted then Some allotted else None)
                  ~instance ~requirements ~fraction ~density ~fallback data))
@@ -264,13 +282,10 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
         (Adaptive.create ~rng:(Rng.split rng)
            ~total:(Stdlib.max 1 (Array.length data))
            ~max_laxity:(Lazy.force laxity_cap) ~requirements ~cost ~batch
+           ?tiers
            ?budget:
              (if budgeted then
-                Some
-                  {
-                    Adaptive.allotted;
-                    spent = (fun () -> Cost_meter.total_cost cost meter);
-                  }
+                Some { Adaptive.allotted; spent = (fun () -> spent_total ()) }
               else None)
            ~initial ?obs ())
     else None
@@ -296,19 +311,31 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
     let budget_stop =
       if budgeted then begin
         let c = cost in
+        (* Worst-case probe path: under a cascade an object may escalate
+           through every tier, paying each tier's probe and one batch
+           dispatch per tier; without one it pays c_p + c_b.  With no
+           cascade this reduces exactly to the pre-cascade bound. *)
+        let probe_worst, batch_worst =
+          match tiers with
+          | None -> (c.Cost_model.c_p, c.Cost_model.c_b)
+          | Some specs ->
+              Array.fold_left
+                (fun (p, b) (s : Probe_tier.spec) ->
+                  (p +. s.Probe_tier.c_p, b +. s.Probe_tier.c_b))
+                (0.0, 0.0) specs
+        in
         let next_read_worst =
           c.Cost_model.c_r
           +. Float.max
-               (c.Cost_model.c_p +. c.Cost_model.c_b +. c.Cost_model.c_wp)
+               (probe_worst +. batch_worst +. c.Cost_model.c_wp)
                (Float.max c.Cost_model.c_wi c.Cost_model.c_wp)
         in
         Some
           (fun ~pending ->
             let committed =
-              Cost_meter.total_cost cost meter
-              +. float_of_int pending
-                 *. (c.Cost_model.c_p +. c.Cost_model.c_wp)
-              +. (if pending > 0 then c.Cost_model.c_b else 0.0)
+              spent_total ()
+              +. (float_of_int pending *. (probe_worst +. c.Cost_model.c_wp))
+              +. (if pending > 0 then batch_worst else 0.0)
             in
             committed +. next_read_worst > allotted)
       end
@@ -330,10 +357,11 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
         match columnar with
         | None ->
             Scan_pipeline.run ~rng ?pool ~meter ?obs ?emit ?collect
-              ?should_stop ~instance ~probe ~policy ~requirements data
+              ?should_stop ?cascade ~instance ~probe ~policy ~requirements
+              data
         | Some c ->
             Column_scan.run ~rng ?pool ~meter ?obs ?emit ?collect ?should_stop
-              ~prune:c.prune ~store:c.store ~of_row:c.of_row
+              ~prune:c.prune ?cascade ~store:c.store ~of_row:c.of_row
               ~pred:(Predicate.compile c.pred) ~instance ~probe ~policy
               ~requirements ())
   in
@@ -341,7 +369,7 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
     match (budget, deadline) with
     | None, None -> None
     | _ ->
-        let spent = Cost_meter.total_cost cost meter in
+        let spent = spent_total () in
         let target_recall, planner_limited =
           match plan with
           | Some { dual = Some d; _ } ->
@@ -379,7 +407,15 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
     | Some pr, Some o ->
         let snap = Metrics.diff ~later:(Obs.snapshot o) ~earlier:snap0 in
         let reconcile_error =
-          match Cost_meter.reconcile snap counts with
+          match
+            match tiers with
+            | Some specs ->
+                Cost_meter.reconcile_tiers snap
+                  ~names:
+                    (Array.map (fun s -> s.Probe_tier.name) specs)
+                  meter
+            | None -> Cost_meter.reconcile snap counts
+          with
           | Ok () -> None
           | Error msg -> Some msg
         in
@@ -432,7 +468,9 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
                   budget_summary)
              ?ground_truth ?reconcile_error ())
   in
-  let degradation = degradation_of_report ~cost ~batch ~requirements report in
+  let degradation =
+    degradation_of_report ~cost ~batch ?tiers ~requirements report
+  in
   (* The audit shortfall surfaces on the trace so the server's flight
      recorder can treat "finished but below the requested quality" as
      an anomaly; deterministic per run, so domain-count determinism
@@ -455,9 +493,7 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
     counts;
     normalized_cost =
       (if Array.length data = 0 then 0.0
-       else
-         Cost_meter.cost_of_counts cost counts
-         /. float_of_int (Array.length data));
+       else spent_total () /. float_of_int (Array.length data));
     degradation;
     budget = budget_summary;
     profile;
@@ -466,8 +502,21 @@ let execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
 
 let execute ~rng ?(planning = default_planning) ?(adaptive = false)
     ?(cost = Cost_model.paper) ?batch ?max_laxity ?budget ?deadline ?domains
-    ?obs ?emit ?collect ?profile ?on_task ?columnar ~instance ~probe
+    ?obs ?emit ?collect ?profile ?on_task ?columnar ~instance ?probe ?cascade
     ~requirements data =
+  (* Exactly one probe capability: a direct oracle driver, or a tiered
+     cascade.  With a cascade the oracle driver only supplies defaults
+     (the planner's batch size); all submissions go through the
+     cascade. *)
+  let probe =
+    match (probe, cascade) with
+    | Some p, None -> p
+    | None, Some c -> Cascade.oracle c
+    | Some _, Some _ ->
+        invalid_arg "Engine.execute: pass either ~probe or ~cascade, not both"
+    | None, None ->
+        invalid_arg "Engine.execute: a probe capability is required"
+  in
   (* Profiling diffs a metrics registry; conjure a private one when the
      caller wants a profile but passed no [?obs]. *)
   let obs =
@@ -475,8 +524,8 @@ let execute ~rng ?(planning = default_planning) ?(adaptive = false)
   in
   let run ?pool () =
     execute_with ?pool ~rng ~planning ~adaptive ~cost ?batch ?max_laxity
-      ?budget ?deadline ?obs ?emit ?collect ?profile ?columnar ~instance
-      ~probe ~requirements data
+      ?budget ?deadline ?obs ?emit ?collect ?profile ?columnar ?cascade
+      ~instance ~probe ~requirements data
   in
   match Domain_pool.resolve ?domains () with
   | 1 -> run ()
@@ -502,14 +551,20 @@ type 'o query = {
   q_tenant : string option;
   q_id : int;
   q_instance : 'o Operator.instance;
-  q_probe : 'o Probe_driver.t;
+  q_probe : 'o Probe_driver.t option;
+  q_cascade : 'o Cascade.t option;
   q_requirements : Quality.requirements;
   q_data : 'o array;
 }
 
 let query ~rng ?(planning = default_planning) ?(adaptive = false)
     ?(cost = Cost_model.paper) ?batch ?max_laxity ?budget ?deadline ?obs
-    ?tenant ?trace_id ~instance ~probe ~requirements data =
+    ?tenant ?trace_id ~instance ?probe ?cascade ~requirements data =
+  (match (probe, cascade) with
+  | Some _, None | None, Some _ -> ()
+  | Some _, Some _ ->
+      invalid_arg "Engine.query: pass either ~probe or ~cascade, not both"
+  | None, None -> invalid_arg "Engine.query: a probe capability is required");
   {
     q_rng = rng;
     q_planning = planning;
@@ -524,6 +579,7 @@ let query ~rng ?(planning = default_planning) ?(adaptive = false)
     q_id = (match trace_id with Some i -> i | None -> next_trace_id ());
     q_instance = instance;
     q_probe = probe;
+    q_cascade = cascade;
     q_requirements = requirements;
     q_data = data;
   }
@@ -542,8 +598,8 @@ let execute_one (q : 'o query) =
   execute ~rng:q.q_rng ~planning:q.q_planning ~adaptive:q.q_adaptive
     ~cost:q.q_cost ?batch:q.q_batch ?max_laxity:q.q_max_laxity
     ?budget:q.q_budget ?deadline:q.q_deadline ~domains:1 ?obs
-    ~instance:q.q_instance ~probe:q.q_probe ~requirements:q.q_requirements
-    q.q_data
+    ~instance:q.q_instance ?probe:q.q_probe ?cascade:q.q_cascade
+    ~requirements:q.q_requirements q.q_data
 
 let execute_many ?domains (queries : 'o query array) =
   let n = Array.length queries in

@@ -49,7 +49,10 @@ type degradation = {
       (** [failed_attempts * (c_p + c_b/batch)] — backend work the
           meter never charged because no probe completed, priced at the
           same amortized per-probe rate the solver and meter use, so
-          degradation reports reconcile with plan pricing *)
+          degradation reports reconcile with plan pricing.  Under a
+          cascade, attempts are priced at the final (oracle) tier's
+          amortized rate: only the oracle can fail permanently —
+          cheaper tiers fail over instead *)
   guarantees_before : Quality.guarantees option;
       (** at the first failure; [None] when nothing failed *)
   guarantees_after : Quality.guarantees;  (** = [report.guarantees] *)
@@ -164,7 +167,8 @@ val execute :
   ?on_task:(lane:int -> start:float -> finish:float -> unit) ->
   ?columnar:'o columnar ->
   instance:'o Operator.instance ->
-  probe:'o Probe_driver.t ->
+  ?probe:'o Probe_driver.t ->
+  ?cascade:'o Cascade.t ->
   requirements:Quality.requirements ->
   'o array ->
   'o result
@@ -199,13 +203,27 @@ val execute :
     reproducibility matters.  Both may be combined; either makes the
     result carry a {!budget_summary}.
 
-    [probe] is the probe capability the operator will draw on; wrap a
-    plain closure with {!Probe_driver.scalar} for the paper's scalar
-    path.  [batch] (default: the driver's own batch size) is the batch
-    size the planner and the adaptive re-solver assume when pricing
-    probes at the amortized [c_p + c_b/batch]; override it only when the
-    driver's configured batch size is not what the evaluation will
-    effectively see.
+    Exactly one of [probe] and [cascade] must be given.  [probe] is the
+    probe capability the operator will draw on; wrap a plain closure
+    with {!Probe_driver.scalar} for the paper's scalar path.  [batch]
+    (default: the driver's own batch size) is the batch size the
+    planner and the adaptive re-solver assume when pricing probes at
+    the amortized [c_p + c_b/batch]; override it only when the driver's
+    configured batch size is not what the evaluation will effectively
+    see.
+
+    [cascade] runs probes through a tiered cascade instead (see
+    [Operator.run]'s [?cascade]): cheap [Shrink] proxies narrow the
+    imprecision interval and may produce a definite verdict without the
+    oracle; residuals escalate tier by tier.  Planning then prices each
+    probe at the cascade's optimal strategy price
+    ({!Solver.problem}'s [tiers]), the adaptive re-solver does the
+    same, spend is read off the meter {e per tier}
+    ({!Cost_meter.tiered_cost}) — [normalized_cost], the budget stop
+    and the [budget] summary all price tiered probes at their own
+    tier's rates — and [degradation.wasted_cost] prices failed attempts
+    at the oracle tier's amortized rate.  A single-[Resolve]-tier
+    cascade is bit-for-bit identical to passing its driver as [probe].
 
     The returned report's guarantees always satisfy the requirements —
     unless the probe capability failed permanently on some objects
@@ -292,15 +310,17 @@ val query :
   ?tenant:string ->
   ?trace_id:int ->
   instance:'o Operator.instance ->
-  probe:'o Probe_driver.t ->
+  ?probe:'o Probe_driver.t ->
+  ?cascade:'o Cascade.t ->
   requirements:Quality.requirements ->
   'o array ->
   'o query
-(** Same arguments and defaults as {!execute}.  Each query of a batch
-    must own its [rng] and its [probe] driver (drivers are confined to
-    one domain at a time) — to run many queries against shared probe
-    capacity, give each one its own [Probe_broker.client] of a common
-    broker.
+(** Same arguments and defaults as {!execute} (exactly one of [probe]
+    and [cascade]).  Each query of a batch must own its [rng] and its
+    [probe] driver or [cascade] (drivers are confined to one domain at
+    a time) — to run many queries against shared probe capacity, give
+    each one its own [Probe_broker.client] (or
+    [Probe_broker.cascade_client]) of a common broker.
 
     Every query carries a process-unique trace ID — [trace_id] to
     supply one minted earlier (e.g. with {!next_trace_id}, so a broker

@@ -79,6 +79,9 @@ let resolve_record cache ~is_left (r : Interval_data.record) =
   else
     match Probe_broker.fetch cache.broker (is_left, r) with
     | Probe_driver.Resolved (_, precise) -> precise
+    | Probe_driver.Shrunk _ ->
+        (* the single-tier resolver above only ever resolves to points *)
+        assert false
     | Probe_driver.Failed _ ->
         (* the in-process resolver above never fails, and the broker has
            no capacity bound or breaker to refuse it *)

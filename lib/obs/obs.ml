@@ -54,6 +54,11 @@ module Keys = struct
   let broker_batches = "qaq.broker.batches"
   let broker_batch_fill = "qaq.broker.batch_fill"
   let broker_queue_wait = "qaq.broker.queue_wait_seconds"
+  let tier_probes name = "qaq.probe.tier." ^ name ^ ".probes"
+  let tier_batches name = "qaq.probe.tier." ^ name ^ ".batches"
+  let tier_shrinks name = "qaq.probe.tier." ^ name ^ ".shrinks"
+  let tier_failovers name = "qaq.probe.tier." ^ name ^ ".failovers"
+  let tier_retried name = "qaq.probe.tier." ^ name ^ ".retried"
   let fault_injected = "qaq.fault.injected"
   let fault_retried = "qaq.fault.retried"
   let fault_degraded = "qaq.fault.degraded"

@@ -140,6 +140,27 @@ module Keys : sig
   (** Histogram: seconds a request spent between arriving at the
       broker and its outcome being settled. *)
 
+  val tier_probes : string -> string
+  (** [tier_probes name] names the counter of probes {e resolved or
+      shrunk} at cascade tier [name] — summed over tiers this equals
+      {!probes}, so per-tier reconcile implies the base reconcile. *)
+
+  val tier_batches : string -> string
+  (** Backend batch dispatches at cascade tier [name]. *)
+
+  val tier_shrinks : string -> string
+  (** Probes at tier [name] that came back [Shrunk] (a narrower
+      interval, not a point) — a subset of that tier's probes. *)
+
+  val tier_failovers : string -> string
+  (** Probes that failed permanently at tier [name] and were escalated
+      to the next tier instead of degrading the answer. *)
+
+  val tier_retried : string -> string
+  (** Attempts retried at tier [name] (a per-tier slice of
+      {!fault_retried}) — which tier of a degraded cascade is burning
+      its retry budget. *)
+
   val fault_injected : string
   (** Injected fault decisions that fired — failed attempts and latency
       spikes ({!Fault_plan}). *)

@@ -7,6 +7,7 @@ type t = {
   requirements : Quality.requirements;
   cost : Cost_model.t;
   batch : int;
+  tiers : Probe_tier.spec array option;
   replan_every : int;
   max_replans : int;
   budget : budget option;
@@ -24,22 +25,25 @@ type t = {
   m_budget_replans : Metrics.counter option;
 }
 
-let default_initial ~total ~max_laxity ~requirements ~cost ~batch =
+let default_initial ~total ~max_laxity ~requirements ~cost ~batch ~tiers =
   let spec = Region_model.uniform_spec ~f_y:0.2 ~f_m:0.2 ~max_laxity in
-  (Solver.solve (Solver.problem ~total ~spec ~requirements ~cost ~batch ()))
+  (Solver.solve
+     (Solver.problem ~total ~spec ~requirements ~cost ~batch ?tiers ()))
     .params
 
 let create ~rng ~total ~max_laxity ~requirements ?(cost = Cost_model.paper)
-    ?(batch = 1) ?(replan_every = 500) ?(max_replans = 8) ?budget ?initial
-    ?obs () =
+    ?(batch = 1) ?tiers ?(replan_every = 500) ?(max_replans = 8) ?budget
+    ?initial ?obs () =
   if total <= 0 then invalid_arg "Adaptive.create: total <= 0";
   if batch < 1 then invalid_arg "Adaptive.create: batch < 1";
   if replan_every < 1 then invalid_arg "Adaptive.create: replan_every < 1";
   if max_replans < 0 then invalid_arg "Adaptive.create: max_replans < 0";
+  Option.iter Probe_tier.validate tiers;
   let initial =
     match initial with
     | Some p -> p
-    | None -> default_initial ~total ~max_laxity ~requirements ~cost ~batch
+    | None ->
+        default_initial ~total ~max_laxity ~requirements ~cost ~batch ~tiers
   in
   {
     rng;
@@ -48,6 +52,7 @@ let create ~rng ~total ~max_laxity ~requirements ?(cost = Cost_model.paper)
     requirements;
     cost;
     batch;
+    tiers;
     replan_every;
     max_replans;
     budget;
@@ -103,7 +108,7 @@ let replan t ~reads =
       | None ->
           let problem =
             Solver.problem ~total:t.total ~spec ~requirements:t.requirements
-              ~cost:t.cost ~batch:t.batch ()
+              ~cost:t.cost ~batch:t.batch ?tiers:t.tiers ()
           in
           (Solver.solve problem).params
       | Some b ->
@@ -116,7 +121,8 @@ let replan t ~reads =
           let remaining_budget = Float.max 0.0 (b.allotted -. b.spent ()) in
           let problem =
             Solver.problem ~total:remaining_total ~spec
-              ~requirements:t.requirements ~cost:t.cost ~batch:t.batch ()
+              ~requirements:t.requirements ~cost:t.cost ~batch:t.batch
+              ?tiers:t.tiers ()
           in
           t.budget_replans <- t.budget_replans + 1;
           (match t.m_budget_replans with

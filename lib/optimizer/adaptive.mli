@@ -26,6 +26,7 @@ val create :
   requirements:Quality.requirements ->
   ?cost:Cost_model.t ->
   ?batch:int ->
+  ?tiers:Probe_tier.spec array ->
   ?replan_every:int ->
   ?max_replans:int ->
   ?budget:budget ->
@@ -40,6 +41,10 @@ val create :
     (default 1) is the probe batch size the evaluation will use; every
     re-solve prices probes at the amortized [c_p + c_b/batch] so
     mid-scan plans see the same cost surface as the initial one.
+    [tiers] (default absent) is the probe cascade the evaluation will
+    run through: when given, every solve — the default [initial]
+    included — prices probes at the cascade's strategy price instead
+    ({!Solver.problem}'s [tiers]).
 
     With [budget], every re-solve goes through {!Solver.solve_dual}
     instead of the primal: the refreshed [(s, l)] histograms are solved

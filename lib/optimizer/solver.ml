@@ -4,19 +4,31 @@ type problem = {
   requirements : Quality.requirements;
   cost : Cost_model.t;
   batch : int;
+  tiers : Probe_tier.spec array option;
 }
 
 let problem ~total ~spec ~requirements ?(cost = Cost_model.paper)
-    ?(batch = 1) () =
+    ?(batch = 1) ?tiers () =
   if total <= 0 then invalid_arg "Solver.problem: total <= 0";
   if batch < 1 then invalid_arg "Solver.problem: batch < 1";
-  { total; spec; requirements; cost; batch }
+  Option.iter Probe_tier.validate tiers;
+  { total; spec; requirements; cost; batch; tiers }
 
 (* The objective prices each probe at its amortized cost c_p + c_b/B:
    the evaluation plan dispatches probes in batches of B, so that is the
    marginal price the §4.2.2 objective must see for plan costs to match
-   the metered reality. *)
-let effective_cost t = Cost_model.amortize ~batch:t.batch t.cost
+   the metered reality.  Under a tiered cascade the probe price is the
+   cascade's optimal strategy price instead — the expected amortized
+   spend of starting at the best tier and escalating through residuals
+   ({!Probe_tier.select}); the batch surcharge is folded into that
+   expectation, so c_b drops to 0 here. *)
+let effective_cost t =
+  match t.tiers with
+  | None -> Cost_model.amortize ~batch:t.batch t.cost
+  | Some specs ->
+      let plan = Probe_tier.select specs in
+      Cost_model.amortize ~batch:1
+        { t.cost with Cost_model.c_p = plan.Probe_tier.price; c_b = 0.0 }
 
 type evaluation = {
   params : Policy.params;
@@ -319,9 +331,19 @@ let explain t (e : evaluation) =
   in
   add "cost W = %.0f (W/|T| = %.3f): read %.0f + probe %.0f + write %.0f\n"
     e.cost e.normalized_cost reads_cost probe_cost write_cost;
-  if t.batch > 1 || t.cost.Cost_model.c_b > 0.0 then
-    add "probes priced amortized: c_p + c_b/B = %g + %g/%d = %g per probe\n"
-      t.cost.c_p t.cost.c_b t.batch c.c_p;
+  (match t.tiers with
+  | Some specs ->
+      let plan = Probe_tier.select specs in
+      add
+        "probes priced via cascade: start at tier %d (%s), expected %g per \
+         probe over %d tiers\n"
+        plan.Probe_tier.start
+        specs.(plan.Probe_tier.start).Probe_tier.name
+        plan.Probe_tier.price (Array.length specs)
+  | None ->
+      if t.batch > 1 || t.cost.Cost_model.c_b > 0.0 then
+        add "probes priced amortized: c_p + c_b/B = %g + %g/%d = %g per probe\n"
+          t.cost.c_p t.cost.c_b t.batch c.c_p);
   add "precision: expected %.4f vs bound %.4f (slack %+.4f)\n"
     e.expected_precision req.Quality.precision
     (e.expected_precision -. req.precision);

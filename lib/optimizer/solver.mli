@@ -29,6 +29,12 @@ type problem = {
   batch : int;
       (** probe batch size B: the objective prices each probe at the
           amortized [c_p + c_b/B] (see {!Cost_model.amortized_probe}) *)
+  tiers : Probe_tier.spec array option;
+      (** when present, probes run through a tiered cascade and the
+          objective prices each probe at the cascade's optimal strategy
+          price ({!Probe_tier.select}) instead of the amortized oracle
+          price — [cost.c_p]/[c_b]/[batch] are ignored for probes
+          (reads and writes keep their [cost] prices) *)
 }
 
 val problem :
@@ -37,12 +43,16 @@ val problem :
   requirements:Quality.requirements ->
   ?cost:Cost_model.t ->
   ?batch:int ->
+  ?tiers:Probe_tier.spec array ->
   unit ->
   problem
 (** [cost] defaults to {!Cost_model.paper}; [batch] defaults to 1 (the
     scalar probe path, under which the amortized probe price is exactly
-    [c_p] and every pre-batching solution is unchanged).
-    @raise Invalid_argument if [total <= 0], [batch < 1], or the
+    [c_p] and every pre-batching solution is unchanged); [tiers]
+    defaults to absent — every pre-cascade solution is bit-for-bit
+    unchanged.
+    @raise Invalid_argument if [total <= 0], [batch < 1], [tiers] is
+    invalid per {!Probe_tier.validate}, or the
     requirements' laxity bound exceeds the spec's [max_laxity] by more
     than the spec allows (a bound above L is simply clamped: everything
     is forwardable). *)

@@ -10,6 +10,7 @@ type instruments = {
   m_attempts : Metrics.counter;
   m_resolved : Metrics.counter;
   m_retried : Metrics.counter;
+  m_tier_retried : Metrics.counter option;
   g_latency : Metrics.gauge;
   h_latency : Metrics.histogram;
 }
@@ -22,14 +23,15 @@ type 'o t = {
   rng : Rng.t option;
   faults : Fault_plan.t option;
   ins : instruments option;
+  tier : string option;
   mutable probes : int;
   mutable attempts : int;
   mutable batches : int;
   mutable simulated_latency : float;
 }
 
-let create ?obs ?(latency = Instant) ?(failure_rate = 0.0) ?(max_retries = 10)
-    ?rng ?(faults = Fault_plan.none) resolve =
+let create ?obs ?tier ?(latency = Instant) ?(failure_rate = 0.0)
+    ?(max_retries = 10) ?rng ?(faults = Fault_plan.none) resolve =
   if not (failure_rate >= 0.0 && failure_rate < 1.0) then
     invalid_arg "Probe_source.create: failure_rate outside [0, 1)";
   if max_retries < 0 then invalid_arg "Probe_source.create: max_retries < 0";
@@ -39,16 +41,33 @@ let create ?obs ?(latency = Instant) ?(failure_rate = 0.0) ?(max_retries = 10)
   in
   if needs_rng && rng = None then
     invalid_arg "Probe_source.create: rng required for jitter or failures";
+  (* Two tiers of one cascade sharing an obs registry must not lump
+     their counters onto the same names: a [tier] label prefixes every
+     source metric with the tier and adds a per-tier retried slice. *)
+  let prefix =
+    match tier with
+    | None -> "probe_source"
+    | Some name -> "probe_source." ^ name
+  in
+  let site =
+    match tier with
+    | None -> "probe_source"
+    | Some name -> "probe_source." ^ name
+  in
   let ins =
     Option.map
       (fun o ->
         {
-          m_wakeups = Obs.counter o "probe_source.wakeups";
-          m_attempts = Obs.counter o "probe_source.attempts";
-          m_resolved = Obs.counter o "probe_source.resolved";
+          m_wakeups = Obs.counter o (prefix ^ ".wakeups");
+          m_attempts = Obs.counter o (prefix ^ ".attempts");
+          m_resolved = Obs.counter o (prefix ^ ".resolved");
           m_retried = Obs.counter o Obs.Keys.fault_retried;
-          g_latency = Obs.gauge o "probe_source.latency";
-          h_latency = Obs.histogram o "probe_source.wakeup_latency";
+          m_tier_retried =
+            Option.map
+              (fun name -> Obs.counter o (Obs.Keys.tier_retried name))
+              tier;
+          g_latency = Obs.gauge o (prefix ^ ".latency");
+          h_latency = Obs.histogram o (prefix ^ ".wakeup_latency");
         })
       obs
   in
@@ -58,13 +77,16 @@ let create ?obs ?(latency = Instant) ?(failure_rate = 0.0) ?(max_retries = 10)
     failure_rate;
     max_retries;
     rng;
-    faults = Fault_plan.injector_opt ?obs ~site:"probe_source" faults;
+    faults = Fault_plan.injector_opt ?obs ~site faults;
     ins;
+    tier;
     probes = 0;
     attempts = 0;
     batches = 0;
     simulated_latency = 0.0;
   }
+
+let tier t = t.tier
 
 let sample_latency t =
   let l =
@@ -107,7 +129,11 @@ let note_resolved t =
   match t.ins with Some i -> Metrics.incr i.m_resolved | None -> ()
 
 let note_retried t =
-  match t.ins with Some i -> Metrics.incr i.m_retried | None -> ()
+  match t.ins with
+  | Some i ->
+      Metrics.incr i.m_retried;
+      Option.iter Metrics.incr i.m_tier_retried
+  | None -> ()
 
 (* Both failure draws happen unconditionally: the injected one comes
    from the injector's own stream, the simulated one from [t.rng], and
@@ -194,6 +220,7 @@ let probe_batch t objs =
   Array.map
     (function
       | Probe_driver.Resolved o -> o
+      | Probe_driver.Shrunk _ -> assert false (* sources resolve to points *)
       | Probe_driver.Failed _ -> raise Probe_failed)
     outcomes
 

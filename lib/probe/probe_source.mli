@@ -29,6 +29,7 @@ type 'o t
 
 val create :
   ?obs:Obs.t ->
+  ?tier:string ->
   ?latency:latency ->
   ?failure_rate:float ->
   ?max_retries:int ->
@@ -60,6 +61,15 @@ val create :
     every wakeup), and [qaq.fault.retried] (attempts retried after a
     failure, injected or simulated) — how retry storms and latency tails
     show up in a metrics dump.
+
+    [tier] labels the source as one tier of a probe cascade: every
+    source metric is prefixed [probe_source.<tier>.*] instead of
+    [probe_source.*], retries additionally count into the per-tier
+    slice [qaq.probe.tier.<tier>.retried], and the fault-injector site
+    becomes ["probe_source.<tier>"] (each tier draws an independent
+    fault stream).  Without it, two tiers sharing an obs registry would
+    lump their stats onto the same names and a degraded cascade could
+    not be attributed in an SLO window.
 
     @raise Invalid_argument on a failure rate outside [0, 1) or a
     negative retry count. *)
@@ -112,3 +122,7 @@ type stats = {
 
 val stats : 'o t -> stats
 val reset_stats : 'o t -> unit
+
+val tier : 'o t -> string option
+(** The cascade tier this source was labelled as, if any — {!stats} on
+    a labelled source is that tier's slice alone. *)

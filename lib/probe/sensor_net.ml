@@ -10,7 +10,10 @@ type instruments = {
   m_transmissions : Metrics.counter;
   m_wakeups : Metrics.counter;
   m_messages : Metrics.counter;
+  m_retry_wakeups : Metrics.counter;
+  m_retry_messages : Metrics.counter;
   m_retried : Metrics.counter;
+  m_tier_retried : Metrics.counter option;
   h_roundtrip : Metrics.histogram;
 }
 
@@ -25,10 +28,12 @@ type t = {
   mutable transmissions : int;
   mutable probe_wakeups : int;
   mutable probe_messages : int;
+  mutable retry_wakeups : int;
+  mutable retry_messages : int;
   mutable round : int;
 }
 
-let create ?obs ?(faults = Fault_plan.none) rng ~n ~value_range
+let create ?obs ?tier ?(faults = Fault_plan.none) rng ~n ~value_range
     ~tolerance_range ~drift_stddev =
   if n < 0 then invalid_arg "Sensor_net.create: n < 0";
   if Interval.lo tolerance_range <= 0.0 then
@@ -45,20 +50,29 @@ let create ?obs ?(faults = Fault_plan.none) rng ~n ~value_range
           cached = Interval.make (value -. tolerance) (value +. tolerance);
         })
   in
+  let prefix =
+    match tier with None -> "sensor_net" | Some name -> "sensor_net." ^ name
+  in
   let ins =
     Option.map
       (fun o ->
         {
           i_obs = o;
-          m_transmissions = Obs.counter o "sensor_net.transmissions";
-          m_wakeups = Obs.counter o "sensor_net.probe_wakeups";
-          m_messages = Obs.counter o "sensor_net.probe_messages";
+          m_transmissions = Obs.counter o (prefix ^ ".transmissions");
+          m_wakeups = Obs.counter o (prefix ^ ".probe_wakeups");
+          m_messages = Obs.counter o (prefix ^ ".probe_messages");
+          m_retry_wakeups = Obs.counter o (prefix ^ ".retry_wakeups");
+          m_retry_messages = Obs.counter o (prefix ^ ".retry_messages");
           m_retried = Obs.counter o Obs.Keys.fault_retried;
-          h_roundtrip = Obs.histogram o "sensor_net.roundtrip_seconds";
+          m_tier_retried =
+            Option.map
+              (fun name -> Obs.counter o (Obs.Keys.tier_retried name))
+              tier;
+          h_roundtrip = Obs.histogram o (prefix ^ ".roundtrip_seconds");
         })
       obs
   in
-  let injector = Fault_plan.injector_opt ?obs ~site:"sensor_net" faults in
+  let injector = Fault_plan.injector_opt ?obs ~site:prefix faults in
   {
     rng;
     sensors;
@@ -75,6 +89,8 @@ let create ?obs ?(faults = Fault_plan.none) rng ~n ~value_range
     transmissions = 0;
     probe_wakeups = 0;
     probe_messages = 0;
+    retry_wakeups = 0;
+    retry_messages = 0;
     round = 0;
   }
 
@@ -153,6 +169,11 @@ let probe_batch_outcomes t readings =
       | None -> Array.make n None
     in
     let pending = ref (List.init n Fun.id) in
+    (* Executed rounds of THIS batch: every round after the first is
+       pure retry traffic.  Keeping it separate from the lifetime
+       wakeup/message counters means a degraded net's retry burn is
+       attributable instead of lumped into normal probe traffic. *)
+    let rounds_run = ref 0 in
     while !pending <> [] do
       let round = t.round in
       t.round <- round + 1;
@@ -170,11 +191,20 @@ let probe_batch_outcomes t readings =
         let attempted = List.length !pending in
         t.probe_wakeups <- t.probe_wakeups + 1;
         t.probe_messages <- t.probe_messages + attempted;
+        if !rounds_run > 0 then begin
+          t.retry_wakeups <- t.retry_wakeups + 1;
+          t.retry_messages <- t.retry_messages + attempted
+        end;
         (match t.ins with
         | Some i ->
             Metrics.incr i.m_wakeups;
-            Metrics.add i.m_messages attempted
+            Metrics.add i.m_messages attempted;
+            if !rounds_run > 0 then begin
+              Metrics.incr i.m_retry_wakeups;
+              Metrics.add i.m_retry_messages attempted
+            end
         | None -> ());
+        incr rounds_run;
         let resolved_this_round = ref 0 in
         let resolve_pending () =
           pending :=
@@ -197,7 +227,9 @@ let probe_batch_outcomes t readings =
                   end
                   else begin
                     (match t.ins with
-                    | Some ins -> Metrics.incr ins.m_retried
+                    | Some ins ->
+                        Metrics.incr ins.m_retried;
+                        Option.iter Metrics.incr ins.m_tier_retried
                     | None -> ());
                     true
                   end
@@ -236,6 +268,7 @@ let probe_batch t readings =
   Array.map
     (function
       | Probe_driver.Resolved r -> r
+      | Probe_driver.Shrunk _ -> assert false (* the net resolves to points *)
       | Probe_driver.Failed _ -> raise Probe_driver.Probe_failed)
     (probe_batch_outcomes t readings)
 
@@ -246,6 +279,8 @@ let breaker t = t.breaker
 let rounds t = t.round
 let probe_wakeups t = t.probe_wakeups
 let probe_messages t = t.probe_messages
+let retry_wakeups t = t.retry_wakeups
+let retry_messages t = t.retry_messages
 let in_exact pred r = Predicate.eval pred r.current
 
 let exact_size pred readings =

@@ -14,6 +14,7 @@ type t
 
 val create :
   ?obs:Obs.t ->
+  ?tier:string ->
   ?faults:Fault_plan.spec ->
   Rng.t ->
   n:int ->
@@ -25,8 +26,15 @@ val create :
     sensor's tolerance (half its cache width) is drawn from
     [tolerance_range] (which must be positive); per-step drift is
     Gaussian.  [obs] registers the counters [sensor_net.transmissions],
-    [sensor_net.probe_wakeups], [sensor_net.probe_messages] and
+    [sensor_net.probe_wakeups], [sensor_net.probe_messages],
+    [sensor_net.retry_wakeups], [sensor_net.retry_messages] and
     [qaq.fault.retried], mirroring the accessors below.
+
+    [tier] labels the net as one tier of a probe cascade: every metric
+    above is prefixed [sensor_net.<tier>.*], retries additionally
+    count into [qaq.probe.tier.<tier>.retried], and the fault-injector
+    site becomes ["sensor_net.<tier>"] so each tier draws an
+    independent fault stream.
 
     [faults] (default {!Fault_plan.none}) attaches a fault injector at
     site ["sensor_net"]: sensors can fail attempts transiently or
@@ -101,6 +109,17 @@ val probe_wakeups : t -> int
 
 val probe_messages : t -> int
 (** Individual sensor responses served via {!probe_batch}. *)
+
+val retry_wakeups : t -> int
+(** Executed rounds {e beyond the first} of their batch — pure retry
+    traffic, a slice of {!probe_wakeups}.  Breaker-refused rounds wake
+    no radio and are not counted.  Before this split, retry rounds were
+    lumped into {!probe_wakeups} and a degraded net's retry burn could
+    not be told apart from normal probe traffic. *)
+
+val retry_messages : t -> int
+(** Sensor responses served in retry rounds — a slice of
+    {!probe_messages}. *)
 
 val in_exact : Predicate.t -> reading -> bool
 val exact_size : Predicate.t -> reading array -> int

@@ -41,6 +41,7 @@ type config = {
   c_domains : int option;
   c_fault_rate : float;
   c_fault_seed : int;
+  c_tiers : Probe_tier.spec array option;
   c_breaker : bool;
   c_recorder : int;
   c_recorder_dir : string option;
@@ -64,6 +65,7 @@ let default_config =
     c_domains = None;
     c_fault_rate = 0.0;
     c_fault_seed = 1337;
+    c_tiers = None;
     c_breaker = false;
     c_recorder = 256;
     c_recorder_dir = None;
@@ -150,12 +152,11 @@ let create ?clock cfg =
     else None
   in
   let latency = cfg.c_probe_ms /. 1000.0 in
-  let inj =
-    Fault_plan.injector_opt ~obs:srv_obs ~site:"server-backend"
-      (Fault_plan.make ~seed:cfg.c_fault_seed
-         ~permanent_rate:cfg.c_fault_rate ())
+  let injector ~site ~seed =
+    Fault_plan.injector_opt ~obs:srv_obs ~site
+      (Fault_plan.make ~seed ~permanent_rate:cfg.c_fault_rate ())
   in
-  let resolve objs =
+  let resolver inj to_outcome objs =
     if latency > 0.0 then Unix.sleepf latency;
     Array.map
       (fun o ->
@@ -166,15 +167,45 @@ let create ?clock cfg =
               let el = Fault_plan.fresh_element inj in
               Fault_plan.attempt inj el ~round:0
         in
-        if failed then Probe_driver.Failed { attempts = 1 }
-        else Probe_driver.Resolved (Synthetic.probe o))
+        if failed then Probe_driver.Failed { attempts = 1 } else to_outcome o)
       objs
   in
+  let key (o : Synthetic.obj) = o.Synthetic.id in
   let broker =
-    Probe_broker.create ~obs:srv_obs ~freshness:cfg.c_freshness
-      ?capacity:cfg.c_capacity ?breaker:srv_breaker ~batch_size:cfg.c_batch
-      ~key:(fun (o : Synthetic.obj) -> o.Synthetic.id)
-      resolve
+    match cfg.c_tiers with
+    | None ->
+        let inj = injector ~site:"server-backend" ~seed:cfg.c_fault_seed in
+        Probe_broker.create ~obs:srv_obs ~freshness:cfg.c_freshness
+          ?capacity:cfg.c_capacity ?breaker:srv_breaker
+          ~batch_size:cfg.c_batch ~key
+          (resolver inj (fun o -> Probe_driver.Resolved (Synthetic.probe o)))
+    | Some specs ->
+        Probe_tier.validate specs;
+        (* One backend per tier; each tier draws an independent fault
+           stream so a dead proxy does not imply a dead oracle. *)
+        let backends =
+          Array.mapi
+            (fun i (spec : Probe_tier.spec) ->
+              let inj =
+                injector
+                  ~site:("server-backend." ^ spec.Probe_tier.name)
+                  ~seed:(cfg.c_fault_seed + i)
+              in
+              let to_outcome =
+                match spec.Probe_tier.kind with
+                | Probe_tier.Resolve ->
+                    fun o -> Probe_driver.Resolved (Synthetic.probe o)
+                | Probe_tier.Shrink { power } ->
+                    fun o -> Probe_driver.Shrunk (Synthetic.shrink ~power o)
+              in
+              {
+                Probe_broker.bk_resolve = resolver inj to_outcome;
+                bk_batch = spec.Probe_tier.batch;
+              })
+            specs
+        in
+        Probe_broker.create_tiered ~obs:srv_obs ~freshness:cfg.c_freshness
+          ?capacity:cfg.c_capacity ?breaker:srv_breaker ~key backends
   in
   let srv_slo = Slo.create ~window_seconds:cfg.c_window ?clock () in
   {
@@ -322,14 +353,23 @@ let handle_run srv out =
           let ctx =
             { Trace.query = Some trace_id; tenant = Some q.tenant }
           in
-          let probe =
-            Probe_broker.client
-              ~obs:(Obs.with_context srv.srv_obs ctx)
-              ~tenant:q.tenant ?quota:q.quota srv.broker
+          let obs_q = Obs.with_context srv.srv_obs ctx in
+          let probe, cascade =
+            match srv.cfg.c_tiers with
+            | None ->
+                ( Some
+                    (Probe_broker.client ~obs:obs_q ~tenant:q.tenant
+                       ?quota:q.quota srv.broker),
+                  None )
+            | Some specs ->
+                ( None,
+                  Some
+                    (Probe_broker.cascade_client ~obs:obs_q ~tenant:q.tenant
+                       ?quota:q.quota ~specs srv.broker) )
           in
-          Engine.query ~rng:(Rng.create q.seed) ~probe ~obs:srv.srv_obs
-            ~tenant:q.tenant ~trace_id ~instance:Synthetic.instance
-            ~requirements:q.requirements srv.data)
+          Engine.query ~rng:(Rng.create q.seed) ?probe ?cascade
+            ~obs:srv.srv_obs ~tenant:q.tenant ~trace_id
+            ~instance:Synthetic.instance ~requirements:q.requirements srv.data)
         queued
     in
     let results = Engine.execute_many ?domains:srv.cfg.c_domains queries in
@@ -481,6 +521,21 @@ let serve srv inc out =
                 loop ()
             | "STATS", [] ->
                 print_stats out "STATS" (Probe_broker.stats srv.broker);
+                (if Probe_broker.tiers srv.broker > 1 then
+                   let names =
+                     match srv.cfg.c_tiers with
+                     | Some specs ->
+                         Array.map (fun s -> s.Probe_tier.name) specs
+                     | None -> [||]
+                   in
+                   Array.iteri
+                     (fun i s ->
+                       let name =
+                         if i < Array.length names then names.(i)
+                         else string_of_int i
+                       in
+                       print_stats out (Printf.sprintf "TIER %s" name) s)
+                     (Probe_broker.by_tier srv.broker));
                 loop ()
             | "TENANTS", [] ->
                 List.iter

@@ -12,6 +12,7 @@
                    register a query            -> QUEUED id=...
     RUN            run every queued query      -> RESULT ... lines, DONE ...
     STATS          broker lifetime statistics  -> STATS ...
+                   (plus one TIER line per backend when tiered)
     TENANTS        per-tenant statistics       -> TENANT ... lines, OK
     METRICS        the metrics registry as one JSON line
     HEALTH         overall rolling SLO + recorder/breaker state
@@ -50,6 +51,12 @@ type config = {
       (** probability a backend probe fails permanently (deterministic
           per [c_fault_seed]); 0 disables injection entirely *)
   c_fault_seed : int;
+  c_tiers : Probe_tier.spec array option;
+      (** probe through a tiered cascade: one shared backend per tier
+          (proxies narrow with {!Synthetic.shrink}, the oracle resolves),
+          every RUN query gets a {!Probe_broker.cascade_client} and
+          STATS reports per-tier [TIER <name>] lines.  [None] keeps the
+          single oracle backend. *)
   c_breaker : bool;  (** put a {!Circuit_breaker} on the broker *)
   c_recorder : int;  (** flight-recorder ring capacity; 0 disables *)
   c_recorder_dir : string option;

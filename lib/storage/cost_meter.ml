@@ -12,21 +12,61 @@ type t = {
   mutable batches : int;
   mutable writes_imprecise : int;
   mutable writes_precise : int;
+  (* Per-cascade-tier breakdown of [probes]/[batches]; slot [i] is tier
+     [i].  Grown on demand so single-tier callers never touch it. *)
+  mutable tier_probes : int array;
+  mutable tier_batches : int array;
 }
 
 let create () =
-  { reads = 0; probes = 0; batches = 0; writes_imprecise = 0; writes_precise = 0 }
+  {
+    reads = 0;
+    probes = 0;
+    batches = 0;
+    writes_imprecise = 0;
+    writes_precise = 0;
+    tier_probes = [||];
+    tier_batches = [||];
+  }
 
 let reset t =
   t.reads <- 0;
   t.probes <- 0;
   t.batches <- 0;
   t.writes_imprecise <- 0;
-  t.writes_precise <- 0
+  t.writes_precise <- 0;
+  t.tier_probes <- [||];
+  t.tier_batches <- [||]
+
+let ensure_tier arr i =
+  let n = Array.length !arr in
+  if i >= n then begin
+    let grown = Array.make (i + 1) 0 in
+    Array.blit !arr 0 grown 0 n;
+    arr := grown
+  end
 
 let charge_read t = t.reads <- t.reads + 1
 let charge_probe t = t.probes <- t.probes + 1
 let charge_batch t = t.batches <- t.batches + 1
+
+let charge_probe_tier t i =
+  if i < 0 then invalid_arg "Cost_meter.charge_probe_tier";
+  let arr = ref t.tier_probes in
+  ensure_tier arr i;
+  t.tier_probes <- !arr;
+  t.tier_probes.(i) <- t.tier_probes.(i) + 1;
+  t.probes <- t.probes + 1
+
+let charge_batch_tier t i =
+  if i < 0 then invalid_arg "Cost_meter.charge_batch_tier";
+  let arr = ref t.tier_batches in
+  ensure_tier arr i;
+  t.tier_batches <- !arr;
+  t.tier_batches.(i) <- t.tier_batches.(i) + 1;
+  t.batches <- t.batches + 1
+
+let tier_counts t = (Array.copy t.tier_probes, Array.copy t.tier_batches)
 let charge_write_imprecise t = t.writes_imprecise <- t.writes_imprecise + 1
 let charge_write_precise t = t.writes_precise <- t.writes_precise + 1
 
@@ -48,6 +88,31 @@ let cost_of_counts (m : Cost_model.t) (c : counts) =
 
 let total_cost m t = cost_of_counts m (counts t)
 
+(* Tiered total: probes/batches attributed to a tier are priced at that
+   tier's (c_p, c_b); any remainder (work charged through the untier'd
+   [charge_probe]/[charge_batch], e.g. planning pilots) is priced at the
+   base model.  With no tier charges this is exactly [total_cost]. *)
+let tiered_cost (m : Cost_model.t) ~(tiers : Probe_tier.spec array) t =
+  let sum = Array.fold_left ( + ) 0 in
+  let tp = t.tier_probes and tb = t.tier_batches in
+  let tier_part = ref 0.0 in
+  Array.iteri
+    (fun i (s : Probe_tier.spec) ->
+      let p = if i < Array.length tp then tp.(i) else 0 in
+      let b = if i < Array.length tb then tb.(i) else 0 in
+      tier_part :=
+        !tier_part
+        +. (float_of_int p *. s.Probe_tier.c_p)
+        +. (float_of_int b *. s.Probe_tier.c_b))
+    tiers;
+  let base_probes = t.probes - sum tp and base_batches = t.batches - sum tb in
+  (float_of_int t.reads *. m.c_r)
+  +. (float_of_int base_probes *. m.c_p)
+  +. (float_of_int base_batches *. m.c_b)
+  +. (float_of_int t.writes_imprecise *. m.c_wi)
+  +. (float_of_int t.writes_precise *. m.c_wp)
+  +. !tier_part
+
 (* The metrics side is incremented at observability instrumentation
    sites, the meter at cost-charging sites; equality of the two is the
    "all work is metered" invariant the test suite enforces. *)
@@ -68,6 +133,33 @@ let reconcile snapshot (c : counts) =
     |> check Obs.Keys.writes_precise c.writes_precise
   in
   match errs with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " (List.rev es))
+
+(* Per-tier flavour: the base five names must agree as in [reconcile],
+   and additionally each tier's qaq.probe.tier.<name>.{probes,batches}
+   counter must equal the meter's per-tier slot. *)
+let reconcile_tiers snapshot ~(names : string array) t =
+  let check name expected errs =
+    let got = Metrics.count_of snapshot name in
+    if got = expected then errs
+    else
+      Printf.sprintf "%s: metrics say %d, meter says %d" name got expected
+      :: errs
+  in
+  let base = reconcile snapshot (counts t) in
+  let errs = match base with Ok () -> [] | Error e -> [ e ] in
+  let errs = ref errs in
+  Array.iteri
+    (fun i name ->
+      let p = if i < Array.length t.tier_probes then t.tier_probes.(i) else 0 in
+      let b =
+        if i < Array.length t.tier_batches then t.tier_batches.(i) else 0
+      in
+      errs := check (Obs.Keys.tier_probes name) p !errs;
+      errs := check (Obs.Keys.tier_batches name) b !errs)
+    names;
+  match !errs with
   | [] -> Ok ()
   | es -> Error (String.concat "; " (List.rev es))
 

@@ -28,6 +28,20 @@ val charge_batch : t -> unit
 val charge_write_imprecise : t -> unit
 val charge_write_precise : t -> unit
 
+val charge_probe_tier : t -> int -> unit
+(** [charge_probe_tier t i] charges one probe attributed to cascade
+    tier [i]: the aggregate {!counts}[.probes] grows by one {e and}
+    tier [i]'s slot grows by one, so the base {!reconcile} invariant is
+    preserved by construction. *)
+
+val charge_batch_tier : t -> int -> unit
+(** Per-tier analogue of {!charge_batch}. *)
+
+val tier_counts : t -> int array * int array
+(** [(probes_per_tier, batches_per_tier)] — copies; empty arrays when
+    no tier charge was ever made.  Summed they never exceed the
+    aggregate probes/batches. *)
+
 val counts : t -> counts
 
 val total_cost : Cost_model.t -> t -> float
@@ -37,11 +51,24 @@ val total_cost : Cost_model.t -> t -> float
 
 val cost_of_counts : Cost_model.t -> counts -> float
 
+val tiered_cost : Cost_model.t -> tiers:Probe_tier.spec array -> t -> float
+(** Like {!total_cost} but probes/batches charged through
+    {!charge_probe_tier}/{!charge_batch_tier} are priced at their own
+    tier's [(c_p, c_b)]; the untier'd remainder (e.g. planning pilot
+    probes) stays at the base model's prices.  Equal to {!total_cost}
+    when no tier charge was made. *)
+
 val reconcile : Metrics.snapshot -> counts -> (unit, string) result
 (** Check that the independently maintained observability counters (the
     {!Obs.Keys} names: reads, probes, batches, writes) agree exactly
     with the meter's counts — the "all work is metered" invariant.  A
     name missing from the snapshot counts as 0.  [Error] carries every
     mismatching name with both values. *)
+
+val reconcile_tiers :
+  Metrics.snapshot -> names:string array -> t -> (unit, string) result
+(** {!reconcile} plus, for each cascade tier name, a check that the
+    [qaq.probe.tier.<name>.probes]/[.batches] counters equal the
+    meter's per-tier slots. *)
 
 val pp_counts : Format.formatter -> counts -> unit

@@ -1,0 +1,60 @@
+(** Tier specifications for tiered probe cascades.
+
+    A cascade is an ordered array of tiers: zero or more cheap
+    [Shrink] proxies (each narrows an object's imprecision interval
+    with effectiveness [power] — the probability a shrunk object
+    becomes definite under the query) followed by exactly one
+    [Resolve] oracle tier that returns a point.  Each tier carries its
+    own per-probe cost, per-batch cost and batch size, so tier [i]'s
+    amortized probe price is [c_p +. c_b /. float batch]. *)
+
+type kind =
+  | Resolve  (** returns a point — today's oracle behaviour *)
+  | Shrink of { power : float }
+      (** returns a narrower interval; [power] in [0,1] is the
+          expected fraction of probed objects that become definite *)
+
+type spec = {
+  name : string;  (** distinct, non-empty; used for [qaq.probe.tier.*] *)
+  kind : kind;
+  c_p : float;  (** per-probe cost at this tier *)
+  c_b : float;  (** per-batch cost at this tier *)
+  batch : int;  (** batch size at this tier, >= 1 *)
+}
+
+val is_resolve : spec -> bool
+val power : spec -> float
+(** [power s] is 1.0 for [Resolve], the shrink power otherwise. *)
+
+val amortized : spec -> float
+(** [c_p +. c_b /. float batch]. *)
+
+val exit_probability : spec -> float
+(** Probability a probed object leaves the cascade at this tier. *)
+
+val validate : spec array -> unit
+(** Raises [Invalid_argument] unless: non-empty; exactly the last tier
+    is [Resolve]; every batch >= 1; every shrink power in [0,1]; all
+    costs finite and >= 0; names distinct and non-empty. *)
+
+val strategy_price : spec array -> start:int -> float
+(** Expected amortized cost per probed object of starting the cascade
+    at tier [start] and escalating residuals to the end. *)
+
+type plan = { start : int; price : float }
+
+val select : spec array -> plan
+(** Cheapest starting tier (earliest wins ties).  Validates. *)
+
+val oracle_only :
+  ?name:string -> cost:Cost_model.t -> batch:int -> unit -> spec array
+(** Single-tier cascade equivalent to today's driver pricing. *)
+
+val of_string : string -> spec array
+(** Parses ["proxy:cp=0.1,cb=1,B=32,shrink=0.8;oracle:cp=1,cb=5,B=8"].
+    The [shrink] key marks a proxy tier; without it the tier is
+    [Resolve].  Raises [Invalid_argument] on bad grammar or an invalid
+    cascade. *)
+
+val to_string : spec array -> string
+val pp : Format.formatter -> spec array -> unit

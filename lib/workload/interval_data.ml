@@ -13,6 +13,28 @@ let instance pred : record Operator.instance =
 
 let probe r = { r with belief = Uncertain.exact r.truth }
 
+(* A proxy-tier narrowing: contract the belief interval towards the
+   truth, keeping fraction [1 - power] of the distance to each bound.
+   The shrunk interval is a subset of the original and still contains
+   the truth — a sound imprecise model — so Theorem 3.1 survives
+   re-classification; [power = 1] collapses to the exact truth.  Exact
+   beliefs are already points and pass through unchanged. *)
+let shrink ~power r =
+  if not (Float.is_finite power && power >= 0.0 && power <= 1.0) then
+    invalid_arg "Interval_data.shrink: power outside [0, 1]";
+  match r.belief with
+  | Uncertain.Exact _ -> r
+  | Uncertain.Interval i ->
+      let keep = 1.0 -. power in
+      let lo = r.truth -. (keep *. (r.truth -. Interval.lo i))
+      and hi = r.truth +. (keep *. (Interval.hi i -. r.truth)) in
+      let belief =
+        if lo = hi then Uncertain.exact r.truth else Uncertain.interval lo hi
+      in
+      { r with belief }
+  | Uncertain.Gaussian _ ->
+      invalid_arg "Interval_data.shrink: gaussian beliefs have no interval shrink"
+
 (* Flat columnar form: the belief support as two floats.  Same encoding
    decision as the CSV codec — a degenerate support round-trips to an
    [Exact] belief — so a record survives record -> row -> record

@@ -22,6 +22,16 @@ val instance : Predicate.t -> record Operator.instance
 val probe : record -> record
 (** The probe operation: belief collapses to [Exact truth]. *)
 
+val shrink : power:float -> record -> record
+(** A proxy-tier probe: the belief interval contracts towards the truth,
+    keeping fraction [1 -. power] of the distance to each bound.  The
+    result is a subset of the original interval and still contains the
+    truth (a sound imprecise model); [power = 1.] collapses to the
+    exact truth, [power = 0.] is the identity.  [Exact] beliefs pass
+    through unchanged.
+    @raise Invalid_argument on a power outside [0, 1] or a Gaussian
+    belief. *)
+
 val exact_set : Predicate.t -> record array -> record list
 (** Records whose true value satisfies the predicate (Eq. 1). *)
 

@@ -99,6 +99,23 @@ let instance : obj Operator.instance =
   }
 
 let probe o = { o with resolved = true }
+
+let shrink ~power o =
+  if not (Float.is_finite power && power >= 0.0 && power <= 1.0) then
+    invalid_arg "Synthetic.shrink: power outside [0, 1]";
+  if o.resolved || power = 0.0 then o
+  else if power = 1.0 then probe o
+  else
+    let keep = 1.0 -. power in
+    let success =
+      match o.label with
+      | Tvl.Maybe ->
+          if o.probe_yes then 1.0 -. (keep *. (1.0 -. o.success))
+          else keep *. o.success
+      | Tvl.Yes | Tvl.No -> o.success
+    in
+    { o with laxity = keep *. o.laxity; success }
+
 let in_exact o = o.probe_yes
 
 let exact_size objects =

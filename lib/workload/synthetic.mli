@@ -74,6 +74,19 @@ val instance : obj Operator.instance
 val probe : obj -> obj
 (** The probe operation: the resolved version of the object. *)
 
+val shrink : power:float -> obj -> obj
+(** A cheap-proxy narrowing of the object: laxity contracts to
+    [(1 − power)·laxity] and a MAYBE's success probability moves
+    toward its pre-drawn ground truth by the same factor, so the
+    narrowed object is a sound imprecise view of the same precise
+    object (the verdict of λ never weakens, the laxity never grows).
+    [power = 0] is the identity; [power = 1] degenerates to {!probe}.
+    Resolved objects pass through unchanged.  On this workload a
+    partial shrink keeps a MAYBE imprecise — the win comes from
+    laxity-based forwarding, not verdict flips — so a [Shrink] tier
+    must sit above a [Resolve] tier that settles the residual.
+    @raise Invalid_argument if [power] is outside [0, 1]. *)
+
 val exact_size : obj array -> int
 (** |E|: number of objects whose precise version satisfies λ. *)
 

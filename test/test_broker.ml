@@ -117,7 +117,8 @@ let test_concurrent_dedup () =
     (fun (k, oc) ->
       match oc with
       | Probe_driver.Resolved v -> checki "fanned-out outcome" (k * 7) v
-      | Probe_driver.Failed _ -> Alcotest.fail "unexpected failure")
+      | Probe_driver.Shrunk _ | Probe_driver.Failed _ ->
+          Alcotest.fail "unexpected failure")
     all;
   let union =
     List.sort_uniq compare (List.concat_map keys_of [ 0; 1; 2; 3 ])
@@ -388,6 +389,209 @@ let test_broker_metrics () =
       d.Metrics.d_count
   | None -> Alcotest.fail "batch fill histogram missing"
 
+(* {2 Tiered brokers} *)
+
+(* Two toy backends over int keys: the proxy narrows (tagged +1000 so a
+   cached shrunk outcome is recognisable), the oracle resolves (×7). *)
+let tiered_toy () =
+  Probe_broker.create_tiered ~key:Fun.id
+    [|
+      {
+        Probe_broker.bk_resolve =
+          (fun objs ->
+            Array.map (fun k -> Probe_driver.Shrunk (k + 1000)) objs);
+        bk_batch = 3;
+      };
+      {
+        Probe_broker.bk_resolve =
+          (fun objs -> Array.map (fun k -> Probe_driver.Resolved (k * 7)) objs);
+        bk_batch = 4;
+      };
+    |]
+
+(* K queries at mixed tiers charge exactly |union| per tier — where the
+   union is computed under the freshness asymmetry: a resolved point
+   satisfies any tier, a shrunk interval only its own. The per-tier
+   stats identity holds and the whole-broker stats are the element-wise
+   sums. *)
+let prop_tier_dedup_charged_once =
+  QCheck2.Test.make
+    ~name:"mixed-tier queries charge exactly |union| per tier" ~count:100
+    QCheck2.Gen.(
+      list_size (int_range 1 6)
+        (pair (int_range 0 1) (list_size (int_range 0 15) (int_range 0 25))))
+    (fun queries ->
+      let broker = tiered_toy () in
+      (* replay the freshness rules in plain code to predict charges *)
+      let resolved = Hashtbl.create 16 and shrunk = Hashtbl.create 16 in
+      let expected = [| 0; 0 |] in
+      List.iter
+        (fun (tier, keys) ->
+          List.iter
+            (fun k ->
+              let free =
+                Hashtbl.mem resolved k
+                || (tier = 0 && Hashtbl.mem shrunk k)
+              in
+              if not free then begin
+                expected.(tier) <- expected.(tier) + 1;
+                if tier = 1 then Hashtbl.replace resolved k ()
+                else Hashtbl.replace shrunk k ()
+              end)
+            (List.sort_uniq compare keys))
+        queries;
+      List.iteri
+        (fun i (tier, keys) ->
+          let d =
+            Probe_broker.client ~tenant:(string_of_int i) ~tier broker
+          in
+          List.iter
+            (fun k -> Probe_driver.submit_outcome d k (fun _ -> ()))
+            keys;
+          Probe_driver.flush d)
+        queries;
+      let bt = Probe_broker.by_tier broker in
+      let whole = Probe_broker.stats broker in
+      let identity (s : Probe_broker.stats) =
+        s.Probe_broker.requests
+        = s.Probe_broker.admitted + s.Probe_broker.coalesced
+          + s.Probe_broker.fresh_hits + s.Probe_broker.rejected
+      in
+      let sum f = f bt.(0) + f bt.(1) in
+      bt.(0).Probe_broker.charged = expected.(0)
+      && bt.(1).Probe_broker.charged = expected.(1)
+      && identity bt.(0) && identity bt.(1)
+      && sum (fun s -> s.Probe_broker.requests) = whole.Probe_broker.requests
+      && sum (fun s -> s.Probe_broker.charged) = whole.Probe_broker.charged
+      && sum (fun s -> s.Probe_broker.fresh_hits)
+         = whole.Probe_broker.fresh_hits
+      && sum (fun s -> s.Probe_broker.batches) = whole.Probe_broker.batches
+      && whole.Probe_broker.failed = 0 && whole.Probe_broker.rejected = 0)
+
+(* The freshness asymmetry, both directions: an oracle-fresh point never
+   re-pays the proxy, while a proxy-fresh interval still escalates and
+   pays the oracle. *)
+let test_tier_freshness_asymmetry () =
+  let broker = tiered_toy () in
+  (* oracle first: the cached point satisfies a later proxy request *)
+  (match Probe_broker.fetch ~tier:1 broker 5 with
+  | Probe_driver.Resolved 35 -> ()
+  | _ -> Alcotest.fail "oracle resolves");
+  (match Probe_broker.fetch ~tier:0 broker 5 with
+  | Probe_driver.Resolved 35 -> ()
+  | _ -> Alcotest.fail "oracle-fresh point must satisfy the proxy free");
+  (* proxy first: the narrowed interval does NOT satisfy the oracle *)
+  (match Probe_broker.fetch ~tier:0 broker 6 with
+  | Probe_driver.Shrunk 1006 -> ()
+  | _ -> Alcotest.fail "proxy shrinks");
+  (match Probe_broker.fetch ~tier:1 broker 6 with
+  | Probe_driver.Resolved 42 -> ()
+  | _ -> Alcotest.fail "proxy-fresh must still escalate and pay the oracle");
+  (* once the oracle answered, even the proxy serves the point *)
+  (match Probe_broker.fetch ~tier:0 broker 6 with
+  | Probe_driver.Resolved 42 -> ()
+  | _ -> Alcotest.fail "resolved point satisfies every tier");
+  (* a shrunk entry does satisfy its own tier again *)
+  (match Probe_broker.fetch ~tier:0 broker 7 with
+  | Probe_driver.Shrunk 1007 -> ()
+  | _ -> Alcotest.fail "proxy shrinks 7");
+  (match Probe_broker.fetch ~tier:0 broker 7 with
+  | Probe_driver.Shrunk 1007 -> ()
+  | _ -> Alcotest.fail "shrunk entry serves its own tier");
+  let bt = Probe_broker.by_tier broker in
+  checki "proxy charged only for 6 and 7" 2 bt.(0).Probe_broker.charged;
+  checki "oracle charged only for 5 and 6" 2 bt.(1).Probe_broker.charged;
+  checki "proxy fresh hits" 3 bt.(0).Probe_broker.fresh_hits;
+  checki "oracle never served free" 0 bt.(1).Probe_broker.fresh_hits;
+  let whole = Probe_broker.stats broker in
+  checki "tier charges sum to the whole"
+    (bt.(0).Probe_broker.charged + bt.(1).Probe_broker.charged)
+    whole.Probe_broker.charged;
+  checki "tier fresh hits sum to the whole"
+    (bt.(0).Probe_broker.fresh_hits + bt.(1).Probe_broker.fresh_hits)
+    whole.Probe_broker.fresh_hits
+
+(* Two domains hammering both tiers of the same broker concurrently:
+   every waiter gets an outcome, the stats identity holds per tier, and
+   the per-tier totals still sum to the whole-broker totals. *)
+let test_tier_hammer_stats_identity () =
+  let nkeys = 40 in
+  let slow resolve objs =
+    Unix.sleepf 0.0005;
+    resolve objs
+  in
+  let broker =
+    Probe_broker.create_tiered ~key:Fun.id
+      [|
+        {
+          Probe_broker.bk_resolve =
+            slow (fun objs ->
+                Array.map (fun k -> Probe_driver.Shrunk (k + 1000)) objs);
+          bk_batch = 3;
+        };
+        {
+          Probe_broker.bk_resolve =
+            slow (fun objs ->
+                Array.map (fun k -> Probe_driver.Resolved (k * 7)) objs);
+          bk_batch = 4;
+        };
+      |]
+  in
+  (* key k goes to the proxy from one worker and to the oracle from the
+     other, so every key is in flight at both tiers *)
+  let worker i () =
+    let proxy =
+      Probe_broker.client ~tenant:(string_of_int i) ~tier:0 broker
+    in
+    let oracle =
+      Probe_broker.client ~tenant:(string_of_int i) ~tier:1 broker
+    in
+    let got = ref 0 in
+    for k = 0 to nkeys - 1 do
+      let d = if k mod 2 = i then proxy else oracle in
+      Probe_driver.submit_outcome d k (fun _ -> incr got)
+    done;
+    Probe_driver.flush proxy;
+    Probe_driver.flush oracle;
+    !got
+  in
+  let domains = List.init 2 (fun i -> Domain.spawn (worker i)) in
+  let answered = List.fold_left (fun n d -> n + Domain.join d) 0 domains in
+  checki "every waiter answered" (2 * nkeys) answered;
+  let bt = Probe_broker.by_tier broker in
+  Array.iteri
+    (fun i (s : Probe_broker.stats) ->
+      checkb
+        (Printf.sprintf "tier %d stats identity" i)
+        true
+        (s.Probe_broker.requests
+        = s.Probe_broker.admitted + s.Probe_broker.coalesced
+          + s.Probe_broker.fresh_hits + s.Probe_broker.rejected);
+      checkb
+        (Printf.sprintf "tier %d charged within admitted" i)
+        true
+        (s.Probe_broker.charged + s.Probe_broker.failed
+        <= s.Probe_broker.admitted))
+    bt;
+  (* each key is asked of the oracle by exactly one worker, so the
+     oracle is charged the full union; the proxy may be undercut by
+     oracle points that landed first *)
+  checki "oracle charged the union" nkeys bt.(1).Probe_broker.charged;
+  checkb "proxy charged at most the union" true
+    (bt.(0).Probe_broker.charged <= nkeys);
+  let whole = Probe_broker.stats broker in
+  let sum f = f bt.(0) + f bt.(1) in
+  checki "requests sum" (sum (fun s -> s.Probe_broker.requests))
+    whole.Probe_broker.requests;
+  checki "admitted sum" (sum (fun s -> s.Probe_broker.admitted))
+    whole.Probe_broker.admitted;
+  checki "charged sum" (sum (fun s -> s.Probe_broker.charged))
+    whole.Probe_broker.charged;
+  checki "batches sum" (sum (fun s -> s.Probe_broker.batches))
+    whole.Probe_broker.batches;
+  checki "nothing failed" 0 whole.Probe_broker.failed;
+  checki "nothing rejected" 0 whole.Probe_broker.rejected
+
 let test_validation () =
   let resolve objs =
     Array.map (fun k -> Probe_driver.Resolved k) objs
@@ -396,11 +600,12 @@ let test_validation () =
     (Invalid_argument "Probe_broker.create: batch_size < 1") (fun () ->
       ignore (Probe_broker.create ~batch_size:0 ~key:Fun.id resolve));
   Alcotest.check_raises "bad freshness"
-    (Invalid_argument "Probe_broker.create: freshness must be non-negative")
+    (Invalid_argument
+       "Probe_broker.create_tiered: freshness must be non-negative")
     (fun () ->
       ignore (Probe_broker.create ~freshness:(-1.0) ~key:Fun.id resolve));
   Alcotest.check_raises "bad capacity"
-    (Invalid_argument "Probe_broker.create: capacity < 0") (fun () ->
+    (Invalid_argument "Probe_broker.create_tiered: capacity < 0") (fun () ->
       ignore (Probe_broker.create ~capacity:(-1) ~key:Fun.id resolve));
   let broker = Probe_broker.create ~key:Fun.id resolve in
   Alcotest.check_raises "bad quota"
@@ -422,5 +627,9 @@ let suite =
     ("tenant quota isolates tenants", `Quick, test_tenant_quota);
     ("open breaker refuses rounds", `Quick, test_breaker_refuses_rounds);
     ("broker metrics mirror stats", `Quick, test_broker_metrics);
+    QCheck_alcotest.to_alcotest prop_tier_dedup_charged_once;
+    ("tier freshness asymmetry", `Quick, test_tier_freshness_asymmetry);
+    ("two-domain tier hammer keeps stats identity", `Quick,
+     test_tier_hammer_stats_identity);
     ("validation", `Quick, test_validation);
   ]

@@ -1,0 +1,324 @@
+(* Tiered probe cascades: soundness of interval-shrinking proxies, the
+   guarantee battery over random cascades, the single-tier golden
+   identity against the direct driver, and escalation accounting. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+let requirements =
+  Quality.requirements ~precision:0.85 ~recall:0.55 ~laxity:50.0
+
+let specs2 ?(power = 0.8) ?(proxy_cp = 0.1) ?(proxy_cb = 1.0)
+    ?(proxy_batch = 32) () =
+  [|
+    {
+      Probe_tier.name = "proxy";
+      kind = Probe_tier.Shrink { power };
+      c_p = proxy_cp;
+      c_b = proxy_cb;
+      batch = proxy_batch;
+    };
+    {
+      Probe_tier.name = "oracle";
+      kind = Probe_tier.Resolve;
+      c_p = 1.0;
+      c_b = 5.0;
+      batch = 8;
+    };
+  |]
+
+(* --- tier specs: pricing, selection, grammar ------------------------- *)
+
+let test_tier_selection () =
+  let specs = specs2 () in
+  checkf "proxy amortized price" (0.1 +. (1.0 /. 32.0))
+    (Probe_tier.amortized specs.(0));
+  checkf "oracle amortized price" (1.0 +. (5.0 /. 8.0))
+    (Probe_tier.amortized specs.(1));
+  (* Entering at the proxy pays its price plus the residual 20% of the
+     oracle; entering at the oracle pays the oracle in full. *)
+  checkf "escalation strategy price"
+    (0.1 +. (1.0 /. 32.0) +. (0.2 *. (1.0 +. (5.0 /. 8.0))))
+    (Probe_tier.strategy_price specs ~start:0);
+  checkf "oracle-only strategy price"
+    (1.0 +. (5.0 /. 8.0))
+    (Probe_tier.strategy_price specs ~start:1);
+  let plan = Probe_tier.select specs in
+  checki "an effective proxy is worth entering" 0 plan.Probe_tier.start;
+  (* A powerless, expensive proxy is priced out: start at the oracle. *)
+  let bad = specs2 ~power:0.0 ~proxy_cp:0.9 ~proxy_cb:8.0 ~proxy_batch:1 () in
+  checki "a useless proxy is skipped" 1 (Probe_tier.select bad).Probe_tier.start
+
+let test_tier_grammar () =
+  let spec = "proxy:cp=0.1,cb=1,B=32,shrink=0.8;oracle:cp=1,cb=5,B=8" in
+  let specs = Probe_tier.of_string spec in
+  checki "two tiers" 2 (Array.length specs);
+  checkb "tier 0 is the proxy" true
+    (specs.(0).Probe_tier.name = "proxy"
+    && specs.(0).Probe_tier.kind = Probe_tier.Shrink { power = 0.8 });
+  checkb "tier 1 is the oracle" true
+    (specs.(1).Probe_tier.name = "oracle"
+    && specs.(1).Probe_tier.kind = Probe_tier.Resolve);
+  checkb "to_string round-trips" true
+    (Probe_tier.of_string (Probe_tier.to_string specs) = specs);
+  (match Probe_tier.of_string "proxy:cp=0.1,shrink=0.5" with
+  | _ -> Alcotest.fail "a cascade without an oracle must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Probe_tier.of_string "a:cp=1;b:cp=1,shrink=0.5" with
+  | _ -> Alcotest.fail "a Resolve tier before a proxy must be rejected"
+  | exception Invalid_argument _ -> ()
+
+(* --- satellite (a): shrink soundness --------------------------------- *)
+
+(* A proxy answer is only usable if it is a sound imprecise model of
+   the same precise object: the narrowed interval must be a subset of
+   the original and still contain the ground truth, and iterating
+   shrinks must preserve both. *)
+let prop_interval_shrink_sound =
+  QCheck2.Test.make ~name:"interval shrink: subset containing the truth"
+    ~count:100
+    QCheck2.Gen.(
+      triple (int_range 1 10_000) (float_range 0.0 1.0) (float_range 0.0 1.0))
+    (fun (seed, power, power') ->
+      let data =
+        Interval_data.uniform_intervals (Rng.create seed) ~n:40
+          ~value_range:(Interval.make 0.0 100.0) ~max_width:30.0
+      in
+      Array.for_all
+        (fun (r : Interval_data.record) ->
+          let s = Interval_data.shrink ~power r in
+          let s' = Interval_data.shrink ~power:power' s in
+          let sup = Uncertain.support r.Interval_data.belief
+          and sup_s = Uncertain.support s.Interval_data.belief
+          and sup_s' = Uncertain.support s'.Interval_data.belief in
+          s.Interval_data.truth = r.Interval_data.truth
+          && s.Interval_data.id = r.Interval_data.id
+          && Interval.subset sup_s sup
+          && Interval.contains sup_s s.Interval_data.truth
+          && Interval.subset sup_s' sup_s
+          && Interval.contains sup_s' s'.Interval_data.truth
+          && Uncertain.laxity s.Interval_data.belief
+             <= Uncertain.laxity r.Interval_data.belief +. 1e-9
+          && (power < 1.0 || Interval.is_point sup_s))
+        data)
+
+(* The synthetic workload has no explicit interval, so its shrink must
+   preserve the abstract soundness contract the operator relies on:
+   laxity never grows, the verdict never weakens (YES stays YES, NO
+   stays NO), success stays a probability and moves toward the
+   pre-drawn ground truth, and full power degenerates to the probe. *)
+let prop_synthetic_shrink_sound =
+  QCheck2.Test.make ~name:"synthetic shrink: laxity contracts, verdict holds"
+    ~count:100
+    QCheck2.Gen.(pair (int_range 1 10_000) (float_range 0.0 1.0))
+    (fun (seed, power) ->
+      let data =
+        Synthetic.generate (Rng.create seed) (Synthetic.config ~total:120 ())
+      in
+      let classify = Synthetic.instance.Operator.classify
+      and laxity = Synthetic.instance.Operator.laxity in
+      Array.for_all
+        (fun (o : Synthetic.obj) ->
+          let s = Synthetic.shrink ~power o in
+          let verdict_held =
+            match classify o with
+            | Tvl.Maybe ->
+                (* may become definite, but only at the ground truth *)
+                classify s = Tvl.Maybe || classify s = Tvl.of_bool o.Synthetic.probe_yes
+            | v -> classify s = v
+          in
+          verdict_held
+          && laxity s <= laxity o +. 1e-9
+          && s.Synthetic.success >= 0.0
+          && s.Synthetic.success <= 1.0
+          && (if o.Synthetic.probe_yes then
+                s.Synthetic.success >= o.Synthetic.success -. 1e-9
+              else s.Synthetic.success <= o.Synthetic.success +. 1e-9)
+          && (power < 1.0 || s.Synthetic.resolved))
+        data)
+
+(* --- satellite (b): guarantees survive every cascade ------------------ *)
+
+let synthetic_cascade ?obs ?faults ~specs () =
+  let cascade, _sources =
+    Tiered.of_functions ?obs ?faults ~specs
+      ~narrow:(fun ~power o -> Synthetic.shrink ~power o)
+      ~resolve:Synthetic.probe ()
+  in
+  cascade
+
+(* Whatever the proxy's power and pricing, the plan's reported
+   guarantees must stay sound lower bounds on the achieved quality, the
+   requirements must be met, and the per-tier meter must reconcile
+   with the qaq.probe.tier.* counters. *)
+let prop_guarantees_survive_cascade =
+  QCheck2.Test.make ~name:"achieved quality meets the plan on every seed"
+    ~count:10
+    QCheck2.Gen.(pair (int_range 1 10_000) (float_range 0.0 1.0))
+    (fun (seed, power) ->
+      let data =
+        Synthetic.generate (Rng.create seed) (Synthetic.config ~total:600 ())
+      in
+      let obs = Obs.create () in
+      let cascade =
+        synthetic_cascade ~obs ~specs:(specs2 ~power ()) ()
+      in
+      let result =
+        Engine.execute ~rng:(Rng.create (seed + 1)) ~max_laxity:100.0 ~obs
+          ~profile:(Engine.profiling ~oracle:Synthetic.in_exact ())
+          ~instance:Synthetic.instance ~cascade ~requirements data
+      in
+      let profile = Option.get result.Engine.profile in
+      let g = result.Engine.report.Operator.guarantees in
+      match profile.Profile.audit.Profile.achieved with
+      | None -> false
+      | Some a ->
+          Quality.meets g requirements
+          && g.Quality.precision <= a.Profile.achieved_precision +. 1e-9
+          && g.Quality.recall <= a.Profile.achieved_recall +. 1e-9
+          && profile.Profile.reconcile_error = None)
+
+(* --- satellite (c): single-tier golden -------------------------------- *)
+
+let answer_ids result =
+  List.map
+    (fun (e : Synthetic.obj Operator.emitted) ->
+      (e.Operator.obj.Synthetic.id, e.Operator.precise))
+    result.Engine.report.Operator.answer
+
+(* Counter values and histogram counts, minus the qaq.probe.tier.*
+   family the cascade path adds on top of the driver's own counters. *)
+let projection snap =
+  let tier_prefix = "qaq.probe.tier." in
+  let starts_with p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  List.filter_map
+    (fun (name, v) ->
+      if starts_with tier_prefix name then None
+      else
+        match v with
+        | Metrics.Count c -> Some (name, c)
+        | Metrics.Dist d -> Some (name, d.Metrics.d_count)
+        | Metrics.Level _ -> None)
+    snap
+
+let golden_run ~batch ~domains ~via_cascade seed =
+  let data =
+    Synthetic.generate (Rng.create seed) (Synthetic.config ~total:400 ())
+  in
+  let obs = Obs.create () in
+  let probe = Probe_driver.of_scalar ~obs ~batch_size:batch Synthetic.probe in
+  let result =
+    if via_cascade then
+      Engine.execute ~rng:(Rng.create (seed + 1)) ~max_laxity:100.0 ~domains
+        ~batch ~obs ~instance:Synthetic.instance
+        ~cascade:(Cascade.of_driver ~cost:Cost_model.paper probe)
+        ~requirements data
+    else
+      Engine.execute ~rng:(Rng.create (seed + 1)) ~max_laxity:100.0 ~domains
+        ~batch ~obs ~instance:Synthetic.instance ~probe ~requirements data
+  in
+  ( answer_ids result,
+    result.Engine.counts,
+    result.Engine.report.Operator.guarantees,
+    result.Engine.normalized_cost,
+    result.Engine.degradation,
+    projection (Obs.snapshot obs) )
+
+(* A degenerate cascade — one Resolve tier around today's driver — is
+   bit-for-bit the direct driver path: same answer, same counts, same
+   guarantees, same cost, same metrics (minus the additional per-tier
+   counter family). *)
+let test_single_tier_golden () =
+  List.iter
+    (fun (batch, domains) ->
+      List.iter
+        (fun seed ->
+          checkb
+            (Printf.sprintf "B=%d domains=%d seed=%d" batch domains seed)
+            true
+            (golden_run ~batch ~domains ~via_cascade:false seed
+            = golden_run ~batch ~domains ~via_cascade:true seed))
+        [ 11; 12 ])
+    [ (1, 1); (1, 2); (4, 1); (4, 2) ]
+
+(* --- escalation accounting ------------------------------------------- *)
+
+(* A full-power proxy resolves everything it touches: the oracle is
+   never probed.  A zero-power proxy narrows nothing: every probed
+   object escalates, so the oracle resolves exactly the proxy's shrink
+   count. *)
+let escalation_run ~power =
+  let data =
+    Synthetic.generate (Rng.create 21) (Synthetic.config ~total:500 ())
+  in
+  let cascade = synthetic_cascade ~specs:(specs2 ~power ()) () in
+  (* A powerless proxy is priced out of the escalation strategy, so
+     force entry at tier 0 — the invariant under test is the operator's
+     escalation accounting, not the start-tier selection. *)
+  Cascade.set_start cascade 0;
+  let result =
+    Engine.execute ~rng:(Rng.create 22) ~max_laxity:100.0
+      ~instance:Synthetic.instance ~cascade ~requirements data
+  in
+  (result, Cascade.stats cascade)
+
+let test_escalation_accounting () =
+  let result, stats = escalation_run ~power:1.0 in
+  checkb "full-power proxy did work" true (stats.(0).Cascade.st_shrinks > 0);
+  checki "full-power proxy starves the oracle" 0 stats.(1).Cascade.st_probes;
+  checkb "requirements still met" true
+    (Quality.meets result.Engine.report.Operator.guarantees requirements);
+  let result0, stats0 = escalation_run ~power:0.0 in
+  checkb "powerless proxy did work" true (stats0.(0).Cascade.st_shrinks > 0);
+  checki "every probed object escalates to the oracle"
+    stats0.(0).Cascade.st_shrinks stats0.(1).Cascade.st_probes;
+  checkb "requirements still met at power 0" true
+    (Quality.meets result0.Engine.report.Operator.guarantees requirements)
+
+(* A dead proxy must not take the answer down: every proxy probe fails
+   over to the oracle, the run completes undegraded and the failovers
+   are counted per tier. *)
+let test_proxy_outage_fails_over () =
+  let data =
+    Synthetic.generate (Rng.create 31) (Synthetic.config ~total:500 ())
+  in
+  let specs = specs2 () in
+  let proxy =
+    Probe_source.create ~tier:"proxy" ~max_retries:0
+      ~faults:(Fault_plan.make ~seed:32 ~permanent_rate:1.0 ())
+      (Synthetic.shrink ~power:0.8)
+  in
+  let oracle = Probe_source.create ~tier:"oracle" Synthetic.probe in
+  let cascade = Tiered.cascade ~specs [| proxy; oracle |] in
+  let result =
+    Engine.execute ~rng:(Rng.create 33) ~max_laxity:100.0
+      ~instance:Synthetic.instance ~cascade ~requirements data
+  in
+  let stats = Cascade.stats cascade in
+  checkb "the proxy was down" true (stats.(0).Cascade.st_failures > 0);
+  checki "no proxy answer got through" 0 stats.(0).Cascade.st_shrinks;
+  checki "every proxy failure failed over" stats.(0).Cascade.st_failures
+    stats.(0).Cascade.st_failovers;
+  checki "the oracle absorbed the full load" stats.(0).Cascade.st_failures
+    stats.(1).Cascade.st_probes;
+  checkb "the answer is not degraded" true
+    (result.Engine.degradation.Engine.failed_probes = 0);
+  checkb "requirements met through the outage" true
+    (Quality.meets result.Engine.report.Operator.guarantees requirements)
+
+let suite =
+  [
+    ("tier selection prices escalation", `Quick, test_tier_selection);
+    ("tier spec grammar", `Quick, test_tier_grammar);
+    ("single-tier cascade is the direct driver", `Slow,
+     test_single_tier_golden);
+    ("escalation accounting", `Quick, test_escalation_accounting);
+    ("proxy outage fails over to the oracle", `Quick,
+     test_proxy_outage_fails_over);
+    QCheck_alcotest.to_alcotest prop_interval_shrink_sound;
+    QCheck_alcotest.to_alcotest prop_synthetic_shrink_sound;
+    QCheck_alcotest.to_alcotest prop_guarantees_survive_cascade;
+  ]

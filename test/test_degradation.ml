@@ -61,7 +61,8 @@ let test_sibling_survival () =
           checkb "probe delivered the precise version" true o.Synthetic.resolved
       | Probe_driver.Failed { attempts } ->
           incr failed;
-          checki "budget of one attempt" 1 attempts)
+          checki "budget of one attempt" 1 attempts
+      | Probe_driver.Shrunk _ -> Alcotest.fail "oracle source never shrinks")
     outcomes;
   checkb "some elements failed" true (!failed > 0);
   checkb "their siblings still resolved" true (!resolved > 0);
@@ -273,6 +274,117 @@ let prop_zero_rate_plan_is_identity =
               seed)
         [ 1; 2 ])
 
+(* --- tiered cascades: cost dominance, per-tier reconcile ------------- *)
+
+let cascade_specs ~power =
+  [|
+    {
+      Probe_tier.name = "proxy";
+      kind = Probe_tier.Shrink { power };
+      c_p = 0.05;
+      c_b = 0.5;
+      batch = 32;
+    };
+    {
+      Probe_tier.name = "oracle";
+      kind = Probe_tier.Resolve;
+      c_p = 1.0;
+      c_b = 5.0;
+      batch = 8;
+    };
+  |]
+
+let interval_requirements =
+  Quality.requirements ~precision:0.85 ~recall:0.55 ~laxity:20.0
+
+(* One interval-data run, oracle-only or through a cascade, under Fixed
+   planning so both runs make identical probe decisions and the only
+   difference is what each probe costs. *)
+let interval_run ?cascade_power ?faults ~seed () =
+  let pred = Predicate.ge 60.0 in
+  let data =
+    Interval_data.uniform_intervals (Rng.create seed) ~n:500
+      ~value_range:(Interval.make 0.0 100.0) ~max_width:30.0
+  in
+  let obs = Obs.create () in
+  (* Reads priced near zero: the dominance property is about probe
+     economics, and the two runs' early-stop points may differ by a few
+     reads once shrunk-definite objects shift the counter trajectory.
+     Region-policy decisions never read the cost model, so this changes
+     no decision. *)
+  let cost = Cost_model.make ~c_r:0.01 ~c_p:1.0 ~c_b:5.0 ~c_wi:0.1 ~c_wp:0.1 () in
+  let result =
+    match cascade_power with
+    | None ->
+        let source =
+          match faults with
+          | None -> Probe_source.create ~obs Interval_data.probe
+          | Some f ->
+              Probe_source.create ~obs ~max_retries:2 ~faults:f
+                Interval_data.probe
+        in
+        Engine.execute ~rng:(Rng.create (seed + 1)) ~max_laxity:30.0
+          ~planning:(Engine.Fixed Policy.greedy_params) ~cost ~batch:8 ~obs
+          ~profile:(Engine.profiling ~oracle:(Interval_data.in_exact pred) ())
+          ~instance:(Interval_data.instance pred)
+          ~probe:(Probe_source.driver ~obs ~batch_size:8 source)
+          ~requirements:interval_requirements data
+    | Some power ->
+        let cascade, _sources =
+          Tiered.of_functions ~obs ?faults ~max_retries:2
+            ~specs:(cascade_specs ~power) ~narrow:Interval_data.shrink
+            ~resolve:Interval_data.probe ()
+        in
+        Engine.execute ~rng:(Rng.create (seed + 1)) ~max_laxity:30.0
+          ~planning:(Engine.Fixed Policy.greedy_params) ~cost ~batch:8 ~obs
+          ~profile:(Engine.profiling ~oracle:(Interval_data.in_exact pred) ())
+          ~instance:(Interval_data.instance pred)
+          ~cascade ~requirements:interval_requirements data
+  in
+  (result, obs)
+
+(* (d) Cost dominance: with an effective proxy in front of the oracle,
+   the same Fixed plan and the same seed, the metered total of the
+   tiered run never exceeds the oracle-only run's — and both answers
+   satisfy the same requirements. *)
+let prop_tiered_cost_dominates =
+  QCheck2.Test.make
+    ~name:"tiered metered cost <= oracle-only on the same seed" ~count:8
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let oracle_only, _ = interval_run ~seed () in
+      let tiered, _ = interval_run ~cascade_power:0.9 ~seed () in
+      tiered.Engine.normalized_cost
+      <= oracle_only.Engine.normalized_cost +. 1e-9
+      && Quality.meets oracle_only.Engine.report.Operator.guarantees
+           interval_requirements
+      && Quality.meets tiered.Engine.report.Operator.guarantees
+           interval_requirements
+      && (Option.get tiered.Engine.profile).Profile.reconcile_error = None)
+
+(* (e) The per-tier meter and the qaq.probe.tier.* counters reconcile
+   whatever the fault mix — failed attempts are neither metered nor
+   counted at any tier, so injection cannot skew the accountings
+   apart.  The engine's profile audit runs reconcile_tiers when a
+   cascade is present, so one flag covers both layers. *)
+let prop_tier_meter_reconciles_under_faults =
+  QCheck2.Test.make
+    ~name:"per-tier meter reconciles with metrics under faults" ~count:8
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 0 30))
+    (fun (fault_seed, pct) ->
+      let faults =
+        Fault_plan.make ~seed:fault_seed
+          ~transient_rate:(float_of_int pct /. 100.0)
+          ~permanent_rate:(float_of_int pct /. 150.0)
+          ~max_retries:2 ()
+      in
+      let result, _ =
+        interval_run ~cascade_power:0.8 ~faults ~seed:(fault_seed + 3) ()
+      in
+      match (Option.get result.Engine.profile).Profile.reconcile_error with
+      | None -> true
+      | Some msg -> QCheck2.Test.fail_report msg)
+
 (* --- deterministic replay -------------------------------------------- *)
 
 let replay_run ~domains () =
@@ -330,4 +442,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_degraded_audit_honest;
     QCheck_alcotest.to_alcotest prop_meter_reconciles_under_faults;
     QCheck_alcotest.to_alcotest prop_zero_rate_plan_is_identity;
+    QCheck_alcotest.to_alcotest prop_tiered_cost_dominates;
+    QCheck_alcotest.to_alcotest prop_tier_meter_reconciles_under_faults;
   ]

@@ -275,7 +275,8 @@ let test_sensor_outage_overlaps_retry_rounds () =
       | Probe_driver.Resolved r ->
           checkb "resolved flag set" true r.Sensor_net.resolved;
           checki "order preserved" i r.Sensor_net.sensor_id
-      | Probe_driver.Failed _ -> Alcotest.fail "outage outlived by the budget")
+      | Probe_driver.Shrunk _ | Probe_driver.Failed _ ->
+          Alcotest.fail "outage outlived by the budget")
     outcomes;
   checki "window + recovery = 3 rounds" 3 (Sensor_net.rounds net);
   checki "one wakeup per round" 3 (Sensor_net.probe_wakeups net);
@@ -305,7 +306,8 @@ let test_sensor_breaker_backoff_under_outage () =
   (match outcomes.(0) with
   | Probe_driver.Failed { attempts } ->
       checki "budget spent exactly" 6 attempts
-  | Probe_driver.Resolved _ -> Alcotest.fail "expected a permanent failure");
+  | Probe_driver.Resolved _ | Probe_driver.Shrunk _ ->
+      Alcotest.fail "expected a permanent failure");
   checki "attempt rounds 0,1,2,4,8,16" 6 (Sensor_net.probe_wakeups net);
   checki "refused rounds still advance the clock" 17 (Sensor_net.rounds net);
   (match Sensor_net.breaker net with
@@ -337,7 +339,8 @@ let test_sensor_no_faults_single_round () =
   Array.iter
     (function
       | Probe_driver.Resolved _ -> ()
-      | Probe_driver.Failed _ -> Alcotest.fail "unfaulted net failed")
+      | Probe_driver.Shrunk _ | Probe_driver.Failed _ ->
+          Alcotest.fail "unfaulted net failed")
     outcomes;
   checki "one round" 1 (Sensor_net.rounds net);
   checki "one wakeup" 1 (Sensor_net.probe_wakeups net);

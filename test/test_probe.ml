@@ -242,6 +242,95 @@ let test_sensor_net_batch_radio () =
   checki "two more wakeups via driver" 3 (Sensor_net.probe_wakeups net);
   checki "messages accumulate" 12 (Sensor_net.probe_messages net)
 
+(* Regression: two sources sharing one obs registry used to lump their
+   stats onto the same [probe_source.*] names; with tier labels each
+   keeps its own slice, retries are attributed to the tier that burned
+   them, and resetting one source leaves the other untouched. *)
+let test_probe_source_per_tier_stats () =
+  let obs = Obs.create () in
+  let proxy =
+    Probe_source.create ~obs ~tier:"proxy" ~failure_rate:0.5 ~max_retries:50
+      ~rng:(Rng.create 31) (fun x -> x + 1)
+  in
+  let oracle = Probe_source.create ~obs ~tier:"oracle" (fun x -> x * 2) in
+  Alcotest.(check (option string))
+    "proxy labelled" (Some "proxy") (Probe_source.tier proxy);
+  Alcotest.(check (option string))
+    "oracle labelled" (Some "oracle") (Probe_source.tier oracle);
+  ignore (Probe_source.probe_batch proxy (Array.init 32 Fun.id));
+  ignore (Probe_source.probe_batch oracle (Array.init 5 Fun.id));
+  let sp = Probe_source.stats proxy and so = Probe_source.stats oracle in
+  checki "proxy resolved all" 32 sp.probes;
+  checki "oracle resolved all" 5 so.probes;
+  checkb "proxy retried" true (sp.attempts > sp.probes);
+  let snap = Obs.snapshot obs in
+  let count = Metrics.count_of snap in
+  checki "proxy slice mirrors the proxy source" sp.probes
+    (count "probe_source.proxy.resolved");
+  checki "oracle slice mirrors the oracle source" so.probes
+    (count "probe_source.oracle.resolved");
+  checki "proxy attempts on the proxy slice" sp.attempts
+    (count "probe_source.proxy.attempts");
+  checki "nothing lumped onto the unprefixed name" 0
+    (count "probe_source.resolved");
+  checki "retries attributed to the proxy tier" (sp.attempts - sp.probes)
+    (count (Obs.Keys.tier_retried "proxy"));
+  checki "oracle tier never retried" 0 (count (Obs.Keys.tier_retried "oracle"));
+  Probe_source.reset_stats proxy;
+  checki "proxy reset" 0 (Probe_source.stats proxy).probes;
+  checki "oracle unaffected by the proxy's reset" 5
+    (Probe_source.stats oracle).probes
+
+(* Regression: retry rounds used to be lumped into probe_wakeups /
+   probe_messages — the split separates pure retry traffic, and a tier
+   label keeps a cascaded net's radio stats on its own names. *)
+let test_sensor_net_retry_split () =
+  let obs = Obs.create () in
+  let net =
+    Sensor_net.create ~obs ~tier:"radio"
+      ~faults:(Fault_plan.make ~seed:40 ~transient_rate:0.4 ~max_retries:20 ())
+      (Rng.create 41) ~n:24
+      ~value_range:(Interval.make 0.0 100.0)
+      ~tolerance_range:(Interval.make 1.0 5.0)
+      ~drift_stddev:1.0
+  in
+  for _ = 1 to 10 do
+    Sensor_net.step net
+  done;
+  let readings = Sensor_net.snapshot net in
+  let outcomes = Sensor_net.probe_batch_outcomes net readings in
+  Array.iter
+    (fun oc ->
+      match oc with
+      | Probe_driver.Resolved _ -> ()
+      | Probe_driver.Shrunk _ | Probe_driver.Failed _ ->
+          Alcotest.fail "transient faults within budget must all resolve")
+    outcomes;
+  let wakeups = Sensor_net.probe_wakeups net in
+  let messages = Sensor_net.probe_messages net in
+  let retry_wakeups = Sensor_net.retry_wakeups net in
+  let retry_messages = Sensor_net.retry_messages net in
+  checkb "faults forced retry rounds" true (retry_wakeups > 0);
+  (* one first round per batch; everything beyond it is retry traffic *)
+  checki "retry wakeups are the rounds beyond the first" (wakeups - 1)
+    retry_wakeups;
+  checki "retry messages are the responses beyond the first round"
+    (messages - Array.length readings)
+    retry_messages;
+  let snap = Obs.snapshot obs in
+  let count = Metrics.count_of snap in
+  checki "tier slice mirrors retry wakeups" retry_wakeups
+    (count "sensor_net.radio.retry_wakeups");
+  checki "tier slice mirrors retry messages" retry_messages
+    (count "sensor_net.radio.retry_messages");
+  checki "tier slice mirrors probe wakeups" wakeups
+    (count "sensor_net.radio.probe_wakeups");
+  checki "nothing lumped onto the unprefixed names" 0
+    (count "sensor_net.probe_wakeups" + count "sensor_net.retry_wakeups");
+  checki "retries attributed to the radio tier"
+    (count Obs.Keys.fault_retried)
+    (count (Obs.Keys.tier_retried "radio"))
+
 let suite =
   [
     ("probe source basics", `Quick, test_probe_source_basic);
@@ -259,4 +348,6 @@ let suite =
     ("sensor transmissions scale with drift", `Quick, test_sensor_net_transmissions);
     ("sensor reading instance", `Quick, test_sensor_net_instance);
     ("sensor batch radio accounting", `Quick, test_sensor_net_batch_radio);
+    ("per-tier probe source stats", `Quick, test_probe_source_per_tier_stats);
+    ("sensor retry traffic split per tier", `Quick, test_sensor_net_retry_split);
   ]
